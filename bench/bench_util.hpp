@@ -1,0 +1,157 @@
+// Shared scenario builders for the benchmark harness: the four Figure 9
+// configurations (stock-Linux local, NVMe-oF remote, our driver local, our
+// driver remote) plus result-printing helpers.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "driver/client.hpp"
+#include "driver/local_driver.hpp"
+#include "driver/manager.hpp"
+#include "nvmeof/initiator.hpp"
+#include "nvmeof/target.hpp"
+#include "workload/fio.hpp"
+#include "workload/testbed.hpp"
+
+namespace nvmeshare::bench {
+
+using workload::Testbed;
+using workload::TestbedConfig;
+
+/// A ready-to-measure scenario: a testbed plus a block device and the node
+/// the workload should run on. Owns everything via keep-alives.
+struct Scenario {
+  std::string name;
+  std::unique_ptr<Testbed> testbed;
+  block::BlockDevice* device = nullptr;
+  sisci::NodeId workload_node = 0;
+
+  // keep-alives (whichever the scenario uses)
+  std::unique_ptr<driver::Manager> manager;
+  std::unique_ptr<driver::Client> client;
+  std::unique_ptr<driver::LocalDriver> local;
+  std::unique_ptr<nvmeof::Target> target;
+  std::unique_ptr<nvmeof::Initiator> initiator;
+};
+
+inline TestbedConfig default_bench_testbed(std::uint32_t hosts) {
+  TestbedConfig cfg;
+  cfg.hosts = hosts;
+  return cfg;
+}
+
+[[noreturn]] inline void die(const std::string& what, const Status& st) {
+  std::fprintf(stderr, "FATAL: %s: %s\n", what.c_str(), st.to_string().c_str());
+  std::exit(1);
+}
+
+/// Figure 9a left half: stock Linux NVMe driver on the device's host.
+inline Scenario make_linux_local(TestbedConfig cfg = default_bench_testbed(1)) {
+  Scenario s;
+  s.name = "linux-local";
+  cfg.hosts = 1;
+  s.testbed = std::make_unique<Testbed>(cfg);
+  auto drv = s.testbed->wait(driver::LocalDriver::start(
+      s.testbed->cluster(), s.testbed->nvme_endpoint(), &s.testbed->irq(0), {}));
+  if (!drv) die("linux-local bring-up", drv.status());
+  s.local = std::move(*drv);
+  s.device = s.local.get();
+  s.workload_node = 0;
+  return s;
+}
+
+/// Figure 9a right half: NVMe-oF over RDMA, SPDK-style target on the device
+/// host, kernel initiator on a second host.
+inline Scenario make_nvmeof_remote(TestbedConfig cfg = default_bench_testbed(2)) {
+  Scenario s;
+  s.name = "nvmeof-remote";
+  if (cfg.hosts < 2) cfg.hosts = 2;
+  s.testbed = std::make_unique<Testbed>(cfg);
+  auto target = s.testbed->wait(nvmeof::Target::start(
+      s.testbed->cluster(), s.testbed->nvme_endpoint(), s.testbed->network(), {}));
+  if (!target) die("nvmeof target bring-up", target.status());
+  s.target = std::move(*target);
+  auto initiator = s.testbed->wait(nvmeof::Initiator::connect(
+      s.testbed->cluster(), s.testbed->network(), *s.target, 1, {}));
+  if (!initiator) die("nvmeof initiator connect", initiator.status());
+  s.initiator = std::move(*initiator);
+  s.device = s.initiator.get();
+  s.workload_node = 1;
+  return s;
+}
+
+/// Figure 9b left half: our distributed driver, manager and client on the
+/// device's own host.
+inline Scenario make_ours_local(driver::Client::Config client_cfg = {},
+                                TestbedConfig cfg = default_bench_testbed(1)) {
+  Scenario s;
+  s.name = "ours-local";
+  cfg.hosts = 1;
+  s.testbed = std::make_unique<Testbed>(cfg);
+  auto mgr = s.testbed->wait(
+      driver::Manager::start(s.testbed->service(), 0, s.testbed->device_id(), {}));
+  if (!mgr) die("ours-local manager", mgr.status());
+  s.manager = std::move(*mgr);
+  auto client = s.testbed->wait(
+      driver::Client::attach(s.testbed->service(), 0, s.testbed->device_id(), client_cfg));
+  if (!client) die("ours-local client", client.status());
+  s.client = std::move(*client);
+  s.device = s.client.get();
+  s.workload_node = 0;
+  return s;
+}
+
+/// Figure 9b right half: our distributed driver with the client on a remote
+/// host reached through Dolphin-style NTB adapters and a cluster switch.
+inline Scenario make_ours_remote(driver::Client::Config client_cfg = {},
+                                 TestbedConfig cfg = default_bench_testbed(2)) {
+  Scenario s;
+  s.name = "ours-remote";
+  if (cfg.hosts < 2) cfg.hosts = 2;
+  s.testbed = std::make_unique<Testbed>(cfg);
+  auto mgr = s.testbed->wait(
+      driver::Manager::start(s.testbed->service(), 0, s.testbed->device_id(), {}));
+  if (!mgr) die("ours-remote manager", mgr.status());
+  s.manager = std::move(*mgr);
+  auto client = s.testbed->wait(
+      driver::Client::attach(s.testbed->service(), 1, s.testbed->device_id(), client_cfg));
+  if (!client) die("ours-remote client", client.status());
+  s.client = std::move(*client);
+  s.device = s.client.get();
+  s.workload_node = 1;
+  return s;
+}
+
+/// Run one FIO-style job on a scenario and return the result.
+inline workload::JobResult run(Scenario& s, workload::JobSpec spec) {
+  spec.name = s.name;
+  auto result = workload::run_job_blocking(s.testbed->cluster(), *s.device, s.workload_node,
+                                           spec);
+  if (!result) die("job on " + s.name, result.status());
+  if (result->errors != 0) {
+    std::fprintf(stderr, "FATAL: %s completed with %llu I/O errors\n", s.name.c_str(),
+                 static_cast<unsigned long long>(result->errors));
+    std::exit(1);
+  }
+  return std::move(*result);
+}
+
+/// The paper's workload: 4 KiB random read or write at queue depth 1.
+inline workload::JobSpec fio_qd1(bool read, std::uint64_t ops, std::uint64_t seed = 2024) {
+  workload::JobSpec spec;
+  spec.pattern =
+      read ? workload::JobSpec::Pattern::randread : workload::JobSpec::Pattern::randwrite;
+  spec.block_bytes = 4096;
+  spec.queue_depth = 1;
+  spec.ops = ops;
+  spec.seed = seed;
+  return spec;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace nvmeshare::bench

@@ -1,0 +1,127 @@
+// Reproduces the Section VI sharing claim: "The P4800X used in our
+// experiments supports up to 32 queue pairs (where one pair is reserved for
+// the admin queues), and we have confirmed that it can be shared by up to
+// 31 hosts simultaneously."
+//
+// Sweeps the number of simultaneously attached client hosts, runs a
+// parallel 4 KiB random-read workload on every client, and finally shows
+// that a 32nd client is cleanly rejected when all I/O queue pairs are in
+// use.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace nvmeshare;
+using namespace nvmeshare::bench;
+
+constexpr std::uint64_t kOpsPerClient = 600;
+
+struct Sweep {
+  std::uint32_t clients;
+  double aggregate_kiops;
+  double median_us;
+  double p99_us;
+};
+
+}  // namespace
+
+int main() {
+  print_header("multi-host scaling: one NVMe controller, N client hosts (4 KiB randread, QD=4)");
+
+  const std::vector<std::uint32_t> counts{1, 2, 4, 8, 16, 24, 31};
+  std::vector<Sweep> rows;
+
+  for (std::uint32_t n : counts) {
+    TestbedConfig cfg;
+    cfg.hosts = n + 1;  // host 0 holds the device and the manager
+    Testbed tb(cfg);
+    auto manager = tb.wait(driver::Manager::start(tb.service(), 0, tb.device_id(), {}), 60_s);
+    if (!manager) die("manager", manager.status());
+
+    std::vector<std::unique_ptr<driver::Client>> clients;
+    for (std::uint32_t c = 1; c <= n; ++c) {
+      driver::Client::Config cc;
+      cc.queue_depth = 8;
+      auto client = tb.wait(driver::Client::attach(tb.service(), c, tb.device_id(), cc), 60_s);
+      if (!client) die("client attach " + std::to_string(c), client.status());
+      clients.push_back(std::move(*client));
+    }
+
+    std::vector<sim::Future<Result<workload::JobResult>>> jobs;
+    for (std::uint32_t c = 0; c < n; ++c) {
+      workload::JobSpec spec;
+      spec.pattern = workload::JobSpec::Pattern::randread;
+      spec.block_bytes = 4096;
+      spec.queue_depth = 4;
+      spec.ops = kOpsPerClient;
+      spec.seed = 1000 + c;
+      jobs.push_back(workload::run_job(tb.cluster(), *clients[c], c + 1, spec));
+    }
+
+    LatencyRecorder all;
+    double total_iops = 0;
+    for (auto& job : jobs) {
+      auto result = tb.wait(std::move(job), 600_s);
+      if (!result) die("job", result.status());
+      if (result->errors != 0) die("job errors", Status(Errc::io_error, "nonzero errors"));
+      total_iops += result->iops();
+      for (auto s : result->read_latency.samples()) all.add(s);
+    }
+    rows.push_back(Sweep{n, total_iops / 1000.0, all.percentile(50) / 1000.0,
+                         all.percentile(99) / 1000.0});
+    std::printf("  %2u clients: %8.1f kIOPS aggregate, median %6.2f us, p99 %6.2f us\n", n,
+                rows.back().aggregate_kiops, rows.back().median_us, rows.back().p99_us);
+  }
+
+  print_header("summary");
+  std::printf("%8s %16s %12s %12s\n", "clients", "agg_kiops", "median_us", "p99_us");
+  for (const auto& r : rows) {
+    std::printf("%8u %16.1f %12.2f %12.2f\n", r.clients, r.aggregate_kiops, r.median_us,
+                r.p99_us);
+  }
+
+  // Claim checks.
+  print_header("claim checks");
+  bool ok = true;
+  const bool scaled = rows.back().aggregate_kiops > 3.0 * rows.front().aggregate_kiops;
+  std::printf("  [%s] aggregate throughput scales with client count until the device "
+              "saturates\n",
+              scaled ? "ok" : "MISMATCH");
+  ok &= scaled;
+
+  // All 31 I/O queue pairs in use: the 32nd client must be rejected.
+  {
+    TestbedConfig cfg;
+    cfg.hosts = 33;
+    Testbed tb(cfg);
+    auto manager = tb.wait(driver::Manager::start(tb.service(), 0, tb.device_id(), {}), 60_s);
+    if (!manager) die("manager", manager.status());
+    std::vector<std::unique_ptr<driver::Client>> clients;
+    for (std::uint32_t c = 1; c <= 31; ++c) {
+      driver::Client::Config cc;
+      cc.queue_depth = 2;  // keep the footprint small
+      auto client = tb.wait(driver::Client::attach(tb.service(), c, tb.device_id(), cc), 60_s);
+      if (!client) die("client attach " + std::to_string(c), client.status());
+      clients.push_back(std::move(*client));
+    }
+    const bool all31 = clients.size() == 31;
+    std::printf("  [%s] 31 hosts share the controller simultaneously (32 QPs, one "
+                "reserved for admin)\n",
+                all31 ? "ok" : "MISMATCH");
+    ok &= all31;
+
+    driver::Client::Config cc;
+    cc.queue_depth = 2;
+    auto extra = tb.wait(driver::Client::attach(tb.service(), 32, tb.device_id(), cc), 60_s);
+    const bool rejected = !extra.has_value() && extra.error_code() == Errc::resource_exhausted;
+    std::printf("  [%s] the 32nd client is rejected: no I/O queue pairs left\n",
+                rejected ? "ok" : "MISMATCH");
+    ok &= rejected;
+  }
+
+  std::printf("\n%s\n", ok ? "ALL CLAIM CHECKS PASSED" : "SOME CLAIM CHECKS FAILED");
+  return ok ? 0 : 1;
+}

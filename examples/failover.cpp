@@ -1,0 +1,93 @@
+// Failover / lifecycle: what happens when the manager goes away?
+//
+// The paper's design keeps the manager off the data path: it is only needed
+// to create and delete queue pairs. This example walks the full lifecycle:
+//   1. manager on host 0, clients on hosts 1 and 2 doing I/O;
+//   2. the manager dies — established clients keep doing I/O untouched;
+//   3. a new client cannot attach (nobody serves the mailbox);
+//   4. a replacement manager cannot start while survivors hold the device
+//      (SmartIO's exclusive acquisition protects the controller state);
+//   5. after the survivors release the device, a new manager starts on a
+//      *different* host and fresh clients attach again.
+#include <cstdio>
+
+#include "driver/client.hpp"
+#include "driver/manager.hpp"
+#include "workload/fio.hpp"
+#include "workload/testbed.hpp"
+
+using namespace nvmeshare;
+
+namespace {
+
+bool quick_io(workload::Testbed& tb, driver::Client& client, sisci::NodeId node) {
+  workload::JobSpec spec;
+  spec.pattern = workload::JobSpec::Pattern::randrw;
+  spec.ops = 50;
+  spec.queue_depth = 2;
+  spec.verify = true;
+  auto result = workload::run_job_blocking(tb.cluster(), client, node, spec);
+  return result.has_value() && result->errors == 0 && result->verify_failures == 0;
+}
+
+}  // namespace
+
+int main() {
+  workload::TestbedConfig cfg;
+  cfg.hosts = 4;
+  workload::Testbed tb(cfg);
+
+  // 1. Normal operation.
+  auto manager = tb.wait(driver::Manager::start(tb.service(), 0, tb.device_id(), {}));
+  if (!manager) return 1;
+  auto c1 = tb.wait(driver::Client::attach(tb.service(), 1, tb.device_id(), {}));
+  auto c2 = tb.wait(driver::Client::attach(tb.service(), 2, tb.device_id(), {}));
+  if (!c1 || !c2) return 1;
+  std::printf("[1] manager on host 0, clients on hosts 1 and 2\n");
+  if (!quick_io(tb, **c1, 1) || !quick_io(tb, **c2, 2)) return 1;
+  std::printf("    both clients pass verified I/O\n");
+
+  // 2. The manager dies.
+  manager->reset();
+  tb.engine().run_for(1_ms);
+  std::printf("[2] manager destroyed — clients keep operating the controller:\n");
+  if (!quick_io(tb, **c1, 1) || !quick_io(tb, **c2, 2)) {
+    std::fprintf(stderr, "    I/O after manager death FAILED\n");
+    return 1;
+  }
+  std::printf("    verified I/O still passes (the manager is not on the data path)\n");
+
+  // 3. New clients cannot attach.
+  driver::Client::Config impatient;
+  impatient.mailbox_timeout_ns = 5_ms;
+  auto orphan = tb.wait(driver::Client::attach(tb.service(), 3, tb.device_id(), impatient),
+                        60_s);
+  std::printf("[3] a new client cannot attach without a manager: %s\n",
+              orphan ? "ATTACHED (bug!)" : orphan.status().to_string().c_str());
+  if (orphan) return 1;
+
+  // 4. A replacement manager is blocked while survivors hold the device.
+  auto blocked = tb.wait(driver::Manager::start(tb.service(), 3, tb.device_id(), {}));
+  std::printf("[4] restart blocked while clients hold shared references: %s\n",
+              blocked ? "STARTED (bug!)" : blocked.status().to_string().c_str());
+  if (blocked) return 1;
+
+  // 5. Survivors release the device; a new manager starts on host 3.
+  c1->reset();
+  c2->reset();
+  tb.engine().run_for(1_ms);
+  auto manager2 = tb.wait(driver::Manager::start(tb.service(), 3, tb.device_id(), {}));
+  if (!manager2) {
+    std::fprintf(stderr, "restart failed: %s\n", manager2.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("[5] replacement manager running on host 3 (controller re-initialized)\n");
+  auto c3 = tb.wait(driver::Client::attach(tb.service(), 1, tb.device_id(), {}));
+  if (!c3) return 1;
+  if (!quick_io(tb, **c3, 1)) return 1;
+  std::printf("    fresh client on host 1 attached and passes verified I/O\n");
+
+  std::printf("\nlifecycle complete: data path survives manager death; control path "
+              "recovers after a clean handover\n");
+  return 0;
+}

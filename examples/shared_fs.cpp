@@ -1,0 +1,87 @@
+// Shared filesystem: two hosts mount the same nvsfs on-disk structures
+// through their own driver clients and cooperate via the NTB-shared-memory
+// bakery lock — the GFS/OCFS-style scenario Section V gives as the reason
+// the driver exposes a Linux block device.
+#include <cstdio>
+#include <cstring>
+
+#include "driver/client.hpp"
+#include "driver/manager.hpp"
+#include "fs/filesystem.hpp"
+#include "workload/testbed.hpp"
+
+using namespace nvmeshare;
+
+int main() {
+  workload::TestbedConfig cfg;
+  cfg.hosts = 3;
+  workload::Testbed tb(cfg);
+
+  auto manager = tb.wait(driver::Manager::start(tb.service(), 0, tb.device_id(), {}));
+  if (!manager) return 1;
+  auto c1 = tb.wait(driver::Client::attach(tb.service(), 1, tb.device_id(), {}));
+  auto c2 = tb.wait(driver::Client::attach(tb.service(), 2, tb.device_id(), {}));
+  if (!c1 || !c2) return 1;
+
+  // Host 1 formats; host 2 mounts the same device.
+  fs::FileSystem::Config fscfg;
+  fscfg.fs_blocks = 8192;  // 32 MiB
+  auto fs1 = tb.wait(fs::FileSystem::format(tb.cluster(), **c1, 1, fscfg), 60_s);
+  if (!fs1) {
+    std::fprintf(stderr, "format failed: %s\n", fs1.status().to_string().c_str());
+    return 1;
+  }
+  auto fs2 = tb.wait(fs::FileSystem::mount(tb.cluster(), **c2, 2, 1, fscfg), 60_s);
+  if (!fs2) {
+    std::fprintf(stderr, "mount failed: %s\n", fs2.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("host 1 formatted nvsfs (%llu blocks); host 2 mounted it\n",
+              static_cast<unsigned long long>((*fs1)->superblock().fs_blocks));
+
+  // Host 1 writes a file.
+  auto ino = tb.wait((*fs1)->create("results/run-42.csv"), 60_s);
+  if (!ino) return 1;
+  const char csv[] = "step,loss\n1,0.91\n2,0.64\n3,0.48\n";
+  Bytes contents(sizeof(csv) - 1);
+  std::memcpy(contents.data(), csv, contents.size());
+  if (!tb.wait((*fs1)->write(*ino, 0, contents), 60_s)) return 1;
+  std::printf("host 1 wrote '%s' (%zu bytes)\n", "results/run-42.csv", contents.size());
+
+  // Host 2 lists the namespace and reads the file back.
+  auto listing = tb.wait((*fs2)->list(), 60_s);
+  if (!listing) return 1;
+  std::printf("host 2 sees %zu file(s):\n", listing->size());
+  for (const auto& info : *listing) {
+    std::printf("  %-24s %6llu bytes (inode %u)\n", info.name.c_str(),
+                static_cast<unsigned long long>(info.size), info.inode);
+  }
+  auto found = tb.wait((*fs2)->lookup("results/run-42.csv"), 60_s);
+  if (!found) return 1;
+  auto data = tb.wait((*fs2)->read(*found, 0, 4096), 60_s);
+  if (!data) return 1;
+  std::printf("host 2 reads it back:\n%.*s", static_cast<int>(data->size()),
+              reinterpret_cast<const char*>(data->data()));
+
+  // Both hosts create files concurrently; the bakery lock over NTB shared
+  // memory serializes the inode-table updates.
+  auto a = (*fs1)->create("host1.log");
+  auto b = (*fs2)->create("host2.log");
+  const sim::Time give_up = tb.engine().now() + 10_s;
+  while ((!a.ready() || !b.ready()) && tb.engine().now() < give_up) {
+    tb.engine().run_for(1_ms);
+  }
+  if (!a.ready() || !b.ready()) return 1;
+  auto ra = *a.try_take();
+  auto rb = *b.try_take();
+  if (!ra || !rb || *ra == *rb) {
+    std::fprintf(stderr, "concurrent creates collided!\n");
+    return 1;
+  }
+  std::printf("\nconcurrent creates from both hosts got distinct inodes (%u, %u) — the\n"
+              "cluster lock (Lamport bakery over NTB shared memory) serialized the\n"
+              "metadata update; lock acquisitions so far: host1=%llu host2=%llu\n",
+              *ra, *rb, static_cast<unsigned long long>((*fs1)->stats().lock_acquisitions),
+              static_cast<unsigned long long>((*fs2)->stats().lock_acquisitions));
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Shared log: four hosts append records to one on-disk log through a single
+// NVMe controller, each with its own I/O queue pair — the paper's headline
+// capability ("multiple hosts can operate the same NVMe controller by
+// distributing I/O queue pairs in a PCIe cluster").
+//
+// Layout on disk:
+//   block 0:            log header (record size, per-writer lane geometry)
+//   lane w, slot i:     record block written by host w
+// Each writer owns a disjoint lane, so appends need no cross-host locking —
+// exactly the kind of partitioned design the queue-level sharing enables.
+// At the end, one host scans every lane and reconstructs the global record
+// stream, proving cross-host data visibility.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "driver/client.hpp"
+#include "driver/manager.hpp"
+#include "workload/testbed.hpp"
+
+using namespace nvmeshare;
+
+namespace {
+
+constexpr std::uint32_t kWriters = 3;         // hosts 1..3
+constexpr std::uint32_t kRecordsPerLane = 8;
+constexpr std::uint32_t kRecordBytes = 4096;  // one record per 4 KiB block group
+
+struct LogHeader {
+  std::uint64_t magic = 0x4c4f475348415245;  // "SHARELOG"
+  std::uint32_t writers = kWriters;
+  std::uint32_t records_per_lane = kRecordsPerLane;
+  std::uint32_t record_bytes = kRecordBytes;
+};
+
+struct Record {
+  std::uint32_t writer = 0;
+  std::uint32_t sequence = 0;
+  sim::Time written_at = 0;
+  char payload[100] = {};
+};
+
+std::uint64_t lane_lba(std::uint32_t writer, std::uint32_t slot, std::uint32_t block_size) {
+  const std::uint64_t blocks_per_record = kRecordBytes / block_size;
+  // Block 0..7 hold the header; lanes follow.
+  return 8 + (static_cast<std::uint64_t>(writer) * kRecordsPerLane + slot) * blocks_per_record;
+}
+
+}  // namespace
+
+int main() {
+  workload::TestbedConfig cfg;
+  cfg.hosts = kWriters + 1;  // host 0 holds the device + manager
+  workload::Testbed tb(cfg);
+
+  auto manager = tb.wait(driver::Manager::start(tb.service(), 0, tb.device_id(), {}));
+  if (!manager) return 1;
+
+  std::vector<std::unique_ptr<driver::Client>> clients;
+  for (std::uint32_t w = 0; w < kWriters; ++w) {
+    auto client = tb.wait(driver::Client::attach(tb.service(), w + 1, tb.device_id(), {}));
+    if (!client) {
+      std::fprintf(stderr, "client %u failed: %s\n", w, client.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("host %u attached with queue pair %u\n", w + 1, (*client)->qid());
+    clients.push_back(std::move(*client));
+  }
+  const std::uint32_t block_size = clients[0]->block_size();
+  const std::uint32_t blocks_per_record = kRecordBytes / block_size;
+
+  // Host 1 formats the log.
+  {
+    auto buf = tb.cluster().alloc_dram(1, kRecordBytes, 4096);
+    Bytes header_block(kRecordBytes, std::byte{0});
+    const LogHeader header;
+    store_pod(header_block, header);
+    (void)tb.fabric().host_dram(1).write(*buf, header_block);
+    auto done = tb.wait_plain(clients[0]->submit({block::Op::write, 0, blocks_per_record, *buf}));
+    if (!done || !done->status) return 1;
+    std::printf("host 1 formatted the shared log\n");
+  }
+
+  // All writers append concurrently, each into its own lane.
+  struct Writer {
+    std::uint64_t buf;
+    std::vector<sim::Future<block::Completion>> appends;
+  };
+  std::vector<Writer> writers(kWriters);
+  for (std::uint32_t w = 0; w < kWriters; ++w) {
+    writers[w].buf = *tb.cluster().alloc_dram(w + 1, kRecordBytes * kRecordsPerLane, 4096);
+    for (std::uint32_t slot = 0; slot < kRecordsPerLane; ++slot) {
+      Record record;
+      record.writer = w + 1;
+      record.sequence = slot;
+      record.written_at = tb.engine().now();
+      std::snprintf(record.payload, sizeof(record.payload),
+                    "event %u from host %u", slot, w + 1);
+      Bytes block(kRecordBytes, std::byte{0});
+      store_pod(block, record);
+      const std::uint64_t slot_buf = writers[w].buf + slot * kRecordBytes;
+      (void)tb.fabric().host_dram(w + 1).write(slot_buf, block);
+      writers[w].appends.push_back(clients[w]->submit(
+          {block::Op::write, lane_lba(w, slot, block_size), blocks_per_record, slot_buf}));
+    }
+  }
+  // Drive the simulation until every append completed.
+  tb.engine().run_for(50_ms);
+  std::uint32_t completed = 0;
+  for (auto& w : writers) {
+    for (auto& f : w.appends) {
+      if (f.ready() && f.try_take()->status.is_ok()) ++completed;
+    }
+  }
+  std::printf("appends completed: %u / %u (all hosts writing in parallel)\n", completed,
+              kWriters * kRecordsPerLane);
+  if (completed != kWriters * kRecordsPerLane) return 1;
+
+  // Host 3 (an arbitrary reader) scans every lane and rebuilds the stream.
+  auto& reader = *clients[kWriters - 1];
+  const sisci::NodeId reader_node = kWriters;
+  auto rbuf = tb.cluster().alloc_dram(reader_node, kRecordBytes, 4096);
+  std::uint32_t recovered = 0;
+  std::printf("\nhost %u scans the log:\n", reader_node);
+  for (std::uint32_t w = 0; w < kWriters; ++w) {
+    for (std::uint32_t slot = 0; slot < kRecordsPerLane; ++slot) {
+      auto done = tb.wait_plain(reader.submit(
+          {block::Op::read, lane_lba(w, slot, block_size), blocks_per_record, *rbuf}));
+      if (!done || !done->status) return 1;
+      Bytes block(kRecordBytes);
+      (void)tb.fabric().host_dram(reader_node).read(*rbuf, block);
+      const auto record = load_pod<Record>(block);
+      if (record.writer != w + 1 || record.sequence != slot) {
+        std::fprintf(stderr, "corrupt record in lane %u slot %u!\n", w, slot);
+        return 1;
+      }
+      ++recovered;
+      if (slot < 2) {  // print a sample, not all 24
+        std::printf("  lane %u slot %u: \"%s\" (written at %lld ns)\n", w, slot,
+                    record.payload, static_cast<long long>(record.written_at));
+      }
+    }
+  }
+  std::printf("\nrecovered %u/%u records written by %u different hosts — one NVMe "
+              "controller, %u independent queue pairs, no locks\n",
+              recovered, kWriters * kRecordsPerLane, kWriters, kWriters);
+  return 0;
+}

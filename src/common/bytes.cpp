@@ -1,0 +1,52 @@
+#include "common/bytes.hpp"
+
+#include <cstdio>
+
+namespace nvmeshare {
+
+namespace {
+// Cheap counter-mode mixer; byte i of stream `seed` is mix(seed, i).
+std::uint8_t pattern_byte(std::uint64_t seed, std::size_t i) {
+  std::uint64_t x = seed ^ (0x9e3779b97f4a7c15ULL * (i / 8 + 1));
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::uint8_t>(x >> ((i % 8) * 8));
+}
+}  // namespace
+
+void fill_pattern(ByteSpan dst, std::uint64_t seed) {
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = std::byte{pattern_byte(seed, i)};
+}
+
+bool check_pattern(ConstByteSpan buf, std::uint64_t seed) {
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    if (buf[i] != std::byte{pattern_byte(seed, i)}) return false;
+  }
+  return true;
+}
+
+Bytes make_pattern(std::size_t n, std::uint64_t seed) {
+  Bytes out(n);
+  fill_pattern(out, seed);
+  return out;
+}
+
+std::string hexdump(ConstByteSpan buf, std::size_t max_bytes) {
+  std::string out;
+  const std::size_t n = buf.size() < max_bytes ? buf.size() : max_bytes;
+  for (std::size_t base = 0; base < n; base += 16) {
+    char line[80];
+    int pos = std::snprintf(line, sizeof(line), "%08zx: ", base);
+    for (std::size_t i = base; i < base + 16 && i < n; ++i) {
+      pos += std::snprintf(line + pos, sizeof(line) - static_cast<std::size_t>(pos), "%02x ",
+                           static_cast<unsigned>(buf[i]));
+    }
+    out += line;
+    out += '\n';
+  }
+  if (n < buf.size()) out += "...\n";
+  return out;
+}
+
+}  // namespace nvmeshare

@@ -1,0 +1,42 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace nvmeshare::log {
+
+namespace {
+Level g_threshold = Level::warn;
+TimeProvider g_time_provider = nullptr;
+
+const char* level_name(Level l) {
+  switch (l) {
+    case Level::trace: return "TRACE";
+    case Level::debug: return "DEBUG";
+    case Level::info: return "INFO ";
+    case Level::warn: return "WARN ";
+    case Level::error: return "ERROR";
+    case Level::off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+Level threshold() noexcept { return g_threshold; }
+void set_threshold(Level level) noexcept { g_threshold = level; }
+void set_time_provider(TimeProvider provider) noexcept { g_time_provider = provider; }
+
+void emit(Level level, std::string_view tag, std::string_view message) {
+  if (level < g_threshold) return;
+  long long now = g_time_provider ? g_time_provider() : -1;
+  if (now >= 0) {
+    std::fprintf(stderr, "[%12lldns] %s %-8.*s %.*s\n", now, level_name(level),
+                 static_cast<int>(tag.size()), tag.data(), static_cast<int>(message.size()),
+                 message.data());
+  } else {
+    std::fprintf(stderr, "[    --      ] %s %-8.*s %.*s\n", level_name(level),
+                 static_cast<int>(tag.size()), tag.data(), static_cast<int>(message.size()),
+                 message.data());
+  }
+}
+
+}  // namespace nvmeshare::log

@@ -1,0 +1,53 @@
+// Tiny leveled logger. Off by default above `warn` so that simulations are
+// quiet; tests and examples can raise the level. Not thread-safe by design:
+// the whole simulator is single-threaded (discrete-event).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace nvmeshare::log {
+
+enum class Level : int { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+/// Global threshold; messages below it are discarded.
+Level threshold() noexcept;
+void set_threshold(Level level) noexcept;
+
+/// Current simulated time used to stamp messages; the sim engine installs a
+/// provider on construction. Returns -1 when no simulation is running.
+using TimeProvider = long long (*)();
+void set_time_provider(TimeProvider provider) noexcept;
+
+/// Emit one message (already formatted) at `level` from component `tag`.
+void emit(Level level, std::string_view tag, std::string_view message);
+
+namespace detail {
+class LineStream {
+ public:
+  LineStream(Level level, std::string_view tag) : level_(level), tag_(tag) {}
+  ~LineStream() { emit(level_, tag_, stream_.str()); }
+  LineStream(const LineStream&) = delete;
+  LineStream& operator=(const LineStream&) = delete;
+
+  template <typename T>
+  LineStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::string_view tag_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace nvmeshare::log
+
+// Streaming log macros: NVS_LOG(info, "nvme") << "CC.EN set";
+#define NVS_LOG(level, tag)                                              \
+  if (::nvmeshare::log::Level::level < ::nvmeshare::log::threshold()) { \
+  } else                                                                 \
+    ::nvmeshare::log::detail::LineStream(::nvmeshare::log::Level::level, (tag))

@@ -1,0 +1,127 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace nvmeshare {
+
+void LatencyRecorder::ensure_sorted() const {
+  if (sorted_.size() != samples_.size()) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+}
+
+double LatencyRecorder::percentile(double p) const {
+  assert(!samples_.empty());
+  ensure_sorted();
+  if (sorted_.size() == 1) return static_cast<double>(sorted_[0]);
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return static_cast<double>(sorted_[lo]) +
+         frac * static_cast<double>(sorted_[hi] - sorted_[lo]);
+}
+
+sim::Duration LatencyRecorder::min() const {
+  assert(!samples_.empty());
+  ensure_sorted();
+  return sorted_.front();
+}
+
+sim::Duration LatencyRecorder::max() const {
+  assert(!samples_.empty());
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double LatencyRecorder::mean() const {
+  assert(!samples_.empty());
+  double sum = 0;
+  for (auto s : samples_) sum += static_cast<double>(s);
+  return sum / static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::stddev() const {
+  assert(!samples_.empty());
+  const double m = mean();
+  double acc = 0;
+  for (auto s : samples_) {
+    const double d = static_cast<double>(s) - m;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+BoxSummary BoxSummary::from(std::string label, const LatencyRecorder& rec) {
+  BoxSummary b;
+  b.label = std::move(label);
+  b.count = rec.count();
+  if (rec.count() == 0) return b;
+  b.min_us = ns_to_us(rec.min());
+  b.p25_us = rec.percentile(25) / 1000.0;
+  b.p50_us = rec.percentile(50) / 1000.0;
+  b.p75_us = rec.percentile(75) / 1000.0;
+  b.p99_us = rec.percentile(99) / 1000.0;
+  b.max_us = ns_to_us(rec.max());
+  b.mean_us = rec.mean() / 1000.0;
+  b.stddev_us = rec.stddev() / 1000.0;
+  return b;
+}
+
+std::string format_box_header() {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-28s %8s %9s %9s %9s %9s %9s %9s %9s", "scenario", "ops",
+                "min_us", "p25_us", "p50_us", "p75_us", "p99_us", "max_us", "mean_us");
+  return buf;
+}
+
+std::string format_box_row(const BoxSummary& box) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-28s %8zu %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f",
+                box.label.c_str(), box.count, box.min_us, box.p25_us, box.p50_us, box.p75_us,
+                box.p99_us, box.max_us, box.mean_us);
+  return buf;
+}
+
+std::string render_ascii_boxplot(const std::vector<BoxSummary>& boxes, int width) {
+  if (boxes.empty()) return {};
+  double lo = boxes[0].min_us, hi = boxes[0].p99_us;
+  for (const auto& b : boxes) {
+    lo = std::min(lo, b.min_us);
+    hi = std::max(hi, b.p99_us);
+  }
+  if (hi <= lo) hi = lo + 1.0;
+  const double span = hi - lo;
+  auto col = [&](double v) {
+    int c = static_cast<int>(std::lround((v - lo) / span * (width - 1)));
+    return std::clamp(c, 0, width - 1);
+  };
+
+  std::string out;
+  for (const auto& b : boxes) {
+    std::string line(static_cast<std::size_t>(width), ' ');
+    // Whiskers run min..p99 (paper: "whiskers depict the range from the
+    // minimum to the 99th percentile").
+    for (int c = col(b.min_us); c <= col(b.p99_us); ++c) line[static_cast<std::size_t>(c)] = '-';
+    for (int c = col(b.p25_us); c <= col(b.p75_us); ++c) line[static_cast<std::size_t>(c)] = '=';
+    line[static_cast<std::size_t>(col(b.p50_us))] = '#';
+    line[static_cast<std::size_t>(col(b.min_us))] = '|';
+    line[static_cast<std::size_t>(col(b.p99_us))] = '|';
+    char label[64];
+    std::snprintf(label, sizeof(label), "%-28.28s ", b.label.c_str());
+    out += label;
+    out += line;
+    out += '\n';
+  }
+  char axis[128];
+  std::snprintf(axis, sizeof(axis), "%-28s %-.2fus%*s%.2fus\n", "", lo, width - 12, "", hi);
+  out += axis;
+  return out;
+}
+
+}  // namespace nvmeshare

@@ -1,0 +1,35 @@
+#include "common/status.hpp"
+
+namespace nvmeshare {
+
+std::string_view errc_name(Errc e) noexcept {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::out_of_range: return "out_of_range";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::permission_denied: return "permission_denied";
+    case Errc::resource_exhausted: return "resource_exhausted";
+    case Errc::unavailable: return "unavailable";
+    case Errc::aborted: return "aborted";
+    case Errc::timed_out: return "timed_out";
+    case Errc::io_error: return "io_error";
+    case Errc::unmapped_address: return "unmapped_address";
+    case Errc::protocol_error: return "protocol_error";
+    case Errc::internal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out(errc_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace nvmeshare

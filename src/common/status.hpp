@@ -1,0 +1,131 @@
+// Status / Result types used across all subsystems.
+//
+// The simulator follows the C++ Core Guidelines advice of reporting
+// recoverable, expected failures by value rather than by exception: a PCIe
+// transaction that hits an unmapped address or an NVMe command that is
+// rejected by the controller is normal behaviour that callers must handle.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+namespace nvmeshare {
+
+/// Error categories shared by every subsystem. Subsystem-specific detail
+/// (e.g. an NVMe status code) travels in the message string or in richer
+/// domain types; Errc is what generic plumbing switches on.
+enum class Errc : std::uint16_t {
+  ok = 0,
+  invalid_argument,
+  out_of_range,
+  not_found,
+  already_exists,
+  permission_denied,  ///< e.g. device held exclusively by another process
+  resource_exhausted, ///< e.g. no free queue pairs / LUT entries / memory
+  unavailable,        ///< e.g. controller not ready, link down
+  aborted,
+  timed_out,
+  io_error,           ///< device-reported command failure
+  unmapped_address,   ///< PCIe transaction routed nowhere (UR completion)
+  protocol_error,     ///< malformed mailbox message, bad capsule, ...
+  internal,
+};
+
+/// Human-readable name of an error category.
+std::string_view errc_name(Errc e) noexcept;
+
+/// A cheap status carrying an error category and an optional message.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;
+  Status(Errc code, std::string message) : code_(code), message_(std::move(message)) {}
+  explicit Status(Errc code) : code_(code) {}
+
+  static Status ok() noexcept { return {}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == Errc::ok; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] Errc code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "ok" or "<category>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Errc code_ = Errc::ok;
+  std::string message_;
+};
+
+/// Minimal expected-like result: either a value or a Status describing why
+/// the value is absent. Intentionally small; no monadic frills beyond what
+/// the codebase needs.
+template <typename T>
+class [[nodiscard]] Result {
+  static_assert(!std::is_same_v<T, Status>,
+                "Result<Status> is redundant; use Status directly");
+
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : state_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(state_).is_ok() && "Result error must not be Errc::ok");
+  }
+  Result(Errc code, std::string message) : state_(Status(code, std::move(message))) {}
+
+  [[nodiscard]] bool has_value() const noexcept { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] T& value() & {
+    assert(has_value());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(has_value());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(has_value());
+    return std::get<T>(std::move(state_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Status of the result: Status::ok() when a value is present.
+  [[nodiscard]] Status status() const {
+    if (has_value()) return Status::ok();
+    return std::get<Status>(state_);
+  }
+
+  [[nodiscard]] Errc error_code() const noexcept {
+    return has_value() ? Errc::ok : std::get<Status>(state_).code();
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return has_value() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+/// Propagate-on-error helper used in command-path code.
+#define NVS_RETURN_IF_ERROR(expr)                       \
+  do {                                                  \
+    if (::nvmeshare::Status nvs_st_ = (expr); !nvs_st_) \
+      return nvs_st_;                                   \
+  } while (false)
+
+}  // namespace nvmeshare

@@ -1,0 +1,57 @@
+// Size and time units. Simulated time is a plain signed 64-bit count of
+// nanoseconds; signed so that durations subtract safely.
+#pragma once
+
+#include <cstdint>
+
+namespace nvmeshare {
+
+// --- sizes -----------------------------------------------------------------
+inline constexpr std::uint64_t KiB = 1024;
+inline constexpr std::uint64_t MiB = 1024 * KiB;
+inline constexpr std::uint64_t GiB = 1024 * MiB;
+
+/// Divide, rounding up. Denominator must be nonzero.
+constexpr std::uint64_t div_ceil(std::uint64_t num, std::uint64_t den) {
+  return (num + den - 1) / den;
+}
+
+/// Round `v` up to a multiple of `align` (align must be a power of two).
+constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Round `v` down to a multiple of `align` (align must be a power of two).
+constexpr std::uint64_t align_down(std::uint64_t v, std::uint64_t align) {
+  return v & ~(align - 1);
+}
+
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// --- simulated time ----------------------------------------------------------
+namespace sim {
+
+/// A point in simulated time, in nanoseconds since simulation start.
+using Time = std::int64_t;
+/// A span of simulated time, in nanoseconds.
+using Duration = std::int64_t;
+
+}  // namespace sim
+
+constexpr sim::Duration operator""_ns(unsigned long long v) {
+  return static_cast<sim::Duration>(v);
+}
+constexpr sim::Duration operator""_us(unsigned long long v) {
+  return static_cast<sim::Duration>(v * 1000);
+}
+constexpr sim::Duration operator""_ms(unsigned long long v) {
+  return static_cast<sim::Duration>(v * 1000 * 1000);
+}
+constexpr sim::Duration operator""_s(unsigned long long v) {
+  return static_cast<sim::Duration>(v * 1000 * 1000 * 1000);
+}
+
+/// Nanoseconds as fractional microseconds, for reporting.
+constexpr double ns_to_us(sim::Duration ns) { return static_cast<double>(ns) / 1000.0; }
+
+}  // namespace nvmeshare

@@ -1,0 +1,652 @@
+#include "driver/client.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace nvmeshare::driver {
+
+using nvme::CompletionEntry;
+using nvme::SubmissionEntry;
+
+namespace {
+constexpr sim::Duration kAcquireRetryNs = 50'000;
+constexpr int kAcquireRetryLimit = 200;
+
+/// Per-client, per-purpose segment ids: (node, purpose) must be unique even
+/// when hinted allocation places several clients' segments on the same
+/// (device) host.
+constexpr sisci::SegmentId client_segment_id(std::uint32_t segment_namespace,
+                                             smartio::NodeId node, std::uint32_t purpose) {
+  return 0x43000000u | ((segment_namespace & 0xFF) << 16) |
+         (static_cast<std::uint32_t>(node) << 8) | purpose;
+}
+}  // namespace
+
+Client::Client(smartio::Service& service, smartio::NodeId node, smartio::DeviceId device,
+               Config cfg)
+    : service_(service),
+      node_(node),
+      device_id_(device),
+      cfg_(cfg),
+      rng_(cfg.seed ^ (0x9e37ull * node)),
+      iommu_(cfg.iommu) {}
+
+Client::~Client() {
+  *stop_ = true;
+  if (poller_kick_) poller_kick_->set();  // let an idle poller observe the stop and exit
+}
+
+sim::Engine& Client::engine() { return service_.cluster().engine(); }
+pcie::Fabric& Client::fabric() { return service_.cluster().fabric(); }
+
+Status Client::copy_dram(std::uint64_t dst, std::uint64_t src, std::uint64_t len) {
+  mem::PhysMem& dram = fabric().host_dram(node_);
+  Bytes tmp(len);
+  NVS_RETURN_IF_ERROR(dram.read(src, tmp));
+  return dram.write(dst, tmp);
+}
+
+sim::Future<Result<std::unique_ptr<Client>>> Client::attach(smartio::Service& service,
+                                                            smartio::NodeId node,
+                                                            smartio::DeviceId device,
+                                                            Config cfg) {
+  sim::Promise<Result<std::unique_ptr<Client>>> promise(service.cluster().engine());
+  auto self = std::unique_ptr<Client>(new Client(service, node, device, cfg));
+  init_task(std::move(self), promise);
+  return promise.future();
+}
+
+sim::Task Client::init_task(std::unique_ptr<Client> self,
+                            sim::Promise<Result<std::unique_ptr<Client>>> promise) {
+  Client& c = *self;
+  sim::Engine& engine = c.engine();
+  pcie::Fabric& fabric = c.fabric();
+  sisci::Cluster& cluster = c.service_.cluster();
+  const pcie::Initiator cpu = fabric.cpu(c.node_);
+
+  // Config sanity.
+  if (c.cfg_.queue_entries < 2 || c.cfg_.queue_depth == 0 ||
+      c.cfg_.queue_depth > static_cast<std::uint32_t>(c.cfg_.queue_entries - 1) ||
+      c.cfg_.slot_bytes < nvme::kPageSize || c.cfg_.slot_bytes % nvme::kPageSize != 0 ||
+      c.cfg_.slot_bytes > 32 * nvme::kPageSize) {
+    promise.set(Status(Errc::invalid_argument, "bad client configuration"));
+    co_return;
+  }
+
+  // 1. Shared device reference; the manager may still hold it exclusively
+  //    while initializing, so retry.
+  for (int attempt = 0;; ++attempt) {
+    auto ref = c.service_.acquire(c.device_id_, smartio::AcquireMode::shared);
+    if (ref) {
+      c.ref_ = std::move(*ref);
+      break;
+    }
+    if (ref.error_code() != Errc::permission_denied || attempt >= kAcquireRetryLimit) {
+      promise.set(ref.status());
+      co_return;
+    }
+    co_await sim::delay(engine, kAcquireRetryNs);
+  }
+
+  // 2. Find the manager's metadata segment (SmartIO distributes this).
+  std::pair<smartio::NodeId, sisci::SegmentId> meta_loc;
+  for (int attempt = 0;; ++attempt) {
+    auto loc = c.service_.device_metadata(c.device_id_);
+    if (loc) {
+      meta_loc = *loc;
+      break;
+    }
+    if (attempt >= kAcquireRetryLimit) {
+      promise.set(Status(Errc::unavailable, "device is not managed (no metadata segment)"));
+      co_return;
+    }
+    co_await sim::delay(engine, kAcquireRetryNs);
+  }
+  auto meta_remote = cluster.connect(meta_loc.first, meta_loc.second);
+  if (!meta_remote) {
+    promise.set(meta_remote.status());
+    co_return;
+  }
+  auto meta_map = sisci::Map::create(cluster, c.node_, *meta_remote);
+  if (!meta_map) {
+    promise.set(meta_map.status());
+    co_return;
+  }
+  c.meta_map_ = std::move(*meta_map);
+
+  // Read the header across the NTB (a real, timed remote read).
+  auto hdr = co_await fabric.read(cpu, c.meta_map_.addr(), sizeof(MetadataHeader));
+  if (!hdr) {
+    promise.set(hdr.status());
+    co_return;
+  }
+  c.header_ = load_pod<MetadataHeader>(*hdr);
+  if (c.header_.magic != kMetadataMagic || c.header_.version != kMetadataVersion) {
+    promise.set(Status(Errc::protocol_error, "bad metadata segment magic/version"));
+    co_return;
+  }
+  if (c.node_ >= c.header_.mailbox_slots) {
+    promise.set(Status(Errc::out_of_range, "no mailbox slot for this node"));
+    co_return;
+  }
+  c.mbox_addr_ = c.meta_map_.addr() + mbox_slot_offset(c.header_, c.node_);
+
+  // 3. Queue memory. CQ is polled by this CPU -> local. SQ placement is the
+  //    Figure 8 policy knob.
+  auto cq_seg = c.service_.create_segment_hinted(
+      c.node_, client_segment_id(c.cfg_.segment_namespace, c.node_, 0), c.cfg_.queue_entries * 16ull, c.device_id_,
+      smartio::AccessHint::cq());
+  if (!cq_seg) {
+    promise.set(cq_seg.status());
+    co_return;
+  }
+  c.cq_seg_ = std::move(*cq_seg);
+  if (c.cq_seg_.node() != c.node_) {
+    promise.set(Status(Errc::internal, "CQ hint did not resolve to local memory"));
+    co_return;
+  }
+
+  Result<sisci::Segment> sq_seg =
+      c.cfg_.sq_placement == SqPlacement::device_side
+          ? c.service_.create_segment_hinted(c.node_, client_segment_id(c.cfg_.segment_namespace, c.node_, 1),
+                                             c.cfg_.queue_entries * 64ull, c.device_id_,
+                                             smartio::AccessHint::sq())
+          : cluster.create_segment(c.node_, client_segment_id(c.cfg_.segment_namespace, c.node_, 1),
+                                   c.cfg_.queue_entries * 64ull);
+  if (!sq_seg) {
+    promise.set(sq_seg.status());
+    co_return;
+  }
+  c.sq_seg_ = std::move(*sq_seg);
+  // Queue memory must start zeroed: a reused physical range may hold stale
+  // completion entries whose phase bits would read as valid.
+  (void)c.cq_seg_.write(0, Bytes(c.cq_seg_.size(), std::byte{0}));
+  (void)c.sq_seg_.write(0, Bytes(c.sq_seg_.size(), std::byte{0}));
+
+  // 4. Bounce buffer + prewritten PRP lists (bounce mode), or just the PRP
+  //    list pages (IOMMU mode writes them per request).
+  const std::uint64_t bounce_bytes =
+      static_cast<std::uint64_t>(c.cfg_.queue_depth) * c.cfg_.slot_bytes;
+  if (c.cfg_.data_path == DataPath::bounce_buffer) {
+    auto bounce = cluster.create_segment(c.node_, client_segment_id(c.cfg_.segment_namespace, c.node_, 2), bounce_bytes);
+    if (!bounce) {
+      promise.set(bounce.status());
+      co_return;
+    }
+    c.bounce_seg_ = std::move(*bounce);
+  }
+  auto prp = c.service_.create_segment_hinted(
+      c.node_, client_segment_id(c.cfg_.segment_namespace, c.node_, 3),
+      static_cast<std::uint64_t>(c.cfg_.queue_depth) * nvme::kPageSize, c.device_id_,
+      smartio::AccessHint::sq());
+  if (!prp) {
+    promise.set(prp.status());
+    co_return;
+  }
+  c.prp_seg_ = std::move(*prp);
+
+  // 5. DMA windows: device-visible addresses for everything the controller
+  //    must reach. SmartIO hides whether each segment is local or remote to
+  //    the device.
+  auto sq_win = c.ref_.map_for_device(c.sq_seg_.descriptor());
+  auto cq_win = c.ref_.map_for_device(c.cq_seg_.descriptor());
+  auto prp_win = c.ref_.map_for_device(c.prp_seg_.descriptor());
+  if (!sq_win || !cq_win || !prp_win) {
+    promise.set(Status(Errc::resource_exhausted, "no NTB windows for queue segments"));
+    co_return;
+  }
+  c.sq_win_ = std::move(*sq_win);
+  c.cq_win_ = std::move(*cq_win);
+  c.prp_win_ = std::move(*prp_win);
+  if (c.cfg_.data_path == DataPath::bounce_buffer) {
+    auto bounce_win = c.ref_.map_for_device(c.bounce_seg_.descriptor());
+    if (!bounce_win) {
+      promise.set(bounce_win.status());
+      co_return;
+    }
+    c.bounce_win_ = std::move(*bounce_win);
+
+    // Prewrite one PRP list per slot: the bounce partition is constant, so
+    // the DMA descriptors are "programmed once" (Section V). Entry j of
+    // slot i covers page j+1 of the slot (page 0 rides in PRP1).
+    const std::uint32_t pages_per_slot =
+        static_cast<std::uint32_t>(c.cfg_.slot_bytes / nvme::kPageSize);
+    for (std::uint32_t slot = 0; slot < c.cfg_.queue_depth; ++slot) {
+      const std::uint64_t slot_iova =
+          c.bounce_win_.device_addr() + static_cast<std::uint64_t>(slot) * c.cfg_.slot_bytes;
+      Bytes list((pages_per_slot > 1 ? pages_per_slot - 1 : 0) * 8);
+      for (std::uint32_t j = 0; j + 1 < pages_per_slot; ++j) {
+        store_pod(list, slot_iova + static_cast<std::uint64_t>(j + 1) * nvme::kPageSize,
+                  j * 8);
+      }
+      if (!list.empty()) {
+        (void)c.prp_seg_.write(static_cast<std::uint64_t>(slot) * nvme::kPageSize, list);
+      }
+    }
+  }
+
+  // 6. Device registers: BAR window for the doorbells.
+  auto bar = c.ref_.map_bar(c.node_, 0);
+  if (!bar) {
+    promise.set(bar.status());
+    co_return;
+  }
+  c.bar_ = std::move(*bar);
+
+  // 7. Ask the manager for a queue pair over the shared-memory mailbox.
+  c.mailbox_lock_ = std::make_unique<sim::Semaphore>(engine, 1);
+  MboxSlot req;
+  req.op = static_cast<std::uint32_t>(MboxOp::create_qp);
+  req.client_node = c.node_;
+  req.sq_device_addr = c.sq_win_.device_addr();
+  req.cq_device_addr = c.cq_win_.device_addr();
+  req.sq_size = c.cfg_.queue_entries;
+  req.cq_size = c.cfg_.queue_entries;
+  auto resp = co_await c.mailbox_call(req);
+  if (!resp) {
+    promise.set(resp.status());
+    co_return;
+  }
+  if (resp->status != static_cast<std::uint32_t>(Errc::ok)) {
+    promise.set(Status(static_cast<Errc>(resp->status), "manager rejected create_qp"));
+    co_return;
+  }
+  c.qid_ = resp->qid_out;
+
+  // 8. CPU view of the SQ (an NTB window when it lives device-side).
+  auto sq_map = sisci::Map::create(cluster, c.node_, c.sq_seg_.descriptor());
+  if (!sq_map) {
+    promise.set(sq_map.status());
+    co_return;
+  }
+  c.sq_cpu_map_ = std::move(*sq_map);
+
+  nvme::QueuePair::Config qc;
+  qc.qid = c.qid_;
+  qc.sq_size = c.cfg_.queue_entries;
+  qc.cq_size = c.cfg_.queue_entries;
+  qc.sq_write_addr = c.sq_cpu_map_.addr();
+  qc.cq_poll_addr = c.cq_seg_.phys_addr();
+  qc.sq_doorbell_addr = c.bar_.addr() + nvme::sq_doorbell_offset(c.qid_);
+  qc.cq_doorbell_addr = c.bar_.addr() + nvme::cq_doorbell_offset(c.qid_);
+  qc.cpu = cpu;
+  c.qp_ = std::make_unique<nvme::QueuePair>(fabric, qc);
+
+  c.max_transfer_ = c.header_.max_transfer_bytes;
+  if (c.cfg_.data_path == DataPath::bounce_buffer) {
+    c.max_transfer_ = std::min(c.max_transfer_, c.cfg_.slot_bytes);
+  }
+  c.poller_kick_ = std::make_unique<sim::Event>(engine);
+  c.slots_ = std::make_unique<sim::Semaphore>(engine, c.cfg_.queue_depth);
+  c.free_slots_.resize(c.cfg_.queue_depth);
+  for (std::uint32_t i = 0; i < c.cfg_.queue_depth; ++i) {
+    c.free_slots_[i] = c.cfg_.queue_depth - 1 - i;
+  }
+  c.name_ = "nvsh-n" + std::to_string(c.node_) + "-q" + std::to_string(c.qid_);
+  c.attached_ = true;
+  c.poller(c.stop_);
+
+  NVS_LOG(info, "client") << c.name_ << " attached (sq "
+                          << (c.cfg_.sq_placement == SqPlacement::device_side ? "device-side"
+                                                                              : "host-side")
+                          << ", " << (c.cfg_.data_path == DataPath::bounce_buffer
+                                          ? "bounce buffer"
+                                          : "iommu")
+                          << ")";
+  promise.set(std::move(self));
+}
+
+// --- mailbox RPC ------------------------------------------------------------------
+
+sim::Future<Result<MboxSlot>> Client::mailbox_call(MboxSlot request) {
+  sim::Promise<Result<MboxSlot>> promise(engine());
+  mailbox_call_task(request, promise);
+  return promise.future();
+}
+
+sim::Task Client::mailbox_call_task(MboxSlot request, sim::Promise<Result<MboxSlot>> promise) {
+  sim::Engine& eng = engine();
+  pcie::Fabric& fab = fabric();
+  const pcie::Initiator cpu = fab.cpu(node_);
+  co_await mailbox_lock_->acquire();
+
+  request.state = static_cast<std::uint32_t>(MboxState::request);
+  request.client_node = node_;
+  Bytes buf(sizeof(MboxSlot));
+  store_pod(buf, request);
+  if (auto arr = fab.post_write(cpu, mbox_addr_, std::move(buf)); !arr) {
+    mailbox_lock_->release();
+    promise.set(arr.status());
+    co_return;
+  }
+
+  const sim::Time deadline = eng.now() + cfg_.mailbox_timeout_ns;
+  for (;;) {
+    co_await sim::delay(eng, cfg_.mailbox_poll_ns);
+    // Poll the state word with a remote read through the NTB.
+    auto state = co_await fab.read(cpu, mbox_addr_, 4);
+    if (!state) {
+      mailbox_lock_->release();
+      promise.set(state.status());
+      co_return;
+    }
+    if (load_pod<std::uint32_t>(*state) == static_cast<std::uint32_t>(MboxState::done)) break;
+    if (eng.now() >= deadline) {
+      mailbox_lock_->release();
+      promise.set(Status(Errc::timed_out, "manager did not answer mailbox request"));
+      co_return;
+    }
+  }
+  auto full = co_await fab.read(cpu, mbox_addr_, sizeof(MboxSlot));
+  if (!full) {
+    mailbox_lock_->release();
+    promise.set(full.status());
+    co_return;
+  }
+  MboxSlot response = load_pod<MboxSlot>(*full);
+
+  // Hand the slot back.
+  Bytes free_word(4);
+  store_pod(free_word, static_cast<std::uint32_t>(MboxState::free));
+  (void)fab.post_write(cpu, mbox_addr_, std::move(free_word));
+  mailbox_lock_->release();
+  promise.set(response);
+}
+
+// --- data path -----------------------------------------------------------------------
+
+sim::Future<block::Completion> Client::submit(const block::Request& request) {
+  sim::Promise<block::Completion> promise(engine());
+  io_task(request, promise);
+  return promise.future();
+}
+
+sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion> promise) {
+  auto stop = stop_;
+  sim::Engine& eng = engine();
+  const sim::Time start = eng.now();
+  auto finish = [&](Status st) {
+    if (!st) ++stats_.errors;
+    promise.set(block::Completion{std::move(st), eng.now() - start});
+  };
+
+  if (Status st = block::validate_request(*this, request); !st) {
+    finish(st);
+    co_return;
+  }
+  co_await slots_->acquire();
+  if (*stop) {
+    slots_->release();
+    finish(Status(Errc::aborted, "client detached"));
+    co_return;
+  }
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  auto release_slot = [&]() {
+    free_slots_.push_back(slot);
+    slots_->release();
+  };
+
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(request.nblocks) * header_.block_size;
+  const bool is_write = request.op == block::Op::write;
+
+  // Driver submission-path software cost.
+  co_await sim::delay(eng, cfg_.costs.jittered(cfg_.costs.submit_ns, rng_));
+  if (*stop) {
+    release_slot();
+    finish(Status(Errc::aborted, "client detached"));
+    co_return;
+  }
+
+  std::uint64_t prp1 = 0;
+  std::uint64_t prp2 = 0;
+  sisci::NtbMapping dynamic_map;  // IOMMU mode: torn down after completion
+  bool iommu_mapped = false;
+  const std::uint64_t slot_base =
+      static_cast<std::uint64_t>(slot) * cfg_.slot_bytes;  // offset within bounce segment
+
+  if (request.op == block::Op::flush || request.op == block::Op::write_zeroes) {
+    // no data pointer
+  } else if (request.op == block::Op::discard) {
+    // The range descriptor is the command's payload. In bounce mode it
+    // rides in the request's bounce slot (the prewritten PRP lists must
+    // stay intact); in IOMMU mode it uses the slot's descriptor page,
+    // which is rewritten per request anyway.
+    nvme::DsmRange range;
+    range.nlb = request.nblocks;
+    range.slba = request.lba;
+    if (cfg_.data_path == DataPath::bounce_buffer) {
+      (void)fabric().host_dram(node_).write(bounce_seg_.phys_addr() + slot_base,
+                                            as_bytes_of(range));
+      prp1 = bounce_win_.device_addr() + slot_base;
+    } else {
+      (void)prp_seg_.write(static_cast<std::uint64_t>(slot) * nvme::kPageSize,
+                           as_bytes_of(range));
+      prp1 = prp_win_.device_addr() + static_cast<std::uint64_t>(slot) * nvme::kPageSize;
+    }
+  } else if (cfg_.data_path == DataPath::bounce_buffer) {
+    const std::uint64_t slot_phys = bounce_seg_.phys_addr() + slot_base;
+    const std::uint64_t slot_iova = bounce_win_.device_addr() + slot_base;
+    if (is_write) {
+      // The extra copy on the submission path (Section V).
+      if (Status st = copy_dram(slot_phys, request.buffer_addr, bytes); !st) {
+        release_slot();
+        finish(st);
+        co_return;
+      }
+      ++stats_.bounce_copies;
+      stats_.bounce_copy_bytes += bytes;
+      co_await sim::delay(eng, cfg_.costs.memcpy_ns(bytes));
+    }
+    prp1 = slot_iova;
+    if (bytes <= nvme::kPageSize) {
+      prp2 = 0;
+    } else if (bytes <= 2 * nvme::kPageSize) {
+      prp2 = slot_iova + nvme::kPageSize;
+    } else {
+      prp2 = prp_win_.device_addr() + static_cast<std::uint64_t>(slot) * nvme::kPageSize;
+    }
+  } else {
+    // IOMMU mode: map the request buffer dynamically; no copy.
+    const std::uint64_t map_base = align_down(request.buffer_addr, nvme::kPageSize);
+    const std::uint64_t map_span =
+        align_up(request.buffer_addr + bytes, nvme::kPageSize) - map_base;
+    auto cost = iommu_.map(map_base, map_base, map_span);
+    if (!cost) {
+      release_slot();
+      finish(cost.status());
+      co_return;
+    }
+    ++stats_.iommu_maps;
+    co_await sim::delay(eng, *cost);
+
+    std::uint64_t mapped_base = map_base;  // device == client host: direct
+    auto dev = ref_.info();
+    if (dev && dev->host != node_) {
+      auto ntb = fabric().host_ntb(dev->host);
+      if (!ntb) {
+        (void)iommu_.unmap(map_base);
+        release_slot();
+        finish(ntb.status());
+        co_return;
+      }
+      auto mapping = sisci::NtbMapping::program(fabric(), *ntb, node_, map_base, map_span);
+      if (!mapping) {
+        (void)iommu_.unmap(map_base);
+        release_slot();
+        finish(mapping.status());
+        co_return;
+      }
+      dynamic_map = std::move(*mapping);
+      mapped_base = dynamic_map.local_addr();
+    }
+    iommu_mapped = true;
+    prp1 = mapped_base + (request.buffer_addr - map_base);
+    const std::uint64_t pages = map_span / nvme::kPageSize;
+    if (bytes + (request.buffer_addr - map_base) <= nvme::kPageSize) {
+      prp2 = 0;
+    } else if (pages <= 2) {
+      prp2 = mapped_base + nvme::kPageSize;
+    } else {
+      // Write this request's PRP list into the slot's descriptor page.
+      Bytes list((pages - 1) * 8);
+      for (std::uint64_t j = 0; j + 1 < pages; ++j) {
+        store_pod(list, mapped_base + (j + 1) * nvme::kPageSize, j * 8);
+      }
+      (void)prp_seg_.write(static_cast<std::uint64_t>(slot) * nvme::kPageSize, list);
+      prp2 = prp_win_.device_addr() + static_cast<std::uint64_t>(slot) * nvme::kPageSize;
+    }
+  }
+
+  // Build and post the SQE (a posted write into SQ memory: local store for
+  // host-side placement, a store through the NTB for device-side).
+  SubmissionEntry sqe;
+  switch (request.op) {
+    case block::Op::flush:
+      sqe = nvme::make_flush(0, 1);
+      ++stats_.flushes;
+      break;
+    case block::Op::read:
+      sqe = nvme::make_io_rw(false, 0, 1, request.lba,
+                             static_cast<std::uint16_t>(request.nblocks), prp1, prp2);
+      ++stats_.reads;
+      break;
+    case block::Op::write:
+      sqe = nvme::make_io_rw(true, 0, 1, request.lba,
+                             static_cast<std::uint16_t>(request.nblocks), prp1, prp2);
+      ++stats_.writes;
+      break;
+    case block::Op::write_zeroes:
+      sqe = nvme::make_write_zeroes(0, 1, request.lba,
+                                    static_cast<std::uint16_t>(request.nblocks));
+      ++stats_.writes;
+      break;
+    case block::Op::discard:
+      sqe = nvme::make_dsm_deallocate(0, 1, 1, prp1);
+      ++stats_.writes;
+      break;
+  }
+  auto cid = qp_->push(sqe);
+  if (!cid) {
+    if (iommu_mapped) (void)iommu_.unmap(align_down(request.buffer_addr, nvme::kPageSize));
+    release_slot();
+    finish(cid.status());
+    co_return;
+  }
+  auto [it, inserted] = pending_.emplace(*cid, sim::Promise<CompletionEntry>(eng));
+  (void)inserted;
+  auto cqe_future = it->second.future();
+  poller_kick_->set();  // completions are coming: wake the idle poller
+
+  co_await sim::delay(eng, cfg_.costs.doorbell_ns);
+  (void)qp_->ring_sq_doorbell();
+
+  // Wait for the poller to deliver our completion.
+  CompletionEntry cqe = co_await cqe_future;
+  if (*stop) {
+    release_slot();
+    finish(Status(Errc::aborted, "client detached"));
+    co_return;
+  }
+
+  // Completion-path software cost.
+  co_await sim::delay(eng, cfg_.costs.jittered(cfg_.costs.completion_ns, rng_));
+
+  Status status = Status::ok();
+  if (!cqe.ok()) {
+    status = Status(Errc::io_error,
+                    std::string("NVMe status: ") + nvme::status_name(cqe.status()));
+  } else if (request.op == block::Op::read && cfg_.data_path == DataPath::bounce_buffer) {
+    // The extra copy on the completion path (Section V).
+    const std::uint64_t slot_phys = bounce_seg_.phys_addr() + slot_base;
+    status = copy_dram(request.buffer_addr, slot_phys, bytes);
+    ++stats_.bounce_copies;
+    stats_.bounce_copy_bytes += bytes;
+    co_await sim::delay(eng, cfg_.costs.memcpy_ns(bytes));
+  }
+
+  if (iommu_mapped) {
+    auto cost = iommu_.unmap(align_down(request.buffer_addr, nvme::kPageSize));
+    if (cost) co_await sim::delay(eng, *cost);
+    dynamic_map.release();
+  }
+  release_slot();
+  finish(std::move(status));
+}
+
+sim::Task Client::poller(std::shared_ptr<bool> stop) {
+  sim::Engine& eng = engine();
+  for (;;) {
+    if (*stop) co_return;
+    if (pending_.empty()) {
+      // Nothing in flight: a real polling driver would spin, but the
+      // latency effect is identical if we sleep until the next submission
+      // (the poll cadence only matters while a completion is pending).
+      poller_kick_->reset();
+      co_await poller_kick_->wait();
+      if (*stop) co_return;
+      continue;
+    }
+    bool delivered = false;
+    while (auto cqe = qp_->poll()) {
+      delivered = true;
+      auto it = pending_.find(cqe->cid);
+      if (it != pending_.end()) {
+        auto promise = std::move(it->second);
+        pending_.erase(it);
+        promise.set(*cqe);
+      } else {
+        NVS_LOG(warn, "client") << name_ << " completion for unknown cid " << cqe->cid;
+      }
+    }
+    if (delivered) (void)qp_->ring_cq_doorbell();
+    ++stats_.poll_rounds;
+    co_await sim::delay(eng, cfg_.costs.poll_interval_ns);
+    if (*stop) co_return;
+  }
+}
+
+// --- detach ---------------------------------------------------------------------------
+
+sim::Future<Status> Client::detach() {
+  sim::Promise<Status> promise(engine());
+  detach_task(promise);
+  return promise.future();
+}
+
+sim::Task Client::detach_task(sim::Promise<Status> promise) {
+  if (!attached_) {
+    promise.set(Status(Errc::unavailable, "not attached"));
+    co_return;
+  }
+  attached_ = false;
+  MboxSlot req;
+  req.op = static_cast<std::uint32_t>(MboxOp::delete_qp);
+  req.qid_in = qid_;
+  auto resp = co_await mailbox_call(req);
+  *stop_ = true;  // stop poller after the RPC (it uses the fabric, not the QP)
+  if (!resp) {
+    promise.set(resp.status());
+    co_return;
+  }
+  if (resp->status != static_cast<std::uint32_t>(Errc::ok)) {
+    promise.set(Status(static_cast<Errc>(resp->status), "manager rejected delete_qp"));
+    co_return;
+  }
+  // The queue pair is gone; release DMA windows (device-side NTB entries)
+  // and then the segments so another client can reuse the resources.
+  sq_win_ = smartio::DmaWindow{};
+  cq_win_ = smartio::DmaWindow{};
+  bounce_win_ = smartio::DmaWindow{};
+  prp_win_ = smartio::DmaWindow{};
+  sq_cpu_map_ = sisci::Map{};
+  sq_seg_.release();
+  cq_seg_.release();
+  bounce_seg_.release();
+  prp_seg_.release();
+  promise.set(Status::ok());
+}
+
+}  // namespace nvmeshare::driver

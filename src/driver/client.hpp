@@ -1,0 +1,163 @@
+// Client half of the distributed NVMe driver (Section V).
+//
+// A client attaches to a managed device from any node in the cluster:
+//  1. acquires a shared device reference through SmartIO;
+//  2. finds and maps the manager's metadata segment, reading the header
+//     across the NTB;
+//  3. allocates its queue memory — the CQ always local (it is polled), the
+//     SQ either device-side (default, the Figure 8 placement: the CPU
+//     writes entries *into device-side memory* through the NTB and the
+//     controller fetches them locally) or host-side (ablation);
+//  4. resolves device-visible addresses for the queues via SmartIO DMA
+//     windows and asks the manager, over the shared-memory mailbox, to
+//     create the queue pair with privileged admin commands;
+//  5. registers itself as a block device and services requests using a
+//     statically partitioned bounce buffer (default) or dynamic per-request
+//     IOMMU-style mappings (the paper's future-work extension).
+//
+// After setup the client operates the controller completely independently
+// of the manager and of other clients — no locks, no shared state, just its
+// own SQ/CQ rings and doorbells.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "block/block.hpp"
+#include "common/status.hpp"
+#include "driver/cost_model.hpp"
+#include "driver/mailbox.hpp"
+#include "mem/iommu.hpp"
+#include "nvme/queue.hpp"
+#include "smartio/smartio.hpp"
+
+namespace nvmeshare::driver {
+
+class Client final : public block::BlockDevice {
+ public:
+  /// Where the submission queue memory lives (Figure 8 ablation).
+  enum class SqPlacement {
+    device_side,  ///< paper default: SQ in the device host's memory
+    host_side,    ///< SQ in the client's memory; controller fetches remotely
+  };
+  /// How request data becomes device-reachable.
+  enum class DataPath {
+    bounce_buffer,  ///< paper default: static partitioned bounce buffer
+    iommu,          ///< future-work: dynamic per-request mapping, no copy
+  };
+
+  struct Config {
+    std::uint16_t queue_entries = 64;  ///< SQ/CQ entries
+    std::uint32_t queue_depth = 32;    ///< concurrent requests (bounce slots)
+    std::uint32_t slot_bytes = 128 * KiB;  ///< bounce partition per request
+    SqPlacement sq_placement = SqPlacement::device_side;
+    DataPath data_path = DataPath::bounce_buffer;
+    CostModel costs = CostModel::distributed_driver();
+    sim::Duration mailbox_poll_ns = 3000;
+    sim::Duration mailbox_timeout_ns = 100_ms;
+    mem::Iommu::Config iommu = {};
+    /// Disambiguates this client's segment ids when one node attaches to
+    /// several devices (one client per device needs its own namespace).
+    std::uint32_t segment_namespace = 0;
+    std::uint64_t seed = 0xc11e;
+  };
+
+  /// Attach to a managed device from `node`; resolves once the queue pair
+  /// exists and the block device is usable.
+  static sim::Future<Result<std::unique_ptr<Client>>> attach(smartio::Service& service,
+                                                             smartio::NodeId node,
+                                                             smartio::DeviceId device,
+                                                             Config cfg);
+
+  ~Client() override;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // --- block::BlockDevice ------------------------------------------------------
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] std::uint32_t block_size() const override { return header_.block_size; }
+  [[nodiscard]] std::uint64_t capacity_blocks() const override {
+    return header_.capacity_blocks;
+  }
+  [[nodiscard]] std::uint32_t max_queue_depth() const override { return cfg_.queue_depth; }
+  [[nodiscard]] std::uint64_t max_transfer_bytes() const override { return max_transfer_; }
+  sim::Future<block::Completion> submit(const block::Request& request) override;
+
+  /// Release the queue pair via the manager and stop the poller. The
+  /// future resolves when the manager confirmed deletion.
+  sim::Future<Status> detach();
+
+  [[nodiscard]] std::uint16_t qid() const noexcept { return qid_; }
+  [[nodiscard]] smartio::NodeId node() const noexcept { return node_; }
+
+  struct Stats {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t bounce_copies = 0;
+    std::uint64_t bounce_copy_bytes = 0;
+    std::uint64_t iommu_maps = 0;
+    std::uint64_t poll_rounds = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  Client(smartio::Service& service, smartio::NodeId node, smartio::DeviceId device, Config cfg);
+
+  static sim::Task init_task(std::unique_ptr<Client> self,
+                             sim::Promise<Result<std::unique_ptr<Client>>> promise);
+  /// Post a mailbox request and await the manager's response.
+  sim::Future<Result<MboxSlot>> mailbox_call(MboxSlot request);
+  sim::Task mailbox_call_task(MboxSlot request, sim::Promise<Result<MboxSlot>> promise);
+  sim::Task io_task(block::Request request, sim::Promise<block::Completion> promise);
+  sim::Task poller(std::shared_ptr<bool> stop);
+  sim::Task detach_task(sim::Promise<Status> promise);
+
+  [[nodiscard]] sim::Engine& engine();
+  [[nodiscard]] pcie::Fabric& fabric();
+  /// Zero-cost data copy between a DRAM buffer and a bounce slot (the time
+  /// is charged separately from the cost model).
+  Status copy_dram(std::uint64_t dst, std::uint64_t src, std::uint64_t len);
+
+  smartio::Service& service_;
+  smartio::NodeId node_;
+  smartio::DeviceId device_id_;
+  Config cfg_;
+  std::string name_;
+  Rng rng_;
+
+  smartio::DeviceRef ref_;
+  smartio::BarWindow bar_;
+  sisci::Map meta_map_;
+  MetadataHeader header_;
+  std::uint64_t mbox_addr_ = 0;  ///< this node's slot, client-visible address
+
+  sisci::Segment sq_seg_;
+  sisci::Segment cq_seg_;
+  sisci::Segment bounce_seg_;
+  sisci::Segment prp_seg_;
+  smartio::DmaWindow sq_win_;
+  smartio::DmaWindow cq_win_;
+  smartio::DmaWindow bounce_win_;
+  smartio::DmaWindow prp_win_;
+  sisci::Map sq_cpu_map_;
+
+  std::unique_ptr<nvme::QueuePair> qp_;
+  std::uint16_t qid_ = 0;
+  std::uint32_t max_transfer_ = 0;
+
+  std::unique_ptr<sim::Semaphore> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::map<std::uint16_t, sim::Promise<nvme::CompletionEntry>> pending_;
+  std::unique_ptr<sim::Event> poller_kick_;  ///< wakes the idle poller on submit
+  std::unique_ptr<sim::Semaphore> mailbox_lock_;
+  mem::Iommu iommu_;
+  std::shared_ptr<bool> stop_ = std::make_shared<bool>(false);
+  bool attached_ = false;
+  Stats stats_;
+};
+
+}  // namespace nvmeshare::driver

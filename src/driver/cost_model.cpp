@@ -1,0 +1,62 @@
+#include "driver/cost_model.hpp"
+
+namespace nvmeshare::driver {
+
+CostModel CostModel::stock_linux() {
+  CostModel m;
+  m.submit_ns = 1100;
+  m.completion_ns = 800;
+  m.doorbell_ns = 80;
+  m.poll_interval_ns = 0;  // interrupt driven
+  m.irq_delivery_ns = 1900;
+  m.memcpy_bytes_per_ns = 16.0;  // not used: no bounce buffer
+  m.jitter_sigma = 0.05;
+  return m;
+}
+
+CostModel CostModel::distributed_driver() {
+  CostModel m;
+  // "Compared to the stock Linux driver, our driver implementation is
+  // naive": a longer submission path, polling instead of interrupts, and
+  // an extra memcpy through the bounce buffer.
+  m.submit_ns = 2600;
+  m.completion_ns = 1900;
+  m.doorbell_ns = 80;
+  m.poll_interval_ns = 150;
+  m.irq_delivery_ns = 0;  // not supported by the SISCI extension (Section V)
+  m.memcpy_bytes_per_ns = 12.0;
+  m.jitter_sigma = 0.06;
+  return m;
+}
+
+CostModel CostModel::spdk() {
+  CostModel m;
+  m.submit_ns = 600;
+  m.completion_ns = 350;
+  m.doorbell_ns = 60;
+  m.poll_interval_ns = 100;
+  m.jitter_sigma = 0.03;
+  return m;
+}
+
+CostModel CostModel::nvmeof_initiator() {
+  CostModel m;
+  m.submit_ns = 1300;       // request -> command capsule posted
+  m.completion_ns = 1100;   // completion capsule -> request done
+  m.doorbell_ns = 80;       // RDMA SQ doorbell
+  m.poll_interval_ns = 0;   // RDMA completion interrupts
+  m.irq_delivery_ns = 2400;
+  m.jitter_sigma = 0.05;
+  return m;
+}
+
+sim::Duration CostModel::jittered(sim::Duration base, Rng& rng) const {
+  if (base <= 0) return 0;
+  return static_cast<sim::Duration>(rng.lognormal(static_cast<double>(base), jitter_sigma));
+}
+
+sim::Duration CostModel::memcpy_ns(std::uint64_t bytes) const {
+  return static_cast<sim::Duration>(static_cast<double>(bytes) / memcpy_bytes_per_ns);
+}
+
+}  // namespace nvmeshare::driver

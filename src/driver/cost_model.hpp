@@ -1,0 +1,50 @@
+// Software-path cost models.
+//
+// The fabric model times every PCIe transaction, but the paper's Figure 10
+// differences also come from *software*: the stock Linux driver has a lean,
+// mature submission path and interrupt-driven completion; the paper's
+// driver is "naive" — a heavier path, polling, and a bounce-buffer memcpy;
+// SPDK's target polls with very little per-command work. These presets
+// encode those differences as explicit, documented constants.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace nvmeshare::driver {
+
+struct CostModel {
+  /// Request intake -> SQE written (block layer + driver submission path).
+  sim::Duration submit_ns = 1000;
+  /// CQE observed -> request completed back to the block layer.
+  sim::Duration completion_ns = 800;
+  /// CPU cost of the doorbell store + write fence.
+  sim::Duration doorbell_ns = 80;
+  /// Completion-polling cadence; 0 means interrupt-driven completion.
+  sim::Duration poll_interval_ns = 150;
+  /// Interrupt path cost (vector delivery, wakeup, handler entry); only
+  /// used when poll_interval_ns == 0.
+  sim::Duration irq_delivery_ns = 1800;
+  /// Bounce-buffer copy throughput (bytes per nanosecond).
+  double memcpy_bytes_per_ns = 12.0;
+  /// Lognormal sigma applied to the software costs (OS noise).
+  double jitter_sigma = 0.05;
+
+  /// Mature, interrupt-driven kernel driver (the paper's "stock Linux
+  /// driver" baseline).
+  static CostModel stock_linux();
+  /// The paper's proof-of-concept distributed driver: heavier software
+  /// path, polling completion, bounce-buffer copies.
+  static CostModel distributed_driver();
+  /// SPDK-style userspace polling driver (NVMe-oF target side).
+  static CostModel spdk();
+  /// Kernel NVMe-oF initiator (RDMA transport).
+  static CostModel nvmeof_initiator();
+
+  /// Sample a jittered software cost around `base`.
+  [[nodiscard]] sim::Duration jittered(sim::Duration base, Rng& rng) const;
+  /// Duration of copying `bytes` through the CPU (bounce buffer).
+  [[nodiscard]] sim::Duration memcpy_ns(std::uint64_t bytes) const;
+};
+
+}  // namespace nvmeshare::driver

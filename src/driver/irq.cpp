@@ -1,0 +1,51 @@
+#include "driver/irq.hpp"
+
+#include "pcie/fabric.hpp"
+
+namespace nvmeshare::driver {
+
+Result<Bytes> IrqController::bar_read(int bar, std::uint64_t offset, std::size_t len) {
+  if (bar != 0 || offset + len > bar_size(0)) {
+    return Status(Errc::out_of_range, "irqctl read OOB");
+  }
+  return Bytes(len, std::byte{0});
+}
+
+Status IrqController::bar_write(int bar, std::uint64_t offset, ConstByteSpan data) {
+  if (bar != 0 || offset + data.size() > bar_size(0)) {
+    return Status(Errc::out_of_range, "irqctl write OOB");
+  }
+  if (data.size() != 4 || offset % 4 != 0) {
+    return Status(Errc::invalid_argument, "MSI writes are aligned 4-byte stores");
+  }
+  const std::uint32_t vector = static_cast<std::uint32_t>(offset / 4);
+  if (handlers_[vector]) {
+    ++delivered_;
+    handlers_[vector](load_pod<std::uint32_t>(data));
+  }
+  return Status::ok();
+}
+
+Result<std::uint32_t> IrqController::allocate_vector(Handler handler) {
+  for (std::uint32_t v = 0; v < kVectors; ++v) {
+    if (!handlers_[v]) {
+      handlers_[v] = std::move(handler);
+      return v;
+    }
+  }
+  return Status(Errc::resource_exhausted, "no free interrupt vectors");
+}
+
+void IrqController::release_vector(std::uint32_t vector) {
+  if (vector < kVectors) handlers_[vector] = nullptr;
+}
+
+Result<std::uint64_t> IrqController::vector_address(std::uint32_t vector) const {
+  if (vector >= kVectors) return Status(Errc::invalid_argument, "bad vector");
+  if (fabric() == nullptr) return Status(Errc::unavailable, "irqctl not attached");
+  auto base = fabric()->bar_address(endpoint_id(), 0);
+  if (!base) return base.status();
+  return *base + vector * 4;
+}
+
+}  // namespace nvmeshare::driver

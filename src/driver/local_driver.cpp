@@ -1,0 +1,288 @@
+#include "driver/local_driver.hpp"
+
+#include "common/log.hpp"
+
+namespace nvmeshare::driver {
+
+using nvme::CompletionEntry;
+using nvme::SubmissionEntry;
+
+LocalDriver::LocalDriver(sisci::Cluster& cluster, Config cfg)
+    : cluster_(cluster), cfg_(cfg), rng_(cfg.seed) {}
+
+LocalDriver::~LocalDriver() {
+  *stop_ = true;
+  if (irq_event_) irq_event_->set();  // unblock the completion loop
+  if (irq_ != nullptr && irq_vector_allocated_) irq_->release_vector(irq_vector_);
+  if (sq_addr_ != 0 && ctrl_) (void)cluster_.free_dram(ctrl_->host(), sq_addr_);
+  if (cq_addr_ != 0 && ctrl_) (void)cluster_.free_dram(ctrl_->host(), cq_addr_);
+  if (prp_pages_addr_ != 0 && ctrl_) (void)cluster_.free_dram(ctrl_->host(), prp_pages_addr_);
+}
+
+sim::Future<Result<std::unique_ptr<LocalDriver>>> LocalDriver::start(sisci::Cluster& cluster,
+                                                                     pcie::EndpointId endpoint,
+                                                                     IrqController* irq,
+                                                                     Config cfg) {
+  sim::Promise<Result<std::unique_ptr<LocalDriver>>> promise(cluster.engine());
+  auto self = std::unique_ptr<LocalDriver>(new LocalDriver(cluster, cfg));
+  init_task(std::move(self), endpoint, irq, promise);
+  return promise.future();
+}
+
+sim::Task LocalDriver::init_task(std::unique_ptr<LocalDriver> self, pcie::EndpointId endpoint,
+                                 IrqController* irq,
+                                 sim::Promise<Result<std::unique_ptr<LocalDriver>>> promise) {
+  LocalDriver& d = *self;
+  sim::Engine& engine = d.cluster_.engine();
+
+  if (d.cfg_.use_interrupts && irq == nullptr) {
+    promise.set(Status(Errc::invalid_argument, "interrupt mode needs an IrqController"));
+    co_return;
+  }
+  if (d.cfg_.queue_depth == 0 ||
+      d.cfg_.queue_depth > static_cast<std::uint32_t>(d.cfg_.queue_entries - 1)) {
+    promise.set(Status(Errc::invalid_argument, "queue depth exceeds queue size"));
+    co_return;
+  }
+
+  BareController::Config bc;
+  bc.costs = d.cfg_.costs;
+  auto ctrl = co_await BareController::init(d.cluster_, endpoint, bc);
+  if (!ctrl) {
+    promise.set(ctrl.status());
+    co_return;
+  }
+  d.ctrl_ = std::move(*ctrl);
+  const pcie::HostId host = d.ctrl_->host();
+  pcie::Fabric& fabric = d.cluster_.fabric();
+
+  auto sq = d.cluster_.alloc_dram(host, d.cfg_.queue_entries * 64ull, 4096);
+  auto cq = d.cluster_.alloc_dram(host, d.cfg_.queue_entries * 16ull, 4096);
+  auto prp = d.cluster_.alloc_dram(
+      host, static_cast<std::uint64_t>(d.cfg_.queue_depth) * nvme::kPageSize, 4096);
+  if (!sq || !cq || !prp) {
+    promise.set(Status(Errc::resource_exhausted, "no DRAM for IO queues"));
+    co_return;
+  }
+  d.sq_addr_ = *sq;
+  d.cq_addr_ = *cq;
+  d.prp_pages_addr_ = *prp;
+  mem::PhysMem& dram = fabric.host_dram(host);
+  (void)dram.write(d.sq_addr_, Bytes(d.cfg_.queue_entries * 64ull, std::byte{0}));
+  (void)dram.write(d.cq_addr_, Bytes(d.cfg_.queue_entries * 16ull, std::byte{0}));
+
+  d.irq_event_ = std::make_unique<sim::Event>(engine);
+  std::optional<std::uint16_t> vector;
+  if (d.cfg_.use_interrupts) {
+    d.irq_ = irq;
+    sim::Event* event = d.irq_event_.get();
+    auto stop = d.stop_;
+    auto v = irq->allocate_vector([event, stop](std::uint32_t) {
+      if (!*stop) event->set();
+    });
+    if (!v) {
+      promise.set(v.status());
+      co_return;
+    }
+    d.irq_vector_ = *v;
+    d.irq_vector_allocated_ = true;
+    vector = static_cast<std::uint16_t>(*v);
+    auto addr = irq->vector_address(*v);
+    if (!addr) {
+      promise.set(addr.status());
+      co_return;
+    }
+    if (Status st = d.ctrl_->program_msix(*vector, *addr, *v); !st) {
+      promise.set(st);
+      co_return;
+    }
+  }
+
+  auto qid = co_await d.ctrl_->create_queue_pair(d.sq_addr_, d.cfg_.queue_entries, d.cq_addr_,
+                                                 d.cfg_.queue_entries, vector);
+  if (!qid) {
+    promise.set(qid.status());
+    co_return;
+  }
+  d.qid_ = *qid;
+
+  nvme::QueuePair::Config qc;
+  qc.qid = d.qid_;
+  qc.sq_size = d.cfg_.queue_entries;
+  qc.cq_size = d.cfg_.queue_entries;
+  qc.sq_write_addr = d.sq_addr_;
+  qc.cq_poll_addr = d.cq_addr_;
+  qc.sq_doorbell_addr = d.ctrl_->sq_doorbell(d.qid_);
+  qc.cq_doorbell_addr = d.ctrl_->cq_doorbell(d.qid_);
+  qc.cpu = fabric.cpu(host);
+  d.qp_ = std::make_unique<nvme::QueuePair>(fabric, qc);
+
+  d.slots_ = std::make_unique<sim::Semaphore>(engine, d.cfg_.queue_depth);
+  d.free_slots_.resize(d.cfg_.queue_depth);
+  for (std::uint32_t i = 0; i < d.cfg_.queue_depth; ++i) {
+    d.free_slots_[i] = d.cfg_.queue_depth - 1 - i;
+  }
+  d.completion_loop(d.stop_);
+  NVS_LOG(info, "local") << "local driver up, qid " << d.qid_
+                         << (d.cfg_.use_interrupts ? " (MSI-X)" : " (polled)");
+  promise.set(std::move(self));
+}
+
+sim::Future<block::Completion> LocalDriver::submit(const block::Request& request) {
+  sim::Promise<block::Completion> promise(cluster_.engine());
+  io_task(request, promise);
+  return promise.future();
+}
+
+sim::Task LocalDriver::io_task(block::Request request,
+                               sim::Promise<block::Completion> promise) {
+  auto stop = stop_;
+  sim::Engine& eng = cluster_.engine();
+  const sim::Time start = eng.now();
+  auto finish = [&](Status st) {
+    if (!st) ++stats_.errors;
+    promise.set(block::Completion{std::move(st), eng.now() - start});
+  };
+
+  if (Status st = block::validate_request(*this, request); !st) {
+    finish(st);
+    co_return;
+  }
+  co_await slots_->acquire();
+  if (*stop) {
+    slots_->release();
+    finish(Status(Errc::aborted, "driver stopped"));
+    co_return;
+  }
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+
+  co_await sim::delay(eng, cfg_.costs.jittered(cfg_.costs.submit_ns, rng_));
+
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(request.nblocks) * ctrl_->block_size();
+
+  // Direct DMA: PRPs point straight at the request buffer (local memory, no
+  // bounce). PRP lists are written per request into this slot's list page.
+  std::uint64_t prp1 = 0;
+  std::uint64_t prp2 = 0;
+  if (request.op == block::Op::discard) {
+    nvme::DsmRange range;
+    range.nlb = request.nblocks;
+    range.slba = request.lba;
+    const std::uint64_t page =
+        prp_pages_addr_ + static_cast<std::uint64_t>(slot) * nvme::kPageSize;
+    (void)cluster_.fabric().host_dram(ctrl_->host()).write(page, as_bytes_of(range));
+    prp1 = page;
+  } else if (request.op == block::Op::read || request.op == block::Op::write) {
+    const std::uint64_t base = align_down(request.buffer_addr, nvme::kPageSize);
+    const std::uint64_t span = align_up(request.buffer_addr + bytes, nvme::kPageSize) - base;
+    const std::uint64_t pages = span / nvme::kPageSize;
+    prp1 = request.buffer_addr;
+    if (bytes + (request.buffer_addr - base) <= nvme::kPageSize) {
+      prp2 = 0;
+    } else if (pages <= 2) {
+      prp2 = base + nvme::kPageSize;
+    } else {
+      Bytes list((pages - 1) * 8);
+      for (std::uint64_t j = 0; j + 1 < pages; ++j) {
+        store_pod(list, base + (j + 1) * nvme::kPageSize, j * 8);
+      }
+      const std::uint64_t list_addr =
+          prp_pages_addr_ + static_cast<std::uint64_t>(slot) * nvme::kPageSize;
+      (void)cluster_.fabric().host_dram(ctrl_->host()).write(list_addr, list);
+      prp2 = list_addr;
+    }
+  }
+
+  SubmissionEntry sqe;
+  switch (request.op) {
+    case block::Op::flush:
+      sqe = nvme::make_flush(0, 1);
+      ++stats_.flushes;
+      break;
+    case block::Op::read:
+      sqe = nvme::make_io_rw(false, 0, 1, request.lba,
+                             static_cast<std::uint16_t>(request.nblocks), prp1, prp2);
+      ++stats_.reads;
+      break;
+    case block::Op::write:
+      sqe = nvme::make_io_rw(true, 0, 1, request.lba,
+                             static_cast<std::uint16_t>(request.nblocks), prp1, prp2);
+      ++stats_.writes;
+      break;
+    case block::Op::write_zeroes:
+      sqe = nvme::make_write_zeroes(0, 1, request.lba,
+                                    static_cast<std::uint16_t>(request.nblocks));
+      ++stats_.writes;
+      break;
+    case block::Op::discard:
+      sqe = nvme::make_dsm_deallocate(0, 1, 1, prp1);
+      ++stats_.writes;
+      break;
+  }
+  auto cid = qp_->push(sqe);
+  if (!cid) {
+    free_slots_.push_back(slot);
+    slots_->release();
+    finish(cid.status());
+    co_return;
+  }
+  auto [it, inserted] = pending_.emplace(*cid, sim::Promise<CompletionEntry>(eng));
+  (void)inserted;
+  auto cqe_future = it->second.future();
+
+  co_await sim::delay(eng, cfg_.costs.doorbell_ns);
+  (void)qp_->ring_sq_doorbell();
+
+  CompletionEntry cqe = co_await cqe_future;
+  co_await sim::delay(eng, cfg_.costs.jittered(cfg_.costs.completion_ns, rng_));
+
+  Status status = Status::ok();
+  if (!cqe.ok()) {
+    status = Status(Errc::io_error,
+                    std::string("NVMe status: ") + nvme::status_name(cqe.status()));
+  }
+  free_slots_.push_back(slot);
+  slots_->release();
+  finish(std::move(status));
+}
+
+void LocalDriver::drain_cq() {
+  bool delivered = false;
+  while (auto cqe = qp_->poll()) {
+    delivered = true;
+    auto it = pending_.find(cqe->cid);
+    if (it != pending_.end()) {
+      auto promise = std::move(it->second);
+      pending_.erase(it);
+      promise.set(*cqe);
+    }
+  }
+  if (delivered) (void)qp_->ring_cq_doorbell();
+}
+
+sim::Task LocalDriver::completion_loop(std::shared_ptr<bool> stop) {
+  sim::Engine& eng = cluster_.engine();
+  for (;;) {
+    if (*stop) co_return;
+    if (cfg_.use_interrupts) {
+      co_await irq_event_->wait();
+      if (*stop) co_return;
+      ++stats_.interrupts;
+      // Reset *before* draining: an interrupt that fires while we drain
+      // leaves the event set, so its completion is picked up next round.
+      irq_event_->reset();
+      // Interrupt delivery, wakeup, and handler entry cost.
+      co_await sim::delay(eng, cfg_.costs.jittered(cfg_.costs.irq_delivery_ns, rng_));
+      if (*stop) co_return;
+      drain_cq();
+    } else {
+      drain_cq();
+      co_await sim::delay(eng, std::max<sim::Duration>(cfg_.costs.poll_interval_ns, 100));
+      if (*stop) co_return;
+    }
+  }
+}
+
+}  // namespace nvmeshare::driver

@@ -1,0 +1,86 @@
+// Wire format of the manager's metadata segment (Section V): a header that
+// tells clients the device is managed and how to contact the manager, plus
+// one mailbox slot per cluster node for queue-pair RPC.
+//
+// The protocol is deliberately primitive — plain shared memory, no doorbell
+// hardware: the client fills its slot and flips `state` to `request` with a
+// posted write over the NTB; the manager polls its local memory, performs
+// the privileged admin commands, writes the response, and flips `state` to
+// `done`; the client polls `state` with (timed) remote reads.
+#pragma once
+
+#include <cstdint>
+
+namespace nvmeshare::driver {
+
+inline constexpr std::uint64_t kMetadataMagic = 0x31415445'4d53564eULL;  // "NVSMETA1"
+inline constexpr std::uint32_t kMetadataVersion = 1;
+
+/// Fixed header at offset 0 of the metadata segment.
+struct MetadataHeader {
+  std::uint64_t magic = kMetadataMagic;
+  std::uint32_t version = kMetadataVersion;
+  std::uint32_t manager_node = 0;
+  std::uint64_t device_id = 0;
+  std::uint64_t capacity_blocks = 0;
+  std::uint32_t block_size = 0;
+  std::uint32_t max_transfer_bytes = 0;
+  std::uint16_t max_queue_pairs = 0;     ///< controller ceiling, incl. admin
+  std::uint16_t granted_io_queues = 0;   ///< Set Features result
+  std::uint32_t mailbox_slots = 0;
+  std::uint32_t mailbox_offset = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(MetadataHeader) == 56);
+
+enum class MboxState : std::uint32_t {
+  free = 0,
+  request = 1,  ///< written by the client after the payload
+  done = 2,     ///< written by the manager after the response payload
+};
+
+enum class MboxOp : std::uint32_t {
+  none = 0,
+  create_qp = 1,
+  delete_qp = 2,
+  ping = 3,
+};
+
+/// One mailbox slot (one per cluster node, indexed by the client's NodeId,
+/// so no two clients ever contend for a slot).
+struct MboxSlot {
+  std::uint32_t state = 0;  ///< MboxState
+  std::uint32_t op = 0;     ///< MboxOp
+  std::uint32_t client_node = 0;
+  std::uint32_t pad0 = 0;
+
+  // create_qp request payload: device-visible queue memory addresses (the
+  // client resolves these through SmartIO DMA windows before asking).
+  std::uint64_t sq_device_addr = 0;
+  std::uint64_t cq_device_addr = 0;
+  std::uint16_t sq_size = 0;
+  std::uint16_t cq_size = 0;
+  // delete_qp request payload.
+  std::uint16_t qid_in = 0;
+  std::uint16_t pad1 = 0;
+
+  // Response payload.
+  std::uint32_t status = 0;  ///< 0 = ok, else an Errc value
+  std::uint16_t qid_out = 0;
+  std::uint16_t nvme_status = 0;  ///< raw NVMe status field when status != 0
+
+  std::uint8_t pad2[80] = {};  // round the slot to a cache-line multiple
+};
+static_assert(sizeof(MboxSlot) == 128);
+
+/// Byte offset of node `n`'s slot within the metadata segment.
+constexpr std::uint64_t mbox_slot_offset(const MetadataHeader& h, std::uint32_t node) {
+  return h.mailbox_offset + static_cast<std::uint64_t>(node) * sizeof(MboxSlot);
+}
+
+/// Total metadata segment size for an `n`-node cluster.
+constexpr std::uint64_t metadata_segment_size(std::uint32_t nodes) {
+  return 4096 + static_cast<std::uint64_t>(nodes) * sizeof(MboxSlot);
+}
+
+}  // namespace nvmeshare::driver

@@ -1,0 +1,430 @@
+#include "driver/manager.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace nvmeshare::driver {
+
+using nvme::CompletionEntry;
+using nvme::SubmissionEntry;
+
+namespace {
+constexpr sim::Duration kRegPollNs = 1000;
+constexpr int kRegPollLimit = 1000;
+constexpr sim::Duration kAdminTimeoutNs = 50_ms;
+}  // namespace
+
+Manager::Manager(smartio::Service& service, smartio::NodeId node, smartio::DeviceId device,
+                 Config cfg)
+    : service_(service), node_(node), device_id_(device), cfg_(cfg) {}
+
+Manager::~Manager() { shutdown(); }
+
+sim::Engine& Manager::engine() { return service_.cluster().engine(); }
+pcie::Fabric& Manager::fabric() { return service_.cluster().fabric(); }
+
+std::uint16_t Manager::active_queue_pairs() const {
+  return static_cast<std::uint16_t>(std::count(qid_used_.begin(), qid_used_.end(), true));
+}
+
+void Manager::shutdown() {
+  if (!serving_) return;
+  serving_ = false;
+  *stop_ = true;
+  (void)service_.clear_device_metadata(device_id_);
+}
+
+sim::Future<Result<std::unique_ptr<Manager>>> Manager::start(smartio::Service& service,
+                                                             smartio::NodeId node,
+                                                             smartio::DeviceId device,
+                                                             Config cfg) {
+  sim::Promise<Result<std::unique_ptr<Manager>>> promise(service.cluster().engine());
+  auto self = std::unique_ptr<Manager>(new Manager(service, node, device, cfg));
+  init_task(std::move(self), promise);
+  return promise.future();
+}
+
+sim::Task Manager::init_task(std::unique_ptr<Manager> self,
+                             sim::Promise<Result<std::unique_ptr<Manager>>> promise) {
+  Manager& m = *self;
+  pcie::Fabric& fabric = m.fabric();
+  sim::Engine& engine = m.engine();
+  sisci::Cluster& cluster = m.service_.cluster();
+  const pcie::Initiator cpu = fabric.cpu(m.node_);
+
+  // 1. Lock the device: only one process may reset/initialize it.
+  auto ref = m.service_.acquire(m.device_id_, smartio::AcquireMode::exclusive);
+  if (!ref) {
+    promise.set(ref.status());
+    co_return;
+  }
+  m.ref_ = std::move(*ref);
+
+  // 2. Map device registers (BAR window, possibly across the NTB).
+  auto bar = m.ref_.map_bar(m.node_, 0);
+  if (!bar) {
+    promise.set(bar.status());
+    co_return;
+  }
+  m.bar_ = std::move(*bar);
+
+  auto write_reg32 = [&](std::uint64_t off, std::uint32_t v) {
+    Bytes b(4);
+    store_pod(b, v);
+    return fabric.post_write(cpu, m.bar_.addr() + off, std::move(b)).status();
+  };
+  auto write_reg64 = [&](std::uint64_t off, std::uint64_t v) {
+    Bytes b(8);
+    store_pod(b, v);
+    return fabric.post_write(cpu, m.bar_.addr() + off, std::move(b)).status();
+  };
+
+  // 3. Reset the controller and wait until it is down.
+  if (Status st = write_reg32(nvme::reg::kCc, 0); !st) {
+    promise.set(st);
+    co_return;
+  }
+  for (int i = 0;; ++i) {
+    auto csts = co_await fabric.read(cpu, m.bar_.addr() + nvme::reg::kCsts, 4);
+    if (!csts) {
+      promise.set(csts.status());
+      co_return;
+    }
+    if ((load_pod<std::uint32_t>(*csts) & nvme::kCstsReady) == 0) break;
+    if (i >= kRegPollLimit) {
+      promise.set(Status(Errc::timed_out, "controller did not leave ready state"));
+      co_return;
+    }
+    co_await sim::delay(engine, kRegPollNs);
+  }
+
+  // 4. Admin queue memory, placed by access-pattern hint (Figure 8): the SQ
+  //    goes device-side so command fetches never cross the NTB; the CQ
+  //    stays local so polling never stalls.
+  const std::uint16_t entries = m.cfg_.admin_entries;
+  auto asq_seg = m.service_.create_segment_hinted(m.node_, m.cfg_.private_segment_base + 0,
+                                                  entries * 64ull, m.device_id_,
+                                                  smartio::AccessHint::sq());
+  auto acq_seg = m.service_.create_segment_hinted(m.node_, m.cfg_.private_segment_base + 1,
+                                                  entries * 16ull, m.device_id_,
+                                                  smartio::AccessHint::cq());
+  auto data_seg = m.service_.create_segment_hinted(m.node_, m.cfg_.private_segment_base + 2,
+                                                   4096, m.device_id_,
+                                                   smartio::AccessHint::cq());
+  if (!asq_seg || !acq_seg || !data_seg) {
+    promise.set(Status(Errc::resource_exhausted, "no memory for admin segments"));
+    co_return;
+  }
+  m.asq_seg_ = std::move(*asq_seg);
+  m.acq_seg_ = std::move(*acq_seg);
+  m.admin_data_seg_ = std::move(*data_seg);
+  // Zero the queue memory: stale phase bits in reused pages would be read
+  // as valid completions.
+  (void)m.asq_seg_.write(0, Bytes(m.asq_seg_.size(), std::byte{0}));
+  (void)m.acq_seg_.write(0, Bytes(m.acq_seg_.size(), std::byte{0}));
+
+  // 5. DMA windows: device-visible addresses for the queue memory.
+  auto asq_win = m.ref_.map_for_device(m.asq_seg_.descriptor());
+  auto acq_win = m.ref_.map_for_device(m.acq_seg_.descriptor());
+  auto data_win = m.ref_.map_for_device(m.admin_data_seg_.descriptor());
+  if (!asq_win || !acq_win || !data_win) {
+    promise.set(Status(Errc::resource_exhausted, "no NTB windows for admin segments"));
+    co_return;
+  }
+  m.asq_win_ = std::move(*asq_win);
+  m.acq_win_ = std::move(*acq_win);
+  m.admin_data_win_ = std::move(*data_win);
+
+  // 6. CPU view of the admin SQ (it may live device-side).
+  auto asq_map = sisci::Map::create(cluster, m.node_, m.asq_seg_.descriptor());
+  if (!asq_map) {
+    promise.set(asq_map.status());
+    co_return;
+  }
+  m.asq_cpu_map_ = std::move(*asq_map);
+
+  // 7. Program admin queue registers and enable.
+  const std::uint32_t aqa = static_cast<std::uint32_t>(entries - 1) |
+                            (static_cast<std::uint32_t>(entries - 1) << 16);
+  (void)write_reg32(nvme::reg::kAqa, aqa);
+  (void)write_reg64(nvme::reg::kAsq, m.asq_win_.device_addr());
+  (void)write_reg64(nvme::reg::kAcq, m.acq_win_.device_addr());
+  (void)write_reg32(nvme::reg::kCc, nvme::kCcEnable);
+  for (int i = 0;; ++i) {
+    auto csts = co_await fabric.read(cpu, m.bar_.addr() + nvme::reg::kCsts, 4);
+    if (!csts) {
+      promise.set(csts.status());
+      co_return;
+    }
+    const auto v = load_pod<std::uint32_t>(*csts);
+    if ((v & nvme::kCstsFatal) != 0) {
+      promise.set(Status(Errc::unavailable, "controller fatal on enable"));
+      co_return;
+    }
+    if ((v & nvme::kCstsReady) != 0) break;
+    if (i >= kRegPollLimit) {
+      promise.set(Status(Errc::timed_out, "controller did not become ready"));
+      co_return;
+    }
+    co_await sim::delay(engine, kRegPollNs);
+  }
+
+  nvme::QueuePair::Config qc;
+  qc.qid = 0;
+  qc.sq_size = entries;
+  qc.cq_size = entries;
+  qc.sq_write_addr = m.asq_cpu_map_.addr();
+  qc.cq_poll_addr = m.acq_seg_.phys_addr();  // hint guarantees it is local
+  qc.sq_doorbell_addr = m.bar_.addr() + nvme::sq_doorbell_offset(0);
+  qc.cq_doorbell_addr = m.bar_.addr() + nvme::cq_doorbell_offset(0);
+  qc.cpu = cpu;
+  m.admin_qp_ = std::make_unique<nvme::QueuePair>(fabric, qc);
+  m.admin_lock_ = std::make_unique<sim::Semaphore>(engine, 1);
+
+  // 8. Identify controller and namespace.
+  auto ident = co_await m.submit_admin(
+      nvme::make_identify(0, nvme::IdentifyCns::controller, 0, m.admin_data_win_.device_addr()));
+  if (!ident) {
+    promise.set(ident.status());
+    co_return;
+  }
+  Bytes payload(4096);
+  (void)m.admin_data_seg_.read(0, payload);
+  const auto ctrl = nvme::parse_identify_controller(payload);
+
+  auto ns = co_await m.submit_admin(
+      nvme::make_identify(0, nvme::IdentifyCns::ns, 1, m.admin_data_win_.device_addr()));
+  if (!ns) {
+    promise.set(ns.status());
+    co_return;
+  }
+  (void)m.admin_data_seg_.read(0, payload);
+  const auto nsinfo = nvme::parse_identify_namespace(payload);
+
+  // 9. Negotiate I/O queue count.
+  auto feat = co_await m.submit_admin(
+      nvme::make_set_num_queues(0, m.cfg_.requested_io_queues, m.cfg_.requested_io_queues));
+  if (!feat) {
+    promise.set(feat.status());
+    co_return;
+  }
+  const auto nsqa = static_cast<std::uint16_t>((feat->dw0 & 0xFFFF) + 1);
+  const auto ncqa = static_cast<std::uint16_t>((feat->dw0 >> 16) + 1);
+  const std::uint16_t granted = std::min(nsqa, ncqa);
+
+  // 10. Done with privileged init: let clients share the device.
+  if (Status st = m.ref_.downgrade_to_shared(); !st) {
+    promise.set(st);
+    co_return;
+  }
+
+  // 11. Publish the metadata segment.
+  const auto nodes = static_cast<std::uint32_t>(fabric.host_count());
+  auto meta = cluster.create_segment(m.node_, m.cfg_.metadata_segment_id,
+                                     metadata_segment_size(nodes));
+  if (!meta) {
+    promise.set(meta.status());
+    co_return;
+  }
+  m.metadata_seg_ = std::move(*meta);
+
+  m.header_.manager_node = m.node_;
+  m.header_.device_id = m.device_id_;
+  m.header_.capacity_blocks = nsinfo.size_blocks;
+  m.header_.block_size = nsinfo.block_size;
+  m.header_.max_transfer_bytes =
+      static_cast<std::uint32_t>((1u << ctrl.mdts_pages_log2) * nvme::kPageSize);
+  m.header_.max_queue_pairs = static_cast<std::uint16_t>(granted + 1);
+  m.header_.granted_io_queues = granted;
+  m.header_.mailbox_slots = nodes;
+  m.header_.mailbox_offset = 4096;
+  (void)m.metadata_seg_.write(0, as_bytes_of(m.header_));
+
+  m.qid_used_.assign(granted + 1u, false);
+  m.qid_used_[0] = true;  // admin
+  m.qid_owner_.assign(granted + 1u, 0);
+
+  if (Status st = m.service_.set_device_metadata(m.device_id_, m.node_,
+                                                 m.cfg_.metadata_segment_id);
+      !st) {
+    promise.set(st);
+    co_return;
+  }
+
+  m.serving_ = true;
+  m.mailbox_server(m.stop_);
+  NVS_LOG(info, "manager") << "serving device " << m.device_id_ << " from node " << m.node_
+                           << " with " << granted << " IO queue pairs";
+  promise.set(std::move(self));
+}
+
+sim::Future<Result<CompletionEntry>> Manager::submit_admin(SubmissionEntry entry) {
+  sim::Promise<Result<CompletionEntry>> promise(engine());
+  admin_task(entry, promise);
+  return promise.future();
+}
+
+sim::Task Manager::admin_task(SubmissionEntry entry,
+                              sim::Promise<Result<CompletionEntry>> promise) {
+  sim::Engine& eng = engine();
+  co_await admin_lock_->acquire();
+  auto cid = admin_qp_->push(entry);
+  if (!cid) {
+    admin_lock_->release();
+    promise.set(cid.status());
+    co_return;
+  }
+  co_await sim::delay(eng, cfg_.costs.doorbell_ns);
+  (void)admin_qp_->ring_sq_doorbell();
+
+  const sim::Time deadline = eng.now() + kAdminTimeoutNs;
+  for (;;) {
+    if (auto cqe = admin_qp_->poll()) {
+      (void)admin_qp_->ring_cq_doorbell();
+      admin_lock_->release();
+      promise.set(*cqe);  // NVMe-level failures are reported via cqe->status()
+      co_return;
+    }
+    if (eng.now() >= deadline) {
+      admin_lock_->release();
+      promise.set(Status(Errc::timed_out, "admin command timed out"));
+      co_return;
+    }
+    co_await sim::delay(eng, std::max<sim::Duration>(cfg_.costs.poll_interval_ns, 200));
+  }
+}
+
+sim::Task Manager::mailbox_server(std::shared_ptr<bool> stop) {
+  sim::Engine& eng = engine();
+  for (;;) {
+    if (*stop) co_return;
+    bool worked = false;
+    const std::uint32_t slots = header_.mailbox_slots;
+    for (std::uint32_t i = 0; i < slots; ++i) {
+      MboxSlot slot;
+      if (Status st = metadata_seg_.read(mbox_slot_offset(header_, i),
+                                         as_writable_bytes_of(slot));
+          !st) {
+        continue;
+      }
+      if (slot.state != static_cast<std::uint32_t>(MboxState::request)) continue;
+      worked = true;
+      co_await handle_slot_await(i, slot, stop);
+      if (*stop) co_return;
+    }
+    (void)worked;
+    co_await sim::delay(eng, cfg_.mailbox_poll_ns);
+    if (*stop) co_return;
+  }
+}
+
+// handle_slot_task is awaited inline from the server loop (via the future
+// wrapper) so one request fully completes before the next slot is scanned.
+sim::Future<bool> Manager::handle_slot_await(std::uint32_t slot_index, MboxSlot slot,
+                                             std::shared_ptr<bool> stop) {
+  sim::Promise<bool> done(engine());
+  handle_slot_task(slot_index, slot, std::move(stop), done);
+  return done.future();
+}
+
+sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
+                                    std::shared_ptr<bool> stop, sim::Promise<bool> done) {
+  ++stats_.mailbox_requests;
+  co_await sim::delay(engine(), cfg_.mailbox_service_ns);
+  if (*stop) {
+    done.set(false);
+    co_return;
+  }
+
+  auto respond = [&](Errc errc, std::uint16_t qid, std::uint16_t nvme_status) {
+    slot.status = static_cast<std::uint32_t>(errc);
+    slot.qid_out = qid;
+    slot.nvme_status = nvme_status;
+    slot.state = static_cast<std::uint32_t>(MboxState::done);
+    (void)metadata_seg_.write(mbox_slot_offset(header_, slot_index), as_bytes_of(slot));
+    if (errc != Errc::ok) ++stats_.request_errors;
+  };
+
+  switch (static_cast<MboxOp>(slot.op)) {
+    case MboxOp::ping:
+      respond(Errc::ok, 0, 0);
+      break;
+    case MboxOp::create_qp: {
+      // Pick a free queue id.
+      std::uint16_t qid = 0;
+      for (std::uint16_t q = 1; q < qid_used_.size(); ++q) {
+        if (!qid_used_[q]) {
+          qid = q;
+          break;
+        }
+      }
+      if (qid == 0) {
+        respond(Errc::resource_exhausted, 0, 0);
+        break;
+      }
+      if (slot.sq_size < 2 || slot.cq_size < 2 || slot.sq_device_addr == 0 ||
+          slot.cq_device_addr == 0) {
+        respond(Errc::invalid_argument, 0, 0);
+        break;
+      }
+      auto cq = co_await submit_admin(
+          nvme::make_create_io_cq(0, qid, slot.cq_size, slot.cq_device_addr,
+                                  /*irq_enable=*/false, 0));
+      if (*stop) {
+        done.set(false);
+        co_return;
+      }
+      if (!cq || !cq->ok()) {
+        respond(cq ? Errc::io_error : cq.status().code(), 0, cq ? cq->status() : 0);
+        break;
+      }
+      auto sq = co_await submit_admin(
+          nvme::make_create_io_sq(0, qid, slot.sq_size, slot.sq_device_addr, qid));
+      if (*stop) {
+        done.set(false);
+        co_return;
+      }
+      if (!sq || !sq->ok()) {
+        (void)co_await submit_admin(nvme::make_delete_io_cq(0, qid));
+        respond(sq ? Errc::io_error : sq.status().code(), 0, sq ? sq->status() : 0);
+        break;
+      }
+      qid_used_[qid] = true;
+      qid_owner_[qid] = slot.client_node;
+      ++stats_.qps_created;
+      NVS_LOG(info, "manager") << "created QP " << qid << " for node " << slot.client_node;
+      respond(Errc::ok, qid, 0);
+      break;
+    }
+    case MboxOp::delete_qp: {
+      const std::uint16_t qid = slot.qid_in;
+      if (qid == 0 || qid >= qid_used_.size() || !qid_used_[qid] ||
+          qid_owner_[qid] != slot.client_node) {
+        respond(Errc::permission_denied, 0, 0);
+        break;
+      }
+      auto sq = co_await submit_admin(nvme::make_delete_io_sq(0, qid));
+      auto cq = co_await submit_admin(nvme::make_delete_io_cq(0, qid));
+      if (*stop) {
+        done.set(false);
+        co_return;
+      }
+      if (!sq || !sq->ok() || !cq || !cq->ok()) {
+        respond(Errc::io_error, 0, 0);
+        break;
+      }
+      qid_used_[qid] = false;
+      qid_owner_[qid] = 0;
+      ++stats_.qps_deleted;
+      respond(Errc::ok, qid, 0);
+      break;
+    }
+    default:
+      respond(Errc::protocol_error, 0, 0);
+      break;
+  }
+  done.set(true);
+}
+
+}  // namespace nvmeshare::driver

@@ -1,0 +1,115 @@
+// Manager half of the distributed NVMe driver (Section V).
+//
+// The manager acquires the device exclusively, resets and initializes the
+// controller through SmartIO mappings (its admin SQ is allocated with a
+// device-side hint, its admin CQ locally — the Figure 8 policy), negotiates
+// the I/O queue count, then downgrades to a shared claim and publishes a
+// metadata segment so clients can find it. From then on it serves
+// queue-pair create/delete requests arriving in the shared-memory mailbox,
+// issuing the privileged admin commands on the clients' behalf.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "driver/cost_model.hpp"
+#include "driver/mailbox.hpp"
+#include "nvme/queue.hpp"
+#include "smartio/smartio.hpp"
+
+namespace nvmeshare::driver {
+
+class Manager {
+ public:
+  struct Config {
+    std::uint16_t admin_entries = 32;
+    std::uint16_t requested_io_queues = 31;
+    sisci::SegmentId metadata_segment_id = 0x4d455441;  // "META"
+    /// Base id for the manager's private segments (admin queues, identify
+    /// buffer); ids base..base+3 are used.
+    sisci::SegmentId private_segment_base = 0x4d000000;
+    CostModel costs = CostModel::distributed_driver();
+    sim::Duration mailbox_poll_ns = 2000;
+    /// Per-request manager-side processing cost (decode + validation).
+    sim::Duration mailbox_service_ns = 1500;
+  };
+
+  /// Bring the controller up and start serving; resolves when the metadata
+  /// segment is published.
+  static sim::Future<Result<std::unique_ptr<Manager>>> start(smartio::Service& service,
+                                                             smartio::NodeId node,
+                                                             smartio::DeviceId device,
+                                                             Config cfg);
+
+  ~Manager();
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  /// Stop the mailbox server and withdraw the metadata registration.
+  /// Clients with established queue pairs keep working (they operate the
+  /// controller independently of the manager — Section V); they just can't
+  /// create or delete queues until a manager runs again.
+  void shutdown();
+
+  [[nodiscard]] const MetadataHeader& header() const noexcept { return header_; }
+  [[nodiscard]] smartio::NodeId node() const noexcept { return node_; }
+  [[nodiscard]] std::uint16_t active_queue_pairs() const;
+
+  struct Stats {
+    std::uint64_t mailbox_requests = 0;
+    std::uint64_t qps_created = 0;
+    std::uint64_t qps_deleted = 0;
+    std::uint64_t request_errors = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Issue one admin command (exposed for tests and privileged tooling).
+  sim::Future<Result<nvme::CompletionEntry>> submit_admin(nvme::SubmissionEntry entry);
+
+ private:
+  Manager(smartio::Service& service, smartio::NodeId node, smartio::DeviceId device,
+          Config cfg);
+
+  static sim::Task init_task(std::unique_ptr<Manager> self,
+                             sim::Promise<Result<std::unique_ptr<Manager>>> promise);
+  sim::Task admin_task(nvme::SubmissionEntry entry,
+                       sim::Promise<Result<nvme::CompletionEntry>> promise);
+  sim::Task mailbox_server(std::shared_ptr<bool> stop);
+  sim::Future<bool> handle_slot_await(std::uint32_t slot_index, MboxSlot slot,
+                                      std::shared_ptr<bool> stop);
+  sim::Task handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
+                             std::shared_ptr<bool> stop, sim::Promise<bool> done);
+
+  [[nodiscard]] sim::Engine& engine();
+  [[nodiscard]] pcie::Fabric& fabric();
+
+  smartio::Service& service_;
+  smartio::NodeId node_;
+  smartio::DeviceId device_id_;
+  Config cfg_;
+  Rng rng_{0xfeed};
+
+  smartio::DeviceRef ref_;
+  smartio::BarWindow bar_;
+  sisci::Segment asq_seg_;
+  sisci::Segment acq_seg_;
+  sisci::Segment admin_data_seg_;
+  sisci::Segment metadata_seg_;
+  smartio::DmaWindow asq_win_;
+  smartio::DmaWindow acq_win_;
+  smartio::DmaWindow admin_data_win_;
+  sisci::Map asq_cpu_map_;  ///< CPU view of the (possibly device-side) admin SQ
+  std::unique_ptr<nvme::QueuePair> admin_qp_;
+  std::unique_ptr<sim::Semaphore> admin_lock_;
+
+  MetadataHeader header_;
+  std::vector<bool> qid_used_;      ///< index = qid; [0] reserved for admin
+  std::vector<std::uint32_t> qid_owner_;
+  std::shared_ptr<bool> stop_ = std::make_shared<bool>(false);
+  bool serving_ = false;
+  Stats stats_;
+};
+
+}  // namespace nvmeshare::driver

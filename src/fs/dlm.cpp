@@ -1,0 +1,131 @@
+#include "fs/dlm.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace nvmeshare::fs {
+
+namespace {
+constexpr sim::Duration kSpinDelayNs = 1000;  // pause between remote scans
+}
+
+Result<BakeryLock> BakeryLock::create(sisci::Cluster& cluster, sisci::NodeId node,
+                                      sisci::SegmentId segment_id, std::uint32_t participants,
+                                      std::uint32_t my_index) {
+  if (participants == 0 || my_index >= participants) {
+    return Status(Errc::invalid_argument, "bad participant configuration");
+  }
+  auto segment = cluster.create_segment(node, segment_id, participants * sizeof(Slot));
+  if (!segment) return segment.status();
+  // Slots start zeroed (fresh segment memory may be dirty).
+  Bytes zeros(participants * sizeof(Slot), std::byte{0});
+  NVS_RETURN_IF_ERROR(segment->write(0, zeros));
+
+  BakeryLock lock;
+  lock.cluster_ = &cluster;
+  lock.node_ = node;
+  lock.participants_ = participants;
+  lock.my_index_ = my_index;
+  auto map = sisci::Map::create(cluster, node, segment->descriptor());
+  if (!map) return map.status();
+  lock.map_ = std::move(*map);
+  lock.segment_ = std::move(*segment);
+  return lock;
+}
+
+Result<BakeryLock> BakeryLock::join(sisci::Cluster& cluster, sisci::NodeId node,
+                                    sisci::NodeId owner, sisci::SegmentId segment_id,
+                                    std::uint32_t my_index) {
+  auto remote = cluster.connect(owner, segment_id);
+  if (!remote) return remote.status();
+  const auto participants = static_cast<std::uint32_t>(remote->size / sizeof(Slot));
+  if (my_index >= participants) {
+    return Status(Errc::invalid_argument, "participant index beyond segment capacity");
+  }
+  auto map = sisci::Map::create(cluster, node, *remote);
+  if (!map) return map.status();
+
+  BakeryLock lock;
+  lock.cluster_ = &cluster;
+  lock.node_ = node;
+  lock.participants_ = participants;
+  lock.my_index_ = my_index;
+  lock.map_ = std::move(*map);
+  return lock;
+}
+
+Status BakeryLock::write_my_slot(const Slot& slot) {
+  pcie::Fabric& fabric = cluster_->fabric();
+  Bytes buf(sizeof(Slot));
+  store_pod(buf, slot);
+  return fabric
+      .post_write(fabric.cpu(node_), map_.addr() + my_index_ * sizeof(Slot), std::move(buf))
+      .status();
+}
+
+sim::Future<Result<Bytes>> BakeryLock::read_slot(std::uint32_t index) {
+  pcie::Fabric& fabric = cluster_->fabric();
+  return fabric.read(fabric.cpu(node_), map_.addr() + index * sizeof(Slot), sizeof(Slot));
+}
+
+sim::Future<bool> BakeryLock::acquire(sim::Duration timeout) {
+  sim::Promise<bool> promise(cluster_->engine());
+  acquire_task(promise, timeout);
+  return promise.future();
+}
+
+sim::Task BakeryLock::acquire_task(sim::Promise<bool> promise, sim::Duration timeout) {
+  sim::Engine& engine = cluster_->engine();
+  const sim::Time deadline = engine.now() + timeout;
+
+  // Phase 1: take a ticket one larger than every number we can see.
+  if (Status st = write_my_slot(Slot{0, 1, 0}); !st) {
+    promise.set(false);
+    co_return;
+  }
+  std::uint64_t max_number = 0;
+  for (std::uint32_t i = 0; i < participants_; ++i) {
+    auto raw = co_await read_slot(i);
+    if (!raw) {
+      promise.set(false);
+      co_return;
+    }
+    max_number = std::max(max_number, load_pod<Slot>(*raw).number);
+  }
+  const std::uint64_t my_number = max_number + 1;
+  if (Status st = write_my_slot(Slot{my_number, 0, 0}); !st) {
+    promise.set(false);
+    co_return;
+  }
+
+  // Phase 2: wait until everyone with a smaller (number, index) is done.
+  for (std::uint32_t i = 0; i < participants_; ++i) {
+    if (i == my_index_) continue;
+    for (;;) {
+      auto raw = co_await read_slot(i);
+      if (!raw) {
+        promise.set(false);
+        co_return;
+      }
+      const auto slot = load_pod<Slot>(*raw);
+      const bool they_yield =
+          slot.choosing == 0 &&
+          (slot.number == 0 || slot.number > my_number ||
+           (slot.number == my_number && i > my_index_));
+      if (they_yield) break;
+      if (engine.now() >= deadline) {
+        (void)write_my_slot(Slot{});  // withdraw
+        promise.set(false);
+        co_return;
+      }
+      co_await sim::delay(engine, kSpinDelayNs);
+    }
+  }
+  ++acquisitions_;
+  promise.set(true);
+}
+
+Status BakeryLock::release() { return write_my_slot(Slot{}); }
+
+}  // namespace nvmeshare::fs

@@ -1,0 +1,71 @@
+// Distributed lock over SISCI shared memory: Lamport's bakery algorithm.
+//
+// Real shared-disk filesystems (GFS2, OCFS2) rely on a network DLM; in a
+// PCIe cluster the natural transport for one is the same NTB shared memory
+// the driver already uses. The bakery algorithm needs only single-writer
+// registers — each participant writes its own slot and reads everyone
+// else's — which maps exactly onto NTB semantics: posted writes to your own
+// slot, (timed) remote reads of the others. No atomic RMW is required,
+// which PCIe peer access does not reliably provide across NTBs.
+#pragma once
+
+#include <cstdint>
+
+#include "sisci/sisci.hpp"
+
+namespace nvmeshare::fs {
+
+class BakeryLock {
+ public:
+  /// Slot layout per participant (single writer: that participant).
+  struct Slot {
+    std::uint64_t number = 0;  ///< 0 = not competing
+    std::uint32_t choosing = 0;
+    std::uint32_t pad = 0;
+  };
+  static_assert(sizeof(Slot) == 16);
+
+  /// Create the lock segment on `node` (done once, e.g. by the host that
+  /// formats the filesystem).
+  static Result<BakeryLock> create(sisci::Cluster& cluster, sisci::NodeId node,
+                                   sisci::SegmentId segment_id, std::uint32_t participants,
+                                   std::uint32_t my_index);
+
+  /// Join an existing lock segment from `node`.
+  static Result<BakeryLock> join(sisci::Cluster& cluster, sisci::NodeId node,
+                                 sisci::NodeId owner, sisci::SegmentId segment_id,
+                                 std::uint32_t my_index);
+
+  BakeryLock() = default;
+  BakeryLock(BakeryLock&&) = default;
+  BakeryLock& operator=(BakeryLock&&) = default;
+
+  /// Acquire the lock; resolves true on success, false on timeout.
+  sim::Future<bool> acquire(sim::Duration timeout = 100_ms);
+
+  /// Release the lock (posted write; returns immediately).
+  Status release();
+
+  [[nodiscard]] std::uint32_t participants() const noexcept { return participants_; }
+  [[nodiscard]] std::uint32_t my_index() const noexcept { return my_index_; }
+  [[nodiscard]] std::uint64_t acquisitions() const noexcept { return acquisitions_; }
+  /// The segment holding the lock slots (creator only owns it).
+  [[nodiscard]] const sisci::Segment& segment() const noexcept { return segment_; }
+
+ private:
+  sim::Task acquire_task(sim::Promise<bool> promise, sim::Duration timeout);
+
+  Status write_my_slot(const Slot& slot);
+  /// Timed remote read of participant `index`'s slot.
+  sim::Future<Result<Bytes>> read_slot(std::uint32_t index);
+
+  sisci::Cluster* cluster_ = nullptr;
+  sisci::NodeId node_ = 0;
+  std::uint32_t participants_ = 0;
+  std::uint32_t my_index_ = 0;
+  sisci::Segment segment_;  ///< valid only on the creator
+  sisci::Map map_;          ///< this node's view of the lock segment
+  std::uint64_t acquisitions_ = 0;
+};
+
+}  // namespace nvmeshare::fs

@@ -1,0 +1,1019 @@
+#include "fs/filesystem.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "pcie/fabric.hpp"
+
+namespace nvmeshare::fs {
+
+namespace {
+
+constexpr std::uint64_t kBitsPerBlock = kFsBlockSize * 8;
+
+/// Release a semaphore when the owning coroutine frame unwinds.
+struct SemRelease {
+  sim::Semaphore* sem = nullptr;
+  ~SemRelease() {
+    if (sem != nullptr) sem->release();
+  }
+};
+
+/// Release the cluster lock when the owning coroutine frame unwinds.
+struct DlmRelease {
+  BakeryLock* lock = nullptr;
+  ~DlmRelease() {
+    if (lock != nullptr) (void)lock->release();
+  }
+};
+
+}  // namespace
+
+FileSystem::FileSystem(sisci::Cluster& cluster, block::BlockDevice& device,
+                       sisci::NodeId node)
+    : cluster_(cluster), device_(device), node_(node) {}
+
+FileSystem::~FileSystem() {
+  if (staging_ != 0) (void)cluster_.free_dram(node_, staging_);
+}
+
+bool FileSystem::name_valid(const std::string& name) const {
+  return !name.empty() && name.size() < sizeof(Inode{}.name);
+}
+
+// --- mount / format -----------------------------------------------------------------
+
+sim::Future<Result<std::unique_ptr<FileSystem>>> FileSystem::format(sisci::Cluster& cluster,
+                                                                    block::BlockDevice& device,
+                                                                    sisci::NodeId node,
+                                                                    Config cfg) {
+  sim::Promise<Result<std::unique_ptr<FileSystem>>> promise(cluster.engine());
+  auto self = std::unique_ptr<FileSystem>(new FileSystem(cluster, device, node));
+  format_task(std::move(self), cfg, promise);
+  return promise.future();
+}
+
+sim::Task FileSystem::format_task(std::unique_ptr<FileSystem> self, Config cfg,
+                                  sim::Promise<Result<std::unique_ptr<FileSystem>>> promise) {
+  FileSystem& f = *self;
+
+  if (kFsBlockSize % f.device_.block_size() != 0) {
+    promise.set(Status(Errc::invalid_argument, "device block size incompatible"));
+    co_return;
+  }
+  const std::uint64_t spb = kFsBlockSize / f.device_.block_size();
+  if (cfg.fs_blocks * spb > f.device_.capacity_blocks()) {
+    promise.set(Status(Errc::invalid_argument, "device too small for requested fs size"));
+    co_return;
+  }
+
+  Superblock sb;
+  sb.inode_count = cfg.inode_count;
+  sb.fs_blocks = cfg.fs_blocks;
+  sb.bitmap_start = 1;
+  sb.bitmap_blocks = div_ceil(cfg.fs_blocks, kBitsPerBlock);
+  sb.inode_start = sb.bitmap_start + sb.bitmap_blocks;
+  sb.inode_blocks = div_ceil(cfg.inode_count, kInodesPerBlock);
+  sb.data_start = sb.inode_start + sb.inode_blocks;
+  if (sb.data_start + 16 > sb.fs_blocks) {
+    promise.set(Status(Errc::invalid_argument, "fs too small for metadata"));
+    co_return;
+  }
+  sb.data_blocks = sb.fs_blocks - sb.data_start;
+  f.sb_ = sb;
+
+  auto staging = f.cluster_.alloc_dram(f.node_, kFsBlockSize, 4096);
+  if (!staging) {
+    promise.set(staging.status());
+    co_return;
+  }
+  f.staging_ = *staging;
+  f.op_lock_ = std::make_unique<sim::Semaphore>(f.cluster_.engine(), 1);
+
+  // Superblock, then zeroed bitmap + inode table.
+  Bytes block(kFsBlockSize, std::byte{0});
+  store_pod(block, sb);
+  auto ok = co_await f.write_block(0, std::move(block));
+  if (!ok) {
+    promise.set(ok.status());
+    co_return;
+  }
+  for (std::uint64_t b = sb.bitmap_start; b < sb.data_start; ++b) {
+    auto zeroed = co_await f.write_block(b, Bytes(kFsBlockSize, std::byte{0}));
+    if (!zeroed) {
+      promise.set(zeroed.status());
+      co_return;
+    }
+  }
+
+  auto lock = BakeryLock::create(
+      f.cluster_, f.node_, cfg.lock_segment_id,
+      static_cast<std::uint32_t>(f.cluster_.fabric().host_count()), f.node_);
+  if (!lock) {
+    promise.set(lock.status());
+    co_return;
+  }
+  f.lock_ = std::move(*lock);
+  NVS_LOG(info, "fs") << "formatted: " << sb.fs_blocks << " fs blocks, " << sb.data_blocks
+                      << " data blocks, " << sb.inode_count << " inodes";
+  promise.set(std::move(self));
+}
+
+sim::Future<Result<std::unique_ptr<FileSystem>>> FileSystem::mount(sisci::Cluster& cluster,
+                                                                   block::BlockDevice& device,
+                                                                   sisci::NodeId node,
+                                                                   sisci::NodeId format_node,
+                                                                   Config cfg) {
+  sim::Promise<Result<std::unique_ptr<FileSystem>>> promise(cluster.engine());
+  auto self = std::unique_ptr<FileSystem>(new FileSystem(cluster, device, node));
+  mount_task(std::move(self), format_node, cfg, promise);
+  return promise.future();
+}
+
+sim::Task FileSystem::mount_task(std::unique_ptr<FileSystem> self, sisci::NodeId format_node,
+                                 Config cfg,
+                                 sim::Promise<Result<std::unique_ptr<FileSystem>>> promise) {
+  FileSystem& f = *self;
+  auto staging = f.cluster_.alloc_dram(f.node_, kFsBlockSize, 4096);
+  if (!staging) {
+    promise.set(staging.status());
+    co_return;
+  }
+  f.staging_ = *staging;
+  f.op_lock_ = std::make_unique<sim::Semaphore>(f.cluster_.engine(), 1);
+
+  auto raw = co_await f.read_block(0);
+  if (!raw) {
+    promise.set(raw.status());
+    co_return;
+  }
+  f.sb_ = load_pod<Superblock>(*raw);
+  if (f.sb_.magic != kSuperblockMagic || f.sb_.version != 1) {
+    promise.set(Status(Errc::protocol_error, "no nvsfs filesystem on this device"));
+    co_return;
+  }
+  auto lock = BakeryLock::join(f.cluster_, f.node_, format_node, cfg.lock_segment_id, f.node_);
+  if (!lock) {
+    promise.set(lock.status());
+    co_return;
+  }
+  f.lock_ = std::move(*lock);
+  promise.set(std::move(self));
+}
+
+// --- block I/O ----------------------------------------------------------------------
+
+sim::Future<Result<Bytes>> FileSystem::read_block(std::uint64_t fs_block) {
+  sim::Promise<Result<Bytes>> promise(cluster_.engine());
+  read_block_task(fs_block, promise);
+  return promise.future();
+}
+
+sim::Task FileSystem::read_block_task(std::uint64_t fs_block,
+                                      sim::Promise<Result<Bytes>> promise) {
+  const std::uint32_t spb = static_cast<std::uint32_t>(kFsBlockSize / device_.block_size());
+  ++stats_.block_reads;
+  auto completion =
+      co_await device_.submit({block::Op::read, fs_block * spb, spb, staging_});
+  if (!completion.status) {
+    promise.set(completion.status);
+    co_return;
+  }
+  Bytes out(kFsBlockSize);
+  if (Status st = cluster_.fabric().host_dram(node_).read(staging_, out); !st) {
+    promise.set(st);
+    co_return;
+  }
+  promise.set(std::move(out));
+}
+
+sim::Future<Result<bool>> FileSystem::write_block(std::uint64_t fs_block, Bytes data) {
+  sim::Promise<Result<bool>> promise(cluster_.engine());
+  write_block_task(fs_block, std::move(data), promise);
+  return promise.future();
+}
+
+sim::Task FileSystem::write_block_task(std::uint64_t fs_block, Bytes data,
+                                       sim::Promise<Result<bool>> promise) {
+  const std::uint32_t spb = static_cast<std::uint32_t>(kFsBlockSize / device_.block_size());
+  ++stats_.block_writes;
+  if (Status st = cluster_.fabric().host_dram(node_).write(staging_, data); !st) {
+    promise.set(st);
+    co_return;
+  }
+  auto completion =
+      co_await device_.submit({block::Op::write, fs_block * spb, spb, staging_});
+  if (!completion.status) {
+    promise.set(completion.status);
+    co_return;
+  }
+  promise.set(true);
+}
+
+// --- inode I/O ----------------------------------------------------------------------
+
+sim::Future<Result<Inode>> FileSystem::load_inode(std::uint32_t index) {
+  sim::Promise<Result<Inode>> promise(cluster_.engine());
+  load_inode_task(index, promise);
+  return promise.future();
+}
+
+sim::Task FileSystem::load_inode_task(std::uint32_t index,
+                                      sim::Promise<Result<Inode>> promise) {
+  if (index >= sb_.inode_count) {
+    promise.set(Status(Errc::out_of_range, "inode index out of range"));
+    co_return;
+  }
+  auto raw = co_await read_block(sb_.inode_start + index / kInodesPerBlock);
+  if (!raw) {
+    promise.set(raw.status());
+    co_return;
+  }
+  promise.set(load_pod<Inode>(*raw, (index % kInodesPerBlock) * sizeof(Inode)));
+}
+
+sim::Future<Result<bool>> FileSystem::store_inode(std::uint32_t index, Inode inode) {
+  sim::Promise<Result<bool>> promise(cluster_.engine());
+  store_inode_task(index, inode, promise);
+  return promise.future();
+}
+
+sim::Task FileSystem::store_inode_task(std::uint32_t index, Inode inode,
+                                       sim::Promise<Result<bool>> promise) {
+  auto raw = co_await read_block(sb_.inode_start + index / kInodesPerBlock);
+  if (!raw) {
+    promise.set(raw.status());
+    co_return;
+  }
+  store_pod(*raw, inode, (index % kInodesPerBlock) * sizeof(Inode));
+  auto ok = co_await write_block(sb_.inode_start + index / kInodesPerBlock, std::move(*raw));
+  if (!ok) {
+    promise.set(ok.status());
+    co_return;
+  }
+  promise.set(true);
+}
+
+// --- allocation ---------------------------------------------------------------------
+
+sim::Future<Result<std::uint64_t>> FileSystem::alloc_block() {
+  sim::Promise<Result<std::uint64_t>> promise(cluster_.engine());
+  alloc_block_task(promise);
+  return promise.future();
+}
+
+sim::Task FileSystem::alloc_block_task(sim::Promise<Result<std::uint64_t>> promise) {
+  for (std::uint64_t probe = 0; probe < sb_.bitmap_blocks; ++probe) {
+    const std::uint64_t bb = (alloc_hint_ + probe) % sb_.bitmap_blocks;
+    auto raw = co_await read_block(sb_.bitmap_start + bb);
+    if (!raw) {
+      promise.set(raw.status());
+      co_return;
+    }
+    for (std::uint64_t byte = 0; byte < kFsBlockSize; ++byte) {
+      auto value = static_cast<std::uint8_t>((*raw)[byte]);
+      if (value == 0xFF) continue;
+      for (int bit = 0; bit < 8; ++bit) {
+        const std::uint64_t index = bb * kBitsPerBlock + byte * 8 + bit;
+        if (index >= sb_.data_blocks) break;
+        if ((value & (1u << bit)) == 0) {
+          (*raw)[byte] = std::byte{static_cast<std::uint8_t>(value | (1u << bit))};
+          auto ok = co_await write_block(sb_.bitmap_start + bb, std::move(*raw));
+          if (!ok) {
+            promise.set(ok.status());
+            co_return;
+          }
+          alloc_hint_ = bb;
+          ++stats_.blocks_allocated;
+          promise.set(sb_.data_start + index);
+          co_return;
+        }
+      }
+    }
+  }
+  promise.set(Status(Errc::resource_exhausted, "filesystem full"));
+}
+
+sim::Future<Result<bool>> FileSystem::free_block(std::uint64_t block) {
+  sim::Promise<Result<bool>> promise(cluster_.engine());
+  free_block_task(block, promise);
+  return promise.future();
+}
+
+sim::Task FileSystem::free_block_task(std::uint64_t block,
+                                      sim::Promise<Result<bool>> promise) {
+  if (block < sb_.data_start || block >= sb_.fs_blocks) {
+    promise.set(Status(Errc::invalid_argument, "not a data block"));
+    co_return;
+  }
+  const std::uint64_t index = block - sb_.data_start;
+  const std::uint64_t bb = index / kBitsPerBlock;
+  auto raw = co_await read_block(sb_.bitmap_start + bb);
+  if (!raw) {
+    promise.set(raw.status());
+    co_return;
+  }
+  const std::uint64_t byte = (index % kBitsPerBlock) / 8;
+  const int bit = static_cast<int>(index % 8);
+  auto value = static_cast<std::uint8_t>((*raw)[byte]);
+  if ((value & (1u << bit)) == 0) {
+    promise.set(Status(Errc::internal, "double free of data block"));
+    co_return;
+  }
+  (*raw)[byte] = std::byte{static_cast<std::uint8_t>(value & ~(1u << bit))};
+  auto ok = co_await write_block(sb_.bitmap_start + bb, std::move(*raw));
+  if (!ok) {
+    promise.set(ok.status());
+    co_return;
+  }
+  ++stats_.blocks_freed;
+  promise.set(true);
+}
+
+// --- namespace operations --------------------------------------------------------------
+
+sim::Future<Result<std::uint32_t>> FileSystem::create(std::string name) {
+  sim::Promise<Result<std::uint32_t>> promise(cluster_.engine());
+  create_task(std::move(name), promise);
+  return promise.future();
+}
+
+sim::Task FileSystem::create_task(std::string name,
+                                  sim::Promise<Result<std::uint32_t>> promise) {
+  if (!name_valid(name)) {
+    promise.set(Status(Errc::invalid_argument, "bad file name"));
+    co_return;
+  }
+  co_await op_lock_->acquire();
+  SemRelease sem_guard{op_lock_.get()};
+  if (!co_await lock_.acquire()) {
+    promise.set(Status(Errc::timed_out, "cluster lock timeout"));
+    co_return;
+  }
+  ++stats_.lock_acquisitions;
+  DlmRelease dlm_guard{&lock_};
+
+  std::uint32_t free_slot = sb_.inode_count;
+  for (std::uint64_t blk = 0; blk < sb_.inode_blocks; ++blk) {
+    auto raw = co_await read_block(sb_.inode_start + blk);
+    if (!raw) {
+      promise.set(raw.status());
+      co_return;
+    }
+    for (std::uint32_t i = 0; i < kInodesPerBlock; ++i) {
+      const std::uint32_t index = static_cast<std::uint32_t>(blk * kInodesPerBlock + i);
+      if (index >= sb_.inode_count) break;
+      const auto inode = load_pod<Inode>(*raw, i * sizeof(Inode));
+      if (inode.used != 0) {
+        if (name == inode.name) {
+          promise.set(Status(Errc::already_exists, "file exists"));
+          co_return;
+        }
+      } else if (free_slot == sb_.inode_count) {
+        free_slot = index;
+      }
+    }
+  }
+  if (free_slot == sb_.inode_count) {
+    promise.set(Status(Errc::resource_exhausted, "no free inodes"));
+    co_return;
+  }
+  Inode inode;
+  inode.used = 1;
+  inode.mtime_ns = cluster_.engine().now();
+  std::snprintf(inode.name, sizeof(inode.name), "%s", name.c_str());
+  auto ok = co_await store_inode(free_slot, inode);
+  if (!ok) {
+    promise.set(ok.status());
+    co_return;
+  }
+  promise.set(free_slot);
+}
+
+sim::Future<Result<std::uint32_t>> FileSystem::lookup(std::string name) {
+  sim::Promise<Result<std::uint32_t>> promise(cluster_.engine());
+  lookup_task(std::move(name), promise);
+  return promise.future();
+}
+
+sim::Task FileSystem::lookup_task(std::string name,
+                                  sim::Promise<Result<std::uint32_t>> promise) {
+  co_await op_lock_->acquire();
+  SemRelease sem_guard{op_lock_.get()};
+  for (std::uint64_t blk = 0; blk < sb_.inode_blocks; ++blk) {
+    auto raw = co_await read_block(sb_.inode_start + blk);
+    if (!raw) {
+      promise.set(raw.status());
+      co_return;
+    }
+    for (std::uint32_t i = 0; i < kInodesPerBlock; ++i) {
+      const std::uint32_t index = static_cast<std::uint32_t>(blk * kInodesPerBlock + i);
+      if (index >= sb_.inode_count) break;
+      const auto inode = load_pod<Inode>(*raw, i * sizeof(Inode));
+      if (inode.used != 0 && name == inode.name) {
+        promise.set(index);
+        co_return;
+      }
+    }
+  }
+  promise.set(Status(Errc::not_found, "no such file"));
+}
+
+sim::Future<Result<bool>> FileSystem::remove(std::string name) {
+  sim::Promise<Result<bool>> promise(cluster_.engine());
+  remove_task(std::move(name), promise);
+  return promise.future();
+}
+
+sim::Task FileSystem::remove_task(std::string name, sim::Promise<Result<bool>> promise) {
+  co_await op_lock_->acquire();
+  SemRelease sem_guard{op_lock_.get()};
+  if (!co_await lock_.acquire()) {
+    promise.set(Status(Errc::timed_out, "cluster lock timeout"));
+    co_return;
+  }
+  ++stats_.lock_acquisitions;
+  DlmRelease dlm_guard{&lock_};
+
+  // Find the inode.
+  std::uint32_t target = sb_.inode_count;
+  Inode inode;
+  for (std::uint64_t blk = 0; blk < sb_.inode_blocks && target == sb_.inode_count; ++blk) {
+    auto raw = co_await read_block(sb_.inode_start + blk);
+    if (!raw) {
+      promise.set(raw.status());
+      co_return;
+    }
+    for (std::uint32_t i = 0; i < kInodesPerBlock; ++i) {
+      const std::uint32_t index = static_cast<std::uint32_t>(blk * kInodesPerBlock + i);
+      if (index >= sb_.inode_count) break;
+      const auto candidate = load_pod<Inode>(*raw, i * sizeof(Inode));
+      if (candidate.used != 0 && name == candidate.name) {
+        target = index;
+        inode = candidate;
+        break;
+      }
+    }
+  }
+  if (target == sb_.inode_count) {
+    promise.set(Status(Errc::not_found, "no such file"));
+    co_return;
+  }
+
+  // Free data blocks.
+  for (std::uint64_t d = 0; d < 12; ++d) {
+    if (inode.direct[d] != 0) {
+      auto freed = co_await free_block(inode.direct[d]);
+      if (!freed) {
+        promise.set(freed.status());
+        co_return;
+      }
+    }
+  }
+  if (inode.indirect != 0) {
+    auto indirect = co_await read_block(inode.indirect);
+    if (!indirect) {
+      promise.set(indirect.status());
+      co_return;
+    }
+    for (std::uint64_t e = 0; e < kIndirectEntries; ++e) {
+      const auto block = load_pod<std::uint64_t>(*indirect, e * 8);
+      if (block != 0) {
+        auto freed = co_await free_block(block);
+        if (!freed) {
+          promise.set(freed.status());
+          co_return;
+        }
+      }
+    }
+    auto freed = co_await free_block(inode.indirect);
+    if (!freed) {
+      promise.set(freed.status());
+      co_return;
+    }
+  }
+  auto ok = co_await store_inode(target, Inode{});
+  if (!ok) {
+    promise.set(ok.status());
+    co_return;
+  }
+  promise.set(true);
+}
+
+sim::Future<Result<std::vector<FileSystem::FileInfo>>> FileSystem::list() {
+  sim::Promise<Result<std::vector<FileInfo>>> promise(cluster_.engine());
+  list_task(promise);
+  return promise.future();
+}
+
+sim::Task FileSystem::list_task(sim::Promise<Result<std::vector<FileInfo>>> promise) {
+  co_await op_lock_->acquire();
+  SemRelease sem_guard{op_lock_.get()};
+  std::vector<FileInfo> out;
+  for (std::uint64_t blk = 0; blk < sb_.inode_blocks; ++blk) {
+    auto raw = co_await read_block(sb_.inode_start + blk);
+    if (!raw) {
+      promise.set(raw.status());
+      co_return;
+    }
+    for (std::uint32_t i = 0; i < kInodesPerBlock; ++i) {
+      const std::uint32_t index = static_cast<std::uint32_t>(blk * kInodesPerBlock + i);
+      if (index >= sb_.inode_count) break;
+      const auto inode = load_pod<Inode>(*raw, i * sizeof(Inode));
+      if (inode.used != 0) {
+        out.push_back(FileInfo{inode.name, index, inode.size, inode.mtime_ns});
+      }
+    }
+  }
+  promise.set(std::move(out));
+}
+
+sim::Future<Result<FileSystem::FileInfo>> FileSystem::stat(std::uint32_t inode) {
+  sim::Promise<Result<FileInfo>> promise(cluster_.engine());
+  stat_task(inode, promise);
+  return promise.future();
+}
+
+sim::Task FileSystem::stat_task(std::uint32_t inode, sim::Promise<Result<FileInfo>> promise) {
+  co_await op_lock_->acquire();
+  SemRelease sem_guard{op_lock_.get()};
+  auto ino = co_await load_inode(inode);
+  if (!ino) {
+    promise.set(ino.status());
+    co_return;
+  }
+  if (ino->used == 0) {
+    promise.set(Status(Errc::not_found, "inode not in use"));
+    co_return;
+  }
+  promise.set(FileInfo{ino->name, inode, ino->size, ino->mtime_ns});
+}
+
+sim::Future<Result<bool>> FileSystem::rename(std::string from, std::string to) {
+  sim::Promise<Result<bool>> promise(cluster_.engine());
+  rename_task(std::move(from), std::move(to), promise);
+  return promise.future();
+}
+
+sim::Task FileSystem::rename_task(std::string from, std::string to,
+                                  sim::Promise<Result<bool>> promise) {
+  if (!name_valid(to)) {
+    promise.set(Status(Errc::invalid_argument, "bad target name"));
+    co_return;
+  }
+  co_await op_lock_->acquire();
+  SemRelease sem_guard{op_lock_.get()};
+  if (!co_await lock_.acquire()) {
+    promise.set(Status(Errc::timed_out, "cluster lock timeout"));
+    co_return;
+  }
+  ++stats_.lock_acquisitions;
+  DlmRelease dlm_guard{&lock_};
+
+  // One pass: find the source and make sure the target name is free.
+  std::uint32_t source = sb_.inode_count;
+  for (std::uint64_t blk = 0; blk < sb_.inode_blocks; ++blk) {
+    auto raw = co_await read_block(sb_.inode_start + blk);
+    if (!raw) {
+      promise.set(raw.status());
+      co_return;
+    }
+    for (std::uint32_t i = 0; i < kInodesPerBlock; ++i) {
+      const std::uint32_t index = static_cast<std::uint32_t>(blk * kInodesPerBlock + i);
+      if (index >= sb_.inode_count) break;
+      const auto inode = load_pod<Inode>(*raw, i * sizeof(Inode));
+      if (inode.used == 0) continue;
+      if (to == inode.name) {
+        promise.set(Status(Errc::already_exists, "target name exists"));
+        co_return;
+      }
+      if (from == inode.name) source = index;
+    }
+  }
+  if (source == sb_.inode_count) {
+    promise.set(Status(Errc::not_found, "no such file"));
+    co_return;
+  }
+  auto inode = co_await load_inode(source);
+  if (!inode) {
+    promise.set(inode.status());
+    co_return;
+  }
+  std::snprintf(inode->name, sizeof(inode->name), "%s", to.c_str());
+  inode->mtime_ns = cluster_.engine().now();
+  auto stored = co_await store_inode(source, *inode);
+  if (!stored) {
+    promise.set(stored.status());
+    co_return;
+  }
+  promise.set(true);
+}
+
+sim::Future<Result<bool>> FileSystem::truncate(std::uint32_t inode, std::uint64_t new_size) {
+  sim::Promise<Result<bool>> promise(cluster_.engine());
+  truncate_task(inode, new_size, promise);
+  return promise.future();
+}
+
+sim::Task FileSystem::truncate_task(std::uint32_t inode, std::uint64_t new_size,
+                                    sim::Promise<Result<bool>> promise) {
+  if (new_size > kMaxFileBytes) {
+    promise.set(Status(Errc::out_of_range, "beyond maximum file size"));
+    co_return;
+  }
+  co_await op_lock_->acquire();
+  SemRelease sem_guard{op_lock_.get()};
+  if (!co_await lock_.acquire()) {
+    promise.set(Status(Errc::timed_out, "cluster lock timeout"));
+    co_return;
+  }
+  ++stats_.lock_acquisitions;
+  DlmRelease dlm_guard{&lock_};
+
+  auto ino = co_await load_inode(inode);
+  if (!ino) {
+    promise.set(ino.status());
+    co_return;
+  }
+  if (ino->used == 0) {
+    promise.set(Status(Errc::not_found, "inode not in use"));
+    co_return;
+  }
+  if (new_size < ino->size) {
+    // Free every block wholly past the new end.
+    const std::uint64_t keep_blocks = div_ceil(new_size, kFsBlockSize);
+
+    // Zero the partial tail of the boundary block so a later size
+    // extension reads zeros, not resurrected bytes.
+    if (new_size % kFsBlockSize != 0) {
+      const std::uint64_t boundary = new_size / kFsBlockSize;
+      std::uint64_t blockno = 0;
+      if (boundary < 12) {
+        blockno = ino->direct[boundary];
+      } else if (ino->indirect != 0) {
+        auto indirect = co_await read_block(ino->indirect);
+        if (!indirect) {
+          promise.set(indirect.status());
+          co_return;
+        }
+        blockno = load_pod<std::uint64_t>(*indirect, (boundary - 12) * 8);
+      }
+      if (blockno != 0) {
+        auto content = co_await read_block(blockno);
+        if (!content) {
+          promise.set(content.status());
+          co_return;
+        }
+        std::fill(content->begin() + static_cast<long>(new_size % kFsBlockSize),
+                  content->end(), std::byte{0});
+        auto written = co_await write_block(blockno, std::move(*content));
+        if (!written) {
+          promise.set(written.status());
+          co_return;
+        }
+      }
+    }
+    for (std::uint64_t b = keep_blocks; b < 12; ++b) {
+      if (ino->direct[b] != 0) {
+        auto freed = co_await free_block(ino->direct[b]);
+        if (!freed) {
+          promise.set(freed.status());
+          co_return;
+        }
+        ino->direct[b] = 0;
+      }
+    }
+    if (ino->indirect != 0) {
+      auto indirect = co_await read_block(ino->indirect);
+      if (!indirect) {
+        promise.set(indirect.status());
+        co_return;
+      }
+      bool any_left = false;
+      bool dirty = false;
+      for (std::uint64_t e = 0; e < kIndirectEntries; ++e) {
+        const auto block = load_pod<std::uint64_t>(*indirect, e * 8);
+        if (block == 0) continue;
+        if (12 + e >= keep_blocks) {
+          auto freed = co_await free_block(block);
+          if (!freed) {
+            promise.set(freed.status());
+            co_return;
+          }
+          store_pod(*indirect, std::uint64_t{0}, e * 8);
+          dirty = true;
+        } else {
+          any_left = true;
+        }
+      }
+      if (!any_left) {
+        auto freed = co_await free_block(ino->indirect);
+        if (!freed) {
+          promise.set(freed.status());
+          co_return;
+        }
+        ino->indirect = 0;
+      } else if (dirty) {
+        auto written = co_await write_block(ino->indirect, std::move(*indirect));
+        if (!written) {
+          promise.set(written.status());
+          co_return;
+        }
+      }
+    }
+  }
+  ino->size = new_size;
+  ino->mtime_ns = cluster_.engine().now();
+  auto stored = co_await store_inode(inode, *ino);
+  if (!stored) {
+    promise.set(stored.status());
+    co_return;
+  }
+  promise.set(true);
+}
+
+// --- consistency check ----------------------------------------------------------------
+
+sim::Future<Result<FileSystem::CheckReport>> FileSystem::check() {
+  sim::Promise<Result<CheckReport>> promise(cluster_.engine());
+  check_task(promise);
+  return promise.future();
+}
+
+sim::Task FileSystem::check_task(sim::Promise<Result<CheckReport>> promise) {
+  co_await op_lock_->acquire();
+  SemRelease sem_guard{op_lock_.get()};
+  if (!co_await lock_.acquire()) {
+    promise.set(Status(Errc::timed_out, "cluster lock timeout"));
+    co_return;
+  }
+  ++stats_.lock_acquisitions;
+  DlmRelease dlm_guard{&lock_};
+  CheckReport report;
+
+  // Reference counts for every data block, from walking the inodes.
+  std::vector<std::uint8_t> refs(sb_.data_blocks, 0);
+  auto take_ref = [&](std::uint64_t block) {
+    if (block < sb_.data_start || block >= sb_.fs_blocks) {
+      ++report.out_of_range_refs;
+      return;
+    }
+    const std::uint64_t index = block - sb_.data_start;
+    if (refs[index] == 0) {
+      ++report.referenced_blocks;
+    } else {
+      ++report.double_referenced;
+    }
+    if (refs[index] < 255) ++refs[index];
+  };
+
+  for (std::uint64_t blk = 0; blk < sb_.inode_blocks; ++blk) {
+    auto raw = co_await read_block(sb_.inode_start + blk);
+    if (!raw) {
+      promise.set(raw.status());
+      co_return;
+    }
+    for (std::uint32_t i = 0; i < kInodesPerBlock; ++i) {
+      const std::uint32_t index = static_cast<std::uint32_t>(blk * kInodesPerBlock + i);
+      if (index >= sb_.inode_count) break;
+      const auto inode = load_pod<Inode>(*raw, i * sizeof(Inode));
+      if (inode.used == 0) continue;
+      ++report.files;
+      for (std::uint64_t d = 0; d < 12; ++d) {
+        if (inode.direct[d] != 0) take_ref(inode.direct[d]);
+      }
+      if (inode.indirect != 0) {
+        take_ref(inode.indirect);
+        auto indirect = co_await read_block(inode.indirect);
+        if (!indirect) {
+          promise.set(indirect.status());
+          co_return;
+        }
+        for (std::uint64_t e = 0; e < kIndirectEntries; ++e) {
+          const auto block = load_pod<std::uint64_t>(*indirect, e * 8);
+          if (block != 0) take_ref(block);
+        }
+      }
+    }
+  }
+
+  // Cross-check against the bitmap.
+  for (std::uint64_t bb = 0; bb < sb_.bitmap_blocks; ++bb) {
+    auto raw = co_await read_block(sb_.bitmap_start + bb);
+    if (!raw) {
+      promise.set(raw.status());
+      co_return;
+    }
+    for (std::uint64_t byte = 0; byte < kFsBlockSize; ++byte) {
+      const auto value = static_cast<std::uint8_t>((*raw)[byte]);
+      for (int bit = 0; bit < 8; ++bit) {
+        const std::uint64_t index = bb * kBitsPerBlock + byte * 8 + bit;
+        if (index >= sb_.data_blocks) break;
+        const bool allocated = (value & (1u << bit)) != 0;
+        const bool referenced = refs[index] != 0;
+        if (allocated && !referenced) ++report.leaked_blocks;
+        if (!allocated && referenced) ++report.missing_allocations;
+      }
+    }
+  }
+  promise.set(report);
+}
+
+// --- data operations -----------------------------------------------------------------
+
+sim::Future<Result<std::uint64_t>> FileSystem::write(std::uint32_t inode,
+                                                     std::uint64_t offset, Bytes data) {
+  sim::Promise<Result<std::uint64_t>> promise(cluster_.engine());
+  write_task(inode, offset, std::move(data), promise);
+  return promise.future();
+}
+
+sim::Task FileSystem::write_task(std::uint32_t inode, std::uint64_t offset, Bytes data,
+                                 sim::Promise<Result<std::uint64_t>> promise) {
+  if (data.empty()) {
+    promise.set(std::uint64_t{0});
+    co_return;
+  }
+  if (offset + data.size() > kMaxFileBytes) {
+    promise.set(Status(Errc::out_of_range, "beyond maximum file size"));
+    co_return;
+  }
+  co_await op_lock_->acquire();
+  SemRelease sem_guard{op_lock_.get()};
+  if (!co_await lock_.acquire()) {
+    promise.set(Status(Errc::timed_out, "cluster lock timeout"));
+    co_return;
+  }
+  ++stats_.lock_acquisitions;
+  DlmRelease dlm_guard{&lock_};
+
+  auto ino = co_await load_inode(inode);
+  if (!ino) {
+    promise.set(ino.status());
+    co_return;
+  }
+  if (ino->used == 0) {
+    promise.set(Status(Errc::not_found, "inode not in use"));
+    co_return;
+  }
+
+  Bytes indirect_raw;
+  bool indirect_loaded = false;
+  bool indirect_dirty = false;
+  const std::uint64_t first = offset / kFsBlockSize;
+  const std::uint64_t last = (offset + data.size() - 1) / kFsBlockSize;
+
+  for (std::uint64_t b = first; b <= last; ++b) {
+    // Resolve (or establish) the mapping for file block b.
+    std::uint64_t blockno = 0;
+    if (b < 12) {
+      blockno = ino->direct[b];
+    } else {
+      if (ino->indirect == 0) {
+        auto fresh = co_await alloc_block();
+        if (!fresh) {
+          promise.set(fresh.status());
+          co_return;
+        }
+        ino->indirect = *fresh;
+        indirect_raw.assign(kFsBlockSize, std::byte{0});
+        indirect_loaded = true;
+        indirect_dirty = true;
+      }
+      if (!indirect_loaded) {
+        auto raw = co_await read_block(ino->indirect);
+        if (!raw) {
+          promise.set(raw.status());
+          co_return;
+        }
+        indirect_raw = std::move(*raw);
+        indirect_loaded = true;
+      }
+      blockno = load_pod<std::uint64_t>(indirect_raw, (b - 12) * 8);
+    }
+    bool fresh_block = false;
+    if (blockno == 0) {
+      auto allocated = co_await alloc_block();
+      if (!allocated) {
+        promise.set(allocated.status());
+        co_return;
+      }
+      blockno = *allocated;
+      fresh_block = true;
+      if (b < 12) {
+        ino->direct[b] = blockno;
+      } else {
+        store_pod(indirect_raw, blockno, (b - 12) * 8);
+        indirect_dirty = true;
+      }
+    }
+
+    // Slice of `data` that lands in this block.
+    const std::uint64_t block_start = b * kFsBlockSize;
+    const std::uint64_t in_block = b == first ? offset - block_start : 0;
+    const std::uint64_t data_off = b == first ? 0 : block_start - offset;
+    const std::uint64_t n = std::min(kFsBlockSize - in_block, data.size() - data_off);
+
+    Bytes content;
+    if (n == kFsBlockSize) {
+      content.assign(kFsBlockSize, std::byte{0});
+    } else if (fresh_block) {
+      content.assign(kFsBlockSize, std::byte{0});
+    } else {
+      auto current = co_await read_block(blockno);
+      if (!current) {
+        promise.set(current.status());
+        co_return;
+      }
+      content = std::move(*current);
+    }
+    std::memcpy(content.data() + in_block, data.data() + data_off, n);
+    auto written = co_await write_block(blockno, std::move(content));
+    if (!written) {
+      promise.set(written.status());
+      co_return;
+    }
+  }
+
+  if (indirect_dirty) {
+    auto written = co_await write_block(ino->indirect, indirect_raw);
+    if (!written) {
+      promise.set(written.status());
+      co_return;
+    }
+  }
+  ino->size = std::max(ino->size, offset + data.size());
+  ino->mtime_ns = cluster_.engine().now();
+  auto stored = co_await store_inode(inode, *ino);
+  if (!stored) {
+    promise.set(stored.status());
+    co_return;
+  }
+  promise.set(static_cast<std::uint64_t>(data.size()));
+}
+
+sim::Future<Result<Bytes>> FileSystem::read(std::uint32_t inode, std::uint64_t offset,
+                                            std::uint64_t len) {
+  sim::Promise<Result<Bytes>> promise(cluster_.engine());
+  read_task(inode, offset, len, promise);
+  return promise.future();
+}
+
+sim::Task FileSystem::read_task(std::uint32_t inode, std::uint64_t offset, std::uint64_t len,
+                                sim::Promise<Result<Bytes>> promise) {
+  co_await op_lock_->acquire();
+  SemRelease sem_guard{op_lock_.get()};
+  auto ino = co_await load_inode(inode);
+  if (!ino) {
+    promise.set(ino.status());
+    co_return;
+  }
+  if (ino->used == 0) {
+    promise.set(Status(Errc::not_found, "inode not in use"));
+    co_return;
+  }
+  if (offset >= ino->size) {
+    promise.set(Bytes{});
+    co_return;
+  }
+  len = std::min(len, ino->size - offset);
+  Bytes out(len, std::byte{0});
+
+  Bytes indirect_raw;
+  bool indirect_loaded = false;
+  const std::uint64_t first = offset / kFsBlockSize;
+  const std::uint64_t last = (offset + len - 1) / kFsBlockSize;
+  for (std::uint64_t b = first; b <= last; ++b) {
+    std::uint64_t blockno = 0;
+    if (b < 12) {
+      blockno = ino->direct[b];
+    } else if (ino->indirect != 0) {
+      if (!indirect_loaded) {
+        auto raw = co_await read_block(ino->indirect);
+        if (!raw) {
+          promise.set(raw.status());
+          co_return;
+        }
+        indirect_raw = std::move(*raw);
+        indirect_loaded = true;
+      }
+      blockno = load_pod<std::uint64_t>(indirect_raw, (b - 12) * 8);
+    }
+
+    const std::uint64_t block_start = b * kFsBlockSize;
+    const std::uint64_t in_block = b == first ? offset - block_start : 0;
+    const std::uint64_t out_off = b == first ? 0 : block_start - offset;
+    const std::uint64_t n = std::min(kFsBlockSize - in_block, len - out_off);
+    if (blockno == 0) continue;  // hole: stays zero
+    auto content = co_await read_block(blockno);
+    if (!content) {
+      promise.set(content.status());
+      co_return;
+    }
+    std::memcpy(out.data() + out_off, content->data() + in_block, n);
+  }
+  promise.set(std::move(out));
+}
+
+}  // namespace nvmeshare::fs

@@ -1,0 +1,171 @@
+// nvsfs: a small shared-disk filesystem on top of the distributed block
+// device — the paper's motivating use case (Section V names GFS/OCFS as the
+// reason the driver registers a *block device*), and its future work
+// ("performing experiments using our driver for a file system").
+//
+// Every host mounts the same on-disk structures through its own driver
+// client; metadata mutations are serialized by a cluster-wide BakeryLock
+// living in NTB shared memory (the same substrate the driver uses). The
+// namespace is flat; files are block-mapped with 12 direct pointers and one
+// indirect block (max file ~2 MiB + 48 KiB).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "block/block.hpp"
+#include "fs/dlm.hpp"
+#include "fs/layout.hpp"
+#include "sisci/sisci.hpp"
+
+namespace nvmeshare::fs {
+
+class FileSystem {
+ public:
+  struct Config {
+    std::uint64_t fs_blocks = 16384;  ///< filesystem size: 64 MiB default
+    std::uint32_t inode_count = 256;
+    sisci::SegmentId lock_segment_id = 0x464c434b;  // "FLCK"
+  };
+
+  struct FileInfo {
+    std::string name;
+    std::uint32_t inode = 0;
+    std::uint64_t size = 0;
+    std::int64_t mtime_ns = 0;
+  };
+
+  /// Format `device` and create the cluster lock segment on `node`.
+  /// Returns a mounted handle.
+  static sim::Future<Result<std::unique_ptr<FileSystem>>> format(sisci::Cluster& cluster,
+                                                                 block::BlockDevice& device,
+                                                                 sisci::NodeId node,
+                                                                 Config cfg);
+
+  /// Mount an already-formatted filesystem from `node`, joining the lock
+  /// segment created by `format_node`.
+  static sim::Future<Result<std::unique_ptr<FileSystem>>> mount(sisci::Cluster& cluster,
+                                                                block::BlockDevice& device,
+                                                                sisci::NodeId node,
+                                                                sisci::NodeId format_node,
+                                                                Config cfg);
+
+  ~FileSystem();
+  FileSystem(const FileSystem&) = delete;
+  FileSystem& operator=(const FileSystem&) = delete;
+
+  // --- namespace ----------------------------------------------------------------
+  /// Create an empty file; fails with already_exists on name collision.
+  sim::Future<Result<std::uint32_t>> create(std::string name);
+  /// Find a file by name.
+  sim::Future<Result<std::uint32_t>> lookup(std::string name);
+  /// Delete a file and free its blocks.
+  sim::Future<Result<bool>> remove(std::string name);
+  /// Rename a file; fails if `to` exists.
+  sim::Future<Result<bool>> rename(std::string from, std::string to);
+  /// All files in the (flat) namespace.
+  sim::Future<Result<std::vector<FileInfo>>> list();
+  sim::Future<Result<FileInfo>> stat(std::uint32_t inode);
+
+  // --- data ---------------------------------------------------------------------
+  /// Write `data` at byte `offset`, allocating blocks as needed. Returns
+  /// bytes written.
+  sim::Future<Result<std::uint64_t>> write(std::uint32_t inode, std::uint64_t offset,
+                                           Bytes data);
+  /// Read up to `len` bytes at `offset` (short read at end of file).
+  sim::Future<Result<Bytes>> read(std::uint32_t inode, std::uint64_t offset,
+                                  std::uint64_t len);
+  /// Shrink (freeing blocks past the end) or grow (a hole) the file.
+  sim::Future<Result<bool>> truncate(std::uint32_t inode, std::uint64_t new_size);
+
+  /// Consistency report from check() — the fsck analog.
+  struct CheckReport {
+    std::uint64_t files = 0;
+    std::uint64_t referenced_blocks = 0;   ///< data + indirect blocks in use
+    std::uint64_t leaked_blocks = 0;       ///< allocated in the bitmap, referenced by nothing
+    std::uint64_t double_referenced = 0;   ///< one block owned by two mappings
+    std::uint64_t missing_allocations = 0; ///< referenced but free in the bitmap
+    std::uint64_t out_of_range_refs = 0;   ///< pointer outside the data area
+
+    [[nodiscard]] bool consistent() const noexcept {
+      return leaked_blocks == 0 && double_referenced == 0 && missing_allocations == 0 &&
+             out_of_range_refs == 0;
+    }
+  };
+
+  /// Full-filesystem consistency check under the cluster lock: walks every
+  /// inode's block mappings and cross-checks them against the allocation
+  /// bitmap.
+  sim::Future<Result<CheckReport>> check();
+
+  [[nodiscard]] const Superblock& superblock() const noexcept { return sb_; }
+
+  struct Stats {
+    std::uint64_t lock_acquisitions = 0;
+    std::uint64_t blocks_allocated = 0;
+    std::uint64_t blocks_freed = 0;
+    std::uint64_t block_reads = 0;
+    std::uint64_t block_writes = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  FileSystem(sisci::Cluster& cluster, block::BlockDevice& device, sisci::NodeId node);
+
+  static sim::Task format_task(std::unique_ptr<FileSystem> self, Config cfg,
+                               sim::Promise<Result<std::unique_ptr<FileSystem>>> promise);
+  static sim::Task mount_task(std::unique_ptr<FileSystem> self, sisci::NodeId format_node,
+                              Config cfg,
+                              sim::Promise<Result<std::unique_ptr<FileSystem>>> promise);
+
+  sim::Task create_task(std::string name, sim::Promise<Result<std::uint32_t>> promise);
+  sim::Task lookup_task(std::string name, sim::Promise<Result<std::uint32_t>> promise);
+  sim::Task remove_task(std::string name, sim::Promise<Result<bool>> promise);
+  sim::Task list_task(sim::Promise<Result<std::vector<FileInfo>>> promise);
+  sim::Task stat_task(std::uint32_t inode, sim::Promise<Result<FileInfo>> promise);
+  sim::Task write_task(std::uint32_t inode, std::uint64_t offset, Bytes data,
+                       sim::Promise<Result<std::uint64_t>> promise);
+  sim::Task read_task(std::uint32_t inode, std::uint64_t offset, std::uint64_t len,
+                      sim::Promise<Result<Bytes>> promise);
+  sim::Task check_task(sim::Promise<Result<CheckReport>> promise);
+  sim::Task rename_task(std::string from, std::string to, sim::Promise<Result<bool>> promise);
+  sim::Task truncate_task(std::uint32_t inode, std::uint64_t new_size,
+                          sim::Promise<Result<bool>> promise);
+
+  // Block I/O through the block device (4 KiB filesystem blocks).
+  sim::Future<Result<Bytes>> read_block(std::uint64_t fs_block);
+  sim::Task read_block_task(std::uint64_t fs_block, sim::Promise<Result<Bytes>> promise);
+  sim::Future<Result<bool>> write_block(std::uint64_t fs_block, Bytes data);
+  sim::Task write_block_task(std::uint64_t fs_block, Bytes data,
+                             sim::Promise<Result<bool>> promise);
+
+  // Inode helpers (caller holds the op semaphore; mutators hold the DLM).
+  sim::Future<Result<Inode>> load_inode(std::uint32_t index);
+  sim::Task load_inode_task(std::uint32_t index, sim::Promise<Result<Inode>> promise);
+  sim::Future<Result<bool>> store_inode(std::uint32_t index, Inode inode);
+  sim::Task store_inode_task(std::uint32_t index, Inode inode,
+                             sim::Promise<Result<bool>> promise);
+
+  /// Allocate one data block from the bitmap (caller holds the DLM).
+  sim::Future<Result<std::uint64_t>> alloc_block();
+  sim::Task alloc_block_task(sim::Promise<Result<std::uint64_t>> promise);
+  /// Free a data block in the bitmap (caller holds the DLM).
+  sim::Future<Result<bool>> free_block(std::uint64_t block);
+  sim::Task free_block_task(std::uint64_t block, sim::Promise<Result<bool>> promise);
+
+  [[nodiscard]] bool name_valid(const std::string& name) const;
+
+  sisci::Cluster& cluster_;
+  block::BlockDevice& device_;
+  sisci::NodeId node_;
+  Superblock sb_;
+  BakeryLock lock_;
+  std::unique_ptr<sim::Semaphore> op_lock_;  ///< serializes ops on this handle
+  std::uint64_t staging_ = 0;                ///< one fs-block DRAM staging buffer
+  std::uint64_t alloc_hint_ = 0;             ///< bitmap search start
+  Stats stats_;
+};
+
+}  // namespace nvmeshare::fs

@@ -1,0 +1,56 @@
+// On-disk layout of nvsfs, the shared-disk filesystem used to demonstrate
+// the paper's motivating use case ("use shared disk file systems available
+// on Linux, such as GFS or OCFS" — Section V) on top of the distributed
+// block device.
+//
+// All metadata is stored in 4 KiB filesystem blocks:
+//   block 0                superblock
+//   bitmap_start ..        data-block allocation bitmap (1 bit per block)
+//   inode_start ..         inode table (flat namespace: every inode carries
+//                          its own name; there are no directories)
+//   data_start ..          file data and indirect blocks
+#pragma once
+
+#include <cstdint>
+
+namespace nvmeshare::fs {
+
+inline constexpr std::uint64_t kFsBlockSize = 4096;
+
+struct Superblock {
+  std::uint64_t magic = 0x314653'5653564eULL;  // "NVSFS1"
+  std::uint32_t version = 1;
+  std::uint32_t inode_count = 0;
+  std::uint64_t fs_blocks = 0;      ///< total filesystem blocks on the device
+  std::uint64_t bitmap_start = 0;   ///< first bitmap block
+  std::uint64_t bitmap_blocks = 0;
+  std::uint64_t inode_start = 0;
+  std::uint64_t inode_blocks = 0;
+  std::uint64_t data_start = 0;
+  std::uint64_t data_blocks = 0;
+};
+
+inline constexpr std::uint64_t kSuperblockMagic = Superblock{}.magic;
+
+/// Fixed 256-byte inode; 16 per filesystem block. Flat namespace: the name
+/// lives in the inode.
+struct Inode {
+  std::uint32_t used = 0;
+  std::uint32_t flags = 0;
+  std::uint64_t size = 0;         ///< bytes
+  std::int64_t mtime_ns = 0;      ///< simulated time of last write
+  char name[64] = {};
+  std::uint64_t direct[12] = {};  ///< data block numbers (0 = hole)
+  std::uint64_t indirect = 0;     ///< block of u64 block numbers
+  std::uint8_t reserved[64] = {};
+};
+static_assert(sizeof(Inode) == 256);
+
+inline constexpr std::uint32_t kInodesPerBlock =
+    static_cast<std::uint32_t>(kFsBlockSize / sizeof(Inode));
+inline constexpr std::uint64_t kIndirectEntries = kFsBlockSize / 8;
+/// Largest file: direct blocks + one indirect block of pointers.
+inline constexpr std::uint64_t kMaxFileBlocks = 12 + kIndirectEntries;
+inline constexpr std::uint64_t kMaxFileBytes = kMaxFileBlocks * kFsBlockSize;
+
+}  // namespace nvmeshare::fs

@@ -1,0 +1,63 @@
+#include "mem/allocator.hpp"
+
+#include "common/units.hpp"
+
+namespace nvmeshare::mem {
+
+RangeAllocator::RangeAllocator(std::uint64_t base, std::uint64_t size)
+    : base_(base), size_(size), bytes_free_(size) {
+  if (size > 0) free_.emplace(base, size);
+}
+
+Result<std::uint64_t> RangeAllocator::alloc(std::uint64_t size, std::uint64_t align) {
+  if (size == 0 || !is_pow2(align)) {
+    return Status(Errc::invalid_argument, "alloc(size=0) or non-power-of-two alignment");
+  }
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    const std::uint64_t start = it->first;
+    const std::uint64_t len = it->second;
+    const std::uint64_t aligned = align_up(start, align);
+    const std::uint64_t pad = aligned - start;
+    if (pad + size > len) continue;
+
+    // Split the free block into [start,pad) + allocation + tail.
+    free_.erase(it);
+    if (pad > 0) free_.emplace(start, pad);
+    const std::uint64_t tail = len - pad - size;
+    if (tail > 0) free_.emplace(aligned + size, tail);
+    allocated_.emplace(aligned, size);
+    bytes_free_ -= size;
+    return aligned;
+  }
+  return Status(Errc::resource_exhausted, "no contiguous region large enough");
+}
+
+Status RangeAllocator::free(std::uint64_t addr) {
+  auto it = allocated_.find(addr);
+  if (it == allocated_.end()) {
+    return Status(Errc::not_found, "free of address that was not allocated");
+  }
+  std::uint64_t start = it->first;
+  std::uint64_t len = it->second;
+  bytes_free_ += len;
+  allocated_.erase(it);
+
+  // Coalesce with the next free block if adjacent.
+  auto next = free_.lower_bound(start);
+  if (next != free_.end() && start + len == next->first) {
+    len += next->second;
+    next = free_.erase(next);
+  }
+  // Coalesce with the previous free block if adjacent.
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == start) {
+      prev->second += len;
+      return Status::ok();
+    }
+  }
+  free_.emplace(start, len);
+  return Status::ok();
+}
+
+}  // namespace nvmeshare::mem

@@ -1,0 +1,61 @@
+// Sparse simulated physical memory (DRAM) for one host.
+//
+// Pages materialize on first write; reads of untouched memory return zeroes,
+// like freshly-allocated RAM. All DMA in the simulator ultimately lands
+// here, so data-integrity tests observe exactly what a device would have
+// written over the fabric.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace nvmeshare::mem {
+
+class PhysMem {
+ public:
+  static constexpr std::uint64_t kPageSize = 4096;
+
+  /// A memory of `size` bytes starting at physical address 0.
+  explicit PhysMem(std::uint64_t size) : size_(size) {}
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+
+  /// Copy bytes out of memory. Fails with out_of_range past the end.
+  Status read(std::uint64_t addr, ByteSpan out) const;
+
+  /// Copy bytes into memory.
+  Status write(std::uint64_t addr, ConstByteSpan in);
+
+  /// Read a trivially-copyable value.
+  template <typename T>
+  [[nodiscard]] Result<T> read_pod(std::uint64_t addr) const {
+    T v{};
+    if (Status st = read(addr, as_writable_bytes_of(v)); !st) return st;
+    return v;
+  }
+
+  /// Write a trivially-copyable value.
+  template <typename T>
+  Status write_pod(std::uint64_t addr, const T& v) {
+    return write(addr, as_bytes_of(v));
+  }
+
+  /// Number of pages that have been materialized (for tests / footprint).
+  [[nodiscard]] std::size_t resident_pages() const noexcept { return pages_.size(); }
+
+ private:
+  using Page = std::array<std::byte, kPageSize>;
+
+  [[nodiscard]] const Page* find_page(std::uint64_t page_index) const;
+  Page& materialize_page(std::uint64_t page_index);
+
+  std::uint64_t size_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace nvmeshare::mem

@@ -1,0 +1,87 @@
+#include "nvme/block_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nvmeshare::nvme {
+
+BlockStore::BlockStore(std::uint64_t capacity_blocks, std::uint32_t block_size)
+    : capacity_blocks_(capacity_blocks), block_size_(block_size) {}
+
+Status BlockStore::check_range(std::uint64_t slba, std::uint32_t nblocks) const {
+  if (nblocks == 0) return Status(Errc::invalid_argument, "zero-length block access");
+  if (slba + nblocks > capacity_blocks_ || slba + nblocks < slba) {
+    return Status(Errc::out_of_range, "LBA range beyond namespace capacity");
+  }
+  return Status::ok();
+}
+
+Status BlockStore::read(std::uint64_t slba, std::uint32_t nblocks, ByteSpan out) const {
+  NVS_RETURN_IF_ERROR(check_range(slba, nblocks));
+  const std::uint64_t bytes = static_cast<std::uint64_t>(nblocks) * block_size_;
+  if (out.size() != bytes) return Status(Errc::invalid_argument, "buffer size mismatch");
+
+  std::uint64_t pos = slba * block_size_;
+  std::size_t done = 0;
+  while (done < bytes) {
+    const std::uint64_t chunk_idx = pos / kChunkBytes;
+    const std::uint64_t off = pos % kChunkBytes;
+    const std::size_t n =
+        std::min<std::size_t>(bytes - done, static_cast<std::size_t>(kChunkBytes - off));
+    auto it = chunks_.find(chunk_idx);
+    if (it != chunks_.end()) {
+      std::memcpy(out.data() + done, it->second.data() + off, n);
+    } else {
+      std::memset(out.data() + done, 0, n);
+    }
+    done += n;
+    pos += n;
+  }
+  return Status::ok();
+}
+
+Status BlockStore::write(std::uint64_t slba, std::uint32_t nblocks, ConstByteSpan in) {
+  NVS_RETURN_IF_ERROR(check_range(slba, nblocks));
+  const std::uint64_t bytes = static_cast<std::uint64_t>(nblocks) * block_size_;
+  if (in.size() != bytes) return Status(Errc::invalid_argument, "buffer size mismatch");
+
+  std::uint64_t pos = slba * block_size_;
+  std::size_t done = 0;
+  while (done < bytes) {
+    const std::uint64_t chunk_idx = pos / kChunkBytes;
+    const std::uint64_t off = pos % kChunkBytes;
+    const std::size_t n =
+        std::min<std::size_t>(bytes - done, static_cast<std::size_t>(kChunkBytes - off));
+    auto& chunk = chunks_[chunk_idx];
+    if (chunk.empty()) chunk.assign(kChunkBytes, std::byte{0});
+    std::memcpy(chunk.data() + off, in.data() + done, n);
+    done += n;
+    pos += n;
+  }
+  return Status::ok();
+}
+
+Status BlockStore::write_zeroes(std::uint64_t slba, std::uint32_t nblocks) {
+  NVS_RETURN_IF_ERROR(check_range(slba, nblocks));
+  const std::uint64_t bytes = static_cast<std::uint64_t>(nblocks) * block_size_;
+  std::uint64_t pos = slba * block_size_;
+  std::uint64_t done = 0;
+  while (done < bytes) {
+    const std::uint64_t chunk_idx = pos / kChunkBytes;
+    const std::uint64_t off = pos % kChunkBytes;
+    const std::uint64_t n = std::min<std::uint64_t>(bytes - done, kChunkBytes - off);
+    auto it = chunks_.find(chunk_idx);
+    if (it != chunks_.end()) {
+      if (off == 0 && n == kChunkBytes) {
+        chunks_.erase(it);  // whole chunk zeroed -> drop it
+      } else {
+        std::memset(it->second.data() + off, 0, n);
+      }
+    }
+    done += n;
+    pos += n;
+  }
+  return Status::ok();
+}
+
+}  // namespace nvmeshare::nvme

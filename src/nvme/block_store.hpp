@@ -1,0 +1,41 @@
+// Sparse backing store for one NVMe namespace. Chunked so that a mostly
+// empty multi-hundred-GB namespace costs memory proportional to the data
+// actually written; unwritten blocks read as zeroes (matching a freshly
+// formatted SSD with deallocated blocks).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace nvmeshare::nvme {
+
+class BlockStore {
+ public:
+  BlockStore(std::uint64_t capacity_blocks, std::uint32_t block_size);
+
+  [[nodiscard]] std::uint64_t capacity_blocks() const noexcept { return capacity_blocks_; }
+  [[nodiscard]] std::uint32_t block_size() const noexcept { return block_size_; }
+
+  /// Read `nblocks` starting at `slba`; `out` must be nblocks*block_size.
+  Status read(std::uint64_t slba, std::uint32_t nblocks, ByteSpan out) const;
+  /// Write `nblocks` starting at `slba`.
+  Status write(std::uint64_t slba, std::uint32_t nblocks, ConstByteSpan in);
+  /// Deallocate / zero a range (Write Zeroes).
+  Status write_zeroes(std::uint64_t slba, std::uint32_t nblocks);
+
+  [[nodiscard]] std::size_t resident_chunks() const noexcept { return chunks_.size(); }
+
+ private:
+  static constexpr std::uint64_t kChunkBytes = 32 * 1024;
+
+  [[nodiscard]] Status check_range(std::uint64_t slba, std::uint32_t nblocks) const;
+
+  std::uint64_t capacity_blocks_;
+  std::uint32_t block_size_;
+  std::unordered_map<std::uint64_t, Bytes> chunks_;  // chunk index -> kChunkBytes
+};
+
+}  // namespace nvmeshare::nvme

@@ -1,0 +1,65 @@
+#include "nvme/queue.hpp"
+
+namespace nvmeshare::nvme {
+
+QueuePair::QueuePair(pcie::Fabric& fabric, Config cfg) : fabric_(fabric), cfg_(cfg) {
+  cid_busy_.assign(cfg_.sq_size, false);
+}
+
+Result<std::uint16_t> QueuePair::push(SubmissionEntry entry) {
+  if (sq_full()) return Status(Errc::resource_exhausted, "submission queue full");
+
+  // Allocate a CID (bounded scan: at most sq_size slots, and we know one is
+  // free because the queue is not full).
+  std::uint16_t cid = next_cid_;
+  while (cid_busy_[cid]) cid = static_cast<std::uint16_t>((cid + 1) % cfg_.sq_size);
+  next_cid_ = static_cast<std::uint16_t>((cid + 1) % cfg_.sq_size);
+  cid_busy_[cid] = true;
+  entry.cid = cid;
+
+  Bytes buf(sizeof(SubmissionEntry));
+  store_pod(buf, entry);
+  auto arrival = fabric_.post_write(
+      cfg_.cpu, cfg_.sq_write_addr + static_cast<std::uint64_t>(sq_tail_) * sizeof(entry),
+      std::move(buf));
+  if (!arrival) {
+    cid_busy_[cid] = false;
+    return arrival.status();
+  }
+  sq_tail_ = static_cast<std::uint16_t>((sq_tail_ + 1) % cfg_.sq_size);
+  ++inflight_;
+  return cid;
+}
+
+Status QueuePair::ring_sq_doorbell() {
+  Bytes buf(4);
+  store_pod(buf, static_cast<std::uint32_t>(sq_tail_));
+  auto arrival = fabric_.post_write(cfg_.cpu, cfg_.sq_doorbell_addr, std::move(buf));
+  return arrival.status();
+}
+
+std::optional<CompletionEntry> QueuePair::poll() {
+  CompletionEntry e;
+  Status st = fabric_.peek(
+      cfg_.cpu.host, cfg_.cq_poll_addr + static_cast<std::uint64_t>(cq_head_) * sizeof(e),
+      as_writable_bytes_of(e));
+  if (!st) return std::nullopt;
+  if (e.phase() != expected_phase_) return std::nullopt;
+
+  cq_head_ = static_cast<std::uint16_t>((cq_head_ + 1) % cfg_.cq_size);
+  if (cq_head_ == 0) expected_phase_ = !expected_phase_;
+  if (e.cid < cid_busy_.size() && cid_busy_[e.cid]) {
+    cid_busy_[e.cid] = false;
+    --inflight_;
+  }
+  return e;
+}
+
+Status QueuePair::ring_cq_doorbell() {
+  Bytes buf(4);
+  store_pod(buf, static_cast<std::uint32_t>(cq_head_));
+  auto arrival = fabric_.post_write(cfg_.cpu, cfg_.cq_doorbell_addr, std::move(buf));
+  return arrival.status();
+}
+
+}  // namespace nvmeshare::nvme

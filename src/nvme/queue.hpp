@@ -1,0 +1,74 @@
+// Host-side view of one NVMe queue pair: SQ tail/CQ head bookkeeping, phase
+// tag tracking, CID allocation, and the actual (posted) stores that reach
+// the queue memory and doorbells through the PCIe fabric.
+//
+// Shared by every driver in the tree: the distributed driver's manager and
+// clients, the local baseline driver, and the NVMe-oF target. The queue
+// memory may be local DRAM or an NTB window — the ring logic is identical,
+// which is precisely the paper's observation that "any address a controller
+// can use DMA to is a valid queue memory location".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.hpp"
+#include "nvme/spec.hpp"
+#include "pcie/fabric.hpp"
+
+namespace nvmeshare::nvme {
+
+class QueuePair {
+ public:
+  struct Config {
+    std::uint16_t qid = 0;
+    std::uint16_t sq_size = 0;
+    std::uint16_t cq_size = 0;
+    /// Address (in the operating host's space) where SQEs are written.
+    std::uint64_t sq_write_addr = 0;
+    /// Address (in the operating host's space) where CQEs are polled; must
+    /// be CPU-readable without stalling, i.e. local DRAM.
+    std::uint64_t cq_poll_addr = 0;
+    std::uint64_t sq_doorbell_addr = 0;
+    std::uint64_t cq_doorbell_addr = 0;
+    pcie::Initiator cpu;  ///< the host operating this queue pair
+  };
+
+  QueuePair(pcie::Fabric& fabric, Config cfg);
+
+  [[nodiscard]] std::uint16_t qid() const noexcept { return cfg_.qid; }
+  /// Commands currently submitted but not yet completed.
+  [[nodiscard]] std::uint16_t inflight() const noexcept { return inflight_; }
+  [[nodiscard]] bool sq_full() const noexcept {
+    return inflight_ >= static_cast<std::uint16_t>(cfg_.sq_size - 1);
+  }
+
+  /// Write one SQE at the current tail (posted store through the fabric),
+  /// assigning a free CID which is also returned. Does not ring the
+  /// doorbell, so several entries can be batched per doorbell write.
+  Result<std::uint16_t> push(SubmissionEntry entry);
+
+  /// Ring the SQ tail doorbell with the current tail value.
+  Status ring_sq_doorbell();
+
+  /// Check the CQ head slot once. Consumes and returns the entry if a new
+  /// completion (correct phase tag) is present. Zero simulated cost: the
+  /// caller models its polling cadence.
+  std::optional<CompletionEntry> poll();
+
+  /// Tell the controller how far the CQ has been consumed.
+  Status ring_cq_doorbell();
+
+ private:
+  pcie::Fabric& fabric_;
+  Config cfg_;
+  std::uint16_t sq_tail_ = 0;
+  std::uint16_t cq_head_ = 0;
+  bool expected_phase_ = true;
+  std::uint16_t inflight_ = 0;
+  std::uint16_t next_cid_ = 0;
+  std::vector<bool> cid_busy_;
+};
+
+}  // namespace nvmeshare::nvme

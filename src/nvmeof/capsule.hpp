@@ -1,0 +1,44 @@
+// NVMe-oF capsule wire format (simplified fabric command/response capsules
+// for the RDMA transport). Data for writes is pulled by the target with an
+// RDMA READ; data for reads is pushed with an RDMA WRITE — both one-sided,
+// addressed by the initiator-provided buffer address.
+#pragma once
+
+#include <cstdint>
+
+namespace nvmeshare::nvmeof {
+
+enum class FabricOp : std::uint8_t { read = 1, write = 2, flush = 3, write_zeroes = 4, discard = 5 };
+
+/// Writes up to this size travel in-capsule (SPDK's default in-capsule data
+/// size); larger writes are pulled by the target with an RDMA READ.
+inline constexpr std::uint32_t kInlineDataMax = 4096;
+/// Capsule flag: the command carries its write payload inline.
+inline constexpr std::uint8_t kFlagInlineData = 0x01;
+/// Wire size of a command-capsule slot (header + worst-case inline data).
+inline constexpr std::uint32_t kCapsuleSlotBytes = 64 + kInlineDataMax;
+
+struct CommandCapsule {
+  std::uint8_t opcode = 0;  ///< FabricOp
+  std::uint8_t flags = 0;
+  std::uint16_t cid = 0;
+  std::uint32_t nsid = 1;
+  std::uint64_t slba = 0;
+  std::uint32_t nblocks = 0;
+  std::uint32_t data_len = 0;
+  /// Initiator-side registered buffer the target RDMA-READs (writes) from
+  /// or RDMA-WRITEs (reads) into.
+  std::uint64_t initiator_data_addr = 0;
+  std::uint8_t reserved[32] = {};
+};
+static_assert(sizeof(CommandCapsule) == 64);
+
+struct ResponseCapsule {
+  std::uint32_t dw0 = 0;
+  std::uint16_t cid = 0;
+  std::uint16_t status = 0;  ///< NVMe status field (0 = success)
+  std::uint8_t reserved[8] = {};
+};
+static_assert(sizeof(ResponseCapsule) == 16);
+
+}  // namespace nvmeshare::nvmeof

@@ -1,0 +1,232 @@
+#include "nvmeof/initiator.hpp"
+
+#include "common/log.hpp"
+
+namespace nvmeshare::nvmeof {
+
+namespace {
+constexpr std::uint64_t kWrSend = 4ull << 56;
+constexpr std::uint64_t kWrRecv = 1ull << 56;
+constexpr std::uint64_t kWrSlotMask = (1ull << 56) - 1;
+}  // namespace
+
+Initiator::Initiator(sisci::Cluster& cluster, rdma::Network& network, rdma::NodeId node,
+                     Config cfg)
+    : cluster_(cluster), network_(network), node_(node), cfg_(cfg), rng_(cfg.seed ^ node) {}
+
+Initiator::~Initiator() { *stop_ = true; }
+
+sim::Future<Result<std::unique_ptr<Initiator>>> Initiator::connect(sisci::Cluster& cluster,
+                                                                   rdma::Network& network,
+                                                                   Target& target,
+                                                                   rdma::NodeId node,
+                                                                   Config cfg) {
+  sim::Promise<Result<std::unique_ptr<Initiator>>> promise(cluster.engine());
+  auto self = std::unique_ptr<Initiator>(new Initiator(cluster, network, node, cfg));
+  connect_task(std::move(self), &target, promise);
+  return promise.future();
+}
+
+sim::Task Initiator::connect_task(std::unique_ptr<Initiator> self, Target* target,
+                                  sim::Promise<Result<std::unique_ptr<Initiator>>> promise) {
+  Initiator& i = *self;
+  sim::Engine& engine = i.cluster_.engine();
+
+  i.ctx_ = std::make_unique<rdma::Context>(i.network_, i.node_);
+  i.cq_ = std::make_unique<rdma::CompletionQueue>(engine);
+
+  auto cmd = i.cluster_.alloc_dram(i.node_, i.cfg_.queue_depth * kCapsuleSlotBytes, 4096);
+  auto resp = i.cluster_.alloc_dram(i.node_, i.cfg_.queue_depth * sizeof(ResponseCapsule), 4096);
+  if (!cmd || !resp) {
+    promise.set(Status(Errc::resource_exhausted, "initiator: no DRAM for capsule buffers"));
+    co_return;
+  }
+  i.cmd_base_ = *cmd;
+  i.resp_base_ = *resp;
+
+  // The kernel initiator DMA-maps request buffers on the fly; model that as
+  // one MR covering all of this host's DRAM (data is placed one-sided by
+  // the target, so every request buffer must be reachable).
+  (void)i.ctx_->register_mr(0, i.cluster_.fabric().host_dram(i.node_).size());
+
+  auto qp = co_await target->accept(*i.ctx_, *i.cq_);
+  if (!qp) {
+    promise.set(qp.status());
+    co_return;
+  }
+  i.qp_ = *qp;
+
+  for (std::uint32_t slot = 0; slot < i.cfg_.queue_depth; ++slot) {
+    (void)i.qp_->post_recv(kWrRecv | slot, i.resp_base_ + slot * sizeof(ResponseCapsule),
+                           sizeof(ResponseCapsule));
+  }
+
+  i.capacity_blocks_ = target->controller().capacity_blocks();
+  i.block_size_ = target->controller().block_size();
+  i.max_transfer_ = target->controller().max_transfer_bytes();
+
+  i.slots_ = std::make_unique<sim::Semaphore>(engine, i.cfg_.queue_depth);
+  i.free_slots_.resize(i.cfg_.queue_depth);
+  for (std::uint32_t s = 0; s < i.cfg_.queue_depth; ++s) {
+    i.free_slots_[s] = i.cfg_.queue_depth - 1 - s;
+  }
+  i.completion_loop(i.stop_);
+  NVS_LOG(info, "nvmeof") << "initiator connected from node " << i.node_;
+  promise.set(std::move(self));
+}
+
+sim::Future<block::Completion> Initiator::submit(const block::Request& request) {
+  sim::Promise<block::Completion> promise(cluster_.engine());
+  io_task(request, promise);
+  return promise.future();
+}
+
+sim::Task Initiator::io_task(block::Request request, sim::Promise<block::Completion> promise) {
+  auto stop = stop_;
+  sim::Engine& engine = cluster_.engine();
+  const sim::Time start = engine.now();
+  auto finish = [&](Status st) {
+    if (!st) ++stats_.errors;
+    promise.set(block::Completion{std::move(st), engine.now() - start});
+  };
+
+  if (Status st = block::validate_request(*this, request); !st) {
+    finish(st);
+    co_return;
+  }
+  co_await slots_->acquire();
+  if (*stop) {
+    slots_->release();
+    finish(Status(Errc::aborted, "initiator stopped"));
+    co_return;
+  }
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  auto release_slot = [&]() {
+    free_slots_.push_back(slot);
+    slots_->release();
+  };
+
+  // Submission path: block layer + capsule construction.
+  co_await sim::delay(engine, cfg_.costs.jittered(cfg_.costs.submit_ns, rng_));
+
+  CommandCapsule capsule;
+  capsule.cid = static_cast<std::uint16_t>(slot);
+  capsule.slba = request.lba;
+  capsule.nblocks = request.nblocks;
+  capsule.initiator_data_addr = request.buffer_addr;
+  std::uint32_t wire_len = sizeof(CommandCapsule);
+  switch (request.op) {
+    case block::Op::read:
+      capsule.opcode = static_cast<std::uint8_t>(FabricOp::read);
+      capsule.data_len = request.nblocks * block_size_;
+      ++stats_.reads;
+      break;
+    case block::Op::write:
+      capsule.opcode = static_cast<std::uint8_t>(FabricOp::write);
+      capsule.data_len = request.nblocks * block_size_;
+      // Small writes ride in-capsule (the NIC gathers payload from the
+      // request buffer; no CPU copy), like SPDK's in-capsule data path.
+      if (capsule.data_len <= kInlineDataMax) {
+        capsule.flags |= kFlagInlineData;
+        wire_len += capsule.data_len;
+      }
+      ++stats_.writes;
+      break;
+    case block::Op::flush:
+      capsule.opcode = static_cast<std::uint8_t>(FabricOp::flush);
+      capsule.data_len = 0;
+      ++stats_.flushes;
+      break;
+    case block::Op::write_zeroes:
+      capsule.opcode = static_cast<std::uint8_t>(FabricOp::write_zeroes);
+      capsule.data_len = 0;
+      ++stats_.writes;
+      break;
+    case block::Op::discard:
+      capsule.opcode = static_cast<std::uint8_t>(FabricOp::discard);
+      capsule.data_len = 0;
+      ++stats_.writes;
+      break;
+  }
+  const std::uint64_t capsule_addr = cmd_base_ + slot * kCapsuleSlotBytes;
+  mem::PhysMem& dram = cluster_.fabric().host_dram(node_);
+  (void)dram.write(capsule_addr, as_bytes_of(capsule));
+  if ((capsule.flags & kFlagInlineData) != 0) {
+    Bytes payload(capsule.data_len);
+    (void)dram.read(request.buffer_addr, payload);
+    (void)dram.write(capsule_addr + sizeof(CommandCapsule), payload);
+  }
+
+  auto [it, inserted] = pending_.emplace(static_cast<std::uint16_t>(slot),
+                                         sim::Promise<ResponseCapsule>(engine));
+  (void)inserted;
+  auto response_future = it->second.future();
+
+  co_await sim::delay(engine, cfg_.costs.doorbell_ns);
+  if (Status st = qp_->post_send(kWrSend | slot, capsule_addr, wire_len); !st) {
+    pending_.erase(static_cast<std::uint16_t>(slot));
+    release_slot();
+    finish(st);
+    co_return;
+  }
+
+  ResponseCapsule response = co_await response_future;
+  if (*stop) {
+    release_slot();
+    finish(Status(Errc::aborted, "initiator stopped"));
+    co_return;
+  }
+  // Completion path software.
+  co_await sim::delay(engine, cfg_.costs.jittered(cfg_.costs.completion_ns, rng_));
+  release_slot();
+  if (response.status != 0) {
+    finish(Status(Errc::io_error,
+                  std::string("target returned: ") + nvme::status_name(response.status)));
+  } else {
+    finish(Status::ok());
+  }
+}
+
+sim::Task Initiator::completion_loop(std::shared_ptr<bool> stop) {
+  sim::Engine& engine = cluster_.engine();
+  mem::PhysMem& dram = cluster_.fabric().host_dram(node_);
+  for (;;) {
+    if (*stop) co_return;
+    auto wc = co_await cq_->pop();
+    if (*stop) co_return;
+    if (!wc) continue;
+
+    auto process = [this, &dram](const rdma::WorkCompletion& one) {
+      if (one.opcode != rdma::WcOpcode::recv) return;  // send completions are free
+      if (!one.status) {
+        ++stats_.errors;
+        return;
+      }
+      const std::uint32_t buffer = static_cast<std::uint32_t>(one.wr_id & kWrSlotMask);
+      ResponseCapsule response;
+      (void)dram.read(resp_base_ + buffer * sizeof(ResponseCapsule),
+                      as_writable_bytes_of(response));
+      // Replenish the RECV ring with the buffer this message consumed.
+      (void)qp_->post_recv(kWrRecv | buffer, resp_base_ + buffer * sizeof(ResponseCapsule),
+                           sizeof(ResponseCapsule));
+      auto it = pending_.find(response.cid);
+      if (it != pending_.end()) {
+        auto promise = std::move(it->second);
+        pending_.erase(it);
+        promise.set(response);
+      }
+    };
+
+    // One interrupt wakes the handler, which then drains every completion
+    // that arrived meanwhile (interrupt coalescing; the per-request
+    // software cost is charged in io_task, not here).
+    ++stats_.interrupts;
+    co_await sim::delay(engine, cfg_.costs.jittered(cfg_.costs.irq_delivery_ns, rng_));
+    if (*stop) co_return;
+    process(*wc);
+    while (auto more = cq_->poll()) process(*more);
+  }
+}
+
+}  // namespace nvmeshare::nvmeof

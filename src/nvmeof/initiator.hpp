@@ -1,0 +1,86 @@
+// Kernel-style NVMe-oF initiator over RDMA (Figure 9a's client side): a
+// block device whose submit path builds a command capsule and SENDs it to
+// the target; data moves one-sided (target-initiated RDMA), and completion
+// capsules arrive via RECV with interrupt-driven handling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "block/block.hpp"
+#include "driver/cost_model.hpp"
+#include "nvmeof/capsule.hpp"
+#include "nvmeof/target.hpp"
+#include "rdma/rdma.hpp"
+
+namespace nvmeshare::nvmeof {
+
+class Initiator final : public block::BlockDevice {
+ public:
+  struct Config {
+    std::uint32_t queue_depth = 32;
+    driver::CostModel costs = driver::CostModel::nvmeof_initiator();
+    std::uint64_t seed = 0x1217;
+  };
+
+  /// Connect to a target from `node`.
+  static sim::Future<Result<std::unique_ptr<Initiator>>> connect(sisci::Cluster& cluster,
+                                                                 rdma::Network& network,
+                                                                 Target& target,
+                                                                 rdma::NodeId node, Config cfg);
+
+  ~Initiator() override;
+  Initiator(const Initiator&) = delete;
+  Initiator& operator=(const Initiator&) = delete;
+
+  // --- block::BlockDevice ------------------------------------------------------
+  [[nodiscard]] std::string_view name() const override { return "nvme-of"; }
+  [[nodiscard]] std::uint32_t block_size() const override { return block_size_; }
+  [[nodiscard]] std::uint64_t capacity_blocks() const override { return capacity_blocks_; }
+  [[nodiscard]] std::uint32_t max_queue_depth() const override { return cfg_.queue_depth; }
+  [[nodiscard]] std::uint64_t max_transfer_bytes() const override { return max_transfer_; }
+  sim::Future<block::Completion> submit(const block::Request& request) override;
+
+  struct Stats {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t interrupts = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  Initiator(sisci::Cluster& cluster, rdma::Network& network, rdma::NodeId node, Config cfg);
+
+  static sim::Task connect_task(std::unique_ptr<Initiator> self, Target* target,
+                                sim::Promise<Result<std::unique_ptr<Initiator>>> promise);
+  sim::Task io_task(block::Request request, sim::Promise<block::Completion> promise);
+  sim::Task completion_loop(std::shared_ptr<bool> stop);
+
+  sisci::Cluster& cluster_;
+  rdma::Network& network_;
+  rdma::NodeId node_;
+  Config cfg_;
+  Rng rng_;
+
+  std::unique_ptr<rdma::Context> ctx_;
+  std::unique_ptr<rdma::CompletionQueue> cq_;
+  rdma::QueuePair* qp_ = nullptr;
+  std::uint64_t cmd_base_ = 0;   ///< queue_depth command capsule buffers
+  std::uint64_t resp_base_ = 0;  ///< queue_depth response capsule buffers
+
+  std::uint64_t capacity_blocks_ = 0;
+  std::uint32_t block_size_ = 0;
+  std::uint32_t max_transfer_ = 0;
+
+  std::unique_ptr<sim::Semaphore> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::map<std::uint16_t, sim::Promise<ResponseCapsule>> pending_;
+  std::shared_ptr<bool> stop_ = std::make_shared<bool>(false);
+  Stats stats_;
+};
+
+}  // namespace nvmeshare::nvmeof

@@ -1,0 +1,490 @@
+#include "pcie/fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace nvmeshare::pcie {
+
+namespace {
+constexpr int kMaxNtbDepth = 4;  // forwarding loops are configuration bugs
+
+std::uint64_t pow2_ceil(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+Fabric::Fabric(sim::Engine& engine, LatencyModel model) : engine_(engine), model_(model) {}
+
+HostId Fabric::add_host(std::string name, std::uint64_t dram_size) {
+  auto host = std::make_unique<HostState>();
+  host->rc = topo_.add_chip(name + ".rc", ChipKind::root_complex, kNoHost /*fixed below*/,
+                            model_.root_complex_ns);
+  host->name = std::move(name);
+  host->dram = std::make_unique<mem::PhysMem>(dram_size);
+  host->mmio = std::make_unique<mem::RangeAllocator>(kMmioBase, kMmioSize);
+  host->regions.emplace(0, Region{Region::Kind::dram, 0, dram_size, 0, 0, 0});
+  hosts_.push_back(std::move(host));
+  return static_cast<HostId>(hosts_.size() - 1);
+}
+
+ChipId Fabric::add_switch_chip(std::string name, HostId host) {
+  return topo_.add_chip(std::move(name), ChipKind::switch_chip, host, model_.switch_chip_ns);
+}
+
+ChipId Fabric::add_cluster_switch(std::string name) {
+  return topo_.add_chip(std::move(name), ChipKind::cluster_switch, kNoHost,
+                        model_.cluster_switch_ns);
+}
+
+Result<EndpointId> Fabric::attach_endpoint(Endpoint& ep, HostId host, ChipId chip) {
+  if (host >= hosts_.size()) return Status(Errc::invalid_argument, "bad host id");
+  if (chip >= topo_.chip_count()) return Status(Errc::invalid_argument, "bad chip id");
+
+  EndpointState st;
+  st.ep = &ep;
+  st.host = host;
+  st.chip = chip;
+  HostState& hs = *hosts_[host];
+  for (int bar = 0; bar < ep.bar_count(); ++bar) {
+    const std::uint64_t size = ep.bar_size(bar);
+    if (size == 0) {
+      st.bar_bases.push_back(0);
+      continue;
+    }
+    const std::uint64_t align = pow2_ceil(std::max<std::uint64_t>(size, 4096));
+    auto base = hs.mmio->alloc(align, align);
+    if (!base) return base.status();
+    st.bar_bases.push_back(*base);
+    hs.regions.emplace(
+        *base, Region{Region::Kind::bar, *base, size, static_cast<EndpointId>(endpoints_.size()),
+                      bar, 0});
+  }
+  const auto id = static_cast<EndpointId>(endpoints_.size());
+  endpoints_.push_back(std::move(st));
+  ep.on_attached(*this, Initiator{host, chip}, id);
+  NVS_LOG(debug, "pcie") << "attached endpoint '" << ep.name() << "' to host "
+                         << hosts_[host]->name;
+  return id;
+}
+
+Result<std::uint64_t> Fabric::bar_address(EndpointId ep, int bar) const {
+  if (ep >= endpoints_.size()) return Status(Errc::invalid_argument, "bad endpoint id");
+  const auto& bases = endpoints_[ep].bar_bases;
+  if (bar < 0 || static_cast<std::size_t>(bar) >= bases.size()) {
+    return Status(Errc::invalid_argument, "bad BAR index");
+  }
+  return bases[static_cast<std::size_t>(bar)];
+}
+
+Endpoint* Fabric::endpoint(EndpointId ep) const {
+  return ep < endpoints_.size() ? endpoints_[ep].ep : nullptr;
+}
+
+HostId Fabric::endpoint_host(EndpointId ep) const {
+  return ep < endpoints_.size() ? endpoints_[ep].host : kNoHost;
+}
+
+ChipId Fabric::endpoint_chip(EndpointId ep) const {
+  return ep < endpoints_.size() ? endpoints_[ep].chip : kNoChip;
+}
+
+// --- NTB ---------------------------------------------------------------------
+
+Result<NtbId> Fabric::add_ntb(HostId host, std::uint32_t windows, std::uint64_t window_size) {
+  if (host >= hosts_.size()) return Status(Errc::invalid_argument, "bad host id");
+  if (windows == 0 || !is_pow2(window_size)) {
+    return Status(Errc::invalid_argument, "NTB needs >=1 window and pow2 window size");
+  }
+  HostState& hs = *hosts_[host];
+  const std::uint64_t aperture = windows * window_size;
+  auto base = hs.mmio->alloc(aperture, window_size);
+  if (!base) return base.status();
+
+  NtbState ntb;
+  ntb.host = host;
+  ntb.chip = topo_.add_chip(hs.name + ".ntb", ChipKind::ntb_adapter, host, model_.ntb_adapter_ns);
+  ntb.aperture_base = *base;
+  ntb.window_size = window_size;
+  ntb.lut.resize(windows);
+  NVS_RETURN_IF_ERROR(topo_.link(hs.rc, ntb.chip));
+
+  const auto id = static_cast<NtbId>(ntbs_.size());
+  hs.regions.emplace(*base, Region{Region::Kind::ntb, *base, aperture, 0, 0, id});
+  ntbs_.push_back(std::move(ntb));
+  return id;
+}
+
+Status Fabric::ntb_program(NtbId ntb, std::uint32_t entry, HostId remote_host,
+                           std::uint64_t remote_base) {
+  if (ntb >= ntbs_.size()) return Status(Errc::invalid_argument, "bad NTB id");
+  NtbState& st = ntbs_[ntb];
+  if (entry >= st.lut.size()) return Status(Errc::out_of_range, "LUT entry out of range");
+  if (remote_host >= hosts_.size()) return Status(Errc::invalid_argument, "bad remote host");
+  // Dolphin-style LUTs translate with page granularity: the far-side base
+  // only needs page alignment, not window alignment.
+  if (remote_base % 4096 != 0) {
+    return Status(Errc::invalid_argument, "remote base must be page-aligned");
+  }
+  st.lut[entry] = NtbState::Lut{true, remote_host, remote_base};
+  return Status::ok();
+}
+
+Status Fabric::ntb_clear(NtbId ntb, std::uint32_t entry) {
+  if (ntb >= ntbs_.size()) return Status(Errc::invalid_argument, "bad NTB id");
+  NtbState& st = ntbs_[ntb];
+  if (entry >= st.lut.size()) return Status(Errc::out_of_range, "LUT entry out of range");
+  st.lut[entry] = NtbState::Lut{};
+  return Status::ok();
+}
+
+Result<std::uint32_t> Fabric::ntb_alloc_entry(NtbId ntb) {
+  if (ntb >= ntbs_.size()) return Status(Errc::invalid_argument, "bad NTB id");
+  NtbState& st = ntbs_[ntb];
+  for (std::uint32_t i = 0; i < st.lut.size(); ++i) {
+    if (!st.lut[i].valid) return i;
+  }
+  return Status(Errc::resource_exhausted, "all NTB LUT entries in use");
+}
+
+Result<std::uint32_t> Fabric::ntb_alloc_run(NtbId ntb, std::uint32_t count) {
+  if (ntb >= ntbs_.size()) return Status(Errc::invalid_argument, "bad NTB id");
+  if (count == 0) return Status(Errc::invalid_argument, "empty LUT run");
+  NtbState& st = ntbs_[ntb];
+  std::uint32_t run = 0;
+  for (std::uint32_t i = 0; i < st.lut.size(); ++i) {
+    run = st.lut[i].valid ? 0 : run + 1;
+    if (run == count) return i - count + 1;
+  }
+  return Status(Errc::resource_exhausted, "no run of free NTB LUT entries");
+}
+
+Result<std::uint64_t> Fabric::ntb_window_address(NtbId ntb, std::uint32_t entry) const {
+  if (ntb >= ntbs_.size()) return Status(Errc::invalid_argument, "bad NTB id");
+  const NtbState& st = ntbs_[ntb];
+  if (entry >= st.lut.size()) return Status(Errc::out_of_range, "LUT entry out of range");
+  return st.aperture_base + entry * st.window_size;
+}
+
+Result<NtbId> Fabric::host_ntb(HostId host) const {
+  for (NtbId i = 0; i < ntbs_.size(); ++i) {
+    if (ntbs_[i].host == host) return i;
+  }
+  return Status(Errc::not_found, "host has no NTB adapter");
+}
+
+// --- resolution ----------------------------------------------------------------
+
+const Fabric::Region* Fabric::find_region(HostId host, std::uint64_t addr,
+                                          std::uint64_t len) const {
+  const auto& regions = hosts_[host]->regions;
+  auto it = regions.upper_bound(addr);
+  if (it == regions.begin()) return nullptr;
+  --it;
+  const Region& r = it->second;
+  if (addr < r.base || addr + len > r.base + r.len) return nullptr;
+  return &r;
+}
+
+Result<Fabric::Resolved> Fabric::resolve_impl(HostId host, std::uint64_t addr,
+                                              std::uint64_t len, int depth,
+                                              int crossings) const {
+  if (host >= hosts_.size()) return Status(Errc::invalid_argument, "bad host id");
+  if (depth > kMaxNtbDepth) {
+    return Status(Errc::protocol_error, "NTB forwarding loop (depth > 4)");
+  }
+  const Region* r = find_region(host, addr, len == 0 ? 1 : len);
+  if (r == nullptr) {
+    return Status(Errc::unmapped_address,
+                  "no region for address in host '" + hosts_[host]->name + "'");
+  }
+  switch (r->kind) {
+    case Region::Kind::dram: {
+      Resolved out;
+      out.kind = Resolved::Kind::dram;
+      out.host = host;
+      out.addr = addr;
+      out.target_chip = hosts_[host]->rc;
+      out.ntb_crossings = crossings;
+      return out;
+    }
+    case Region::Kind::bar: {
+      Resolved out;
+      out.kind = Resolved::Kind::bar;
+      out.host = host;
+      out.ep = r->ep;
+      out.bar = r->bar;
+      out.bar_offset = addr - r->base;
+      out.target_chip = endpoints_[r->ep].chip;
+      out.ntb_crossings = crossings;
+      return out;
+    }
+    case Region::Kind::ntb: {
+      const NtbState& ntb = ntbs_[r->ntb];
+      const std::uint64_t off = addr - r->base;
+      const std::uint64_t entry = off / ntb.window_size;
+      const std::uint64_t within = off % ntb.window_size;
+      if (within + len > ntb.window_size) {
+        return Status(Errc::out_of_range, "access crosses NTB window boundary");
+      }
+      const auto& lut = ntb.lut[entry];
+      if (!lut.valid) {
+        return Status(Errc::unmapped_address, "NTB LUT entry not programmed");
+      }
+      return resolve_impl(lut.remote_host, lut.remote_base + within, len, depth + 1,
+                          crossings + 1);
+    }
+  }
+  return Status(Errc::internal, "unreachable");
+}
+
+Result<Fabric::Resolved> Fabric::resolve(HostId host, std::uint64_t addr,
+                                         std::uint64_t len) const {
+  return resolve_impl(host, addr, len, 0, 0);
+}
+
+Result<Topology::PathCost> Fabric::path_to(const Initiator& who, const Resolved& target) const {
+  if (who.chip >= topo_.chip_count()) {
+    return Status(Errc::invalid_argument, "initiator chip invalid");
+  }
+  Topology::PathCost pc = topo_.path_cost(who.chip, target.target_chip);
+  if (!pc.reachable) return Status(Errc::unavailable, "no fabric path to target");
+  return pc;
+}
+
+// --- target access ----------------------------------------------------------------
+
+Status Fabric::apply_write(const Resolved& target, ConstByteSpan data) {
+  if (target.kind == Resolved::Kind::dram) {
+    return hosts_[target.host]->dram->write(target.addr, data);
+  }
+  return endpoints_[target.ep].ep->bar_write(target.bar, target.bar_offset, data);
+}
+
+Result<Bytes> Fabric::apply_read(const Resolved& target, std::size_t len) {
+  if (target.kind == Resolved::Kind::dram) {
+    Bytes out(len);
+    if (Status st = hosts_[target.host]->dram->read(target.addr, out); !st) return st;
+    return out;
+  }
+  return endpoints_[target.ep].ep->bar_read(target.bar, target.bar_offset, len);
+}
+
+// --- transactions -------------------------------------------------------------------
+
+sim::Time Fabric::posted_arrival(const Initiator& who, ChipId target_chip,
+                                 sim::Duration latency, std::uint64_t bytes,
+                                 sim::Time not_before) {
+  sim::Time& floor = posted_floor_[{who.chip, target_chip}];
+  const sim::Duration gap =
+      model_.serialization_ns(bytes) +
+      static_cast<sim::Duration>(model_.tlp_count(bytes)) * model_.tlp_overhead_ns;
+  const sim::Time arrival = std::max({engine_.now() + latency, floor + gap, not_before});
+  floor = arrival;
+  return arrival;
+}
+
+Result<sim::Time> Fabric::post_write(const Initiator& who, std::uint64_t addr, Bytes data,
+                                     sim::Time not_before) {
+  auto target = resolve(who.host, addr, data.size());
+  if (!target) {
+    ++stats_.unsupported_requests;
+    return target.status();
+  }
+  auto pc = path_to(who, *target);
+  if (!pc) return pc.status();
+
+  ++stats_.posted_writes;
+  stats_.bytes_written += data.size();
+  stats_.ntb_translations += static_cast<std::uint64_t>(target->ntb_crossings);
+
+  const sim::Duration lat =
+      model_.posted_write_ns(pc->cost_ns, target->ntb_crossings, data.size());
+  const sim::Time arrival =
+      posted_arrival(who, target->target_chip, lat, data.size(), not_before);
+  engine_.at(arrival, [this, t = *target, d = std::move(data)]() {
+    if (Status st = apply_write(t, d); !st) {
+      NVS_LOG(warn, "pcie") << "posted write dropped at target: " << st.to_string();
+      ++stats_.unsupported_requests;
+    }
+  });
+  return arrival;
+}
+
+Result<sim::Time> Fabric::write_sg(const Initiator& who, const std::vector<SgEntry>& sg,
+                                   Bytes data, sim::Time not_before) {
+  std::uint64_t total = 0;
+  sim::Duration worst_path = 0;
+  int worst_crossings = 0;
+  std::vector<Resolved> targets;
+  targets.reserve(sg.size());
+  for (const auto& e : sg) {
+    auto target = resolve(who.host, e.addr, e.len);
+    if (!target) {
+      ++stats_.unsupported_requests;
+      return target.status();
+    }
+    auto pc = path_to(who, *target);
+    if (!pc) return pc.status();
+    worst_path = std::max(worst_path, pc->cost_ns);
+    worst_crossings = std::max(worst_crossings, target->ntb_crossings);
+    stats_.ntb_translations += static_cast<std::uint64_t>(target->ntb_crossings);
+    targets.push_back(*target);
+    total += e.len;
+  }
+  if (total != data.size()) {
+    return Status(Errc::invalid_argument, "scatter list length != payload length");
+  }
+  ++stats_.posted_writes;
+  stats_.bytes_written += total;
+
+  const sim::Duration lat = model_.posted_write_ns(worst_path, worst_crossings, total);
+  // Order against the FIFO of every chunk's completer — advance each
+  // distinct completer chip's floor exactly once, so the aggregate
+  // serialization gap is charged a single time for the whole scatter
+  // list, not once per chunk.
+  std::vector<ChipId> chips;
+  for (const auto& t : targets) {
+    if (std::find(chips.begin(), chips.end(), t.target_chip) == chips.end()) {
+      chips.push_back(t.target_chip);
+    }
+  }
+  sim::Time arrival = not_before;
+  for (ChipId chip : chips) {
+    arrival = std::max(arrival, posted_arrival(who, chip, lat, total, not_before));
+  }
+  for (ChipId chip : chips) {
+    posted_floor_[{who.chip, chip}] = arrival;
+  }
+  engine_.at(arrival, [this, targets = std::move(targets), sg, d = std::move(data)]() {
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      if (Status st = apply_write(targets[i], ConstByteSpan(d).subspan(off, sg[i].len)); !st) {
+        NVS_LOG(warn, "pcie") << "scatter write chunk dropped: " << st.to_string();
+        ++stats_.unsupported_requests;
+      }
+      off += sg[i].len;
+    }
+  });
+  return arrival;
+}
+
+sim::Future<Result<Bytes>> Fabric::read(const Initiator& who, std::uint64_t addr,
+                                        std::size_t len) {
+  sim::Promise<Result<Bytes>> promise(engine_);
+  auto future = promise.future();
+
+  auto target = resolve(who.host, addr, len);
+  if (!target) {
+    ++stats_.unsupported_requests;
+    // UR completion comes back after roughly one round trip of header TLPs.
+    engine_.after(2 * model_.tlp_overhead_ns,
+                  [promise, st = target.status()]() mutable { promise.set(st); });
+    return future;
+  }
+  auto pc = path_to(who, *target);
+  if (!pc) {
+    engine_.after(2 * model_.tlp_overhead_ns,
+                  [promise, st = pc.status()]() mutable { promise.set(st); });
+    return future;
+  }
+  ++stats_.reads;
+  stats_.bytes_read += len;
+  stats_.ntb_translations += static_cast<std::uint64_t>(target->ntb_crossings);
+
+  const sim::Duration one_way = model_.one_way_ns(pc->cost_ns, target->ntb_crossings);
+  const sim::Duration total = model_.read_ns(pc->cost_ns, target->ntb_crossings, len);
+  // The completer is accessed when the request arrives; data travels back.
+  engine_.after(one_way + model_.completer_access_ns,
+                [this, t = *target, len, promise, remaining = total - one_way -
+                                                              model_.completer_access_ns]() mutable {
+                  Result<Bytes> data = apply_read(t, len);
+                  engine_.after(remaining > 0 ? remaining : 0,
+                                [promise, d = std::move(data)]() mutable {
+                                  promise.set(std::move(d));
+                                });
+                });
+  return future;
+}
+
+sim::Future<Result<Bytes>> Fabric::read_sg(const Initiator& who,
+                                           const std::vector<SgEntry>& sg) {
+  sim::Promise<Result<Bytes>> promise(engine_);
+  auto future = promise.future();
+
+  std::uint64_t total = 0;
+  sim::Duration worst_path = 0;
+  int worst_crossings = 0;
+  std::vector<Resolved> targets;
+  targets.reserve(sg.size());
+  for (const auto& e : sg) {
+    auto target = resolve(who.host, e.addr, e.len);
+    if (!target) {
+      ++stats_.unsupported_requests;
+      engine_.after(2 * model_.tlp_overhead_ns,
+                    [promise, st = target.status()]() mutable { promise.set(st); });
+      return future;
+    }
+    auto pc = path_to(who, *target);
+    if (!pc) {
+      engine_.after(2 * model_.tlp_overhead_ns,
+                    [promise, st = pc.status()]() mutable { promise.set(st); });
+      return future;
+    }
+    worst_path = std::max(worst_path, pc->cost_ns);
+    worst_crossings = std::max(worst_crossings, target->ntb_crossings);
+    stats_.ntb_translations += static_cast<std::uint64_t>(target->ntb_crossings);
+    targets.push_back(*target);
+    total += e.len;
+  }
+  ++stats_.reads;
+  stats_.bytes_read += total;
+
+  const sim::Duration one_way = model_.one_way_ns(worst_path, worst_crossings);
+  const sim::Duration total_lat = model_.read_ns(worst_path, worst_crossings, total);
+  engine_.after(
+      one_way + model_.completer_access_ns,
+      [this, targets = std::move(targets), sg, promise,
+       remaining = total_lat - one_way - model_.completer_access_ns, total]() mutable {
+        Bytes out;
+        out.reserve(total);
+        Status failure = Status::ok();
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+          Result<Bytes> chunk = apply_read(targets[i], sg[i].len);
+          if (!chunk) {
+            failure = chunk.status();
+            break;
+          }
+          out.insert(out.end(), chunk->begin(), chunk->end());
+        }
+        engine_.after(remaining > 0 ? remaining : 0,
+                      [promise, failure, d = std::move(out)]() mutable {
+                        if (!failure) {
+                          promise.set(failure);
+                        } else {
+                          promise.set(std::move(d));
+                        }
+                      });
+      });
+  return future;
+}
+
+Status Fabric::poke(HostId host, std::uint64_t addr, ConstByteSpan data) {
+  auto target = resolve(host, addr, data.size());
+  if (!target) return target.status();
+  return apply_write(*target, data);
+}
+
+Status Fabric::peek(HostId host, std::uint64_t addr, ByteSpan out) {
+  auto target = resolve(host, addr, out.size());
+  if (!target) return target.status();
+  Result<Bytes> data = apply_read(*target, out.size());
+  if (!data) return data.status();
+  std::copy(data->begin(), data->end(), out.begin());
+  return Status::ok();
+}
+
+}  // namespace nvmeshare::pcie

@@ -1,0 +1,230 @@
+// The PCIe cluster fabric: per-host address spaces, BAR enumeration, NTB
+// look-up-table windows, and timed memory transactions that actually move
+// bytes.
+//
+// Timing semantics (matching PCIe ordering rules):
+//  * post_write() is a posted transaction: it returns the *arrival* time
+//    synchronously and applies the payload at that simulated time. Posted
+//    writes issued in order on the same path arrive in order.
+//  * read()/read_sg() are non-posted: the returned future resolves after a
+//    full round trip (request + completion TLPs).
+//  * peek()/poke() are zero-latency backdoors for setup and assertions;
+//    production-path code must not use them across the fabric.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "mem/allocator.hpp"
+#include "mem/phys_mem.hpp"
+#include "pcie/endpoint.hpp"
+#include "pcie/latency.hpp"
+#include "pcie/topology.hpp"
+#include "pcie/types.hpp"
+#include "sim/task.hpp"
+
+namespace nvmeshare::pcie {
+
+/// Scatter-gather element: a device-visible address plus a length.
+struct SgEntry {
+  std::uint64_t addr = 0;
+  std::uint32_t len = 0;
+};
+
+class Fabric {
+ public:
+  /// Base of the MMIO window (BARs, NTB apertures) in every host's space;
+  /// DRAM occupies [0, dram_size) below it.
+  static constexpr std::uint64_t kMmioBase = 0x40'0000'0000ULL;  // 256 GiB
+  static constexpr std::uint64_t kMmioSize = 0x40'0000'0000ULL;
+
+  Fabric(sim::Engine& engine, LatencyModel model = {});
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] const LatencyModel& latency_model() const noexcept { return model_; }
+  [[nodiscard]] Topology& topology() noexcept { return topo_; }
+
+  // --- construction ---------------------------------------------------------
+
+  /// Add a host with `dram_size` bytes of RAM; creates its root complex.
+  HostId add_host(std::string name, std::uint64_t dram_size);
+
+  [[nodiscard]] std::size_t host_count() const noexcept { return hosts_.size(); }
+  [[nodiscard]] const std::string& host_name(HostId h) const { return hosts_.at(h)->name; }
+  [[nodiscard]] ChipId host_rc(HostId h) const { return hosts_.at(h)->rc; }
+  [[nodiscard]] mem::PhysMem& host_dram(HostId h) { return *hosts_.at(h)->dram; }
+
+  /// The CPU of host `h` as a transaction initiator.
+  [[nodiscard]] Initiator cpu(HostId h) const { return Initiator{h, hosts_.at(h)->rc}; }
+
+  /// Add a transparent switch chip below `host` (latency from the model).
+  ChipId add_switch_chip(std::string name, HostId host);
+  /// Add a shared cluster-switch chip (not owned by any host).
+  ChipId add_cluster_switch(std::string name);
+  /// Connect two chips.
+  Status link_chips(ChipId a, ChipId b) { return topo_.link(a, b); }
+
+  /// Attach a device function below `chip` on `host`; assigns BAR addresses.
+  Result<EndpointId> attach_endpoint(Endpoint& ep, HostId host, ChipId chip);
+
+  [[nodiscard]] Result<std::uint64_t> bar_address(EndpointId ep, int bar) const;
+  [[nodiscard]] Endpoint* endpoint(EndpointId ep) const;
+  /// Host the endpoint is physically installed in.
+  [[nodiscard]] HostId endpoint_host(EndpointId ep) const;
+  [[nodiscard]] ChipId endpoint_chip(EndpointId ep) const;
+
+  // --- NTB ------------------------------------------------------------------
+
+  /// Install an NTB adapter in `host` with `windows` LUT entries of
+  /// `window_size` bytes each; the adapter chip is linked to the host's
+  /// root complex. Link its chip to a cluster switch with link_chips().
+  Result<NtbId> add_ntb(HostId host, std::uint32_t windows, std::uint64_t window_size);
+
+  [[nodiscard]] ChipId ntb_chip(NtbId ntb) const { return ntbs_.at(ntb).chip; }
+  [[nodiscard]] HostId ntb_host(NtbId ntb) const { return ntbs_.at(ntb).host; }
+  [[nodiscard]] std::uint32_t ntb_window_count(NtbId ntb) const {
+    return static_cast<std::uint32_t>(ntbs_.at(ntb).lut.size());
+  }
+  [[nodiscard]] std::uint64_t ntb_window_size(NtbId ntb) const {
+    return ntbs_.at(ntb).window_size;
+  }
+
+  /// Program LUT entry `entry`: the window now forwards to
+  /// [remote_base, remote_base + window_size) in `remote_host`'s space.
+  Status ntb_program(NtbId ntb, std::uint32_t entry, HostId remote_host,
+                     std::uint64_t remote_base);
+  Status ntb_clear(NtbId ntb, std::uint32_t entry);
+  /// Find an unprogrammed LUT entry.
+  Result<std::uint32_t> ntb_alloc_entry(NtbId ntb);
+  /// Find `count` consecutive unprogrammed LUT entries (first index).
+  Result<std::uint32_t> ntb_alloc_run(NtbId ntb, std::uint32_t count);
+  /// Local (this host's) address of LUT window `entry`.
+  [[nodiscard]] Result<std::uint64_t> ntb_window_address(NtbId ntb, std::uint32_t entry) const;
+  /// The NTB adapter of `host`, if one was installed.
+  [[nodiscard]] Result<NtbId> host_ntb(HostId host) const;
+
+  // --- address resolution ------------------------------------------------------
+
+  struct Resolved {
+    enum class Kind { dram, bar } kind = Kind::dram;
+    HostId host = kNoHost;       ///< host whose space the access finally lands in
+    std::uint64_t addr = 0;      ///< DRAM physical address (kind==dram)
+    EndpointId ep = 0;           ///< target device (kind==bar)
+    int bar = 0;
+    std::uint64_t bar_offset = 0;
+    ChipId target_chip = kNoChip;
+    int ntb_crossings = 0;
+  };
+
+  /// Resolve an address in `host`'s space, following NTB windows. The whole
+  /// [addr, addr+len) range must fall within a single region.
+  [[nodiscard]] Result<Resolved> resolve(HostId host, std::uint64_t addr,
+                                         std::uint64_t len) const;
+
+  // --- transactions ------------------------------------------------------------
+
+  /// Posted memory write. Returns the arrival (apply) time; the payload
+  /// becomes visible at the target exactly then. `not_before` lets a caller
+  /// serialize after an earlier posted write on the same path (PCIe posted
+  /// ordering), e.g. an NVMe completion entry after its data.
+  Result<sim::Time> post_write(const Initiator& who, std::uint64_t addr, Bytes data,
+                               sim::Time not_before = 0);
+
+  /// Posted scatter write of one buffer across multiple target ranges
+  /// (device DMA of a data block through PRP pages). One aggregate
+  /// serialization cost; returns arrival time of the *last* byte.
+  Result<sim::Time> write_sg(const Initiator& who, const std::vector<SgEntry>& sg,
+                             Bytes data, sim::Time not_before = 0);
+
+  /// Non-posted read; future resolves after the full round trip.
+  sim::Future<Result<Bytes>> read(const Initiator& who, std::uint64_t addr, std::size_t len);
+
+  /// Non-posted gather read across multiple ranges (device DMA fetch).
+  sim::Future<Result<Bytes>> read_sg(const Initiator& who, const std::vector<SgEntry>& sg);
+
+  /// Zero-latency backdoor access (setup / assertions only).
+  Status poke(HostId host, std::uint64_t addr, ConstByteSpan data);
+  Status peek(HostId host, std::uint64_t addr, ByteSpan out);
+
+  // --- stats ------------------------------------------------------------------
+
+  struct Stats {
+    std::uint64_t posted_writes = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t bytes_written = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t unsupported_requests = 0;  ///< accesses that resolved nowhere
+    std::uint64_t ntb_translations = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Region {
+    enum class Kind { dram, bar, ntb } kind = Kind::dram;
+    std::uint64_t base = 0;
+    std::uint64_t len = 0;
+    EndpointId ep = 0;
+    int bar = 0;
+    NtbId ntb = 0;
+  };
+
+  struct HostState {
+    std::string name;
+    ChipId rc = kNoChip;
+    std::unique_ptr<mem::PhysMem> dram;
+    std::unique_ptr<mem::RangeAllocator> mmio;
+    std::map<std::uint64_t, Region> regions;  // keyed by base
+  };
+
+  struct NtbState {
+    struct Lut {
+      bool valid = false;
+      HostId remote_host = kNoHost;
+      std::uint64_t remote_base = 0;
+    };
+    HostId host = kNoHost;
+    ChipId chip = kNoChip;
+    std::uint64_t aperture_base = 0;
+    std::uint64_t window_size = 0;
+    std::vector<Lut> lut;
+  };
+
+  struct EndpointState {
+    Endpoint* ep = nullptr;
+    HostId host = kNoHost;
+    ChipId chip = kNoChip;
+    std::vector<std::uint64_t> bar_bases;
+  };
+
+  [[nodiscard]] const Region* find_region(HostId host, std::uint64_t addr,
+                                          std::uint64_t len) const;
+  Result<Resolved> resolve_impl(HostId host, std::uint64_t addr, std::uint64_t len,
+                                int depth, int crossings) const;
+  /// One-way chip-path cost from initiator to the resolved target.
+  [[nodiscard]] Result<Topology::PathCost> path_to(const Initiator& who,
+                                                   const Resolved& target) const;
+  Status apply_write(const Resolved& target, ConstByteSpan data);
+  Result<Bytes> apply_read(const Resolved& target, std::size_t len);
+
+  /// PCIe ordering: posted writes from one initiator to one completer may
+  /// not pass each other, but they pipeline — a later write lands one
+  /// serialization gap after its predecessor, not one full path latency.
+  sim::Time posted_arrival(const Initiator& who, ChipId target_chip, sim::Duration latency,
+                           std::uint64_t bytes, sim::Time not_before);
+
+  sim::Engine& engine_;
+  LatencyModel model_;
+  Topology topo_;
+  std::vector<std::unique_ptr<HostState>> hosts_;
+  std::vector<NtbState> ntbs_;
+  std::vector<EndpointState> endpoints_;
+  std::map<std::pair<ChipId, ChipId>, sim::Time> posted_floor_;
+  Stats stats_;
+};
+
+}  // namespace nvmeshare::pcie

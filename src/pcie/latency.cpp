@@ -1,0 +1,31 @@
+#include "pcie/latency.hpp"
+
+namespace nvmeshare::pcie {
+
+sim::Duration LatencyModel::serialization_ns(std::uint64_t bytes) const {
+  if (bytes == 0) return 0;
+  return static_cast<sim::Duration>(static_cast<double>(bytes) / link_bytes_per_ns);
+}
+
+std::uint64_t LatencyModel::tlp_count(std::uint64_t bytes) const {
+  if (bytes == 0) return 1;  // zero-length read / flush still needs one TLP
+  return div_ceil(bytes, max_payload_bytes);
+}
+
+sim::Duration LatencyModel::posted_write_ns(sim::Duration chip_cost_sum, int ntb_crossings,
+                                            std::uint64_t bytes) const {
+  return one_way_ns(chip_cost_sum, ntb_crossings) +
+         static_cast<sim::Duration>(tlp_count(bytes)) * tlp_overhead_ns +
+         serialization_ns(bytes) + completer_access_ns;
+}
+
+sim::Duration LatencyModel::read_ns(sim::Duration chip_cost_sum, int ntb_crossings,
+                                    std::uint64_t bytes) const {
+  // Request TLP one way, completer access, completion TLP(s) with data back.
+  const sim::Duration one_way = one_way_ns(chip_cost_sum, ntb_crossings);
+  return one_way + completer_access_ns + one_way +
+         static_cast<sim::Duration>(tlp_count(bytes)) * tlp_overhead_ns +
+         serialization_ns(bytes) + tlp_overhead_ns /* request TLP */;
+}
+
+}  // namespace nvmeshare::pcie

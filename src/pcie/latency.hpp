@@ -1,0 +1,65 @@
+// PCIe transaction latency model.
+//
+// The paper's entire latency argument rests on a handful of mechanics:
+//  * posted memory writes cost the initiator (almost) nothing and arrive
+//    one path-traversal later;
+//  * non-posted reads stall for a full round trip, plus one completion TLP
+//    per max-payload-size chunk of data;
+//  * every switch chip in the path adds 100-150 ns per direction (Section
+//    VI quotes this range for the Dolphin hardware);
+//  * payload serialization is bounded by link bandwidth.
+// This file turns those rules into numbers.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace nvmeshare::pcie {
+
+struct LatencyModel {
+  /// Traversal latency of a root complex (one direction).
+  sim::Duration root_complex_ns = 80;
+  /// Traversal latency of a transparent switch chip (one direction).
+  sim::Duration switch_chip_ns = 120;
+  /// Traversal latency of an NTB adapter chip (one direction).
+  sim::Duration ntb_adapter_ns = 130;
+  /// Traversal latency of the cluster switch chip (one direction).
+  sim::Duration cluster_switch_ns = 150;
+  /// Additional cost of an address translation through an NTB LUT.
+  sim::Duration ntb_translation_ns = 30;
+  /// DRAM / register access at the completer.
+  sim::Duration completer_access_ns = 60;
+  /// Fixed cost per TLP (headers, DLLP ack, framing).
+  sim::Duration tlp_overhead_ns = 12;
+  /// Max payload size: payload bytes per TLP.
+  std::uint32_t max_payload_bytes = 256;
+  /// Effective payload bandwidth of a link (Gen3 x8 with framing overhead).
+  double link_bytes_per_ns = 8.0;
+
+  /// One-way chip-traversal cost of a path; `chip_cost_sum` is the sum of
+  /// per-chip one-direction costs along the path (see Topology::path_cost),
+  /// `ntb_crossings` the number of LUT translations performed en route.
+  [[nodiscard]] sim::Duration one_way_ns(sim::Duration chip_cost_sum,
+                                         int ntb_crossings) const {
+    return chip_cost_sum + static_cast<sim::Duration>(ntb_crossings) * ntb_translation_ns;
+  }
+
+  /// Serialization time for `bytes` of payload on the link.
+  [[nodiscard]] sim::Duration serialization_ns(std::uint64_t bytes) const;
+
+  /// Number of TLPs needed for `bytes` of payload.
+  [[nodiscard]] std::uint64_t tlp_count(std::uint64_t bytes) const;
+
+  /// Total latency from issuing a posted write until it is applied at the
+  /// completer (the initiator itself does not wait for this).
+  [[nodiscard]] sim::Duration posted_write_ns(sim::Duration chip_cost_sum, int ntb_crossings,
+                                              std::uint64_t bytes) const;
+
+  /// Total latency of a non-posted read: request traversal, completer
+  /// access, and data completion traversal back.
+  [[nodiscard]] sim::Duration read_ns(sim::Duration chip_cost_sum, int ntb_crossings,
+                                      std::uint64_t bytes) const;
+};
+
+}  // namespace nvmeshare::pcie

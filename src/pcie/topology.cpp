@@ -1,0 +1,97 @@
+#include "pcie/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace nvmeshare::pcie {
+
+ChipId Topology::add_chip(std::string name, ChipKind kind, HostId host,
+                          sim::Duration forward_ns) {
+  chips_.push_back(Chip{std::move(name), kind, host, forward_ns});
+  adj_.emplace_back();
+  cache_valid_ = false;
+  return static_cast<ChipId>(chips_.size() - 1);
+}
+
+Status Topology::link(ChipId a, ChipId b) {
+  if (a >= chips_.size() || b >= chips_.size() || a == b) {
+    return Status(Errc::invalid_argument, "bad chip ids in link()");
+  }
+  if (std::find(adj_[a].begin(), adj_[a].end(), b) != adj_[a].end()) {
+    return Status(Errc::already_exists, "link already present");
+  }
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  cache_valid_ = false;
+  return Status::ok();
+}
+
+Status Topology::set_link_state(ChipId a, ChipId b, bool up) {
+  if (a >= chips_.size() || b >= chips_.size()) {
+    return Status(Errc::invalid_argument, "bad chip ids");
+  }
+  if (std::find(adj_[a].begin(), adj_[a].end(), b) == adj_[a].end()) {
+    return Status(Errc::not_found, "no such link");
+  }
+  const auto key = std::minmax(a, b);
+  if (up) {
+    down_links_.erase(key);
+  } else {
+    down_links_.insert(key);
+  }
+  cache_valid_ = false;
+  return Status::ok();
+}
+
+bool Topology::link_up(ChipId a, ChipId b) const {
+  return !down_links_.contains(std::minmax(a, b));
+}
+
+void Topology::ensure_cache() const {
+  if (cache_valid_) return;
+  const std::size_t n = chips_.size();
+  pred_.assign(n, std::vector<ChipId>(n, kNoChip));
+  for (ChipId src = 0; src < n; ++src) {
+    std::deque<ChipId> q{src};
+    std::vector<bool> seen(n, false);
+    seen[src] = true;
+    pred_[src][src] = src;
+    while (!q.empty()) {
+      ChipId cur = q.front();
+      q.pop_front();
+      for (ChipId nxt : adj_[cur]) {
+        if (!seen[nxt] && link_up(cur, nxt)) {
+          seen[nxt] = true;
+          pred_[src][nxt] = cur;
+          q.push_back(nxt);
+        }
+      }
+    }
+  }
+  cache_valid_ = true;
+}
+
+std::vector<ChipId> Topology::path(ChipId a, ChipId b) const {
+  ensure_cache();
+  std::vector<ChipId> out;
+  if (a >= chips_.size() || b >= chips_.size()) return out;
+  if (pred_[a][b] == kNoChip) return out;  // unreachable
+  for (ChipId cur = b;; cur = pred_[a][cur]) {
+    out.push_back(cur);
+    if (cur == a) break;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+Topology::PathCost Topology::path_cost(ChipId a, ChipId b) const {
+  PathCost pc;
+  const auto chain = path(a, b);
+  if (chain.empty()) return pc;
+  pc.reachable = true;
+  pc.hops = static_cast<int>(chain.size());
+  for (ChipId id : chain) pc.cost_ns += chips_[id].forward_ns;
+  return pc;
+}
+
+}  // namespace nvmeshare::pcie

@@ -1,0 +1,37 @@
+// Identifiers and small shared types of the PCIe cluster model.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace nvmeshare::pcie {
+
+/// One independent computer system (its own PCIe address space + DRAM).
+using HostId = std::uint32_t;
+/// A forwarding element in the fabric graph (root complex, switch chip,
+/// NTB adapter chip, cluster switch chip).
+using ChipId = std::uint32_t;
+/// An attached device function.
+using EndpointId = std::uint32_t;
+/// An NTB adapter (one per host in a Dolphin-style cluster).
+using NtbId = std::uint32_t;
+
+inline constexpr HostId kNoHost = std::numeric_limits<HostId>::max();
+inline constexpr ChipId kNoChip = std::numeric_limits<ChipId>::max();
+
+/// Where memory transactions from some agent enter the fabric. CPUs enter
+/// at their host's root complex; devices enter at their attachment chip.
+struct Initiator {
+  HostId host = kNoHost;
+  ChipId chip = kNoChip;
+};
+
+/// Classified role of a chip, used for latency defaults and diagnostics.
+enum class ChipKind : std::uint8_t {
+  root_complex,
+  switch_chip,     ///< transparent PCIe switch
+  ntb_adapter,     ///< host adapter card with NTB function (e.g. MXH932)
+  cluster_switch,  ///< NTB-capable cluster switch chip (e.g. MXS924)
+};
+
+}  // namespace nvmeshare::pcie

@@ -1,0 +1,64 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace nvmeshare::sim {
+
+namespace {
+// The logger stamps messages with the most recently constructed engine's
+// clock; simulations use one engine at a time.
+Engine* g_logging_engine = nullptr;
+
+long long log_time_provider() {
+  return g_logging_engine ? static_cast<long long>(g_logging_engine->now()) : -1;
+}
+}  // namespace
+
+Engine::Engine() {
+  g_logging_engine = this;
+  log::set_time_provider(&log_time_provider);
+}
+
+Engine::~Engine() {
+  if (g_logging_engine == this) {
+    g_logging_engine = nullptr;
+    log::set_time_provider(nullptr);
+  }
+}
+
+void Engine::at(Time t, Callback fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(Ev{t < now_ ? now_ : t, seq_++, std::move(fn)});
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    // priority_queue::top() is const; move out via const_cast, which is safe
+    // because we pop immediately and never touch the moved-from element.
+    Ev ev = std::move(const_cast<Ev&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.t;
+    ++processed_;
+    ev.fn();
+  }
+}
+
+std::uint64_t Engine::run_until(Time t) {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!queue_.empty() && !stopped_ && queue_.top().t <= t) {
+    Ev ev = std::move(const_cast<Ev&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.t;
+    ++processed_;
+    ++n;
+    ev.fn();
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+  return n;
+}
+
+}  // namespace nvmeshare::sim

@@ -1,0 +1,75 @@
+// Deterministic discrete-event simulation engine.
+//
+// The whole cluster (hosts, NICs, switch chips, the NVMe controller) runs on
+// one Engine. Every state change is an event at a simulated-nanosecond
+// timestamp; ties are broken by insertion order, so a given seed always
+// produces the same interleaving. Single-threaded by construction — the
+// parallelism the paper exploits (multiple hosts driving independent queue
+// pairs) is modeled as concurrent *simulated* activities, not OS threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace nvmeshare::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine();
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (>= now()).
+  void at(Time t, Callback fn);
+
+  /// Schedule `fn` after `d` nanoseconds (d >= 0).
+  void after(Duration d, Callback fn) { at(now_ + d, std::move(fn)); }
+
+  /// Run until no events remain or stop() is called.
+  void run();
+
+  /// Run events with timestamp <= `t`; afterwards now() == t (even if the
+  /// queue drained early). Returns number of events processed.
+  std::uint64_t run_until(Time t);
+
+  /// Convenience: run_until(now() + d).
+  std::uint64_t run_for(Duration d) { return run_until(now_ + d); }
+
+  /// Ask run()/run_until() to return after the current event.
+  void stop() noexcept { stopped_ = true; }
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+
+  [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+
+ private:
+  struct Ev {
+    Time t;
+    std::uint64_t seq;  // FIFO among equal timestamps
+    Callback fn;
+  };
+  struct EvCompare {
+    bool operator()(const Ev& a, const Ev& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Ev, std::vector<Ev>, EvCompare> queue_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace nvmeshare::sim

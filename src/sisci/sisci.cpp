@@ -1,0 +1,186 @@
+#include "sisci/sisci.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/units.hpp"
+
+namespace nvmeshare::sisci {
+
+// --- NtbMapping ------------------------------------------------------------------
+
+NtbMapping::NtbMapping(NtbMapping&& other) noexcept { *this = std::move(other); }
+
+NtbMapping& NtbMapping::operator=(NtbMapping&& other) noexcept {
+  if (this != &other) {
+    release();
+    fabric_ = std::exchange(other.fabric_, nullptr);
+    ntb_ = other.ntb_;
+    first_entry_ = other.first_entry_;
+    entry_count_ = other.entry_count_;
+    local_addr_ = other.local_addr_;
+    size_ = other.size_;
+  }
+  return *this;
+}
+
+NtbMapping::~NtbMapping() { release(); }
+
+void NtbMapping::release() {
+  if (fabric_ == nullptr) return;
+  for (std::uint32_t i = 0; i < entry_count_; ++i) {
+    (void)fabric_->ntb_clear(ntb_, first_entry_ + i);
+  }
+  fabric_ = nullptr;
+}
+
+Result<NtbMapping> NtbMapping::program(pcie::Fabric& fabric, pcie::NtbId ntb,
+                                       pcie::HostId remote_host, std::uint64_t remote_base,
+                                       std::uint64_t size) {
+  if (size == 0) return Status(Errc::invalid_argument, "cannot map empty range");
+  const std::uint64_t window = fabric.ntb_window_size(ntb);
+  const auto count = static_cast<std::uint32_t>(div_ceil(size, window));
+  auto first = fabric.ntb_alloc_run(ntb, count);
+  if (!first) return first.status();
+
+  NtbMapping out;
+  out.fabric_ = &fabric;
+  out.ntb_ = ntb;
+  out.first_entry_ = *first;
+  out.entry_count_ = count;
+  out.size_ = size;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (Status st = fabric.ntb_program(ntb, *first + i, remote_host,
+                                       remote_base + static_cast<std::uint64_t>(i) * window);
+        !st) {
+      // Roll back the entries programmed so far.
+      out.entry_count_ = i;
+      out.release();
+      return st;
+    }
+  }
+  auto addr = fabric.ntb_window_address(ntb, *first);
+  if (!addr) {
+    out.release();
+    return addr.status();
+  }
+  out.local_addr_ = *addr;
+  return out;
+}
+
+// --- Segment ----------------------------------------------------------------------
+
+Segment::Segment(Segment&& other) noexcept { *this = std::move(other); }
+
+Segment& Segment::operator=(Segment&& other) noexcept {
+  if (this != &other) {
+    release();
+    cluster_ = std::exchange(other.cluster_, nullptr);
+    node_ = other.node_;
+    id_ = other.id_;
+    phys_ = other.phys_;
+    size_ = other.size_;
+  }
+  return *this;
+}
+
+Segment::~Segment() { release(); }
+
+void Segment::release() {
+  if (cluster_ == nullptr) return;
+  cluster_->unexport(node_, id_, phys_);
+  cluster_ = nullptr;
+}
+
+Status Segment::write(std::uint64_t offset, ConstByteSpan data) {
+  if (!valid()) return Status(Errc::unavailable, "segment released");
+  if (offset + data.size() > size_) return Status(Errc::out_of_range, "segment write OOB");
+  return cluster_->fabric().host_dram(node_).write(phys_ + offset, data);
+}
+
+Status Segment::read(std::uint64_t offset, ByteSpan out) const {
+  if (!valid()) return Status(Errc::unavailable, "segment released");
+  if (offset + out.size() > size_) return Status(Errc::out_of_range, "segment read OOB");
+  return cluster_->fabric().host_dram(node_).read(phys_ + offset, out);
+}
+
+RemoteSegment Segment::descriptor() const noexcept {
+  return RemoteSegment{node_, id_, phys_, size_};
+}
+
+// --- Map ----------------------------------------------------------------------------
+
+Result<Map> Map::create(Cluster& cluster, NodeId local_node, const RemoteSegment& remote) {
+  Map out;
+  out.size_ = remote.size;
+  if (remote.owner == local_node) {
+    out.direct_ = true;
+    out.direct_addr_ = remote.phys_addr;
+    return out;
+  }
+  auto ntb = cluster.fabric().host_ntb(local_node);
+  if (!ntb) return ntb.status();
+  auto mapping =
+      NtbMapping::program(cluster.fabric(), *ntb, remote.owner, remote.phys_addr, remote.size);
+  if (!mapping) return mapping.status();
+  out.mapping_ = std::move(*mapping);
+  return out;
+}
+
+// --- Cluster -----------------------------------------------------------------------
+
+Cluster::Cluster(pcie::Fabric& fabric, std::uint64_t reserved_low) : fabric_(fabric) {
+  dram_.reserve(fabric.host_count());
+  for (pcie::HostId h = 0; h < fabric.host_count(); ++h) {
+    const std::uint64_t size = fabric.host_dram(h).size();
+    dram_.push_back(std::make_unique<mem::RangeAllocator>(
+        reserved_low, size > reserved_low ? size - reserved_low : 0));
+  }
+}
+
+Result<Segment> Cluster::create_segment(NodeId node, SegmentId id, std::uint64_t size) {
+  if (node >= dram_.size()) return Status(Errc::invalid_argument, "bad node id");
+  if (size == 0) return Status(Errc::invalid_argument, "empty segment");
+  const auto key = std::make_pair(node, id);
+  if (exports_.contains(key)) {
+    return Status(Errc::already_exists, "segment id already exported by node");
+  }
+  auto addr = dram_[node]->alloc(align_up(size, 4096), 4096);
+  if (!addr) return addr.status();
+
+  Segment seg;
+  seg.cluster_ = this;
+  seg.node_ = node;
+  seg.id_ = id;
+  seg.phys_ = *addr;
+  seg.size_ = size;
+  exports_.emplace(key, RemoteSegment{node, id, *addr, size});
+  NVS_LOG(debug, "sisci") << "exported segment (" << node << "," << id << ") size " << size;
+  return seg;
+}
+
+Result<RemoteSegment> Cluster::connect(NodeId owner, SegmentId id) const {
+  auto it = exports_.find(std::make_pair(owner, id));
+  if (it == exports_.end()) {
+    return Status(Errc::not_found, "no such exported segment");
+  }
+  return it->second;
+}
+
+Result<std::uint64_t> Cluster::alloc_dram(NodeId node, std::uint64_t size,
+                                          std::uint64_t align) {
+  if (node >= dram_.size()) return Status(Errc::invalid_argument, "bad node id");
+  return dram_[node]->alloc(size, align);
+}
+
+Status Cluster::free_dram(NodeId node, std::uint64_t addr) {
+  if (node >= dram_.size()) return Status(Errc::invalid_argument, "bad node id");
+  return dram_[node]->free(addr);
+}
+
+void Cluster::unexport(NodeId node, SegmentId id, std::uint64_t phys) {
+  exports_.erase(std::make_pair(node, id));
+  (void)dram_[node]->free(phys);
+}
+
+}  // namespace nvmeshare::sisci

@@ -1,0 +1,170 @@
+// SISCI-style shared-memory API over the PCIe/NTB fabric.
+//
+// Mirrors the concepts of Dolphin's Software Infrastructure Shared-Memory
+// Cluster Interconnect API as the paper uses them, with RAII instead of C
+// handles:
+//  * Segment       — a linear, physically contiguous region of one host's
+//                    DRAM, exported under a (node, segment id) name.
+//  * RemoteSegment — a connection to an exported segment by name.
+//  * NtbMapping    — RAII ownership of one or more consecutive NTB LUT
+//                    entries translating a local aperture range to a remote
+//                    physical range; the building block for both CPU-side
+//                    "BAR windows" and device-side "DMA windows".
+//  * Map           — a CPU mapping of a remote segment through the local
+//                    host's NTB.
+//
+// Control-plane calls (create/connect/map) model configuration-time work
+// and cost no simulated time; only data-path transactions through the
+// resulting mappings are timed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "mem/allocator.hpp"
+#include "pcie/fabric.hpp"
+
+namespace nvmeshare::sisci {
+
+using NodeId = pcie::HostId;
+using SegmentId = std::uint32_t;
+
+class Cluster;
+struct RemoteSegment;
+
+/// RAII ownership of `count` consecutive LUT entries on one NTB, mapping
+/// the aperture range to [remote_base, remote_base + count*window).
+class NtbMapping {
+ public:
+  NtbMapping() = default;
+  NtbMapping(NtbMapping&& other) noexcept;
+  NtbMapping& operator=(NtbMapping&& other) noexcept;
+  NtbMapping(const NtbMapping&) = delete;
+  NtbMapping& operator=(const NtbMapping&) = delete;
+  ~NtbMapping();
+
+  /// Program a run of consecutive free LUT entries on `ntb` so that the
+  /// returned local aperture range of `size` bytes forwards to
+  /// [remote_base, ...) in `remote_host`'s address space.
+  static Result<NtbMapping> program(pcie::Fabric& fabric, pcie::NtbId ntb,
+                                    pcie::HostId remote_host, std::uint64_t remote_base,
+                                    std::uint64_t size);
+
+  [[nodiscard]] bool valid() const noexcept { return fabric_ != nullptr; }
+  /// Address of the mapped range in the NTB's host's address space.
+  [[nodiscard]] std::uint64_t local_addr() const noexcept { return local_addr_; }
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+
+  void release();
+
+ private:
+  pcie::Fabric* fabric_ = nullptr;
+  pcie::NtbId ntb_ = 0;
+  std::uint32_t first_entry_ = 0;
+  std::uint32_t entry_count_ = 0;
+  std::uint64_t local_addr_ = 0;
+  std::uint64_t size_ = 0;
+};
+
+/// A contiguous region of one host's physical memory, exported cluster-wide
+/// under (node, id).
+class Segment {
+ public:
+  Segment() = default;
+  Segment(Segment&& other) noexcept;
+  Segment& operator=(Segment&& other) noexcept;
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+  ~Segment();
+
+  [[nodiscard]] bool valid() const noexcept { return cluster_ != nullptr; }
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  [[nodiscard]] SegmentId id() const noexcept { return id_; }
+  [[nodiscard]] std::uint64_t phys_addr() const noexcept { return phys_; }
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+
+  /// Zero-latency CPU access for the owning host (local DRAM).
+  Status write(std::uint64_t offset, ConstByteSpan data);
+  Status read(std::uint64_t offset, ByteSpan out) const;
+
+  /// Descriptor usable with Map::create / DeviceRef::map_for_device.
+  [[nodiscard]] RemoteSegment descriptor() const noexcept;
+
+  void release();
+
+ private:
+  friend class Cluster;
+  Cluster* cluster_ = nullptr;
+  NodeId node_ = 0;
+  SegmentId id_ = 0;
+  std::uint64_t phys_ = 0;
+  std::uint64_t size_ = 0;
+};
+
+/// A connection to a segment exported by some (possibly remote) node.
+struct RemoteSegment {
+  NodeId owner = 0;
+  SegmentId id = 0;
+  std::uint64_t phys_addr = 0;
+  std::uint64_t size = 0;
+};
+
+/// CPU mapping of a remote segment through the local node's NTB: after
+/// mapping, loads/stores from `local_node` to addr() reach the segment.
+class Map {
+ public:
+  Map() = default;
+
+  static Result<Map> create(Cluster& cluster, NodeId local_node, const RemoteSegment& remote);
+
+  [[nodiscard]] bool valid() const noexcept { return direct_ || mapping_.valid(); }
+  /// Address to use from the mapping node's CPU.
+  [[nodiscard]] std::uint64_t addr() const noexcept {
+    return direct_ ? direct_addr_ : mapping_.local_addr();
+  }
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+
+ private:
+  NtbMapping mapping_;          // used when the segment is remote
+  bool direct_ = false;         // segment local to the mapping node: no NTB needed
+  std::uint64_t direct_addr_ = 0;
+  std::uint64_t size_ = 0;
+};
+
+/// The cluster-wide SISCI state: per-host segment allocators and the export
+/// name table.
+class Cluster {
+ public:
+  /// `reserved_low` bytes of each host's DRAM are left to other users
+  /// (request buffers, queue test fixtures, ...).
+  explicit Cluster(pcie::Fabric& fabric, std::uint64_t reserved_low = 16 * MiB);
+
+  [[nodiscard]] pcie::Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] sim::Engine& engine() noexcept { return fabric_.engine(); }
+
+  /// Allocate and export a segment of `size` bytes in `node`'s DRAM.
+  Result<Segment> create_segment(NodeId node, SegmentId id, std::uint64_t size);
+
+  /// Connect to a segment exported as (owner, id).
+  Result<RemoteSegment> connect(NodeId owner, SegmentId id) const;
+
+  /// Raw DRAM allocation on a host (for request buffers etc.).
+  Result<std::uint64_t> alloc_dram(NodeId node, std::uint64_t size,
+                                   std::uint64_t align = 4096);
+  Status free_dram(NodeId node, std::uint64_t addr);
+
+  [[nodiscard]] std::size_t exported_count() const noexcept { return exports_.size(); }
+
+ private:
+  friend class Segment;
+  void unexport(NodeId node, SegmentId id, std::uint64_t phys);
+
+  pcie::Fabric& fabric_;
+  std::vector<std::unique_ptr<mem::RangeAllocator>> dram_;
+  std::map<std::pair<NodeId, SegmentId>, RemoteSegment> exports_;
+};
+
+}  // namespace nvmeshare::sisci

@@ -1,0 +1,198 @@
+// SmartIO: the paper's host-abstraction service (Section IV).
+//
+// Runs "on all hosts" conceptually; in the simulator it is one control-plane
+// object reachable from every node. It provides:
+//  * a cluster-wide device registry: devices get unique DeviceIds and can be
+//    discovered from any node regardless of where they are installed;
+//  * automatic export of device BARs so any node can map device registers
+//    through its NTB ("BAR windows");
+//  * exclusive / non-exclusive device acquisition (a manager first locks
+//    the device to reset and initialize it, then others attach shared);
+//  * "DMA windows": mapping segments on behalf of a device by programming
+//    the device-side NTB, returning the device-visible address to use in
+//    DMA descriptors (NVMe queue bases and PRPs);
+//  * access-pattern-hinted segment allocation, which picks the host whose
+//    memory should back a segment (the Figure 8 SQ/CQ placement policy)
+//    without the caller knowing the physical topology.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "sisci/sisci.hpp"
+
+namespace nvmeshare::smartio {
+
+using NodeId = sisci::NodeId;
+using DeviceId = std::uint64_t;
+
+enum class AcquireMode { exclusive, shared };
+
+/// Expected access pattern of a segment, used to choose which host's memory
+/// backs it (Section IV: "hinting rather than actively specifying which
+/// host to allocate memory in").
+struct AccessHint {
+  bool device_reads = false;
+  bool device_writes = false;
+  bool cpu_reads = false;
+  bool cpu_writes = false;
+
+  /// SQ pattern: device fetches entries, CPU only writes them.
+  static AccessHint sq() { return {true, false, false, true}; }
+  /// CQ pattern: device posts entries, CPU polls them.
+  static AccessHint cq() { return {false, true, true, false}; }
+  /// Bidirectional data buffer (bounce buffer).
+  static AccessHint data() { return {true, true, true, true}; }
+};
+
+struct DeviceInfo {
+  DeviceId id = 0;
+  std::string name;
+  NodeId host = 0;  ///< node the device is physically installed in
+  pcie::EndpointId endpoint = 0;
+};
+
+class Service;
+
+/// CPU mapping of a device BAR ("BAR window"): direct for the device's own
+/// host, an NTB mapping for remote nodes.
+class BarWindow {
+ public:
+  BarWindow() = default;
+  [[nodiscard]] bool valid() const noexcept { return direct_ || mapping_.valid(); }
+  /// Address of the BAR in the mapping node's address space.
+  [[nodiscard]] std::uint64_t addr() const noexcept {
+    return direct_ ? direct_addr_ : mapping_.local_addr();
+  }
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+
+ private:
+  friend class DeviceRef;
+  sisci::NtbMapping mapping_;
+  bool direct_ = false;
+  std::uint64_t direct_addr_ = 0;
+  std::uint64_t size_ = 0;
+};
+
+/// A segment mapped for a device ("DMA window"): the device-visible address
+/// range the device can DMA to/from, however many NTBs sit in between.
+class DmaWindow {
+ public:
+  DmaWindow() = default;
+  [[nodiscard]] bool valid() const noexcept { return direct_ || mapping_.valid(); }
+  /// Address the *device* must use to reach the segment.
+  [[nodiscard]] std::uint64_t device_addr() const noexcept {
+    return direct_ ? direct_addr_ : mapping_.local_addr();
+  }
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+
+ private:
+  friend class DeviceRef;
+  sisci::NtbMapping mapping_;
+  bool direct_ = false;
+  std::uint64_t direct_addr_ = 0;
+  std::uint64_t size_ = 0;
+};
+
+/// A borrowed reference to a registered device. Move-only; releases its
+/// exclusive/shared claim when destroyed.
+class DeviceRef {
+ public:
+  DeviceRef() = default;
+  DeviceRef(DeviceRef&& other) noexcept;
+  DeviceRef& operator=(DeviceRef&& other) noexcept;
+  DeviceRef(const DeviceRef&) = delete;
+  DeviceRef& operator=(const DeviceRef&) = delete;
+  ~DeviceRef();
+
+  [[nodiscard]] bool valid() const noexcept { return service_ != nullptr; }
+  [[nodiscard]] DeviceId id() const noexcept { return id_; }
+  [[nodiscard]] AcquireMode mode() const noexcept { return mode_; }
+  [[nodiscard]] Result<DeviceInfo> info() const;
+
+  /// Map BAR `bar` of the device for `node`'s CPU.
+  Result<BarWindow> map_bar(NodeId node, int bar) const;
+
+  /// Map a segment for the device: returns the device-visible address.
+  /// SmartIO resolves the device-side physical address space "under the
+  /// hood" — the caller never sees which host the segment actually lives
+  /// in relative to the device.
+  Result<DmaWindow> map_for_device(const sisci::RemoteSegment& segment) const;
+
+  /// Downgrade an exclusive claim to shared (manager finishes init, then
+  /// lets clients in).
+  Status downgrade_to_shared();
+
+  void release();
+
+ private:
+  friend class Service;
+  Service* service_ = nullptr;
+  DeviceId id_ = 0;
+  AcquireMode mode_ = AcquireMode::shared;
+};
+
+class Service {
+ public:
+  explicit Service(sisci::Cluster& cluster) : cluster_(cluster) {}
+
+  [[nodiscard]] sisci::Cluster& cluster() noexcept { return cluster_; }
+
+  /// Register a device that is attached to the fabric; assigns a
+  /// cluster-wide DeviceId and exports its BARs.
+  Result<DeviceId> register_device(pcie::EndpointId endpoint);
+
+  /// Withdraw a device from the registry (hot-remove). Fails while anyone
+  /// holds a reference; also clears its metadata registration.
+  Status unregister_device(DeviceId id);
+
+  [[nodiscard]] Result<DeviceInfo> device(DeviceId id) const;
+  [[nodiscard]] Result<DeviceInfo> find_device(std::string_view name) const;
+  [[nodiscard]] std::vector<DeviceInfo> list_devices() const;
+
+  /// Borrow the device. Exclusive fails if anyone holds it; shared fails
+  /// if it is held exclusively.
+  Result<DeviceRef> acquire(DeviceId id, AcquireMode mode);
+
+  /// Allocate and export a segment, letting SmartIO pick the backing host
+  /// from the access hint: device-read-mostly segments go to the device's
+  /// host ("device-side memory", Fig. 8), CPU-read segments stay on the
+  /// requesting node.
+  Result<sisci::Segment> create_segment_hinted(NodeId requester, sisci::SegmentId id,
+                                               std::uint64_t size, DeviceId device,
+                                               const AccessHint& hint);
+
+  /// The node an access hint resolves to (exposed for tests/benches).
+  [[nodiscard]] Result<NodeId> resolve_hint(NodeId requester, DeviceId device,
+                                            const AccessHint& hint) const;
+
+  /// Associate a metadata segment with a device (the driver manager's
+  /// bootstrap segment). SmartIO distributes this to all nodes, so a
+  /// client can find the manager knowing only the DeviceId.
+  Status set_device_metadata(DeviceId device, NodeId owner, sisci::SegmentId segment);
+  [[nodiscard]] Result<std::pair<NodeId, sisci::SegmentId>> device_metadata(
+      DeviceId device) const;
+  Status clear_device_metadata(DeviceId device);
+
+ private:
+  friend class DeviceRef;
+  struct DeviceState {
+    DeviceInfo info;
+    bool exclusive = false;
+    int shared_refs = 0;
+  };
+
+  void release_ref(DeviceId id, AcquireMode mode);
+  Status downgrade(DeviceId id);
+
+  sisci::Cluster& cluster_;
+  std::map<DeviceId, DeviceState> devices_;
+  std::map<DeviceId, std::pair<NodeId, sisci::SegmentId>> metadata_;
+  std::uint64_t next_serial_ = 1;
+};
+
+}  // namespace nvmeshare::smartio

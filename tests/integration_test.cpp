@@ -1,0 +1,230 @@
+// End-to-end integration tests: the full stack — PCIe fabric, NTBs, NVMe
+// controller, SISCI/SmartIO, distributed driver, baselines — moving real
+// bytes with verification.
+#include <gtest/gtest.h>
+
+#include "nvmeof/initiator.hpp"
+#include "nvmeof/target.hpp"
+#include "test_util.hpp"
+
+namespace nvmeshare {
+namespace {
+
+using namespace testutil;
+
+TEST(Integration, SingleHostManagerAndClient) {
+  Testbed tb(small_testbed(1));
+  auto stack = bring_up(tb, 0, 0);
+  ASSERT_TRUE(stack.has_value()) << stack.status().to_string();
+  write_read_verify(tb, *stack->client, 0, /*lba=*/128, 4096, /*seed=*/0xAA01);
+}
+
+TEST(Integration, RemoteClientOverNtb) {
+  Testbed tb(small_testbed(2));
+  auto stack = bring_up(tb, /*manager_node=*/0, /*client_node=*/1);
+  ASSERT_TRUE(stack.has_value()) << stack.status().to_string();
+
+  // The remote client's traffic must actually cross NTBs.
+  const std::uint64_t translations_before = tb.fabric().stats().ntb_translations;
+  write_read_verify(tb, *stack->client, 1, /*lba=*/4096, 16 * KiB, /*seed=*/0xBB02);
+  EXPECT_GT(tb.fabric().stats().ntb_translations, translations_before);
+}
+
+TEST(Integration, RemoteManagerLocalDeviceClient) {
+  // Manager on host 1 operating the device in host 0; client on host 0.
+  Testbed tb(small_testbed(2));
+  auto stack = bring_up(tb, /*manager_node=*/1, /*client_node=*/0);
+  ASSERT_TRUE(stack.has_value()) << stack.status().to_string();
+  write_read_verify(tb, *stack->client, 0, /*lba=*/64, 8192, /*seed=*/0xCC03);
+}
+
+TEST(Integration, CrossHostDataVisibility) {
+  // Host 1 writes a block; host 2 reads it through its own queue pair.
+  Testbed tb(small_testbed(3));
+  auto manager = tb.wait(driver::Manager::start(tb.service(), 0, tb.device_id(), {}));
+  ASSERT_TRUE(manager.has_value()) << manager.status().to_string();
+  auto c1 = tb.wait(driver::Client::attach(tb.service(), 1, tb.device_id(), {}));
+  auto c2 = tb.wait(driver::Client::attach(tb.service(), 2, tb.device_id(), {}));
+  ASSERT_TRUE(c1.has_value()) << c1.status().to_string();
+  ASSERT_TRUE(c2.has_value()) << c2.status().to_string();
+
+  const std::size_t bytes = 4096;
+  const std::uint64_t seed = 0xD00D;
+  const std::uint64_t wbuf = alloc_pattern_buffer(tb, 1, bytes, seed);
+  auto wr = do_io(tb, **c1, {block::Op::write, 512, 8, wbuf});
+  ASSERT_TRUE(wr.has_value() && wr->status.is_ok());
+
+  const std::uint64_t rbuf = alloc_pattern_buffer(tb, 2, bytes, ~seed);
+  auto rd = do_io(tb, **c2, {block::Op::read, 512, 8, rbuf});
+  ASSERT_TRUE(rd.has_value() && rd->status.is_ok());
+  EXPECT_TRUE(buffer_matches(tb, 2, rbuf, bytes, seed));
+}
+
+TEST(Integration, FlushCompletes) {
+  Testbed tb(small_testbed(2));
+  auto stack = bring_up(tb, 0, 1);
+  ASSERT_TRUE(stack.has_value());
+  auto fl = do_io(tb, *stack->client, {block::Op::flush, 0, 0, 0});
+  ASSERT_TRUE(fl.has_value());
+  EXPECT_TRUE(fl->status.is_ok()) << fl->status.to_string();
+}
+
+TEST(Integration, LargeTransferUsesPrpList) {
+  Testbed tb(small_testbed(2));
+  auto stack = bring_up(tb, 0, 1);
+  ASSERT_TRUE(stack.has_value());
+  // 64 KiB = 16 pages -> PRP list path in both driver and controller.
+  write_read_verify(tb, *stack->client, 1, /*lba=*/10000, 64 * KiB, /*seed=*/0xE405);
+}
+
+TEST(Integration, ReadBeyondCapacityFails) {
+  Testbed tb(small_testbed(2));
+  auto stack = bring_up(tb, 0, 1);
+  ASSERT_TRUE(stack.has_value());
+  const std::uint64_t buf = alloc_pattern_buffer(tb, 1, 4096, 1);
+  block::Request r{block::Op::read, stack->client->capacity_blocks() - 2, 8, buf};
+  auto completion = do_io(tb, *stack->client, r);
+  ASSERT_TRUE(completion.has_value());
+  EXPECT_FALSE(completion->status.is_ok());
+}
+
+TEST(Integration, HostSideSqPlacementAlsoWorks) {
+  Testbed tb(small_testbed(2));
+  driver::Client::Config cc;
+  cc.sq_placement = driver::Client::SqPlacement::host_side;
+  auto stack = bring_up(tb, 0, 1, cc);
+  ASSERT_TRUE(stack.has_value()) << stack.status().to_string();
+  write_read_verify(tb, *stack->client, 1, /*lba=*/2048, 4096, /*seed=*/0xF506);
+}
+
+TEST(Integration, IommuDataPathAlsoWorks) {
+  Testbed tb(small_testbed(2));
+  driver::Client::Config cc;
+  cc.data_path = driver::Client::DataPath::iommu;
+  auto stack = bring_up(tb, 0, 1, cc);
+  ASSERT_TRUE(stack.has_value()) << stack.status().to_string();
+  write_read_verify(tb, *stack->client, 1, /*lba=*/3000, 16 * KiB, /*seed=*/0xA607);
+  EXPECT_GT(stack->client->stats().iommu_maps, 0u);
+  EXPECT_EQ(stack->client->stats().bounce_copies, 0u);
+}
+
+TEST(Integration, LocalDriverBaseline) {
+  Testbed tb(small_testbed(1));
+  auto drv = tb.wait(
+      driver::LocalDriver::start(tb.cluster(), tb.nvme_endpoint(), &tb.irq(0), {}));
+  ASSERT_TRUE(drv.has_value()) << drv.status().to_string();
+  write_read_verify(tb, **drv, 0, /*lba=*/77, 4096, /*seed=*/0xB708);
+  EXPECT_GT((*drv)->stats().interrupts, 0u);
+}
+
+TEST(Integration, NvmeofStack) {
+  Testbed tb(small_testbed(2));
+  nvmeof::Target::Config tc;
+  auto target =
+      tb.wait(nvmeof::Target::start(tb.cluster(), tb.nvme_endpoint(), tb.network(), tc));
+  ASSERT_TRUE(target.has_value()) << target.status().to_string();
+  nvmeof::Initiator::Config ic;
+  auto initiator = tb.wait(
+      nvmeof::Initiator::connect(tb.cluster(), tb.network(), **target, 1, ic));
+  ASSERT_TRUE(initiator.has_value()) << initiator.status().to_string();
+  write_read_verify(tb, **initiator, 1, /*lba=*/999, 4096, /*seed=*/0xC809);
+  write_read_verify(tb, **initiator, 1, /*lba=*/2000, 32 * KiB, /*seed=*/0xC80A);
+  EXPECT_GT(tb.network().stats().sends, 0u);
+  EXPECT_GT(tb.network().stats().rdma_writes, 0u);  // read data push
+  EXPECT_GT(tb.network().stats().rdma_reads, 0u);   // large-write data pull
+}
+
+TEST(Integration, ClientDetachAndReattach) {
+  Testbed tb(small_testbed(2));
+  auto stack = bring_up(tb, 0, 1);
+  ASSERT_TRUE(stack.has_value());
+  const std::uint16_t old_qid = stack->client->qid();
+  Status st = tb.wait_status(stack->client->detach(), 10_s);
+  EXPECT_TRUE(st.is_ok()) << st.to_string();
+
+  auto again = tb.wait(driver::Client::attach(tb.service(), 1, tb.device_id(), {}));
+  ASSERT_TRUE(again.has_value()) << again.status().to_string();
+  EXPECT_EQ((*again)->qid(), old_qid);  // the qid was recycled
+  write_read_verify(tb, **again, 1, /*lba=*/88, 4096, /*seed=*/0xD90A);
+}
+
+TEST(Integration, ParallelClientsIndependentRegions) {
+  Testbed tb(small_testbed(4));
+  auto manager = tb.wait(driver::Manager::start(tb.service(), 0, tb.device_id(), {}));
+  ASSERT_TRUE(manager.has_value());
+  std::vector<std::unique_ptr<driver::Client>> clients;
+  for (smartio::NodeId n = 1; n <= 3; ++n) {
+    auto c = tb.wait(driver::Client::attach(tb.service(), n, tb.device_id(), {}));
+    ASSERT_TRUE(c.has_value()) << c.status().to_string();
+    clients.push_back(std::move(*c));
+  }
+  // Three concurrent verified jobs on disjoint regions.
+  std::vector<sim::Future<Result<workload::JobResult>>> jobs;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    workload::JobSpec spec;
+    spec.name = "client" + std::to_string(i);
+    spec.pattern = workload::JobSpec::Pattern::randrw;
+    spec.ops = 300;
+    spec.queue_depth = 4;
+    spec.verify = true;
+    spec.seed = 100 + i;
+    spec.region_blocks = 64 * 1024;
+    spec.region_offset_blocks = i * 128 * 1024;
+    jobs.push_back(workload::run_job(tb.cluster(), *clients[i],
+                                     static_cast<sisci::NodeId>(i + 1), spec));
+  }
+  for (auto& job : jobs) {
+    auto result = tb.wait(std::move(job), 120_s);
+    ASSERT_TRUE(result.has_value()) << result.status().to_string();
+    EXPECT_EQ(result->errors, 0u);
+    EXPECT_EQ(result->verify_failures, 0u);
+    EXPECT_EQ(result->ops_completed, 300u);
+  }
+  EXPECT_EQ(manager->get()->active_queue_pairs(), 4u);  // admin + 3 clients
+}
+
+TEST(Integration, ManagerRestartReusesQueueMemorySafely) {
+  // Regression test: after a full teardown, freshly attached queues may be
+  // allocated over memory holding stale completion entries from the
+  // previous epoch. Phase-tag handling must not read those as valid.
+  Testbed tb(small_testbed(2));
+  {
+    auto stack = bring_up(tb, 0, 1);
+    ASSERT_TRUE(stack.has_value());
+    // Generate plenty of completions so the old CQ pages are dirty.
+    workload::JobSpec spec;
+    spec.pattern = workload::JobSpec::Pattern::randrw;
+    spec.ops = 120;
+    spec.queue_depth = 4;
+    auto result = tb.wait(workload::run_job(tb.cluster(), *stack->client, 1, spec), 60_s);
+    ASSERT_TRUE(result.has_value());
+    ASSERT_EQ(result->errors, 0u);
+  }  // manager + client destroyed; segments freed
+  tb.engine().run_for(1_ms);
+
+  auto stack = bring_up(tb, 0, 1);
+  ASSERT_TRUE(stack.has_value()) << stack.status().to_string();
+  workload::JobSpec spec;
+  spec.pattern = workload::JobSpec::Pattern::randrw;
+  spec.ops = 120;
+  spec.queue_depth = 4;
+  spec.verify = true;
+  auto result = tb.wait(workload::run_job(tb.cluster(), *stack->client, 1, spec), 60_s);
+  ASSERT_TRUE(result.has_value()) << result.status().to_string();
+  EXPECT_EQ(result->errors, 0u);
+  EXPECT_EQ(result->verify_failures, 0u);
+}
+
+TEST(Integration, ManagerRejectsSecondManager) {
+  Testbed tb(small_testbed(2));
+  auto m1 = tb.wait(driver::Manager::start(tb.service(), 0, tb.device_id(), {}));
+  ASSERT_TRUE(m1.has_value());
+  driver::Manager::Config cfg2;
+  cfg2.metadata_segment_id = 0x4d455442;  // avoid the segment-id collision
+  auto m2 = tb.wait(driver::Manager::start(tb.service(), 1, tb.device_id(), cfg2));
+  EXPECT_FALSE(m2.has_value());
+  EXPECT_EQ(m2.error_code(), Errc::permission_denied);
+}
+
+}  // namespace
+}  // namespace nvmeshare

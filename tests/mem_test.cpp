@@ -1,0 +1,165 @@
+// Unit tests for the memory substrate: sparse DRAM, range allocator, IOMMU.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "mem/allocator.hpp"
+#include "mem/iommu.hpp"
+#include "mem/phys_mem.hpp"
+
+namespace nvmeshare::mem {
+namespace {
+
+TEST(PhysMem, ReadsZeroBeforeWrite) {
+  PhysMem m(1 * MiB);
+  Bytes buf(64, std::byte{0xFF});
+  ASSERT_TRUE(m.read(1234, buf).is_ok());
+  for (auto b : buf) EXPECT_EQ(b, std::byte{0});
+  EXPECT_EQ(m.resident_pages(), 0u);
+}
+
+TEST(PhysMem, WriteReadRoundTrip) {
+  PhysMem m(1 * MiB);
+  Bytes data = make_pattern(300, 42);
+  ASSERT_TRUE(m.write(5000, data).is_ok());
+  Bytes out(300);
+  ASSERT_TRUE(m.read(5000, out).is_ok());
+  EXPECT_EQ(data, out);
+}
+
+TEST(PhysMem, CrossPageAccess) {
+  PhysMem m(1 * MiB);
+  Bytes data = make_pattern(3 * 4096, 7);
+  const std::uint64_t addr = 4096 - 17;  // straddles three pages
+  ASSERT_TRUE(m.write(addr, data).is_ok());
+  Bytes out(data.size());
+  ASSERT_TRUE(m.read(addr, out).is_ok());
+  EXPECT_EQ(data, out);
+  EXPECT_EQ(m.resident_pages(), 4u);
+}
+
+TEST(PhysMem, OutOfRangeRejected) {
+  PhysMem m(8192);
+  Bytes buf(64);
+  EXPECT_EQ(m.read(8192 - 32, buf).code(), Errc::out_of_range);
+  EXPECT_EQ(m.write(8192 - 32, buf).code(), Errc::out_of_range);
+  EXPECT_TRUE(m.read(8192 - 64, buf).is_ok());
+}
+
+TEST(PhysMem, PodHelpers) {
+  PhysMem m(1 * MiB);
+  ASSERT_TRUE(m.write_pod(100, std::uint32_t{0xabcd1234}).is_ok());
+  auto v = m.read_pod<std::uint32_t>(100);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 0xabcd1234u);
+}
+
+TEST(RangeAllocator, AllocatesAligned) {
+  RangeAllocator a(0x1000, 1 * MiB);
+  auto p = a.alloc(100, 256);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p % 256, 0u);
+  EXPECT_GE(*p, 0x1000u);
+}
+
+TEST(RangeAllocator, ExhaustsAndRecovers) {
+  RangeAllocator a(0, 4096);
+  auto p1 = a.alloc(4096, 1);
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(a.alloc(1, 1).error_code(), Errc::resource_exhausted);
+  ASSERT_TRUE(a.free(*p1).is_ok());
+  EXPECT_TRUE(a.alloc(4096, 1).has_value());
+}
+
+TEST(RangeAllocator, CoalescesFreedNeighbors) {
+  RangeAllocator a(0, 3 * 4096);
+  auto p1 = a.alloc(4096, 4096);
+  auto p2 = a.alloc(4096, 4096);
+  auto p3 = a.alloc(4096, 4096);
+  ASSERT_TRUE(p1 && p2 && p3);
+  ASSERT_TRUE(a.free(*p1).is_ok());
+  ASSERT_TRUE(a.free(*p3).is_ok());
+  ASSERT_TRUE(a.free(*p2).is_ok());  // middle free must merge all three
+  EXPECT_TRUE(a.alloc(3 * 4096, 1).has_value());
+}
+
+TEST(RangeAllocator, DoubleFreeRejected) {
+  RangeAllocator a(0, 4096);
+  auto p = a.alloc(64, 64);
+  ASSERT_TRUE(p.has_value());
+  ASSERT_TRUE(a.free(*p).is_ok());
+  EXPECT_EQ(a.free(*p).code(), Errc::not_found);
+}
+
+TEST(RangeAllocator, BadArgsRejected) {
+  RangeAllocator a(0, 4096);
+  EXPECT_EQ(a.alloc(0, 64).error_code(), Errc::invalid_argument);
+  EXPECT_EQ(a.alloc(64, 3).error_code(), Errc::invalid_argument);  // non-pow2
+}
+
+TEST(RangeAllocator, AccountsBytes) {
+  RangeAllocator a(0, 8192);
+  EXPECT_EQ(a.bytes_free(), 8192u);
+  auto p = a.alloc(100, 1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(a.bytes_used(), 100u);
+  ASSERT_TRUE(a.free(*p).is_ok());
+  EXPECT_EQ(a.bytes_free(), 8192u);
+}
+
+TEST(Iommu, MapTranslateUnmap) {
+  Iommu iommu;
+  auto cost = iommu.map(0x10000, 0x8000, 8192);
+  ASSERT_TRUE(cost.has_value());
+  EXPECT_GT(*cost, 0);
+  auto t = iommu.translate(0x10000 + 5000);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 0x8000u + 5000u);
+  auto uncost = iommu.unmap(0x10000);
+  ASSERT_TRUE(uncost.has_value());
+  EXPECT_EQ(iommu.translate(0x10000).error_code(), Errc::unmapped_address);
+}
+
+TEST(Iommu, RejectsOverlap) {
+  Iommu iommu;
+  ASSERT_TRUE(iommu.map(0x10000, 0x8000, 8192).has_value());
+  EXPECT_EQ(iommu.map(0x11000, 0x20000, 4096).error_code(), Errc::already_exists);
+  EXPECT_EQ(iommu.map(0xF000, 0x20000, 8192).error_code(), Errc::already_exists);
+  EXPECT_TRUE(iommu.map(0x12000, 0x20000, 4096).has_value());
+}
+
+TEST(Iommu, RejectsMisaligned) {
+  Iommu iommu;
+  EXPECT_EQ(iommu.map(0x10001, 0x8000, 4096).error_code(), Errc::invalid_argument);
+  EXPECT_EQ(iommu.map(0x10000, 0x8001, 4096).error_code(), Errc::invalid_argument);
+  EXPECT_EQ(iommu.map(0x10000, 0x8000, 0).error_code(), Errc::invalid_argument);
+}
+
+TEST(Iommu, CostIsAffineInPages) {
+  Iommu::Config cfg;
+  Iommu iommu(cfg);
+  auto one = iommu.map(0x100000, 0, 4096);
+  auto four = iommu.map(0x200000, 0x10000, 4 * 4096);
+  ASSERT_TRUE(one && four);
+  // Fixed setup cost plus a per-page term: four pages cost three extra
+  // PTE stores over one page, not 4x the total.
+  EXPECT_EQ(*four - *one, 3 * cfg.map_per_page_ns);
+  EXPECT_EQ(*one, cfg.map_fixed_ns + cfg.map_per_page_ns);
+
+  auto unmap_one = iommu.unmap(0x100000);
+  auto unmap_four = iommu.unmap(0x200000);
+  ASSERT_TRUE(unmap_one && unmap_four);
+  // Teardown is dominated by the single range invalidation.
+  EXPECT_EQ(*unmap_four - *unmap_one, 3 * cfg.unmap_per_page_ns);
+}
+
+TEST(Iommu, TranslationAtBoundaries) {
+  Iommu iommu;
+  ASSERT_TRUE(iommu.map(0x10000, 0x8000, 4096).has_value());
+  EXPECT_TRUE(iommu.translate(0x10000).has_value());
+  EXPECT_TRUE(iommu.translate(0x10FFF).has_value());
+  EXPECT_FALSE(iommu.translate(0x11000).has_value());
+  EXPECT_FALSE(iommu.translate(0xFFFF).has_value());
+}
+
+}  // namespace
+}  // namespace nvmeshare::mem

@@ -1,0 +1,384 @@
+// Unit tests for the NVMe controller model: spec structures, bring-up,
+// admin command validation, queue mechanics (phase tags, wraparound),
+// error reporting, and doorbell robustness.
+#include <gtest/gtest.h>
+
+#include "driver/bringup.hpp"
+#include "nvme/block_store.hpp"
+#include "nvme/queue.hpp"
+#include "nvme/spec.hpp"
+#include "test_util.hpp"
+
+namespace nvmeshare::nvme {
+namespace {
+
+using testutil::Testbed;
+using testutil::small_testbed;
+
+TEST(Spec, EntrySizes) {
+  EXPECT_EQ(sizeof(SubmissionEntry), 64u);
+  EXPECT_EQ(sizeof(CompletionEntry), 16u);
+}
+
+TEST(Spec, PhaseBitManipulation) {
+  CompletionEntry e;
+  e.status_phase = static_cast<std::uint16_t>(kScLbaOutOfRange << 1);
+  EXPECT_FALSE(e.phase());
+  e.set_phase(true);
+  EXPECT_TRUE(e.phase());
+  EXPECT_EQ(e.status(), kScLbaOutOfRange);
+  e.set_phase(false);
+  EXPECT_EQ(e.status(), kScLbaOutOfRange);
+}
+
+TEST(Spec, StatusCodeComposition) {
+  EXPECT_EQ(kScSuccess, 0);
+  EXPECT_EQ(make_status(Sct::generic, 0x80), 0x80);
+  EXPECT_EQ(make_status(Sct::command_specific, 0x01), 0x101);
+  EXPECT_STREQ(status_name(kScInvalidQueueId), "invalid queue id");
+}
+
+TEST(Spec, IdentifyControllerRoundTrip) {
+  ControllerInfo info;
+  info.mdts_pages_log2 = 5;
+  info.num_namespaces = 1;
+  Bytes data = build_identify_controller(info);
+  ASSERT_EQ(data.size(), 4096u);
+  auto parsed = parse_identify_controller(data);
+  EXPECT_EQ(parsed.vid, info.vid);
+  EXPECT_EQ(parsed.mdts_pages_log2, 5);
+  EXPECT_EQ(parsed.num_namespaces, 1u);
+  EXPECT_NE(std::string(parsed.model).find("Optane"), std::string::npos);
+}
+
+TEST(Spec, IdentifyNamespaceRoundTrip) {
+  NamespaceInfo info{123456, 512};
+  Bytes data = build_identify_namespace(info);
+  auto parsed = parse_identify_namespace(data);
+  EXPECT_EQ(parsed.size_blocks, 123456u);
+  EXPECT_EQ(parsed.block_size, 512u);
+}
+
+TEST(Spec, DoorbellOffsets) {
+  EXPECT_EQ(sq_doorbell_offset(0), 0x1000u);
+  EXPECT_EQ(cq_doorbell_offset(0), 0x1004u);
+  EXPECT_EQ(sq_doorbell_offset(3), 0x1000u + 6 * 4);
+  EXPECT_EQ(cq_doorbell_offset(3), 0x1000u + 7 * 4);
+}
+
+TEST(Spec, IoCommandBuilder) {
+  auto e = make_io_rw(true, 7, 1, 0x1'0000'0001ULL, 8, 0x2000, 0x3000);
+  EXPECT_EQ(e.opcode, static_cast<std::uint8_t>(IoOpcode::write));
+  EXPECT_EQ(e.cid, 7);
+  EXPECT_EQ(e.cdw10, 1u);           // low LBA
+  EXPECT_EQ(e.cdw11, 1u);           // high LBA
+  EXPECT_EQ(e.cdw12 & 0xFFFF, 7u);  // 0-based block count
+}
+
+TEST(BlockStore, SparseZeroReads) {
+  BlockStore store(1000, 512);
+  Bytes buf(512, std::byte{0xFF});
+  ASSERT_TRUE(store.read(5, 1, buf).is_ok());
+  for (auto b : buf) EXPECT_EQ(b, std::byte{0});
+  EXPECT_EQ(store.resident_chunks(), 0u);
+}
+
+TEST(BlockStore, WriteReadAndZeroes) {
+  BlockStore store(100'000, 512);
+  Bytes data = make_pattern(8 * 512, 3);
+  ASSERT_TRUE(store.write(64, 8, data).is_ok());
+  Bytes out(8 * 512);
+  ASSERT_TRUE(store.read(64, 8, out).is_ok());
+  EXPECT_EQ(data, out);
+  ASSERT_TRUE(store.write_zeroes(64, 8).is_ok());
+  ASSERT_TRUE(store.read(64, 8, out).is_ok());
+  for (auto b : out) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(BlockStore, RangeChecks) {
+  BlockStore store(100, 512);
+  Bytes buf(512);
+  EXPECT_EQ(store.read(100, 1, buf).code(), Errc::out_of_range);
+  EXPECT_EQ(store.write(99, 2, Bytes(1024)).code(), Errc::out_of_range);
+  EXPECT_EQ(store.read(0, 0, {}).code(), Errc::invalid_argument);
+  EXPECT_EQ(store.read(0, 1, buf.empty() ? buf : ByteSpan(buf.data(), 100)).code(),
+            Errc::invalid_argument);
+}
+
+// --- controller fixture --------------------------------------------------------
+
+struct ControllerFixture : ::testing::Test {
+  ControllerFixture() : tb(small_testbed(1)) {
+    auto c = tb.wait(driver::BareController::init(tb.cluster(), tb.nvme_endpoint(), {}));
+    EXPECT_TRUE(c.has_value()) << c.status().to_string();
+    ctrl = std::move(*c);
+  }
+
+  Result<CompletionEntry> admin(const SubmissionEntry& e) {
+    return tb.wait(ctrl->submit_admin(e));
+  }
+
+  Testbed tb;
+  std::unique_ptr<driver::BareController> ctrl;
+};
+
+TEST_F(ControllerFixture, BringUpDiscoversGeometry) {
+  EXPECT_TRUE(tb.controller().is_ready());
+  EXPECT_EQ(ctrl->block_size(), 512u);
+  EXPECT_EQ(ctrl->capacity_blocks(), tb.config().nvme.capacity_blocks);
+  EXPECT_EQ(ctrl->max_transfer_bytes(), 128u * KiB);
+  EXPECT_EQ(ctrl->granted_io_queues(), 31);  // 32 QPs minus the admin pair
+}
+
+TEST_F(ControllerFixture, CreateCqInvalidQid) {
+  auto cqe = admin(make_create_io_cq(0, 40, 64, 0x10000, false, 0));
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->status(), kScInvalidQueueId);  // beyond the granted count
+}
+
+TEST_F(ControllerFixture, CreateSqWithoutCqRejected) {
+  auto cqe = admin(make_create_io_sq(0, 5, 64, 0x10000, 5));
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->status(), kScInvalidQueueId);
+}
+
+TEST_F(ControllerFixture, CreateCqMisalignedBaseRejected) {
+  auto cqe = admin(make_create_io_cq(0, 1, 64, 0x10008, false, 0));
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->status(), kScInvalidField);
+}
+
+TEST_F(ControllerFixture, CreateCqBadSizeRejected) {
+  auto cqe = admin(make_create_io_cq(0, 1, 1, 0x10000, false, 0));
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->status(), kScInvalidQueueSize);
+}
+
+TEST_F(ControllerFixture, DeleteCqWithAttachedSqRejected) {
+  auto sq_mem = tb.cluster().alloc_dram(0, 64 * 64, 4096);
+  auto cq_mem = tb.cluster().alloc_dram(0, 64 * 16, 4096);
+  ASSERT_TRUE(sq_mem && cq_mem);
+  ASSERT_TRUE(admin(make_create_io_cq(0, 1, 64, *cq_mem, false, 0))->ok());
+  ASSERT_TRUE(admin(make_create_io_sq(0, 1, 64, *sq_mem, 1))->ok());
+
+  auto del_cq = admin(make_delete_io_cq(0, 1));
+  ASSERT_TRUE(del_cq.has_value());
+  EXPECT_EQ(del_cq->status(), kScInvalidQueueDeletion);
+
+  ASSERT_TRUE(admin(make_delete_io_sq(0, 1))->ok());
+  EXPECT_TRUE(admin(make_delete_io_cq(0, 1))->ok());
+}
+
+TEST_F(ControllerFixture, DuplicateQueueIdRejected) {
+  auto cq_mem = tb.cluster().alloc_dram(0, 64 * 16, 4096);
+  ASSERT_TRUE(admin(make_create_io_cq(0, 1, 64, *cq_mem, false, 0))->ok());
+  auto again = admin(make_create_io_cq(0, 1, 64, *cq_mem, false, 0));
+  EXPECT_EQ(again->status(), kScInvalidQueueId);
+}
+
+TEST_F(ControllerFixture, InvalidOpcodeCompletesWithError) {
+  SubmissionEntry e;
+  e.opcode = 0x7F;
+  auto cqe = admin(e);
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->status(), kScInvalidOpcode);
+}
+
+TEST_F(ControllerFixture, GetFeaturesReportsGrantedQueues) {
+  SubmissionEntry e;
+  e.opcode = static_cast<std::uint8_t>(AdminOpcode::get_features);
+  e.cdw10 = static_cast<std::uint32_t>(FeatureId::number_of_queues);
+  auto cqe = admin(e);
+  ASSERT_TRUE(cqe.has_value() && cqe->ok());
+  EXPECT_EQ((cqe->dw0 & 0xFFFF) + 1, 31u);
+}
+
+TEST_F(ControllerFixture, AbortReportsNotAborted) {
+  SubmissionEntry e;
+  e.opcode = static_cast<std::uint8_t>(AdminOpcode::abort);
+  auto cqe = admin(e);
+  ASSERT_TRUE(cqe.has_value() && cqe->ok());
+  EXPECT_EQ(cqe->dw0 & 1u, 1u);
+}
+
+TEST_F(ControllerFixture, AsyncEventRequestParksForever) {
+  SubmissionEntry e;
+  e.opcode = static_cast<std::uint8_t>(AdminOpcode::async_event_request);
+  auto cqe = admin(e);  // must time out: no events are ever raised
+  EXPECT_FALSE(cqe.has_value());
+  EXPECT_EQ(cqe.error_code(), Errc::timed_out);
+}
+
+TEST_F(ControllerFixture, InvalidSqDoorbellValueIsFatal) {
+  pcie::Fabric& fabric = tb.fabric();
+  Bytes doorbell(4);
+  store_pod(doorbell, std::uint32_t{60000});  // way beyond queue size
+  auto bar = fabric.bar_address(tb.nvme_endpoint(), 0);
+  ASSERT_TRUE(bar.has_value());
+  (void)fabric.post_write(fabric.cpu(0), *bar + sq_doorbell_offset(0), std::move(doorbell));
+  tb.engine().run_for(1_ms);
+  EXPECT_TRUE(tb.controller().is_fatal());
+  EXPECT_FALSE(tb.controller().is_ready());
+}
+
+TEST_F(ControllerFixture, DoorbellForUnknownQueueIsFatal) {
+  pcie::Fabric& fabric = tb.fabric();
+  Bytes doorbell(4);
+  store_pod(doorbell, std::uint32_t{0});
+  auto bar = fabric.bar_address(tb.nvme_endpoint(), 0);
+  (void)fabric.post_write(fabric.cpu(0), *bar + sq_doorbell_offset(20), std::move(doorbell));
+  tb.engine().run_for(1_ms);
+  EXPECT_TRUE(tb.controller().is_fatal());
+}
+
+// Submit `n` flushes one at a time through a tiny queue: exercises SQ/CQ
+// wraparound and phase-tag inversion several times over.
+struct TinyQueueFixture : ControllerFixture {
+  void run_flushes(int n) {
+    auto sq_mem = tb.cluster().alloc_dram(0, 4 * 64, 4096);
+    auto cq_mem = tb.cluster().alloc_dram(0, 4 * 16, 4096);
+    ASSERT_TRUE(sq_mem && cq_mem);
+    auto qid = tb.wait(ctrl->create_queue_pair(*sq_mem, 4, *cq_mem, 4, std::nullopt));
+    ASSERT_TRUE(qid.has_value()) << qid.status().to_string();
+
+    QueuePair::Config qc;
+    qc.qid = *qid;
+    qc.sq_size = 4;
+    qc.cq_size = 4;
+    qc.sq_write_addr = *sq_mem;
+    qc.cq_poll_addr = *cq_mem;
+    qc.sq_doorbell_addr = ctrl->sq_doorbell(*qid);
+    qc.cq_doorbell_addr = ctrl->cq_doorbell(*qid);
+    qc.cpu = tb.fabric().cpu(0);
+    QueuePair qp(tb.fabric(), qc);
+
+    for (int i = 0; i < n; ++i) {
+      auto cid = qp.push(make_flush(0, 1));
+      ASSERT_TRUE(cid.has_value());
+      ASSERT_TRUE(qp.ring_sq_doorbell().is_ok());
+      const sim::Time deadline = tb.engine().now() + 1_s;
+      std::optional<CompletionEntry> cqe;
+      while (!cqe && tb.engine().now() < deadline) {
+        tb.engine().run_until(tb.engine().now() + 1_us);
+        cqe = qp.poll();
+      }
+      ASSERT_TRUE(cqe.has_value()) << "flush " << i << " never completed";
+      EXPECT_TRUE(cqe->ok());
+      EXPECT_EQ(cqe->sqid, *qid);
+      ASSERT_TRUE(qp.ring_cq_doorbell().is_ok());
+    }
+  }
+};
+
+TEST_F(TinyQueueFixture, WraparoundAndPhaseFlipSurvive13Commands) { run_flushes(13); }
+
+TEST_F(TinyQueueFixture, LongWraparound50Commands) { run_flushes(50); }
+
+// --- register conformance ----------------------------------------------------------
+
+struct RegisterFixture : ::testing::Test {
+  RegisterFixture() : tb(small_testbed(1)) {
+    auto base = tb.fabric().bar_address(tb.nvme_endpoint(), 0);
+    EXPECT_TRUE(base.has_value());
+    bar = *base;
+  }
+
+  std::uint64_t read_reg(std::uint64_t offset, std::size_t len) {
+    Bytes out(len);
+    EXPECT_TRUE(tb.fabric().peek(0, bar + offset, out).is_ok());
+    std::uint64_t v = 0;
+    std::memcpy(&v, out.data(), len);
+    return v;
+  }
+
+  Testbed tb;
+  std::uint64_t bar = 0;
+};
+
+TEST_F(RegisterFixture, CapFieldsAndHalfWordReads) {
+  const std::uint64_t cap = read_reg(reg::kCap, 8);
+  EXPECT_EQ(cap & 0xFFFF, tb.config().nvme.max_queue_entries - 1u);  // MQES
+  EXPECT_NE(cap & (1ull << 16), 0u);                                // CQR
+  EXPECT_NE(cap & (1ull << 37), 0u);                                // CSS: NVM
+  // A 4-byte read of either half must return that half.
+  EXPECT_EQ(read_reg(reg::kCap, 4), cap & 0xFFFFFFFFu);
+  EXPECT_EQ(read_reg(reg::kCap + 4, 4), cap >> 32);
+}
+
+TEST_F(RegisterFixture, VersionRegister) {
+  EXPECT_EQ(read_reg(reg::kVs, 4), 0x00010400u);  // NVMe 1.4
+}
+
+TEST_F(RegisterFixture, AsqAcqAcceptSplit32BitWrites) {
+  pcie::Fabric& fabric = tb.fabric();
+  auto write32 = [&](std::uint64_t off, std::uint32_t v) {
+    Bytes b(4);
+    store_pod(b, v);
+    (void)fabric.post_write(fabric.cpu(0), bar + off, std::move(b));
+  };
+  write32(reg::kAsq, 0xAAAA0000u);
+  write32(reg::kAsq + 4, 0x1u);
+  write32(reg::kAcq, 0xBBBB0000u);
+  write32(reg::kAcq + 4, 0x2u);
+  tb.engine().run();
+  EXPECT_EQ(read_reg(reg::kAsq, 8), 0x1AAAA0000ull);
+  EXPECT_EQ(read_reg(reg::kAcq, 8), 0x2BBBB0000ull);
+}
+
+TEST_F(RegisterFixture, MsixTableReadback) {
+  pcie::Fabric& fabric = tb.fabric();
+  Bytes entry(16);
+  store_pod(entry, std::uint64_t{0xFEE00000}, 0);
+  store_pod(entry, std::uint32_t{0x42}, 8);
+  store_pod(entry, std::uint32_t{0}, 12);  // unmasked
+  (void)fabric.post_write(fabric.cpu(0), bar + reg::kMsixTable + 2 * reg::kMsixEntrySize,
+                          std::move(entry));
+  tb.engine().run();
+  Bytes out(16);
+  ASSERT_TRUE(fabric.peek(0, bar + reg::kMsixTable + 2 * reg::kMsixEntrySize, out).is_ok());
+  EXPECT_EQ(load_pod<std::uint64_t>(out, 0), 0xFEE00000u);
+  EXPECT_EQ(load_pod<std::uint32_t>(out, 8), 0x42u);
+  EXPECT_EQ(load_pod<std::uint32_t>(out, 12), 0u);
+}
+
+TEST_F(RegisterFixture, ShutdownNotificationCompletes) {
+  pcie::Fabric& fabric = tb.fabric();
+  Bytes cc(4);
+  store_pod(cc, std::uint32_t{1u << 14});  // CC.SHN = normal shutdown
+  (void)fabric.post_write(fabric.cpu(0), bar + reg::kCc, std::move(cc));
+  tb.engine().run();
+  EXPECT_EQ(read_reg(reg::kCsts, 4) & 0xCu, kCstsShutdownComplete);
+}
+
+TEST_F(RegisterFixture, EnableWithMisalignedAdminQueueIsFatal) {
+  pcie::Fabric& fabric = tb.fabric();
+  auto write32 = [&](std::uint64_t off, std::uint32_t v) {
+    Bytes b(4);
+    store_pod(b, v);
+    (void)fabric.post_write(fabric.cpu(0), bar + off, std::move(b));
+  };
+  auto write64 = [&](std::uint64_t off, std::uint64_t v) {
+    Bytes b(8);
+    store_pod(b, v);
+    (void)fabric.post_write(fabric.cpu(0), bar + off, std::move(b));
+  };
+  write32(reg::kAqa, 31u | (31u << 16));
+  write64(reg::kAsq, 0x10008);  // not page aligned
+  write64(reg::kAcq, 0x20000);
+  write32(reg::kCc, kCcEnable);
+  tb.engine().run_for(1_ms);
+  EXPECT_TRUE(tb.controller().is_fatal());
+}
+
+TEST_F(RegisterFixture, DoorbellWhileDisabledIsIgnored) {
+  pcie::Fabric& fabric = tb.fabric();
+  Bytes db(4);
+  store_pod(db, std::uint32_t{5});
+  (void)fabric.post_write(fabric.cpu(0), bar + sq_doorbell_offset(0), std::move(db));
+  tb.engine().run_for(1_ms);
+  EXPECT_FALSE(tb.controller().is_fatal());  // not ready: write dropped, not fatal
+  EXPECT_EQ(tb.controller().stats().doorbell_writes, 1u);
+}
+
+}  // namespace
+}  // namespace nvmeshare::nvme

@@ -1,0 +1,146 @@
+// Unit tests for the NVMe-oF baseline: capsule format, target lifecycle,
+// multiple connections, data integrity, error propagation.
+#include <gtest/gtest.h>
+
+#include "nvmeof/initiator.hpp"
+#include "nvmeof/target.hpp"
+#include "test_util.hpp"
+
+namespace nvmeshare::nvmeof {
+namespace {
+
+using namespace testutil;
+
+struct NvmeofFixture : ::testing::Test {
+  NvmeofFixture() : tb(small_testbed(3)) {
+    auto t = tb.wait(Target::start(tb.cluster(), tb.nvme_endpoint(), tb.network(), {}));
+    EXPECT_TRUE(t.has_value()) << t.status().to_string();
+    target = std::move(*t);
+  }
+
+  Result<std::unique_ptr<Initiator>> connect(rdma::NodeId node) {
+    return tb.wait(Initiator::connect(tb.cluster(), tb.network(), *target, node, {}));
+  }
+
+  Testbed tb;
+  std::unique_ptr<Target> target;
+};
+
+TEST(Capsule, WireSizes) {
+  EXPECT_EQ(sizeof(CommandCapsule), 64u);
+  EXPECT_EQ(sizeof(ResponseCapsule), 16u);
+}
+
+TEST_F(NvmeofFixture, TargetExposesGeometry) {
+  EXPECT_EQ(target->controller().block_size(), 512u);
+  EXPECT_EQ(target->controller().capacity_blocks(), tb.config().nvme.capacity_blocks);
+  EXPECT_EQ(target->connection_count(), 0u);
+}
+
+TEST_F(NvmeofFixture, WriteReadVerify) {
+  auto initiator = connect(1);
+  ASSERT_TRUE(initiator.has_value()) << initiator.status().to_string();
+  write_read_verify(tb, **initiator, 1, 1000, 4096, 0x0F0F);
+  EXPECT_EQ(target->stats().errors, 0u);
+  EXPECT_EQ(target->stats().reads, 1u);
+  EXPECT_EQ(target->stats().writes, 1u);
+}
+
+TEST_F(NvmeofFixture, LargeTransfers) {
+  auto initiator = connect(1);
+  ASSERT_TRUE(initiator.has_value());
+  write_read_verify(tb, **initiator, 1, 5000, 128 * KiB, 0x1F2F);
+}
+
+TEST_F(NvmeofFixture, FlushWorks) {
+  auto initiator = connect(1);
+  ASSERT_TRUE(initiator.has_value());
+  auto fl = do_io(tb, **initiator, {block::Op::flush, 0, 0, 0});
+  ASSERT_TRUE(fl.has_value());
+  EXPECT_TRUE(fl->status.is_ok());
+}
+
+TEST_F(NvmeofFixture, TwoInitiatorsDedicatedQueues) {
+  auto i1 = connect(1);
+  auto i2 = connect(2);
+  ASSERT_TRUE(i1.has_value() && i2.has_value());
+  EXPECT_EQ(target->connection_count(), 2u);
+  // Each connection gets its own NVMe queue pair on the target.
+  EXPECT_EQ(tb.controller().active_io_sq_count(), 2);
+
+  write_read_verify(tb, **i1, 1, 2000, 4096, 0x3A3A);
+  write_read_verify(tb, **i2, 2, 3000, 4096, 0x4B4B);
+
+  // Initiator 2 reads what initiator 1 wrote (same backing device).
+  const std::uint64_t rbuf = alloc_pattern_buffer(tb, 2, 4096, 0);
+  auto rd = do_io(tb, **i2, {block::Op::read, 2000, 8, rbuf});
+  ASSERT_TRUE(rd.has_value() && rd->status.is_ok());
+  EXPECT_TRUE(buffer_matches(tb, 2, rbuf, 4096, 0x3A3A));
+}
+
+TEST_F(NvmeofFixture, LbaOutOfRangeRejectedBeforeTheWire) {
+  auto initiator = connect(1);
+  ASSERT_TRUE(initiator.has_value());
+  const std::uint64_t buf = alloc_pattern_buffer(tb, 1, 4096, 1);
+  block::Request r{block::Op::read, (*initiator)->capacity_blocks() - 1, 8, buf};
+  const auto sends_before = tb.network().stats().sends;
+  auto completion = do_io(tb, **initiator, r);
+  ASSERT_TRUE(completion.has_value());
+  // The initiator's block layer rejects it locally (kernel semantics); no
+  // capsule ever crosses the network.
+  EXPECT_EQ(completion->status.code(), Errc::out_of_range);
+  EXPECT_EQ(tb.network().stats().sends, sends_before);
+}
+
+TEST_F(NvmeofFixture, QueueDepthStress) {
+  auto initiator = connect(1);
+  ASSERT_TRUE(initiator.has_value());
+  workload::JobSpec spec;
+  spec.pattern = workload::JobSpec::Pattern::randrw;
+  spec.ops = 400;
+  spec.queue_depth = 16;
+  spec.verify = true;
+  spec.seed = 77;
+  auto result = tb.wait(workload::run_job(tb.cluster(), **initiator, 1, spec), 120_s);
+  ASSERT_TRUE(result.has_value()) << result.status().to_string();
+  EXPECT_EQ(result->errors, 0u);
+  EXPECT_EQ(result->verify_failures, 0u);
+}
+
+TEST_F(NvmeofFixture, NetworkTrafficShapeMatchesProtocol) {
+  auto initiator = connect(1);
+  ASSERT_TRUE(initiator.has_value());
+  const auto before = tb.network().stats();
+  // One read: command capsule SEND + RDMA WRITE (data) + response SEND.
+  const std::uint64_t buf = alloc_pattern_buffer(tb, 1, 4096, 1);
+  auto rd = do_io(tb, **initiator, {block::Op::read, 0, 8, buf});
+  ASSERT_TRUE(rd.has_value() && rd->status.is_ok());
+  EXPECT_EQ(tb.network().stats().sends, before.sends + 2);
+  EXPECT_EQ(tb.network().stats().rdma_writes, before.rdma_writes + 1);
+  EXPECT_EQ(tb.network().stats().rdma_reads, before.rdma_reads);
+
+  // One 4 KiB write: the payload rides in-capsule (SPDK in-capsule data),
+  // so it is SEND + response SEND with no one-sided transfer.
+  auto wr = do_io(tb, **initiator, {block::Op::write, 0, 8, buf});
+  ASSERT_TRUE(wr.has_value() && wr->status.is_ok());
+  EXPECT_EQ(tb.network().stats().sends, before.sends + 4);
+  EXPECT_EQ(tb.network().stats().rdma_reads, before.rdma_reads);
+
+  // One 16 KiB write exceeds the in-capsule limit: the target pulls the
+  // payload with an RDMA READ.
+  const std::uint64_t big = alloc_pattern_buffer(tb, 1, 16 * KiB, 2);
+  auto big_wr = do_io(tb, **initiator, {block::Op::write, 64, 32, big});
+  ASSERT_TRUE(big_wr.has_value() && big_wr->status.is_ok());
+  EXPECT_EQ(tb.network().stats().rdma_reads, before.rdma_reads + 1);
+}
+
+TEST_F(NvmeofFixture, InlineWriteDeliversCorrectBytes) {
+  auto initiator = connect(1);
+  ASSERT_TRUE(initiator.has_value());
+  // Exactly at the inline boundary (4 KiB) and just above it (4.5 KiB).
+  write_read_verify(tb, **initiator, 1, 7000, 4096, 0xAAA1);
+  write_read_verify(tb, **initiator, 1, 8000, 4096 + 512, 0xBBB2);
+}
+
+}  // namespace
+}  // namespace nvmeshare::nvmeof

@@ -1,0 +1,344 @@
+// Unit tests for the discrete-event engine and coroutine primitives.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace nvmeshare::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_EQ(e.pending_events(), 0u);
+}
+
+TEST(Engine, RunsEventsInTimestampOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.at(30, [&] { order.push_back(3); });
+  e.at(10, [&] { order.push_back(1); });
+  e.at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+}
+
+TEST(Engine, EqualTimestampsAreFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    e.at(5, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, RunUntilAdvancesClockEvenWhenQueueDrains) {
+  Engine e;
+  e.at(10, [] {});
+  e.run_until(100);
+  EXPECT_EQ(e.now(), 100);
+}
+
+TEST(Engine, RunUntilDoesNotRunLaterEvents) {
+  Engine e;
+  bool late = false;
+  e.at(200, [&] { late = true; });
+  e.run_until(100);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(e.pending_events(), 1u);
+  e.run_until(200);
+  EXPECT_TRUE(late);
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine e;
+  int count = 0;
+  std::function<void()> chain = [&]() {
+    if (++count < 5) e.after(10, chain);
+  };
+  e.after(10, chain);
+  e.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(e.now(), 50);
+}
+
+TEST(Engine, StopHaltsProcessing) {
+  Engine e;
+  int count = 0;
+  e.at(1, [&] { ++count; });
+  e.at(2, [&] {
+    ++count;
+    e.stop();
+  });
+  e.at(3, [&] { ++count; });
+  e.run();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(e.pending_events(), 1u);
+}
+
+TEST(Delay, SuspendsForExactDuration) {
+  Engine e;
+  Time resumed_at = -1;
+  [](Engine& eng, Time& out) -> Task {
+    co_await delay(eng, 123);
+    out = eng.now();
+  }(e, resumed_at);
+  e.run();
+  EXPECT_EQ(resumed_at, 123);
+}
+
+TEST(Delay, ZeroDelayDoesNotSuspend) {
+  Engine e;
+  bool ran = false;
+  [](Engine& eng, bool& out) -> Task {
+    co_await delay(eng, 0);
+    out = true;
+  }(e, ran);
+  EXPECT_TRUE(ran);  // ran eagerly, before e.run()
+}
+
+TEST(FuturePromise, DeliversValue) {
+  Engine e;
+  Promise<int> p(e);
+  int got = 0;
+  [](Engine&, Promise<int> promise, int& out) -> Task {
+    out = co_await promise.future();
+  }(e, p, got);
+  EXPECT_EQ(got, 0);
+  p.set(42);
+  e.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(FuturePromise, ValueBeforeAwaitIsImmediate) {
+  Engine e;
+  Promise<int> p(e);
+  p.set(7);
+  EXPECT_TRUE(p.future().ready());
+  int got = 0;
+  [](Promise<int> promise, int& out) -> Task { out = co_await promise.future(); }(p, got);
+  EXPECT_EQ(got, 7);
+}
+
+TEST(Event, WakesAllWaiters) {
+  Engine e;
+  Event ev(e);
+  int woken = 0;
+  for (int i = 0; i < 3; ++i) {
+    [](Event& event, int& count) -> Task {
+      co_await event.wait();
+      ++count;
+    }(ev, woken);
+  }
+  e.run();
+  EXPECT_EQ(woken, 0);
+  ev.set();
+  e.run();
+  EXPECT_EQ(woken, 3);
+}
+
+TEST(Event, WaitOnSetEventReturnsImmediately) {
+  Engine e;
+  Event ev(e);
+  ev.set();
+  bool done = false;
+  [](Event& event, bool& out) -> Task {
+    co_await event.wait();
+    out = true;
+  }(ev, done);
+  EXPECT_TRUE(done);
+}
+
+TEST(Event, WaitForTimesOut) {
+  Engine e;
+  Event ev(e);
+  bool fired = true;
+  [](Event& event, bool& out) -> Task { out = co_await event.wait_for(100); }(ev, fired);
+  e.run();
+  EXPECT_FALSE(fired);           // timed out
+  EXPECT_EQ(e.now(), 100);
+}
+
+TEST(Event, WaitForSucceedsBeforeTimeout) {
+  Engine e;
+  Event ev(e);
+  bool fired = false;
+  [](Event& event, bool& out) -> Task { out = co_await event.wait_for(100); }(ev, fired);
+  e.after(50, [&] { ev.set(); });
+  e.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Mailbox, FifoOrder) {
+  Engine e;
+  Mailbox<int> box(e);
+  box.push(1);
+  box.push(2);
+  box.push(3);
+  std::vector<int> got;
+  [](Mailbox<int>& b, std::vector<int>& out) -> Task {
+    for (int i = 0; i < 3; ++i) {
+      auto v = co_await b.pop();
+      out.push_back(*v);
+    }
+  }(box, got);
+  e.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Mailbox, PopWakesOnPush) {
+  Engine e;
+  Mailbox<int> box(e);
+  int got = 0;
+  [](Mailbox<int>& b, int& out) -> Task {
+    auto v = co_await b.pop();
+    out = *v;
+  }(box, got);
+  e.run();
+  EXPECT_EQ(got, 0);
+  box.push(99);
+  e.run();
+  EXPECT_EQ(got, 99);
+}
+
+TEST(Mailbox, PopForTimesOutWithNullopt) {
+  Engine e;
+  Mailbox<int> box(e);
+  bool got_value = true;
+  [](Mailbox<int>& b, bool& out) -> Task {
+    auto v = co_await b.pop_for(250);
+    out = v.has_value();
+  }(box, got_value);
+  e.run();
+  EXPECT_FALSE(got_value);
+  EXPECT_EQ(e.now(), 250);
+}
+
+TEST(Semaphore, LimitsConcurrency) {
+  Engine e;
+  Semaphore sem(e, 2);
+  int active = 0;
+  int peak = 0;
+  for (int i = 0; i < 5; ++i) {
+    [](Engine& eng, Semaphore& s, int& act, int& pk) -> Task {
+      co_await s.acquire();
+      ++act;
+      pk = std::max(pk, act);
+      co_await delay(eng, 10);
+      --act;
+      s.release();
+    }(e, sem, active, peak);
+  }
+  e.run();
+  EXPECT_EQ(peak, 2);
+  EXPECT_EQ(active, 0);
+  EXPECT_EQ(sem.available(), 2);
+}
+
+TEST(Semaphore, TryAcquire) {
+  Engine e;
+  Semaphore sem(e, 1);
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());
+  sem.release();
+  EXPECT_TRUE(sem.try_acquire());
+}
+
+TEST(Event, SetDuringTimeoutRaceResumesExactlyOnce) {
+  // The event fires at the same instant the timeout expires. The waiter
+  // must resume exactly once, and the tie is deterministic: the timeout
+  // event was enqueued first (at suspension time), so it wins FIFO order.
+  Engine e;
+  Event ev(e);
+  int resumes = 0;
+  bool fired = false;
+  [](Event& event, int& n, bool& out) -> Task {
+    out = co_await event.wait_for(100);
+    ++n;
+  }(ev, resumes, fired);
+  e.at(100, [&] { ev.set(); });
+  e.run();
+  EXPECT_EQ(resumes, 1);
+  EXPECT_FALSE(fired);      // the timeout won the tie...
+  EXPECT_TRUE(ev.is_set()); // ...but the set() still happened
+}
+
+TEST(Mailbox, OnePushWakesExactlyOneOfTwoWaiters) {
+  Engine e;
+  Mailbox<int> box(e);
+  int got_value = 0;
+  int resumed_empty = 0;
+  for (int i = 0; i < 2; ++i) {
+    [](Mailbox<int>& b, int& value, int& empty) -> Task {
+      auto v = co_await b.pop_for(1000);
+      if (v) {
+        value = *v;
+      } else {
+        ++empty;
+      }
+    }(box, got_value, resumed_empty);
+  }
+  box.push(7);
+  e.run();
+  EXPECT_EQ(got_value, 7);
+  EXPECT_EQ(resumed_empty, 1);  // the other waiter timed out with nullopt
+}
+
+TEST(Semaphore, BulkReleaseWakesMultipleWaiters) {
+  Engine e;
+  Semaphore sem(e, 0);
+  int woken = 0;
+  for (int i = 0; i < 3; ++i) {
+    [](Semaphore& s, int& n) -> Task {
+      co_await s.acquire();
+      ++n;
+    }(sem, woken);
+  }
+  e.run();
+  EXPECT_EQ(woken, 0);
+  sem.release(2);
+  e.run();
+  EXPECT_EQ(woken, 2);
+  sem.release(1);
+  e.run();
+  EXPECT_EQ(woken, 3);
+}
+
+TEST(FuturePromise, TryTakeConsumesOnce) {
+  Engine e;
+  Promise<int> p(e);
+  auto f = p.future();
+  EXPECT_FALSE(f.try_take().has_value());
+  p.set(5);
+  auto v = f.try_take();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(Determinism, SameScheduleTwice) {
+  auto run_once = []() {
+    Engine e;
+    std::vector<int> order;
+    Event ev(e);
+    Mailbox<int> box(e);
+    for (int i = 0; i < 4; ++i) {
+      [](Engine& eng, Event& event, Mailbox<int>& b, std::vector<int>& out, int id) -> Task {
+        co_await delay(eng, 10 * (id % 2));
+        co_await event.wait();
+        b.push(id);
+        out.push_back(id);
+      }(e, ev, box, order, i);
+    }
+    e.after(50, [&] { ev.set(); });
+    e.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace nvmeshare::sim

@@ -1,0 +1,97 @@
+// Shared helpers for the test suite: small testbed configurations (tiny
+// namespace, fast enable) and bring-up shortcuts for the distributed driver
+// stack.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "driver/client.hpp"
+#include "driver/local_driver.hpp"
+#include "driver/manager.hpp"
+#include "workload/fio.hpp"
+#include "workload/testbed.hpp"
+
+namespace nvmeshare::testutil {
+
+using workload::Testbed;
+using workload::TestbedConfig;
+
+inline nvme::Controller::Config small_nvme(std::uint64_t seed = 7) {
+  nvme::Controller::Config c;
+  c.capacity_blocks = 1ull << 20;  // 512 MiB at 512 B blocks
+  c.seed = seed;
+  return c;
+}
+
+inline TestbedConfig small_testbed(std::uint32_t hosts) {
+  TestbedConfig cfg;
+  cfg.hosts = hosts;
+  cfg.dram_per_host = 1 * GiB;
+  cfg.nvme = small_nvme();
+  return cfg;
+}
+
+struct Stack {
+  std::unique_ptr<driver::Manager> manager;
+  std::unique_ptr<driver::Client> client;
+};
+
+/// Start a manager on `manager_node` and attach a client from `client_node`.
+inline Result<Stack> bring_up(Testbed& tb, smartio::NodeId manager_node,
+                              smartio::NodeId client_node,
+                              driver::Client::Config client_cfg = {},
+                              driver::Manager::Config manager_cfg = {}) {
+  auto manager = tb.wait(driver::Manager::start(tb.service(), manager_node, tb.device_id(),
+                                                manager_cfg));
+  if (!manager) return manager.status();
+  auto client =
+      tb.wait(driver::Client::attach(tb.service(), client_node, tb.device_id(), client_cfg));
+  if (!client) return client.status();
+  return Stack{std::move(*manager), std::move(*client)};
+}
+
+/// Submit one block request and run the engine until it completes.
+inline Result<block::Completion> do_io(Testbed& tb, block::BlockDevice& dev,
+                                       const block::Request& request) {
+  return tb.wait_plain(dev.submit(request), 30_s);
+}
+
+/// Allocate a DRAM buffer on `node` and fill it with `seed`'s pattern.
+inline std::uint64_t alloc_pattern_buffer(Testbed& tb, sisci::NodeId node, std::size_t bytes,
+                                          std::uint64_t seed) {
+  auto addr = tb.cluster().alloc_dram(node, align_up(bytes, 4096), 4096);
+  EXPECT_TRUE(addr.has_value());
+  Bytes data = make_pattern(bytes, seed);
+  EXPECT_TRUE(tb.fabric().host_dram(node).write(*addr, data).is_ok());
+  return *addr;
+}
+
+inline bool buffer_matches(Testbed& tb, sisci::NodeId node, std::uint64_t addr,
+                           std::size_t bytes, std::uint64_t seed) {
+  Bytes data(bytes);
+  if (!tb.fabric().host_dram(node).read(addr, data)) return false;
+  return check_pattern(data, seed);
+}
+
+/// Round-trip one write+read of `bytes` through `dev` and verify contents.
+inline void write_read_verify(Testbed& tb, block::BlockDevice& dev, sisci::NodeId node,
+                              std::uint64_t lba, std::size_t bytes, std::uint64_t seed) {
+  const auto nblocks = static_cast<std::uint32_t>(bytes / dev.block_size());
+  const std::uint64_t wbuf = alloc_pattern_buffer(tb, node, bytes, seed);
+  auto wr = do_io(tb, dev, {block::Op::write, lba, nblocks, wbuf});
+  ASSERT_TRUE(wr.has_value()) << wr.status().to_string();
+  ASSERT_TRUE(wr->status.is_ok()) << wr->status.to_string();
+
+  const std::uint64_t rbuf = alloc_pattern_buffer(tb, node, bytes, ~seed);
+  auto rd = do_io(tb, dev, {block::Op::read, lba, nblocks, rbuf});
+  ASSERT_TRUE(rd.has_value()) << rd.status().to_string();
+  ASSERT_TRUE(rd->status.is_ok()) << rd->status.to_string();
+  EXPECT_TRUE(buffer_matches(tb, node, rbuf, bytes, seed))
+      << "data read back differs from data written";
+  (void)tb.cluster().free_dram(node, wbuf);
+  (void)tb.cluster().free_dram(node, rbuf);
+}
+
+}  // namespace nvmeshare::testutil

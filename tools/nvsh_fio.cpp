@@ -1,0 +1,181 @@
+// nvsh_fio: command-line workload runner, the simulator's analog of the
+// paper's measurement tool (fio 3.28). Builds one of the four Figure 9
+// scenarios (or variants), runs a synthetic workload, and prints a summary
+// or a machine-readable JSON line.
+//
+//   nvsh_fio --scenario ours-remote --rw randread --bs 4096 --qd 1 --ops 20000
+//   nvsh_fio --scenario nvmeof-remote --rw randwrite --runtime-ms 50 --qd 8 --json
+//   nvsh_fio --scenario ours-remote --sq-placement host --data-path iommu --verify
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace nvmeshare;
+using namespace nvmeshare::bench;
+
+struct Options {
+  std::string scenario = "ours-remote";
+  std::string rw = "randread";
+  std::uint32_t bs = 4096;
+  std::uint32_t qd = 1;
+  std::uint64_t ops = 10'000;
+  std::uint64_t runtime_ms = 0;
+  std::uint64_t seed = 2024;
+  std::string sq_placement = "device";
+  std::string data_path = "bounce";
+  bool verify = false;
+  bool json = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --scenario S      ours-remote | ours-local | linux-local | nvmeof-remote\n"
+      "                    (default: ours-remote)\n"
+      "  --rw MODE         randread | randwrite | randrw | seqread | seqwrite | randtrim\n"
+      "  --bs BYTES        request size (default 4096)\n"
+      "  --qd N            queue depth (default 1)\n"
+      "  --ops N           number of requests (default 10000; 0 with --runtime-ms)\n"
+      "  --runtime-ms MS   run for simulated time instead of an op count\n"
+      "  --seed N          workload seed (default 2024)\n"
+      "  --sq-placement P  device | host (ours-* scenarios; Fig. 8 knob)\n"
+      "  --data-path P     bounce | iommu (ours-* scenarios; Section V knob)\n"
+      "  --verify          check read data against this run's writes\n"
+      "  --json            emit a single JSON result line\n",
+      argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (!std::strcmp(arg, "--scenario")) {
+      opt.scenario = need_value(i);
+    } else if (!std::strcmp(arg, "--rw")) {
+      opt.rw = need_value(i);
+    } else if (!std::strcmp(arg, "--bs")) {
+      opt.bs = static_cast<std::uint32_t>(std::strtoul(need_value(i), nullptr, 0));
+    } else if (!std::strcmp(arg, "--qd")) {
+      opt.qd = static_cast<std::uint32_t>(std::strtoul(need_value(i), nullptr, 0));
+    } else if (!std::strcmp(arg, "--ops")) {
+      opt.ops = std::strtoull(need_value(i), nullptr, 0);
+    } else if (!std::strcmp(arg, "--runtime-ms")) {
+      opt.runtime_ms = std::strtoull(need_value(i), nullptr, 0);
+      opt.ops = 0;
+    } else if (!std::strcmp(arg, "--seed")) {
+      opt.seed = std::strtoull(need_value(i), nullptr, 0);
+    } else if (!std::strcmp(arg, "--sq-placement")) {
+      opt.sq_placement = need_value(i);
+    } else if (!std::strcmp(arg, "--data-path")) {
+      opt.data_path = need_value(i);
+    } else if (!std::strcmp(arg, "--verify")) {
+      opt.verify = true;
+    } else if (!std::strcmp(arg, "--json")) {
+      opt.json = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg);
+      usage(argv[0]);
+    }
+  }
+  return opt;
+}
+
+Scenario build_scenario(const Options& opt) {
+  driver::Client::Config cc;
+  cc.queue_depth = std::max(opt.qd, 1u);
+  cc.queue_entries = static_cast<std::uint16_t>(std::max(64u, 2 * cc.queue_depth));
+  if (opt.sq_placement == "host") {
+    cc.sq_placement = driver::Client::SqPlacement::host_side;
+  } else if (opt.sq_placement != "device") {
+    std::fprintf(stderr, "bad --sq-placement\n");
+    std::exit(2);
+  }
+  if (opt.data_path == "iommu") {
+    cc.data_path = driver::Client::DataPath::iommu;
+  } else if (opt.data_path != "bounce") {
+    std::fprintf(stderr, "bad --data-path\n");
+    std::exit(2);
+  }
+
+  if (opt.scenario == "ours-remote") return make_ours_remote(cc);
+  if (opt.scenario == "ours-local") return make_ours_local(cc);
+  if (opt.scenario == "linux-local") return make_linux_local();
+  if (opt.scenario == "nvmeof-remote") return make_nvmeof_remote();
+  std::fprintf(stderr, "bad --scenario\n");
+  std::exit(2);
+}
+
+workload::JobSpec build_spec(const Options& opt) {
+  workload::JobSpec spec;
+  if (opt.rw == "randread") {
+    spec.pattern = workload::JobSpec::Pattern::randread;
+  } else if (opt.rw == "randwrite") {
+    spec.pattern = workload::JobSpec::Pattern::randwrite;
+  } else if (opt.rw == "randrw") {
+    spec.pattern = workload::JobSpec::Pattern::randrw;
+  } else if (opt.rw == "seqread") {
+    spec.pattern = workload::JobSpec::Pattern::seqread;
+  } else if (opt.rw == "seqwrite") {
+    spec.pattern = workload::JobSpec::Pattern::seqwrite;
+  } else if (opt.rw == "randtrim") {
+    spec.pattern = workload::JobSpec::Pattern::randtrim;
+  } else {
+    std::fprintf(stderr, "bad --rw\n");
+    std::exit(2);
+  }
+  spec.block_bytes = opt.bs;
+  spec.queue_depth = std::max(opt.qd, 1u);
+  spec.ops = opt.ops;
+  spec.duration = static_cast<sim::Duration>(opt.runtime_ms) * 1'000'000;
+  spec.seed = opt.seed;
+  spec.verify = opt.verify;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  if (opt.ops == 0 && opt.runtime_ms == 0) usage(argv[0]);
+
+  Scenario scenario = build_scenario(opt);
+  const workload::JobResult result = run(scenario, build_spec(opt));
+
+  const auto& lat = result.total_latency;
+  if (opt.json) {
+    std::printf(
+        "{\"scenario\":\"%s\",\"rw\":\"%s\",\"bs\":%u,\"qd\":%u,\"ops\":%llu,"
+        "\"errors\":%llu,\"verify_failures\":%llu,\"iops\":%.1f,\"mib_s\":%.2f,"
+        "\"lat_us\":{\"min\":%.3f,\"p50\":%.3f,\"p99\":%.3f,\"max\":%.3f,\"mean\":%.3f}}\n",
+        opt.scenario.c_str(), opt.rw.c_str(), opt.bs, opt.qd,
+        static_cast<unsigned long long>(result.ops_completed),
+        static_cast<unsigned long long>(result.errors),
+        static_cast<unsigned long long>(result.verify_failures), result.iops(),
+        result.throughput_mib_s(opt.bs), ns_to_us(lat.min()), lat.percentile(50) / 1000.0,
+        lat.percentile(99) / 1000.0, ns_to_us(lat.max()), lat.mean() / 1000.0);
+  } else {
+    std::printf("%s: %s bs=%u qd=%u\n", opt.scenario.c_str(), opt.rw.c_str(), opt.bs,
+                opt.qd);
+    std::printf("  ops=%llu errors=%llu verify_failures=%llu\n",
+                static_cast<unsigned long long>(result.ops_completed),
+                static_cast<unsigned long long>(result.errors),
+                static_cast<unsigned long long>(result.verify_failures));
+    std::printf("  iops=%.1f (%.2f MiB/s), elapsed %.3f ms simulated\n", result.iops(),
+                result.throughput_mib_s(opt.bs), static_cast<double>(result.elapsed) / 1e6);
+    std::printf("  latency us: min=%.2f p50=%.2f p99=%.2f max=%.2f mean=%.2f\n",
+                ns_to_us(lat.min()), lat.percentile(50) / 1000.0, lat.percentile(99) / 1000.0,
+                ns_to_us(lat.max()), lat.mean() / 1000.0);
+  }
+  return result.errors == 0 && result.verify_failures == 0 ? 0 : 1;
+}
