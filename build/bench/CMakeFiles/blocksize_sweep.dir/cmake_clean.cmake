@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocksize_sweep.dir/blocksize_sweep.cpp.o"
+  "CMakeFiles/blocksize_sweep.dir/blocksize_sweep.cpp.o.d"
+  "blocksize_sweep"
+  "blocksize_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocksize_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounce_vs_iommu.dir/bounce_vs_iommu.cpp.o"
+  "CMakeFiles/bounce_vs_iommu.dir/bounce_vs_iommu.cpp.o.d"
+  "bounce_vs_iommu"
+  "bounce_vs_iommu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounce_vs_iommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/completion_path.dir/completion_path.cpp.o"
+  "CMakeFiles/completion_path.dir/completion_path.cpp.o.d"
+  "completion_path"
+  "completion_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/completion_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlm_contention.dir/dlm_contention.cpp.o"
+  "CMakeFiles/dlm_contention.dir/dlm_contention.cpp.o.d"
+  "dlm_contention"
+  "dlm_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlm_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_overhead.dir/fs_overhead.cpp.o"
+  "CMakeFiles/fs_overhead.dir/fs_overhead.cpp.o.d"
+  "fs_overhead"
+  "fs_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hop_sweep.dir/hop_sweep.cpp.o"
+  "CMakeFiles/hop_sweep.dir/hop_sweep.cpp.o.d"
+  "hop_sweep"
+  "hop_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hop_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihost_scaling.dir/multihost_scaling.cpp.o"
+  "CMakeFiles/multihost_scaling.dir/multihost_scaling.cpp.o.d"
+  "multihost_scaling"
+  "multihost_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihost_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qd_sweep.dir/qd_sweep.cpp.o"
+  "CMakeFiles/qd_sweep.dir/qd_sweep.cpp.o.d"
+  "qd_sweep"
+  "qd_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qd_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

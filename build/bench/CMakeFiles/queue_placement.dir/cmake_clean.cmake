@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_placement.dir/queue_placement.cpp.o"
+  "CMakeFiles/queue_placement.dir/queue_placement.cpp.o.d"
+  "queue_placement"
+  "queue_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_kv.dir/cluster_kv.cpp.o"
+  "CMakeFiles/cluster_kv.dir/cluster_kv.cpp.o.d"
+  "cluster_kv"
+  "cluster_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_fs.dir/shared_fs.cpp.o"
+  "CMakeFiles/shared_fs.dir/shared_fs.cpp.o.d"
+  "shared_fs"
+  "shared_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_log.dir/shared_log.cpp.o"
+  "CMakeFiles/shared_log.dir/shared_log.cpp.o.d"
+  "shared_log"
+  "shared_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvs_block.dir/block.cpp.o"
+  "CMakeFiles/nvs_block.dir/block.cpp.o.d"
+  "libnvs_block.a"
+  "libnvs_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvs_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvs_common.dir/bytes.cpp.o"
+  "CMakeFiles/nvs_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/nvs_common.dir/log.cpp.o"
+  "CMakeFiles/nvs_common.dir/log.cpp.o.d"
+  "CMakeFiles/nvs_common.dir/rng.cpp.o"
+  "CMakeFiles/nvs_common.dir/rng.cpp.o.d"
+  "CMakeFiles/nvs_common.dir/stats.cpp.o"
+  "CMakeFiles/nvs_common.dir/stats.cpp.o.d"
+  "CMakeFiles/nvs_common.dir/status.cpp.o"
+  "CMakeFiles/nvs_common.dir/status.cpp.o.d"
+  "libnvs_common.a"
+  "libnvs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

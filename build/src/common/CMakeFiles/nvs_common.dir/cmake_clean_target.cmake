@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnvs_common.a"
+)

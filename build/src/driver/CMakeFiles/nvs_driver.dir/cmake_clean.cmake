@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvs_driver.dir/bringup.cpp.o"
+  "CMakeFiles/nvs_driver.dir/bringup.cpp.o.d"
+  "CMakeFiles/nvs_driver.dir/client.cpp.o"
+  "CMakeFiles/nvs_driver.dir/client.cpp.o.d"
+  "CMakeFiles/nvs_driver.dir/cost_model.cpp.o"
+  "CMakeFiles/nvs_driver.dir/cost_model.cpp.o.d"
+  "CMakeFiles/nvs_driver.dir/irq.cpp.o"
+  "CMakeFiles/nvs_driver.dir/irq.cpp.o.d"
+  "CMakeFiles/nvs_driver.dir/local_driver.cpp.o"
+  "CMakeFiles/nvs_driver.dir/local_driver.cpp.o.d"
+  "CMakeFiles/nvs_driver.dir/manager.cpp.o"
+  "CMakeFiles/nvs_driver.dir/manager.cpp.o.d"
+  "libnvs_driver.a"
+  "libnvs_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvs_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvs_fs.dir/dlm.cpp.o"
+  "CMakeFiles/nvs_fs.dir/dlm.cpp.o.d"
+  "CMakeFiles/nvs_fs.dir/filesystem.cpp.o"
+  "CMakeFiles/nvs_fs.dir/filesystem.cpp.o.d"
+  "libnvs_fs.a"
+  "libnvs_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvs_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvs_mem.dir/allocator.cpp.o"
+  "CMakeFiles/nvs_mem.dir/allocator.cpp.o.d"
+  "CMakeFiles/nvs_mem.dir/iommu.cpp.o"
+  "CMakeFiles/nvs_mem.dir/iommu.cpp.o.d"
+  "CMakeFiles/nvs_mem.dir/phys_mem.cpp.o"
+  "CMakeFiles/nvs_mem.dir/phys_mem.cpp.o.d"
+  "libnvs_mem.a"
+  "libnvs_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvs_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

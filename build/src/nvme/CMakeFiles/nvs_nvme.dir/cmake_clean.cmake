@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvs_nvme.dir/block_store.cpp.o"
+  "CMakeFiles/nvs_nvme.dir/block_store.cpp.o.d"
+  "CMakeFiles/nvs_nvme.dir/controller.cpp.o"
+  "CMakeFiles/nvs_nvme.dir/controller.cpp.o.d"
+  "CMakeFiles/nvs_nvme.dir/queue.cpp.o"
+  "CMakeFiles/nvs_nvme.dir/queue.cpp.o.d"
+  "CMakeFiles/nvs_nvme.dir/spec.cpp.o"
+  "CMakeFiles/nvs_nvme.dir/spec.cpp.o.d"
+  "libnvs_nvme.a"
+  "libnvs_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvs_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

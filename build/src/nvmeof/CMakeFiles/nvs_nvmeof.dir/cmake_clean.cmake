@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvs_nvmeof.dir/initiator.cpp.o"
+  "CMakeFiles/nvs_nvmeof.dir/initiator.cpp.o.d"
+  "CMakeFiles/nvs_nvmeof.dir/target.cpp.o"
+  "CMakeFiles/nvs_nvmeof.dir/target.cpp.o.d"
+  "libnvs_nvmeof.a"
+  "libnvs_nvmeof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvs_nvmeof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvs_pcie.dir/fabric.cpp.o"
+  "CMakeFiles/nvs_pcie.dir/fabric.cpp.o.d"
+  "CMakeFiles/nvs_pcie.dir/latency.cpp.o"
+  "CMakeFiles/nvs_pcie.dir/latency.cpp.o.d"
+  "CMakeFiles/nvs_pcie.dir/topology.cpp.o"
+  "CMakeFiles/nvs_pcie.dir/topology.cpp.o.d"
+  "libnvs_pcie.a"
+  "libnvs_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvs_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdma/rdma.cpp" "src/rdma/CMakeFiles/nvs_rdma.dir/rdma.cpp.o" "gcc" "src/rdma/CMakeFiles/nvs_rdma.dir/rdma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nvs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nvs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/nvs_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nvs_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvs_rdma.dir/rdma.cpp.o"
+  "CMakeFiles/nvs_rdma.dir/rdma.cpp.o.d"
+  "libnvs_rdma.a"
+  "libnvs_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvs_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvs_sim.dir/engine.cpp.o"
+  "CMakeFiles/nvs_sim.dir/engine.cpp.o.d"
+  "libnvs_sim.a"
+  "libnvs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvs_sisci.dir/sisci.cpp.o"
+  "CMakeFiles/nvs_sisci.dir/sisci.cpp.o.d"
+  "libnvs_sisci.a"
+  "libnvs_sisci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvs_sisci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

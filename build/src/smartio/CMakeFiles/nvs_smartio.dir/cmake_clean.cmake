@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvs_smartio.dir/smartio.cpp.o"
+  "CMakeFiles/nvs_smartio.dir/smartio.cpp.o.d"
+  "libnvs_smartio.a"
+  "libnvs_smartio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvs_smartio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

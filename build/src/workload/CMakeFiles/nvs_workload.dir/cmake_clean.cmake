@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvs_workload.dir/fio.cpp.o"
+  "CMakeFiles/nvs_workload.dir/fio.cpp.o.d"
+  "CMakeFiles/nvs_workload.dir/testbed.cpp.o"
+  "CMakeFiles/nvs_workload.dir/testbed.cpp.o.d"
+  "libnvs_workload.a"
+  "libnvs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

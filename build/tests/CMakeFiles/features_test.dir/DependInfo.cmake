@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/features_test.cpp" "tests/CMakeFiles/features_test.dir/features_test.cpp.o" "gcc" "tests/CMakeFiles/features_test.dir/features_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/nvs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvmeof/CMakeFiles/nvs_nvmeof.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/nvs_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/smartio/CMakeFiles/nvs_smartio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sisci/CMakeFiles/nvs_sisci.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/nvs_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/nvs_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/nvs_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nvs_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nvs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nvs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/nvs_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/nvs_rdma.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

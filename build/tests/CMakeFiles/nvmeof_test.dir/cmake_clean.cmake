@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmeof_test.dir/nvmeof_test.cpp.o"
+  "CMakeFiles/nvmeof_test.dir/nvmeof_test.cpp.o.d"
+  "nvmeof_test"
+  "nvmeof_test.pdb"
+  "nvmeof_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmeof_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisci_test.dir/sisci_test.cpp.o"
+  "CMakeFiles/sisci_test.dir/sisci_test.cpp.o.d"
+  "sisci_test"
+  "sisci_test.pdb"
+  "sisci_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisci_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

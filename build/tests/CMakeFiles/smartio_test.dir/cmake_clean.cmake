@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartio_test.dir/smartio_test.cpp.o"
+  "CMakeFiles/smartio_test.dir/smartio_test.cpp.o.d"
+  "smartio_test"
+  "smartio_test.pdb"
+  "smartio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

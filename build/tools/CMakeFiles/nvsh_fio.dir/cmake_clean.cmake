@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvsh_fio.dir/nvsh_fio.cpp.o"
+  "CMakeFiles/nvsh_fio.dir/nvsh_fio.cpp.o.d"
+  "nvsh_fio"
+  "nvsh_fio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvsh_fio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
