@@ -6,12 +6,15 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "driver/client.hpp"
 #include "driver/local_driver.hpp"
 #include "driver/manager.hpp"
 #include "nvmeof/initiator.hpp"
 #include "nvmeof/target.hpp"
+#include "obs/metrics.hpp"
 #include "workload/fio.hpp"
 #include "workload/testbed.hpp"
 
@@ -152,6 +155,103 @@ inline workload::JobSpec fio_qd1(bool read, std::uint64_t ops, std::uint64_t see
 
 inline void print_header(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
+}
+
+// --- machine-readable output ---------------------------------------------------
+//
+// Every bench (and tools/nvsh_fio) can emit one JSON document of the shape
+//   {"bench": "...", "config": {...}, "boxplots": [...], "metrics": {...}}
+// where `metrics` is the global obs::Registry snapshot. Formatting is fixed
+// so identical seeds produce byte-identical documents.
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline void append_box_json(std::string& out, const BoxSummary& box) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\"label\":\"%s\",\"count\":%zu,\"min_us\":%.3f,\"p25_us\":%.3f,"
+                "\"p50_us\":%.3f,\"p75_us\":%.3f,\"p99_us\":%.3f,\"max_us\":%.3f,"
+                "\"mean_us\":%.3f,\"stddev_us\":%.3f}",
+                json_escape(box.label).c_str(), box.count, box.min_us, box.p25_us, box.p50_us,
+                box.p75_us, box.p99_us, box.max_us, box.mean_us, box.stddev_us);
+  out += buf;
+}
+
+/// Bench config rendered as a flat string->string object.
+using BenchConfig = std::vector<std::pair<std::string, std::string>>;
+
+inline std::string bench_document(const std::string& bench, const BenchConfig& config,
+                                  const std::vector<BoxSummary>& boxes) {
+  std::string out = "{\"bench\":\"" + json_escape(bench) + "\",\"config\":{";
+  bool first = true;
+  for (const auto& [key, value] : config) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(key) + "\":\"" + json_escape(value) + '"';
+  }
+  out += "},\"boxplots\":[";
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    if (i != 0) out += ',';
+    append_box_json(out, boxes[i]);
+  }
+  out += "],\"metrics\":";
+  out += obs::Registry::global().to_json();
+  out += "}\n";
+  return out;
+}
+
+/// Write `doc` to `path` ("-" = stdout). Returns false (with a message on
+/// stderr) if the file cannot be written.
+inline bool write_bench_json(const std::string& path, const std::string& doc) {
+  if (path == "-") {
+    std::fwrite(doc.data(), 1, doc.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+/// Value of `--json <path>` (or nullptr when absent) from a raw argv.
+inline const char* json_flag(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return nullptr;
+}
+
+/// Value of `--trace <path>` (or nullptr when absent) from a raw argv.
+inline const char* trace_flag(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--trace") return argv[i + 1];
+  }
+  return nullptr;
 }
 
 }  // namespace nvmeshare::bench

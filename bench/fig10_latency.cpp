@@ -38,7 +38,7 @@ Measured measure(Scenario scenario) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_header("Figure 10: I/O command completion latency (4 KiB, QD=1)");
   std::printf("ops per box: %llu (paper: 60 s of fio 3.28 per test)\n",
               static_cast<unsigned long long>(kOps));
@@ -103,6 +103,16 @@ int main() {
   all &= check("Optane-like consistency: p99 within 2x median everywhere",
                linux_local.read.p99_us < 2 * linux_local.read.p50_us &&
                    ours_remote.read.p99_us < 2 * ours_remote.read.p50_us);
+
+  if (const char* path = json_flag(argc, argv)) {
+    std::vector<BoxSummary> boxes = reads;
+    boxes.insert(boxes.end(), writes.begin(), writes.end());
+    BenchConfig config{{"block_bytes", "4096"},
+                      {"queue_depth", "1"},
+                      {"ops", std::to_string(kOps)}};
+    if (!write_bench_json(path, bench_document("fig10_latency", config, boxes))) all = false;
+  }
+
   std::printf("\n%s\n", all ? "ALL SHAPE CHECKS PASSED" : "SOME SHAPE CHECKS FAILED");
   return all ? 0 : 1;
 }

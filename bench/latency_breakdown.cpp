@@ -1,18 +1,27 @@
-// Latency decomposition: rebuilds the ours-remote 4 KiB QD=1 read/write
-// latency *analytically* from the model parameters — software costs, chip
-// path traversals, TLP counts, media time — and cross-checks the sum
-// against the simulated median. This is the transparency check that the
-// simulator measures what the model says it should: if a code change
-// accidentally double-charges a path or drops a component, the analytic
-// and measured numbers diverge and this bench fails.
+// Latency decomposition: measures the ours-remote 4 KiB QD=1 read/write
+// latency twice over and cross-checks the two against each other and
+// against the boxplot medians.
 //
-// It is also the quantitative version of the paper's Figure 10 discussion:
-// it shows exactly *where* the remote microsecond(s) go.
+//  1. *Analytically* from the model parameters — software costs, chip path
+//     traversals, TLP counts, media time. If a code change double-charges a
+//     path or drops a component, analytic and measured diverge.
+//  2. *From real spans*: the obs tracer records every request's phase
+//     boundaries; client-track spans tile each request exactly, so their
+//     durations must sum to the end-to-end latency request by request, and
+//     the per-phase means are the measured decomposition.
+//
+// This is the quantitative version of the paper's Figure 10 discussion: it
+// shows exactly *where* the remote microsecond(s) go. With `--trace <path>`
+// it exports the span capture as Chrome trace_event JSON (load in Perfetto
+// or chrome://tracing); with `--json <path>` it writes the machine-readable
+// bench document.
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -36,9 +45,96 @@ void print_components(const char* title, const std::vector<Component>& parts) {
   std::printf("  %-46s %8.3f us\n", "ANALYTIC TOTAL", total);
 }
 
+/// Per-(kind, track, phase) means over a span capture.
+struct SpanBreakdown {
+  std::map<std::pair<obs::Track, obs::Phase>, obs::PhaseStat> read;
+  std::map<std::pair<obs::Track, obs::Phase>, obs::PhaseStat> write;
+
+  [[nodiscard]] double mean_us(obs::Kind kind, obs::Track track, obs::Phase phase) const {
+    const auto& stats = kind == obs::Kind::read ? read : write;
+    auto it = stats.find({track, phase});
+    return it == stats.end() ? 0.0 : it->second.mean_ns() / 1000.0;
+  }
+};
+
+SpanBreakdown breakdown_by_kind(const std::vector<obs::SpanRecord>& spans) {
+  SpanBreakdown out;
+  for (const obs::SpanRecord& span : spans) {
+    auto& stats = span.kind == obs::Kind::read ? out.read : out.write;
+    auto& stat = stats[{span.track, span.phase}];
+    ++stat.count;
+    stat.total_ns += static_cast<std::uint64_t>(span.duration());
+  }
+  return out;
+}
+
+void print_span_breakdown(const SpanBreakdown& b, obs::Kind kind) {
+  std::printf("\nmeasured from spans: random %s (%s)\n", obs::kind_name(kind),
+              "client phases tile the request; device phases overlap cq_wait");
+  const std::pair<obs::Track, obs::Phase> rows[] = {
+      {obs::Track::client, obs::Phase::submit},
+      {obs::Track::client, obs::Phase::bounce_copy},
+      {obs::Track::client, obs::Phase::sq_write},
+      {obs::Track::client, obs::Phase::doorbell},
+      {obs::Track::client, obs::Phase::cq_wait},
+      {obs::Track::client, obs::Phase::completion},
+      {obs::Track::controller, obs::Phase::ctrl_fetch},
+      {obs::Track::controller, obs::Phase::media},
+      {obs::Track::controller, obs::Phase::data_dma},
+      {obs::Track::controller, obs::Phase::cq_write},
+  };
+  double client_total = 0;
+  for (const auto& [track, phase] : rows) {
+    const double us = b.mean_us(kind, track, phase);
+    const auto& stats = kind == obs::Kind::read ? b.read : b.write;
+    if (stats.find({track, phase}) == stats.end()) continue;
+    std::printf("  %-12s %-14s %8.3f us\n", obs::track_name(track), obs::phase_name(phase),
+                us);
+    if (track == obs::Track::client) client_total += us;
+  }
+  std::printf("  %-27s %8.3f us\n", "CLIENT PHASE SUM", client_total);
+  std::printf("  %-27s %8.3f us\n", "MEAN END-TO-END",
+              b.mean_us(kind, obs::Track::client, obs::Phase::request));
+}
+
+/// For every trace in `spans`, check that its client-track phase durations
+/// sum exactly to its `request` span duration. Returns the number of traces
+/// checked; reports the first few offenders.
+std::uint64_t check_phase_tiling(const std::vector<obs::SpanRecord>& spans,
+                                 std::uint64_t* mismatches) {
+  struct PerTrace {
+    sim::Duration phase_sum = 0;
+    sim::Duration request = -1;
+  };
+  std::map<std::uint64_t, PerTrace> traces;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.trace == 0) continue;
+    auto& t = traces[span.trace];
+    if (span.phase == obs::Phase::request) {
+      t.request = span.duration();
+    } else if (span.track == obs::Track::client) {
+      t.phase_sum += span.duration();
+    }
+  }
+  std::uint64_t checked = 0;
+  *mismatches = 0;
+  for (const auto& [id, t] : traces) {
+    if (t.request < 0) continue;  // trace without a summary span (truncated)
+    ++checked;
+    if (t.phase_sum != t.request) {
+      if (++*mismatches <= 3) {
+        std::fprintf(stderr, "  trace %llu: phase sum %lld ns != end-to-end %lld ns\n",
+                     static_cast<unsigned long long>(id),
+                     static_cast<long long>(t.phase_sum), static_cast<long long>(t.request));
+      }
+    }
+  }
+  return checked;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_header("latency decomposition: ours-remote, 4 KiB, QD=1");
 
   Scenario s = make_ours_remote();
@@ -109,11 +205,21 @@ int main() {
   double write_analytic = 0;
   for (const auto& c : write_parts) write_analytic += c.us;
 
-  // Measure.
+  // Measure with the tracer on: kOps requests x (7 client + 4 controller)
+  // spans x 2 jobs fits without wrapping.
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.enable(/*capacity=*/1 << 18);
   auto read_result = run(s, fio_qd1(true, kOps));
   auto write_result = run(s, fio_qd1(false, kOps, 4048));
+  tracer.disable();
+  const std::vector<obs::SpanRecord> spans = tracer.snapshot();
+
   const double read_measured = read_result.read_latency.percentile(50) / 1000.0;
   const double write_measured = write_result.write_latency.percentile(50) / 1000.0;
+
+  const SpanBreakdown by_kind = breakdown_by_kind(spans);
+  print_span_breakdown(by_kind, obs::Kind::read);
+  print_span_breakdown(by_kind, obs::Kind::write);
 
   print_header("analytic vs simulated (median)");
   std::printf("  read : analytic %7.2f us | simulated %7.2f us | diff %+5.1f%%\n",
@@ -122,6 +228,16 @@ int main() {
   std::printf("  write: analytic %7.2f us | simulated %7.2f us | diff %+5.1f%%\n",
               write_analytic, write_measured,
               (write_measured - write_analytic) / write_analytic * 100.0);
+
+  std::uint64_t tiling_mismatches = 0;
+  const std::uint64_t tiling_checked = check_phase_tiling(spans, &tiling_mismatches);
+
+  const double read_span_mean =
+      by_kind.mean_us(obs::Kind::read, obs::Track::client, obs::Phase::request);
+  const double read_box_mean = read_result.read_latency.mean() / 1000.0;
+  const double write_span_mean =
+      by_kind.mean_us(obs::Kind::write, obs::Track::client, obs::Phase::request);
+  const double write_box_mean = write_result.write_latency.mean() / 1000.0;
 
   print_header("claim checks");
   bool ok = true;
@@ -135,6 +251,35 @@ int main() {
         std::abs(write_measured - write_analytic) / write_analytic < 0.10);
   check("the write asymmetry is the non-posted data fetch (fetch > posted DMA)",
         write_parts[5].us > read_parts[5].us);
+  check("tracer captured every span (no ring overflow)", tracer.dropped() == 0);
+  std::printf("      (%llu traces tiling-checked)\n",
+              static_cast<unsigned long long>(tiling_checked));
+  check("client phase durations sum exactly to end-to-end latency, every trace",
+        tiling_checked == 2 * kOps && tiling_mismatches == 0);
+  check("span-derived read mean matches the boxplot mean (<0.1% off)",
+        std::abs(read_span_mean - read_box_mean) / read_box_mean < 0.001);
+  check("span-derived write mean matches the boxplot mean (<0.1% off)",
+        std::abs(write_span_mean - write_box_mean) / write_box_mean < 0.001);
+  check("spans see the asymmetry too: write data_dma (fetch) > read data_dma (posted)",
+        by_kind.mean_us(obs::Kind::write, obs::Track::controller, obs::Phase::data_dma) >
+            by_kind.mean_us(obs::Kind::read, obs::Track::controller, obs::Phase::data_dma));
+
+  if (const char* path = trace_flag(argc, argv)) {
+    const std::string trace_json = tracer.chrome_trace_json(/*max_events=*/50'000);
+    if (!write_bench_json(path, trace_json)) ok = false;
+  }
+  if (const char* path = json_flag(argc, argv)) {
+    std::vector<BoxSummary> boxes{
+        BoxSummary::from("ours-remote randread 4k qd1", read_result.read_latency),
+        BoxSummary::from("ours-remote randwrite 4k qd1", write_result.write_latency),
+    };
+    BenchConfig config{{"scenario", "ours-remote"},
+                       {"block_bytes", "4096"},
+                       {"queue_depth", "1"},
+                       {"ops", std::to_string(kOps)}};
+    if (!write_bench_json(path, bench_document("latency_breakdown", config, boxes))) ok = false;
+  }
+
   std::printf("\n%s\n", ok ? "ALL CLAIM CHECKS PASSED" : "SOME CLAIM CHECKS FAILED");
   return ok ? 0 : 1;
 }

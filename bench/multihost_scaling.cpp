@@ -68,7 +68,7 @@ int main() {
       if (!result) die("job", result.status());
       if (result->errors != 0) die("job errors", Status(Errc::io_error, "nonzero errors"));
       total_iops += result->iops();
-      for (auto s : result->read_latency.samples()) all.add(s);
+      all.merge(result->read_latency);
     }
     rows.push_back(Sweep{n, total_iops / 1000.0, all.percentile(50) / 1000.0,
                          all.percentile(99) / 1000.0});

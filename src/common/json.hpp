@@ -1,0 +1,139 @@
+// Minimal JSON syntax validator (header-only). Checks well-formedness per
+// RFC 8259 — it builds no DOM and allocates nothing. Used by tests and the
+// CI smoke step to verify that exported trace / metrics / bench documents
+// parse, without pulling in a JSON library.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string_view>
+
+namespace nvmeshare::json {
+
+namespace detail {
+
+struct Cursor {
+  std::string_view s;
+  std::size_t i = 0;
+
+  [[nodiscard]] bool eof() const noexcept { return i >= s.size(); }
+  [[nodiscard]] char peek() const noexcept { return eof() ? '\0' : s[i]; }
+  char get() noexcept { return eof() ? '\0' : s[i++]; }
+  void skip_ws() noexcept {
+    while (!eof() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r')) ++i;
+  }
+  bool consume(char c) noexcept {
+    if (peek() != c) return false;
+    ++i;
+    return true;
+  }
+  bool consume(std::string_view word) noexcept {
+    if (s.substr(i, word.size()) != word) return false;
+    i += word.size();
+    return true;
+  }
+};
+
+inline bool parse_value(Cursor& c, int depth);
+
+inline bool parse_string(Cursor& c) {
+  if (!c.consume('"')) return false;
+  while (!c.eof()) {
+    const char ch = c.get();
+    if (ch == '"') return true;
+    if (static_cast<unsigned char>(ch) < 0x20) return false;  // raw control char
+    if (ch == '\\') {
+      const char esc = c.get();
+      switch (esc) {
+        case '"': case '\\': case '/': case 'b': case 'f': case 'n': case 'r': case 't':
+          break;
+        case 'u':
+          for (int k = 0; k < 4; ++k) {
+            if (!std::isxdigit(static_cast<unsigned char>(c.get()))) return false;
+          }
+          break;
+        default:
+          return false;
+      }
+    }
+  }
+  return false;  // unterminated
+}
+
+inline bool parse_number(Cursor& c) {
+  c.consume('-');
+  if (c.peek() == '0') {
+    c.get();
+  } else if (std::isdigit(static_cast<unsigned char>(c.peek()))) {
+    while (std::isdigit(static_cast<unsigned char>(c.peek()))) c.get();
+  } else {
+    return false;
+  }
+  if (c.consume('.')) {
+    if (!std::isdigit(static_cast<unsigned char>(c.peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(c.peek()))) c.get();
+  }
+  if (c.peek() == 'e' || c.peek() == 'E') {
+    c.get();
+    if (c.peek() == '+' || c.peek() == '-') c.get();
+    if (!std::isdigit(static_cast<unsigned char>(c.peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(c.peek()))) c.get();
+  }
+  return true;
+}
+
+inline bool parse_object(Cursor& c, int depth) {
+  if (!c.consume('{')) return false;
+  c.skip_ws();
+  if (c.consume('}')) return true;
+  while (true) {
+    c.skip_ws();
+    if (!parse_string(c)) return false;
+    c.skip_ws();
+    if (!c.consume(':')) return false;
+    c.skip_ws();
+    if (!parse_value(c, depth)) return false;
+    c.skip_ws();
+    if (c.consume(',')) continue;
+    return c.consume('}');
+  }
+}
+
+inline bool parse_array(Cursor& c, int depth) {
+  if (!c.consume('[')) return false;
+  c.skip_ws();
+  if (c.consume(']')) return true;
+  while (true) {
+    c.skip_ws();
+    if (!parse_value(c, depth)) return false;
+    c.skip_ws();
+    if (c.consume(',')) continue;
+    return c.consume(']');
+  }
+}
+
+inline bool parse_value(Cursor& c, int depth) {
+  if (depth > 256) return false;  // bail out on pathological nesting
+  c.skip_ws();
+  switch (c.peek()) {
+    case '{': return parse_object(c, depth + 1);
+    case '[': return parse_array(c, depth + 1);
+    case '"': return parse_string(c);
+    case 't': return c.consume(std::string_view("true"));
+    case 'f': return c.consume(std::string_view("false"));
+    case 'n': return c.consume(std::string_view("null"));
+    default: return parse_number(c);
+  }
+}
+
+}  // namespace detail
+
+/// True iff `text` is exactly one well-formed JSON value (plus whitespace).
+[[nodiscard]] inline bool valid(std::string_view text) {
+  detail::Cursor c{text};
+  if (!detail::parse_value(c, 0)) return false;
+  c.skip_ws();
+  return c.eof();
+}
+
+}  // namespace nvmeshare::json

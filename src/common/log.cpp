@@ -8,6 +8,17 @@ namespace {
 Level g_threshold = Level::warn;
 TimeProvider g_time_provider = nullptr;
 
+// Flight recorder ring. g_flight_capacity == 0 means disabled.
+std::size_t g_flight_capacity = 0;
+std::size_t g_flight_next = 0;
+bool g_flight_wrapped = false;
+std::vector<std::string>& flight_ring() {
+  static std::vector<std::string> ring;
+  return ring;
+}
+
+bool g_flight_active = false;  // mirrored into flight_recorder_enabled()
+
 const char* level_name(Level l) {
   switch (l) {
     case Level::trace: return "TRACE";
@@ -19,24 +30,93 @@ const char* level_name(Level l) {
   }
   return "?";
 }
+
+std::string format_line(Level level, std::string_view tag, std::string_view message) {
+  char head[48];
+  long long t = now();
+  if (t >= 0) {
+    std::snprintf(head, sizeof(head), "[%12lldns] %s ", t, level_name(level));
+  } else {
+    std::snprintf(head, sizeof(head), "[    --      ] %s ", level_name(level));
+  }
+  std::string line(head);
+  line += tag;
+  if (tag.size() < 8) line.append(8 - tag.size(), ' ');
+  line += ' ';
+  line += message;
+  return line;
+}
 }  // namespace
 
 Level threshold() noexcept { return g_threshold; }
 void set_threshold(Level level) noexcept { g_threshold = level; }
 void set_time_provider(TimeProvider provider) noexcept { g_time_provider = provider; }
+long long now() noexcept { return g_time_provider ? g_time_provider() : -1; }
+
+void set_flight_recorder(std::size_t capacity) noexcept {
+  auto& ring = flight_ring();
+  ring.clear();
+  ring.reserve(capacity);
+  g_flight_capacity = capacity;
+  g_flight_next = 0;
+  g_flight_wrapped = false;
+  g_flight_active = capacity > 0;
+}
+
+void disable_flight_recorder() noexcept {
+  flight_ring().clear();
+  g_flight_capacity = 0;
+  g_flight_next = 0;
+  g_flight_wrapped = false;
+  g_flight_active = false;
+}
+
+void clear_flight_recorder() noexcept {
+  flight_ring().clear();
+  g_flight_next = 0;
+  g_flight_wrapped = false;
+}
+
+bool flight_recorder_enabled() noexcept { return g_flight_active; }
+
+std::vector<std::string> flight_recorder_lines() {
+  const auto& ring = flight_ring();
+  std::vector<std::string> out;
+  out.reserve(ring.size());
+  if (g_flight_wrapped) {
+    out.insert(out.end(), ring.begin() + static_cast<std::ptrdiff_t>(g_flight_next),
+               ring.end());
+    out.insert(out.end(), ring.begin(),
+               ring.begin() + static_cast<std::ptrdiff_t>(g_flight_next));
+  } else {
+    out.assign(ring.begin(), ring.end());
+  }
+  return out;
+}
+
+void dump_flight_recorder(std::FILE* out) {
+  const auto lines = flight_recorder_lines();
+  std::fprintf(out, "--- flight recorder: last %zu log line(s) ---\n", lines.size());
+  for (const auto& line : lines) std::fprintf(out, "%s\n", line.c_str());
+  std::fprintf(out, "--- end flight recorder ---\n");
+}
 
 void emit(Level level, std::string_view tag, std::string_view message) {
-  if (level < g_threshold) return;
-  long long now = g_time_provider ? g_time_provider() : -1;
-  if (now >= 0) {
-    std::fprintf(stderr, "[%12lldns] %s %-8.*s %.*s\n", now, level_name(level),
-                 static_cast<int>(tag.size()), tag.data(), static_cast<int>(message.size()),
-                 message.data());
-  } else {
-    std::fprintf(stderr, "[    --      ] %s %-8.*s %.*s\n", level_name(level),
-                 static_cast<int>(tag.size()), tag.data(), static_cast<int>(message.size()),
-                 message.data());
+  const bool print = level >= g_threshold && level < Level::off;
+  const bool capture = g_flight_active;
+  if (!print && !capture) return;
+  std::string line = format_line(level, tag, message);
+  if (capture) {
+    auto& ring = flight_ring();
+    if (ring.size() < g_flight_capacity) {
+      ring.push_back(print ? line : std::move(line));
+    } else {
+      ring[g_flight_next] = print ? line : std::move(line);
+      g_flight_next = (g_flight_next + 1) % g_flight_capacity;
+      g_flight_wrapped = true;
+    }
   }
+  if (print) std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 }  // namespace nvmeshare::log

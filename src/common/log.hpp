@@ -1,17 +1,26 @@
 // Tiny leveled logger. Off by default above `warn` so that simulations are
 // quiet; tests and examples can raise the level. Not thread-safe by design:
 // the whole simulator is single-threaded (discrete-event).
+//
+// Besides printing, the logger can keep a "flight recorder": a bounded ring
+// of the most recent formatted lines at *all* levels, regardless of the
+// print threshold. The test harness enables it and dumps the ring when a
+// test fails, so quiet-by-default logging doesn't hide the interleaving
+// that led to a bug.
 #pragma once
 
+#include <cstdio>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace nvmeshare::log {
 
 enum class Level : int { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
 
-/// Global threshold; messages below it are discarded.
+/// Global threshold; messages below it are not printed (but still reach the
+/// flight recorder when one is enabled).
 Level threshold() noexcept;
 void set_threshold(Level level) noexcept;
 
@@ -19,9 +28,32 @@ void set_threshold(Level level) noexcept;
 /// provider on construction. Returns -1 when no simulation is running.
 using TimeProvider = long long (*)();
 void set_time_provider(TimeProvider provider) noexcept;
+/// Timestamp from the installed provider (-1 when none); exposed so other
+/// subsystems (e.g. the tracer) can share the logger's clock.
+long long now() noexcept;
 
 /// Emit one message (already formatted) at `level` from component `tag`.
 void emit(Level level, std::string_view tag, std::string_view message);
+
+// --- flight recorder ---------------------------------------------------------
+/// Start capturing the last `capacity` formatted lines (all levels).
+void set_flight_recorder(std::size_t capacity) noexcept;
+/// Stop capturing and free the ring.
+void disable_flight_recorder() noexcept;
+/// Drop captured lines, keeping capture enabled.
+void clear_flight_recorder() noexcept;
+[[nodiscard]] bool flight_recorder_enabled() noexcept;
+/// Captured lines, oldest first.
+[[nodiscard]] std::vector<std::string> flight_recorder_lines();
+/// Print the captured lines to `out` with a header/footer banner.
+void dump_flight_recorder(std::FILE* out);
+
+/// True when a message at `level` has any observer — it clears the print
+/// threshold or a flight recorder is capturing. The NVS_LOG macro uses this
+/// so disabled levels cost one comparison and no formatting.
+[[nodiscard]] inline bool should_log(Level level) noexcept {
+  return level >= threshold() || flight_recorder_enabled();
+}
 
 namespace detail {
 class LineStream {
@@ -42,12 +74,25 @@ class LineStream {
   std::string_view tag_;
   std::ostringstream stream_;
 };
+
+/// Swallows a fully-streamed LineStream so the ternary below has `void` on
+/// both arms. `&` binds looser than `<<`, so every chained insertion runs
+/// before the match — the glog trick.
+struct Voidify {
+  void operator&(const LineStream&) {}
+};
 }  // namespace detail
 
 }  // namespace nvmeshare::log
 
 // Streaming log macros: NVS_LOG(info, "nvme") << "CC.EN set";
-#define NVS_LOG(level, tag)                                              \
-  if (::nvmeshare::log::Level::level < ::nvmeshare::log::threshold()) { \
-  } else                                                                 \
-    ::nvmeshare::log::detail::LineStream(::nvmeshare::log::Level::level, (tag))
+//
+// Expands to a single expression (ternary + operator&), so it nests safely
+// in un-braced if/else — unlike the previous if/else expansion, where
+//   if (cond) NVS_LOG(info, "t") << x; else other();
+// silently bound `else other()` to the macro's internal else.
+#define NVS_LOG(level, tag)                                                    \
+  !::nvmeshare::log::should_log(::nvmeshare::log::Level::level)                \
+      ? (void)0                                                                \
+      : ::nvmeshare::log::detail::Voidify() &                                  \
+            ::nvmeshare::log::detail::LineStream(::nvmeshare::log::Level::level, (tag))

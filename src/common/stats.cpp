@@ -14,8 +14,18 @@ void LatencyRecorder::ensure_sorted() const {
   }
 }
 
+void LatencyRecorder::merge(const LatencyRecorder& other) {
+  if (&other == this) {  // self-merge: avoid inserting from an invalidating range
+    auto copy = samples_;
+    samples_.insert(samples_.end(), copy.begin(), copy.end());
+    return;
+  }
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+}
+
 double LatencyRecorder::percentile(double p) const {
   assert(!samples_.empty());
+  if (samples_.empty()) return 0.0;
   ensure_sorted();
   if (sorted_.size() == 1) return static_cast<double>(sorted_[0]);
   const double clamped = std::clamp(p, 0.0, 100.0);

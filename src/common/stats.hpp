@@ -19,11 +19,16 @@ class LatencyRecorder {
   void reserve(std::size_t n) { samples_.reserve(n); }
   void clear() { samples_.clear(); }
 
+  /// Append every sample of `other`; used by the multi-host benches to fold
+  /// per-host recorders into one cluster-wide distribution.
+  void merge(const LatencyRecorder& other);
+
   [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
   [[nodiscard]] const std::vector<sim::Duration>& samples() const noexcept { return samples_; }
 
-  /// Percentile in [0,100] by linear interpolation between closest ranks.
-  /// Requires at least one sample.
+  /// Percentile by linear interpolation between closest ranks. `p` is
+  /// clamped to [0,100]. Returns 0.0 when there are no samples (asserts in
+  /// debug builds — callers should check count() first).
   [[nodiscard]] double percentile(double p) const;
 
   [[nodiscard]] sim::Duration min() const;

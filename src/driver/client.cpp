@@ -3,11 +3,35 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace nvmeshare::driver {
 
 using nvme::CompletionEntry;
 using nvme::SubmissionEntry;
+
+Client::Stats::Stats()
+    : reads("nvmeshare.client.reads"),
+      writes("nvmeshare.client.writes"),
+      flushes("nvmeshare.client.flushes"),
+      errors("nvmeshare.client.errors"),
+      bounce_copies("nvmeshare.client.bounce_copies"),
+      bounce_copy_bytes("nvmeshare.client.bounce_copy_bytes"),
+      iommu_maps("nvmeshare.client.iommu_maps"),
+      poll_rounds("nvmeshare.client.poll_rounds") {}
+
+namespace {
+obs::Kind trace_kind(block::Op op) {
+  switch (op) {
+    case block::Op::read: return obs::Kind::read;
+    case block::Op::write: return obs::Kind::write;
+    case block::Op::flush: return obs::Kind::flush;
+    case block::Op::write_zeroes: return obs::Kind::write_zeroes;
+    case block::Op::discard: return obs::Kind::discard;
+  }
+  return obs::Kind::other;
+}
+}  // namespace
 
 namespace {
 constexpr sim::Duration kAcquireRetryNs = 50'000;
@@ -366,9 +390,27 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
   auto stop = stop_;
   sim::Engine& eng = engine();
   const sim::Time start = eng.now();
+  obs::Tracer& tracer = obs::Tracer::global();
+  const std::uint64_t trace =
+      tracer.enabled() ? tracer.begin_trace(trace_kind(request.op), start) : 0;
+  obs::PhaseMarker ph(tracer, trace, obs::Track::client, start);
   auto finish = [&](Status st) {
     if (!st) ++stats_.errors;
-    promise.set(block::Completion{std::move(st), eng.now() - start});
+    const sim::Duration latency = eng.now() - start;
+    if (st) {
+      if (request.op == block::Op::read) {
+        read_latency_hist_.record(static_cast<std::uint64_t>(latency));
+      } else if (request.op == block::Op::write) {
+        write_latency_hist_.record(static_cast<std::uint64_t>(latency));
+      }
+    }
+    if (trace != 0) {
+      // Tile any residual (IOMMU teardown, early error exit) so client-track
+      // phase durations always sum to the end-to-end latency.
+      if (eng.now() > ph.last()) ph.mark(obs::Phase::completion, eng.now(), qid_);
+      tracer.end_trace(trace, eng.now());
+    }
+    promise.set(block::Completion{std::move(st), latency});
   };
 
   if (Status st = block::validate_request(*this, request); !st) {
@@ -394,6 +436,7 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
 
   // Driver submission-path software cost.
   co_await sim::delay(eng, cfg_.costs.jittered(cfg_.costs.submit_ns, rng_));
+  ph.mark(obs::Phase::submit, eng.now(), qid_);
   if (*stop) {
     release_slot();
     finish(Status(Errc::aborted, "client detached"));
@@ -439,6 +482,7 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
       ++stats_.bounce_copies;
       stats_.bounce_copy_bytes += bytes;
       co_await sim::delay(eng, cfg_.costs.memcpy_ns(bytes));
+      ph.mark(obs::Phase::bounce_copy, eng.now(), qid_);
     }
     prp1 = slot_iova;
     if (bytes <= nvme::kPageSize) {
@@ -535,6 +579,11 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
     finish(cid.status());
     co_return;
   }
+  // The SQE store is a posted write (no simulated CPU stall), so this span
+  // has zero duration — it exists to anchor the phase in the sequence and
+  // to carry the (qid, cid) the controller spans correlate on.
+  ph.mark(obs::Phase::sq_write, eng.now(), qid_, *cid);
+  tracer.bind(qid_, *cid, trace);
   auto [it, inserted] = pending_.emplace(*cid, sim::Promise<CompletionEntry>(eng));
   (void)inserted;
   auto cqe_future = it->second.future();
@@ -542,9 +591,12 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
 
   co_await sim::delay(eng, cfg_.costs.doorbell_ns);
   (void)qp_->ring_sq_doorbell();
+  ph.mark(obs::Phase::doorbell, eng.now(), qid_, *cid);
 
   // Wait for the poller to deliver our completion.
   CompletionEntry cqe = co_await cqe_future;
+  ph.mark(obs::Phase::cq_wait, eng.now(), qid_, *cid);
+  tracer.unbind(qid_, *cid);
   if (*stop) {
     release_slot();
     finish(Status(Errc::aborted, "client detached"));
@@ -553,6 +605,7 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
 
   // Completion-path software cost.
   co_await sim::delay(eng, cfg_.costs.jittered(cfg_.costs.completion_ns, rng_));
+  ph.mark(obs::Phase::completion, eng.now(), qid_, *cid);
 
   Status status = Status::ok();
   if (!cqe.ok()) {
@@ -565,6 +618,7 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
     ++stats_.bounce_copies;
     stats_.bounce_copy_bytes += bytes;
     co_await sim::delay(eng, cfg_.costs.memcpy_ns(bytes));
+    ph.mark(obs::Phase::bounce_copy, eng.now(), qid_, *cid);
   }
 
   if (iommu_mapped) {

@@ -31,6 +31,7 @@
 #include "driver/mailbox.hpp"
 #include "mem/iommu.hpp"
 #include "nvme/queue.hpp"
+#include "obs/metrics.hpp"
 #include "smartio/smartio.hpp"
 
 namespace nvmeshare::driver {
@@ -92,15 +93,18 @@ class Client final : public block::BlockDevice {
   [[nodiscard]] std::uint16_t qid() const noexcept { return qid_; }
   [[nodiscard]] smartio::NodeId node() const noexcept { return node_; }
 
+  /// Per-client counters; each also feeds the global obs::Registry under
+  /// `nvmeshare.client.*`, aggregated across all clients.
   struct Stats {
-    std::uint64_t reads = 0;
-    std::uint64_t writes = 0;
-    std::uint64_t flushes = 0;
-    std::uint64_t errors = 0;
-    std::uint64_t bounce_copies = 0;
-    std::uint64_t bounce_copy_bytes = 0;
-    std::uint64_t iommu_maps = 0;
-    std::uint64_t poll_rounds = 0;
+    Stats();
+    obs::Counter reads;
+    obs::Counter writes;
+    obs::Counter flushes;
+    obs::Counter errors;
+    obs::Counter bounce_copies;
+    obs::Counter bounce_copy_bytes;
+    obs::Counter iommu_maps;
+    obs::Counter poll_rounds;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -158,6 +162,8 @@ class Client final : public block::BlockDevice {
   std::shared_ptr<bool> stop_ = std::make_shared<bool>(false);
   bool attached_ = false;
   Stats stats_;
+  obs::Histogram read_latency_hist_{"nvmeshare.client.read_latency_ns"};
+  obs::Histogram write_latency_hist_{"nvmeshare.client.write_latency_ns"};
 };
 
 }  // namespace nvmeshare::driver

@@ -7,6 +7,13 @@ namespace nvmeshare::driver {
 using nvme::CompletionEntry;
 using nvme::SubmissionEntry;
 
+LocalDriver::Stats::Stats()
+    : reads("nvmeshare.local_driver.reads"),
+      writes("nvmeshare.local_driver.writes"),
+      flushes("nvmeshare.local_driver.flushes"),
+      errors("nvmeshare.local_driver.errors"),
+      interrupts("nvmeshare.local_driver.interrupts") {}
+
 LocalDriver::LocalDriver(sisci::Cluster& cluster, Config cfg)
     : cluster_(cluster), cfg_(cfg), rng_(cfg.seed) {}
 

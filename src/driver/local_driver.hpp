@@ -18,6 +18,7 @@
 #include "driver/cost_model.hpp"
 #include "driver/irq.hpp"
 #include "nvme/queue.hpp"
+#include "obs/metrics.hpp"
 
 namespace nvmeshare::driver {
 
@@ -57,12 +58,14 @@ class LocalDriver final : public block::BlockDevice {
 
   [[nodiscard]] BareController& controller() noexcept { return *ctrl_; }
 
+  /// Per-driver counters, also registered as `nvmeshare.local_driver.*`.
   struct Stats {
-    std::uint64_t reads = 0;
-    std::uint64_t writes = 0;
-    std::uint64_t flushes = 0;
-    std::uint64_t errors = 0;
-    std::uint64_t interrupts = 0;
+    Stats();
+    obs::Counter reads;
+    obs::Counter writes;
+    obs::Counter flushes;
+    obs::Counter errors;
+    obs::Counter interrupts;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

@@ -15,6 +15,12 @@ constexpr int kRegPollLimit = 1000;
 constexpr sim::Duration kAdminTimeoutNs = 50_ms;
 }  // namespace
 
+Manager::Stats::Stats()
+    : mailbox_requests("nvmeshare.manager.mailbox_requests"),
+      qps_created("nvmeshare.manager.qps_created"),
+      qps_deleted("nvmeshare.manager.qps_deleted"),
+      request_errors("nvmeshare.manager.request_errors") {}
+
 Manager::Manager(smartio::Service& service, smartio::NodeId node, smartio::DeviceId device,
                  Config cfg)
     : service_(service), node_(node), device_id_(device), cfg_(cfg) {}

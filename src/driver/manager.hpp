@@ -17,6 +17,7 @@
 #include "driver/cost_model.hpp"
 #include "driver/mailbox.hpp"
 #include "nvme/queue.hpp"
+#include "obs/metrics.hpp"
 #include "smartio/smartio.hpp"
 
 namespace nvmeshare::driver {
@@ -57,11 +58,13 @@ class Manager {
   [[nodiscard]] smartio::NodeId node() const noexcept { return node_; }
   [[nodiscard]] std::uint16_t active_queue_pairs() const;
 
+  /// Per-manager counters, also registered as `nvmeshare.manager.*`.
   struct Stats {
-    std::uint64_t mailbox_requests = 0;
-    std::uint64_t qps_created = 0;
-    std::uint64_t qps_deleted = 0;
-    std::uint64_t request_errors = 0;
+    Stats();
+    obs::Counter mailbox_requests;
+    obs::Counter qps_created;
+    obs::Counter qps_deleted;
+    obs::Counter request_errors;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

@@ -30,6 +30,13 @@ struct DlmRelease {
 
 }  // namespace
 
+FileSystem::Stats::Stats()
+    : lock_acquisitions("nvmeshare.fs.lock_acquisitions"),
+      blocks_allocated("nvmeshare.fs.blocks_allocated"),
+      blocks_freed("nvmeshare.fs.blocks_freed"),
+      block_reads("nvmeshare.fs.block_reads"),
+      block_writes("nvmeshare.fs.block_writes") {}
+
 FileSystem::FileSystem(sisci::Cluster& cluster, block::BlockDevice& device,
                        sisci::NodeId node)
     : cluster_(cluster), device_(device), node_(node) {}

@@ -18,6 +18,7 @@
 #include "block/block.hpp"
 #include "fs/dlm.hpp"
 #include "fs/layout.hpp"
+#include "obs/metrics.hpp"
 #include "sisci/sisci.hpp"
 
 namespace nvmeshare::fs {
@@ -102,12 +103,14 @@ class FileSystem {
 
   [[nodiscard]] const Superblock& superblock() const noexcept { return sb_; }
 
+  /// Per-mount counters, also registered as `nvmeshare.fs.*`.
   struct Stats {
-    std::uint64_t lock_acquisitions = 0;
-    std::uint64_t blocks_allocated = 0;
-    std::uint64_t blocks_freed = 0;
-    std::uint64_t block_reads = 0;
-    std::uint64_t block_writes = 0;
+    Stats();
+    obs::Counter lock_acquisitions;
+    obs::Counter blocks_allocated;
+    obs::Counter blocks_freed;
+    obs::Counter block_reads;
+    obs::Counter block_writes;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

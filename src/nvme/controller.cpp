@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace nvmeshare::nvme {
 
@@ -13,7 +14,31 @@ constexpr std::uint16_t kMsixVectors = 33;  // one per possible CQ (admin + 32)
 bool cq_full(std::uint16_t tail, std::uint16_t head, std::uint16_t size) {
   return static_cast<std::uint16_t>((tail + 1) % size) == head;
 }
+
+/// Attribute a controller-side span to the client request that queued the
+/// command, via the tracer's (qid, cid) binding. No-op when tracing is off
+/// or the command was not submitted by a traced request.
+void trace_io_span(std::uint16_t qid, std::uint16_t cid, obs::Phase phase, sim::Time begin,
+                   sim::Time end) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (!tracer.enabled()) return;
+  if (const std::uint64_t trace = tracer.lookup(qid, cid); trace != 0) {
+    tracer.record(trace, obs::Track::controller, phase, begin, end, qid, cid);
+  }
+}
 }  // namespace
+
+Controller::Stats::Stats()
+    : doorbell_writes("nvmeshare.controller.doorbell_writes"),
+      commands_fetched("nvmeshare.controller.commands_fetched"),
+      fetch_dma_reads("nvmeshare.controller.fetch_dma_reads"),
+      admin_commands("nvmeshare.controller.admin_commands"),
+      io_reads("nvmeshare.controller.io_reads"),
+      io_writes("nvmeshare.controller.io_writes"),
+      io_flushes("nvmeshare.controller.io_flushes"),
+      bytes_read("nvmeshare.controller.bytes_read"),
+      bytes_written("nvmeshare.controller.bytes_written"),
+      errors_completed("nvmeshare.controller.errors_completed") {}
 
 Controller::Controller(sim::Engine& engine, Config cfg)
     : engine_(engine),
@@ -268,6 +293,7 @@ sim::Task Controller::sq_fetcher(std::uint16_t qid, std::uint64_t gen) {
     const auto until_wrap = static_cast<std::uint16_t>(sq.size - sq.head);
     const std::uint16_t n = std::min({avail, until_wrap, cfg_.fetch_burst});
     ++stats_.fetch_dma_reads;
+    const sim::Time fetch_begin = engine_.now();
     auto data = co_await fabric()->read(
         dma_initiator(), sq.base + static_cast<std::uint64_t>(sq.head) * sizeof(SubmissionEntry),
         static_cast<std::size_t>(n) * sizeof(SubmissionEntry));
@@ -281,6 +307,9 @@ sim::Task Controller::sq_fetcher(std::uint16_t qid, std::uint64_t gen) {
     for (std::uint16_t i = 0; i < n; ++i) {
       const auto sqe =
           load_pod<SubmissionEntry>(*data, static_cast<std::size_t>(i) * sizeof(SubmissionEntry));
+      if (qid != 0) {
+        trace_io_span(qid, sqe.cid, obs::Phase::ctrl_fetch, fetch_begin, engine_.now());
+      }
       const auto head_after = static_cast<std::uint16_t>((sq.head + i + 1) % sq.size);
       execute_command(qid, sqe, head_after, gen);
     }
@@ -337,6 +366,7 @@ sim::Task Controller::complete(std::uint16_t sqid, std::uint16_t sq_head_after,
     disable_controller(/*fatal=*/true);
     co_return;
   }
+  if (sqid != 0) trace_io_span(sqid, cid, obs::Phase::cq_write, engine_.now(), *arrival);
   if (cq.irq_enabled && cq.irq_vector < msix_.size() && !msix_[cq.irq_vector].masked &&
       msix_[cq.irq_vector].addr != 0) {
     Bytes msg(4);
@@ -402,8 +432,8 @@ sim::Task Controller::run_admin(SubmissionEntry sqe, std::uint16_t sq_head_after
           payload[5] = std::byte{0};                         // percentage used
           store_pod(payload, stats_.bytes_read / (512 * 1000), 32);
           store_pod(payload, stats_.bytes_written / (512 * 1000), 48);
-          store_pod(payload, stats_.io_reads, 64);
-          store_pod(payload, stats_.io_writes, 80);
+          store_pod(payload, stats_.io_reads.value(), 64);
+          store_pod(payload, stats_.io_writes.value(), 80);
           store_pod(payload,
                     static_cast<std::uint64_t>(engine_.now() / 3'600'000'000'000LL), 144);
         }
@@ -673,6 +703,7 @@ sim::Task Controller::run_io(std::uint16_t qid, SubmissionEntry sqe,
   if (op == IoOpcode::read) {
     ++stats_.io_reads;
     stats_.bytes_read += bytes;
+    const sim::Time media_begin = engine_.now();
     co_await channels_->acquire();
     if (gen != generation_) {
       channels_->release();
@@ -681,6 +712,7 @@ sim::Task Controller::run_io(std::uint16_t qid, SubmissionEntry sqe,
     co_await sim::delay(engine_, cfg_.service.cmd_fixed_ns + media_latency(op, nblocks));
     channels_->release();
     if (gen != generation_) co_return;
+    trace_io_span(qid, sqe.cid, obs::Phase::media, media_begin, engine_.now());
 
     Bytes data(bytes);
     if (Status st = store_.read(slba, nblocks, data); !st) {
@@ -698,6 +730,7 @@ sim::Task Controller::run_io(std::uint16_t qid, SubmissionEntry sqe,
       complete(qid, sq_head_after, sqe.cid, kScDataTransferError, 0, gen, 0);
       co_return;
     }
+    trace_io_span(qid, sqe.cid, obs::Phase::data_dma, engine_.now(), *arrival);
     // PCIe posted ordering: the CQE travels the same path after the data,
     // so the host cannot observe the completion before the data.
     complete(qid, sq_head_after, sqe.cid, kScSuccess, 0, gen, *arrival);
@@ -715,12 +748,15 @@ sim::Task Controller::run_io(std::uint16_t qid, SubmissionEntry sqe,
     complete(qid, sq_head_after, sqe.cid, kScInvalidField, 0, gen, 0);
     co_return;
   }
+  const sim::Time dma_begin = engine_.now();
   auto data = co_await fabric()->read_sg(dma_initiator(), *sg);
   if (gen != generation_) co_return;
   if (!data) {
     complete(qid, sq_head_after, sqe.cid, kScDataTransferError, 0, gen, 0);
     co_return;
   }
+  trace_io_span(qid, sqe.cid, obs::Phase::data_dma, dma_begin, engine_.now());
+  const sim::Time media_begin = engine_.now();
   co_await channels_->acquire();
   if (gen != generation_) {
     channels_->release();
@@ -729,6 +765,7 @@ sim::Task Controller::run_io(std::uint16_t qid, SubmissionEntry sqe,
   co_await sim::delay(engine_, cfg_.service.cmd_fixed_ns + media_latency(op, nblocks));
   channels_->release();
   if (gen != generation_) co_return;
+  trace_io_span(qid, sqe.cid, obs::Phase::media, media_begin, engine_.now());
   if (Status st = store_.write(slba, nblocks, *data); !st) {
     complete(qid, sq_head_after, sqe.cid, kScInternalError, 0, gen, 0);
     co_return;

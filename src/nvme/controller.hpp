@@ -19,6 +19,7 @@
 #include "common/status.hpp"
 #include "nvme/block_store.hpp"
 #include "nvme/spec.hpp"
+#include "obs/metrics.hpp"
 #include "pcie/endpoint.hpp"
 #include "pcie/fabric.hpp"
 #include "sim/task.hpp"
@@ -77,17 +78,19 @@ class Controller final : public pcie::Endpoint {
   /// Number of I/O queue pairs currently alive (for tests).
   [[nodiscard]] int active_io_sq_count() const;
 
+  /// Controller counters, also registered as `nvmeshare.controller.*`.
   struct Stats {
-    std::uint64_t doorbell_writes = 0;
-    std::uint64_t commands_fetched = 0;
-    std::uint64_t fetch_dma_reads = 0;
-    std::uint64_t admin_commands = 0;
-    std::uint64_t io_reads = 0;
-    std::uint64_t io_writes = 0;
-    std::uint64_t io_flushes = 0;
-    std::uint64_t bytes_read = 0;
-    std::uint64_t bytes_written = 0;
-    std::uint64_t errors_completed = 0;  ///< commands completed with non-zero status
+    Stats();
+    obs::Counter doorbell_writes;
+    obs::Counter commands_fetched;
+    obs::Counter fetch_dma_reads;
+    obs::Counter admin_commands;
+    obs::Counter io_reads;
+    obs::Counter io_writes;
+    obs::Counter io_flushes;
+    obs::Counter bytes_read;
+    obs::Counter bytes_written;
+    obs::Counter errors_completed;  ///< commands completed with non-zero status
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

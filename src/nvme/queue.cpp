@@ -2,6 +2,12 @@
 
 namespace nvmeshare::nvme {
 
+QueuePair::Stats::Stats()
+    : sqes_pushed("nvmeshare.queue.sqes_pushed"),
+      sq_doorbells("nvmeshare.queue.sq_doorbells"),
+      cq_doorbells("nvmeshare.queue.cq_doorbells"),
+      cqes_consumed("nvmeshare.queue.cqes_consumed") {}
+
 QueuePair::QueuePair(pcie::Fabric& fabric, Config cfg) : fabric_(fabric), cfg_(cfg) {
   cid_busy_.assign(cfg_.sq_size, false);
 }
@@ -28,6 +34,7 @@ Result<std::uint16_t> QueuePair::push(SubmissionEntry entry) {
   }
   sq_tail_ = static_cast<std::uint16_t>((sq_tail_ + 1) % cfg_.sq_size);
   ++inflight_;
+  ++stats_.sqes_pushed;
   return cid;
 }
 
@@ -35,6 +42,7 @@ Status QueuePair::ring_sq_doorbell() {
   Bytes buf(4);
   store_pod(buf, static_cast<std::uint32_t>(sq_tail_));
   auto arrival = fabric_.post_write(cfg_.cpu, cfg_.sq_doorbell_addr, std::move(buf));
+  if (arrival) ++stats_.sq_doorbells;
   return arrival.status();
 }
 
@@ -52,6 +60,7 @@ std::optional<CompletionEntry> QueuePair::poll() {
     cid_busy_[e.cid] = false;
     --inflight_;
   }
+  ++stats_.cqes_consumed;
   return e;
 }
 
@@ -59,6 +68,7 @@ Status QueuePair::ring_cq_doorbell() {
   Bytes buf(4);
   store_pod(buf, static_cast<std::uint32_t>(cq_head_));
   auto arrival = fabric_.post_write(cfg_.cpu, cfg_.cq_doorbell_addr, std::move(buf));
+  if (arrival) ++stats_.cq_doorbells;
   return arrival.status();
 }
 

@@ -15,6 +15,7 @@
 
 #include "common/status.hpp"
 #include "nvme/spec.hpp"
+#include "obs/metrics.hpp"
 #include "pcie/fabric.hpp"
 
 namespace nvmeshare::nvme {
@@ -60,6 +61,17 @@ class QueuePair {
   /// Tell the controller how far the CQ has been consumed.
   Status ring_cq_doorbell();
 
+  /// Per-queue-pair ring counters, also registered as `nvmeshare.queue.*`
+  /// (aggregated across every driver's queue pairs).
+  struct Stats {
+    Stats();
+    obs::Counter sqes_pushed;
+    obs::Counter sq_doorbells;
+    obs::Counter cq_doorbells;
+    obs::Counter cqes_consumed;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
  private:
   pcie::Fabric& fabric_;
   Config cfg_;
@@ -69,6 +81,7 @@ class QueuePair {
   std::uint16_t inflight_ = 0;
   std::uint16_t next_cid_ = 0;
   std::vector<bool> cid_busy_;
+  Stats stats_;
 };
 
 }  // namespace nvmeshare::nvme

@@ -10,6 +10,14 @@ namespace nvmeshare::nvmeof {
 
 enum class FabricOp : std::uint8_t { read = 1, write = 2, flush = 3, write_zeroes = 4, discard = 5 };
 
+/// Tracer correlation key for NVMe-oF commands: the initiator binds its
+/// trace under (nvmeof_trace_qid(node), capsule.cid), and the target looks
+/// the same key up to attribute its spans. The high bit keeps the pseudo-qid
+/// space disjoint from real NVMe queue ids.
+constexpr std::uint16_t nvmeof_trace_qid(std::uint16_t initiator_node) {
+  return static_cast<std::uint16_t>(0x8000u | initiator_node);
+}
+
 /// Writes up to this size travel in-capsule (SPDK's default in-capsule data
 /// size); larger writes are pulled by the target with an RDMA READ.
 inline constexpr std::uint32_t kInlineDataMax = 4096;

@@ -1,6 +1,7 @@
 #include "nvmeof/initiator.hpp"
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace nvmeshare::nvmeof {
 
@@ -8,7 +9,25 @@ namespace {
 constexpr std::uint64_t kWrSend = 4ull << 56;
 constexpr std::uint64_t kWrRecv = 1ull << 56;
 constexpr std::uint64_t kWrSlotMask = (1ull << 56) - 1;
+
+obs::Kind trace_kind(block::Op op) {
+  switch (op) {
+    case block::Op::read: return obs::Kind::read;
+    case block::Op::write: return obs::Kind::write;
+    case block::Op::flush: return obs::Kind::flush;
+    case block::Op::write_zeroes: return obs::Kind::write_zeroes;
+    case block::Op::discard: return obs::Kind::discard;
+  }
+  return obs::Kind::other;
+}
 }  // namespace
+
+Initiator::Stats::Stats()
+    : reads("nvmeshare.nvmeof_initiator.reads"),
+      writes("nvmeshare.nvmeof_initiator.writes"),
+      flushes("nvmeshare.nvmeof_initiator.flushes"),
+      errors("nvmeshare.nvmeof_initiator.errors"),
+      interrupts("nvmeshare.nvmeof_initiator.interrupts") {}
 
 Initiator::Initiator(sisci::Cluster& cluster, rdma::Network& network, rdma::NodeId node,
                      Config cfg)
@@ -85,8 +104,16 @@ sim::Task Initiator::io_task(block::Request request, sim::Promise<block::Complet
   auto stop = stop_;
   sim::Engine& engine = cluster_.engine();
   const sim::Time start = engine.now();
+  obs::Tracer& tracer = obs::Tracer::global();
+  const std::uint64_t trace =
+      tracer.enabled() ? tracer.begin_trace(trace_kind(request.op), start) : 0;
+  obs::PhaseMarker ph(tracer, trace, obs::Track::client, start);
   auto finish = [&](Status st) {
     if (!st) ++stats_.errors;
+    if (trace != 0) {
+      if (engine.now() > ph.last()) ph.mark(obs::Phase::completion, engine.now());
+      tracer.end_trace(trace, engine.now());
+    }
     promise.set(block::Completion{std::move(st), engine.now() - start});
   };
 
@@ -109,6 +136,7 @@ sim::Task Initiator::io_task(block::Request request, sim::Promise<block::Complet
 
   // Submission path: block layer + capsule construction.
   co_await sim::delay(engine, cfg_.costs.jittered(cfg_.costs.submit_ns, rng_));
+  ph.mark(obs::Phase::submit, engine.now());
 
   CommandCapsule capsule;
   capsule.cid = static_cast<std::uint16_t>(slot);
@@ -162,6 +190,7 @@ sim::Task Initiator::io_task(block::Request request, sim::Promise<block::Complet
                                          sim::Promise<ResponseCapsule>(engine));
   (void)inserted;
   auto response_future = it->second.future();
+  tracer.bind(nvmeof_trace_qid(static_cast<std::uint16_t>(node_)), capsule.cid, trace);
 
   co_await sim::delay(engine, cfg_.costs.doorbell_ns);
   if (Status st = qp_->post_send(kWrSend | slot, capsule_addr, wire_len); !st) {
@@ -170,8 +199,11 @@ sim::Task Initiator::io_task(block::Request request, sim::Promise<block::Complet
     finish(st);
     co_return;
   }
+  ph.mark(obs::Phase::capsule_send, engine.now());
 
   ResponseCapsule response = co_await response_future;
+  ph.mark(obs::Phase::cq_wait, engine.now());
+  tracer.unbind(nvmeof_trace_qid(static_cast<std::uint16_t>(node_)), capsule.cid);
   if (*stop) {
     release_slot();
     finish(Status(Errc::aborted, "initiator stopped"));
@@ -179,6 +211,7 @@ sim::Task Initiator::io_task(block::Request request, sim::Promise<block::Complet
   }
   // Completion path software.
   co_await sim::delay(engine, cfg_.costs.jittered(cfg_.costs.completion_ns, rng_));
+  ph.mark(obs::Phase::completion, engine.now());
   release_slot();
   if (response.status != 0) {
     finish(Status(Errc::io_error,

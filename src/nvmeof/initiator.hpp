@@ -13,6 +13,7 @@
 #include "driver/cost_model.hpp"
 #include "nvmeof/capsule.hpp"
 #include "nvmeof/target.hpp"
+#include "obs/metrics.hpp"
 #include "rdma/rdma.hpp"
 
 namespace nvmeshare::nvmeof {
@@ -43,12 +44,14 @@ class Initiator final : public block::BlockDevice {
   [[nodiscard]] std::uint64_t max_transfer_bytes() const override { return max_transfer_; }
   sim::Future<block::Completion> submit(const block::Request& request) override;
 
+  /// Per-initiator counters, also registered as `nvmeshare.nvmeof_initiator.*`.
   struct Stats {
-    std::uint64_t reads = 0;
-    std::uint64_t writes = 0;
-    std::uint64_t flushes = 0;
-    std::uint64_t errors = 0;
-    std::uint64_t interrupts = 0;
+    Stats();
+    obs::Counter reads;
+    obs::Counter writes;
+    obs::Counter flushes;
+    obs::Counter errors;
+    obs::Counter interrupts;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

@@ -1,6 +1,7 @@
 #include "nvmeof/target.hpp"
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace nvmeshare::nvmeof {
 
@@ -14,7 +15,25 @@ constexpr std::uint64_t kWrRdmaRead = 2ull << 56;
 constexpr std::uint64_t kWrRdmaWrite = 3ull << 56;
 constexpr std::uint64_t kWrSend = 4ull << 56;
 constexpr std::uint64_t kWrSlotMask = (1ull << 56) - 1;
+
+/// Attribute a target-side span to the initiator request that sent the
+/// capsule, via the tracer binding the initiator made under its fabric
+/// pseudo-qid (see nvmeof_trace_qid in capsule.hpp).
+void trace_target_span(std::uint16_t qid, std::uint16_t cid, obs::Phase phase, sim::Time begin,
+                       sim::Time end) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (!tracer.enabled()) return;
+  if (const std::uint64_t trace = tracer.lookup(qid, cid); trace != 0) {
+    tracer.record(trace, obs::Track::target, phase, begin, end, qid, cid);
+  }
+}
 }  // namespace
+
+Target::Stats::Stats()
+    : commands("nvmeshare.nvmeof_target.commands"),
+      reads("nvmeshare.nvmeof_target.reads"),
+      writes("nvmeshare.nvmeof_target.writes"),
+      errors("nvmeshare.nvmeof_target.errors") {}
 
 Target::Target(sisci::Cluster& cluster, rdma::Network& network, Config cfg)
     : cluster_(cluster), network_(network), cfg_(cfg), rng_(cfg.seed) {
@@ -208,9 +227,13 @@ sim::Task Target::handle_command(Connection* conn, std::uint32_t slot,
 
   CommandCapsule capsule;
   (void)dram.read(conn->recv_base + slot * kCapsuleSlotBytes, as_writable_bytes_of(capsule));
+  const std::uint16_t trace_qid =
+      nvmeof_trace_qid(static_cast<std::uint16_t>(conn->qp->peer()->node()));
 
   // Per-command target software: decode capsule, prep the NVMe command.
+  const sim::Time decode_begin = engine.now();
   co_await sim::delay(engine, cfg_.costs.jittered(cfg_.costs.submit_ns, rng_));
+  trace_target_span(trace_qid, capsule.cid, obs::Phase::submit, decode_begin, engine.now());
   if (*stop) {
     finish();
     co_return;
@@ -249,11 +272,14 @@ sim::Task Target::handle_command(Connection* conn, std::uint32_t slot,
       ok = false;
       nvme_status = nvme::kScDataTransferError;
     } else {
+      const sim::Time pull_begin = engine.now();
       auto wc = co_await fut;
       if (*stop) {
         finish();
         co_return;
       }
+      trace_target_span(trace_qid, capsule.cid, obs::Phase::rdma_data, pull_begin,
+                        engine.now());
       if (!wc.status) {
         ok = false;
         nvme_status = nvme::kScDataTransferError;
@@ -311,6 +337,7 @@ sim::Task Target::handle_command(Connection* conn, std::uint32_t slot,
             conn->nvme_pending.emplace(*cid, sim::Promise<CompletionEntry>(engine));
         (void)ins;
         auto fut = it->second.future();
+        const sim::Time nvme_begin = engine.now();
         co_await sim::delay(engine, cfg_.costs.doorbell_ns);
         (void)conn->nvme_qp->ring_sq_doorbell();
         CompletionEntry cqe = co_await fut;
@@ -318,6 +345,7 @@ sim::Task Target::handle_command(Connection* conn, std::uint32_t slot,
           finish();
           co_return;
         }
+        trace_target_span(trace_qid, capsule.cid, obs::Phase::media, nvme_begin, engine.now());
         nvme_status = cqe.status();
         ok = cqe.ok();
       }

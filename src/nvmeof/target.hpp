@@ -17,6 +17,7 @@
 #include "driver/bringup.hpp"
 #include "driver/cost_model.hpp"
 #include "nvmeof/capsule.hpp"
+#include "obs/metrics.hpp"
 #include "rdma/rdma.hpp"
 
 namespace nvmeshare::nvmeof {
@@ -54,11 +55,13 @@ class Target {
   [[nodiscard]] rdma::Context& context() noexcept { return *ctx_; }
   [[nodiscard]] std::size_t connection_count() const noexcept { return connections_.size(); }
 
+  /// Per-target counters, also registered as `nvmeshare.nvmeof_target.*`.
   struct Stats {
-    std::uint64_t commands = 0;
-    std::uint64_t reads = 0;
-    std::uint64_t writes = 0;
-    std::uint64_t errors = 0;
+    Stats();
+    obs::Counter commands;
+    obs::Counter reads;
+    obs::Counter writes;
+    obs::Counter errors;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

@@ -1,0 +1,169 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+namespace nvmeshare::obs {
+
+// --- HistogramCell ----------------------------------------------------------------
+
+int HistogramCell::bucket_index(std::uint64_t v) noexcept {
+  // bit_width(v) is 64 for v >= 2^63; those land in the open-ended last
+  // bucket instead of overflowing the array.
+  return v == 0 ? 0 : std::min(static_cast<int>(std::bit_width(v)), kBuckets - 1);
+}
+
+std::uint64_t HistogramCell::bucket_floor(int i) noexcept {
+  return i <= 0 ? 0 : 1ull << (i - 1);
+}
+
+std::uint64_t HistogramCell::bucket_ceiling(int i) noexcept {
+  return i <= 0 ? 1 : (i >= kBuckets - 1 ? 0 : 1ull << i);
+}
+
+void HistogramCell::record(std::uint64_t v) noexcept {
+  ++buckets[static_cast<std::size_t>(bucket_index(v))];
+  if (count == 0 || v < min) min = v;
+  if (v > max) max = v;
+  ++count;
+  sum += v;
+}
+
+// --- handles ----------------------------------------------------------------------
+
+Counter::Counter(std::string_view name) : Counter(Registry::global(), name) {}
+Counter::Counter(Registry& registry, std::string_view name)
+    : cell_(registry.counter_cell(name)) {}
+
+Gauge::Gauge(std::string_view name) : Gauge(Registry::global(), name) {}
+Gauge::Gauge(Registry& registry, std::string_view name) : cell_(registry.gauge_cell(name)) {}
+
+Histogram::Histogram(std::string_view name) : Histogram(Registry::global(), name) {}
+Histogram::Histogram(Registry& registry, std::string_view name)
+    : cell_(registry.histogram_cell(name)) {}
+
+// --- Registry ---------------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+std::uint64_t* Registry::counter_cell(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) it = counters_.emplace(std::string(name), 0).first;
+  return &it->second;
+}
+
+double* Registry::gauge_cell(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) it = gauges_.emplace(std::string(name), 0.0).first;
+  return &it->second;
+}
+
+HistogramCell* Registry::histogram_cell(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) it = histograms_.emplace(std::string(name), HistogramCell{}).first;
+  return &it->second;
+}
+
+void Registry::reset_values() noexcept {
+  for (auto& [name, v] : counters_) v = 0;
+  for (auto& [name, v] : gauges_) v = 0.0;
+  for (auto& [name, h] : histograms_) h = HistogramCell{};
+}
+
+namespace {
+
+void append_json_number(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+void append_histogram_json(std::string& out, const HistogramCell& h) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%" PRIu64 ",\"sum\":%" PRIu64 ",\"min\":%" PRIu64
+                ",\"max\":%" PRIu64 ",\"buckets\":[",
+                h.count, h.sum, h.min, h.max);
+  out += buf;
+  bool first = true;
+  for (int i = 0; i < HistogramCell::kBuckets; ++i) {
+    if (h.buckets[static_cast<std::size_t>(i)] == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf), "[%" PRIu64 ",%" PRIu64 "]", HistogramCell::bucket_floor(i),
+                  h.buckets[static_cast<std::size_t>(i)]);
+    out += buf;
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+std::string Registry::to_json() const {
+  std::string out = "{\"counters\":{";
+  char buf[64];
+  bool first = true;
+  for (const auto& [name, v] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    append_json_number(out, v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    append_histogram_json(out, h);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Registry::to_table() const {
+  std::string out;
+  char buf[192];
+  for (const auto& [name, v] : counters_) {
+    if (v == 0) continue;
+    std::snprintf(buf, sizeof(buf), "%-48s %20" PRIu64 "\n", name.c_str(), v);
+    out += buf;
+  }
+  for (const auto& [name, v] : gauges_) {
+    if (v == 0.0) continue;
+    std::snprintf(buf, sizeof(buf), "%-48s %20.3f\n", name.c_str(), v);
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (h.count == 0) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "%-48s count=%-10" PRIu64 " mean=%-12.1f min=%-10" PRIu64 " max=%" PRIu64
+                  "\n",
+                  name.c_str(), h.count,
+                  static_cast<double>(h.sum) / static_cast<double>(h.count), h.min, h.max);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace nvmeshare::obs

@@ -1,0 +1,142 @@
+// Metrics registry: named counters, gauges, and log-bucketed latency
+// histograms with a process-global registry.
+//
+// Every metric instance (a Counter member inside a Client, say) keeps a
+// per-instance value *and* bumps a registry-owned aggregate cell shared by
+// all instances registered under the same name. Tests keep their familiar
+// per-object `stats().reads == 2` reads; benches and tools snapshot the
+// registry for a cluster-wide, machine-readable view.
+//
+// Naming convention: `nvmeshare.<component>.<name>`, all lowercase,
+// dot-separated (see docs/observability.md).
+//
+// Snapshots are deterministic: metrics are stored sorted by name and
+// rendered with fixed formatting, so identical seeds produce byte-identical
+// JSON — the property CI uses to diff perf trajectories.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace nvmeshare::obs {
+
+class Registry;
+
+/// Shared storage for one log2-bucketed histogram. Bucket i counts samples
+/// whose bit width is i, i.e. bucket 0 holds the value 0, bucket i>0 holds
+/// [2^(i-1), 2^i).
+struct HistogramCell {
+  static constexpr int kBuckets = 64;
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+
+  void record(std::uint64_t v) noexcept;
+  /// Inclusive lower bound of bucket `i`.
+  static std::uint64_t bucket_floor(int i) noexcept;
+  /// Exclusive upper bound of bucket `i` (0 for the open-ended last bucket).
+  static std::uint64_t bucket_ceiling(int i) noexcept;
+  /// Index of the bucket `v` lands in.
+  static int bucket_index(std::uint64_t v) noexcept;
+};
+
+/// Monotonic counter. Default-constructed counters are unregistered (local
+/// only); named counters also feed the registry aggregate.
+class Counter {
+ public:
+  Counter() = default;
+  explicit Counter(std::string_view name);
+  Counter(Registry& registry, std::string_view name);
+
+  Counter& operator++() noexcept {
+    ++local_;
+    if (cell_ != nullptr) ++*cell_;
+    return *this;
+  }
+  Counter& operator+=(std::uint64_t n) noexcept {
+    local_ += n;
+    if (cell_ != nullptr) *cell_ += n;
+    return *this;
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return local_; }
+  operator std::uint64_t() const noexcept { return local_; }  // NOLINT(google-explicit-constructor)
+
+ private:
+  std::uint64_t local_ = 0;
+  std::uint64_t* cell_ = nullptr;  // registry aggregate; stable (map node)
+};
+
+/// Last-writer-wins instantaneous value.
+class Gauge {
+ public:
+  Gauge() = default;
+  explicit Gauge(std::string_view name);
+  Gauge(Registry& registry, std::string_view name);
+
+  void set(double v) noexcept {
+    local_ = v;
+    if (cell_ != nullptr) *cell_ = v;
+  }
+  void add(double d) noexcept { set(local_ + d); }
+  [[nodiscard]] double value() const noexcept { return local_; }
+
+ private:
+  double local_ = 0;
+  double* cell_ = nullptr;
+};
+
+/// Log-bucketed histogram handle; records go to the shared registry cell.
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(std::string_view name);
+  Histogram(Registry& registry, std::string_view name);
+
+  void record(std::uint64_t v) noexcept {
+    if (cell_ != nullptr) cell_->record(v);
+  }
+  [[nodiscard]] const HistogramCell* cell() const noexcept { return cell_; }
+
+ private:
+  HistogramCell* cell_ = nullptr;
+};
+
+/// Name -> value store. `global()` is the default instance every metric
+/// registers into; separate registries exist for tests.
+class Registry {
+ public:
+  static Registry& global();
+
+  /// Look up (or create) the aggregate cell for `name`. Addresses are
+  /// stable for the registry's lifetime.
+  std::uint64_t* counter_cell(std::string_view name);
+  double* gauge_cell(std::string_view name);
+  HistogramCell* histogram_cell(std::string_view name);
+
+  /// Zero every value, keeping registrations (benches call this between
+  /// scenarios so each snapshot covers exactly one run).
+  void reset_values() noexcept;
+
+  /// Deterministic JSON object: {"counters":{...},"gauges":{...},
+  /// "histograms":{...}} with names sorted lexicographically.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Human-readable fixed-width table of all non-zero metrics.
+  [[nodiscard]] std::string to_table() const;
+
+  [[nodiscard]] std::size_t metric_count() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, HistogramCell, std::less<>> histograms_;
+};
+
+}  // namespace nvmeshare::obs

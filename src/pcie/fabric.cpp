@@ -17,6 +17,14 @@ std::uint64_t pow2_ceil(std::uint64_t v) {
 }
 }  // namespace
 
+Fabric::Stats::Stats()
+    : posted_writes("nvmeshare.fabric.posted_writes"),
+      reads("nvmeshare.fabric.reads"),
+      bytes_written("nvmeshare.fabric.bytes_written"),
+      bytes_read("nvmeshare.fabric.bytes_read"),
+      unsupported_requests("nvmeshare.fabric.unsupported_requests"),
+      ntb_translations("nvmeshare.fabric.ntb_translations") {}
+
 Fabric::Fabric(sim::Engine& engine, LatencyModel model) : engine_(engine), model_(model) {}
 
 HostId Fabric::add_host(std::string name, std::uint64_t dram_size) {

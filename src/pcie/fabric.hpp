@@ -22,6 +22,7 @@
 #include "common/status.hpp"
 #include "mem/allocator.hpp"
 #include "mem/phys_mem.hpp"
+#include "obs/metrics.hpp"
 #include "pcie/endpoint.hpp"
 #include "pcie/latency.hpp"
 #include "pcie/topology.hpp"
@@ -153,13 +154,15 @@ class Fabric {
 
   // --- stats ------------------------------------------------------------------
 
+  /// Fabric-wide counters, also registered as `nvmeshare.fabric.*`.
   struct Stats {
-    std::uint64_t posted_writes = 0;
-    std::uint64_t reads = 0;
-    std::uint64_t bytes_written = 0;
-    std::uint64_t bytes_read = 0;
-    std::uint64_t unsupported_requests = 0;  ///< accesses that resolved nowhere
-    std::uint64_t ntb_translations = 0;
+    Stats();
+    obs::Counter posted_writes;
+    obs::Counter reads;
+    obs::Counter bytes_written;
+    obs::Counter bytes_read;
+    obs::Counter unsupported_requests;  ///< accesses that resolved nowhere
+    obs::Counter ntb_translations;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

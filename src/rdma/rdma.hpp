@@ -143,13 +143,15 @@ class Network {
   std::pair<QueuePair*, QueuePair*> create_qp_pair(Context& a, CompletionQueue& cq_a,
                                                    Context& b, CompletionQueue& cq_b);
 
+  /// Network-wide counters, also registered as `nvmeshare.rdma.*`.
   struct Stats {
-    std::uint64_t sends = 0;
-    std::uint64_t rdma_writes = 0;
-    std::uint64_t rdma_reads = 0;
-    std::uint64_t bytes_moved = 0;
-    std::uint64_t rnr_drops = 0;  ///< SENDs that found no posted RECV
-    std::uint64_t protection_errors = 0;
+    Stats();
+    obs::Counter sends;
+    obs::Counter rdma_writes;
+    obs::Counter rdma_reads;
+    obs::Counter bytes_moved;
+    obs::Counter rnr_drops;  ///< SENDs that found no posted RECV
+    obs::Counter protection_errors;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

@@ -1,0 +1,519 @@
+// Tests for the observability subsystem: metrics registry (counters,
+// gauges, log2 histograms, deterministic snapshots), span tracer (trace
+// lifecycle, ring bounds, (qid,cid) correlation, Chrome export), the log
+// flight recorder, the dangling-else-proof NVS_LOG macro, and an end-to-end
+// check that a driver read emits the documented phase sequence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+#include "common/stats.hpp"
+#include "nvmeof/initiator.hpp"
+#include "nvmeof/target.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "test_util.hpp"
+
+namespace nvmeshare::obs {
+namespace {
+
+using namespace testutil;
+
+// --- histogram buckets --------------------------------------------------------
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0 holds exactly the value 0; bucket i>0 holds [2^(i-1), 2^i).
+  EXPECT_EQ(HistogramCell::bucket_index(0), 0);
+  EXPECT_EQ(HistogramCell::bucket_index(1), 1);
+  EXPECT_EQ(HistogramCell::bucket_index(2), 2);
+  EXPECT_EQ(HistogramCell::bucket_index(3), 2);
+  EXPECT_EQ(HistogramCell::bucket_index(4), 3);
+  EXPECT_EQ(HistogramCell::bucket_index(1023), 10);
+  EXPECT_EQ(HistogramCell::bucket_index(1024), 11);
+  EXPECT_EQ(HistogramCell::bucket_index(~0ull), HistogramCell::kBuckets - 1);
+
+  for (int i = 1; i < HistogramCell::kBuckets; ++i) {
+    const std::uint64_t floor = HistogramCell::bucket_floor(i);
+    EXPECT_EQ(HistogramCell::bucket_index(floor), i) << "floor of bucket " << i;
+    if (i >= 2) {
+      EXPECT_EQ(HistogramCell::bucket_index(floor - 1), i - 1)
+          << "value below floor of bucket " << i;
+    }
+    const std::uint64_t ceiling = HistogramCell::bucket_ceiling(i);
+    if (ceiling != 0) {  // 0 = open-ended last bucket
+      EXPECT_EQ(HistogramCell::bucket_index(ceiling - 1), i) << "last value of bucket " << i;
+      EXPECT_EQ(ceiling, HistogramCell::bucket_floor(i + 1));
+    }
+  }
+}
+
+TEST(Histogram, RecordTracksCountSumMinMax) {
+  HistogramCell cell;
+  cell.record(7);
+  cell.record(100);
+  cell.record(3);
+  EXPECT_EQ(cell.count, 3u);
+  EXPECT_EQ(cell.sum, 110u);
+  EXPECT_EQ(cell.min, 3u);
+  EXPECT_EQ(cell.max, 100u);
+  EXPECT_EQ(cell.buckets[HistogramCell::bucket_index(7)], 1u);
+  EXPECT_EQ(cell.buckets[HistogramCell::bucket_index(100)], 1u);
+}
+
+// --- registry -----------------------------------------------------------------
+
+TEST(Registry, InstancesAggregateIntoSharedCell) {
+  Registry reg;
+  Counter a(reg, "nvmeshare.test.hits");
+  Counter b(reg, "nvmeshare.test.hits");
+  ++a;
+  ++a;
+  b += 5;
+  // Per-instance views stay distinct; the registry cell is the sum.
+  EXPECT_EQ(a.value(), 2u);
+  EXPECT_EQ(b.value(), 5u);
+  EXPECT_EQ(*reg.counter_cell("nvmeshare.test.hits"), 7u);
+  EXPECT_EQ(reg.metric_count(), 1u);
+}
+
+TEST(Registry, GaugeAndHistogramRegister) {
+  Registry reg;
+  Gauge g(reg, "nvmeshare.test.depth");
+  g.set(3.5);
+  g.add(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 4.5);
+  EXPECT_DOUBLE_EQ(*reg.gauge_cell("nvmeshare.test.depth"), 4.5);
+
+  Histogram h(reg, "nvmeshare.test.lat_ns");
+  h.record(1000);
+  EXPECT_EQ(reg.histogram_cell("nvmeshare.test.lat_ns")->count, 1u);
+}
+
+TEST(Registry, JsonIsValidAndSorted) {
+  Registry reg;
+  Counter z(reg, "nvmeshare.test.zebra");
+  Counter a(reg, "nvmeshare.test.aardvark");
+  ++z;
+  ++a;
+  Histogram h(reg, "nvmeshare.test.hist");
+  h.record(42);
+  const std::string doc = reg.to_json();
+  EXPECT_TRUE(json::valid(doc)) << doc;
+  EXPECT_LT(doc.find("aardvark"), doc.find("zebra"));
+  EXPECT_NE(reg.to_table().find("nvmeshare.test.hist"), std::string::npos);
+}
+
+TEST(Registry, ResetValuesKeepsRegistrations) {
+  Registry reg;
+  Counter c(reg, "nvmeshare.test.n");
+  ++c;
+  reg.reset_values();
+  EXPECT_EQ(*reg.counter_cell("nvmeshare.test.n"), 0u);
+  EXPECT_EQ(reg.metric_count(), 1u);
+  // The instance handle still feeds the (zeroed) cell.
+  ++c;
+  EXPECT_EQ(*reg.counter_cell("nvmeshare.test.n"), 1u);
+}
+
+// Identical seeds must produce byte-identical global snapshots: the
+// property CI uses to diff perf trajectories across commits.
+TEST(Registry, SnapshotDeterministicAcrossIdenticalRuns) {
+  auto one_run = []() -> std::string {
+    Registry::global().reset_values();
+    Testbed tb(small_testbed(2));
+    auto stack = bring_up(tb, 0, 1);
+    EXPECT_TRUE(stack.has_value());
+    workload::JobSpec spec;
+    spec.pattern = workload::JobSpec::Pattern::randrw;
+    spec.ops = 200;
+    spec.seed = 99;
+    auto result = workload::run_job_blocking(tb.cluster(), *stack->client, 1, spec);
+    EXPECT_TRUE(result.has_value());
+    return Registry::global().to_json();
+  };
+  const std::string first = one_run();
+  const std::string second = one_run();
+  EXPECT_TRUE(json::valid(first));
+  EXPECT_EQ(first, second) << "same seed, different metrics snapshot";
+  EXPECT_NE(first.find("nvmeshare.client.reads"), std::string::npos);
+  EXPECT_NE(first.find("nvmeshare.controller.io_reads"), std::string::npos);
+  EXPECT_NE(first.find("nvmeshare.client.read_latency_ns"), std::string::npos);
+}
+
+// --- tracer -------------------------------------------------------------------
+
+TEST(Tracer, DisabledTracerIsInert) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  EXPECT_EQ(t.begin_trace(Kind::read, 100), 0u);
+  t.record(0, Track::client, Phase::submit, 0, 10);  // id 0 = no-op
+  t.end_trace(0, 200);
+  EXPECT_TRUE(t.snapshot().empty());
+}
+
+TEST(Tracer, SpanLifecycle) {
+  Tracer t;
+  t.enable(64);
+  const std::uint64_t id = t.begin_trace(Kind::write, 1000);
+  ASSERT_NE(id, 0u);
+  t.record(id, Track::client, Phase::submit, 1000, 1400);
+  t.record(id, Track::controller, Phase::media, 1400, 1900);
+  t.end_trace(id, 2000);
+
+  const auto spans = t.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].phase, Phase::submit);
+  EXPECT_EQ(spans[0].duration(), 400);
+  EXPECT_EQ(spans[0].kind, Kind::write);  // kind stamped while the trace is open
+  EXPECT_EQ(spans[1].track, Track::controller);
+  EXPECT_EQ(spans[2].phase, Phase::request);
+  EXPECT_EQ(spans[2].begin, 1000);
+  EXPECT_EQ(spans[2].end, 2000);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, ConcurrentTracesKeepTheirKinds) {
+  Tracer t;
+  t.enable(64);
+  const std::uint64_t r = t.begin_trace(Kind::read, 0);
+  const std::uint64_t w = t.begin_trace(Kind::write, 0);
+  EXPECT_NE(r, w);
+  t.record(w, Track::client, Phase::submit, 0, 1);
+  t.record(r, Track::client, Phase::submit, 0, 2);
+  t.end_trace(w, 10);
+  t.end_trace(r, 20);
+  const auto spans = t.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].kind, Kind::write);
+  EXPECT_EQ(spans[1].kind, Kind::read);
+}
+
+TEST(Tracer, RingOverwritesOldestAndCountsDrops) {
+  Tracer t;
+  t.enable(4);
+  const std::uint64_t id = t.begin_trace(Kind::read, 0);
+  for (int i = 0; i < 10; ++i) {
+    t.record(id, Track::client, Phase::other, i, i + 1);
+  }
+  const auto spans = t.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  // Oldest first, and only the newest four survive.
+  EXPECT_EQ(spans.front().begin, 6);
+  EXPECT_EQ(spans.back().begin, 9);
+}
+
+TEST(Tracer, BindLookupUnbind) {
+  Tracer t;
+  t.enable(16);
+  const std::uint64_t id = t.begin_trace(Kind::read, 0);
+  t.bind(3, 17, id);
+  EXPECT_EQ(t.lookup(3, 17), id);
+  EXPECT_EQ(t.lookup(3, 18), 0u);
+  EXPECT_EQ(t.lookup(4, 17), 0u);
+  t.unbind(3, 17);
+  EXPECT_EQ(t.lookup(3, 17), 0u);
+}
+
+TEST(Tracer, ClearDropsRecordsKeepsEnabled) {
+  Tracer t;
+  t.enable(16);
+  const std::uint64_t id = t.begin_trace(Kind::read, 0);
+  t.record(id, Track::client, Phase::submit, 0, 1);
+  t.clear();
+  EXPECT_TRUE(t.enabled());
+  EXPECT_TRUE(t.snapshot().empty());
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, PhaseMarkerTilesTheTimeline) {
+  Tracer t;
+  t.enable(16);
+  const std::uint64_t id = t.begin_trace(Kind::read, 100);
+  PhaseMarker ph(t, id, Track::client, 100);
+  ph.mark(Phase::submit, 150);
+  ph.mark(Phase::doorbell, 170);
+  ph.mark(Phase::cq_wait, 400);
+  t.end_trace(id, 400);
+
+  const auto spans = t.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  sim::Duration sum = 0;
+  for (const auto& s : spans) {
+    if (s.phase != Phase::request) {
+      sum += s.duration();
+    } else {
+      EXPECT_EQ(s.duration(), 300);
+    }
+  }
+  EXPECT_EQ(sum, 300);  // phases partition [100, 400] exactly
+  // Adjacent spans share boundaries.
+  EXPECT_EQ(spans[0].end, spans[1].begin);
+  EXPECT_EQ(spans[1].end, spans[2].begin);
+}
+
+TEST(Tracer, ChromeTraceJsonIsValid) {
+  Tracer t;
+  t.enable(16);
+  const std::uint64_t id = t.begin_trace(Kind::read, 1234);
+  t.record(id, Track::client, Phase::submit, 1234, 2345, 1, 7);
+  t.record(id, Track::controller, Phase::media, 2400, 9000, 1, 7);
+  t.end_trace(id, 9500);
+  const std::string doc = t.chrome_trace_json();
+  EXPECT_TRUE(json::valid(doc)) << doc;
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("submit"), std::string::npos);
+  // Track names ride on thread_name metadata events.
+  EXPECT_NE(doc.find("thread_name"), std::string::npos);
+  EXPECT_NE(doc.find("controller"), std::string::npos);
+
+  Tracer empty;
+  empty.enable(4);
+  EXPECT_TRUE(json::valid(empty.chrome_trace_json()));
+}
+
+// --- driver integration -------------------------------------------------------
+
+// One remote read through the distributed driver must produce the
+// documented phase sequence on the client track, tile the request exactly,
+// and carry correlated controller-side spans.
+TEST(TracerIntegration, DriverReadEmitsPhaseSequence) {
+  Tracer& tracer = Tracer::global();
+  tracer.enable(1 << 10);
+  tracer.clear();
+
+  {
+    Testbed tb(small_testbed(2));
+    auto stack = bring_up(tb, 0, 1);
+    ASSERT_TRUE(stack.has_value()) << stack.status().to_string();
+    write_read_verify(tb, *stack->client, 1, /*lba=*/64, /*bytes=*/4096, /*seed=*/5);
+  }
+  tracer.disable();
+  const auto spans = tracer.snapshot();
+
+  // write_read_verify issues one write then one read; pick the read trace.
+  std::uint64_t read_trace = 0;
+  for (const auto& s : spans) {
+    if (s.phase == Phase::request && s.kind == Kind::read) read_trace = s.trace;
+  }
+  ASSERT_NE(read_trace, 0u) << "no read request span captured";
+
+  std::vector<Phase> client_phases;
+  sim::Duration client_sum = 0;
+  sim::Duration end_to_end = -1;
+  bool saw_controller_fetch = false;
+  bool saw_controller_dma = false;
+  for (const auto& s : spans) {
+    if (s.trace != read_trace) continue;
+    if (s.phase == Phase::request) {
+      end_to_end = s.duration();
+    } else if (s.track == Track::client) {
+      client_phases.push_back(s.phase);
+      client_sum += s.duration();
+    } else if (s.track == Track::controller) {
+      saw_controller_fetch |= s.phase == Phase::ctrl_fetch;
+      saw_controller_dma |= s.phase == Phase::data_dma;
+    }
+  }
+
+  const std::vector<Phase> want{Phase::submit,  Phase::sq_write,   Phase::doorbell,
+                                Phase::cq_wait, Phase::completion, Phase::bounce_copy};
+  EXPECT_EQ(client_phases, want);
+  EXPECT_GE(end_to_end, 0);
+  EXPECT_EQ(client_sum, end_to_end) << "client phases must tile the request";
+  EXPECT_TRUE(saw_controller_fetch) << "controller SQE fetch not attributed to the trace";
+  EXPECT_TRUE(saw_controller_dma) << "controller data DMA not attributed to the trace";
+  tracer.clear();
+}
+
+// NVMe-oF traces correlate across the wire via the pseudo-qid binding: the
+// initiator's client-track phases tile the request, and the target's
+// software spans attach to the same trace.
+TEST(TracerIntegration, NvmeofSpansCorrelate) {
+  Tracer& tracer = Tracer::global();
+  tracer.enable(1 << 10);
+  tracer.clear();
+
+  {
+    Testbed tb(small_testbed(2));
+    auto target = tb.wait(
+        nvmeof::Target::start(tb.cluster(), tb.nvme_endpoint(), tb.network(), {}));
+    ASSERT_TRUE(target.has_value()) << target.status().to_string();
+    auto initiator = tb.wait(
+        nvmeof::Initiator::connect(tb.cluster(), tb.network(), **target, 1, {}));
+    ASSERT_TRUE(initiator.has_value()) << initiator.status().to_string();
+    write_read_verify(tb, **initiator, 1, /*lba=*/8, /*bytes=*/4096, /*seed=*/11);
+  }
+  tracer.disable();
+  const auto spans = tracer.snapshot();
+
+  std::uint64_t read_trace = 0;
+  for (const auto& s : spans) {
+    if (s.phase == Phase::request && s.kind == Kind::read) read_trace = s.trace;
+  }
+  ASSERT_NE(read_trace, 0u);
+
+  std::vector<Phase> client_phases;
+  sim::Duration client_sum = 0;
+  sim::Duration end_to_end = -1;
+  bool target_media = false;
+  for (const auto& s : spans) {
+    if (s.trace != read_trace) continue;
+    if (s.phase == Phase::request) {
+      end_to_end = s.duration();
+    } else if (s.track == Track::client) {
+      client_phases.push_back(s.phase);
+      client_sum += s.duration();
+    } else if (s.track == Track::target) {
+      target_media |= s.phase == Phase::media;
+    }
+  }
+  const std::vector<Phase> want{Phase::submit, Phase::capsule_send, Phase::cq_wait,
+                                Phase::completion};
+  EXPECT_EQ(client_phases, want);
+  EXPECT_EQ(client_sum, end_to_end);
+  EXPECT_TRUE(target_media) << "target NVMe round trip not attributed to the trace";
+  tracer.clear();
+}
+
+// --- flight recorder ----------------------------------------------------------
+
+TEST(FlightRecorder, CapturesBelowPrintThreshold) {
+  // The harness (test_flight_recorder.cpp) keeps a recorder armed; park its
+  // state and use a private configuration for this test.
+  log::set_flight_recorder(8);
+  log::clear_flight_recorder();
+  const log::Level old = log::threshold();
+  log::set_threshold(log::Level::off);  // print nothing...
+  NVS_LOG(trace, "fdrtest") << "captured " << 1;
+  NVS_LOG(error, "fdrtest") << "captured " << 2;
+  log::set_threshold(old);
+
+  const auto lines = log::flight_recorder_lines();
+  ASSERT_EQ(lines.size(), 2u);  // ...but capture everything
+  EXPECT_NE(lines[0].find("captured 1"), std::string::npos);
+  EXPECT_NE(lines[1].find("captured 2"), std::string::npos);
+  EXPECT_NE(lines[0].find("fdrtest"), std::string::npos);
+  log::set_flight_recorder(256);  // restore the harness configuration
+}
+
+TEST(FlightRecorder, RingKeepsOnlyTheNewestLines) {
+  log::set_flight_recorder(3);
+  log::clear_flight_recorder();
+  const log::Level old = log::threshold();
+  log::set_threshold(log::Level::off);
+  for (int i = 0; i < 7; ++i) NVS_LOG(info, "fdrtest") << "line " << i;
+  log::set_threshold(old);
+
+  const auto lines = log::flight_recorder_lines();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("line 4"), std::string::npos);  // oldest survivor first
+  EXPECT_NE(lines[2].find("line 6"), std::string::npos);
+
+  log::clear_flight_recorder();
+  EXPECT_TRUE(log::flight_recorder_lines().empty());
+  EXPECT_TRUE(log::flight_recorder_enabled());
+  log::set_flight_recorder(256);
+}
+
+TEST(FlightRecorder, DisableStopsCapture) {
+  log::set_flight_recorder(4);
+  log::disable_flight_recorder();
+  EXPECT_FALSE(log::flight_recorder_enabled());
+  NVS_LOG(error, "fdrtest") << "not captured";
+  EXPECT_TRUE(log::flight_recorder_lines().empty());
+  log::set_flight_recorder(256);
+}
+
+// --- NVS_LOG macro hygiene ----------------------------------------------------
+
+TEST(LogMacro, SafeInUnbracedIfElse) {
+  // With the old `if/else` expansion the `else` below bound to the macro's
+  // internal else and this function returned the wrong value.
+  bool else_taken = false;
+  if (false)
+    NVS_LOG(info, "test") << "never";
+  else
+    else_taken = true;
+  EXPECT_TRUE(else_taken);
+
+  // And the then-branch must still evaluate/stream normally.
+  int evaluated = 0;
+  const log::Level old = log::threshold();
+  log::set_threshold(log::Level::error);
+  if (true)
+    NVS_LOG(error, "test") << "side effect " << ++evaluated;
+  else
+    ADD_FAILURE() << "else bound incorrectly";
+  log::set_threshold(old);
+  EXPECT_EQ(evaluated, 1);
+}
+
+TEST(LogMacro, DisabledLevelSkipsFormatting) {
+  const log::Level old = log::threshold();
+  log::disable_flight_recorder();
+  log::set_threshold(log::Level::off);
+  int evaluated = 0;
+  NVS_LOG(trace, "test") << "expensive " << ++evaluated;
+  EXPECT_EQ(evaluated, 0) << "operands of a disabled NVS_LOG must not evaluate";
+  log::set_threshold(old);
+  log::set_flight_recorder(256);
+}
+
+// --- LatencyRecorder hardening ------------------------------------------------
+
+TEST(LatencyRecorder, MergeFoldsDistributions) {
+  LatencyRecorder a;
+  LatencyRecorder b;
+  for (int i = 1; i <= 4; ++i) a.add(i * 100);
+  for (int i = 1; i <= 4; ++i) b.add(i * 1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_EQ(a.min(), 100);
+  EXPECT_EQ(a.max(), 4000);
+  EXPECT_EQ(b.count(), 4u);  // source untouched
+}
+
+TEST(LatencyRecorder, SelfMergeDoublesSamples) {
+  LatencyRecorder a;
+  a.add(10);
+  a.add(20);
+  a.merge(a);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 20);
+}
+
+TEST(LatencyRecorder, PercentileClampsP) {
+  LatencyRecorder a;
+  a.add(100);
+  a.add(200);
+  EXPECT_DOUBLE_EQ(a.percentile(-10), a.percentile(0));
+  EXPECT_DOUBLE_EQ(a.percentile(250), a.percentile(100));
+  EXPECT_DOUBLE_EQ(a.percentile(0), 100.0);
+  EXPECT_DOUBLE_EQ(a.percentile(100), 200.0);
+}
+
+// --- json validator -----------------------------------------------------------
+
+TEST(JsonValidator, AcceptsAndRejects) {
+  EXPECT_TRUE(json::valid("{}"));
+  EXPECT_TRUE(json::valid(R"({"a":[1,2.5,-3e2],"b":{"c":null,"d":true},"e":"x\nA"})"));
+  EXPECT_TRUE(json::valid("  [1, 2, 3]  "));
+  EXPECT_FALSE(json::valid(""));
+  EXPECT_FALSE(json::valid("{"));
+  EXPECT_FALSE(json::valid("{\"a\":}"));
+  EXPECT_FALSE(json::valid("[1,]"));
+  EXPECT_FALSE(json::valid("{} trailing"));
+  EXPECT_FALSE(json::valid("\"unterminated"));
+  EXPECT_FALSE(json::valid("{\"a\":01}"));
+  EXPECT_FALSE(json::valid("nul"));
+}
+
+}  // namespace
+}  // namespace nvmeshare::obs

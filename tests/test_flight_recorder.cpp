@@ -1,0 +1,33 @@
+// Compiled into every test executable (see CMakeLists.txt): keeps the log
+// flight recorder armed during each test and dumps the captured lines —
+// every level, not just what the threshold printed — when a test fails.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace {
+
+constexpr std::size_t kFlightLines = 256;
+
+class FlightRecorderListener : public ::testing::EmptyTestEventListener {
+  void OnTestStart(const ::testing::TestInfo& /*info*/) override {
+    nvmeshare::log::clear_flight_recorder();
+  }
+
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    if (!info.result()->Failed()) return;
+    std::fprintf(stderr, "[ flight ] %s.%s failed; last logged lines:\n",
+                 info.test_suite_name(), info.name());
+    nvmeshare::log::dump_flight_recorder(stderr);
+  }
+};
+
+const bool kInstalled = [] {
+  nvmeshare::log::set_flight_recorder(kFlightLines);
+  ::testing::UnitTest::GetInstance()->listeners().Append(new FlightRecorderListener);
+  return true;
+}();
+
+}  // namespace

@@ -1,10 +1,12 @@
 // nvsh_fio: command-line workload runner, the simulator's analog of the
 // paper's measurement tool (fio 3.28). Builds one of the four Figure 9
-// scenarios (or variants), runs a synthetic workload, and prints a summary
-// or a machine-readable JSON line.
+// scenarios (or variants), runs a synthetic workload, and prints a summary.
+// With --json it also writes the machine-readable bench document
+// ({bench, config, boxplots[], metrics{}}; "-" = stdout) with latency
+// boxplots and a full obs::Registry metrics snapshot.
 //
 //   nvsh_fio --scenario ours-remote --rw randread --bs 4096 --qd 1 --ops 20000
-//   nvsh_fio --scenario nvmeof-remote --rw randwrite --runtime-ms 50 --qd 8 --json
+//   nvsh_fio --scenario nvmeof-remote --rw randwrite --runtime-ms 50 --qd 8 --json -
 //   nvsh_fio --scenario ours-remote --sq-placement host --data-path iommu --verify
 #include <cstdio>
 #include <cstdlib>
@@ -29,7 +31,7 @@ struct Options {
   std::string sq_placement = "device";
   std::string data_path = "bounce";
   bool verify = false;
-  bool json = false;
+  std::string json_path;  ///< empty = no JSON document; "-" = stdout
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -47,7 +49,8 @@ struct Options {
       "  --sq-placement P  device | host (ours-* scenarios; Fig. 8 knob)\n"
       "  --data-path P     bounce | iommu (ours-* scenarios; Section V knob)\n"
       "  --verify          check read data against this run's writes\n"
-      "  --json            emit a single JSON result line\n",
+      "  --json PATH       write the bench document (boxplots + metrics snapshot)\n"
+      "                    to PATH; \"-\" = stdout\n",
       argv0);
   std::exit(2);
 }
@@ -82,7 +85,7 @@ Options parse(int argc, char** argv) {
     } else if (!std::strcmp(arg, "--verify")) {
       opt.verify = true;
     } else if (!std::strcmp(arg, "--json")) {
-      opt.json = true;
+      opt.json_path = need_value(i);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg);
       usage(argv[0]);
@@ -153,18 +156,8 @@ int main(int argc, char** argv) {
   const workload::JobResult result = run(scenario, build_spec(opt));
 
   const auto& lat = result.total_latency;
-  if (opt.json) {
-    std::printf(
-        "{\"scenario\":\"%s\",\"rw\":\"%s\",\"bs\":%u,\"qd\":%u,\"ops\":%llu,"
-        "\"errors\":%llu,\"verify_failures\":%llu,\"iops\":%.1f,\"mib_s\":%.2f,"
-        "\"lat_us\":{\"min\":%.3f,\"p50\":%.3f,\"p99\":%.3f,\"max\":%.3f,\"mean\":%.3f}}\n",
-        opt.scenario.c_str(), opt.rw.c_str(), opt.bs, opt.qd,
-        static_cast<unsigned long long>(result.ops_completed),
-        static_cast<unsigned long long>(result.errors),
-        static_cast<unsigned long long>(result.verify_failures), result.iops(),
-        result.throughput_mib_s(opt.bs), ns_to_us(lat.min()), lat.percentile(50) / 1000.0,
-        lat.percentile(99) / 1000.0, ns_to_us(lat.max()), lat.mean() / 1000.0);
-  } else {
+  const bool quiet = opt.json_path == "-";  // keep stdout parseable
+  if (!quiet) {
     std::printf("%s: %s bs=%u qd=%u\n", opt.scenario.c_str(), opt.rw.c_str(), opt.bs,
                 opt.qd);
     std::printf("  ops=%llu errors=%llu verify_failures=%llu\n",
@@ -177,5 +170,23 @@ int main(int argc, char** argv) {
                 ns_to_us(lat.min()), lat.percentile(50) / 1000.0, lat.percentile(99) / 1000.0,
                 ns_to_us(lat.max()), lat.mean() / 1000.0);
   }
-  return result.errors == 0 && result.verify_failures == 0 ? 0 : 1;
+  bool json_ok = true;
+  if (!opt.json_path.empty()) {
+    std::vector<BoxSummary> boxes;
+    if (result.read_latency.count() != 0) {
+      boxes.push_back(BoxSummary::from(opt.scenario + "/read", result.read_latency));
+    }
+    if (result.write_latency.count() != 0) {
+      boxes.push_back(BoxSummary::from(opt.scenario + "/write", result.write_latency));
+    }
+    boxes.push_back(BoxSummary::from(opt.scenario + "/total", result.total_latency));
+    BenchConfig config{{"scenario", opt.scenario},
+                       {"rw", opt.rw},
+                       {"bs", std::to_string(opt.bs)},
+                       {"qd", std::to_string(opt.qd)},
+                       {"ops", std::to_string(result.ops_completed)},
+                       {"seed", std::to_string(opt.seed)}};
+    json_ok = write_bench_json(opt.json_path, bench_document("nvsh_fio", config, boxes));
+  }
+  return result.errors == 0 && result.verify_failures == 0 && json_ok ? 0 : 1;
 }
