@@ -67,7 +67,8 @@ inline Scenario make_linux_local(TestbedConfig cfg = default_bench_testbed(1)) {
 
 /// Figure 9a right half: NVMe-oF over RDMA, SPDK-style target on the device
 /// host, kernel initiator on a second host.
-inline Scenario make_nvmeof_remote(TestbedConfig cfg = default_bench_testbed(2)) {
+inline Scenario make_nvmeof_remote(nvmeof::Initiator::Config init_cfg = {},
+                                   TestbedConfig cfg = default_bench_testbed(2)) {
   Scenario s;
   s.name = "nvmeof-remote";
   if (cfg.hosts < 2) cfg.hosts = 2;
@@ -77,7 +78,7 @@ inline Scenario make_nvmeof_remote(TestbedConfig cfg = default_bench_testbed(2))
   if (!target) die("nvmeof target bring-up", target.status());
   s.target = std::move(*target);
   auto initiator = s.testbed->wait(nvmeof::Initiator::connect(
-      s.testbed->cluster(), s.testbed->network(), *s.target, 1, {}));
+      s.testbed->cluster(), s.testbed->network(), *s.target, 1, init_cfg));
   if (!initiator) die("nvmeof initiator connect", initiator.status());
   s.initiator = std::move(*initiator);
   s.device = s.initiator.get();
@@ -88,13 +89,14 @@ inline Scenario make_nvmeof_remote(TestbedConfig cfg = default_bench_testbed(2))
 /// Figure 9b left half: our distributed driver, manager and client on the
 /// device's own host.
 inline Scenario make_ours_local(driver::Client::Config client_cfg = {},
+                                driver::Manager::Config mgr_cfg = {},
                                 TestbedConfig cfg = default_bench_testbed(1)) {
   Scenario s;
   s.name = "ours-local";
   cfg.hosts = 1;
   s.testbed = std::make_unique<Testbed>(cfg);
   auto mgr = s.testbed->wait(
-      driver::Manager::start(s.testbed->service(), 0, s.testbed->device_id(), {}));
+      driver::Manager::start(s.testbed->service(), 0, s.testbed->device_id(), mgr_cfg));
   if (!mgr) die("ours-local manager", mgr.status());
   s.manager = std::move(*mgr);
   auto client = s.testbed->wait(
@@ -109,13 +111,14 @@ inline Scenario make_ours_local(driver::Client::Config client_cfg = {},
 /// Figure 9b right half: our distributed driver with the client on a remote
 /// host reached through Dolphin-style NTB adapters and a cluster switch.
 inline Scenario make_ours_remote(driver::Client::Config client_cfg = {},
+                                 driver::Manager::Config mgr_cfg = {},
                                  TestbedConfig cfg = default_bench_testbed(2)) {
   Scenario s;
   s.name = "ours-remote";
   if (cfg.hosts < 2) cfg.hosts = 2;
   s.testbed = std::make_unique<Testbed>(cfg);
   auto mgr = s.testbed->wait(
-      driver::Manager::start(s.testbed->service(), 0, s.testbed->device_id(), {}));
+      driver::Manager::start(s.testbed->service(), 0, s.testbed->device_id(), mgr_cfg));
   if (!mgr) die("ours-remote manager", mgr.status());
   s.manager = std::move(*mgr);
   auto client = s.testbed->wait(
@@ -127,13 +130,16 @@ inline Scenario make_ours_remote(driver::Client::Config client_cfg = {},
   return s;
 }
 
-/// Run one FIO-style job on a scenario and return the result.
-inline workload::JobResult run(Scenario& s, workload::JobSpec spec) {
+/// Run one FIO-style job on a scenario and return the result. With
+/// `tolerate_errors` (fault-injection runs), I/O errors are reported in the
+/// result instead of aborting the process.
+inline workload::JobResult run(Scenario& s, workload::JobSpec spec,
+                               bool tolerate_errors = false) {
   spec.name = s.name;
   auto result = workload::run_job_blocking(s.testbed->cluster(), *s.device, s.workload_node,
                                            spec);
   if (!result) die("job on " + s.name, result.status());
-  if (result->errors != 0) {
+  if (!tolerate_errors && result->errors != 0) {
     std::fprintf(stderr, "FATAL: %s completed with %llu I/O errors\n", s.name.c_str(),
                  static_cast<unsigned long long>(result->errors));
     std::exit(1);

@@ -29,7 +29,7 @@ int main() {
     TestbedConfig cfg;
     cfg.hosts = 1;
     cfg.local_switch_chips = chips;
-    Scenario s = make_ours_local({}, cfg);
+    Scenario s = make_ours_local({}, {}, cfg);
     auto read_result = run(s, fio_qd1(true, kOps));
     auto write_result = run(s, fio_qd1(false, kOps));
     rows.push_back(Row{chips, read_result.read_latency.percentile(50) / 1000.0,

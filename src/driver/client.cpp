@@ -1,8 +1,10 @@
 #include "driver/client.hpp"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "common/log.hpp"
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 
 namespace nvmeshare::driver {
@@ -18,7 +20,12 @@ Client::Stats::Stats()
       bounce_copies("nvmeshare.client.bounce_copies"),
       bounce_copy_bytes("nvmeshare.client.bounce_copy_bytes"),
       iommu_maps("nvmeshare.client.iommu_maps"),
-      poll_rounds("nvmeshare.client.poll_rounds") {}
+      poll_rounds("nvmeshare.client.poll_rounds"),
+      cmd_timeouts("nvmeshare.client.cmd_timeouts"),
+      cmd_retries("nvmeshare.client.cmd_retries"),
+      qp_recoveries("nvmeshare.client.qp_recoveries"),
+      late_completions("nvmeshare.client.late_completions"),
+      heartbeats("nvmeshare.client.heartbeats") {}
 
 namespace {
 obs::Kind trace_kind(block::Op op) {
@@ -36,6 +43,33 @@ obs::Kind trace_kind(block::Op op) {
 namespace {
 constexpr sim::Duration kAcquireRetryNs = 50'000;
 constexpr int kAcquireRetryLimit = 200;
+
+// Recovery plumbing. A timed-out command is resolved with a sentinel CQE
+// carrying an impossible submission-queue id (the controller always echoes
+// the real sqid), which the io_task distinguishes from a genuine completion.
+constexpr std::uint16_t kTimeoutSqid = 0xffff;
+constexpr int kRecoverRetryLimit = 8;
+/// Settle time between tearing the old queue pair down and zeroing its
+/// memory, so a straggling CQE DMA cannot land in the rebuilt ring.
+constexpr sim::Duration kRecoverDrainNs = 100'000;
+
+CompletionEntry timeout_sentinel() {
+  CompletionEntry e;
+  e.sqid = kTimeoutSqid;
+  return e;
+}
+
+bool is_timeout(const CompletionEntry& e) { return e.sqid == kTimeoutSqid; }
+
+/// Transient controller statuses worth a retry; everything else (invalid
+/// field, LBA out of range, ...) is deterministic and reported immediately.
+bool retryable_status(const CompletionEntry& e) {
+  return e.status() == nvme::kScInternalError || e.status() == nvme::kScDataTransferError;
+}
+
+sim::Duration backoff_ns(sim::Duration base, std::uint32_t attempt) {
+  return base << std::min<std::uint32_t>(attempt > 0 ? attempt - 1 : 0, 10);
+}
 
 /// Per-client, per-purpose segment ids: (node, purpose) must be unique even
 /// when hinted allocation places several clients' segments on the same
@@ -59,6 +93,7 @@ Client::Client(smartio::Service& service, smartio::NodeId node, smartio::DeviceI
 Client::~Client() {
   *stop_ = true;
   if (poller_kick_) poller_kick_->set();  // let an idle poller observe the stop and exit
+  if (crash_token_ != 0) fault::Injector::global().unregister_crash_handler(crash_token_);
 }
 
 sim::Engine& Client::engine() { return service_.cluster().engine(); }
@@ -308,8 +343,16 @@ sim::Task Client::init_task(std::unique_ptr<Client> self,
     c.free_slots_[i] = c.cfg_.queue_depth - 1 - i;
   }
   c.name_ = "nvsh-n" + std::to_string(c.node_) + "-q" + std::to_string(c.qid_);
+  c.recovered_ = std::make_unique<sim::Event>(engine);
+  c.recovered_->set();  // no recovery in progress
   c.attached_ = true;
   c.poller(c.stop_);
+  if (c.cfg_.heartbeat_interval_ns > 0) c.heartbeat_task(c.stop_);
+  if (fault::enabled()) {
+    Client* raw = self.get();
+    c.crash_token_ = fault::Injector::global().register_crash_handler(
+        c.node_, [raw]() { raw->crash(); });
+  }
 
   NVS_LOG(info, "client") << c.name_ << " attached (sq "
                           << (c.cfg_.sq_placement == SqPlacement::device_side ? "device-side"
@@ -572,40 +615,108 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
       ++stats_.writes;
       break;
   }
-  auto cid = qp_->push(sqe);
-  if (!cid) {
-    if (iommu_mapped) (void)iommu_.unmap(align_down(request.buffer_addr, nvme::kPageSize));
-    release_slot();
-    finish(cid.status());
-    co_return;
-  }
-  // The SQE store is a posted write (no simulated CPU stall), so this span
-  // has zero duration — it exists to anchor the phase in the sequence and
-  // to carry the (qid, cid) the controller spans correlate on.
-  ph.mark(obs::Phase::sq_write, eng.now(), qid_, *cid);
-  tracer.bind(qid_, *cid, trace);
-  auto [it, inserted] = pending_.emplace(*cid, sim::Promise<CompletionEntry>(eng));
-  (void)inserted;
-  auto cqe_future = it->second.future();
-  poller_kick_->set();  // completions are coming: wake the idle poller
+  // Submission and completion wait. With cmd_timeout_ns configured, each
+  // attempt is bounded by a deadline and retried with exponential backoff;
+  // once the retry budget is spent the queue pair itself is suspect (a lost
+  // CQE leaves a permanent phase hole) and is re-created once.
+  CompletionEntry cqe;
+  std::uint32_t attempt = 0;
+  bool recovered_once = false;
+  for (;;) {
+    if (recovering_) {
+      // A queue-pair rebuild is in flight; wait for the fresh rings.
+      (void)co_await recovered_->wait();
+    }
+    if (*stop || crashed_) {
+      release_slot();
+      finish(Status(Errc::aborted, "client detached"));
+      co_return;
+    }
+    auto cid = qp_->push(sqe);
+    if (!cid) {
+      // Push fails when the SQ memory is unreachable (NTB link down) or the
+      // ring is full of timed-out entries; both deserve a bounded retry.
+      if (cfg_.cmd_timeout_ns == 0 || attempt >= cfg_.cmd_retry_limit) {
+        if (iommu_mapped) (void)iommu_.unmap(align_down(request.buffer_addr, nvme::kPageSize));
+        release_slot();
+        finish(cid.status());
+        co_return;
+      }
+      ++attempt;
+      ++stats_.cmd_retries;
+      co_await sim::delay(eng, backoff_ns(cfg_.retry_backoff_ns, attempt));
+      ph.mark(obs::Phase::recovery, eng.now(), qid_);
+      continue;
+    }
+    // The SQE store is a posted write (no simulated CPU stall), so this span
+    // has zero duration — it exists to anchor the phase in the sequence and
+    // to carry the (qid, cid) the controller spans correlate on.
+    ph.mark(obs::Phase::sq_write, eng.now(), qid_, *cid);
+    tracer.bind(qid_, *cid, trace);
+    const std::uint64_t seq = ++cmd_seq_;
+    auto [it, inserted] =
+        pending_.emplace(*cid, PendingCmd{sim::Promise<CompletionEntry>(eng), seq});
+    (void)inserted;
+    auto cqe_future = it->second.promise.future();
+    poller_kick_->set();  // completions are coming: wake the idle poller
 
-  co_await sim::delay(eng, cfg_.costs.doorbell_ns);
-  (void)qp_->ring_sq_doorbell();
-  ph.mark(obs::Phase::doorbell, eng.now(), qid_, *cid);
+    if (cfg_.cmd_timeout_ns > 0) {
+      // Deadline watchdog: resolves the wait with the sentinel unless the
+      // real completion (or a recovery sweep) got there first. `seq` guards
+      // against the cid having been reused by a later submission.
+      eng.after(cfg_.cmd_timeout_ns, [this, stop, cid = *cid, seq]() {
+        if (*stop) return;
+        auto p = pending_.find(cid);
+        if (p == pending_.end() || p->second.seq != seq) return;
+        auto promise = std::move(p->second.promise);
+        pending_.erase(p);
+        ++stats_.cmd_timeouts;
+        promise.set(timeout_sentinel());
+      });
+    }
 
-  // Wait for the poller to deliver our completion.
-  CompletionEntry cqe = co_await cqe_future;
-  ph.mark(obs::Phase::cq_wait, eng.now(), qid_, *cid);
-  tracer.unbind(qid_, *cid);
-  if (*stop) {
-    release_slot();
-    finish(Status(Errc::aborted, "client detached"));
-    co_return;
+    co_await sim::delay(eng, cfg_.costs.doorbell_ns);
+    (void)qp_->ring_sq_doorbell();  // may fail during an outage; the deadline covers it
+    ph.mark(obs::Phase::doorbell, eng.now(), qid_, *cid);
+
+    // Wait for the poller (or the watchdog) to deliver our completion.
+    cqe = co_await cqe_future;
+    ph.mark(obs::Phase::cq_wait, eng.now(), qid_, *cid);
+    tracer.unbind(qid_, *cid);
+    if (*stop || crashed_) {
+      release_slot();
+      finish(Status(Errc::aborted, "client detached"));
+      co_return;
+    }
+    if (!is_timeout(cqe) &&
+        !(cfg_.cmd_timeout_ns > 0 && !cqe.ok() && retryable_status(cqe))) {
+      break;  // genuine completion: success or a non-retryable error
+    }
+    ++attempt;
+    if (attempt <= cfg_.cmd_retry_limit) {
+      ++stats_.cmd_retries;
+      co_await sim::delay(eng, backoff_ns(cfg_.retry_backoff_ns, attempt));
+      ph.mark(obs::Phase::recovery, eng.now(), qid_);
+      continue;
+    }
+    // Retry budget spent. A command that keeps timing out means the queue
+    // pair is broken (lost CQE => permanent phase hole; controller reset =>
+    // rings deleted); rebuild it once, then run one fresh retry round.
+    if (recovered_once) {
+      if (iommu_mapped) (void)iommu_.unmap(align_down(request.buffer_addr, nvme::kPageSize));
+      release_slot();
+      finish(Status(Errc::timed_out, "command timed out after retries and queue recovery"));
+      co_return;
+    }
+    recovered_once = true;
+    attempt = 0;
+    start_recovery();
+    ph.mark(obs::Phase::recovery, eng.now(), qid_);
   }
 
   // Completion-path software cost.
   co_await sim::delay(eng, cfg_.costs.jittered(cfg_.costs.completion_ns, rng_));
-  ph.mark(obs::Phase::completion, eng.now(), qid_, *cid);
+  ph.mark(obs::Phase::completion, eng.now(), qid_, cqe.cid);
 
   Status status = Status::ok();
   if (!cqe.ok()) {
@@ -618,7 +729,7 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
     ++stats_.bounce_copies;
     stats_.bounce_copy_bytes += bytes;
     co_await sim::delay(eng, cfg_.costs.memcpy_ns(bytes));
-    ph.mark(obs::Phase::bounce_copy, eng.now(), qid_, *cid);
+    ph.mark(obs::Phase::bounce_copy, eng.now(), qid_, cqe.cid);
   }
 
   if (iommu_mapped) {
@@ -648,10 +759,13 @@ sim::Task Client::poller(std::shared_ptr<bool> stop) {
       delivered = true;
       auto it = pending_.find(cqe->cid);
       if (it != pending_.end()) {
-        auto promise = std::move(it->second);
+        auto promise = std::move(it->second.promise);
         pending_.erase(it);
         promise.set(*cqe);
       } else {
+        // Expected under fault injection: the command timed out and was
+        // retried, and this is the original submission completing late.
+        ++stats_.late_completions;
         NVS_LOG(warn, "client") << name_ << " completion for unknown cid " << cqe->cid;
       }
     }
@@ -659,6 +773,133 @@ sim::Task Client::poller(std::shared_ptr<bool> stop) {
     ++stats_.poll_rounds;
     co_await sim::delay(eng, cfg_.costs.poll_interval_ns);
     if (*stop) co_return;
+  }
+}
+
+// --- fault recovery -------------------------------------------------------------------
+
+void Client::fail_all_pending() {
+  // Swap first: promise.set() schedules resumptions that may submit again
+  // and re-populate pending_ while we iterate.
+  std::map<std::uint16_t, PendingCmd> doomed;
+  doomed.swap(pending_);
+  for (auto& [cid, cmd] : doomed) cmd.promise.set(timeout_sentinel());
+}
+
+void Client::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  attached_ = false;
+  *stop_ = true;
+  if (poller_kick_) poller_kick_->set();
+  // Resolve every in-flight wait so callers observe the death (as an
+  // `aborted` completion) instead of hanging the simulation. Nothing is
+  // released: the queue pair, NTB windows and segments stay allocated until
+  // the manager's reaper collects them — that is the point of the fault.
+  fail_all_pending();
+  NVS_LOG(warn, "client") << name_ << " crashed (fault injection)";
+}
+
+void Client::start_recovery() {
+  if (recovering_ || crashed_ || *stop_) return;
+  recovering_ = true;
+  recovered_->reset();
+  ++stats_.qp_recoveries;
+  recover_task(stop_);
+}
+
+// Queue-pair recovery: fail out in-flight commands, tear the old pair down
+// through the manager (best effort — after a controller reset the manager
+// already forgot it, after a manager crash nobody answers), then build a
+// fresh pair on the same queue memory and wake the waiting io_tasks.
+sim::Task Client::recover_task(std::shared_ptr<bool> stop) {
+  sim::Engine& eng = engine();
+  const sim::Time begin = eng.now();
+  const std::uint16_t old_qid = qid_;
+  NVS_LOG(warn, "client") << name_ << " recovering queue pair q" << old_qid;
+
+  fail_all_pending();
+
+  MboxSlot del;
+  del.op = static_cast<std::uint32_t>(MboxOp::delete_qp);
+  del.qid_in = old_qid;
+  (void)co_await mailbox_call(del);
+  if (*stop || crashed_) {
+    recovering_ = false;
+    recovered_->set();
+    co_return;
+  }
+
+  // Let straggling CQE DMAs land before the rings are zeroed; a stale entry
+  // written into the rebuilt ring could alias a valid phase bit.
+  co_await sim::delay(eng, kRecoverDrainNs);
+  (void)cq_seg_.write(0, Bytes(cq_seg_.size(), std::byte{0}));
+  (void)sq_seg_.write(0, Bytes(sq_seg_.size(), std::byte{0}));
+
+  // Same segments, same DMA windows, fresh queue id. Retry with backoff:
+  // right after a controller reset the manager may still be re-enabling.
+  MboxSlot req;
+  req.op = static_cast<std::uint32_t>(MboxOp::create_qp);
+  req.client_node = node_;
+  req.sq_device_addr = sq_win_.device_addr();
+  req.cq_device_addr = cq_win_.device_addr();
+  req.sq_size = cfg_.queue_entries;
+  req.cq_size = cfg_.queue_entries;
+  bool created = false;
+  for (int attempt = 0; attempt < kRecoverRetryLimit; ++attempt) {
+    auto resp = co_await mailbox_call(req);
+    if (*stop || crashed_) break;
+    if (resp && resp->status == static_cast<std::uint32_t>(Errc::ok)) {
+      qid_ = resp->qid_out;
+      created = true;
+      break;
+    }
+    co_await sim::delay(eng, backoff_ns(cfg_.retry_backoff_ns, static_cast<std::uint32_t>(attempt) + 1));
+    if (*stop || crashed_) break;
+  }
+  if (created) {
+    nvme::QueuePair::Config qc;
+    qc.qid = qid_;
+    qc.sq_size = cfg_.queue_entries;
+    qc.cq_size = cfg_.queue_entries;
+    qc.sq_write_addr = sq_cpu_map_.addr();
+    qc.cq_poll_addr = cq_seg_.phys_addr();
+    qc.sq_doorbell_addr = bar_.addr() + nvme::sq_doorbell_offset(qid_);
+    qc.cq_doorbell_addr = bar_.addr() + nvme::cq_doorbell_offset(qid_);
+    qc.cpu = fabric().cpu(node_);
+    qp_ = std::make_unique<nvme::QueuePair>(fabric(), qc);
+    name_ = "nvsh-n" + std::to_string(node_) + "-q" + std::to_string(qid_);
+    NVS_LOG(info, "client") << name_ << " recovered queue pair (q" << old_qid << " -> q"
+                            << qid_ << ") in " << (eng.now() - begin) << " ns";
+  } else {
+    NVS_LOG(error, "client") << name_ << " queue-pair recovery failed; pending commands "
+                             << "will exhaust their deadlines";
+  }
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    const std::uint64_t t = tracer.begin_trace(obs::Kind::other, begin);
+    tracer.record(t, obs::Track::client, obs::Phase::recovery, begin, eng.now(), qid_);
+    tracer.end_trace(t, eng.now());
+  }
+  recovering_ = false;
+  recovered_->set();
+}
+
+// Liveness heartbeat (docs/faults.md): a posted write of the local sim
+// clock into this node's mailbox slot. Lost beats (downed link) are fine —
+// the manager's reaper tolerates staleness up to its timeout.
+sim::Task Client::heartbeat_task(std::shared_ptr<bool> stop) {
+  sim::Engine& eng = engine();
+  pcie::Fabric& fab = fabric();
+  const pcie::Initiator cpu = fab.cpu(node_);
+  for (;;) {
+    co_await sim::delay(eng, cfg_.heartbeat_interval_ns);
+    if (*stop) co_return;
+    Bytes beat(8);
+    store_pod(beat, static_cast<std::uint64_t>(eng.now()));
+    (void)fab.post_write(cpu, mbox_addr_ + offsetof(MboxSlot, heartbeat_ns), std::move(beat));
+    ++stats_.heartbeats;
   }
 }
 

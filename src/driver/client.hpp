@@ -58,6 +58,18 @@ class Client final : public block::BlockDevice {
     CostModel costs = CostModel::distributed_driver();
     sim::Duration mailbox_poll_ns = 3000;
     sim::Duration mailbox_timeout_ns = 100_ms;
+    // --- fault recovery (docs/faults.md); all off by default so fault-free
+    // --- runs execute exactly the pre-recovery instruction stream ---------
+    /// Per-command deadline. 0 disables the watchdog and with it retries and
+    /// queue-pair recovery (commands then wait forever, the seed behavior).
+    sim::Duration cmd_timeout_ns = 0;
+    /// Submission attempts per command before queue-pair recovery is tried.
+    std::uint32_t cmd_retry_limit = 3;
+    /// Backoff before the first retry; doubles per subsequent attempt.
+    sim::Duration retry_backoff_ns = 100'000;
+    /// Cadence of the liveness heartbeat posted into this client's mailbox
+    /// slot (the manager's reaper watches it). 0 disables heartbeating.
+    sim::Duration heartbeat_interval_ns = 0;
     mem::Iommu::Config iommu = {};
     /// Disambiguates this client's segment ids when one node attaches to
     /// several devices (one client per device needs its own namespace).
@@ -90,6 +102,11 @@ class Client final : public block::BlockDevice {
   /// future resolves when the manager confirmed deletion.
   sim::Future<Status> detach();
 
+  /// Power off this instance instantly (fault injection): every task stops,
+  /// in-flight requests fail with `aborted`, and nothing is cleaned up —
+  /// the queue pair stays allocated until the manager's reaper collects it.
+  void crash();
+
   [[nodiscard]] std::uint16_t qid() const noexcept { return qid_; }
   [[nodiscard]] smartio::NodeId node() const noexcept { return node_; }
 
@@ -105,6 +122,11 @@ class Client final : public block::BlockDevice {
     obs::Counter bounce_copy_bytes;
     obs::Counter iommu_maps;
     obs::Counter poll_rounds;
+    obs::Counter cmd_timeouts;       ///< per-command deadlines that expired
+    obs::Counter cmd_retries;        ///< commands re-submitted after a timeout
+    obs::Counter qp_recoveries;      ///< queue-pair re-create cycles
+    obs::Counter late_completions;   ///< CQEs whose command already timed out
+    obs::Counter heartbeats;         ///< liveness beats posted to the mailbox
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -119,6 +141,12 @@ class Client final : public block::BlockDevice {
   sim::Task io_task(block::Request request, sim::Promise<block::Completion> promise);
   sim::Task poller(std::shared_ptr<bool> stop);
   sim::Task detach_task(sim::Promise<Status> promise);
+  /// Kick off queue-pair recovery if one is not already running.
+  void start_recovery();
+  sim::Task recover_task(std::shared_ptr<bool> stop);
+  sim::Task heartbeat_task(std::shared_ptr<bool> stop);
+  /// Resolve every in-flight command with the timeout sentinel.
+  void fail_all_pending();
 
   [[nodiscard]] sim::Engine& engine();
   [[nodiscard]] pcie::Fabric& fabric();
@@ -155,12 +183,24 @@ class Client final : public block::BlockDevice {
 
   std::unique_ptr<sim::Semaphore> slots_;
   std::vector<std::uint32_t> free_slots_;
-  std::map<std::uint16_t, sim::Promise<nvme::CompletionEntry>> pending_;
+  /// One in-flight command. `seq` disambiguates cid reuse: the deadline
+  /// callback only fires the timeout if the cid still belongs to the same
+  /// submission it was armed for.
+  struct PendingCmd {
+    sim::Promise<nvme::CompletionEntry> promise;
+    std::uint64_t seq = 0;
+  };
+  std::map<std::uint16_t, PendingCmd> pending_;
+  std::uint64_t cmd_seq_ = 0;
   std::unique_ptr<sim::Event> poller_kick_;  ///< wakes the idle poller on submit
   std::unique_ptr<sim::Semaphore> mailbox_lock_;
   mem::Iommu iommu_;
   std::shared_ptr<bool> stop_ = std::make_shared<bool>(false);
   bool attached_ = false;
+  bool crashed_ = false;
+  bool recovering_ = false;
+  std::unique_ptr<sim::Event> recovered_;  ///< set whenever no recovery runs
+  std::uint64_t crash_token_ = 0;          ///< fault-injector registration
   Stats stats_;
   obs::Histogram read_latency_hist_{"nvmeshare.client.read_latency_ns"};
   obs::Histogram write_latency_hist_{"nvmeshare.client.write_latency_ns"};

@@ -14,7 +14,9 @@
 namespace nvmeshare::driver {
 
 inline constexpr std::uint64_t kMetadataMagic = 0x31415445'4d53564eULL;  // "NVSMETA1"
-inline constexpr std::uint32_t kMetadataVersion = 1;
+// v2: MboxSlot grew the heartbeat_ns liveness field (carved from padding,
+// so the layout of everything v1 defined is unchanged).
+inline constexpr std::uint32_t kMetadataVersion = 2;
 
 /// Fixed header at offset 0 of the metadata segment.
 struct MetadataHeader {
@@ -69,7 +71,12 @@ struct MboxSlot {
   std::uint16_t qid_out = 0;
   std::uint16_t nvme_status = 0;  ///< raw NVMe status field when status != 0
 
-  std::uint8_t pad2[80] = {};  // round the slot to a cache-line multiple
+  /// Liveness: the client posts its sim-clock here every heartbeat
+  /// interval; the manager's reaper treats a stale value as a dead client
+  /// and deletes its orphaned queue pair. 0 = client never heartbeated.
+  std::uint64_t heartbeat_ns = 0;
+
+  std::uint8_t pad2[72] = {};  // round the slot to a cache-line multiple
 };
 static_assert(sizeof(MboxSlot) == 128);
 

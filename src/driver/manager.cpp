@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "fault/fault.hpp"
+#include "obs/trace.hpp"
 
 namespace nvmeshare::driver {
 
@@ -19,13 +21,18 @@ Manager::Stats::Stats()
     : mailbox_requests("nvmeshare.manager.mailbox_requests"),
       qps_created("nvmeshare.manager.qps_created"),
       qps_deleted("nvmeshare.manager.qps_deleted"),
-      request_errors("nvmeshare.manager.request_errors") {}
+      request_errors("nvmeshare.manager.request_errors"),
+      qps_reaped("nvmeshare.manager.qps_reaped"),
+      ctrl_resets("nvmeshare.manager.ctrl_resets") {}
 
 Manager::Manager(smartio::Service& service, smartio::NodeId node, smartio::DeviceId device,
                  Config cfg)
     : service_(service), node_(node), device_id_(device), cfg_(cfg) {}
 
-Manager::~Manager() { shutdown(); }
+Manager::~Manager() {
+  shutdown();
+  if (crash_token_ != 0) fault::Injector::global().unregister_crash_handler(crash_token_);
+}
 
 sim::Engine& Manager::engine() { return service_.cluster().engine(); }
 pcie::Fabric& Manager::fabric() { return service_.cluster().fabric(); }
@@ -39,6 +46,17 @@ void Manager::shutdown() {
   serving_ = false;
   *stop_ = true;
   (void)service_.clear_device_metadata(device_id_);
+}
+
+void Manager::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  serving_ = false;
+  *stop_ = true;
+  // Deliberately NO clear_device_metadata: a dead process cannot clean up
+  // after itself. The metadata segment survives in this host's DRAM, so
+  // clients find a mailbox that nobody answers — their calls time out.
+  NVS_LOG(warn, "manager") << "manager on node " << node_ << " crashed (fault injection)";
 }
 
 sim::Future<Result<std::unique_ptr<Manager>>> Manager::start(smartio::Service& service,
@@ -250,6 +268,7 @@ sim::Task Manager::init_task(std::unique_ptr<Manager> self,
   m.qid_used_.assign(granted + 1u, false);
   m.qid_used_[0] = true;  // admin
   m.qid_owner_.assign(granted + 1u, 0);
+  m.qid_created_at_.assign(granted + 1u, 0);
 
   if (Status st = m.service_.set_device_metadata(m.device_id_, m.node_,
                                                  m.cfg_.metadata_segment_id);
@@ -260,6 +279,13 @@ sim::Task Manager::init_task(std::unique_ptr<Manager> self,
 
   m.serving_ = true;
   m.mailbox_server(m.stop_);
+  if (m.cfg_.client_heartbeat_timeout_ns > 0) m.reaper_task(m.stop_);
+  if (m.cfg_.csts_poll_interval_ns > 0) m.watchdog_task(m.stop_);
+  if (fault::enabled()) {
+    Manager* raw = self.get();
+    m.crash_token_ = fault::Injector::global().register_crash_handler(
+        m.node_, [raw]() { raw->crash(); });
+  }
   NVS_LOG(info, "manager") << "serving device " << m.device_id_ << " from node " << m.node_
                            << " with " << granted << " IO queue pairs";
   promise.set(std::move(self));
@@ -398,6 +424,7 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
       }
       qid_used_[qid] = true;
       qid_owner_[qid] = slot.client_node;
+      qid_created_at_[qid] = engine().now();
       ++stats_.qps_created;
       NVS_LOG(info, "manager") << "created QP " << qid << " for node " << slot.client_node;
       respond(Errc::ok, qid, 0);
@@ -422,6 +449,7 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
       }
       qid_used_[qid] = false;
       qid_owner_[qid] = 0;
+      qid_created_at_[qid] = 0;
       ++stats_.qps_deleted;
       respond(Errc::ok, qid, 0);
       break;
@@ -431,6 +459,155 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
       break;
   }
   done.set(true);
+}
+
+// --- fault recovery -------------------------------------------------------------------
+
+// Orphaned-queue-pair reaper (docs/faults.md): a crashed client leaves its
+// queue pair allocated forever — it never sends delete_qp. Clients post a
+// liveness heartbeat into their mailbox slot; when a pair's owner has been
+// silent longer than the timeout (measured from its last beat, or from the
+// pair's creation as a grace period before the first beat), the manager
+// deletes the pair with the same admin commands a voluntary detach uses.
+sim::Task Manager::reaper_task(std::shared_ptr<bool> stop) {
+  sim::Engine& eng = engine();
+  for (;;) {
+    co_await sim::delay(eng, cfg_.reaper_interval_ns);
+    if (*stop) co_return;
+    for (std::uint16_t qid = 1; qid < qid_used_.size(); ++qid) {
+      if (!qid_used_[qid]) continue;
+      const std::uint32_t owner = qid_owner_[qid];
+      MboxSlot slot;
+      if (owner >= header_.mailbox_slots ||
+          !metadata_seg_.read(mbox_slot_offset(header_, owner), as_writable_bytes_of(slot))) {
+        continue;
+      }
+      const sim::Time last =
+          std::max(static_cast<sim::Time>(slot.heartbeat_ns), qid_created_at_[qid]);
+      if (eng.now() - last <= cfg_.client_heartbeat_timeout_ns) continue;
+      NVS_LOG(warn, "manager") << "reaping orphaned QP " << qid << ": node " << owner
+                               << " silent for " << (eng.now() - last) << " ns";
+      auto sq = co_await submit_admin(nvme::make_delete_io_sq(0, qid));
+      auto cq = co_await submit_admin(nvme::make_delete_io_cq(0, qid));
+      if (*stop) co_return;
+      if ((sq && sq->ok()) || (cq && cq->ok())) {
+        qid_used_[qid] = false;
+        qid_owner_[qid] = 0;
+        qid_created_at_[qid] = 0;
+        ++stats_.qps_reaped;
+      }
+    }
+  }
+}
+
+// CSTS watchdog (docs/faults.md): detects a fatal controller status (CFS)
+// and runs the full reset + re-init sequence. Every client queue pair dies
+// with the reset; the bookkeeping is cleared so clients can re-create their
+// pairs through the mailbox once their own deadlines notice the loss.
+sim::Task Manager::watchdog_task(std::shared_ptr<bool> stop) {
+  sim::Engine& eng = engine();
+  pcie::Fabric& fab = fabric();
+  const pcie::Initiator cpu = fab.cpu(node_);
+  auto write_reg32 = [&](std::uint64_t off, std::uint32_t v) {
+    Bytes b(4);
+    store_pod(b, v);
+    return fab.post_write(cpu, bar_.addr() + off, std::move(b)).status();
+  };
+  auto write_reg64 = [&](std::uint64_t off, std::uint64_t v) {
+    Bytes b(8);
+    store_pod(b, v);
+    return fab.post_write(cpu, bar_.addr() + off, std::move(b)).status();
+  };
+  for (;;) {
+    co_await sim::delay(eng, cfg_.csts_poll_interval_ns);
+    if (*stop) co_return;
+    auto csts = co_await fab.read(cpu, bar_.addr() + nvme::reg::kCsts, 4);
+    if (*stop) co_return;
+    if (!csts) continue;  // registers unreachable (link down); retry next tick
+    if ((load_pod<std::uint32_t>(*csts) & nvme::kCstsFatal) == 0) continue;
+
+    const sim::Time begin = eng.now();
+    NVS_LOG(warn, "manager") << "controller reports fatal status; resetting";
+    ++stats_.ctrl_resets;
+    // Serialize against in-flight admin commands; their deadlines release
+    // the lock even though the dead controller never answers them.
+    co_await admin_lock_->acquire();
+
+    // CC.EN=0 clears CFS and tears down every queue, then re-run the
+    // enable sequence on zeroed admin queue memory.
+    (void)write_reg32(nvme::reg::kCc, 0);
+    bool down = false;
+    for (int i = 0; i < kRegPollLimit; ++i) {
+      auto v = co_await fab.read(cpu, bar_.addr() + nvme::reg::kCsts, 4);
+      if (v && (load_pod<std::uint32_t>(*v) & nvme::kCstsReady) == 0) {
+        down = true;
+        break;
+      }
+      co_await sim::delay(eng, kRegPollNs);
+    }
+    (void)asq_seg_.write(0, Bytes(asq_seg_.size(), std::byte{0}));
+    (void)acq_seg_.write(0, Bytes(acq_seg_.size(), std::byte{0}));
+    const std::uint16_t entries = cfg_.admin_entries;
+    const std::uint32_t aqa = static_cast<std::uint32_t>(entries - 1) |
+                              (static_cast<std::uint32_t>(entries - 1) << 16);
+    (void)write_reg32(nvme::reg::kAqa, aqa);
+    (void)write_reg64(nvme::reg::kAsq, asq_win_.device_addr());
+    (void)write_reg64(nvme::reg::kAcq, acq_win_.device_addr());
+    (void)write_reg32(nvme::reg::kCc, nvme::kCcEnable);
+    bool ready = false;
+    for (int i = 0; i < kRegPollLimit; ++i) {
+      auto v = co_await fab.read(cpu, bar_.addr() + nvme::reg::kCsts, 4);
+      if (v && (load_pod<std::uint32_t>(*v) & nvme::kCstsReady) != 0) {
+        ready = true;
+        break;
+      }
+      co_await sim::delay(eng, kRegPollNs);
+    }
+    // The reset wiped the doorbell state; the QP wrapper must restart from
+    // index zero as well.
+    nvme::QueuePair::Config qc;
+    qc.qid = 0;
+    qc.sq_size = entries;
+    qc.cq_size = entries;
+    qc.sq_write_addr = asq_cpu_map_.addr();
+    qc.cq_poll_addr = acq_seg_.phys_addr();
+    qc.sq_doorbell_addr = bar_.addr() + nvme::sq_doorbell_offset(0);
+    qc.cq_doorbell_addr = bar_.addr() + nvme::cq_doorbell_offset(0);
+    qc.cpu = cpu;
+    admin_qp_ = std::make_unique<nvme::QueuePair>(fab, qc);
+    admin_lock_->release();
+
+    if (*stop) co_return;
+    if (!down || !ready) {
+      NVS_LOG(error, "manager") << "controller reset did not complete (down=" << down
+                                << " ready=" << ready << "); will retry on next fatal";
+      continue;
+    }
+
+    // Every I/O queue died with the reset: forget them so clients can
+    // re-create their pairs (their delete_qp for a stale qid is refused,
+    // which they ignore).
+    for (std::uint16_t q = 1; q < qid_used_.size(); ++q) {
+      qid_used_[q] = false;
+      qid_owner_[q] = 0;
+      qid_created_at_[q] = 0;
+    }
+    // Re-negotiate the I/O queue count (required before queue creation).
+    auto feat = co_await submit_admin(nvme::make_set_num_queues(
+        0, cfg_.requested_io_queues, cfg_.requested_io_queues));
+    if (*stop) co_return;
+    if (!feat || !(*feat).ok()) {
+      NVS_LOG(error, "manager") << "set_num_queues after reset failed";
+      continue;
+    }
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+      const std::uint64_t t = tracer.begin_trace(obs::Kind::other, begin);
+      tracer.record(t, obs::Track::controller, obs::Phase::recovery, begin, eng.now(), 0);
+      tracer.end_trace(t, eng.now());
+    }
+    NVS_LOG(info, "manager") << "controller recovered in " << (eng.now() - begin) << " ns";
+  }
 }
 
 }  // namespace nvmeshare::driver

@@ -35,6 +35,16 @@ class Manager {
     sim::Duration mailbox_poll_ns = 2000;
     /// Per-request manager-side processing cost (decode + validation).
     sim::Duration mailbox_service_ns = 1500;
+    // --- fault recovery (docs/faults.md); both watchdogs off by default ---
+    /// Reap a client's queue pair when its mailbox heartbeat (or the pair's
+    /// creation) is older than this. 0 disables the reaper. Only meaningful
+    /// when clients heartbeat (Client::Config::heartbeat_interval_ns).
+    sim::Duration client_heartbeat_timeout_ns = 0;
+    /// Cadence of the reaper's scan over the mailbox slots.
+    sim::Duration reaper_interval_ns = 500'000;
+    /// Cadence of the CSTS watchdog that detects a fatal controller status
+    /// and drives the reset + re-init path. 0 disables it.
+    sim::Duration csts_poll_interval_ns = 0;
   };
 
   /// Bring the controller up and start serving; resolves when the metadata
@@ -54,6 +64,12 @@ class Manager {
   /// create or delete queues until a manager runs again.
   void shutdown();
 
+  /// Power off this instance instantly (fault injection): the mailbox
+  /// server and watchdogs stop, but — unlike shutdown() — the metadata
+  /// registration is NOT withdrawn: the dead manager cannot clean up after
+  /// itself, so clients find a mailbox nobody answers and time out.
+  void crash();
+
   [[nodiscard]] const MetadataHeader& header() const noexcept { return header_; }
   [[nodiscard]] smartio::NodeId node() const noexcept { return node_; }
   [[nodiscard]] std::uint16_t active_queue_pairs() const;
@@ -65,6 +81,8 @@ class Manager {
     obs::Counter qps_created;
     obs::Counter qps_deleted;
     obs::Counter request_errors;
+    obs::Counter qps_reaped;    ///< orphaned queue pairs collected by the reaper
+    obs::Counter ctrl_resets;   ///< fatal-status recoveries by the CSTS watchdog
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -84,6 +102,12 @@ class Manager {
                                       std::shared_ptr<bool> stop);
   sim::Task handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
                              std::shared_ptr<bool> stop, sim::Promise<bool> done);
+  /// Dead-client detection: delete queue pairs whose owner stopped
+  /// heartbeating (docs/faults.md).
+  sim::Task reaper_task(std::shared_ptr<bool> stop);
+  /// Fatal-status detection: poll CSTS and run controller reset + re-init
+  /// when CFS is raised.
+  sim::Task watchdog_task(std::shared_ptr<bool> stop);
 
   [[nodiscard]] sim::Engine& engine();
   [[nodiscard]] pcie::Fabric& fabric();
@@ -110,8 +134,12 @@ class Manager {
   MetadataHeader header_;
   std::vector<bool> qid_used_;      ///< index = qid; [0] reserved for admin
   std::vector<std::uint32_t> qid_owner_;
+  /// Creation time per qid: grace period before a client's first heartbeat.
+  std::vector<sim::Time> qid_created_at_;
   std::shared_ptr<bool> stop_ = std::make_shared<bool>(false);
   bool serving_ = false;
+  bool crashed_ = false;
+  std::uint64_t crash_token_ = 0;  ///< fault-injector registration
   Stats stats_;
 };
 

@@ -1,0 +1,197 @@
+// Deterministic fault injection.
+//
+// A FaultPlan is a seed plus a list of fault specs; the process-global
+// Injector turns it into a reproducible schedule of failures hooked into
+// the fabric (posted-write loss/delay, NTB link down), the NVMe controller
+// (internal errors), the RDMA network (capsule loss), and the drivers
+// (host crash). Every probabilistic decision draws from one seeded
+// xoshiro256++ stream and every timed fault is an ordinary engine event,
+// so two runs with the same plan and workload seed are byte-identical —
+// including the `nvmeshare.fault.*` metrics this module emits.
+//
+// The injector is inert by default: hot paths guard every hook behind the
+// single-bool `fault::enabled()` check, so runs without a plan execute
+// exactly the instruction stream they did before this module existed.
+//
+// Lifecycle: configure(plan) BEFORE building the scenario (components read
+// `enabled()` at construction to register crash handlers), arm(engine,...)
+// AFTER (schedules the timed faults), disarm() when done. configure() fully
+// resets trigger state and the RNG, which is what makes in-process
+// double-runs (the determinism check in the chaos stress test) possible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "obs/metrics.hpp"
+
+namespace nvmeshare::sim {
+class Engine;
+}
+
+namespace nvmeshare::fault {
+
+namespace detail {
+extern bool g_enabled;
+}  // namespace detail
+
+/// True when a plan is configured. One bool load; hot paths check this
+/// before touching the Injector singleton so fault-free runs never even
+/// construct it (keeping their metrics snapshots unchanged).
+[[nodiscard]] inline bool enabled() noexcept { return detail::g_enabled; }
+
+enum class FaultKind : std::uint8_t {
+  drop_posted_write,   ///< lose a posted write in flight (doorbell, CQE, ...)
+  delay_posted_write,  ///< posted write arrives extra_ns late
+  ntb_link_down,       ///< cable pull on a host's NTB links (timed, optional restore)
+  host_crash,          ///< silently kill a driver instance (manager or client)
+  ctrl_error,          ///< controller completes a command with Internal Error
+  drop_capsule,        ///< lose an RDMA SEND (NVMe-oF command/response capsule)
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind) noexcept;
+
+/// Which resolved destination a posted-write fault applies to: BAR writes
+/// are doorbells/registers, DRAM writes are CQEs and DMA data.
+enum class WriteClass : std::uint8_t { any, bar, dram };
+
+inline constexpr std::uint32_t kAnyHost = 0xffffffffu;
+inline constexpr std::uint16_t kAnyQid = 0xffffu;
+inline constexpr std::uint16_t kAnyCid = 0xffffu;
+
+/// One injectable fault. Which fields matter depends on `kind`; unset
+/// filters match everything.
+struct FaultSpec {
+  FaultKind kind = FaultKind::drop_posted_write;
+
+  // -- timed faults (ntb_link_down, host_crash), relative to arm() time --
+  sim::Time at = 0;
+  sim::Duration duration = 0;  ///< link_down only: restore after this (0 = stays down)
+
+  // -- operation-count faults (drops, delays, ctrl_error) --
+  std::uint64_t nth = 0;    ///< 1-based ordinal of first matching op to hit (0 = off)
+  double probability = 0;   ///< independent per-op chance (used when nth == 0)
+  std::uint64_t count = 1;  ///< number of times to fire (0 = unlimited)
+
+  // -- filters --
+  std::uint32_t src_host = kAnyHost;  ///< initiating host / crash victim / link host
+  std::uint32_t dst_host = kAnyHost;  ///< posted writes: host the write lands in
+  WriteClass write_class = WriteClass::any;
+  std::uint16_t qid = kAnyQid;  ///< ctrl_error: submission queue filter
+  std::uint16_t cid = kAnyCid;  ///< ctrl_error: command id filter
+
+  sim::Duration extra_ns = 0;  ///< delay_posted_write: added latency
+  bool fatal = false;          ///< ctrl_error: raise CSTS.CFS instead of a status code
+};
+
+/// A complete, reproducible chaos schedule.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultSpec> faults;
+};
+
+/// Parse the `--faults` plan DSL (see docs/faults.md):
+///   plan  := item (';' item)*
+///   item  := 'seed=N' | kind[':' key=value (',' key=value)*]
+///   keys  := at for nth prob count src dst host class qid cid extra fatal
+/// Durations accept ns/us/ms/s suffixes (bare numbers are nanoseconds).
+/// Example: "seed=7;drop_posted_write:src=1,class=bar,nth=3;ntb_link_down:host=1,at=2ms,for=500us"
+Result<FaultPlan> parse_plan(std::string_view text);
+
+class Injector {
+ public:
+  /// The process-global injector every hook consults.
+  static Injector& global();
+
+  /// Install a plan and reset all trigger state + the RNG. Call before the
+  /// scenario is built. Sets fault::enabled().
+  void configure(FaultPlan plan);
+
+  /// Return to the inert state (hooks become no-ops, handlers cleared).
+  void disarm();
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Hooks the injector needs into the running cluster. Timed faults are
+  /// scheduled onto `engine` relative to its current time.
+  struct ArmHooks {
+    /// Toggle every fabric link incident to `host`'s NTB adapter
+    /// (pcie::Fabric::set_ntb_link, type-erased to keep this module a leaf).
+    std::function<void(std::uint32_t host, bool up)> set_ntb_link;
+  };
+  void arm(sim::Engine& engine, ArmHooks hooks);
+
+  // --- crash registry --------------------------------------------------------
+  // Drivers register a "power off this instance" callback at construction
+  // (only when enabled()); host_crash faults fire every handler registered
+  // for the victim host. Tokens allow deregistration from destructors.
+  std::uint64_t register_crash_handler(std::uint32_t host, std::function<void()> fn);
+  void unregister_crash_handler(std::uint64_t token);
+
+  // --- hot-path hooks (callers must check fault::enabled() first) -----------
+
+  struct PostedWriteDecision {
+    bool drop = false;
+    sim::Duration extra_ns = 0;
+  };
+  /// Consulted by Fabric::post_write/write_sg once the destination resolved.
+  PostedWriteDecision on_posted_write(std::uint32_t src_host, std::uint32_t dst_host,
+                                      bool to_bar);
+
+  struct CtrlDecision {
+    bool inject = false;
+    bool fatal = false;
+  };
+  /// Consulted by the controller as it starts executing an I/O command.
+  CtrlDecision on_ctrl_command(std::uint16_t qid, std::uint16_t cid);
+
+  /// Consulted by rdma::QueuePair::post_send. True = lose the capsule.
+  [[nodiscard]] bool on_capsule_send();
+
+  /// Injection counters, registered as `nvmeshare.fault.*`.
+  struct Stats {
+    Stats();
+    obs::Counter posted_drops;
+    obs::Counter posted_delays;
+    obs::Counter link_downs;
+    obs::Counter link_ups;
+    obs::Counter host_crashes;
+    obs::Counter ctrl_errors;
+    obs::Counter capsule_drops;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  Injector() : rng_(1) {}
+
+  /// Shared trigger logic: counts the matching op and decides whether this
+  /// spec fires on it.
+  bool should_fire(std::size_t spec_index);
+
+  FaultPlan plan_;
+  Rng rng_;
+  /// Per-spec runtime state, parallel to plan_.faults.
+  struct TriggerState {
+    std::uint64_t seen = 0;
+    std::uint64_t fired = 0;
+  };
+  std::vector<TriggerState> trigger_;
+
+  struct CrashHandler {
+    std::uint32_t host = kAnyHost;
+    std::function<void()> fn;
+  };
+  std::map<std::uint64_t, CrashHandler> crash_handlers_;
+  std::uint64_t next_token_ = 1;
+
+  Stats stats_;
+};
+
+}  // namespace nvmeshare::fault

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/log.hpp"
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 
 namespace nvmeshare::nvme {
@@ -189,6 +190,7 @@ void Controller::write_cc(std::uint32_t value) {
     enable_controller();
   } else if (was_enabled && !now_enabled) {
     disable_controller(/*fatal=*/false);
+    csts_ &= ~kCstsFatal;  // a controller reset clears CSTS.CFS
   }
   if (cc_shn(value) != 0) {
     // Shutdown notification: complete immediately in this model.
@@ -299,6 +301,18 @@ sim::Task Controller::sq_fetcher(std::uint16_t qid, std::uint64_t gen) {
         static_cast<std::size_t>(n) * sizeof(SubmissionEntry));
     if (gen != generation_ || !sqs_[qid].valid) co_return;
     if (!data) {
+      // Per-queue isolation: an I/O queue whose memory became *transiently*
+      // unreachable (NTB link down -> Errc::unavailable) must not take the
+      // whole controller and every other host's queues down with it; retry
+      // until the path heals or the queue is deleted. A permanent routing
+      // failure (unmapped address = mis-programmed queue base) stays fatal,
+      // as does any admin-queue failure.
+      if (qid != 0 && data.status().code() == Errc::unavailable) {
+        NVS_LOG(warn, "nvme") << "SQ fetch DMA failed (q" << qid
+                              << "): " << data.status().to_string() << " -> retry";
+        co_await sim::delay(engine_, cfg_.service.queue_retry_ns);
+        continue;
+      }
       NVS_LOG(error, "nvme") << "SQ fetch DMA failed (q" << qid
                              << "): " << data.status().to_string() << " -> fatal";
       disable_controller(/*fatal=*/true);
@@ -356,13 +370,26 @@ sim::Task Controller::complete(std::uint16_t sqid, std::uint16_t sq_head_after,
   cq.tail = static_cast<std::uint16_t>((cq.tail + 1) % cq.size);
   if (cq.tail == 0) cq.phase = !cq.phase;
 
-  Bytes buf(sizeof(CompletionEntry));
-  store_pod(buf, e);
-  auto arrival = fabric()->post_write(
-      dma_initiator(), cq.base + static_cast<std::uint64_t>(slot) * sizeof(CompletionEntry),
-      std::move(buf), not_before);
-  if (!arrival) {
-    NVS_LOG(error, "nvme") << "CQE post failed: " << arrival.status().to_string();
+  Result<sim::Time> arrival = Status(Errc::internal, "unattempted");
+  for (;;) {
+    Bytes buf(sizeof(CompletionEntry));
+    store_pod(buf, e);
+    arrival = fabric()->post_write(
+        dma_initiator(), cq.base + static_cast<std::uint64_t>(slot) * sizeof(CompletionEntry),
+        std::move(buf), not_before);
+    if (arrival) break;
+    // Per-queue isolation, mirroring the SQ-fetch path: retry transient
+    // unreachability (link down) until the CQ heals or is deleted; permanent
+    // routing failures and admin-queue failures stay fatal.
+    if (sqid != 0 && arrival.status().code() == Errc::unavailable) {
+      NVS_LOG(warn, "nvme") << "CQE post failed (q" << cqid
+                            << "): " << arrival.status().to_string() << " -> retry";
+      co_await sim::delay(engine_, cfg_.service.queue_retry_ns);
+      if (gen != generation_ || !cq.valid) co_return;
+      continue;
+    }
+    NVS_LOG(error, "nvme") << "CQE post failed (q" << cqid
+                           << "): " << arrival.status().to_string();
     disable_controller(/*fatal=*/true);
     co_return;
   }
@@ -625,6 +652,22 @@ sim::Duration Controller::media_latency(IoOpcode op, std::uint32_t nblocks) {
 sim::Task Controller::run_io(std::uint16_t qid, SubmissionEntry sqe,
                              std::uint16_t sq_head_after, std::uint64_t gen) {
   const auto op = static_cast<IoOpcode>(sqe.opcode);
+
+  if (fault::enabled()) {
+    const auto decision = fault::Injector::global().on_ctrl_command(qid, sqe.cid);
+    if (decision.inject && decision.fatal) {
+      NVS_LOG(error, "nvme") << "injected fatal controller error (q" << qid << " cid "
+                             << sqe.cid << ")";
+      disable_controller(/*fatal=*/true);
+      co_return;
+    }
+    if (decision.inject) {
+      co_await sim::delay(engine_, cfg_.service.cmd_fixed_ns);
+      if (gen != generation_) co_return;
+      complete(qid, sq_head_after, sqe.cid, kScInternalError, 0, gen, 0);
+      co_return;
+    }
+  }
 
   if (op == IoOpcode::flush) {
     ++stats_.io_flushes;

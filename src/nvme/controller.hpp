@@ -43,6 +43,10 @@ class Controller final : public pcie::Endpoint {
     sim::Duration admin_ns = 2000;       ///< admin command processing
     sim::Duration enable_ns = 20'000;    ///< CC.EN=1 -> CSTS.RDY=1
     int channels = 7;                    ///< concurrent media operations
+    /// Pause before retrying an I/O queue's SQ fetch or CQE post whose DMA
+    /// failed (unreachable queue memory, e.g. NTB link down). Per-queue
+    /// isolation: only admin-queue DMA failure is controller-fatal.
+    sim::Duration queue_retry_ns = 20'000;
   };
 
   struct Config {

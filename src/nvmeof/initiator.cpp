@@ -1,5 +1,7 @@
 #include "nvmeof/initiator.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "obs/trace.hpp"
 
@@ -9,6 +11,22 @@ namespace {
 constexpr std::uint64_t kWrSend = 4ull << 56;
 constexpr std::uint64_t kWrRecv = 1ull << 56;
 constexpr std::uint64_t kWrSlotMask = (1ull << 56) - 1;
+
+// A timed-out capsule wait is resolved with a sentinel response carrying an
+// impossible status (real NVMe status fields are 15-bit, so 0xffff can
+// never arrive off the wire).
+constexpr std::uint16_t kTimeoutStatus = 0xffff;
+
+ResponseCapsule timeout_sentinel(std::uint16_t cid) {
+  ResponseCapsule r;
+  r.cid = cid;
+  r.status = kTimeoutStatus;
+  return r;
+}
+
+sim::Duration backoff_ns(sim::Duration base, std::uint32_t attempt) {
+  return base << std::min<std::uint32_t>(attempt > 0 ? attempt - 1 : 0, 10);
+}
 
 obs::Kind trace_kind(block::Op op) {
   switch (op) {
@@ -27,7 +45,10 @@ Initiator::Stats::Stats()
       writes("nvmeshare.nvmeof_initiator.writes"),
       flushes("nvmeshare.nvmeof_initiator.flushes"),
       errors("nvmeshare.nvmeof_initiator.errors"),
-      interrupts("nvmeshare.nvmeof_initiator.interrupts") {}
+      interrupts("nvmeshare.nvmeof_initiator.interrupts"),
+      capsule_timeouts("nvmeshare.nvmeof_initiator.capsule_timeouts"),
+      capsule_retries("nvmeshare.nvmeof_initiator.capsule_retries"),
+      reconnects("nvmeshare.nvmeof_initiator.reconnects") {}
 
 Initiator::Initiator(sisci::Cluster& cluster, rdma::Network& network, rdma::NodeId node,
                      Config cfg)
@@ -51,8 +72,11 @@ sim::Task Initiator::connect_task(std::unique_ptr<Initiator> self, Target* targe
   Initiator& i = *self;
   sim::Engine& engine = i.cluster_.engine();
 
+  i.target_ = target;
   i.ctx_ = std::make_unique<rdma::Context>(i.network_, i.node_);
   i.cq_ = std::make_unique<rdma::CompletionQueue>(engine);
+  i.reconnected_ = std::make_unique<sim::Event>(engine);
+  i.reconnected_->set();  // no reconnect in progress
 
   auto cmd = i.cluster_.alloc_dram(i.node_, i.cfg_.queue_depth * kCapsuleSlotBytes, 4096);
   auto resp = i.cluster_.alloc_dram(i.node_, i.cfg_.queue_depth * sizeof(ResponseCapsule), 4096);
@@ -186,28 +210,91 @@ sim::Task Initiator::io_task(block::Request request, sim::Promise<block::Complet
     (void)dram.write(capsule_addr + sizeof(CommandCapsule), payload);
   }
 
-  auto [it, inserted] = pending_.emplace(static_cast<std::uint16_t>(slot),
-                                         sim::Promise<ResponseCapsule>(engine));
-  (void)inserted;
-  auto response_future = it->second.future();
-  tracer.bind(nvmeof_trace_qid(static_cast<std::uint16_t>(node_)), capsule.cid, trace);
+  // Send and response wait. With capsule_timeout_ns configured, each SEND
+  // is bounded by a deadline and retried with backoff (idempotent: same
+  // slot, same cid — a late duplicate response resolves the same command);
+  // once the retry budget is spent the connection itself is suspect (a lost
+  // capsule window) and is re-established once.
+  const auto cid16 = static_cast<std::uint16_t>(slot);
+  ResponseCapsule response;
+  std::uint32_t attempt = 0;
+  bool reconnected_once = false;
+  for (;;) {
+    if (reconnecting_) {
+      // A reconnect is in flight; wait for the fresh queue pair.
+      (void)co_await reconnected_->wait();
+    }
+    if (*stop) {
+      release_slot();
+      finish(Status(Errc::aborted, "initiator stopped"));
+      co_return;
+    }
+    const std::uint64_t seq = ++rsp_seq_;
+    auto [it, inserted] =
+        pending_.emplace(cid16, PendingRsp{sim::Promise<ResponseCapsule>(engine), seq});
+    (void)inserted;
+    auto response_future = it->second.promise.future();
+    tracer.bind(nvmeof_trace_qid(static_cast<std::uint16_t>(node_)), capsule.cid, trace);
 
-  co_await sim::delay(engine, cfg_.costs.doorbell_ns);
-  if (Status st = qp_->post_send(kWrSend | slot, capsule_addr, wire_len); !st) {
-    pending_.erase(static_cast<std::uint16_t>(slot));
-    release_slot();
-    finish(st);
-    co_return;
-  }
-  ph.mark(obs::Phase::capsule_send, engine.now());
+    if (cfg_.capsule_timeout_ns > 0) {
+      // Deadline watchdog: resolves the wait with the sentinel unless the
+      // response (or a reconnect sweep) got there first.
+      engine.after(cfg_.capsule_timeout_ns, [this, stop, cid16, seq]() {
+        if (*stop) return;
+        auto p = pending_.find(cid16);
+        if (p == pending_.end() || p->second.seq != seq) return;
+        auto promise = std::move(p->second.promise);
+        pending_.erase(p);
+        ++stats_.capsule_timeouts;
+        promise.set(timeout_sentinel(cid16));
+      });
+    }
 
-  ResponseCapsule response = co_await response_future;
-  ph.mark(obs::Phase::cq_wait, engine.now());
-  tracer.unbind(nvmeof_trace_qid(static_cast<std::uint16_t>(node_)), capsule.cid);
-  if (*stop) {
-    release_slot();
-    finish(Status(Errc::aborted, "initiator stopped"));
-    co_return;
+    co_await sim::delay(engine, cfg_.costs.doorbell_ns);
+    if (Status st = qp_->post_send(kWrSend | slot, capsule_addr, wire_len); !st) {
+      if (auto p = pending_.find(cid16); p != pending_.end() && p->second.seq == seq) {
+        pending_.erase(p);
+      }
+      if (cfg_.capsule_timeout_ns == 0 || attempt >= cfg_.capsule_retry_limit) {
+        release_slot();
+        finish(st);
+        co_return;
+      }
+      ++attempt;
+      ++stats_.capsule_retries;
+      co_await sim::delay(engine, backoff_ns(cfg_.retry_backoff_ns, attempt));
+      ph.mark(obs::Phase::recovery, engine.now());
+      continue;
+    }
+    ph.mark(obs::Phase::capsule_send, engine.now());
+
+    response = co_await response_future;
+    ph.mark(obs::Phase::cq_wait, engine.now());
+    tracer.unbind(nvmeof_trace_qid(static_cast<std::uint16_t>(node_)), capsule.cid);
+    if (*stop) {
+      release_slot();
+      finish(Status(Errc::aborted, "initiator stopped"));
+      co_return;
+    }
+    if (response.status != kTimeoutStatus) break;  // genuine response arrived
+    ++attempt;
+    if (attempt <= cfg_.capsule_retry_limit) {
+      ++stats_.capsule_retries;
+      co_await sim::delay(engine, backoff_ns(cfg_.retry_backoff_ns, attempt));
+      ph.mark(obs::Phase::recovery, engine.now());
+      continue;
+    }
+    // Retry budget spent: re-establish the connection once, then run one
+    // fresh retry round (the replay of this in-flight command).
+    if (reconnected_once) {
+      release_slot();
+      finish(Status(Errc::timed_out, "capsule timed out after retries and reconnect"));
+      co_return;
+    }
+    reconnected_once = true;
+    attempt = 0;
+    start_reconnect();
+    ph.mark(obs::Phase::recovery, engine.now());
   }
   // Completion path software.
   co_await sim::delay(engine, cfg_.costs.jittered(cfg_.costs.completion_ns, rng_));
@@ -245,10 +332,12 @@ sim::Task Initiator::completion_loop(std::shared_ptr<bool> stop) {
                            sizeof(ResponseCapsule));
       auto it = pending_.find(response.cid);
       if (it != pending_.end()) {
-        auto promise = std::move(it->second);
+        auto promise = std::move(it->second.promise);
         pending_.erase(it);
         promise.set(response);
       }
+      // else: the command timed out and its retry already completed — a
+      // late duplicate, dropped like a real initiator would.
     };
 
     // One interrupt wakes the handler, which then drains every completion
@@ -260,6 +349,55 @@ sim::Task Initiator::completion_loop(std::shared_ptr<bool> stop) {
     process(*wc);
     while (auto more = cq_->poll()) process(*more);
   }
+}
+
+// --- fault recovery -------------------------------------------------------------------
+
+void Initiator::start_reconnect() {
+  if (reconnecting_ || *stop_) return;
+  reconnecting_ = true;
+  reconnected_->reset();
+  ++stats_.reconnects;
+  reconnect_task(stop_);
+}
+
+// Connection re-establishment: fail out every in-flight wait (their
+// io_tasks replay through the retry loop once the new queue pair exists)
+// and accept a fresh connection from the same target. The old RDMA queue
+// pair and its posted RECVs are abandoned — a bounded leak per reconnect,
+// like a real RC QP left in the error state until teardown.
+sim::Task Initiator::reconnect_task(std::shared_ptr<bool> stop) {
+  sim::Engine& engine = cluster_.engine();
+  const sim::Time begin = engine.now();
+  NVS_LOG(warn, "nvmeof") << "initiator on node " << node_ << " reconnecting to target";
+
+  std::map<std::uint16_t, PendingRsp> doomed;
+  doomed.swap(pending_);
+  for (auto& [cid, cmd] : doomed) cmd.promise.set(timeout_sentinel(cid));
+
+  auto qp = co_await target_->accept(*ctx_, *cq_);
+  if (!*stop && qp) {
+    qp_ = *qp;
+    // Fresh RECV ring on the new queue pair (same response buffers).
+    for (std::uint32_t s = 0; s < cfg_.queue_depth; ++s) {
+      (void)qp_->post_recv(kWrRecv | s, resp_base_ + s * sizeof(ResponseCapsule),
+                           sizeof(ResponseCapsule));
+    }
+    NVS_LOG(info, "nvmeof") << "initiator reconnected in " << (engine.now() - begin)
+                            << " ns";
+  } else if (!qp) {
+    NVS_LOG(error, "nvmeof") << "initiator reconnect failed: " << qp.status().message();
+  }
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    const std::uint64_t t = tracer.begin_trace(obs::Kind::other, begin);
+    tracer.record(t, obs::Track::client, obs::Phase::recovery, begin, engine.now(),
+                  nvmeof_trace_qid(static_cast<std::uint16_t>(node_)));
+    tracer.end_trace(t, engine.now());
+  }
+  reconnecting_ = false;
+  reconnected_->set();
 }
 
 }  // namespace nvmeshare::nvmeof

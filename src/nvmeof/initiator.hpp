@@ -23,6 +23,15 @@ class Initiator final : public block::BlockDevice {
   struct Config {
     std::uint32_t queue_depth = 32;
     driver::CostModel costs = driver::CostModel::nvmeof_initiator();
+    // --- fault recovery (docs/faults.md); off by default ------------------
+    /// Per-capsule response deadline. 0 disables the watchdog and with it
+    /// retries and reconnects (commands then wait forever, the seed
+    /// behavior).
+    sim::Duration capsule_timeout_ns = 0;
+    /// SEND attempts per command before the connection is re-established.
+    std::uint32_t capsule_retry_limit = 3;
+    /// Backoff before the first retry; doubles per subsequent attempt.
+    sim::Duration retry_backoff_ns = 100'000;
     std::uint64_t seed = 0x1217;
   };
 
@@ -52,6 +61,9 @@ class Initiator final : public block::BlockDevice {
     obs::Counter flushes;
     obs::Counter errors;
     obs::Counter interrupts;
+    obs::Counter capsule_timeouts;  ///< response deadlines that expired
+    obs::Counter capsule_retries;   ///< capsules re-sent after a timeout
+    obs::Counter reconnects;        ///< connection re-establishments
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -62,6 +74,9 @@ class Initiator final : public block::BlockDevice {
                                 sim::Promise<Result<std::unique_ptr<Initiator>>> promise);
   sim::Task io_task(block::Request request, sim::Promise<block::Completion> promise);
   sim::Task completion_loop(std::shared_ptr<bool> stop);
+  /// Kick off a connection re-establishment if one is not already running.
+  void start_reconnect();
+  sim::Task reconnect_task(std::shared_ptr<bool> stop);
 
   sisci::Cluster& cluster_;
   rdma::Network& network_;
@@ -81,7 +96,17 @@ class Initiator final : public block::BlockDevice {
 
   std::unique_ptr<sim::Semaphore> slots_;
   std::vector<std::uint32_t> free_slots_;
-  std::map<std::uint16_t, sim::Promise<ResponseCapsule>> pending_;
+  /// One in-flight command. `seq` disambiguates slot reuse: the deadline
+  /// callback only fires if the slot still belongs to the same send.
+  struct PendingRsp {
+    sim::Promise<ResponseCapsule> promise;
+    std::uint64_t seq = 0;
+  };
+  std::map<std::uint16_t, PendingRsp> pending_;
+  std::uint64_t rsp_seq_ = 0;
+  Target* target_ = nullptr;  ///< for reconnects (targets outlive initiators)
+  bool reconnecting_ = false;
+  std::unique_ptr<sim::Event> reconnected_;  ///< set whenever no reconnect runs
   std::shared_ptr<bool> stop_ = std::make_shared<bool>(false);
   Stats stats_;
 };

@@ -21,6 +21,7 @@ const char* phase_name(Phase p) noexcept {
     case Phase::capsule_send: return "capsule_send";
     case Phase::rdma_data: return "rdma_data";
     case Phase::irq_wait: return "irq_wait";
+    case Phase::recovery: return "recovery";
     case Phase::request: return "request";
     case Phase::other: return "other";
   }

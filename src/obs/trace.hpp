@@ -43,6 +43,9 @@ enum class Phase : std::uint8_t {
   capsule_send,  ///< command capsule SEND
   rdma_data,     ///< one-sided RDMA data movement
   irq_wait,      ///< interrupt delivery on the completion path
+  // Fault recovery (command retry windows, queue-pair re-create, controller
+  // reset, NVMe-oF reconnect). See docs/faults.md.
+  recovery,
   // Whole-request summary span, emitted by end_trace().
   request,
   other,

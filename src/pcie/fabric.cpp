@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.hpp"
+#include "fault/fault.hpp"
 
 namespace nvmeshare::pcie {
 
@@ -184,6 +185,16 @@ Result<NtbId> Fabric::host_ntb(HostId host) const {
   return Status(Errc::not_found, "host has no NTB adapter");
 }
 
+Status Fabric::set_ntb_link(HostId host, bool up) {
+  auto ntb = host_ntb(host);
+  if (!ntb) return ntb.status();
+  const ChipId chip = ntbs_[*ntb].chip;
+  for (const ChipId peer : topo_.neighbors(chip)) {
+    if (Status st = topo_.set_link_state(chip, peer, up); !st) return st;
+  }
+  return Status::ok();
+}
+
 // --- resolution ----------------------------------------------------------------
 
 const Fabric::Region* Fabric::find_region(HostId host, std::uint64_t addr,
@@ -305,14 +316,27 @@ Result<sim::Time> Fabric::post_write(const Initiator& who, std::uint64_t addr, B
   auto pc = path_to(who, *target);
   if (!pc) return pc.status();
 
+  // Fault injection: a dropped posted write still occupies the wire (the
+  // initiator saw it leave; stats and ordering floors advance), it simply
+  // never lands — exactly how a lost doorbell or CQE looks to software.
+  bool fault_drop = false;
+  sim::Duration fault_extra = 0;
+  if (fault::enabled()) {
+    const auto decision = fault::Injector::global().on_posted_write(
+        who.host, target->host, target->kind == Resolved::Kind::bar);
+    fault_drop = decision.drop;
+    fault_extra = decision.extra_ns;
+  }
+
   ++stats_.posted_writes;
   stats_.bytes_written += data.size();
   stats_.ntb_translations += static_cast<std::uint64_t>(target->ntb_crossings);
 
   const sim::Duration lat =
-      model_.posted_write_ns(pc->cost_ns, target->ntb_crossings, data.size());
+      model_.posted_write_ns(pc->cost_ns, target->ntb_crossings, data.size()) + fault_extra;
   const sim::Time arrival =
       posted_arrival(who, target->target_chip, lat, data.size(), not_before);
+  if (fault_drop) return arrival;
   engine_.at(arrival, [this, t = *target, d = std::move(data)]() {
     if (Status st = apply_write(t, d); !st) {
       NVS_LOG(warn, "pcie") << "posted write dropped at target: " << st.to_string();
@@ -346,10 +370,23 @@ Result<sim::Time> Fabric::write_sg(const Initiator& who, const std::vector<SgEnt
   if (total != data.size()) {
     return Status(Errc::invalid_argument, "scatter list length != payload length");
   }
+
+  // Fault injection (one decision for the whole scatter list — the data of
+  // one DMA either lands or is lost as a unit).
+  bool fault_drop = false;
+  sim::Duration fault_extra = 0;
+  if (fault::enabled() && !targets.empty()) {
+    const auto decision = fault::Injector::global().on_posted_write(
+        who.host, targets.front().host, targets.front().kind == Resolved::Kind::bar);
+    fault_drop = decision.drop;
+    fault_extra = decision.extra_ns;
+  }
+
   ++stats_.posted_writes;
   stats_.bytes_written += total;
 
-  const sim::Duration lat = model_.posted_write_ns(worst_path, worst_crossings, total);
+  const sim::Duration lat =
+      model_.posted_write_ns(worst_path, worst_crossings, total) + fault_extra;
   // Order against the FIFO of every chunk's completer — advance each
   // distinct completer chip's floor exactly once, so the aggregate
   // serialization gap is charged a single time for the whole scatter
@@ -367,6 +404,7 @@ Result<sim::Time> Fabric::write_sg(const Initiator& who, const std::vector<SgEnt
   for (ChipId chip : chips) {
     posted_floor_[{who.chip, chip}] = arrival;
   }
+  if (fault_drop) return arrival;
   engine_.at(arrival, [this, targets = std::move(targets), sg, d = std::move(data)]() {
     std::size_t off = 0;
     for (std::size_t i = 0; i < targets.size(); ++i) {

@@ -109,6 +109,11 @@ class Fabric {
   /// The NTB adapter of `host`, if one was installed.
   [[nodiscard]] Result<NtbId> host_ntb(HostId host) const;
 
+  /// Cable-pull `host`'s NTB adapter: administratively fail (or restore)
+  /// every fabric link incident to its NTB chip. While down, transactions
+  /// needing the adapter fail with `unavailable`; peek/poke still work.
+  Status set_ntb_link(HostId host, bool up);
+
   // --- address resolution ------------------------------------------------------
 
   struct Resolved {

@@ -37,6 +37,8 @@ class Topology {
 
   [[nodiscard]] std::size_t chip_count() const noexcept { return chips_.size(); }
   [[nodiscard]] const Chip& chip(ChipId id) const { return chips_.at(id); }
+  /// Chips directly linked to `id` (regardless of administrative state).
+  [[nodiscard]] const std::vector<ChipId>& neighbors(ChipId id) const { return adj_.at(id); }
 
   struct PathCost {
     sim::Duration cost_ns = 0;  ///< sum of forward_ns over all chips on the path

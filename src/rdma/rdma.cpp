@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "fault/fault.hpp"
 
 namespace nvmeshare::rdma {
 
@@ -89,6 +90,12 @@ Status QueuePair::post_send(std::uint64_t wr_id, std::uint64_t addr, std::uint32
   if (!ctx_->covered(addr, len)) {
     ++network_->stats_.protection_errors;
     return Status(Errc::permission_denied, "send buffer not in a registered MR");
+  }
+  // Fault injection: a lost SEND leaves the wire silently — the post
+  // succeeds but no delivery is scheduled and neither side ever sees a
+  // completion, exactly like a wire loss the RC retry budget gave up on.
+  if (fault::enabled() && fault::Injector::global().on_capsule_send()) {
+    return Status::ok();
   }
   Network& net = *network_;
   ++net.stats_.sends;

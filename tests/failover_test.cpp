@@ -1,0 +1,85 @@
+// Manager-failover lifecycle (promoted from the old examples/failover.cpp).
+//
+// The paper's design keeps the manager off the data path: it is only needed
+// to create and delete queue pairs (Section V). These tests walk the full
+// lifecycle of losing and replacing it:
+//   1. manager on host 0, clients on hosts 1 and 2 doing verified I/O;
+//   2. the manager dies — established clients keep doing I/O untouched;
+//   3. a new client cannot attach (nobody serves the mailbox) and its
+//      attach fails within its configured mailbox deadline;
+//   4. a replacement manager cannot start while survivors hold the device
+//      (SmartIO's exclusive acquisition protects the controller state);
+//   5. after the survivors release the device, a new manager starts on a
+//      *different* host and fresh clients attach again.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace nvmeshare {
+namespace {
+
+using namespace testutil;
+
+/// One short verified random-r/w burst; any I/O error or corrupt byte fails.
+void quick_io(Testbed& tb, driver::Client& client, sisci::NodeId node) {
+  workload::JobSpec spec;
+  spec.pattern = workload::JobSpec::Pattern::randrw;
+  spec.ops = 50;
+  spec.queue_depth = 2;
+  spec.verify = true;
+  auto result = workload::run_job_blocking(tb.cluster(), client, node, spec);
+  ASSERT_TRUE(result.has_value()) << result.status().to_string();
+  EXPECT_EQ(result->errors, 0u);
+  EXPECT_EQ(result->verify_failures, 0u);
+}
+
+TEST(Failover, ManagerDeathAndHandover) {
+  TestbedConfig cfg = small_testbed(4);
+  Testbed tb(cfg);
+
+  // [1] Normal operation: manager on host 0, clients on hosts 1 and 2.
+  auto manager = tb.wait(driver::Manager::start(tb.service(), 0, tb.device_id(), {}));
+  ASSERT_TRUE(manager.has_value()) << manager.status().to_string();
+  auto c1 = tb.wait(driver::Client::attach(tb.service(), 1, tb.device_id(), {}));
+  auto c2 = tb.wait(driver::Client::attach(tb.service(), 2, tb.device_id(), {}));
+  ASSERT_TRUE(c1.has_value() && c2.has_value());
+  quick_io(tb, **c1, 1);
+  quick_io(tb, **c2, 2);
+
+  // [2] The manager dies. Established clients operate the controller
+  // through their own queue pairs — the manager is not on the data path —
+  // so verified I/O must keep passing.
+  manager->reset();
+  tb.engine().run_for(1_ms);
+  quick_io(tb, **c1, 1);
+  quick_io(tb, **c2, 2);
+
+  // [3] A new client cannot attach: the metadata segment is gone, and even
+  // an optimistic retry loop must give up within its mailbox deadline.
+  driver::Client::Config impatient;
+  impatient.mailbox_timeout_ns = 5_ms;
+  auto orphan =
+      tb.wait(driver::Client::attach(tb.service(), 3, tb.device_id(), impatient), 60_s);
+  EXPECT_FALSE(orphan.has_value()) << "attach without a manager must fail";
+
+  // [4] A replacement manager is blocked while survivors hold shared device
+  // references: exclusive acquisition would reset the controller under the
+  // survivors' queues.
+  auto blocked = tb.wait(driver::Manager::start(tb.service(), 3, tb.device_id(), {}));
+  EXPECT_FALSE(blocked.has_value()) << "restart must be blocked by surviving clients";
+
+  // [5] Survivors release the device; a replacement manager starts on a
+  // different host, re-initializes the controller, and serves fresh
+  // attachments.
+  c1->reset();
+  c2->reset();
+  tb.engine().run_for(1_ms);
+  auto manager2 = tb.wait(driver::Manager::start(tb.service(), 3, tb.device_id(), {}));
+  ASSERT_TRUE(manager2.has_value()) << manager2.status().to_string();
+  auto c3 = tb.wait(driver::Client::attach(tb.service(), 1, tb.device_id(), {}));
+  ASSERT_TRUE(c3.has_value()) << c3.status().to_string();
+  quick_io(tb, **c3, 1);
+}
+
+}  // namespace
+}  // namespace nvmeshare

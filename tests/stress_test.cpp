@@ -1,9 +1,15 @@
 // Soak / torture tests: long mixed workloads with verification while the
 // control plane churns (clients detaching and re-attaching mid-flight),
-// across randomized cluster shapes. Anything that corrupts a byte, loses a
-// completion, leaks a queue pair, or deadlocks the simulation fails here.
+// across randomized cluster shapes, plus seeded chaos soaks with the fault
+// injector active. Anything that corrupts a byte, loses a completion, leaks
+// a queue pair, or deadlocks the simulation fails here.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <string_view>
+
+#include "fault/fault.hpp"
+#include "pcie/fabric.hpp"
 #include "test_util.hpp"
 
 namespace nvmeshare {
@@ -122,6 +128,84 @@ TEST(Stress, SustainedDurationWorkload) {
 
   // Throughput sanity: QD16 on a 7-channel device must be near saturation.
   EXPECT_GT(result->iops(), 400'000.0);
+}
+
+// --- chaos soak -------------------------------------------------------------------
+
+/// A plan that exercises several fault kinds probabilistically on top of a
+/// verified workload. Every knob is seeded, so one plan string = one exact
+/// chaos schedule.
+constexpr std::string_view kChaosPlan =
+    "seed=11;"
+    "drop_posted_write:src=0,dst=1,prob=0.002,count=0;"
+    "delay_posted_write:dst=1,prob=0.01,extra=20us,count=0;"
+    "ntb_link_down:host=1,at=3ms,for=300us;"
+    "ctrl_error:prob=0.002,count=0";
+
+/// Run the chaos workload once and return the metrics snapshot taken the
+/// instant the job finishes (before teardown, so both runs snapshot at the
+/// same point in their instruction streams).
+std::string chaos_run() {
+  obs::Registry::global().reset_values();
+  auto plan = fault::parse_plan(kChaosPlan);
+  EXPECT_TRUE(plan.has_value()) << plan.status().to_string();
+  fault::Injector::global().configure(std::move(*plan));
+
+  std::string snapshot;
+  {
+    Testbed tb(small_testbed(2));
+    driver::Client::Config cc;
+    cc.cmd_timeout_ns = 500'000;
+    cc.cmd_retry_limit = 6;
+    cc.retry_backoff_ns = 50'000;
+    cc.heartbeat_interval_ns = 200'000;
+    cc.queue_depth = 4;
+    driver::Manager::Config mc;
+    mc.client_heartbeat_timeout_ns = 2'000'000;
+    mc.csts_poll_interval_ns = 200'000;
+    auto stack = bring_up(tb, 0, 1, cc, mc);
+    EXPECT_TRUE(stack.has_value()) << stack.status().to_string();
+    if (!stack) return {};
+    pcie::Fabric* fab = &tb.fabric();
+    fault::Injector::global().arm(
+        tb.engine(), {.set_ntb_link = [fab](std::uint32_t host, bool up) {
+          (void)fab->set_ntb_link(host, up);
+        }});
+
+    workload::JobSpec spec;
+    spec.pattern = workload::JobSpec::Pattern::randrw;
+    spec.ops = 1500;
+    spec.queue_depth = 4;
+    spec.verify = true;
+    spec.seed = 99;
+    auto result = workload::run_job_blocking(tb.cluster(), *stack->client, 1, spec);
+    EXPECT_TRUE(result.has_value()) << result.status().to_string();
+    if (result.has_value()) {
+      EXPECT_EQ(result->errors, 0u) << "recovery must absorb every injected fault";
+      EXPECT_EQ(result->verify_failures, 0u);
+    }
+    snapshot = obs::Registry::global().to_json();
+  }
+  fault::Injector::global().disarm();
+  return snapshot;
+}
+
+TEST(Stress, ChaosSoakSurvivesInjectedFaults) {
+  const std::string snapshot = chaos_run();
+  ASSERT_FALSE(snapshot.empty());
+  // The plan actually fired: at least the scheduled link flap is visible.
+  EXPECT_NE(snapshot.find("\"nvmeshare.fault.link_downs\":1"), std::string::npos)
+      << snapshot;
+}
+
+TEST(Stress, ChaosSameSeedRunsAreByteIdentical) {
+  // Determinism is the whole point of seeded fault plans (docs/faults.md):
+  // two runs of the same plan + workload seed must produce byte-identical
+  // metrics snapshots, recovery machinery included.
+  const std::string first = chaos_run();
+  const std::string second = chaos_run();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
 }
 
 }  // namespace

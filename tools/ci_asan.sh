@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # CI: build with AddressSanitizer + UndefinedBehaviorSanitizer, run the full
-# test suite, then smoke-test the machine-readable bench output — one fast
-# nvsh_fio run with --json, twice with the same seed, checking that the
+# test suite (which includes fault_test, failover_test, and the chaos soaks
+# in stress_test), then smoke-test the machine-readable bench output — one
+# fast nvsh_fio run with --json, twice with the same seed, checking that the
 # document parses and that the two runs are byte-identical (the determinism
-# property the metrics registry guarantees).
+# property the metrics registry guarantees). The same double-run check is
+# repeated with a --faults chaos plan: seeded fault injection and the
+# recovery machinery it triggers must be exactly as reproducible as a
+# fault-free run (docs/faults.md).
 #
 # Usage: tools/ci_asan.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -57,4 +61,21 @@ fi
 
 cmp "$JSON_A" "$JSON_B"
 echo "determinism ok: identical seeds produced byte-identical documents"
+
+# --- chaos determinism --------------------------------------------------------
+# Same property with the fault injector active: a seeded plan plus the
+# recovery paths it exercises (timeouts, retries, a link flap, controller
+# error) must still produce byte-identical metric snapshots.
+CHAOS_PLAN="seed=11;drop_posted_write:src=0,dst=1,nth=40,count=2;ntb_link_down:host=1,at=2ms,for=300us;ctrl_error:nth=100"
+chaos_smoke() {
+  "$BUILD_DIR/tools/nvsh_fio" --scenario ours-remote --rw randrw \
+    --ops 2000 --seed 7 --faults "$CHAOS_PLAN" --json "$1" > /dev/null
+}
+CHAOS_A="$BUILD_DIR/chaos_a.json"
+CHAOS_B="$BUILD_DIR/chaos_b.json"
+chaos_smoke "$CHAOS_A"
+chaos_smoke "$CHAOS_B"
+cmp "$CHAOS_A" "$CHAOS_B"
+grep -q '"nvmeshare.fault.link_downs":1' "$CHAOS_A"
+echo "chaos determinism ok: same-seed fault runs produced byte-identical documents"
 echo "ci_asan: all green"

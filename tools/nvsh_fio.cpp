@@ -8,12 +8,14 @@
 //   nvsh_fio --scenario ours-remote --rw randread --bs 4096 --qd 1 --ops 20000
 //   nvsh_fio --scenario nvmeof-remote --rw randwrite --runtime-ms 50 --qd 8 --json -
 //   nvsh_fio --scenario ours-remote --sq-placement host --data-path iommu --verify
+//   nvsh_fio --faults "seed=7;ntb_link_down:host=1,at=1ms,for=300us" --ops 5000
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "bench/bench_util.hpp"
+#include "fault/fault.hpp"
 
 namespace {
 
@@ -32,6 +34,7 @@ struct Options {
   std::string data_path = "bounce";
   bool verify = false;
   std::string json_path;  ///< empty = no JSON document; "-" = stdout
+  std::string faults;     ///< fault plan DSL (docs/faults.md); empty = no chaos
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -50,7 +53,11 @@ struct Options {
       "  --data-path P     bounce | iommu (ours-* scenarios; Section V knob)\n"
       "  --verify          check read data against this run's writes\n"
       "  --json PATH       write the bench document (boxplots + metrics snapshot)\n"
-      "                    to PATH; \"-\" = stdout\n",
+      "                    to PATH; \"-\" = stdout\n"
+      "  --faults PLAN     deterministic fault-injection plan (docs/faults.md), e.g.\n"
+      "                    \"seed=7;ntb_link_down:host=1,at=1ms,for=300us\"; also\n"
+      "                    enables the drivers' recovery machinery (timeouts,\n"
+      "                    retries, heartbeats, watchdogs)\n",
       argv0);
   std::exit(2);
 }
@@ -86,6 +93,8 @@ Options parse(int argc, char** argv) {
       opt.verify = true;
     } else if (!std::strcmp(arg, "--json")) {
       opt.json_path = need_value(i);
+    } else if (!std::strcmp(arg, "--faults")) {
+      opt.faults = need_value(i);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg);
       usage(argv[0]);
@@ -95,6 +104,8 @@ Options parse(int argc, char** argv) {
 }
 
 Scenario build_scenario(const Options& opt) {
+  const bool chaos = !opt.faults.empty();
+
   driver::Client::Config cc;
   cc.queue_depth = std::max(opt.qd, 1u);
   cc.queue_entries = static_cast<std::uint16_t>(std::max(64u, 2 * cc.queue_depth));
@@ -111,10 +122,25 @@ Scenario build_scenario(const Options& opt) {
     std::exit(2);
   }
 
-  if (opt.scenario == "ours-remote") return make_ours_remote(cc);
-  if (opt.scenario == "ours-local") return make_ours_local(cc);
+  driver::Manager::Config mc;
+  nvmeof::Initiator::Config ic;
+  if (chaos) {
+    // Recovery knobs are all off by default (fault-free runs must execute
+    // the exact seed instruction stream); a fault plan turns them on.
+    cc.cmd_timeout_ns = 2'000'000;     // 2 ms per-command deadline
+    cc.cmd_retry_limit = 4;
+    cc.retry_backoff_ns = 100'000;
+    cc.heartbeat_interval_ns = 500'000;
+    mc.client_heartbeat_timeout_ns = 2'000'000;
+    mc.csts_poll_interval_ns = 100'000;
+    ic.capsule_timeout_ns = 2'000'000;
+    ic.capsule_retry_limit = 4;
+  }
+
+  if (opt.scenario == "ours-remote") return make_ours_remote(cc, mc);
+  if (opt.scenario == "ours-local") return make_ours_local(cc, mc);
   if (opt.scenario == "linux-local") return make_linux_local();
-  if (opt.scenario == "nvmeof-remote") return make_nvmeof_remote();
+  if (opt.scenario == "nvmeof-remote") return make_nvmeof_remote(ic);
   std::fprintf(stderr, "bad --scenario\n");
   std::exit(2);
 }
@@ -152,8 +178,30 @@ int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   if (opt.ops == 0 && opt.runtime_ms == 0) usage(argv[0]);
 
+  const bool chaos = !opt.faults.empty();
+  if (chaos) {
+    // configure() before the scenario is built (drivers register crash
+    // handlers at construction only when fault::enabled()).
+    auto plan = fault::parse_plan(opt.faults);
+    if (!plan) {
+      std::fprintf(stderr, "bad --faults plan: %s\n", plan.status().to_string().c_str());
+      return 2;
+    }
+    fault::Injector::global().configure(std::move(*plan));
+  }
+
   Scenario scenario = build_scenario(opt);
-  const workload::JobResult result = run(scenario, build_spec(opt));
+  if (chaos) {
+    // arm() after bring-up: timed faults (`at=`) are relative to this point,
+    // so the chaos schedule never races controller initialization.
+    pcie::Fabric& fab = scenario.testbed->fabric();
+    fault::Injector::global().arm(
+        scenario.testbed->engine(),
+        {.set_ntb_link = [&fab](std::uint32_t host, bool up) {
+          (void)fab.set_ntb_link(host, up);
+        }});
+  }
+  const workload::JobResult result = run(scenario, build_spec(opt), /*tolerate_errors=*/chaos);
 
   const auto& lat = result.total_latency;
   const bool quiet = opt.json_path == "-";  // keep stdout parseable
@@ -186,7 +234,9 @@ int main(int argc, char** argv) {
                        {"qd", std::to_string(opt.qd)},
                        {"ops", std::to_string(result.ops_completed)},
                        {"seed", std::to_string(opt.seed)}};
+    if (chaos) config.emplace_back("faults", opt.faults);
     json_ok = write_bench_json(opt.json_path, bench_document("nvsh_fio", config, boxes));
   }
+  if (chaos) fault::Injector::global().disarm();
   return result.errors == 0 && result.verify_failures == 0 && json_ok ? 0 : 1;
 }
