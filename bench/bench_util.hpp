@@ -68,13 +68,14 @@ inline Scenario make_linux_local(TestbedConfig cfg = default_bench_testbed(1)) {
 /// Figure 9a right half: NVMe-oF over RDMA, SPDK-style target on the device
 /// host, kernel initiator on a second host.
 inline Scenario make_nvmeof_remote(nvmeof::Initiator::Config init_cfg = {},
-                                   TestbedConfig cfg = default_bench_testbed(2)) {
+                                   TestbedConfig cfg = default_bench_testbed(2),
+                                   nvmeof::Target::Config target_cfg = {}) {
   Scenario s;
   s.name = "nvmeof-remote";
   if (cfg.hosts < 2) cfg.hosts = 2;
   s.testbed = std::make_unique<Testbed>(cfg);
   auto target = s.testbed->wait(nvmeof::Target::start(
-      s.testbed->cluster(), s.testbed->nvme_endpoint(), s.testbed->network(), {}));
+      s.testbed->cluster(), s.testbed->nvme_endpoint(), s.testbed->network(), target_cfg));
   if (!target) die("nvmeof target bring-up", target.status());
   s.target = std::move(*target);
   auto initiator = s.testbed->wait(nvmeof::Initiator::connect(

@@ -63,8 +63,14 @@ bool is_timeout(const CompletionEntry& e) { return e.sqid == kTimeoutSqid; }
 
 /// Transient controller statuses worth a retry; everything else (invalid
 /// field, LBA out of range, ...) is deterministic and reported immediately.
+/// End-to-end check errors are retryable: a mismatch on the DMA'd copy of
+/// intact media (bit flip in flight) heals on resubmission.
 bool retryable_status(const CompletionEntry& e) {
-  return e.status() == nvme::kScInternalError || e.status() == nvme::kScDataTransferError;
+  return e.status() == nvme::kScInternalError ||
+         e.status() == nvme::kScDataTransferError ||
+         e.status() == nvme::kScGuardCheckError ||
+         e.status() == nvme::kScAppTagCheckError ||
+         e.status() == nvme::kScRefTagCheckError;
 }
 
 sim::Duration backoff_ns(sim::Duration base, std::uint32_t attempt) {
@@ -104,6 +110,39 @@ Status Client::copy_dram(std::uint64_t dst, std::uint64_t src, std::uint64_t len
   Bytes tmp(len);
   NVS_RETURN_IF_ERROR(dram.read(src, tmp));
   return dram.write(dst, tmp);
+}
+
+void Client::shadow_generate_pi(const block::Request& request) {
+  const std::uint32_t bs = header_.block_size;
+  Bytes buf(static_cast<std::uint64_t>(request.nblocks) * bs);
+  if (!fabric().host_dram(node_).read(request.buffer_addr, buf)) return;
+  auto& istats = integrity::stats();
+  for (std::uint32_t i = 0; i < request.nblocks; ++i) {
+    const std::uint64_t lba = request.lba + i;
+    shadow_pi_[lba] =
+        integrity::generate_pi(ConstByteSpan(buf).subspan(static_cast<std::size_t>(i) * bs, bs),
+                               lba);
+    ++istats.pi_generated;
+  }
+}
+
+bool Client::shadow_verify_pi(const block::Request& request) {
+  const std::uint32_t bs = header_.block_size;
+  Bytes buf(static_cast<std::uint64_t>(request.nblocks) * bs);
+  if (!fabric().host_dram(node_).read(request.buffer_addr, buf)) return true;
+  auto& istats = integrity::stats();
+  for (std::uint32_t i = 0; i < request.nblocks; ++i) {
+    const std::uint64_t lba = request.lba + i;
+    auto it = shadow_pi_.find(lba);
+    if (it == shadow_pi_.end()) continue;  // not written by us: nothing to check
+    ++istats.pi_verified;
+    if (integrity::verify_pi(it->second,
+                             ConstByteSpan(buf).subspan(static_cast<std::size_t>(i) * bs, bs),
+                             lba) != integrity::PiCheck::ok) {
+      return false;
+    }
+  }
+  return true;
 }
 
 sim::Future<Result<std::unique_ptr<Client>>> Client::attach(smartio::Service& service,
@@ -486,6 +525,19 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
     co_return;
   }
 
+  if (cfg_.pi_verify) {
+    if (is_write) {
+      // Generate the shadow tuples over the user buffer before any copy:
+      // everything downstream (bounce copy, DMA, media) is covered.
+      shadow_generate_pi(request);
+    } else if (request.op == block::Op::write_zeroes || request.op == block::Op::discard) {
+      // Deallocation drops the tuples, mirroring the device's PI semantics.
+      for (std::uint64_t lba = request.lba; lba < request.lba + request.nblocks; ++lba) {
+        shadow_pi_.erase(lba);
+      }
+    }
+  }
+
   std::uint64_t prp1 = 0;
   std::uint64_t prp2 = 0;
   sisci::NtbMapping dynamic_map;  // IOMMU mode: torn down after completion
@@ -596,13 +648,22 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
       ++stats_.flushes;
       break;
     case block::Op::read:
+      // PRCHK: the controller verifies stored data against its tuples
+      // before the DMA, catching media-side corruption at the source.
       sqe = nvme::make_io_rw(false, 0, 1, request.lba,
-                             static_cast<std::uint16_t>(request.nblocks), prp1, prp2);
+                             static_cast<std::uint16_t>(request.nblocks), prp1, prp2,
+                             cfg_.pi_verify ? nvme::kPrinfoPrchkGuard |
+                                                  nvme::kPrinfoPrchkApp |
+                                                  nvme::kPrinfoPrchkRef
+                                            : 0);
       ++stats_.reads;
       break;
     case block::Op::write:
+      // PRACT: the controller seals what it received, arming later PRCHK
+      // reads and the scrubber.
       sqe = nvme::make_io_rw(true, 0, 1, request.lba,
-                             static_cast<std::uint16_t>(request.nblocks), prp1, prp2);
+                             static_cast<std::uint16_t>(request.nblocks), prp1, prp2,
+                             cfg_.pi_verify ? nvme::kPrinfoPract : 0);
       ++stats_.writes;
       break;
     case block::Op::write_zeroes:
@@ -622,6 +683,8 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
   CompletionEntry cqe;
   std::uint32_t attempt = 0;
   bool recovered_once = false;
+  std::uint32_t verify_attempts = 0;
+resubmit:
   for (;;) {
     if (recovering_) {
       // A queue-pair rebuild is in flight; wait for the fresh rings.
@@ -730,6 +793,24 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
     stats_.bounce_copy_bytes += bytes;
     co_await sim::delay(eng, cfg_.costs.memcpy_ns(bytes));
     ph.mark(obs::Phase::bounce_copy, eng.now(), qid_, cqe.cid);
+  }
+
+  // End-to-end check: verify the data that actually reached the user buffer
+  // against the shadow tuples. Corruption anywhere on the return path (DMA
+  // bit flip, torn delivery, stale read) lands here; a resubmission re-reads
+  // intact media, so it gets the same bounded retry as a check-error status.
+  if (status.ok() && cqe.ok() && request.op == block::Op::read && cfg_.pi_verify &&
+      !shadow_verify_pi(request)) {
+    ++integrity::stats().client_verify_failures;
+    if (cfg_.cmd_timeout_ns > 0 && verify_attempts < cfg_.cmd_retry_limit) {
+      ++verify_attempts;
+      ++stats_.cmd_retries;
+      co_await sim::delay(eng, backoff_ns(cfg_.retry_backoff_ns, verify_attempts));
+      ph.mark(obs::Phase::recovery, eng.now(), qid_);
+      attempt = 0;
+      goto resubmit;
+    }
+    status = Status(Errc::io_error, "read data failed protection-information verify");
   }
 
   if (iommu_mapped) {

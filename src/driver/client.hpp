@@ -23,12 +23,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "block/block.hpp"
 #include "common/status.hpp"
 #include "driver/cost_model.hpp"
 #include "driver/mailbox.hpp"
+#include "integrity/integrity.hpp"
 #include "mem/iommu.hpp"
 #include "nvme/queue.hpp"
 #include "obs/metrics.hpp"
@@ -70,6 +72,15 @@ class Client final : public block::BlockDevice {
     /// Cadence of the liveness heartbeat posted into this client's mailbox
     /// slot (the manager's reaper watches it). 0 disables heartbeating.
     sim::Duration heartbeat_interval_ns = 0;
+    /// End-to-end protection information (docs/MODEL.md §7). When set, the
+    /// client generates a DIF tuple per block before the bounce copy of a
+    /// write (and submits with PRACT so the controller seals its copy),
+    /// submits reads with PRCHK, and verifies returned read data against
+    /// the shadow tuples after the DMA lands. A verify failure re-enters
+    /// the retry machinery like a retryable NVMe status. Valid while this
+    /// client is the sole writer of the LBAs it verifies (the paper's
+    /// partitioned usage). Off by default.
+    bool pi_verify = false;
     mem::Iommu::Config iommu = {};
     /// Disambiguates this client's segment ids when one node attaches to
     /// several devices (one client per device needs its own namespace).
@@ -153,6 +164,11 @@ class Client final : public block::BlockDevice {
   /// Zero-cost data copy between a DRAM buffer and a bounce slot (the time
   /// is charged separately from the cost model).
   Status copy_dram(std::uint64_t dst, std::uint64_t src, std::uint64_t len);
+  /// pi_verify write path: remember a tuple per block of the user buffer.
+  void shadow_generate_pi(const block::Request& request);
+  /// pi_verify read path: check returned data against shadow tuples.
+  /// Blocks this client never wrote have no tuple and are skipped.
+  [[nodiscard]] bool shadow_verify_pi(const block::Request& request);
 
   smartio::Service& service_;
   smartio::NodeId node_;
@@ -191,6 +207,9 @@ class Client final : public block::BlockDevice {
     std::uint64_t seq = 0;
   };
   std::map<std::uint16_t, PendingCmd> pending_;
+  /// pi_verify: DIF tuples for blocks this client wrote (a DIX-style
+  /// side-channel; the simulated wire carries no inline metadata).
+  std::unordered_map<std::uint64_t, integrity::ProtectionInfo> shadow_pi_;
   std::uint64_t cmd_seq_ = 0;
   std::unique_ptr<sim::Event> poller_kick_;  ///< wakes the idle poller on submit
   std::unique_ptr<sim::Semaphore> mailbox_lock_;

@@ -23,7 +23,9 @@ Manager::Stats::Stats()
       qps_deleted("nvmeshare.manager.qps_deleted"),
       request_errors("nvmeshare.manager.request_errors"),
       qps_reaped("nvmeshare.manager.qps_reaped"),
-      ctrl_resets("nvmeshare.manager.ctrl_resets") {}
+      ctrl_resets("nvmeshare.manager.ctrl_resets"),
+      scrub_sweeps("nvmeshare.manager.scrub_sweeps"),
+      scrub_mismatches("nvmeshare.manager.scrub_mismatches") {}
 
 Manager::Manager(smartio::Service& service, smartio::NodeId node, smartio::DeviceId device,
                  Config cfg)
@@ -281,6 +283,7 @@ sim::Task Manager::init_task(std::unique_ptr<Manager> self,
   m.mailbox_server(m.stop_);
   if (m.cfg_.client_heartbeat_timeout_ns > 0) m.reaper_task(m.stop_);
   if (m.cfg_.csts_poll_interval_ns > 0) m.watchdog_task(m.stop_);
+  if (m.cfg_.scrub_interval_ns > 0) m.scrub_task(m.stop_);
   if (fault::enabled()) {
     Manager* raw = self.get();
     m.crash_token_ = fault::Injector::global().register_crash_handler(
@@ -607,6 +610,48 @@ sim::Task Manager::watchdog_task(std::shared_ptr<bool> stop) {
       tracer.end_trace(t, eng.now());
     }
     NVS_LOG(info, "manager") << "controller recovered in " << (eng.now() - begin) << " ns";
+  }
+}
+
+// Background integrity scrubber (docs/MODEL.md §7): walks the namespace
+// with vendor scrub commands, one range per tick, making the controller
+// verify its stored protection tuples against the stored data. Detection
+// only — a mismatch is surfaced through counters and a recovery-phase trace
+// span; repair is the writer's job (re-write or deallocate the range).
+sim::Task Manager::scrub_task(std::shared_ptr<bool> stop) {
+  sim::Engine& eng = engine();
+  std::uint64_t cursor = 0;
+  for (;;) {
+    co_await sim::delay(eng, cfg_.scrub_interval_ns);
+    if (*stop) co_return;
+    const std::uint64_t capacity = header_.capacity_blocks;
+    if (capacity == 0 || cfg_.scrub_blocks_per_cmd == 0) continue;
+    if (cursor >= capacity) cursor = 0;
+    const auto span = static_cast<std::uint16_t>(
+        std::min<std::uint64_t>(cfg_.scrub_blocks_per_cmd, capacity - cursor));
+    const sim::Time begin = eng.now();
+    auto cqe = co_await submit_admin(nvme::make_vendor_scrub(0, 1, cursor, span));
+    if (*stop) co_return;
+    // Unreachable or resetting controller: leave the cursor so the next
+    // tick retries the same range.
+    if (!cqe || (!(*cqe).ok() && (*cqe).status() != nvme::kScGuardCheckError)) continue;
+    if ((*cqe).dw0 != 0) {
+      stats_.scrub_mismatches += (*cqe).dw0;
+      NVS_LOG(warn, "manager") << "scrub found " << (*cqe).dw0
+                               << " mismatching blocks in [" << cursor << ", "
+                               << (cursor + span) << ")";
+      obs::Tracer& tracer = obs::Tracer::global();
+      if (tracer.enabled()) {
+        const std::uint64_t t = tracer.begin_trace(obs::Kind::other, begin);
+        tracer.record(t, obs::Track::controller, obs::Phase::recovery, begin, eng.now(), 0);
+        tracer.end_trace(t, eng.now());
+      }
+    }
+    cursor += span;
+    if (cursor >= capacity) {
+      cursor = 0;
+      ++stats_.scrub_sweeps;
+    }
   }
 }
 

@@ -45,6 +45,14 @@ class Manager {
     /// Cadence of the CSTS watchdog that detects a fatal controller status
     /// and drives the reset + re-init path. 0 disables it.
     sim::Duration csts_poll_interval_ns = 0;
+    /// Cadence of the background scrubber (docs/MODEL.md §7): every tick it
+    /// issues one vendor scrub command verifying the stored protection
+    /// tuples of the next `scrub_blocks_per_cmd` blocks, wrapping at the
+    /// namespace end. 0 disables scrubbing. Only useful when the namespace
+    /// is PI-formatted (the command is a cheap no-op otherwise).
+    sim::Duration scrub_interval_ns = 0;
+    /// Blocks covered by one scrub command.
+    std::uint16_t scrub_blocks_per_cmd = 256;
   };
 
   /// Bring the controller up and start serving; resolves when the metadata
@@ -83,6 +91,8 @@ class Manager {
     obs::Counter request_errors;
     obs::Counter qps_reaped;    ///< orphaned queue pairs collected by the reaper
     obs::Counter ctrl_resets;   ///< fatal-status recoveries by the CSTS watchdog
+    obs::Counter scrub_sweeps;      ///< full-namespace scrub passes completed
+    obs::Counter scrub_mismatches;  ///< mismatching blocks reported by scrub commands
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -108,6 +118,9 @@ class Manager {
   /// Fatal-status detection: poll CSTS and run controller reset + re-init
   /// when CFS is raised.
   sim::Task watchdog_task(std::shared_ptr<bool> stop);
+  /// Background integrity scrubber: walk the namespace with vendor scrub
+  /// commands, one range per tick.
+  sim::Task scrub_task(std::shared_ptr<bool> stop);
 
   [[nodiscard]] sim::Engine& engine();
   [[nodiscard]] pcie::Fabric& fabric();

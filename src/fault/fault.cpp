@@ -14,12 +14,10 @@ bool g_enabled = false;
 
 const char* fault_kind_name(FaultKind kind) noexcept {
   switch (kind) {
-    case FaultKind::drop_posted_write: return "drop_posted_write";
-    case FaultKind::delay_posted_write: return "delay_posted_write";
-    case FaultKind::ntb_link_down: return "ntb_link_down";
-    case FaultKind::host_crash: return "host_crash";
-    case FaultKind::ctrl_error: return "ctrl_error";
-    case FaultKind::drop_capsule: return "drop_capsule";
+#define NVS_FAULT_NAME(name) \
+  case FaultKind::name: return #name;
+    NVS_FAULT_KINDS(NVS_FAULT_NAME)
+#undef NVS_FAULT_NAME
   }
   return "?";
 }
@@ -31,7 +29,10 @@ Injector::Stats::Stats()
       link_ups("nvmeshare.fault.link_ups"),
       host_crashes("nvmeshare.fault.host_crashes"),
       ctrl_errors("nvmeshare.fault.ctrl_errors"),
-      capsule_drops("nvmeshare.fault.capsule_drops") {}
+      capsule_drops("nvmeshare.fault.capsule_drops"),
+      bit_flips("nvmeshare.fault.bit_flips"),
+      torn_writes("nvmeshare.fault.torn_writes"),
+      stale_reads("nvmeshare.fault.stale_reads") {}
 
 Injector& Injector::global() {
   static Injector instance;
@@ -118,28 +119,65 @@ bool Injector::should_fire(std::size_t spec_index) {
 }
 
 Injector::PostedWriteDecision Injector::on_posted_write(std::uint32_t src_host,
-                                                        std::uint32_t dst_host, bool to_bar) {
+                                                        std::uint32_t dst_host, bool to_bar,
+                                                        std::uint64_t len) {
   PostedWriteDecision decision;
   for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
     const FaultSpec& spec = plan_.faults[i];
     if (spec.kind != FaultKind::drop_posted_write &&
-        spec.kind != FaultKind::delay_posted_write) {
+        spec.kind != FaultKind::delay_posted_write &&
+        spec.kind != FaultKind::flip_dma_bits && spec.kind != FaultKind::torn_dma_write) {
       continue;
     }
     if (spec.src_host != kAnyHost && spec.src_host != src_host) continue;
     if (spec.dst_host != kAnyHost && spec.dst_host != dst_host) continue;
     if (spec.write_class == WriteClass::bar && !to_bar) continue;
     if (spec.write_class == WriteClass::dram && to_bar) continue;
+    if ((spec.kind == FaultKind::flip_dma_bits || spec.kind == FaultKind::torn_dma_write) &&
+        len == 0) {
+      continue;  // nothing to corrupt
+    }
     if (!should_fire(i)) continue;
-    if (spec.kind == FaultKind::drop_posted_write) {
-      decision.drop = true;
-      ++stats_.posted_drops;
-    } else {
-      decision.extra_ns += spec.extra_ns;
-      ++stats_.posted_delays;
+    switch (spec.kind) {
+      case FaultKind::drop_posted_write:
+        decision.drop = true;
+        ++stats_.posted_drops;
+        break;
+      case FaultKind::delay_posted_write:
+        decision.extra_ns += spec.extra_ns;
+        ++stats_.posted_delays;
+        break;
+      case FaultKind::flip_dma_bits:
+        decision.flip = true;
+        decision.flip_bit = rng_.uniform(len * 8);
+        ++stats_.bit_flips;
+        break;
+      case FaultKind::torn_dma_write:
+        decision.torn = true;
+        decision.torn_bytes = rng_.uniform(len);  // strict prefix: [0, len)
+        ++stats_.torn_writes;
+        break;
+      default:
+        break;
     }
   }
   return decision;
+}
+
+bool Injector::on_dma_read(std::uint32_t src_host, std::uint32_t dst_host, bool from_bar) {
+  bool stale = false;
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    const FaultSpec& spec = plan_.faults[i];
+    if (spec.kind != FaultKind::stale_read) continue;
+    if (spec.src_host != kAnyHost && spec.src_host != src_host) continue;
+    if (spec.dst_host != kAnyHost && spec.dst_host != dst_host) continue;
+    if (spec.write_class == WriteClass::bar && !from_bar) continue;
+    if (spec.write_class == WriteClass::dram && from_bar) continue;
+    if (!should_fire(i)) continue;
+    stale = true;
+    ++stats_.stale_reads;
+  }
+  return stale;
 }
 
 Injector::CtrlDecision Injector::on_ctrl_command(std::uint16_t qid, std::uint16_t cid) {
@@ -202,12 +240,10 @@ Result<sim::Duration> parse_duration(std::string_view text) {
 }
 
 Result<FaultKind> parse_kind(std::string_view text) {
-  if (text == "drop_posted_write") return FaultKind::drop_posted_write;
-  if (text == "delay_posted_write") return FaultKind::delay_posted_write;
-  if (text == "ntb_link_down") return FaultKind::ntb_link_down;
-  if (text == "host_crash") return FaultKind::host_crash;
-  if (text == "ctrl_error") return FaultKind::ctrl_error;
-  if (text == "drop_capsule") return FaultKind::drop_capsule;
+#define NVS_FAULT_PARSE(name) \
+  if (text == #name) return FaultKind::name;
+  NVS_FAULT_KINDS(NVS_FAULT_PARSE)
+#undef NVS_FAULT_PARSE
   return Status(Errc::invalid_argument, "unknown fault kind '" + std::string(text) + "'");
 }
 

@@ -20,6 +20,7 @@
 // double-runs (the determinism check in the chaos stress test) possible.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -47,14 +48,34 @@ extern bool g_enabled;
 /// construct it (keeping their metrics snapshots unchanged).
 [[nodiscard]] inline bool enabled() noexcept { return detail::g_enabled; }
 
+/// The fault vocabulary as a single X-macro: the enum, the name table, and
+/// the plan-DSL parser all expand from this list, so adding a kind in one
+/// place keeps all three in sync (fault_test pins the exhaustiveness).
+#define NVS_FAULT_KINDS(X)                                                                 \
+  X(drop_posted_write)  /* lose a posted write in flight (doorbell, CQE, ...) */           \
+  X(delay_posted_write) /* posted write arrives extra_ns late */                           \
+  X(ntb_link_down)      /* cable pull on a host's NTB links (timed, optional restore) */   \
+  X(host_crash)         /* silently kill a driver instance (manager or client) */          \
+  X(ctrl_error)         /* controller completes a command with Internal Error */           \
+  X(drop_capsule)       /* lose an RDMA SEND (NVMe-oF command/response capsule) */         \
+  X(flip_dma_bits)      /* flip one bit of a DMA payload at delivery */                    \
+  X(torn_dma_write)     /* deliver only a prefix of a DMA write payload */                 \
+  X(stale_read)         /* DMA read completes with stale (zero-filled) data */
+
 enum class FaultKind : std::uint8_t {
-  drop_posted_write,   ///< lose a posted write in flight (doorbell, CQE, ...)
-  delay_posted_write,  ///< posted write arrives extra_ns late
-  ntb_link_down,       ///< cable pull on a host's NTB links (timed, optional restore)
-  host_crash,          ///< silently kill a driver instance (manager or client)
-  ctrl_error,          ///< controller completes a command with Internal Error
-  drop_capsule,        ///< lose an RDMA SEND (NVMe-oF command/response capsule)
+#define NVS_FAULT_ENUM(name) name,
+  NVS_FAULT_KINDS(NVS_FAULT_ENUM)
+#undef NVS_FAULT_ENUM
 };
+
+/// Number of FaultKind values (X-macro expansion count).
+inline constexpr std::size_t kFaultKindCount = [] {
+  std::size_t n = 0;
+#define NVS_FAULT_COUNT(name) ++n;
+  NVS_FAULT_KINDS(NVS_FAULT_COUNT)
+#undef NVS_FAULT_COUNT
+  return n;
+}();
 
 [[nodiscard]] const char* fault_kind_name(FaultKind kind) noexcept;
 
@@ -140,10 +161,23 @@ class Injector {
   struct PostedWriteDecision {
     bool drop = false;
     sim::Duration extra_ns = 0;
+    // Corruption at delivery (flip_dma_bits / torn_dma_write). Offsets are
+    // drawn from the injector's seeded RNG, so they are reproducible.
+    bool flip = false;
+    std::uint64_t flip_bit = 0;    ///< bit offset within the payload
+    bool torn = false;
+    std::uint64_t torn_bytes = 0;  ///< strict prefix length delivered
   };
   /// Consulted by Fabric::post_write/write_sg once the destination resolved.
+  /// `len` is the payload byte count (used to place corruption).
   PostedWriteDecision on_posted_write(std::uint32_t src_host, std::uint32_t dst_host,
-                                      bool to_bar);
+                                      bool to_bar, std::uint64_t len);
+
+  /// Consulted by Fabric::read/read_sg at completer-access time. True =
+  /// the read completes with stale (zero-filled) data instead of memory
+  /// contents (stale_read).
+  [[nodiscard]] bool on_dma_read(std::uint32_t src_host, std::uint32_t dst_host,
+                                 bool from_bar);
 
   struct CtrlDecision {
     bool inject = false;
@@ -165,6 +199,9 @@ class Injector {
     obs::Counter host_crashes;
     obs::Counter ctrl_errors;
     obs::Counter capsule_drops;
+    obs::Counter bit_flips;
+    obs::Counter torn_writes;
+    obs::Counter stale_reads;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

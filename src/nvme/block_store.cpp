@@ -44,6 +44,12 @@ Status BlockStore::write(std::uint64_t slba, std::uint32_t nblocks, ConstByteSpa
   NVS_RETURN_IF_ERROR(check_range(slba, nblocks));
   const std::uint64_t bytes = static_cast<std::uint64_t>(nblocks) * block_size_;
   if (in.size() != bytes) return Status(Errc::invalid_argument, "buffer size mismatch");
+  if (pi_enabled_) {
+    // Overwriting invalidates stored tuples; a PRACT write re-generates
+    // them afterwards. Without this, a non-PRACT overwrite would leave a
+    // stale tuple that a later check or scrub flags as a false mismatch.
+    for (std::uint64_t lba = slba; lba < slba + nblocks; ++lba) pi_.erase(lba);
+  }
 
   std::uint64_t pos = slba * block_size_;
   std::size_t done = 0;
@@ -63,6 +69,9 @@ Status BlockStore::write(std::uint64_t slba, std::uint32_t nblocks, ConstByteSpa
 
 Status BlockStore::write_zeroes(std::uint64_t slba, std::uint32_t nblocks) {
   NVS_RETURN_IF_ERROR(check_range(slba, nblocks));
+  if (pi_enabled_) {
+    for (std::uint64_t lba = slba; lba < slba + nblocks; ++lba) pi_.erase(lba);
+  }
   const std::uint64_t bytes = static_cast<std::uint64_t>(nblocks) * block_size_;
   std::uint64_t pos = slba * block_size_;
   std::uint64_t done = 0;
@@ -82,6 +91,41 @@ Status BlockStore::write_zeroes(std::uint64_t slba, std::uint32_t nblocks) {
     pos += n;
   }
   return Status::ok();
+}
+
+void BlockStore::format_with_pi(bool enabled) {
+  pi_enabled_ = enabled;
+  pi_.clear();
+}
+
+std::optional<integrity::ProtectionInfo> BlockStore::read_pi(std::uint64_t lba) const {
+  if (!pi_enabled_) return std::nullopt;
+  auto it = pi_.find(lba);
+  if (it == pi_.end()) return std::nullopt;
+  return it->second;
+}
+
+void BlockStore::write_pi(std::uint64_t lba, const integrity::ProtectionInfo& pi) {
+  if (!pi_enabled_) return;
+  pi_[lba] = pi;
+}
+
+Result<std::uint64_t> BlockStore::verify_stored_pi(std::uint64_t slba,
+                                                   std::uint32_t nblocks) const {
+  NVS_RETURN_IF_ERROR(check_range(slba, nblocks));
+  if (!pi_enabled_) return std::uint64_t{0};
+  std::uint64_t mismatches = 0;
+  Bytes block(block_size_);
+  for (std::uint64_t lba = slba; lba < slba + nblocks; ++lba) {
+    auto it = pi_.find(lba);
+    if (it == pi_.end()) continue;  // deallocated: checks disabled
+    if (Status st = read(lba, 1, block); !st) return st;
+    if (integrity::verify_pi(it->second, block, lba, {}, it->second.app_tag) !=
+        integrity::PiCheck::ok) {
+      ++mismatches;
+    }
+  }
+  return mismatches;
 }
 
 }  // namespace nvmeshare::nvme

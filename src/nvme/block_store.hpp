@@ -2,13 +2,20 @@
 // empty multi-hundred-GB namespace costs memory proportional to the data
 // actually written; unwritten blocks read as zeroes (matching a freshly
 // formatted SSD with deallocated blocks).
+//
+// Formatted with protection information, the store additionally keeps one
+// 8-byte DIF tuple per written block ("extended metadata", held out-of-band
+// here). Deallocated blocks have no tuple: per spec, checks are skipped for
+// them.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
+#include "integrity/integrity.hpp"
 
 namespace nvmeshare::nvme {
 
@@ -23,8 +30,27 @@ class BlockStore {
   Status read(std::uint64_t slba, std::uint32_t nblocks, ByteSpan out) const;
   /// Write `nblocks` starting at `slba`.
   Status write(std::uint64_t slba, std::uint32_t nblocks, ConstByteSpan in);
-  /// Deallocate / zero a range (Write Zeroes).
+  /// Deallocate / zero a range (Write Zeroes). Drops stored PI: checks are
+  /// disabled for deallocated blocks until they are written again.
   Status write_zeroes(std::uint64_t slba, std::uint32_t nblocks);
+
+  // --- protection information ------------------------------------------------
+
+  /// "Format with metadata": enable (or disable) per-block PI storage.
+  /// Clears any stored tuples, like a real NVMe Format command would.
+  void format_with_pi(bool enabled);
+  [[nodiscard]] bool pi_enabled() const noexcept { return pi_enabled_; }
+
+  /// Stored tuple for one block; nullopt if PI is off or the block was
+  /// never written (deallocated).
+  [[nodiscard]] std::optional<integrity::ProtectionInfo> read_pi(std::uint64_t lba) const;
+  /// Store the tuple for one block (no-op unless formatted with PI).
+  void write_pi(std::uint64_t lba, const integrity::ProtectionInfo& pi);
+
+  /// Scrub back end: verify each written block's stored tuple against its
+  /// stored data and return the number of mismatching blocks. Deallocated
+  /// blocks are skipped.
+  Result<std::uint64_t> verify_stored_pi(std::uint64_t slba, std::uint32_t nblocks) const;
 
   [[nodiscard]] std::size_t resident_chunks() const noexcept { return chunks_.size(); }
 
@@ -35,7 +61,9 @@ class BlockStore {
 
   std::uint64_t capacity_blocks_;
   std::uint32_t block_size_;
+  bool pi_enabled_ = false;
   std::unordered_map<std::uint64_t, Bytes> chunks_;  // chunk index -> kChunkBytes
+  std::unordered_map<std::uint64_t, integrity::ProtectionInfo> pi_;  // lba -> tuple
 };
 
 }  // namespace nvmeshare::nvme

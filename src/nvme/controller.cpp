@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "fault/fault.hpp"
+#include "integrity/integrity.hpp"
 #include "obs/trace.hpp"
 
 namespace nvmeshare::nvme {
@@ -58,6 +59,7 @@ Controller::Controller(sim::Engine& engine, Config cfg)
   }
   msix_.resize(kMsixVectors);
   channels_ = std::make_unique<sim::Semaphore>(engine_, cfg_.service.channels);
+  if (cfg_.pi_enabled) store_.format_with_pi(true);
 }
 
 int Controller::active_io_sq_count() const {
@@ -335,7 +337,14 @@ sim::Task Controller::sq_fetcher(std::uint16_t qid, std::uint64_t gen) {
 sim::Task Controller::execute_command(std::uint16_t qid, SubmissionEntry sqe,
                                       std::uint16_t sq_head_after, std::uint64_t gen) {
   if (qid == 0) {
-    run_admin(sqe, sq_head_after, gen);
+    // Vendor scrub is privileged — the manager issues it on the admin
+    // queue — but it executes like an I/O command (media access, channel
+    // arbitration), so it routes through run_io.
+    if (static_cast<IoOpcode>(sqe.opcode) == IoOpcode::vendor_scrub) {
+      run_io(qid, sqe, sq_head_after, gen);
+    } else {
+      run_admin(sqe, sq_head_after, gen);
+    }
   } else {
     run_io(qid, sqe, sq_head_after, gen);
   }
@@ -432,8 +441,8 @@ sim::Task Controller::run_admin(SubmissionEntry sqe, std::uint16_t sq_head_after
               status = kScInvalidNamespace;
               break;
             }
-            payload = build_identify_namespace(
-                NamespaceInfo{store_.capacity_blocks(), store_.block_size()});
+            payload = build_identify_namespace(NamespaceInfo{
+                store_.capacity_blocks(), store_.block_size(), store_.pi_enabled()});
             break;
           }
           case IdentifyCns::active_ns_list: {
@@ -677,7 +686,7 @@ sim::Task Controller::run_io(std::uint16_t qid, SubmissionEntry sqe,
     co_return;
   }
   if (op != IoOpcode::read && op != IoOpcode::write && op != IoOpcode::write_zeroes &&
-      op != IoOpcode::dataset_management) {
+      op != IoOpcode::dataset_management && op != IoOpcode::vendor_scrub) {
     complete(qid, sq_head_after, sqe.cid, kScInvalidOpcode, 0, gen, 0);
     co_return;
   }
@@ -724,12 +733,39 @@ sim::Task Controller::run_io(std::uint16_t qid, SubmissionEntry sqe,
   const std::uint32_t nblocks = (sqe.cdw12 & 0xFFFF) + 1;
   const std::uint64_t bytes = static_cast<std::uint64_t>(nblocks) * store_.block_size();
   const std::uint64_t mdts_bytes = 32 * kPageSize;  // matches ControllerInfo::mdts_pages_log2
-  if (slba + nblocks > store_.capacity_blocks()) {
+  // Overflow-safe: slba near UINT64_MAX must not wrap past the capacity
+  // check (nblocks <= 65536, so a wrapped sum is always smaller than slba).
+  if (slba + nblocks > store_.capacity_blocks() || slba + nblocks < slba) {
     complete(qid, sq_head_after, sqe.cid, kScLbaOutOfRange, 0, gen, 0);
     co_return;
   }
-  if (bytes > mdts_bytes) {
+  if (op != IoOpcode::vendor_scrub && bytes > mdts_bytes) {
     complete(qid, sq_head_after, sqe.cid, kScInvalidField, 0, gen, 0);
+    co_return;
+  }
+
+  if (op == IoOpcode::vendor_scrub) {
+    // Background-scrub range verify: walk stored tuples against stored
+    // data at media-read cost, no host DMA. DW0 reports the mismatch
+    // count; any mismatch completes with Guard Check Error.
+    co_await channels_->acquire();
+    co_await sim::delay(engine_,
+                        cfg_.service.cmd_fixed_ns + media_latency(IoOpcode::read, nblocks));
+    channels_->release();
+    if (gen != generation_) co_return;
+    auto mismatches = store_.verify_stored_pi(slba, nblocks);
+    if (!mismatches) {
+      complete(qid, sq_head_after, sqe.cid, kScInternalError, 0, gen, 0);
+      co_return;
+    }
+    if (store_.pi_enabled()) {
+      auto& istats = integrity::stats();
+      istats.blocks_scrubbed += nblocks;
+      istats.scrub_errors += *mismatches;
+    }
+    complete(qid, sq_head_after, sqe.cid,
+             *mismatches == 0 ? kScSuccess : kScGuardCheckError,
+             static_cast<std::uint32_t>(*mismatches), gen, 0);
     co_return;
   }
 
@@ -761,6 +797,35 @@ sim::Task Controller::run_io(std::uint16_t qid, SubmissionEntry sqe,
     if (Status st = store_.read(slba, nblocks, data); !st) {
       complete(qid, sq_head_after, sqe.cid, kScInternalError, 0, gen, 0);
       co_return;
+    }
+    if (store_.pi_enabled() &&
+        (sqe.cdw12 & (kPrinfoPrchkGuard | kPrinfoPrchkApp | kPrinfoPrchkRef)) != 0) {
+      auto& istats = integrity::stats();
+      const integrity::PiCheckMask mask{(sqe.cdw12 & kPrinfoPrchkGuard) != 0,
+                                        (sqe.cdw12 & kPrinfoPrchkApp) != 0,
+                                        (sqe.cdw12 & kPrinfoPrchkRef) != 0};
+      for (std::uint32_t i = 0; i < nblocks; ++i) {
+        const std::uint64_t lba = slba + i;
+        auto pi = store_.read_pi(lba);
+        if (!pi) continue;  // deallocated block: checks disabled per spec
+        const auto block = ConstByteSpan(data).subspan(
+            static_cast<std::size_t>(i) * store_.block_size(), store_.block_size());
+        ++istats.pi_verified;
+        const integrity::PiCheck check = integrity::verify_pi(*pi, block, lba, mask);
+        if (check == integrity::PiCheck::ok) continue;
+        std::uint16_t status = kScGuardCheckError;
+        if (check == integrity::PiCheck::guard_mismatch) {
+          ++istats.guard_errors;
+        } else if (check == integrity::PiCheck::app_tag_mismatch) {
+          ++istats.app_tag_errors;
+          status = kScAppTagCheckError;
+        } else {
+          ++istats.ref_tag_errors;
+          status = kScRefTagCheckError;
+        }
+        complete(qid, sq_head_after, sqe.cid, status, 0, gen, 0);
+        co_return;
+      }
     }
     auto sg = co_await walk_prps(sqe.prp1, sqe.prp2, bytes);
     if (gen != generation_) co_return;
@@ -812,6 +877,20 @@ sim::Task Controller::run_io(std::uint16_t qid, SubmissionEntry sqe,
   if (Status st = store_.write(slba, nblocks, *data); !st) {
     complete(qid, sq_head_after, sqe.cid, kScInternalError, 0, gen, 0);
     co_return;
+  }
+  if (store_.pi_enabled() && (sqe.cdw12 & kPrinfoPract) != 0) {
+    // PRACT: the controller generates the DIF tuple over the data it
+    // received. If the payload was corrupted in flight, the tuple seals the
+    // corrupted bytes — end-to-end write protection needs the host-side
+    // verify (driver pi_verify), exactly as with real inline metadata.
+    auto& istats = integrity::stats();
+    for (std::uint32_t i = 0; i < nblocks; ++i) {
+      const std::uint64_t lba = slba + i;
+      const auto block = ConstByteSpan(*data).subspan(
+          static_cast<std::size_t>(i) * store_.block_size(), store_.block_size());
+      store_.write_pi(lba, integrity::generate_pi(block, lba));
+      ++istats.pi_generated;
+    }
   }
   complete(qid, sq_head_after, sqe.cid, kScSuccess, 0, gen, 0);
 }

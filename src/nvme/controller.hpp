@@ -58,6 +58,11 @@ class Controller final : public pcie::Endpoint {
     std::uint16_t max_queue_pairs = 32;
     std::uint64_t capacity_blocks = 375ull * 1000 * 1000 * 1000 / 512;
     std::uint32_t block_size = 512;
+    /// Format the namespace with Type 1 protection information: the store
+    /// keeps a DIF tuple per block, I/O commands honor PRACT/PRCHK, and the
+    /// vendor scrub command verifies stored guards. Off by default —
+    /// fault-free integrity-off runs execute the seed instruction stream.
+    bool pi_enabled = false;
     std::uint16_t fetch_burst = 8;  ///< max SQEs fetched per DMA read
     ServiceModel service;
     std::uint64_t seed = 0x5eed;

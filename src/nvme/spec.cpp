@@ -18,6 +18,9 @@ const char* status_name(std::uint16_t status) {
     case kScAbortRequested: return "abort requested";
     case kScInvalidNamespace: return "invalid namespace";
     case kScLbaOutOfRange: return "LBA out of range";
+    case kScGuardCheckError: return "end-to-end guard check error";
+    case kScAppTagCheckError: return "end-to-end application tag check error";
+    case kScRefTagCheckError: return "end-to-end reference tag check error";
     case kScInvalidQueueId: return "invalid queue id";
     case kScInvalidQueueSize: return "invalid queue size";
     case kScInvalidInterruptVector: return "invalid interrupt vector";
@@ -72,6 +75,11 @@ Bytes build_identify_namespace(const NamespaceInfo& info) {
   put_u64(out, 16, info.size_blocks);  // NUSE
   out[25] = std::byte{0};              // NLBAF: 1 format
   out[26] = std::byte{0};              // FLBAS: format 0
+  // DPC @28: Type 1 protection supported; DPS @29: Type 1 enabled, PI
+  // stored out-of-band (this model keeps PI beside each block, not
+  // interleaved, so MS in LBAF0 stays 0).
+  out[28] = std::byte{0x01};
+  out[29] = std::byte{info.pi_enabled ? 0x01 : 0x00};
   // LBAF0 @128: MS[15:0]=0, LBADS[23:16]=log2(block size)
   std::uint32_t lbads = 0;
   for (std::uint32_t bs = info.block_size; bs > 1; bs >>= 1) ++lbads;
@@ -92,6 +100,7 @@ ParsedControllerIdentify parse_identify_controller(ConstByteSpan data) {
 ParsedNamespaceIdentify parse_identify_namespace(ConstByteSpan data) {
   ParsedNamespaceIdentify out;
   out.size_blocks = get_pod<std::uint64_t>(data, 0);
+  out.pi_enabled = (static_cast<std::uint8_t>(data[29]) & 0x7) != 0;  // DPS type
   const std::uint32_t lbaf0 = get_pod<std::uint32_t>(data, 128);
   out.block_size = 1u << ((lbaf0 >> 16) & 0xFF);
   return out;
@@ -160,7 +169,7 @@ SubmissionEntry make_set_num_queues(std::uint16_t cid, std::uint16_t nsq, std::u
 
 SubmissionEntry make_io_rw(bool write, std::uint16_t cid, std::uint32_t nsid,
                            std::uint64_t slba, std::uint16_t nblocks, std::uint64_t prp1,
-                           std::uint64_t prp2) {
+                           std::uint64_t prp2, std::uint32_t prinfo) {
   SubmissionEntry e;
   e.opcode = static_cast<std::uint8_t>(write ? IoOpcode::write : IoOpcode::read);
   e.cid = cid;
@@ -169,7 +178,20 @@ SubmissionEntry make_io_rw(bool write, std::uint16_t cid, std::uint32_t nsid,
   e.prp2 = prp2;
   e.cdw10 = static_cast<std::uint32_t>(slba & 0xFFFFFFFFu);
   e.cdw11 = static_cast<std::uint32_t>(slba >> 32);
-  e.cdw12 = static_cast<std::uint32_t>(nblocks - 1);  // NLB is 0-based
+  e.cdw12 = static_cast<std::uint32_t>(nblocks - 1)  // NLB is 0-based
+            | (prinfo & kPrinfoMask);
+  return e;
+}
+
+SubmissionEntry make_vendor_scrub(std::uint16_t cid, std::uint32_t nsid, std::uint64_t slba,
+                                  std::uint16_t nblocks) {
+  SubmissionEntry e;
+  e.opcode = static_cast<std::uint8_t>(IoOpcode::vendor_scrub);
+  e.cid = cid;
+  e.nsid = nsid;
+  e.cdw10 = static_cast<std::uint32_t>(slba & 0xFFFFFFFFu);
+  e.cdw11 = static_cast<std::uint32_t>(slba >> 32);
+  e.cdw12 = static_cast<std::uint32_t>(nblocks - 1);
   return e;
 }
 

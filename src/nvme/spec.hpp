@@ -78,6 +78,10 @@ inline constexpr std::uint16_t kScInternalError = make_status(Sct::generic, 0x06
 inline constexpr std::uint16_t kScAbortRequested = make_status(Sct::generic, 0x07);
 inline constexpr std::uint16_t kScInvalidNamespace = make_status(Sct::generic, 0x0B);
 inline constexpr std::uint16_t kScLbaOutOfRange = make_status(Sct::generic, 0x80);
+// Media and data integrity status codes (SCT 2).
+inline constexpr std::uint16_t kScGuardCheckError = make_status(Sct::media_error, 0x82);
+inline constexpr std::uint16_t kScAppTagCheckError = make_status(Sct::media_error, 0x83);
+inline constexpr std::uint16_t kScRefTagCheckError = make_status(Sct::media_error, 0x84);
 // Command-specific status codes (SCT 1).
 inline constexpr std::uint16_t kScInvalidQueueId = make_status(Sct::command_specific, 0x01);
 inline constexpr std::uint16_t kScInvalidQueueSize = make_status(Sct::command_specific, 0x02);
@@ -111,7 +115,23 @@ enum class IoOpcode : std::uint8_t {
   read = 0x02,
   write_zeroes = 0x08,
   dataset_management = 0x09,
+  /// Vendor-specific: verify stored protection info over an LBA range
+  /// (CDW10/11 = SLBA, CDW12 = NLB0). Completes with the first check
+  /// error found, reporting the mismatch count in DW0. Issued by the
+  /// manager's background scrubber.
+  vendor_scrub = 0xC0,
 };
+
+// --- end-to-end data protection (PRINFO, CDW12 bits 29:26) --------------------
+
+/// PRACT: the controller generates PI on write / strips-checks on read.
+inline constexpr std::uint32_t kPrinfoPract = 1u << 29;
+/// PRCHK bits: which tuple fields the controller verifies.
+inline constexpr std::uint32_t kPrinfoPrchkGuard = 1u << 28;
+inline constexpr std::uint32_t kPrinfoPrchkApp = 1u << 27;
+inline constexpr std::uint32_t kPrinfoPrchkRef = 1u << 26;
+inline constexpr std::uint32_t kPrinfoMask =
+    kPrinfoPract | kPrinfoPrchkGuard | kPrinfoPrchkApp | kPrinfoPrchkRef;
 
 /// One Dataset Management range descriptor (the command's data payload is
 /// an array of these).
@@ -220,6 +240,8 @@ struct ControllerInfo {
 struct NamespaceInfo {
   std::uint64_t size_blocks = 0;
   std::uint32_t block_size = 512;
+  /// Namespace formatted with Type 1 protection information (DPC/DPS).
+  bool pi_enabled = false;
 };
 
 /// Serialize a 4096-byte Identify Controller data structure.
@@ -239,6 +261,7 @@ ParsedControllerIdentify parse_identify_controller(ConstByteSpan data);
 struct ParsedNamespaceIdentify {
   std::uint64_t size_blocks = 0;
   std::uint32_t block_size = 0;
+  bool pi_enabled = false;
 };
 ParsedNamespaceIdentify parse_identify_namespace(ConstByteSpan data);
 
@@ -256,9 +279,13 @@ SubmissionEntry make_create_io_sq(std::uint16_t cid, std::uint16_t qid, std::uin
 SubmissionEntry make_delete_io_sq(std::uint16_t cid, std::uint16_t qid);
 SubmissionEntry make_delete_io_cq(std::uint16_t cid, std::uint16_t qid);
 SubmissionEntry make_set_num_queues(std::uint16_t cid, std::uint16_t nsq, std::uint16_t ncq);
+/// `prinfo` is OR'd into CDW12 (kPrinfoPract / kPrinfoPrchk*); 0 = no PI.
 SubmissionEntry make_io_rw(bool write, std::uint16_t cid, std::uint32_t nsid,
                            std::uint64_t slba, std::uint16_t nblocks, std::uint64_t prp1,
-                           std::uint64_t prp2);
+                           std::uint64_t prp2, std::uint32_t prinfo = 0);
+/// Vendor scrub command covering [slba, slba + nblocks).
+SubmissionEntry make_vendor_scrub(std::uint16_t cid, std::uint32_t nsid, std::uint64_t slba,
+                                  std::uint16_t nblocks);
 SubmissionEntry make_flush(std::uint16_t cid, std::uint32_t nsid);
 SubmissionEntry make_write_zeroes(std::uint16_t cid, std::uint32_t nsid, std::uint64_t slba,
                                   std::uint16_t nblocks);

@@ -37,7 +37,10 @@ struct CommandCapsule {
   /// Initiator-side registered buffer the target RDMA-READs (writes) from
   /// or RDMA-WRITEs (reads) into.
   std::uint64_t initiator_data_addr = 0;
-  std::uint8_t reserved[32] = {};
+  /// CRC-32C over the write payload (DDGST); 0 = digest not in use. The
+  /// target verifies it after the payload lands (inline or RDMA READ).
+  std::uint32_t data_digest = 0;
+  std::uint8_t reserved[28] = {};
 };
 static_assert(sizeof(CommandCapsule) == 64);
 
@@ -45,7 +48,10 @@ struct ResponseCapsule {
   std::uint32_t dw0 = 0;
   std::uint16_t cid = 0;
   std::uint16_t status = 0;  ///< NVMe status field (0 = success)
-  std::uint8_t reserved[8] = {};
+  /// CRC-32C over the read payload the target pushed; 0 = not in use. The
+  /// initiator verifies it against the data that landed in its buffer.
+  std::uint32_t data_digest = 0;
+  std::uint8_t reserved[4] = {};
 };
 static_assert(sizeof(ResponseCapsule) == 16);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "integrity/integrity.hpp"
 #include "obs/trace.hpp"
 
 namespace nvmeshare::nvmeof {
@@ -203,6 +204,14 @@ sim::Task Initiator::io_task(block::Request request, sim::Promise<block::Complet
   }
   const std::uint64_t capsule_addr = cmd_base_ + slot * kCapsuleSlotBytes;
   mem::PhysMem& dram = cluster_.fabric().host_dram(node_);
+  if (cfg_.data_digest && request.op == block::Op::write && capsule.data_len > 0) {
+    // DDGST over the payload as it leaves the application buffer; the
+    // target re-computes it after the payload lands on its side.
+    Bytes payload(capsule.data_len);
+    (void)dram.read(request.buffer_addr, payload);
+    capsule.data_digest = integrity::crc32c(payload);
+    ++integrity::stats().digests_generated;
+  }
   (void)dram.write(capsule_addr, as_bytes_of(capsule));
   if ((capsule.flags & kFlagInlineData) != 0) {
     Bytes payload(capsule.data_len);
@@ -276,7 +285,30 @@ sim::Task Initiator::io_task(block::Request request, sim::Promise<block::Complet
       finish(Status(Errc::aborted, "initiator stopped"));
       co_return;
     }
-    if (response.status != kTimeoutStatus) break;  // genuine response arrived
+    if (response.status != kTimeoutStatus) {
+      // Verify the digest the target computed over the read payload it
+      // pushed. A mismatch means the data was damaged in flight — the
+      // media copy is intact, so a re-send heals it.
+      if (cfg_.data_digest && response.status == 0 && request.op == block::Op::read &&
+          response.data_digest != 0) {
+        Bytes payload(capsule.data_len);
+        (void)dram.read(request.buffer_addr, payload);
+        if (integrity::crc32c(payload) != response.data_digest) {
+          ++integrity::stats().digest_errors;
+          if (cfg_.capsule_timeout_ns > 0 && attempt < cfg_.capsule_retry_limit) {
+            ++attempt;
+            ++stats_.capsule_retries;
+            co_await sim::delay(engine, backoff_ns(cfg_.retry_backoff_ns, attempt));
+            ph.mark(obs::Phase::recovery, engine.now());
+            continue;
+          }
+          release_slot();
+          finish(Status(Errc::io_error, "read payload failed data-digest verify"));
+          co_return;
+        }
+      }
+      break;  // genuine response arrived
+    }
     ++attempt;
     if (attempt <= cfg_.capsule_retry_limit) {
       ++stats_.capsule_retries;

@@ -32,6 +32,10 @@ class Initiator final : public block::BlockDevice {
     std::uint32_t capsule_retry_limit = 3;
     /// Backoff before the first retry; doubles per subsequent attempt.
     sim::Duration retry_backoff_ns = 100'000;
+    /// Attach a CRC-32C data digest (DDGST) to write capsules and verify
+    /// the digest the target returns with read payloads. A read-digest
+    /// mismatch re-enters the capsule retry machinery. Off by default.
+    bool data_digest = false;
     std::uint64_t seed = 0x1217;
   };
 

@@ -1,6 +1,7 @@
 #include "nvmeof/target.hpp"
 
 #include "common/log.hpp"
+#include "integrity/integrity.hpp"
 #include "obs/trace.hpp"
 
 namespace nvmeshare::nvmeof {
@@ -258,7 +259,14 @@ sim::Task Target::handle_command(Connection* conn, std::uint32_t slot,
     Bytes payload(capsule.data_len);
     (void)dram.read(conn->recv_base + slot * kCapsuleSlotBytes + sizeof(CommandCapsule),
                     payload);
-    (void)dram.write(staging, payload);
+    if (capsule.data_digest != 0 && integrity::crc32c(payload) != capsule.data_digest) {
+      // Inline payload damaged on the wire: refuse before it reaches media.
+      ++integrity::stats().digest_errors;
+      ok = false;
+      nvme_status = nvme::kScDataTransferError;
+    } else {
+      (void)dram.write(staging, payload);
+    }
   } else if (ok && op == FabricOp::write && capsule.data_len > 0) {
     ++stats_.writes;
     const std::uint64_t wr = kWrRdmaRead | slot;
@@ -283,6 +291,15 @@ sim::Task Target::handle_command(Connection* conn, std::uint32_t slot,
       if (!wc.status) {
         ok = false;
         nvme_status = nvme::kScDataTransferError;
+      } else if (capsule.data_digest != 0) {
+        // Verify what actually landed in staging after the RDMA READ.
+        Bytes payload(capsule.data_len);
+        (void)dram.read(staging, payload);
+        if (integrity::crc32c(payload) != capsule.data_digest) {
+          ++integrity::stats().digest_errors;
+          ok = false;
+          nvme_status = nvme::kScDataTransferError;
+        }
       }
     }
   }
@@ -357,6 +374,15 @@ sim::Task Target::handle_command(Connection* conn, std::uint32_t slot,
   // follows on the same QP, so RC ordering keeps data-before-completion.
   sim::Future<rdma::WorkCompletion> write_fut;
   bool pushed_data = false;
+  std::uint32_t read_digest = 0;
+  if (ok && op == FabricOp::read && capsule.data_len > 0 && cfg_.data_digest) {
+    // DDGST over the staged data before the push: the initiator compares
+    // it against what actually arrives in its buffer.
+    Bytes payload(capsule.data_len);
+    (void)dram.read(staging, payload);
+    read_digest = integrity::crc32c(payload);
+    ++integrity::stats().digests_generated;
+  }
   if (ok && op == FabricOp::read && capsule.data_len > 0) {
     const std::uint64_t wr = kWrRdmaWrite | slot;
     auto [it, ins] = conn->wr_pending.emplace(wr, sim::Promise<rdma::WorkCompletion>(engine));
@@ -379,6 +405,7 @@ sim::Task Target::handle_command(Connection* conn, std::uint32_t slot,
   ResponseCapsule response;
   response.cid = capsule.cid;
   response.status = ok ? 0 : (nvme_status != 0 ? nvme_status : nvme::kScInternalError);
+  if (ok && pushed_data) response.data_digest = read_digest;
   (void)dram.write(conn->resp_base + slot * sizeof(ResponseCapsule), as_bytes_of(response));
 
   const std::uint64_t wr_send = kWrSend | slot;

@@ -33,6 +33,10 @@ class Target {
     /// pipeline cost. The paper tried this and saw reduced CPU usage but
     /// no latency change — this knob reproduces that observation.
     bool hardware_offload = false;
+    /// Generate a CRC-32C data digest (DDGST) over read payloads pushed to
+    /// the initiator. Write payloads are always verified when the capsule
+    /// carries a digest, independent of this knob. Off by default.
+    bool data_digest = false;
     std::uint64_t seed = 0x7a67;
   };
 

@@ -319,13 +319,17 @@ Result<sim::Time> Fabric::post_write(const Initiator& who, std::uint64_t addr, B
   // Fault injection: a dropped posted write still occupies the wire (the
   // initiator saw it leave; stats and ordering floors advance), it simply
   // never lands — exactly how a lost doorbell or CQE looks to software.
+  // Corruption (bit flip, torn write) mutates the in-flight copy: the
+  // initiator's buffer is untouched, the completer sees damaged bytes.
   bool fault_drop = false;
   sim::Duration fault_extra = 0;
+  fault::Injector::PostedWriteDecision corrupt;
   if (fault::enabled()) {
     const auto decision = fault::Injector::global().on_posted_write(
-        who.host, target->host, target->kind == Resolved::Kind::bar);
+        who.host, target->host, target->kind == Resolved::Kind::bar, data.size());
     fault_drop = decision.drop;
     fault_extra = decision.extra_ns;
+    corrupt = decision;
   }
 
   ++stats_.posted_writes;
@@ -337,6 +341,11 @@ Result<sim::Time> Fabric::post_write(const Initiator& who, std::uint64_t addr, B
   const sim::Time arrival =
       posted_arrival(who, target->target_chip, lat, data.size(), not_before);
   if (fault_drop) return arrival;
+  // Wire timing above used the full payload; damage only what lands.
+  if (corrupt.flip) {
+    data[corrupt.flip_bit / 8] ^= std::byte{1} << (corrupt.flip_bit % 8);
+  }
+  if (corrupt.torn) data.resize(corrupt.torn_bytes);
   engine_.at(arrival, [this, t = *target, d = std::move(data)]() {
     if (Status st = apply_write(t, d); !st) {
       NVS_LOG(warn, "pcie") << "posted write dropped at target: " << st.to_string();
@@ -372,14 +381,16 @@ Result<sim::Time> Fabric::write_sg(const Initiator& who, const std::vector<SgEnt
   }
 
   // Fault injection (one decision for the whole scatter list — the data of
-  // one DMA either lands or is lost as a unit).
+  // one DMA either lands or is lost/damaged as a unit).
   bool fault_drop = false;
   sim::Duration fault_extra = 0;
+  fault::Injector::PostedWriteDecision corrupt;
   if (fault::enabled() && !targets.empty()) {
     const auto decision = fault::Injector::global().on_posted_write(
-        who.host, targets.front().host, targets.front().kind == Resolved::Kind::bar);
+        who.host, targets.front().host, targets.front().kind == Resolved::Kind::bar, total);
     fault_drop = decision.drop;
     fault_extra = decision.extra_ns;
+    corrupt = decision;
   }
 
   ++stats_.posted_writes;
@@ -405,10 +416,16 @@ Result<sim::Time> Fabric::write_sg(const Initiator& who, const std::vector<SgEnt
     posted_floor_[{who.chip, chip}] = arrival;
   }
   if (fault_drop) return arrival;
-  engine_.at(arrival, [this, targets = std::move(targets), sg, d = std::move(data)]() {
+  if (corrupt.flip) {
+    data[corrupt.flip_bit / 8] ^= std::byte{1} << (corrupt.flip_bit % 8);
+  }
+  // A torn scatter write delivers only the leading `torn_bytes` of the DMA.
+  const std::uint64_t deliver = corrupt.torn ? corrupt.torn_bytes : total;
+  engine_.at(arrival, [this, targets = std::move(targets), sg, d = std::move(data), deliver]() {
     std::size_t off = 0;
-    for (std::size_t i = 0; i < targets.size(); ++i) {
-      if (Status st = apply_write(targets[i], ConstByteSpan(d).subspan(off, sg[i].len)); !st) {
+    for (std::size_t i = 0; i < targets.size() && off < deliver; ++i) {
+      const std::size_t chunk = std::min<std::size_t>(sg[i].len, deliver - off);
+      if (Status st = apply_write(targets[i], ConstByteSpan(d).subspan(off, chunk)); !st) {
         NVS_LOG(warn, "pcie") << "scatter write chunk dropped: " << st.to_string();
         ++stats_.unsupported_requests;
       }
@@ -445,9 +462,16 @@ sim::Future<Result<Bytes>> Fabric::read(const Initiator& who, std::uint64_t addr
   const sim::Duration total = model_.read_ns(pc->cost_ns, target->ntb_crossings, len);
   // The completer is accessed when the request arrives; data travels back.
   engine_.after(one_way + model_.completer_access_ns,
-                [this, t = *target, len, promise, remaining = total - one_way -
-                                                              model_.completer_access_ns]() mutable {
+                [this, t = *target, len, promise, src = who.host,
+                 remaining = total - one_way - model_.completer_access_ns]() mutable {
                   Result<Bytes> data = apply_read(t, len);
+                  // Fault injection: a stale read completes successfully but
+                  // carries old (zero-filled) data instead of memory contents.
+                  if (data && fault::enabled() &&
+                      fault::Injector::global().on_dma_read(
+                          src, t.host, t.kind == Resolved::Kind::bar)) {
+                    data->assign(data->size(), std::byte{0});
+                  }
                   engine_.after(remaining > 0 ? remaining : 0,
                                 [promise, d = std::move(data)]() mutable {
                                   promise.set(std::move(d));
@@ -493,7 +517,7 @@ sim::Future<Result<Bytes>> Fabric::read_sg(const Initiator& who,
   const sim::Duration total_lat = model_.read_ns(worst_path, worst_crossings, total);
   engine_.after(
       one_way + model_.completer_access_ns,
-      [this, targets = std::move(targets), sg, promise,
+      [this, targets = std::move(targets), sg, promise, src = who.host,
        remaining = total_lat - one_way - model_.completer_access_ns, total]() mutable {
         Bytes out;
         out.reserve(total);
@@ -505,6 +529,14 @@ sim::Future<Result<Bytes>> Fabric::read_sg(const Initiator& who,
             break;
           }
           out.insert(out.end(), chunk->begin(), chunk->end());
+        }
+        // Fault injection (one decision per gather, matching write_sg): a
+        // stale gather read completes with zero-filled data.
+        if (failure.is_ok() && !targets.empty() && fault::enabled() &&
+            fault::Injector::global().on_dma_read(
+                src, targets.front().host,
+                targets.front().kind == Resolved::Kind::bar)) {
+          out.assign(out.size(), std::byte{0});
         }
         engine_.after(remaining > 0 ? remaining : 0,
                       [promise, failure, d = std::move(out)]() mutable {

@@ -10,6 +10,7 @@
 #include <string_view>
 
 #include "fault/fault.hpp"
+#include "integrity/integrity.hpp"
 #include "nvmeof/initiator.hpp"
 #include "nvmeof/target.hpp"
 #include "pcie/fabric.hpp"
@@ -66,6 +67,15 @@ class Chaos {
   [[nodiscard]] std::uint64_t capsule_drops() const {
     return fault::Injector::global().stats().capsule_drops.value() - base_.capsule_drops;
   }
+  [[nodiscard]] std::uint64_t bit_flips() const {
+    return fault::Injector::global().stats().bit_flips.value() - base_.bit_flips;
+  }
+  [[nodiscard]] std::uint64_t torn_writes() const {
+    return fault::Injector::global().stats().torn_writes.value() - base_.torn_writes;
+  }
+  [[nodiscard]] std::uint64_t stale_reads() const {
+    return fault::Injector::global().stats().stale_reads.value() - base_.stale_reads;
+  }
 
  private:
   struct Baseline {
@@ -76,13 +86,17 @@ class Chaos {
     std::uint64_t host_crashes = 0;
     std::uint64_t ctrl_errors = 0;
     std::uint64_t capsule_drops = 0;
+    std::uint64_t bit_flips = 0;
+    std::uint64_t torn_writes = 0;
+    std::uint64_t stale_reads = 0;
   };
   Baseline base_ = [] {
     const auto& s = fault::Injector::global().stats();
     return Baseline{s.posted_drops.value(), s.posted_delays.value(),
                     s.link_downs.value(),  s.link_ups.value(),
                     s.host_crashes.value(), s.ctrl_errors.value(),
-                    s.capsule_drops.value()};
+                    s.capsule_drops.value(), s.bit_flips.value(),
+                    s.torn_writes.value(), s.stale_reads.value()};
   }();
 };
 
@@ -394,6 +408,100 @@ TEST(FaultRecovery, CapsuleLossEscalatesToReconnectAndReplay) {
 
   // The replacement connection keeps working.
   write_read_verify(tb, *stack->initiator, 1, 1300, 8192, 0x7272);
+}
+
+// --- corruption kinds (flip_dma_bits / torn_dma_write / stale_read) ---------------
+
+/// PI-formatted namespace plus a client running the full protection
+/// pipeline: tuples generated before the bounce copy, PRACT writes, PRCHK
+/// reads, and a host-side verify after the DMA lands.
+TestbedConfig pi_testbed(std::uint32_t hosts) {
+  TestbedConfig cfg = small_testbed(hosts);
+  cfg.nvme.pi_enabled = true;
+  return cfg;
+}
+
+driver::Client::Config pi_client() {
+  driver::Client::Config cc = recovering_client();
+  cc.pi_verify = true;
+  return cc;
+}
+
+TEST(FaultRecovery, FlippedReadPayloadIsCaughtAndRetried) {
+  // The acceptance scenario for end-to-end integrity: flip one bit of the
+  // controller's DMA data write on the read return path (the 2nd host0 ->
+  // host1 posted write: write CQE is #1, read data is #2). The controller
+  // saw intact media so the CQE says success; only the client's shadow-
+  // tuple verify can catch it, and a resubmission must heal it.
+  Chaos chaos("seed=3;flip_dma_bits:src=0,dst=1,nth=2,count=1");
+  Testbed tb(pi_testbed(2));
+  auto stack = bring_up(tb, 0, 1, pi_client());
+  ASSERT_TRUE(stack.has_value()) << stack.status().to_string();
+  chaos.arm(tb);
+  const std::uint64_t base = integrity::stats().client_verify_failures.value();
+
+  write_read_verify(tb, *stack->client, 1, 100, 4096, 0xd00d);
+  EXPECT_EQ(chaos.bit_flips(), 1u);
+  EXPECT_GE(integrity::stats().client_verify_failures.value() - base, 1u);
+  EXPECT_GE(stack->client->stats().cmd_retries.value(), 1u);
+}
+
+TEST(FaultRecovery, TornReadPayloadIsCaughtAndRetried) {
+  // Deliver only a prefix of the read payload. The bounce slot still holds
+  // bytes from an earlier transfer, so the tail of the block is garbage;
+  // the shadow-tuple guard catches it and the retry re-DMAs the full data.
+  // (Writes to two LBAs first so the slot's leftover content differs from
+  // the data being read: host0->host1 writes are CQE, CQE, then read data.)
+  Chaos chaos("seed=3;torn_dma_write:src=0,dst=1,class=dram,nth=3,count=1");
+  Testbed tb(pi_testbed(2));
+  auto stack = bring_up(tb, 0, 1, pi_client());
+  ASSERT_TRUE(stack.has_value()) << stack.status().to_string();
+  chaos.arm(tb);
+  const std::uint64_t base = integrity::stats().client_verify_failures.value();
+
+  const std::uint64_t a = alloc_pattern_buffer(tb, 1, 4096, 0xaaaa);
+  auto w1 = do_io(tb, *stack->client, {block::Op::write, 100, 8, a});
+  ASSERT_TRUE(w1.has_value() && w1->status.is_ok());
+  const std::uint64_t b = alloc_pattern_buffer(tb, 1, 4096, 0xbbbb);
+  auto w2 = do_io(tb, *stack->client, {block::Op::write, 300, 8, b});
+  ASSERT_TRUE(w2.has_value() && w2->status.is_ok());
+
+  const std::uint64_t r = alloc_pattern_buffer(tb, 1, 4096, 0x1111);
+  auto rd = do_io(tb, *stack->client, {block::Op::read, 100, 8, r});
+  ASSERT_TRUE(rd.has_value()) << rd.status().to_string();
+  EXPECT_TRUE(rd->status.is_ok()) << rd->status.to_string();
+  EXPECT_TRUE(buffer_matches(tb, 1, r, 4096, 0xaaaa));
+  EXPECT_EQ(chaos.torn_writes(), 1u);
+  EXPECT_GE(integrity::stats().client_verify_failures.value() - base, 1u);
+}
+
+TEST(FaultRecovery, StaleWritePayloadIsDetectedNotRecovered) {
+  // Stale DMA read on the write path: the controller fetches zeros instead
+  // of the client's bounce data and — with PRACT — seals a valid tuple over
+  // the wrong bytes. Controller-side checks can never catch this; the
+  // client's shadow tuple flags every subsequent read, and since re-reading
+  // returns the same sealed-stale data, the retries exhaust and the read
+  // fails. Detection without silent corruption is the contract here.
+  Chaos chaos("seed=3;stale_read:src=0,dst=1,nth=1,count=1");
+  Testbed tb(pi_testbed(2));
+  auto stack = bring_up(tb, 0, 1, pi_client());
+  ASSERT_TRUE(stack.has_value()) << stack.status().to_string();
+  chaos.arm(tb);
+  const std::uint64_t base = integrity::stats().client_verify_failures.value();
+
+  const std::uint64_t w = alloc_pattern_buffer(tb, 1, 4096, 0xfade);
+  auto wr = do_io(tb, *stack->client, {block::Op::write, 100, 8, w});
+  ASSERT_TRUE(wr.has_value() && wr->status.is_ok());
+  EXPECT_EQ(chaos.stale_reads(), 1u);
+
+  const std::uint64_t r = alloc_pattern_buffer(tb, 1, 4096, 0x2222);
+  auto rd = do_io(tb, *stack->client, {block::Op::read, 100, 8, r});
+  ASSERT_TRUE(rd.has_value()) << rd.status().to_string();
+  EXPECT_FALSE(rd->status.is_ok()) << "sealed-stale data must not verify";
+  EXPECT_GE(integrity::stats().client_verify_failures.value() - base, 1u);
+
+  // The stack itself is healthy: fresh I/O passes end to end.
+  write_read_verify(tb, *stack->client, 1, 500, 4096, 0xfeed);
 }
 
 }  // namespace

@@ -105,6 +105,20 @@ TEST(BlockStore, RangeChecks) {
             Errc::invalid_argument);
 }
 
+TEST(BlockStore, CapacityEdgeAndOverflow) {
+  BlockStore store(100, 512);
+  Bytes buf(512);
+  // The last valid block works; one past it does not.
+  EXPECT_TRUE(store.read(99, 1, buf).is_ok());
+  EXPECT_EQ(store.read(100, 1, buf).code(), Errc::out_of_range);
+  // slba + nblocks must not wrap around u64 into an apparently-valid range.
+  EXPECT_EQ(store.read(~0ull, 1, buf).code(), Errc::out_of_range);
+  Bytes eight(8 * 512);
+  EXPECT_EQ(store.read(~0ull - 3, 8, eight).code(), Errc::out_of_range);
+  EXPECT_EQ(store.write(~0ull - 3, 8, eight).code(), Errc::out_of_range);
+  EXPECT_EQ(store.write_zeroes(~0ull - 3, 8).code(), Errc::out_of_range);
+}
+
 // --- controller fixture --------------------------------------------------------
 
 struct ControllerFixture : ::testing::Test {
@@ -273,6 +287,49 @@ struct TinyQueueFixture : ControllerFixture {
 TEST_F(TinyQueueFixture, WraparoundAndPhaseFlipSurvive13Commands) { run_flushes(13); }
 
 TEST_F(TinyQueueFixture, LongWraparound50Commands) { run_flushes(50); }
+
+TEST_F(ControllerFixture, LbaArithmeticOverflowRejected) {
+  // An slba near UINT64_MAX must fail with LBA Out of Range, not wrap
+  // around into an apparently-valid range and touch the wrong blocks.
+  auto sq_mem = tb.cluster().alloc_dram(0, 16 * 64, 4096);
+  auto cq_mem = tb.cluster().alloc_dram(0, 16 * 16, 4096);
+  auto buf = tb.cluster().alloc_dram(0, 8 * 4096, 4096);
+  ASSERT_TRUE(sq_mem && cq_mem && buf);
+  auto qid = tb.wait(ctrl->create_queue_pair(*sq_mem, 16, *cq_mem, 16, std::nullopt));
+  ASSERT_TRUE(qid.has_value()) << qid.status().to_string();
+
+  QueuePair::Config qc;
+  qc.qid = *qid;
+  qc.sq_size = 16;
+  qc.cq_size = 16;
+  qc.sq_write_addr = *sq_mem;
+  qc.cq_poll_addr = *cq_mem;
+  qc.sq_doorbell_addr = ctrl->sq_doorbell(*qid);
+  qc.cq_doorbell_addr = ctrl->cq_doorbell(*qid);
+  qc.cpu = tb.fabric().cpu(0);
+  QueuePair qp(tb.fabric(), qc);
+
+  auto submit = [&](std::uint64_t slba, std::uint16_t nblocks) {
+    auto cid = qp.push(make_io_rw(false, 0, 1, slba, nblocks, *buf, 0));
+    EXPECT_TRUE(cid.has_value());
+    EXPECT_TRUE(qp.ring_sq_doorbell().is_ok());
+    const sim::Time deadline = tb.engine().now() + 1_s;
+    std::optional<CompletionEntry> cqe;
+    while (!cqe && tb.engine().now() < deadline) {
+      tb.engine().run_until(tb.engine().now() + 1_us);
+      cqe = qp.poll();
+    }
+    EXPECT_TRUE(cqe.has_value());
+    EXPECT_TRUE(qp.ring_cq_doorbell().is_ok());
+    return cqe.value_or(CompletionEntry{}).status();
+  };
+
+  const std::uint64_t cap = ctrl->capacity_blocks();
+  EXPECT_EQ(submit(cap - 1, 1), kScSuccess);  // last block is addressable
+  EXPECT_EQ(submit(cap, 1), kScLbaOutOfRange);
+  EXPECT_EQ(submit(~0ull, 1), kScLbaOutOfRange);
+  EXPECT_EQ(submit(~0ull - 3, 8), kScLbaOutOfRange);  // slba + nblocks wraps
+}
 
 // --- register conformance ----------------------------------------------------------
 

@@ -5,6 +5,11 @@
 #include <map>
 
 #include "driver/local_driver.hpp"
+#include "fault/fault.hpp"
+#include "integrity/integrity.hpp"
+#include "nvmeof/initiator.hpp"
+#include "nvmeof/target.hpp"
+#include "pcie/fabric.hpp"
 #include "test_util.hpp"
 
 namespace nvmeshare {
@@ -140,6 +145,147 @@ TEST_P(DeterminismSweep, TwoIdenticalClustersAgreeExactly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismSweep, ::testing::Values(11, 22, 33));
+
+// --- protection information survives every data path ------------------------------
+
+// One verified random-rw job with the full PI pipeline on (PRACT writes,
+// PRCHK reads, client shadow verify) must behave exactly like an
+// integrity-off run — zero errors, zero verify failures — on both data
+// paths, and the integrity counters must show the tuples actually flowed.
+class PiDataPathSweep : public ::testing::TestWithParam<driver::Client::DataPath> {};
+
+TEST_P(PiDataPathSweep, VerifiedJobRunsCleanWithPiEnabled) {
+  Testbed tb([] {
+    TestbedConfig cfg = small_testbed(2);
+    cfg.nvme.pi_enabled = true;
+    return cfg;
+  }());
+  driver::Client::Config cc;
+  cc.pi_verify = true;
+  cc.data_path = GetParam();
+  auto stack = bring_up(tb, 0, 1, cc);
+  ASSERT_TRUE(stack.has_value()) << stack.status().to_string();
+
+  const std::uint64_t gen0 = integrity::stats().pi_generated.value();
+  const std::uint64_t ver0 = integrity::stats().pi_verified.value();
+  const std::uint64_t fail0 = integrity::stats().client_verify_failures.value();
+
+  workload::JobSpec spec;
+  spec.pattern = workload::JobSpec::Pattern::randrw;
+  spec.ops = 200;
+  spec.queue_depth = 4;
+  spec.region_blocks = 512;  // small region so reads revisit written blocks
+  spec.verify = true;
+  auto result = tb.wait(workload::run_job(tb.cluster(), *stack->client, 1, spec), 120_s);
+  ASSERT_TRUE(result.has_value()) << result.status().to_string();
+  EXPECT_EQ(result->errors, 0u);
+  EXPECT_EQ(result->verify_failures, 0u);
+  EXPECT_GT(integrity::stats().pi_generated.value(), gen0);
+  EXPECT_GT(integrity::stats().pi_verified.value(), ver0);
+  EXPECT_EQ(integrity::stats().client_verify_failures.value(), fail0);
+}
+
+INSTANTIATE_TEST_SUITE_P(DataPaths, PiDataPathSweep,
+                         ::testing::Values(driver::Client::DataPath::bounce_buffer,
+                                           driver::Client::DataPath::iommu));
+
+TEST(PiDataPaths, NvmeofDigestsRunClean) {
+  // Same property over the NVMe-oF path: DDGST on both sides, a verified
+  // job, and not a single digest mismatch on an honest fabric.
+  Testbed tb(small_testbed(2));
+  nvmeof::Target::Config tc;
+  tc.data_digest = true;
+  auto target =
+      tb.wait(nvmeof::Target::start(tb.cluster(), tb.nvme_endpoint(), tb.network(), tc));
+  ASSERT_TRUE(target.has_value()) << target.status().to_string();
+  nvmeof::Initiator::Config ic;
+  ic.data_digest = true;
+  auto initiator =
+      tb.wait(nvmeof::Initiator::connect(tb.cluster(), tb.network(), **target, 1, ic));
+  ASSERT_TRUE(initiator.has_value()) << initiator.status().to_string();
+
+  const std::uint64_t dig0 = integrity::stats().digests_generated.value();
+  const std::uint64_t err0 = integrity::stats().digest_errors.value();
+
+  workload::JobSpec spec;
+  spec.pattern = workload::JobSpec::Pattern::randrw;
+  spec.ops = 200;
+  spec.queue_depth = 4;
+  spec.region_blocks = 512;
+  spec.verify = true;
+  auto result = tb.wait(workload::run_job(tb.cluster(), **initiator, 1, spec), 120_s);
+  ASSERT_TRUE(result.has_value()) << result.status().to_string();
+  EXPECT_EQ(result->errors, 0u);
+  EXPECT_EQ(result->verify_failures, 0u);
+  EXPECT_GT(integrity::stats().digests_generated.value(), dig0);
+  EXPECT_EQ(integrity::stats().digest_errors.value(), err0);
+}
+
+// --- determinism under corruption faults ------------------------------------------
+
+class CorruptionDeterminismSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CorruptionDeterminismSweep, SameSeedCorruptionRunsAgreeExactly) {
+  // The whole integrity pipeline — seeded bit flips, shadow-tuple verify
+  // failures, retries, the background scrubber — must be as reproducible
+  // as a fault-free run: identical seeds, identical latency samples and
+  // identical outcomes. A flip that lands on a CQE can legitimately fail an
+  // op (a corrupted status is not retryable); the pin is that both runs
+  // fail the exact same way, not that every run is clean.
+  const std::uint64_t seed = GetParam();
+  struct Outcome {
+    std::vector<sim::Duration> samples;
+    std::uint64_t errors = 0;
+    std::uint64_t verify_failures = 0;
+    bool operator==(const Outcome&) const = default;
+  };
+  auto run_once = [&]() -> Outcome {
+    auto plan = fault::parse_plan(
+        "seed=13;flip_dma_bits:src=0,dst=1,nth=20,count=3;"
+        "torn_dma_write:src=0,dst=1,class=dram,nth=90,count=1");
+    EXPECT_TRUE(plan.has_value());
+    fault::Injector::global().configure(std::move(*plan));
+
+    Outcome outcome;
+    {
+      Testbed tb([] {
+        TestbedConfig cfg = small_testbed(2);
+        cfg.nvme.pi_enabled = true;
+        return cfg;
+      }());
+      driver::Client::Config cc;
+      cc.pi_verify = true;
+      cc.cmd_timeout_ns = 500'000;
+      cc.cmd_retry_limit = 3;
+      cc.retry_backoff_ns = 50'000;
+      driver::Manager::Config mc;
+      mc.scrub_interval_ns = 100'000;
+      auto stack = bring_up(tb, 0, 1, cc, mc);
+      EXPECT_TRUE(stack.has_value());
+      pcie::Fabric* fab = &tb.fabric();
+      fault::Injector::global().arm(
+          tb.engine(), {.set_ntb_link = [fab](std::uint32_t host, bool up) {
+            (void)fab->set_ntb_link(host, up);
+          }});
+
+      workload::JobSpec spec;
+      spec.pattern = workload::JobSpec::Pattern::randrw;
+      spec.ops = 120;
+      spec.queue_depth = 3;
+      spec.region_blocks = 512;
+      spec.verify = true;
+      spec.seed = seed;
+      auto result = tb.wait(workload::run_job(tb.cluster(), *stack->client, 1, spec), 120_s);
+      EXPECT_TRUE(result.has_value());
+      outcome = {result->total_latency.samples(), result->errors, result->verify_failures};
+    }
+    fault::Injector::global().disarm();
+    return outcome;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionDeterminismSweep, ::testing::Values(44, 55));
 
 // --- allocator fuzz: no overlap, full recovery ------------------------------------
 

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# CI: build with ThreadSanitizer and soak the concurrency-heavy paths. The
+# simulator core is a single-threaded event loop, but the workload runner
+# (run_job_blocking) and the tests spin real threads around it, so TSan
+# guards the boundary: test harness vs. engine, metrics registry
+# registration, and the tracer's global state. The soak runs the stress,
+# fault, failover, and integrity suites (the tests that exercise recovery
+# machinery hardest), then a chaos + corruption nvsh_fio pass so the fault
+# injector, PI pipeline, and scrubber all run under the sanitizer.
+#
+# Usage: tools/ci_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+SAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+  -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
+
+# Soak the suites that hammer the recovery and integrity machinery
+# (gtest case names are capitalized; ctest -R is case-sensitive).
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+  -R 'Stress|Fault|Failover|Chaos|Checksums|ProtectionInfo|BlockStorePi|Pi|Determinism|Fuzz|Sweep'
+
+# Chaos + corruption soak: seeded faults, PI-formatted namespace, client
+# verify, and the background scrubber all active in one run. Exit 1 means
+# an injected flip surfaced as a visible I/O error (a corrupted CQE status
+# is not retryable) — acceptable; anything else is a real failure.
+rc=0
+"$BUILD_DIR/tools/nvsh_fio" --scenario ours-remote --rw randrw --qd 4 \
+  --ops 3000 --seed 7 --region-blocks 4096 --verify --integrity \
+  --faults "seed=5;flip_dma_bits:src=0,dst=1,nth=2000,count=6" > /dev/null || rc=$?
+if [ "$rc" -gt 1 ]; then
+  echo "corruption soak crashed (exit $rc)" >&2
+  exit "$rc"
+fi
+
+echo "ci_tsan: all green"

@@ -29,10 +29,12 @@ struct Options {
   std::uint32_t qd = 1;
   std::uint64_t ops = 10'000;
   std::uint64_t runtime_ms = 0;
+  std::uint64_t region_blocks = 0;
   std::uint64_t seed = 2024;
   std::string sq_placement = "device";
   std::string data_path = "bounce";
   bool verify = false;
+  bool integrity = false;  ///< end-to-end PI / data-digest pipeline (MODEL.md §7)
   std::string json_path;  ///< empty = no JSON document; "-" = stdout
   std::string faults;     ///< fault plan DSL (docs/faults.md); empty = no chaos
 };
@@ -48,10 +50,15 @@ struct Options {
       "  --qd N            queue depth (default 1)\n"
       "  --ops N           number of requests (default 10000; 0 with --runtime-ms)\n"
       "  --runtime-ms MS   run for simulated time instead of an op count\n"
+      "  --region-blocks N working-set size in device blocks (default: 1 GiB worth;\n"
+      "                    small regions make --verify reads hit written data)\n"
       "  --seed N          workload seed (default 2024)\n"
       "  --sq-placement P  device | host (ours-* scenarios; Fig. 8 knob)\n"
       "  --data-path P     bounce | iommu (ours-* scenarios; Section V knob)\n"
       "  --verify          check read data against this run's writes\n"
+      "  --integrity       end-to-end data integrity: PI-formatted namespace,\n"
+      "                    client PRACT/PRCHK + shadow-tuple verify, manager\n"
+      "                    background scrub, NVMe-oF data digests\n"
       "  --json PATH       write the bench document (boxplots + metrics snapshot)\n"
       "                    to PATH; \"-\" = stdout\n"
       "  --faults PLAN     deterministic fault-injection plan (docs/faults.md), e.g.\n"
@@ -83,6 +90,8 @@ Options parse(int argc, char** argv) {
     } else if (!std::strcmp(arg, "--runtime-ms")) {
       opt.runtime_ms = std::strtoull(need_value(i), nullptr, 0);
       opt.ops = 0;
+    } else if (!std::strcmp(arg, "--region-blocks")) {
+      opt.region_blocks = std::strtoull(need_value(i), nullptr, 0);
     } else if (!std::strcmp(arg, "--seed")) {
       opt.seed = std::strtoull(need_value(i), nullptr, 0);
     } else if (!std::strcmp(arg, "--sq-placement")) {
@@ -91,6 +100,8 @@ Options parse(int argc, char** argv) {
       opt.data_path = need_value(i);
     } else if (!std::strcmp(arg, "--verify")) {
       opt.verify = true;
+    } else if (!std::strcmp(arg, "--integrity")) {
+      opt.integrity = true;
     } else if (!std::strcmp(arg, "--json")) {
       opt.json_path = need_value(i);
     } else if (!std::strcmp(arg, "--faults")) {
@@ -124,6 +135,13 @@ Scenario build_scenario(const Options& opt) {
 
   driver::Manager::Config mc;
   nvmeof::Initiator::Config ic;
+  nvmeof::Target::Config tc;
+  if (opt.integrity) {
+    cc.pi_verify = true;
+    mc.scrub_interval_ns = 200'000;  // background scrub rides along with the workload
+    ic.data_digest = true;
+    tc.data_digest = true;
+  }
   if (chaos) {
     // Recovery knobs are all off by default (fault-free runs must execute
     // the exact seed instruction stream); a fault plan turns them on.
@@ -137,10 +155,15 @@ Scenario build_scenario(const Options& opt) {
     ic.capsule_retry_limit = 4;
   }
 
-  if (opt.scenario == "ours-remote") return make_ours_remote(cc, mc);
-  if (opt.scenario == "ours-local") return make_ours_local(cc, mc);
-  if (opt.scenario == "linux-local") return make_linux_local();
-  if (opt.scenario == "nvmeof-remote") return make_nvmeof_remote(ic);
+  auto testbed = [&](std::uint32_t hosts) {
+    workload::TestbedConfig cfg = default_bench_testbed(hosts);
+    cfg.nvme.pi_enabled = opt.integrity;  // "format with metadata"
+    return cfg;
+  };
+  if (opt.scenario == "ours-remote") return make_ours_remote(cc, mc, testbed(2));
+  if (opt.scenario == "ours-local") return make_ours_local(cc, mc, testbed(1));
+  if (opt.scenario == "linux-local") return make_linux_local(testbed(1));
+  if (opt.scenario == "nvmeof-remote") return make_nvmeof_remote(ic, testbed(2), tc);
   std::fprintf(stderr, "bad --scenario\n");
   std::exit(2);
 }
@@ -167,6 +190,7 @@ workload::JobSpec build_spec(const Options& opt) {
   spec.queue_depth = std::max(opt.qd, 1u);
   spec.ops = opt.ops;
   spec.duration = static_cast<sim::Duration>(opt.runtime_ms) * 1'000'000;
+  spec.region_blocks = opt.region_blocks;
   spec.seed = opt.seed;
   spec.verify = opt.verify;
   return spec;
@@ -233,7 +257,9 @@ int main(int argc, char** argv) {
                        {"bs", std::to_string(opt.bs)},
                        {"qd", std::to_string(opt.qd)},
                        {"ops", std::to_string(result.ops_completed)},
-                       {"seed", std::to_string(opt.seed)}};
+                       {"seed", std::to_string(opt.seed)},
+                       {"verify", opt.verify ? "1" : "0"},
+                       {"integrity", opt.integrity ? "1" : "0"}};
     if (chaos) config.emplace_back("faults", opt.faults);
     json_ok = write_bench_json(opt.json_path, bench_document("nvsh_fio", config, boxes));
   }
