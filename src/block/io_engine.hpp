@@ -1,0 +1,298 @@
+// Multi-queue I/O engine: the shared submission/completion/retry core that
+// all three data paths (driver::Client, driver::LocalDriver,
+// nvmeof::Initiator) instantiate instead of hand-rolling their own loops.
+//
+// The engine owns everything that is the same across backends:
+//  - a set of per-channel queue slots with a pluggable scheduler
+//    (round-robin or least-inflight) behind one acquire() facade;
+//  - doorbell write coalescing: submissions that land inside one
+//    doorbell-latency window share a single ring, so sustained load rings
+//    the doorbell less than once per command (shadow-doorbell-style
+//    batching; off by default, the seed rings once per command);
+//  - the pending-command table with per-command deadline watchdogs,
+//    exponential-backoff retries, and one channel-recovery cycle before a
+//    command is failed (the machinery previously private to Client);
+//  - the pi_verify shadow-tuple table (client-side DIX: generate a DIF
+//    tuple per written block, verify returned read data against it).
+//
+// What stays in the backend is the transport personality, expressed as an
+// IoTransport: how a command is placed on the wire (SQE push vs. capsule
+// staging), what one doorbell write means (tail store vs. RDMA SEND burst),
+// which NVMe statuses are worth retrying, and how a broken channel is
+// rebuilt (mailbox re-create vs. fabric reconnect).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "integrity/integrity.hpp"
+#include "mem/phys_mem.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/task.hpp"
+
+namespace nvmeshare::block {
+
+struct Request;
+
+/// Ceiling on channels per engine; matches the largest queue-pair batch the
+/// manager mailbox can grant in one request (driver/mailbox.hpp).
+inline constexpr std::uint32_t kMaxEngineChannels = 16;
+
+/// Backend-neutral outcome of one engine run: either a genuine completion
+/// (carrying the wire status), a deadline expiry, a transport-level error
+/// (SQ unreachable, SEND failed), or an abort because the backend stopped.
+struct CmdOutcome {
+  enum class Kind : std::uint8_t { completed, timed_out, transport_error, aborted };
+  Kind kind = Kind::completed;
+  std::uint16_t status = 0;  ///< NVMe status field (kind == completed)
+  std::uint16_t token = 0;   ///< completion token of the final attempt
+  Status transport;          ///< first failure (kind == transport_error)
+  std::uint64_t aux = 0;     ///< transport extra (NVMe-oF: response data digest)
+
+  [[nodiscard]] bool ok() const noexcept {
+    return kind == Kind::completed && status == 0;
+  }
+};
+
+/// The per-backend transport personality the engine drives. One channel ==
+/// one queue pair (NVMe SQ/CQ or RDMA QP). All hooks run on the simulation
+/// thread; issue() and ring() must not suspend (posted writes only).
+class IoTransport {
+ public:
+  virtual ~IoTransport() = default;
+
+  /// Place the command on channel `chan` without ringing any doorbell
+  /// (push the SQE / stage the capsule). Returns the completion token the
+  /// transport will later hand to IoEngine::complete() (NVMe cid, capsule
+  /// cid). Fails when the queue memory is unreachable or the ring is full.
+  virtual Result<std::uint16_t> issue(std::uint32_t chan, void* cookie) = 0;
+
+  /// One doorbell write for everything issued on `chan` since the last
+  /// ring (SQ tail store; NVMe-oF: post the staged SENDs).
+  virtual Status ring(std::uint32_t chan) = 0;
+
+  /// Whether a ring() failure dooms the staged attempts (true for message
+  /// transports, where the SEND *is* the submission) or is absorbed by the
+  /// deadline watchdog (NVMe doorbells to an unreachable BAR).
+  [[nodiscard]] virtual bool ring_failure_fails_attempt() const { return false; }
+
+  /// Is this wire status worth a bounded resubmission?
+  [[nodiscard]] virtual bool retryable(std::uint16_t status) const = 0;
+
+  /// Rebuild channel `chan` (delete/re-create the queue pair, reconnect).
+  /// The transport must eventually call IoEngine::finish_recovery(chan).
+  virtual void start_recovery(std::uint32_t chan) = 0;
+
+  /// Queue id used for trace spans and (qid, cid) cross-host correlation.
+  [[nodiscard]] virtual std::uint16_t trace_qid(std::uint32_t chan) const = 0;
+
+  /// A command was armed on `chan` (completions are coming): wake an idle
+  /// completion poller if the backend parks one.
+  virtual void on_armed(std::uint32_t chan) { (void)chan; }
+};
+
+/// Legacy per-backend counters the engine feeds so existing dashboards and
+/// tests keep seeing nvmeshare.client.* / nvmeshare.nvmeof_initiator.*
+/// names for timeout/retry/recovery events. Null pointers are skipped.
+struct EngineCounters {
+  obs::Counter* timeouts = nullptr;
+  obs::Counter* retries = nullptr;
+  obs::Counter* recoveries = nullptr;
+  obs::Counter* late_completions = nullptr;
+};
+
+class IoEngine {
+ public:
+  enum class Scheduler : std::uint8_t {
+    round_robin,     ///< rotate across channels with a free slot
+    least_inflight,  ///< pick the channel with the fewest commands in flight
+  };
+  /// How the engine annotates trace spans around its awaits.
+  enum class TraceStyle : std::uint8_t {
+    none,    ///< no marks (local driver)
+    nvme,    ///< sq_write / doorbell / cq_wait (queue-pair backends)
+    fabric,  ///< capsule_send / cq_wait (message backends)
+  };
+
+  struct Config {
+    std::string backend = "engine";  ///< metric component: engine.<backend>.*
+    std::uint32_t channels = 1;
+    std::uint32_t queue_depth = 32;    ///< in-flight ceiling per channel
+    std::uint16_t queue_entries = 0;   ///< ring entries per channel; 0 = no ring
+    Scheduler scheduler = Scheduler::round_robin;
+    /// Ring once per submission burst instead of once per command. Off by
+    /// default: the seed path rings per command, and fault-free runs must
+    /// execute the exact seed instruction stream.
+    bool coalesce_doorbells = false;
+    sim::Duration doorbell_ns = 80;  ///< doorbell store + fence CPU cost
+    // Deadline/retry knobs, same semantics as before the refactor: a zero
+    // timeout disables the watchdog, retries, and channel recovery.
+    sim::Duration cmd_timeout_ns = 0;
+    std::uint32_t cmd_retry_limit = 3;
+    sim::Duration retry_backoff_ns = 100'000;
+    TraceStyle trace_style = TraceStyle::none;
+    EngineCounters counters;
+  };
+
+  /// Attach-time validation shared by every backend. The load-bearing rule:
+  /// queue_depth < queue_entries — a depth equal to entries makes SQ-full
+  /// indistinguishable from SQ-empty on wrap, wedging the ring.
+  [[nodiscard]] static Status validate(const Config& cfg);
+
+  /// Exponential backoff before retry `attempt` (1-based), capped at
+  /// base << 10.
+  [[nodiscard]] static sim::Duration backoff_ns(sim::Duration base, std::uint32_t attempt);
+
+  IoEngine(sim::Engine& engine, IoTransport& transport, std::shared_ptr<bool> stop,
+           Config cfg);
+  IoEngine(const IoEngine&) = delete;
+  IoEngine& operator=(const IoEngine&) = delete;
+
+  // --- slot accounting and channel scheduling -----------------------------
+
+  /// A granted submission slot. `slot` is engine-global
+  /// (chan * queue_depth + local index) so backends can key bounce
+  /// partitions, PRP list pages, and capsule buffers directly on it.
+  struct Grant {
+    std::uint32_t chan = 0;
+    std::uint32_t slot = 0;
+  };
+
+  /// Wait for a free slot, then pick a channel by the configured policy.
+  /// Channels mid-recovery are skipped while any surviving channel has
+  /// capacity (drain-to-survivors).
+  [[nodiscard]] sim::Future<Grant> acquire();
+  void release(const Grant& grant);
+
+  // --- the shared submission/completion/retry core ------------------------
+
+  struct RunArgs {
+    Grant grant;
+    void* cookie = nullptr;           ///< passed through to IoTransport::issue
+    obs::PhaseMarker* ph = nullptr;   ///< optional phase marks (sq_write, ...)
+    std::uint64_t trace = 0;          ///< trace id for (qid, cid) binding
+  };
+
+  /// Run one command to a final outcome: issue, coalesced doorbell,
+  /// completion wait bounded by the deadline watchdog, bounded
+  /// exponential-backoff retries, and one channel-recovery cycle before
+  /// giving up. Post-completion data handling (bounce copy-back, digest
+  /// or PI verify) stays with the caller, who may call run() again for a
+  /// verify-failure resubmission.
+  [[nodiscard]] sim::Future<CmdOutcome> run(RunArgs args);
+
+  /// Deliver a completion observed by the backend's poller. Returns false
+  /// for an unknown (already timed out / swept) token — counted as a late
+  /// completion.
+  bool complete(std::uint32_t chan, std::uint16_t token, std::uint16_t status,
+                std::uint64_t aux = 0);
+
+  /// True when no command is in flight anywhere (pollers park on this).
+  [[nodiscard]] bool idle() const noexcept { return pending_.empty(); }
+
+  // --- channel recovery ---------------------------------------------------
+
+  /// Resolve every pending command on `chan` with a timed_out outcome (the
+  /// waiting run() loops classify and retry); recovery sweeps call this.
+  void fail_pending(std::uint32_t chan);
+  /// fail_pending() across all channels (crash / stop paths).
+  void fail_all_pending();
+  /// Transport recovery finished (success or not): wake waiting commands.
+  void finish_recovery(std::uint32_t chan);
+  [[nodiscard]] bool recovering(std::uint32_t chan) const {
+    return channels_[chan]->recovering;
+  }
+
+  // --- pi_verify shadow tuples (moved from driver::Client) ----------------
+
+  /// Arm the shadow-PI table: tuples are generated/verified over the user
+  /// buffer in `dram` with `block_size`-byte logical blocks.
+  void enable_pi(mem::PhysMem& dram, std::uint32_t block_size);
+  [[nodiscard]] bool pi_enabled() const noexcept { return pi_dram_ != nullptr; }
+  /// Write path: remember a tuple per block of the user buffer (before any
+  /// bounce copy, so everything downstream is covered). write_zeroes and
+  /// discard drop the tuples, mirroring device PI semantics.
+  void pi_note_submit(const Request& request);
+  /// Read path: check returned data against the shadow tuples. Blocks this
+  /// engine never wrote have no tuple and are skipped.
+  [[nodiscard]] bool pi_check_read(const Request& request);
+
+  [[nodiscard]] std::uint32_t channels() const noexcept { return cfg_.channels; }
+  [[nodiscard]] std::uint32_t total_depth() const noexcept {
+    return cfg_.channels * cfg_.queue_depth;
+  }
+  [[nodiscard]] std::uint32_t inflight(std::uint32_t chan) const {
+    return channels_[chan]->inflight;
+  }
+  /// Doorbell writes / coalesced command counts, summed across channels
+  /// (the per-channel values live in the metrics registry).
+  [[nodiscard]] std::uint64_t doorbell_writes() const;
+  [[nodiscard]] std::uint64_t coalesced_cmds() const;
+
+ private:
+  /// One coalesced doorbell burst: the first command to stage schedules the
+  /// ring doorbell_ns later; everything staged meanwhile shares it.
+  struct FlushBatch {
+    explicit FlushBatch(sim::Engine& engine) : done(engine) {}
+    sim::Event done;
+    Status status = Status::ok();
+    std::uint32_t staged = 0;
+  };
+  struct Channel {
+    Channel(sim::Engine& engine, const std::string& prefix);
+    std::vector<std::uint32_t> free_slots;  ///< local indices, LIFO
+    std::uint32_t inflight = 0;
+    bool recovering = false;
+    sim::Event recovered;  ///< set whenever no recovery is running
+    std::shared_ptr<FlushBatch> open_batch;
+    // Per-channel metrics (satellite: nvmeshare.engine.<backend>.qp<N>.*).
+    obs::Gauge inflight_gauge;
+    obs::Counter doorbell_writes;
+    obs::Counter coalesced_cmds;
+  };
+
+  sim::Task acquire_task(sim::Promise<Grant> promise);
+  sim::Task run_task(RunArgs args, sim::Promise<CmdOutcome> promise);
+  sim::Task flush_task(std::uint32_t chan, std::shared_ptr<FlushBatch> batch);
+  /// Doorbell-latency delay, then one ring for the burst this command
+  /// joined; resolves with the ring status.
+  [[nodiscard]] sim::Future<Status> flush(std::uint32_t chan);
+  sim::Task flush_wait_task(std::uint32_t chan, sim::Promise<Status> promise);
+  /// Pick a channel for the next grant; requires at least one free slot
+  /// somewhere (the slot semaphore guarantees it).
+  [[nodiscard]] std::uint32_t pick_channel();
+  void request_recovery(std::uint32_t chan);
+
+  [[nodiscard]] static std::uint32_t pending_key(std::uint32_t chan, std::uint16_t token) {
+    return (chan << 16) | token;
+  }
+
+  sim::Engine& engine_;
+  IoTransport& transport_;
+  std::shared_ptr<bool> stop_;
+  Config cfg_;
+
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::unique_ptr<sim::Semaphore> slots_;  ///< total free slots, all channels
+  std::uint32_t rr_cursor_ = 0;
+
+  struct Pending {
+    sim::Promise<CmdOutcome> promise;
+    std::uint64_t seq = 0;
+  };
+  std::map<std::uint32_t, Pending> pending_;  ///< keyed (chan << 16) | token
+  std::uint64_t cmd_seq_ = 0;
+
+  mem::PhysMem* pi_dram_ = nullptr;
+  std::uint32_t pi_block_size_ = 0;
+  std::unordered_map<std::uint64_t, integrity::ProtectionInfo> shadow_pi_;
+};
+
+}  // namespace nvmeshare::block

@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "fault/fault.hpp"
+#include "integrity/integrity.hpp"
 #include "obs/trace.hpp"
 
 namespace nvmeshare::driver {
@@ -44,38 +45,10 @@ namespace {
 constexpr sim::Duration kAcquireRetryNs = 50'000;
 constexpr int kAcquireRetryLimit = 200;
 
-// Recovery plumbing. A timed-out command is resolved with a sentinel CQE
-// carrying an impossible submission-queue id (the controller always echoes
-// the real sqid), which the io_task distinguishes from a genuine completion.
-constexpr std::uint16_t kTimeoutSqid = 0xffff;
 constexpr int kRecoverRetryLimit = 8;
 /// Settle time between tearing the old queue pair down and zeroing its
 /// memory, so a straggling CQE DMA cannot land in the rebuilt ring.
 constexpr sim::Duration kRecoverDrainNs = 100'000;
-
-CompletionEntry timeout_sentinel() {
-  CompletionEntry e;
-  e.sqid = kTimeoutSqid;
-  return e;
-}
-
-bool is_timeout(const CompletionEntry& e) { return e.sqid == kTimeoutSqid; }
-
-/// Transient controller statuses worth a retry; everything else (invalid
-/// field, LBA out of range, ...) is deterministic and reported immediately.
-/// End-to-end check errors are retryable: a mismatch on the DMA'd copy of
-/// intact media (bit flip in flight) heals on resubmission.
-bool retryable_status(const CompletionEntry& e) {
-  return e.status() == nvme::kScInternalError ||
-         e.status() == nvme::kScDataTransferError ||
-         e.status() == nvme::kScGuardCheckError ||
-         e.status() == nvme::kScAppTagCheckError ||
-         e.status() == nvme::kScRefTagCheckError;
-}
-
-sim::Duration backoff_ns(sim::Duration base, std::uint32_t attempt) {
-  return base << std::min<std::uint32_t>(attempt > 0 ? attempt - 1 : 0, 10);
-}
 
 /// Per-client, per-purpose segment ids: (node, purpose) must be unique even
 /// when hinted allocation places several clients' segments on the same
@@ -112,37 +85,62 @@ Status Client::copy_dram(std::uint64_t dst, std::uint64_t src, std::uint64_t len
   return dram.write(dst, tmp);
 }
 
-void Client::shadow_generate_pi(const block::Request& request) {
-  const std::uint32_t bs = header_.block_size;
-  Bytes buf(static_cast<std::uint64_t>(request.nblocks) * bs);
-  if (!fabric().host_dram(node_).read(request.buffer_addr, buf)) return;
-  auto& istats = integrity::stats();
-  for (std::uint32_t i = 0; i < request.nblocks; ++i) {
-    const std::uint64_t lba = request.lba + i;
-    shadow_pi_[lba] =
-        integrity::generate_pi(ConstByteSpan(buf).subspan(static_cast<std::size_t>(i) * bs, bs),
-                               lba);
-    ++istats.pi_generated;
-  }
+// --- block::IoTransport -------------------------------------------------------------
+//
+// The queue-pair personality the shared engine drives: an issue is an SQE
+// store into channel's SQ slice, a ring is the SQ tail doorbell, and a
+// broken channel is rebuilt through the manager mailbox.
+
+Result<std::uint16_t> Client::issue(std::uint32_t chan, void* cookie) {
+  return qps_[chan]->push(*static_cast<const SubmissionEntry*>(cookie));
 }
 
-bool Client::shadow_verify_pi(const block::Request& request) {
-  const std::uint32_t bs = header_.block_size;
-  Bytes buf(static_cast<std::uint64_t>(request.nblocks) * bs);
-  if (!fabric().host_dram(node_).read(request.buffer_addr, buf)) return true;
-  auto& istats = integrity::stats();
-  for (std::uint32_t i = 0; i < request.nblocks; ++i) {
-    const std::uint64_t lba = request.lba + i;
-    auto it = shadow_pi_.find(lba);
-    if (it == shadow_pi_.end()) continue;  // not written by us: nothing to check
-    ++istats.pi_verified;
-    if (integrity::verify_pi(it->second,
-                             ConstByteSpan(buf).subspan(static_cast<std::size_t>(i) * bs, bs),
-                             lba) != integrity::PiCheck::ok) {
-      return false;
-    }
-  }
-  return true;
+Status Client::ring(std::uint32_t chan) {
+  // May fail during an outage; the engine's deadline watchdog covers it.
+  return qps_[chan]->ring_sq_doorbell();
+}
+
+/// Transient controller statuses worth a retry; everything else (invalid
+/// field, LBA out of range, ...) is deterministic and reported immediately.
+/// End-to-end check errors are retryable: a mismatch on the DMA'd copy of
+/// intact media (bit flip in flight) heals on resubmission.
+bool Client::retryable(std::uint16_t status) const {
+  return status == nvme::kScInternalError || status == nvme::kScDataTransferError ||
+         status == nvme::kScGuardCheckError || status == nvme::kScAppTagCheckError ||
+         status == nvme::kScRefTagCheckError;
+}
+
+void Client::start_recovery(std::uint32_t chan) { recover_task(chan, stop_); }
+
+std::uint16_t Client::trace_qid(std::uint32_t chan) const { return qids_[chan]; }
+
+void Client::on_armed(std::uint32_t chan) {
+  (void)chan;
+  poller_kick_->set();  // completions are coming: wake the idle poller
+}
+
+std::uint64_t Client::sq_stride_bytes() const noexcept {
+  const std::uint64_t ring = cfg_.queue_entries * 64ull;
+  return cfg_.channels == 1 ? ring : div_ceil(ring, nvme::kPageSize) * nvme::kPageSize;
+}
+
+std::uint64_t Client::cq_stride_bytes() const noexcept {
+  const std::uint64_t ring = cfg_.queue_entries * 16ull;
+  return cfg_.channels == 1 ? ring : div_ceil(ring, nvme::kPageSize) * nvme::kPageSize;
+}
+
+std::unique_ptr<nvme::QueuePair> Client::make_queue_pair(std::uint32_t chan,
+                                                         std::uint16_t qid) {
+  nvme::QueuePair::Config qc;
+  qc.qid = qid;
+  qc.sq_size = cfg_.queue_entries;
+  qc.cq_size = cfg_.queue_entries;
+  qc.sq_write_addr = sq_cpu_map_.addr() + chan * sq_stride_bytes();
+  qc.cq_poll_addr = cq_seg_.phys_addr() + chan * cq_stride_bytes();
+  qc.sq_doorbell_addr = bar_.addr() + nvme::sq_doorbell_offset(qid);
+  qc.cq_doorbell_addr = bar_.addr() + nvme::cq_doorbell_offset(qid);
+  qc.cpu = fabric().cpu(node_);
+  return std::make_unique<nvme::QueuePair>(fabric(), qc);
 }
 
 sim::Future<Result<std::unique_ptr<Client>>> Client::attach(smartio::Service& service,
@@ -163,14 +161,34 @@ sim::Task Client::init_task(std::unique_ptr<Client> self,
   sisci::Cluster& cluster = c.service_.cluster();
   const pcie::Initiator cpu = fabric.cpu(c.node_);
 
-  // Config sanity.
-  if (c.cfg_.queue_entries < 2 || c.cfg_.queue_depth == 0 ||
-      c.cfg_.queue_depth > static_cast<std::uint32_t>(c.cfg_.queue_entries - 1) ||
-      c.cfg_.slot_bytes < nvme::kPageSize || c.cfg_.slot_bytes % nvme::kPageSize != 0 ||
-      c.cfg_.slot_bytes > 32 * nvme::kPageSize) {
+  // Config sanity. Queue geometry (depth < entries, channel count) is the
+  // engine's attach-time rule, shared by every backend.
+  block::IoEngine::Config ec;
+  ec.backend = "client";
+  ec.channels = c.cfg_.channels;
+  ec.queue_depth = c.cfg_.queue_depth;
+  ec.queue_entries = c.cfg_.queue_entries;
+  ec.scheduler = c.cfg_.scheduler;
+  ec.coalesce_doorbells = c.cfg_.coalesce_doorbells;
+  ec.doorbell_ns = c.cfg_.costs.doorbell_ns;
+  ec.cmd_timeout_ns = c.cfg_.cmd_timeout_ns;
+  ec.cmd_retry_limit = c.cfg_.cmd_retry_limit;
+  ec.retry_backoff_ns = c.cfg_.retry_backoff_ns;
+  ec.trace_style = block::IoEngine::TraceStyle::nvme;
+  ec.counters.timeouts = &c.stats_.cmd_timeouts;
+  ec.counters.retries = &c.stats_.cmd_retries;
+  ec.counters.recoveries = &c.stats_.qp_recoveries;
+  ec.counters.late_completions = &c.stats_.late_completions;
+  if (Status st = block::IoEngine::validate(ec); !st) {
+    promise.set(st);
+    co_return;
+  }
+  if (c.cfg_.queue_entries < 2 || c.cfg_.slot_bytes < nvme::kPageSize ||
+      c.cfg_.slot_bytes % nvme::kPageSize != 0 || c.cfg_.slot_bytes > 32 * nvme::kPageSize) {
     promise.set(Status(Errc::invalid_argument, "bad client configuration"));
     co_return;
   }
+  const std::uint32_t total_depth = c.cfg_.queue_depth * c.cfg_.channels;
 
   // 1. Shared device reference; the manager may still hold it exclusively
   //    while initializing, so retry.
@@ -231,9 +249,14 @@ sim::Task Client::init_task(std::unique_ptr<Client> self,
   c.mbox_addr_ = c.meta_map_.addr() + mbox_slot_offset(c.header_, c.node_);
 
   // 3. Queue memory. CQ is polled by this CPU -> local. SQ placement is the
-  //    Figure 8 policy knob.
+  //    Figure 8 policy knob. One segment per purpose holds every channel's
+  //    ring contiguously (channel c's slice starts at c * ring_bytes), so
+  //    one DMA window covers all channels.
+  const std::uint64_t sq_ring_bytes = c.sq_stride_bytes();
+  const std::uint64_t cq_ring_bytes = c.cq_stride_bytes();
   auto cq_seg = c.service_.create_segment_hinted(
-      c.node_, client_segment_id(c.cfg_.segment_namespace, c.node_, 0), c.cfg_.queue_entries * 16ull, c.device_id_,
+      c.node_, client_segment_id(c.cfg_.segment_namespace, c.node_, 0),
+      cq_ring_bytes * c.cfg_.channels, c.device_id_,
       smartio::AccessHint::cq());
   if (!cq_seg) {
     promise.set(cq_seg.status());
@@ -248,10 +271,10 @@ sim::Task Client::init_task(std::unique_ptr<Client> self,
   Result<sisci::Segment> sq_seg =
       c.cfg_.sq_placement == SqPlacement::device_side
           ? c.service_.create_segment_hinted(c.node_, client_segment_id(c.cfg_.segment_namespace, c.node_, 1),
-                                             c.cfg_.queue_entries * 64ull, c.device_id_,
+                                             sq_ring_bytes * c.cfg_.channels, c.device_id_,
                                              smartio::AccessHint::sq())
           : cluster.create_segment(c.node_, client_segment_id(c.cfg_.segment_namespace, c.node_, 1),
-                                   c.cfg_.queue_entries * 64ull);
+                                   sq_ring_bytes * c.cfg_.channels);
   if (!sq_seg) {
     promise.set(sq_seg.status());
     co_return;
@@ -265,7 +288,7 @@ sim::Task Client::init_task(std::unique_ptr<Client> self,
   // 4. Bounce buffer + prewritten PRP lists (bounce mode), or just the PRP
   //    list pages (IOMMU mode writes them per request).
   const std::uint64_t bounce_bytes =
-      static_cast<std::uint64_t>(c.cfg_.queue_depth) * c.cfg_.slot_bytes;
+      static_cast<std::uint64_t>(total_depth) * c.cfg_.slot_bytes;
   if (c.cfg_.data_path == DataPath::bounce_buffer) {
     auto bounce = cluster.create_segment(c.node_, client_segment_id(c.cfg_.segment_namespace, c.node_, 2), bounce_bytes);
     if (!bounce) {
@@ -276,7 +299,7 @@ sim::Task Client::init_task(std::unique_ptr<Client> self,
   }
   auto prp = c.service_.create_segment_hinted(
       c.node_, client_segment_id(c.cfg_.segment_namespace, c.node_, 3),
-      static_cast<std::uint64_t>(c.cfg_.queue_depth) * nvme::kPageSize, c.device_id_,
+      static_cast<std::uint64_t>(total_depth) * nvme::kPageSize, c.device_id_,
       smartio::AccessHint::sq());
   if (!prp) {
     promise.set(prp.status());
@@ -310,7 +333,7 @@ sim::Task Client::init_task(std::unique_ptr<Client> self,
     // slot i covers page j+1 of the slot (page 0 rides in PRP1).
     const std::uint32_t pages_per_slot =
         static_cast<std::uint32_t>(c.cfg_.slot_bytes / nvme::kPageSize);
-    for (std::uint32_t slot = 0; slot < c.cfg_.queue_depth; ++slot) {
+    for (std::uint32_t slot = 0; slot < total_depth; ++slot) {
       const std::uint64_t slot_iova =
           c.bounce_win_.device_addr() + static_cast<std::uint64_t>(slot) * c.cfg_.slot_bytes;
       Bytes list((pages_per_slot > 1 ? pages_per_slot - 1 : 0) * 8);
@@ -332,15 +355,24 @@ sim::Task Client::init_task(std::unique_ptr<Client> self,
   }
   c.bar_ = std::move(*bar);
 
-  // 7. Ask the manager for a queue pair over the shared-memory mailbox.
+  // 7. Ask the manager for the queue pairs over the shared-memory mailbox:
+  //    one create_qp for the single-channel layout, one batch grant
+  //    otherwise (all-or-nothing, so a half-granted client never exists).
   c.mailbox_lock_ = std::make_unique<sim::Semaphore>(engine, 1);
   MboxSlot req;
-  req.op = static_cast<std::uint32_t>(MboxOp::create_qp);
   req.client_node = c.node_;
   req.sq_device_addr = c.sq_win_.device_addr();
   req.cq_device_addr = c.cq_win_.device_addr();
   req.sq_size = c.cfg_.queue_entries;
   req.cq_size = c.cfg_.queue_entries;
+  if (c.cfg_.channels == 1) {
+    req.op = static_cast<std::uint32_t>(MboxOp::create_qp);
+  } else {
+    req.op = static_cast<std::uint32_t>(MboxOp::create_qp_batch);
+    req.qp_count = static_cast<std::uint16_t>(c.cfg_.channels);
+    req.sq_stride = static_cast<std::uint32_t>(sq_ring_bytes);
+    req.cq_stride = static_cast<std::uint32_t>(cq_ring_bytes);
+  }
   auto resp = co_await c.mailbox_call(req);
   if (!resp) {
     promise.set(resp.status());
@@ -350,7 +382,12 @@ sim::Task Client::init_task(std::unique_ptr<Client> self,
     promise.set(Status(static_cast<Errc>(resp->status), "manager rejected create_qp"));
     co_return;
   }
-  c.qid_ = resp->qid_out;
+  c.qids_.resize(c.cfg_.channels);
+  if (c.cfg_.channels == 1) {
+    c.qids_[0] = resp->qid_out;
+  } else {
+    for (std::uint32_t ch = 0; ch < c.cfg_.channels; ++ch) c.qids_[ch] = resp->qids[ch];
+  }
 
   // 8. CPU view of the SQ (an NTB window when it lives device-side).
   auto sq_map = sisci::Map::create(cluster, c.node_, c.sq_seg_.descriptor());
@@ -360,30 +397,25 @@ sim::Task Client::init_task(std::unique_ptr<Client> self,
   }
   c.sq_cpu_map_ = std::move(*sq_map);
 
-  nvme::QueuePair::Config qc;
-  qc.qid = c.qid_;
-  qc.sq_size = c.cfg_.queue_entries;
-  qc.cq_size = c.cfg_.queue_entries;
-  qc.sq_write_addr = c.sq_cpu_map_.addr();
-  qc.cq_poll_addr = c.cq_seg_.phys_addr();
-  qc.sq_doorbell_addr = c.bar_.addr() + nvme::sq_doorbell_offset(c.qid_);
-  qc.cq_doorbell_addr = c.bar_.addr() + nvme::cq_doorbell_offset(c.qid_);
-  qc.cpu = cpu;
-  c.qp_ = std::make_unique<nvme::QueuePair>(fabric, qc);
+  c.qps_.resize(c.cfg_.channels);
+  for (std::uint32_t ch = 0; ch < c.cfg_.channels; ++ch) {
+    c.qps_[ch] = c.make_queue_pair(ch, c.qids_[ch]);
+  }
 
   c.max_transfer_ = c.header_.max_transfer_bytes;
   if (c.cfg_.data_path == DataPath::bounce_buffer) {
     c.max_transfer_ = std::min(c.max_transfer_, c.cfg_.slot_bytes);
   }
   c.poller_kick_ = std::make_unique<sim::Event>(engine);
-  c.slots_ = std::make_unique<sim::Semaphore>(engine, c.cfg_.queue_depth);
-  c.free_slots_.resize(c.cfg_.queue_depth);
-  for (std::uint32_t i = 0; i < c.cfg_.queue_depth; ++i) {
-    c.free_slots_[i] = c.cfg_.queue_depth - 1 - i;
+  // The private-base conversion must happen here, where Client's bases are
+  // accessible (make_unique's internals cannot see it).
+  block::IoTransport& transport = c;
+  c.engine_io_ = std::make_unique<block::IoEngine>(engine, transport, c.stop_, ec);
+  if (c.cfg_.pi_verify) {
+    c.engine_io_->enable_pi(fabric.host_dram(c.node_), c.header_.block_size);
   }
-  c.name_ = "nvsh-n" + std::to_string(c.node_) + "-q" + std::to_string(c.qid_);
-  c.recovered_ = std::make_unique<sim::Event>(engine);
-  c.recovered_->set();  // no recovery in progress
+  c.name_ = "nvsh-n" + std::to_string(c.node_) + "-q" + std::to_string(c.qids_[0]);
+  if (c.cfg_.channels > 1) c.name_ += "x" + std::to_string(c.cfg_.channels);
   c.attached_ = true;
   c.poller(c.stop_);
   if (c.cfg_.heartbeat_interval_ns > 0) c.heartbeat_task(c.stop_);
@@ -476,6 +508,7 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
   const std::uint64_t trace =
       tracer.enabled() ? tracer.begin_trace(trace_kind(request.op), start) : 0;
   obs::PhaseMarker ph(tracer, trace, obs::Track::client, start);
+  std::uint16_t span_qid = 0;  // the granted channel's qid, once known
   auto finish = [&](Status st) {
     if (!st) ++stats_.errors;
     const sim::Duration latency = eng.now() - start;
@@ -489,7 +522,7 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
     if (trace != 0) {
       // Tile any residual (IOMMU teardown, early error exit) so client-track
       // phase durations always sum to the end-to-end latency.
-      if (eng.now() > ph.last()) ph.mark(obs::Phase::completion, eng.now(), qid_);
+      if (eng.now() > ph.last()) ph.mark(obs::Phase::completion, eng.now(), span_qid);
       tracer.end_trace(trace, eng.now());
     }
     promise.set(block::Completion{std::move(st), latency});
@@ -499,18 +532,15 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
     finish(st);
     co_return;
   }
-  co_await slots_->acquire();
+  const block::IoEngine::Grant grant = co_await engine_io_->acquire();
   if (*stop) {
-    slots_->release();
+    engine_io_->release(grant);
     finish(Status(Errc::aborted, "client detached"));
     co_return;
   }
-  const std::uint32_t slot = free_slots_.back();
-  free_slots_.pop_back();
-  auto release_slot = [&]() {
-    free_slots_.push_back(slot);
-    slots_->release();
-  };
+  span_qid = qids_[grant.chan];
+  const std::uint32_t slot = grant.slot;
+  auto release_slot = [&]() { engine_io_->release(grant); };
 
   const std::uint64_t bytes =
       static_cast<std::uint64_t>(request.nblocks) * header_.block_size;
@@ -518,25 +548,17 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
 
   // Driver submission-path software cost.
   co_await sim::delay(eng, cfg_.costs.jittered(cfg_.costs.submit_ns, rng_));
-  ph.mark(obs::Phase::submit, eng.now(), qid_);
+  ph.mark(obs::Phase::submit, eng.now(), span_qid);
   if (*stop) {
     release_slot();
     finish(Status(Errc::aborted, "client detached"));
     co_return;
   }
 
-  if (cfg_.pi_verify) {
-    if (is_write) {
-      // Generate the shadow tuples over the user buffer before any copy:
-      // everything downstream (bounce copy, DMA, media) is covered.
-      shadow_generate_pi(request);
-    } else if (request.op == block::Op::write_zeroes || request.op == block::Op::discard) {
-      // Deallocation drops the tuples, mirroring the device's PI semantics.
-      for (std::uint64_t lba = request.lba; lba < request.lba + request.nblocks; ++lba) {
-        shadow_pi_.erase(lba);
-      }
-    }
-  }
+  // pi_verify bookkeeping: generate shadow tuples for a write's user buffer
+  // before any copy (everything downstream is covered), drop them on
+  // deallocation. No-op unless the engine's PI table is armed.
+  engine_io_->pi_note_submit(request);
 
   std::uint64_t prp1 = 0;
   std::uint64_t prp2 = 0;
@@ -577,7 +599,7 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
       ++stats_.bounce_copies;
       stats_.bounce_copy_bytes += bytes;
       co_await sim::delay(eng, cfg_.costs.memcpy_ns(bytes));
-      ph.mark(obs::Phase::bounce_copy, eng.now(), qid_);
+      ph.mark(obs::Phase::bounce_copy, eng.now(), span_qid);
     }
     prp1 = slot_iova;
     if (bytes <= nvme::kPageSize) {
@@ -676,141 +698,75 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
       ++stats_.writes;
       break;
   }
-  // Submission and completion wait. With cmd_timeout_ns configured, each
-  // attempt is bounded by a deadline and retried with exponential backoff;
-  // once the retry budget is spent the queue pair itself is suspect (a lost
-  // CQE leaves a permanent phase hole) and is re-created once.
-  CompletionEntry cqe;
-  std::uint32_t attempt = 0;
-  bool recovered_once = false;
+  // Submission and completion wait: the engine runs the command to a final
+  // outcome (per-attempt deadline watchdog, bounded exponential-backoff
+  // retries, one queue-pair recovery cycle before giving up), ringing this
+  // channel's doorbell once per submission burst when coalescing is on.
+  block::IoEngine::RunArgs run_args;
+  run_args.grant = grant;
+  run_args.cookie = &sqe;
+  run_args.ph = &ph;
+  run_args.trace = trace;
   std::uint32_t verify_attempts = 0;
-resubmit:
+  Status status = Status::ok();
   for (;;) {
-    if (recovering_) {
-      // A queue-pair rebuild is in flight; wait for the fresh rings.
-      (void)co_await recovered_->wait();
-    }
-    if (*stop || crashed_) {
+    const block::CmdOutcome outcome = co_await engine_io_->run(run_args);
+    span_qid = qids_[grant.chan];  // recovery may have re-granted the qid
+    if (outcome.kind == block::CmdOutcome::Kind::aborted) {
       release_slot();
       finish(Status(Errc::aborted, "client detached"));
       co_return;
     }
-    auto cid = qp_->push(sqe);
-    if (!cid) {
-      // Push fails when the SQ memory is unreachable (NTB link down) or the
-      // ring is full of timed-out entries; both deserve a bounded retry.
-      if (cfg_.cmd_timeout_ns == 0 || attempt >= cfg_.cmd_retry_limit) {
-        if (iommu_mapped) (void)iommu_.unmap(align_down(request.buffer_addr, nvme::kPageSize));
-        release_slot();
-        finish(cid.status());
-        co_return;
-      }
-      ++attempt;
-      ++stats_.cmd_retries;
-      co_await sim::delay(eng, backoff_ns(cfg_.retry_backoff_ns, attempt));
-      ph.mark(obs::Phase::recovery, eng.now(), qid_);
-      continue;
-    }
-    // The SQE store is a posted write (no simulated CPU stall), so this span
-    // has zero duration — it exists to anchor the phase in the sequence and
-    // to carry the (qid, cid) the controller spans correlate on.
-    ph.mark(obs::Phase::sq_write, eng.now(), qid_, *cid);
-    tracer.bind(qid_, *cid, trace);
-    const std::uint64_t seq = ++cmd_seq_;
-    auto [it, inserted] =
-        pending_.emplace(*cid, PendingCmd{sim::Promise<CompletionEntry>(eng), seq});
-    (void)inserted;
-    auto cqe_future = it->second.promise.future();
-    poller_kick_->set();  // completions are coming: wake the idle poller
-
-    if (cfg_.cmd_timeout_ns > 0) {
-      // Deadline watchdog: resolves the wait with the sentinel unless the
-      // real completion (or a recovery sweep) got there first. `seq` guards
-      // against the cid having been reused by a later submission.
-      eng.after(cfg_.cmd_timeout_ns, [this, stop, cid = *cid, seq]() {
-        if (*stop) return;
-        auto p = pending_.find(cid);
-        if (p == pending_.end() || p->second.seq != seq) return;
-        auto promise = std::move(p->second.promise);
-        pending_.erase(p);
-        ++stats_.cmd_timeouts;
-        promise.set(timeout_sentinel());
-      });
-    }
-
-    co_await sim::delay(eng, cfg_.costs.doorbell_ns);
-    (void)qp_->ring_sq_doorbell();  // may fail during an outage; the deadline covers it
-    ph.mark(obs::Phase::doorbell, eng.now(), qid_, *cid);
-
-    // Wait for the poller (or the watchdog) to deliver our completion.
-    cqe = co_await cqe_future;
-    ph.mark(obs::Phase::cq_wait, eng.now(), qid_, *cid);
-    tracer.unbind(qid_, *cid);
-    if (*stop || crashed_) {
+    if (outcome.kind == block::CmdOutcome::Kind::transport_error) {
+      if (iommu_mapped) (void)iommu_.unmap(align_down(request.buffer_addr, nvme::kPageSize));
       release_slot();
-      finish(Status(Errc::aborted, "client detached"));
+      finish(outcome.transport);
       co_return;
     }
-    if (!is_timeout(cqe) &&
-        !(cfg_.cmd_timeout_ns > 0 && !cqe.ok() && retryable_status(cqe))) {
-      break;  // genuine completion: success or a non-retryable error
-    }
-    ++attempt;
-    if (attempt <= cfg_.cmd_retry_limit) {
-      ++stats_.cmd_retries;
-      co_await sim::delay(eng, backoff_ns(cfg_.retry_backoff_ns, attempt));
-      ph.mark(obs::Phase::recovery, eng.now(), qid_);
-      continue;
-    }
-    // Retry budget spent. A command that keeps timing out means the queue
-    // pair is broken (lost CQE => permanent phase hole; controller reset =>
-    // rings deleted); rebuild it once, then run one fresh retry round.
-    if (recovered_once) {
+    if (outcome.kind == block::CmdOutcome::Kind::timed_out) {
       if (iommu_mapped) (void)iommu_.unmap(align_down(request.buffer_addr, nvme::kPageSize));
       release_slot();
       finish(Status(Errc::timed_out, "command timed out after retries and queue recovery"));
       co_return;
     }
-    recovered_once = true;
-    attempt = 0;
-    start_recovery();
-    ph.mark(obs::Phase::recovery, eng.now(), qid_);
-  }
 
-  // Completion-path software cost.
-  co_await sim::delay(eng, cfg_.costs.jittered(cfg_.costs.completion_ns, rng_));
-  ph.mark(obs::Phase::completion, eng.now(), qid_, cqe.cid);
+    // Completion-path software cost.
+    co_await sim::delay(eng, cfg_.costs.jittered(cfg_.costs.completion_ns, rng_));
+    ph.mark(obs::Phase::completion, eng.now(), span_qid, outcome.token);
 
-  Status status = Status::ok();
-  if (!cqe.ok()) {
-    status = Status(Errc::io_error,
-                    std::string("NVMe status: ") + nvme::status_name(cqe.status()));
-  } else if (request.op == block::Op::read && cfg_.data_path == DataPath::bounce_buffer) {
-    // The extra copy on the completion path (Section V).
-    const std::uint64_t slot_phys = bounce_seg_.phys_addr() + slot_base;
-    status = copy_dram(request.buffer_addr, slot_phys, bytes);
-    ++stats_.bounce_copies;
-    stats_.bounce_copy_bytes += bytes;
-    co_await sim::delay(eng, cfg_.costs.memcpy_ns(bytes));
-    ph.mark(obs::Phase::bounce_copy, eng.now(), qid_, cqe.cid);
-  }
-
-  // End-to-end check: verify the data that actually reached the user buffer
-  // against the shadow tuples. Corruption anywhere on the return path (DMA
-  // bit flip, torn delivery, stale read) lands here; a resubmission re-reads
-  // intact media, so it gets the same bounded retry as a check-error status.
-  if (status.ok() && cqe.ok() && request.op == block::Op::read && cfg_.pi_verify &&
-      !shadow_verify_pi(request)) {
-    ++integrity::stats().client_verify_failures;
-    if (cfg_.cmd_timeout_ns > 0 && verify_attempts < cfg_.cmd_retry_limit) {
-      ++verify_attempts;
-      ++stats_.cmd_retries;
-      co_await sim::delay(eng, backoff_ns(cfg_.retry_backoff_ns, verify_attempts));
-      ph.mark(obs::Phase::recovery, eng.now(), qid_);
-      attempt = 0;
-      goto resubmit;
+    status = Status::ok();
+    if (outcome.status != 0) {
+      status = Status(Errc::io_error,
+                      std::string("NVMe status: ") + nvme::status_name(outcome.status));
+    } else if (request.op == block::Op::read && cfg_.data_path == DataPath::bounce_buffer) {
+      // The extra copy on the completion path (Section V).
+      const std::uint64_t slot_phys = bounce_seg_.phys_addr() + slot_base;
+      status = copy_dram(request.buffer_addr, slot_phys, bytes);
+      ++stats_.bounce_copies;
+      stats_.bounce_copy_bytes += bytes;
+      co_await sim::delay(eng, cfg_.costs.memcpy_ns(bytes));
+      ph.mark(obs::Phase::bounce_copy, eng.now(), span_qid, outcome.token);
     }
-    status = Status(Errc::io_error, "read data failed protection-information verify");
+
+    // End-to-end check: verify the data that actually reached the user
+    // buffer against the shadow tuples. Corruption anywhere on the return
+    // path (DMA bit flip, torn delivery, stale read) lands here; a
+    // resubmission re-reads intact media, so it gets the same bounded retry
+    // as a check-error status.
+    if (status.ok() && outcome.ok() && request.op == block::Op::read && cfg_.pi_verify &&
+        !engine_io_->pi_check_read(request)) {
+      ++integrity::stats().client_verify_failures;
+      if (cfg_.cmd_timeout_ns > 0 && verify_attempts < cfg_.cmd_retry_limit) {
+        ++verify_attempts;
+        ++stats_.cmd_retries;
+        co_await sim::delay(
+            eng, block::IoEngine::backoff_ns(cfg_.retry_backoff_ns, verify_attempts));
+        ph.mark(obs::Phase::recovery, eng.now(), span_qid);
+        continue;  // resubmit with a fresh retry budget
+      }
+      status = Status(Errc::io_error, "read data failed protection-information verify");
+    }
+    break;
   }
 
   if (iommu_mapped) {
@@ -826,7 +782,7 @@ sim::Task Client::poller(std::shared_ptr<bool> stop) {
   sim::Engine& eng = engine();
   for (;;) {
     if (*stop) co_return;
-    if (pending_.empty()) {
+    if (engine_io_->idle()) {
       // Nothing in flight: a real polling driver would spin, but the
       // latency effect is identical if we sleep until the next submission
       // (the poll cadence only matters while a completion is pending).
@@ -835,22 +791,18 @@ sim::Task Client::poller(std::shared_ptr<bool> stop) {
       if (*stop) co_return;
       continue;
     }
-    bool delivered = false;
-    while (auto cqe = qp_->poll()) {
-      delivered = true;
-      auto it = pending_.find(cqe->cid);
-      if (it != pending_.end()) {
-        auto promise = std::move(it->second.promise);
-        pending_.erase(it);
-        promise.set(*cqe);
-      } else {
-        // Expected under fault injection: the command timed out and was
-        // retried, and this is the original submission completing late.
-        ++stats_.late_completions;
-        NVS_LOG(warn, "client") << name_ << " completion for unknown cid " << cqe->cid;
+    for (std::uint32_t chan = 0; chan < cfg_.channels; ++chan) {
+      bool delivered = false;
+      while (auto cqe = qps_[chan]->poll()) {
+        delivered = true;
+        if (!engine_io_->complete(chan, cqe->cid, cqe->status())) {
+          // Expected under fault injection: the command timed out and was
+          // retried, and this is the original submission completing late.
+          NVS_LOG(warn, "client") << name_ << " completion for unknown cid " << cqe->cid;
+        }
       }
+      if (delivered) (void)qps_[chan]->ring_cq_doorbell();
     }
-    if (delivered) (void)qp_->ring_cq_doorbell();
     ++stats_.poll_rounds;
     co_await sim::delay(eng, cfg_.costs.poll_interval_ns);
     if (*stop) co_return;
@@ -858,14 +810,6 @@ sim::Task Client::poller(std::shared_ptr<bool> stop) {
 }
 
 // --- fault recovery -------------------------------------------------------------------
-
-void Client::fail_all_pending() {
-  // Swap first: promise.set() schedules resumptions that may submit again
-  // and re-populate pending_ while we iterate.
-  std::map<std::uint16_t, PendingCmd> doomed;
-  doomed.swap(pending_);
-  for (auto& [cid, cmd] : doomed) cmd.promise.set(timeout_sentinel());
-}
 
 void Client::crash() {
   if (crashed_) return;
@@ -875,55 +819,50 @@ void Client::crash() {
   if (poller_kick_) poller_kick_->set();
   // Resolve every in-flight wait so callers observe the death (as an
   // `aborted` completion) instead of hanging the simulation. Nothing is
-  // released: the queue pair, NTB windows and segments stay allocated until
+  // released: the queue pairs, NTB windows and segments stay allocated until
   // the manager's reaper collects them — that is the point of the fault.
-  fail_all_pending();
+  if (engine_io_) engine_io_->fail_all_pending();
   NVS_LOG(warn, "client") << name_ << " crashed (fault injection)";
 }
 
-void Client::start_recovery() {
-  if (recovering_ || crashed_ || *stop_) return;
-  recovering_ = true;
-  recovered_->reset();
-  ++stats_.qp_recoveries;
-  recover_task(stop_);
-}
-
-// Queue-pair recovery: fail out in-flight commands, tear the old pair down
-// through the manager (best effort — after a controller reset the manager
-// already forgot it, after a manager crash nobody answers), then build a
-// fresh pair on the same queue memory and wake the waiting io_tasks.
-sim::Task Client::recover_task(std::shared_ptr<bool> stop) {
+// Channel recovery: fail out the channel's in-flight commands, tear the old
+// pair down through the manager (best effort — after a controller reset the
+// manager already forgot it, after a manager crash nobody answers), then
+// build a fresh pair on the same ring slice and wake the waiting commands.
+// Other channels keep flowing: the engine steers new work to survivors.
+sim::Task Client::recover_task(std::uint32_t chan, std::shared_ptr<bool> stop) {
   sim::Engine& eng = engine();
   const sim::Time begin = eng.now();
-  const std::uint16_t old_qid = qid_;
+  const std::uint16_t old_qid = qids_[chan];
   NVS_LOG(warn, "client") << name_ << " recovering queue pair q" << old_qid;
 
-  fail_all_pending();
+  engine_io_->fail_pending(chan);
 
   MboxSlot del;
   del.op = static_cast<std::uint32_t>(MboxOp::delete_qp);
   del.qid_in = old_qid;
   (void)co_await mailbox_call(del);
   if (*stop || crashed_) {
-    recovering_ = false;
-    recovered_->set();
+    engine_io_->finish_recovery(chan);
     co_return;
   }
 
   // Let straggling CQE DMAs land before the rings are zeroed; a stale entry
-  // written into the rebuilt ring could alias a valid phase bit.
+  // written into the rebuilt ring could alias a valid phase bit. Only this
+  // channel's ring slices are touched.
   co_await sim::delay(eng, kRecoverDrainNs);
-  (void)cq_seg_.write(0, Bytes(cq_seg_.size(), std::byte{0}));
-  (void)sq_seg_.write(0, Bytes(sq_seg_.size(), std::byte{0}));
+  const std::uint64_t sq_ring_bytes = sq_stride_bytes();
+  const std::uint64_t cq_ring_bytes = cq_stride_bytes();
+  (void)cq_seg_.write(chan * cq_ring_bytes, Bytes(cq_ring_bytes, std::byte{0}));
+  (void)sq_seg_.write(chan * sq_ring_bytes, Bytes(sq_ring_bytes, std::byte{0}));
 
   // Same segments, same DMA windows, fresh queue id. Retry with backoff:
   // right after a controller reset the manager may still be re-enabling.
   MboxSlot req;
   req.op = static_cast<std::uint32_t>(MboxOp::create_qp);
   req.client_node = node_;
-  req.sq_device_addr = sq_win_.device_addr();
-  req.cq_device_addr = cq_win_.device_addr();
+  req.sq_device_addr = sq_win_.device_addr() + chan * sq_ring_bytes;
+  req.cq_device_addr = cq_win_.device_addr() + chan * cq_ring_bytes;
   req.sq_size = cfg_.queue_entries;
   req.cq_size = cfg_.queue_entries;
   bool created = false;
@@ -931,27 +870,21 @@ sim::Task Client::recover_task(std::shared_ptr<bool> stop) {
     auto resp = co_await mailbox_call(req);
     if (*stop || crashed_) break;
     if (resp && resp->status == static_cast<std::uint32_t>(Errc::ok)) {
-      qid_ = resp->qid_out;
+      qids_[chan] = resp->qid_out;
       created = true;
       break;
     }
-    co_await sim::delay(eng, backoff_ns(cfg_.retry_backoff_ns, static_cast<std::uint32_t>(attempt) + 1));
+    co_await sim::delay(eng, block::IoEngine::backoff_ns(cfg_.retry_backoff_ns,
+                                                         static_cast<std::uint32_t>(attempt) + 1));
     if (*stop || crashed_) break;
   }
   if (created) {
-    nvme::QueuePair::Config qc;
-    qc.qid = qid_;
-    qc.sq_size = cfg_.queue_entries;
-    qc.cq_size = cfg_.queue_entries;
-    qc.sq_write_addr = sq_cpu_map_.addr();
-    qc.cq_poll_addr = cq_seg_.phys_addr();
-    qc.sq_doorbell_addr = bar_.addr() + nvme::sq_doorbell_offset(qid_);
-    qc.cq_doorbell_addr = bar_.addr() + nvme::cq_doorbell_offset(qid_);
-    qc.cpu = fabric().cpu(node_);
-    qp_ = std::make_unique<nvme::QueuePair>(fabric(), qc);
-    name_ = "nvsh-n" + std::to_string(node_) + "-q" + std::to_string(qid_);
+    qps_[chan] = make_queue_pair(chan, qids_[chan]);
+    if (cfg_.channels == 1) {
+      name_ = "nvsh-n" + std::to_string(node_) + "-q" + std::to_string(qids_[0]);
+    }
     NVS_LOG(info, "client") << name_ << " recovered queue pair (q" << old_qid << " -> q"
-                            << qid_ << ") in " << (eng.now() - begin) << " ns";
+                            << qids_[chan] << ") in " << (eng.now() - begin) << " ns";
   } else {
     NVS_LOG(error, "client") << name_ << " queue-pair recovery failed; pending commands "
                              << "will exhaust their deadlines";
@@ -960,11 +893,10 @@ sim::Task Client::recover_task(std::shared_ptr<bool> stop) {
   obs::Tracer& tracer = obs::Tracer::global();
   if (tracer.enabled()) {
     const std::uint64_t t = tracer.begin_trace(obs::Kind::other, begin);
-    tracer.record(t, obs::Track::client, obs::Phase::recovery, begin, eng.now(), qid_);
+    tracer.record(t, obs::Track::client, obs::Phase::recovery, begin, eng.now(), qids_[chan]);
     tracer.end_trace(t, eng.now());
   }
-  recovering_ = false;
-  recovered_->set();
+  engine_io_->finish_recovery(chan);
 }
 
 // Liveness heartbeat (docs/faults.md): a posted write of the local sim
@@ -999,8 +931,14 @@ sim::Task Client::detach_task(sim::Promise<Status> promise) {
   }
   attached_ = false;
   MboxSlot req;
-  req.op = static_cast<std::uint32_t>(MboxOp::delete_qp);
-  req.qid_in = qid_;
+  if (cfg_.channels == 1) {
+    req.op = static_cast<std::uint32_t>(MboxOp::delete_qp);
+    req.qid_in = qids_[0];
+  } else {
+    req.op = static_cast<std::uint32_t>(MboxOp::delete_qp_batch);
+    req.qp_count = static_cast<std::uint16_t>(cfg_.channels);
+    for (std::uint32_t ch = 0; ch < cfg_.channels; ++ch) req.qids[ch] = qids_[ch];
+  }
   auto resp = co_await mailbox_call(req);
   *stop_ = true;  // stop poller after the RPC (it uses the fabric, not the QP)
   if (!resp) {

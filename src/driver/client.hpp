@@ -27,10 +27,10 @@
 #include <vector>
 
 #include "block/block.hpp"
+#include "block/io_engine.hpp"
 #include "common/status.hpp"
 #include "driver/cost_model.hpp"
 #include "driver/mailbox.hpp"
-#include "integrity/integrity.hpp"
 #include "mem/iommu.hpp"
 #include "nvme/queue.hpp"
 #include "obs/metrics.hpp"
@@ -38,7 +38,7 @@
 
 namespace nvmeshare::driver {
 
-class Client final : public block::BlockDevice {
+class Client final : public block::BlockDevice, private block::IoTransport {
  public:
   /// Where the submission queue memory lives (Figure 8 ablation).
   enum class SqPlacement {
@@ -52,8 +52,18 @@ class Client final : public block::BlockDevice {
   };
 
   struct Config {
-    std::uint16_t queue_entries = 64;  ///< SQ/CQ entries
-    std::uint32_t queue_depth = 32;    ///< concurrent requests (bounce slots)
+    std::uint16_t queue_entries = 64;  ///< SQ/CQ entries per channel
+    std::uint32_t queue_depth = 32;    ///< concurrent requests per channel
+    /// I/O channels (queue pairs). One by default — the single-QP layout the
+    /// paper evaluates; more spreads submissions across independent SQ/CQ
+    /// rings granted by the manager in one mailbox batch.
+    std::uint32_t channels = 1;
+    /// How submissions pick a channel when channels > 1.
+    block::IoEngine::Scheduler scheduler = block::IoEngine::Scheduler::round_robin;
+    /// Ring each SQ doorbell once per submission burst instead of once per
+    /// command (shadow-doorbell-style batching). Off by default: fault-free
+    /// single-channel runs must execute the exact seed instruction stream.
+    bool coalesce_doorbells = false;
     std::uint32_t slot_bytes = 128 * KiB;  ///< bounce partition per request
     SqPlacement sq_placement = SqPlacement::device_side;
     DataPath data_path = DataPath::bounce_buffer;
@@ -105,7 +115,9 @@ class Client final : public block::BlockDevice {
   [[nodiscard]] std::uint64_t capacity_blocks() const override {
     return header_.capacity_blocks;
   }
-  [[nodiscard]] std::uint32_t max_queue_depth() const override { return cfg_.queue_depth; }
+  [[nodiscard]] std::uint32_t max_queue_depth() const override {
+    return cfg_.queue_depth * cfg_.channels;
+  }
   [[nodiscard]] std::uint64_t max_transfer_bytes() const override { return max_transfer_; }
   sim::Future<block::Completion> submit(const block::Request& request) override;
 
@@ -118,8 +130,14 @@ class Client final : public block::BlockDevice {
   /// the queue pair stays allocated until the manager's reaper collects it.
   void crash();
 
-  [[nodiscard]] std::uint16_t qid() const noexcept { return qid_; }
+  /// Queue id of channel `chan` (channel 0 by default).
+  [[nodiscard]] std::uint16_t qid(std::uint32_t chan = 0) const noexcept {
+    return chan < qids_.size() ? qids_[chan] : 0;
+  }
+  [[nodiscard]] std::uint32_t channels() const noexcept { return cfg_.channels; }
   [[nodiscard]] smartio::NodeId node() const noexcept { return node_; }
+  /// The shared submission core (per-channel inflight/doorbell metrics).
+  [[nodiscard]] const block::IoEngine& io_engine() const noexcept { return *engine_io_; }
 
   /// Per-client counters; each also feeds the global obs::Registry under
   /// `nvmeshare.client.*`, aggregated across all clients.
@@ -152,23 +170,30 @@ class Client final : public block::BlockDevice {
   sim::Task io_task(block::Request request, sim::Promise<block::Completion> promise);
   sim::Task poller(std::shared_ptr<bool> stop);
   sim::Task detach_task(sim::Promise<Status> promise);
-  /// Kick off queue-pair recovery if one is not already running.
-  void start_recovery();
-  sim::Task recover_task(std::shared_ptr<bool> stop);
+  sim::Task recover_task(std::uint32_t chan, std::shared_ptr<bool> stop);
   sim::Task heartbeat_task(std::shared_ptr<bool> stop);
-  /// Resolve every in-flight command with the timeout sentinel.
-  void fail_all_pending();
+
+  // --- block::IoTransport (the NVMe queue-pair personality) ----------------
+  Result<std::uint16_t> issue(std::uint32_t chan, void* cookie) override;
+  Status ring(std::uint32_t chan) override;
+  [[nodiscard]] bool retryable(std::uint16_t status) const override;
+  void start_recovery(std::uint32_t chan) override;
+  [[nodiscard]] std::uint16_t trace_qid(std::uint32_t chan) const override;
+  void on_armed(std::uint32_t chan) override;
 
   [[nodiscard]] sim::Engine& engine();
   [[nodiscard]] pcie::Fabric& fabric();
   /// Zero-cost data copy between a DRAM buffer and a bounce slot (the time
   /// is charged separately from the cost model).
   Status copy_dram(std::uint64_t dst, std::uint64_t src, std::uint64_t len);
-  /// pi_verify write path: remember a tuple per block of the user buffer.
-  void shadow_generate_pi(const block::Request& request);
-  /// pi_verify read path: check returned data against shadow tuples.
-  /// Blocks this client never wrote have no tuple and are skipped.
-  [[nodiscard]] bool shadow_verify_pi(const block::Request& request);
+  /// Build channel `chan`'s queue-pair view over this client's ring slices.
+  [[nodiscard]] std::unique_ptr<nvme::QueuePair> make_queue_pair(std::uint32_t chan,
+                                                                 std::uint16_t qid);
+  /// Per-channel ring stride within the SQ/CQ segment. Single-channel keeps
+  /// the seed-exact ring size; multi-channel slices are page-rounded
+  /// because NVMe queue base addresses must be page-aligned.
+  [[nodiscard]] std::uint64_t sq_stride_bytes() const noexcept;
+  [[nodiscard]] std::uint64_t cq_stride_bytes() const noexcept;
 
   smartio::Service& service_;
   smartio::NodeId node_;
@@ -193,32 +218,19 @@ class Client final : public block::BlockDevice {
   smartio::DmaWindow prp_win_;
   sisci::Map sq_cpu_map_;
 
-  std::unique_ptr<nvme::QueuePair> qp_;
-  std::uint16_t qid_ = 0;
+  /// One queue pair per channel; slot, pending, deadline, retry, and
+  /// recovery bookkeeping all live in the shared engine.
+  std::vector<std::unique_ptr<nvme::QueuePair>> qps_;
+  std::vector<std::uint16_t> qids_;
+  std::unique_ptr<block::IoEngine> engine_io_;
   std::uint32_t max_transfer_ = 0;
 
-  std::unique_ptr<sim::Semaphore> slots_;
-  std::vector<std::uint32_t> free_slots_;
-  /// One in-flight command. `seq` disambiguates cid reuse: the deadline
-  /// callback only fires the timeout if the cid still belongs to the same
-  /// submission it was armed for.
-  struct PendingCmd {
-    sim::Promise<nvme::CompletionEntry> promise;
-    std::uint64_t seq = 0;
-  };
-  std::map<std::uint16_t, PendingCmd> pending_;
-  /// pi_verify: DIF tuples for blocks this client wrote (a DIX-style
-  /// side-channel; the simulated wire carries no inline metadata).
-  std::unordered_map<std::uint64_t, integrity::ProtectionInfo> shadow_pi_;
-  std::uint64_t cmd_seq_ = 0;
   std::unique_ptr<sim::Event> poller_kick_;  ///< wakes the idle poller on submit
   std::unique_ptr<sim::Semaphore> mailbox_lock_;
   mem::Iommu iommu_;
   std::shared_ptr<bool> stop_ = std::make_shared<bool>(false);
   bool attached_ = false;
   bool crashed_ = false;
-  bool recovering_ = false;
-  std::unique_ptr<sim::Event> recovered_;  ///< set whenever no recovery runs
   std::uint64_t crash_token_ = 0;          ///< fault-injector registration
   Stats stats_;
   obs::Histogram read_latency_hist_{"nvmeshare.client.read_latency_ns"};

@@ -4,7 +4,6 @@
 
 namespace nvmeshare::driver {
 
-using nvme::CompletionEntry;
 using nvme::SubmissionEntry;
 
 LocalDriver::Stats::Stats()
@@ -26,6 +25,31 @@ LocalDriver::~LocalDriver() {
   if (prp_pages_addr_ != 0 && ctrl_) (void)cluster_.free_dram(ctrl_->host(), prp_pages_addr_);
 }
 
+// --- block::IoTransport -------------------------------------------------------------
+
+Result<std::uint16_t> LocalDriver::issue(std::uint32_t chan, void* cookie) {
+  return qps_[chan]->push(*static_cast<const SubmissionEntry*>(cookie));
+}
+
+Status LocalDriver::ring(std::uint32_t chan) { return qps_[chan]->ring_sq_doorbell(); }
+
+bool LocalDriver::retryable(std::uint16_t status) const {
+  // The local baseline reports controller errors straight up (no deadline
+  // watchdog is configured, so the engine never retries anyway).
+  (void)status;
+  return false;
+}
+
+void LocalDriver::start_recovery(std::uint32_t chan) {
+  // A local device has no manager or fabric to rebuild through; fail what
+  // is pending and declare the channel recovered (commands then exhaust
+  // their retry budgets and report timeouts).
+  engine_io_->fail_pending(chan);
+  engine_io_->finish_recovery(chan);
+}
+
+std::uint16_t LocalDriver::trace_qid(std::uint32_t chan) const { return qids_[chan]; }
+
 sim::Future<Result<std::unique_ptr<LocalDriver>>> LocalDriver::start(sisci::Cluster& cluster,
                                                                      pcie::EndpointId endpoint,
                                                                      IrqController* irq,
@@ -46,11 +70,19 @@ sim::Task LocalDriver::init_task(std::unique_ptr<LocalDriver> self, pcie::Endpoi
     promise.set(Status(Errc::invalid_argument, "interrupt mode needs an IrqController"));
     co_return;
   }
-  if (d.cfg_.queue_depth == 0 ||
-      d.cfg_.queue_depth > static_cast<std::uint32_t>(d.cfg_.queue_entries - 1)) {
-    promise.set(Status(Errc::invalid_argument, "queue depth exceeds queue size"));
+  block::IoEngine::Config ec;
+  ec.backend = "local";
+  ec.channels = d.cfg_.channels;
+  ec.queue_depth = d.cfg_.queue_depth;
+  ec.queue_entries = d.cfg_.queue_entries;
+  ec.scheduler = d.cfg_.scheduler;
+  ec.coalesce_doorbells = d.cfg_.coalesce_doorbells;
+  ec.doorbell_ns = d.cfg_.costs.doorbell_ns;
+  if (Status st = block::IoEngine::validate(ec); !st) {
+    promise.set(st);
     co_return;
   }
+  const std::uint32_t total_depth = d.cfg_.queue_depth * d.cfg_.channels;
 
   BareController::Config bc;
   bc.costs = d.cfg_.costs;
@@ -63,10 +95,21 @@ sim::Task LocalDriver::init_task(std::unique_ptr<LocalDriver> self, pcie::Endpoi
   const pcie::HostId host = d.ctrl_->host();
   pcie::Fabric& fabric = d.cluster_.fabric();
 
-  auto sq = d.cluster_.alloc_dram(host, d.cfg_.queue_entries * 64ull, 4096);
-  auto cq = d.cluster_.alloc_dram(host, d.cfg_.queue_entries * 16ull, 4096);
+  // Per-channel ring stride. Single-channel keeps the seed-exact ring size;
+  // multi-channel slices are page-rounded because NVMe queue base addresses
+  // must be page-aligned.
+  const std::uint64_t sq_ring_bytes =
+      d.cfg_.channels == 1 ? d.cfg_.queue_entries * 64ull
+                           : div_ceil(d.cfg_.queue_entries * 64ull, nvme::kPageSize) *
+                                 nvme::kPageSize;
+  const std::uint64_t cq_ring_bytes =
+      d.cfg_.channels == 1 ? d.cfg_.queue_entries * 16ull
+                           : div_ceil(d.cfg_.queue_entries * 16ull, nvme::kPageSize) *
+                                 nvme::kPageSize;
+  auto sq = d.cluster_.alloc_dram(host, sq_ring_bytes * d.cfg_.channels, 4096);
+  auto cq = d.cluster_.alloc_dram(host, cq_ring_bytes * d.cfg_.channels, 4096);
   auto prp = d.cluster_.alloc_dram(
-      host, static_cast<std::uint64_t>(d.cfg_.queue_depth) * nvme::kPageSize, 4096);
+      host, static_cast<std::uint64_t>(total_depth) * nvme::kPageSize, 4096);
   if (!sq || !cq || !prp) {
     promise.set(Status(Errc::resource_exhausted, "no DRAM for IO queues"));
     co_return;
@@ -75,8 +118,8 @@ sim::Task LocalDriver::init_task(std::unique_ptr<LocalDriver> self, pcie::Endpoi
   d.cq_addr_ = *cq;
   d.prp_pages_addr_ = *prp;
   mem::PhysMem& dram = fabric.host_dram(host);
-  (void)dram.write(d.sq_addr_, Bytes(d.cfg_.queue_entries * 64ull, std::byte{0}));
-  (void)dram.write(d.cq_addr_, Bytes(d.cfg_.queue_entries * 16ull, std::byte{0}));
+  (void)dram.write(d.sq_addr_, Bytes(sq_ring_bytes * d.cfg_.channels, std::byte{0}));
+  (void)dram.write(d.cq_addr_, Bytes(cq_ring_bytes * d.cfg_.channels, std::byte{0}));
 
   d.irq_event_ = std::make_unique<sim::Event>(engine);
   std::optional<std::uint16_t> vector;
@@ -105,32 +148,40 @@ sim::Task LocalDriver::init_task(std::unique_ptr<LocalDriver> self, pcie::Endpoi
     }
   }
 
-  auto qid = co_await d.ctrl_->create_queue_pair(d.sq_addr_, d.cfg_.queue_entries, d.cq_addr_,
-                                                 d.cfg_.queue_entries, vector);
-  if (!qid) {
-    promise.set(qid.status());
-    co_return;
-  }
-  d.qid_ = *qid;
+  // One queue pair per channel, each on its own slice of the shared ring
+  // allocations, all raising the same MSI-X vector.
+  d.qids_.resize(d.cfg_.channels);
+  d.qps_.resize(d.cfg_.channels);
+  for (std::uint32_t chan = 0; chan < d.cfg_.channels; ++chan) {
+    const std::uint64_t sq_base = d.sq_addr_ + chan * sq_ring_bytes;
+    const std::uint64_t cq_base = d.cq_addr_ + chan * cq_ring_bytes;
+    auto qid = co_await d.ctrl_->create_queue_pair(sq_base, d.cfg_.queue_entries, cq_base,
+                                                   d.cfg_.queue_entries, vector);
+    if (!qid) {
+      promise.set(qid.status());
+      co_return;
+    }
+    d.qids_[chan] = *qid;
 
-  nvme::QueuePair::Config qc;
-  qc.qid = d.qid_;
-  qc.sq_size = d.cfg_.queue_entries;
-  qc.cq_size = d.cfg_.queue_entries;
-  qc.sq_write_addr = d.sq_addr_;
-  qc.cq_poll_addr = d.cq_addr_;
-  qc.sq_doorbell_addr = d.ctrl_->sq_doorbell(d.qid_);
-  qc.cq_doorbell_addr = d.ctrl_->cq_doorbell(d.qid_);
-  qc.cpu = fabric.cpu(host);
-  d.qp_ = std::make_unique<nvme::QueuePair>(fabric, qc);
-
-  d.slots_ = std::make_unique<sim::Semaphore>(engine, d.cfg_.queue_depth);
-  d.free_slots_.resize(d.cfg_.queue_depth);
-  for (std::uint32_t i = 0; i < d.cfg_.queue_depth; ++i) {
-    d.free_slots_[i] = d.cfg_.queue_depth - 1 - i;
+    nvme::QueuePair::Config qc;
+    qc.qid = *qid;
+    qc.sq_size = d.cfg_.queue_entries;
+    qc.cq_size = d.cfg_.queue_entries;
+    qc.sq_write_addr = sq_base;
+    qc.cq_poll_addr = cq_base;
+    qc.sq_doorbell_addr = d.ctrl_->sq_doorbell(*qid);
+    qc.cq_doorbell_addr = d.ctrl_->cq_doorbell(*qid);
+    qc.cpu = fabric.cpu(host);
+    d.qps_[chan] = std::make_unique<nvme::QueuePair>(fabric, qc);
   }
+
+  block::IoTransport& transport = d;
+  d.engine_io_ = std::make_unique<block::IoEngine>(engine, transport, d.stop_, ec);
   d.completion_loop(d.stop_);
-  NVS_LOG(info, "local") << "local driver up, qid " << d.qid_
+  NVS_LOG(info, "local") << "local driver up, qid " << d.qids_[0]
+                         << (d.cfg_.channels > 1
+                                 ? " (+" + std::to_string(d.cfg_.channels - 1) + " channels)"
+                                 : "")
                          << (d.cfg_.use_interrupts ? " (MSI-X)" : " (polled)");
   promise.set(std::move(self));
 }
@@ -155,14 +206,13 @@ sim::Task LocalDriver::io_task(block::Request request,
     finish(st);
     co_return;
   }
-  co_await slots_->acquire();
+  const block::IoEngine::Grant grant = co_await engine_io_->acquire();
   if (*stop) {
-    slots_->release();
+    engine_io_->release(grant);
     finish(Status(Errc::aborted, "driver stopped"));
     co_return;
   }
-  const std::uint32_t slot = free_slots_.back();
-  free_slots_.pop_back();
+  const std::uint32_t slot = grant.slot;
 
   co_await sim::delay(eng, cfg_.costs.jittered(cfg_.costs.submit_ns, rng_));
 
@@ -228,45 +278,45 @@ sim::Task LocalDriver::io_task(block::Request request,
       ++stats_.writes;
       break;
   }
-  auto cid = qp_->push(sqe);
-  if (!cid) {
-    free_slots_.push_back(slot);
-    slots_->release();
-    finish(cid.status());
+  block::IoEngine::RunArgs run_args;
+  run_args.grant = grant;
+  run_args.cookie = &sqe;
+  const block::CmdOutcome outcome = co_await engine_io_->run(run_args);
+  if (outcome.kind == block::CmdOutcome::Kind::aborted) {
+    engine_io_->release(grant);
+    finish(Status(Errc::aborted, "driver stopped"));
     co_return;
   }
-  auto [it, inserted] = pending_.emplace(*cid, sim::Promise<CompletionEntry>(eng));
-  (void)inserted;
-  auto cqe_future = it->second.future();
-
-  co_await sim::delay(eng, cfg_.costs.doorbell_ns);
-  (void)qp_->ring_sq_doorbell();
-
-  CompletionEntry cqe = co_await cqe_future;
+  if (outcome.kind == block::CmdOutcome::Kind::transport_error) {
+    engine_io_->release(grant);
+    finish(outcome.transport);
+    co_return;
+  }
+  if (outcome.kind == block::CmdOutcome::Kind::timed_out) {
+    engine_io_->release(grant);
+    finish(Status(Errc::timed_out, "command timed out"));
+    co_return;
+  }
   co_await sim::delay(eng, cfg_.costs.jittered(cfg_.costs.completion_ns, rng_));
 
   Status status = Status::ok();
-  if (!cqe.ok()) {
+  if (outcome.status != 0) {
     status = Status(Errc::io_error,
-                    std::string("NVMe status: ") + nvme::status_name(cqe.status()));
+                    std::string("NVMe status: ") + nvme::status_name(outcome.status));
   }
-  free_slots_.push_back(slot);
-  slots_->release();
+  engine_io_->release(grant);
   finish(std::move(status));
 }
 
 void LocalDriver::drain_cq() {
-  bool delivered = false;
-  while (auto cqe = qp_->poll()) {
-    delivered = true;
-    auto it = pending_.find(cqe->cid);
-    if (it != pending_.end()) {
-      auto promise = std::move(it->second);
-      pending_.erase(it);
-      promise.set(*cqe);
+  for (std::uint32_t chan = 0; chan < cfg_.channels; ++chan) {
+    bool delivered = false;
+    while (auto cqe = qps_[chan]->poll()) {
+      delivered = true;
+      (void)engine_io_->complete(chan, cqe->cid, cqe->status());
     }
+    if (delivered) (void)qps_[chan]->ring_cq_doorbell();
   }
-  if (delivered) (void)qp_->ring_cq_doorbell();
 }
 
 sim::Task LocalDriver::completion_loop(std::shared_ptr<bool> stop) {

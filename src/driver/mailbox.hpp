@@ -16,7 +16,14 @@ namespace nvmeshare::driver {
 inline constexpr std::uint64_t kMetadataMagic = 0x31415445'4d53564eULL;  // "NVSMETA1"
 // v2: MboxSlot grew the heartbeat_ns liveness field (carved from padding,
 // so the layout of everything v1 defined is unchanged).
-inline constexpr std::uint32_t kMetadataVersion = 2;
+// v3: batch queue-pair grants (create_qp_batch / delete_qp_batch) for
+// multi-channel clients: qp_count, per-channel base-address strides, and a
+// qid list, all carved from padding — single-QP ops are layout-unchanged.
+inline constexpr std::uint32_t kMetadataVersion = 3;
+
+/// Most queue pairs one batch request can grant or revoke (the qid list
+/// must fit the fixed 128-byte slot).
+inline constexpr std::uint32_t kMaxBatchQps = 16;
 
 /// Fixed header at offset 0 of the metadata segment.
 struct MetadataHeader {
@@ -46,6 +53,14 @@ enum class MboxOp : std::uint32_t {
   create_qp = 1,
   delete_qp = 2,
   ping = 3,
+  /// Grant qp_count queue pairs in one request: channel c's SQ lives at
+  /// sq_device_addr + c * sq_stride (CQ likewise); the granted ids come
+  /// back in qids[] (not necessarily contiguous — other clients' grants
+  /// interleave). All-or-nothing: a mid-batch failure rolls back.
+  create_qp_batch = 4,
+  /// Revoke the qp_count queue pairs listed in qids[] (best effort: every
+  /// owned qid is attempted, the first failure is reported).
+  delete_qp_batch = 5,
 };
 
 /// One mailbox slot (one per cluster node, indexed by the client's NodeId,
@@ -76,7 +91,15 @@ struct MboxSlot {
   /// and deletes its orphaned queue pair. 0 = client never heartbeated.
   std::uint64_t heartbeat_ns = 0;
 
-  std::uint8_t pad2[72] = {};  // round the slot to a cache-line multiple
+  // Batch payload (create_qp_batch / delete_qp_batch), v3.
+  std::uint16_t qp_count = 0;   ///< in: channels requested (1..kMaxBatchQps)
+  std::uint16_t pad3 = 0;
+  std::uint32_t sq_stride = 0;  ///< in: bytes between consecutive SQ bases
+  std::uint32_t cq_stride = 0;  ///< in: bytes between consecutive CQ bases
+  std::uint32_t pad4 = 0;
+  std::uint16_t qids[kMaxBatchQps] = {};  ///< out (create) / in (delete)
+
+  std::uint8_t pad2[24] = {};  // round the slot to a cache-line multiple
 };
 static_assert(sizeof(MboxSlot) == 128);
 

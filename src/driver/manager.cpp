@@ -457,6 +457,123 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
       respond(Errc::ok, qid, 0);
       break;
     }
+    case MboxOp::create_qp_batch: {
+      // Multi-channel grant: one pair per channel, SQ/CQ bases advancing by
+      // the client's strides. All-or-nothing — a mid-batch failure deletes
+      // what this batch already created before responding.
+      const std::uint16_t count = slot.qp_count;
+      if (count == 0 || count > kMaxBatchQps || slot.sq_size < 2 || slot.cq_size < 2 ||
+          slot.sq_device_addr == 0 || slot.cq_device_addr == 0 ||
+          (count > 1 && (slot.sq_stride == 0 || slot.cq_stride == 0))) {
+        respond(Errc::invalid_argument, 0, 0);
+        break;
+      }
+      std::uint16_t created = 0;
+      Errc errc = Errc::ok;
+      std::uint16_t bad_status = 0;
+      while (created < count) {
+        std::uint16_t qid = 0;
+        for (std::uint16_t q = 1; q < qid_used_.size(); ++q) {
+          if (!qid_used_[q]) {
+            qid = q;
+            break;
+          }
+        }
+        if (qid == 0) {
+          errc = Errc::resource_exhausted;
+          break;
+        }
+        const std::uint64_t cq_base =
+            slot.cq_device_addr + static_cast<std::uint64_t>(created) * slot.cq_stride;
+        const std::uint64_t sq_base =
+            slot.sq_device_addr + static_cast<std::uint64_t>(created) * slot.sq_stride;
+        auto cq = co_await submit_admin(nvme::make_create_io_cq(0, qid, slot.cq_size, cq_base,
+                                                                /*irq_enable=*/false, 0));
+        if (*stop) {
+          done.set(false);
+          co_return;
+        }
+        if (!cq || !cq->ok()) {
+          errc = cq ? Errc::io_error : cq.status().code();
+          bad_status = cq ? cq->status() : 0;
+          break;
+        }
+        auto sq = co_await submit_admin(
+            nvme::make_create_io_sq(0, qid, slot.sq_size, sq_base, qid));
+        if (*stop) {
+          done.set(false);
+          co_return;
+        }
+        if (!sq || !sq->ok()) {
+          (void)co_await submit_admin(nvme::make_delete_io_cq(0, qid));
+          errc = sq ? Errc::io_error : sq.status().code();
+          bad_status = sq ? sq->status() : 0;
+          break;
+        }
+        qid_used_[qid] = true;
+        qid_owner_[qid] = slot.client_node;
+        qid_created_at_[qid] = engine().now();
+        ++stats_.qps_created;
+        slot.qids[created] = qid;
+        ++created;
+      }
+      if (errc != Errc::ok) {
+        for (std::uint16_t c = 0; c < created; ++c) {
+          const std::uint16_t qid = slot.qids[c];
+          (void)co_await submit_admin(nvme::make_delete_io_sq(0, qid));
+          (void)co_await submit_admin(nvme::make_delete_io_cq(0, qid));
+          qid_used_[qid] = false;
+          qid_owner_[qid] = 0;
+          qid_created_at_[qid] = 0;
+          ++stats_.qps_deleted;
+          slot.qids[c] = 0;
+        }
+        if (*stop) {
+          done.set(false);
+          co_return;
+        }
+        respond(errc, 0, bad_status);
+        break;
+      }
+      NVS_LOG(info, "manager") << "created " << count << " QPs for node "
+                               << slot.client_node;
+      respond(Errc::ok, slot.qids[0], 0);
+      break;
+    }
+    case MboxOp::delete_qp_batch: {
+      const std::uint16_t count = slot.qp_count;
+      if (count == 0 || count > kMaxBatchQps) {
+        respond(Errc::invalid_argument, 0, 0);
+        break;
+      }
+      // Best effort: every owned qid in the list is attempted so one stale
+      // entry cannot strand the rest; the first failure is reported.
+      Errc errc = Errc::ok;
+      for (std::uint16_t c = 0; c < count; ++c) {
+        const std::uint16_t qid = slot.qids[c];
+        if (qid == 0 || qid >= qid_used_.size() || !qid_used_[qid] ||
+            qid_owner_[qid] != slot.client_node) {
+          if (errc == Errc::ok) errc = Errc::permission_denied;
+          continue;
+        }
+        auto sq = co_await submit_admin(nvme::make_delete_io_sq(0, qid));
+        auto cq = co_await submit_admin(nvme::make_delete_io_cq(0, qid));
+        if (*stop) {
+          done.set(false);
+          co_return;
+        }
+        if (!sq || !sq->ok() || !cq || !cq->ok()) {
+          if (errc == Errc::ok) errc = Errc::io_error;
+          continue;
+        }
+        qid_used_[qid] = false;
+        qid_owner_[qid] = 0;
+        qid_created_at_[qid] = 0;
+        ++stats_.qps_deleted;
+      }
+      respond(errc, 0, 0);
+      break;
+    }
     default:
       respond(Errc::protocol_error, 0, 0);
       break;

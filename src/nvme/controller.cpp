@@ -54,9 +54,9 @@ Controller::Controller(sim::Engine& engine, Config cfg)
   sqs_.resize(cfg_.max_queue_pairs);
   cqs_.resize(cfg_.max_queue_pairs);
   for (std::uint16_t i = 0; i < cfg_.max_queue_pairs; ++i) {
-    sqs_[i].work = std::make_unique<sim::Event>(engine_);
     cqs_[i].space = std::make_unique<sim::Event>(engine_);
   }
+  work_ = std::make_unique<sim::Event>(engine_);
   msix_.resize(kMsixVectors);
   channels_ = std::make_unique<sim::Semaphore>(engine_, cfg_.service.channels);
   if (cfg_.pi_enabled) store_.format_with_pi(true);
@@ -226,7 +226,7 @@ void Controller::enable_controller() {
   engine_.after(cfg_.service.enable_ns, [this, gen]() {
     if (gen != generation_ || (cc_ & kCcEnable) == 0) return;
     csts_ |= kCstsReady;
-    sq_fetcher(0, gen);
+    arbiter_task(gen);
     NVS_LOG(info, "nvme") << "controller ready";
   });
 }
@@ -235,12 +235,13 @@ void Controller::disable_controller(bool fatal) {
   ++generation_;
   for (auto& sq : sqs_) {
     sq.valid = false;
-    sq.work->set();  // wake fetchers so they observe the new generation and exit
+    sq.retry_not_before = 0;
   }
   for (auto& cq : cqs_) {
     cq.valid = false;
     cq.space->set();
   }
+  work_->set();  // wake the arbiter so it observes the new generation and exits
   csts_ &= ~kCstsReady;
   if (fatal) csts_ |= kCstsFatal;
   granted_io_queues_ = 0;
@@ -278,60 +279,115 @@ void Controller::handle_doorbell(std::uint64_t offset, std::uint32_t value) {
     return;
   }
   sq.tail = static_cast<std::uint16_t>(value);
-  sq.work->set();
+  work_->set();
 }
 
 // --- fetch & dispatch ----------------------------------------------------------------
 
-sim::Task Controller::sq_fetcher(std::uint16_t qid, std::uint64_t gen) {
+sim::Task Controller::arbiter_task(std::uint64_t gen) {
+  // NVMe round-robin arbitration, one servicer for every doorbell: the
+  // admin queue drains with strict priority, then each I/O queue with work
+  // gets a turn of at most arb_burst() commands, rotating from rr_next_.
+  // A queue mid-retry (transient fetch-DMA failure) is skipped until its
+  // retry_not_before passes, so one unreachable host cannot stall others.
   for (;;) {
     if (gen != generation_) co_return;
-    SqState& sq = sqs_[qid];
-    if (!sq.valid) co_return;
-    if (sq.head == sq.tail) {
-      sq.work->reset();
-      co_await sq.work->wait();
-      continue;
+
+    if (sqs_[0].valid && sqs_[0].head != sqs_[0].tail) {
+      const int n = co_await fetch_turn(0, cfg_.fetch_burst, gen);
+      if (gen != generation_ || n == -2) co_return;
+      continue;  // keep admin drained before offering I/O turns
     }
-    const auto avail = static_cast<std::uint16_t>((sq.tail - sq.head + sq.size) % sq.size);
-    const auto until_wrap = static_cast<std::uint16_t>(sq.size - sq.head);
-    const std::uint16_t n = std::min({avail, until_wrap, cfg_.fetch_burst});
-    ++stats_.fetch_dma_reads;
-    const sim::Time fetch_begin = engine_.now();
-    auto data = co_await fabric()->read(
-        dma_initiator(), sq.base + static_cast<std::uint64_t>(sq.head) * sizeof(SubmissionEntry),
-        static_cast<std::size_t>(n) * sizeof(SubmissionEntry));
-    if (gen != generation_ || !sqs_[qid].valid) co_return;
-    if (!data) {
-      // Per-queue isolation: an I/O queue whose memory became *transiently*
-      // unreachable (NTB link down -> Errc::unavailable) must not take the
-      // whole controller and every other host's queues down with it; retry
-      // until the path heals or the queue is deleted. A permanent routing
-      // failure (unmapped address = mis-programmed queue base) stays fatal,
-      // as does any admin-queue failure.
-      if (qid != 0 && data.status().code() == Errc::unavailable) {
-        NVS_LOG(warn, "nvme") << "SQ fetch DMA failed (q" << qid
-                              << "): " << data.status().to_string() << " -> retry";
-        co_await sim::delay(engine_, cfg_.service.queue_retry_ns);
+
+    bool fetched = false;
+    bool deferred = false;
+    sim::Time next_retry = 0;
+    const auto nio = static_cast<std::uint16_t>(cfg_.max_queue_pairs - 1);
+    for (std::uint16_t step = 0; step < nio && !fetched; ++step) {
+      const auto qid = static_cast<std::uint16_t>(1 + (rr_next_ - 1 + step) % nio);
+      SqState& sq = sqs_[qid];
+      if (!sq.valid || sq.head == sq.tail) continue;
+      if (sq.retry_not_before > engine_.now()) {
+        deferred = true;
+        if (next_retry == 0 || sq.retry_not_before < next_retry) {
+          next_retry = sq.retry_not_before;
+        }
         continue;
       }
-      NVS_LOG(error, "nvme") << "SQ fetch DMA failed (q" << qid
-                             << "): " << data.status().to_string() << " -> fatal";
-      disable_controller(/*fatal=*/true);
+      const int n = co_await fetch_turn(qid, arb_burst(), gen);
+      if (gen != generation_ || n == -2) co_return;
+      rr_next_ = static_cast<std::uint16_t>(1 + qid % nio);  // queue after this one
+      fetched = true;
+    }
+    if (fetched) continue;
+
+    work_->reset();
+    if (deferred) {
+      // Every queue with work is backing off; wake when the earliest retry
+      // is due (a doorbell meanwhile also wakes us, and a stale wakeup just
+      // re-scans).
+      engine_.after(next_retry - engine_.now(), [this, gen]() {
+        if (gen == generation_) work_->set();
+      });
+    }
+    co_await work_->wait();
+  }
+}
+
+sim::Future<int> Controller::fetch_turn(std::uint16_t qid, std::uint16_t limit,
+                                        std::uint64_t gen) {
+  sim::Promise<int> promise(engine_);
+  fetch_turn_task(qid, limit, gen, promise);
+  return promise.future();
+}
+
+sim::Task Controller::fetch_turn_task(std::uint16_t qid, std::uint16_t limit, std::uint64_t gen,
+                                      sim::Promise<int> promise) {
+  SqState& sq = sqs_[qid];
+  const auto avail = static_cast<std::uint16_t>((sq.tail - sq.head + sq.size) % sq.size);
+  const auto until_wrap = static_cast<std::uint16_t>(sq.size - sq.head);
+  const std::uint16_t n = std::min({avail, until_wrap, cfg_.fetch_burst, limit});
+  ++stats_.fetch_dma_reads;
+  const sim::Time fetch_begin = engine_.now();
+  auto data = co_await fabric()->read(
+      dma_initiator(), sq.base + static_cast<std::uint64_t>(sq.head) * sizeof(SubmissionEntry),
+      static_cast<std::size_t>(n) * sizeof(SubmissionEntry));
+  if (gen != generation_ || !sqs_[qid].valid) {
+    promise.set(0);
+    co_return;
+  }
+  if (!data) {
+    // Per-queue isolation: an I/O queue whose memory became *transiently*
+    // unreachable (NTB link down -> Errc::unavailable) must not take the
+    // whole controller and every other host's queues down with it; the
+    // arbiter skips it until the path heals or the queue is deleted. A
+    // permanent routing failure (unmapped address = mis-programmed queue
+    // base) stays fatal, as does any admin-queue failure.
+    if (qid != 0 && data.status().code() == Errc::unavailable) {
+      NVS_LOG(warn, "nvme") << "SQ fetch DMA failed (q" << qid
+                            << "): " << data.status().to_string() << " -> retry";
+      sq.retry_not_before = engine_.now() + cfg_.service.queue_retry_ns;
+      promise.set(-1);
       co_return;
     }
-    for (std::uint16_t i = 0; i < n; ++i) {
-      const auto sqe =
-          load_pod<SubmissionEntry>(*data, static_cast<std::size_t>(i) * sizeof(SubmissionEntry));
-      if (qid != 0) {
-        trace_io_span(qid, sqe.cid, obs::Phase::ctrl_fetch, fetch_begin, engine_.now());
-      }
-      const auto head_after = static_cast<std::uint16_t>((sq.head + i + 1) % sq.size);
-      execute_command(qid, sqe, head_after, gen);
-    }
-    sq.head = static_cast<std::uint16_t>((sq.head + n) % sq.size);
-    stats_.commands_fetched += n;
+    NVS_LOG(error, "nvme") << "SQ fetch DMA failed (q" << qid
+                           << "): " << data.status().to_string() << " -> fatal";
+    disable_controller(/*fatal=*/true);
+    promise.set(-2);
+    co_return;
   }
+  for (std::uint16_t i = 0; i < n; ++i) {
+    const auto sqe =
+        load_pod<SubmissionEntry>(*data, static_cast<std::size_t>(i) * sizeof(SubmissionEntry));
+    if (qid != 0) {
+      trace_io_span(qid, sqe.cid, obs::Phase::ctrl_fetch, fetch_begin, engine_.now());
+    }
+    const auto head_after = static_cast<std::uint16_t>((sq.head + i + 1) % sq.size);
+    execute_command(qid, sqe, head_after, gen);
+  }
+  sq.head = static_cast<std::uint16_t>((sq.head + n) % sq.size);
+  stats_.commands_fetched += n;
+  promise.set(n);
 }
 
 sim::Task Controller::execute_command(std::uint16_t qid, SubmissionEntry sqe,
@@ -581,8 +637,8 @@ Controller::AdminResult Controller::admin_create_sq(const SubmissionEntry& sqe,
   sq.size = qsize;
   sq.head = sq.tail = 0;
   sq.cqid = cqid;
-  sq.work->reset();
-  sq_fetcher(qid, gen);
+  sq.retry_not_before = 0;
+  (void)gen;  // the central arbiter picks the queue up at its first doorbell
   NVS_LOG(debug, "nvme") << "created IO SQ " << qid << " size " << qsize << " -> CQ " << cqid;
   return {};
 }
@@ -593,7 +649,7 @@ Controller::AdminResult Controller::admin_delete_sq(const SubmissionEntry& sqe) 
     return {kScInvalidQueueId, 0};
   }
   sqs_[qid].valid = false;
-  sqs_[qid].work->set();  // its fetcher exits
+  sqs_[qid].retry_not_before = 0;
   return {};
 }
 
@@ -625,6 +681,14 @@ Controller::AdminResult Controller::admin_set_features(const SubmissionEntry& sq
                               (static_cast<std::uint32_t>(granted_cq - 1) << 16);
     return {kScSuccess, dw0};
   }
+  if (fid == FeatureId::arbitration) {
+    // Round-robin arbitration burst: 2^AB commands per I/O-queue turn
+    // (AB = 7 means no limit). This model ignores the priority-weight
+    // fields — every queue is the same priority class, as in the paper's
+    // symmetric multi-host sharing.
+    arb_burst_log2_ = static_cast<std::uint8_t>(sqe.cdw11 & 0x7);
+    return {kScSuccess, 0};
+  }
   return {kScInvalidField, 0};
 }
 
@@ -635,6 +699,9 @@ Controller::AdminResult Controller::admin_get_features(const SubmissionEntry& sq
     const std::uint32_t dw0 = static_cast<std::uint32_t>(granted_io_queues_ - 1) |
                               (static_cast<std::uint32_t>(granted_io_queues_ - 1) << 16);
     return {kScSuccess, dw0};
+  }
+  if (fid == FeatureId::arbitration) {
+    return {kScSuccess, arb_burst_log2_};
   }
   return {kScInvalidField, 0};
 }

@@ -122,7 +122,9 @@ class Controller final : public pcie::Endpoint {
     std::uint16_t head = 0;  // controller consume pointer
     std::uint16_t tail = 0;  // shadow from SQ tail doorbell
     std::uint16_t cqid = 0;
-    std::unique_ptr<sim::Event> work;  // signaled on SQ tail doorbell
+    /// Earliest time the arbiter may retry this queue after a transient
+    /// fetch-DMA failure (per-queue isolation: other queues keep flowing).
+    sim::Time retry_not_before = 0;
   };
   struct MsixEntry {
     std::uint64_t addr = 0;
@@ -137,8 +139,24 @@ class Controller final : public pcie::Endpoint {
   void enable_controller();
   void disable_controller(bool fatal);
 
-  // Command pipeline.
-  sim::Task sq_fetcher(std::uint16_t qid, std::uint64_t gen);
+  // Command pipeline. One central arbiter services every SQ doorbell: the
+  // admin queue drains with strict priority, then the I/O queues take
+  // round-robin turns of at most arbitration-burst commands each (NVMe
+  // round-robin arbitration; the burst is Set Features / Arbitration AB).
+  sim::Task arbiter_task(std::uint64_t gen);
+  /// Fetch and dispatch up to `limit` commands from `qid` with one DMA
+  /// read. Resolves with the count fetched, -1 after a transient DMA
+  /// failure (the queue's retry_not_before was armed), -2 on a fatal one.
+  [[nodiscard]] sim::Future<int> fetch_turn(std::uint16_t qid, std::uint16_t limit,
+                                            std::uint64_t gen);
+  sim::Task fetch_turn_task(std::uint16_t qid, std::uint16_t limit, std::uint64_t gen,
+                            sim::Promise<int> promise);
+  /// Commands one I/O queue may fetch per arbitration turn (2^AB; AB = 7
+  /// means unlimited per spec).
+  [[nodiscard]] std::uint16_t arb_burst() const noexcept {
+    return arb_burst_log2_ >= 7 ? 0xFFFF
+                                : static_cast<std::uint16_t>(1u << arb_burst_log2_);
+  }
   sim::Task execute_command(std::uint16_t qid, SubmissionEntry sqe, std::uint16_t sq_head_after,
                             std::uint64_t gen);
   sim::Task complete(std::uint16_t sqid, std::uint16_t sq_head_after, std::uint16_t cid,
@@ -189,6 +207,9 @@ class Controller final : public pcie::Endpoint {
   std::vector<CqState> cqs_;
   std::vector<MsixEntry> msix_;
   std::unique_ptr<sim::Semaphore> channels_;
+  std::unique_ptr<sim::Event> work_;  ///< any SQ doorbell; wakes the arbiter
+  std::uint16_t rr_next_ = 1;         ///< next I/O queue to offer a turn
+  std::uint8_t arb_burst_log2_ = 3;   ///< Arbitration feature AB field
   std::uint64_t generation_ = 0;  ///< bumped on reset; stale work is dropped
   std::uint16_t granted_io_queues_ = 0;
   std::vector<std::uint16_t> pending_aer_cids_;

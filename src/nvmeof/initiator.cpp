@@ -13,22 +13,6 @@ constexpr std::uint64_t kWrSend = 4ull << 56;
 constexpr std::uint64_t kWrRecv = 1ull << 56;
 constexpr std::uint64_t kWrSlotMask = (1ull << 56) - 1;
 
-// A timed-out capsule wait is resolved with a sentinel response carrying an
-// impossible status (real NVMe status fields are 15-bit, so 0xffff can
-// never arrive off the wire).
-constexpr std::uint16_t kTimeoutStatus = 0xffff;
-
-ResponseCapsule timeout_sentinel(std::uint16_t cid) {
-  ResponseCapsule r;
-  r.cid = cid;
-  r.status = kTimeoutStatus;
-  return r;
-}
-
-sim::Duration backoff_ns(sim::Duration base, std::uint32_t attempt) {
-  return base << std::min<std::uint32_t>(attempt > 0 ? attempt - 1 : 0, 10);
-}
-
 obs::Kind trace_kind(block::Op op) {
   switch (op) {
     case block::Op::read: return obs::Kind::read;
@@ -73,14 +57,33 @@ sim::Task Initiator::connect_task(std::unique_ptr<Initiator> self, Target* targe
   Initiator& i = *self;
   sim::Engine& engine = i.cluster_.engine();
 
+  block::IoEngine::Config ec;
+  ec.backend = "nvmeof";
+  ec.channels = i.cfg_.channels;
+  ec.queue_depth = i.cfg_.queue_depth;
+  ec.queue_entries = 0;  // message transport: no ring wrap to guard
+  ec.scheduler = i.cfg_.scheduler;
+  ec.coalesce_doorbells = i.cfg_.coalesce_doorbells;
+  ec.doorbell_ns = i.cfg_.costs.doorbell_ns;
+  ec.cmd_timeout_ns = i.cfg_.capsule_timeout_ns;
+  ec.cmd_retry_limit = i.cfg_.capsule_retry_limit;
+  ec.retry_backoff_ns = i.cfg_.retry_backoff_ns;
+  ec.trace_style = block::IoEngine::TraceStyle::fabric;
+  ec.counters.timeouts = &i.stats_.capsule_timeouts;
+  ec.counters.retries = &i.stats_.capsule_retries;
+  ec.counters.recoveries = &i.stats_.reconnects;
+  if (Status st = block::IoEngine::validate(ec); !st) {
+    promise.set(st);
+    co_return;
+  }
+
   i.target_ = target;
   i.ctx_ = std::make_unique<rdma::Context>(i.network_, i.node_);
   i.cq_ = std::make_unique<rdma::CompletionQueue>(engine);
-  i.reconnected_ = std::make_unique<sim::Event>(engine);
-  i.reconnected_->set();  // no reconnect in progress
 
-  auto cmd = i.cluster_.alloc_dram(i.node_, i.cfg_.queue_depth * kCapsuleSlotBytes, 4096);
-  auto resp = i.cluster_.alloc_dram(i.node_, i.cfg_.queue_depth * sizeof(ResponseCapsule), 4096);
+  const std::uint32_t total_depth = i.cfg_.queue_depth * i.cfg_.channels;
+  auto cmd = i.cluster_.alloc_dram(i.node_, total_depth * kCapsuleSlotBytes, 4096);
+  auto resp = i.cluster_.alloc_dram(i.node_, total_depth * sizeof(ResponseCapsule), 4096);
   if (!cmd || !resp) {
     promise.set(Status(Errc::resource_exhausted, "initiator: no DRAM for capsule buffers"));
     co_return;
@@ -93,30 +96,77 @@ sim::Task Initiator::connect_task(std::unique_ptr<Initiator> self, Target* targe
   // the target, so every request buffer must be reachable).
   (void)i.ctx_->register_mr(0, i.cluster_.fabric().host_dram(i.node_).size());
 
-  auto qp = co_await target->accept(*i.ctx_, *i.cq_);
-  if (!qp) {
-    promise.set(qp.status());
-    co_return;
-  }
-  i.qp_ = *qp;
-
-  for (std::uint32_t slot = 0; slot < i.cfg_.queue_depth; ++slot) {
-    (void)i.qp_->post_recv(kWrRecv | slot, i.resp_base_ + slot * sizeof(ResponseCapsule),
-                           sizeof(ResponseCapsule));
+  // One RDMA queue pair per channel, all sharing one completion queue (the
+  // kernel initiator's one-QP-per-core layout with a shared EQ).
+  i.qps_.resize(i.cfg_.channels, nullptr);
+  i.staged_.resize(i.cfg_.channels);
+  for (std::uint32_t chan = 0; chan < i.cfg_.channels; ++chan) {
+    auto qp = co_await target->accept(*i.ctx_, *i.cq_);
+    if (!qp) {
+      promise.set(qp.status());
+      co_return;
+    }
+    i.qps_[chan] = *qp;
+    i.post_recv_ring(chan);
   }
 
   i.capacity_blocks_ = target->controller().capacity_blocks();
   i.block_size_ = target->controller().block_size();
   i.max_transfer_ = target->controller().max_transfer_bytes();
 
-  i.slots_ = std::make_unique<sim::Semaphore>(engine, i.cfg_.queue_depth);
-  i.free_slots_.resize(i.cfg_.queue_depth);
-  for (std::uint32_t s = 0; s < i.cfg_.queue_depth; ++s) {
-    i.free_slots_[s] = i.cfg_.queue_depth - 1 - s;
-  }
+  block::IoTransport& transport = i;
+  i.engine_io_ = std::make_unique<block::IoEngine>(engine, transport, i.stop_, ec);
   i.completion_loop(i.stop_);
-  NVS_LOG(info, "nvmeof") << "initiator connected from node " << i.node_;
+  NVS_LOG(info, "nvmeof") << "initiator connected from node " << i.node_
+                          << (i.cfg_.channels > 1
+                                  ? " with " + std::to_string(i.cfg_.channels) + " channels"
+                                  : "");
   promise.set(std::move(self));
+}
+
+void Initiator::post_recv_ring(std::uint32_t chan) {
+  for (std::uint32_t s = chan * cfg_.queue_depth; s < (chan + 1) * cfg_.queue_depth; ++s) {
+    (void)qps_[chan]->post_recv(kWrRecv | s, resp_base_ + s * sizeof(ResponseCapsule),
+                                sizeof(ResponseCapsule));
+  }
+}
+
+// --- block::IoTransport ---------------------------------------------------------------
+
+Result<std::uint16_t> Initiator::issue(std::uint32_t chan, void* cookie) {
+  const auto& desc = *static_cast<const SendDesc*>(cookie);
+  staged_[chan].push_back(desc);
+  return desc.cid;
+}
+
+Status Initiator::ring(std::uint32_t chan) {
+  // Post every capsule staged since the last ring as one SEND burst; the
+  // first failure is reported for the whole burst (commands whose SEND did
+  // go out are idempotent — a late duplicate response is dropped).
+  Status first = Status::ok();
+  for (const SendDesc& desc : staged_[chan]) {
+    if (Status st = qps_[chan]->post_send(kWrSend | desc.cid, desc.addr, desc.len); !st) {
+      if (first) first = st;
+    }
+  }
+  staged_[chan].clear();
+  return first;
+}
+
+bool Initiator::retryable(std::uint16_t status) const {
+  // A genuine target response is final: the fabric retry machinery exists
+  // for lost capsules, not for NVMe-status errors.
+  (void)status;
+  return false;
+}
+
+void Initiator::start_recovery(std::uint32_t chan) { reconnect_task(chan, stop_); }
+
+std::uint16_t Initiator::trace_qid(std::uint32_t chan) const {
+  // All channels correlate under the node's fabric qid: capsule cids are
+  // engine-global, so (qid, cid) stays unique across channels.
+  (void)chan;
+  return nvmeof_trace_qid(static_cast<std::uint16_t>(node_));
 }
 
 sim::Future<block::Completion> Initiator::submit(const block::Request& request) {
@@ -146,18 +196,14 @@ sim::Task Initiator::io_task(block::Request request, sim::Promise<block::Complet
     finish(st);
     co_return;
   }
-  co_await slots_->acquire();
+  const block::IoEngine::Grant grant = co_await engine_io_->acquire();
   if (*stop) {
-    slots_->release();
+    engine_io_->release(grant);
     finish(Status(Errc::aborted, "initiator stopped"));
     co_return;
   }
-  const std::uint32_t slot = free_slots_.back();
-  free_slots_.pop_back();
-  auto release_slot = [&]() {
-    free_slots_.push_back(slot);
-    slots_->release();
-  };
+  const std::uint32_t slot = grant.slot;
+  auto release_slot = [&]() { engine_io_->release(grant); };
 
   // Submission path: block layer + capsule construction.
   co_await sim::delay(engine, cfg_.costs.jittered(cfg_.costs.submit_ns, rng_));
@@ -219,122 +265,69 @@ sim::Task Initiator::io_task(block::Request request, sim::Promise<block::Complet
     (void)dram.write(capsule_addr + sizeof(CommandCapsule), payload);
   }
 
-  // Send and response wait. With capsule_timeout_ns configured, each SEND
-  // is bounded by a deadline and retried with backoff (idempotent: same
-  // slot, same cid — a late duplicate response resolves the same command);
-  // once the retry budget is spent the connection itself is suspect (a lost
-  // capsule window) and is re-established once.
-  const auto cid16 = static_cast<std::uint16_t>(slot);
-  ResponseCapsule response;
-  std::uint32_t attempt = 0;
-  bool reconnected_once = false;
+  // The engine runs the SEND, deadline, retry, and one reconnect cycle;
+  // issue() stages the capsule and ring() posts it. A duplicate SEND after
+  // a timeout is idempotent: same slot, same cid — a late duplicate
+  // response resolves nothing and is dropped by the engine.
+  SendDesc desc;
+  desc.addr = capsule_addr;
+  desc.len = wire_len;
+  desc.cid = static_cast<std::uint16_t>(slot);
+  block::IoEngine::RunArgs run_args;
+  run_args.grant = grant;
+  run_args.cookie = &desc;
+  run_args.ph = &ph;
+  run_args.trace = trace;
+  std::uint32_t digest_attempts = 0;
+  block::CmdOutcome outcome;
   for (;;) {
-    if (reconnecting_) {
-      // A reconnect is in flight; wait for the fresh queue pair.
-      (void)co_await reconnected_->wait();
-    }
-    if (*stop) {
+    outcome = co_await engine_io_->run(run_args);
+    if (outcome.kind == block::CmdOutcome::Kind::aborted) {
       release_slot();
       finish(Status(Errc::aborted, "initiator stopped"));
       co_return;
     }
-    const std::uint64_t seq = ++rsp_seq_;
-    auto [it, inserted] =
-        pending_.emplace(cid16, PendingRsp{sim::Promise<ResponseCapsule>(engine), seq});
-    (void)inserted;
-    auto response_future = it->second.promise.future();
-    tracer.bind(nvmeof_trace_qid(static_cast<std::uint16_t>(node_)), capsule.cid, trace);
-
-    if (cfg_.capsule_timeout_ns > 0) {
-      // Deadline watchdog: resolves the wait with the sentinel unless the
-      // response (or a reconnect sweep) got there first.
-      engine.after(cfg_.capsule_timeout_ns, [this, stop, cid16, seq]() {
-        if (*stop) return;
-        auto p = pending_.find(cid16);
-        if (p == pending_.end() || p->second.seq != seq) return;
-        auto promise = std::move(p->second.promise);
-        pending_.erase(p);
-        ++stats_.capsule_timeouts;
-        promise.set(timeout_sentinel(cid16));
-      });
-    }
-
-    co_await sim::delay(engine, cfg_.costs.doorbell_ns);
-    if (Status st = qp_->post_send(kWrSend | slot, capsule_addr, wire_len); !st) {
-      if (auto p = pending_.find(cid16); p != pending_.end() && p->second.seq == seq) {
-        pending_.erase(p);
-      }
-      if (cfg_.capsule_timeout_ns == 0 || attempt >= cfg_.capsule_retry_limit) {
-        release_slot();
-        finish(st);
-        co_return;
-      }
-      ++attempt;
-      ++stats_.capsule_retries;
-      co_await sim::delay(engine, backoff_ns(cfg_.retry_backoff_ns, attempt));
-      ph.mark(obs::Phase::recovery, engine.now());
-      continue;
-    }
-    ph.mark(obs::Phase::capsule_send, engine.now());
-
-    response = co_await response_future;
-    ph.mark(obs::Phase::cq_wait, engine.now());
-    tracer.unbind(nvmeof_trace_qid(static_cast<std::uint16_t>(node_)), capsule.cid);
-    if (*stop) {
+    if (outcome.kind == block::CmdOutcome::Kind::transport_error) {
       release_slot();
-      finish(Status(Errc::aborted, "initiator stopped"));
+      finish(outcome.transport);
       co_return;
     }
-    if (response.status != kTimeoutStatus) {
-      // Verify the digest the target computed over the read payload it
-      // pushed. A mismatch means the data was damaged in flight — the
-      // media copy is intact, so a re-send heals it.
-      if (cfg_.data_digest && response.status == 0 && request.op == block::Op::read &&
-          response.data_digest != 0) {
-        Bytes payload(capsule.data_len);
-        (void)dram.read(request.buffer_addr, payload);
-        if (integrity::crc32c(payload) != response.data_digest) {
-          ++integrity::stats().digest_errors;
-          if (cfg_.capsule_timeout_ns > 0 && attempt < cfg_.capsule_retry_limit) {
-            ++attempt;
-            ++stats_.capsule_retries;
-            co_await sim::delay(engine, backoff_ns(cfg_.retry_backoff_ns, attempt));
-            ph.mark(obs::Phase::recovery, engine.now());
-            continue;
-          }
-          release_slot();
-          finish(Status(Errc::io_error, "read payload failed data-digest verify"));
-          co_return;
-        }
-      }
-      break;  // genuine response arrived
-    }
-    ++attempt;
-    if (attempt <= cfg_.capsule_retry_limit) {
-      ++stats_.capsule_retries;
-      co_await sim::delay(engine, backoff_ns(cfg_.retry_backoff_ns, attempt));
-      ph.mark(obs::Phase::recovery, engine.now());
-      continue;
-    }
-    // Retry budget spent: re-establish the connection once, then run one
-    // fresh retry round (the replay of this in-flight command).
-    if (reconnected_once) {
+    if (outcome.kind == block::CmdOutcome::Kind::timed_out) {
       release_slot();
       finish(Status(Errc::timed_out, "capsule timed out after retries and reconnect"));
       co_return;
     }
-    reconnected_once = true;
-    attempt = 0;
-    start_reconnect();
-    ph.mark(obs::Phase::recovery, engine.now());
+    // Verify the digest the target computed over the read payload it
+    // pushed. A mismatch means the data was damaged in flight — the
+    // media copy is intact, so a re-send heals it.
+    if (cfg_.data_digest && outcome.status == 0 && request.op == block::Op::read &&
+        outcome.aux != 0) {
+      Bytes payload(capsule.data_len);
+      (void)dram.read(request.buffer_addr, payload);
+      if (integrity::crc32c(payload) != outcome.aux) {
+        ++integrity::stats().digest_errors;
+        if (cfg_.capsule_timeout_ns > 0 && digest_attempts < cfg_.capsule_retry_limit) {
+          ++digest_attempts;
+          ++stats_.capsule_retries;
+          co_await sim::delay(
+              engine, block::IoEngine::backoff_ns(cfg_.retry_backoff_ns, digest_attempts));
+          ph.mark(obs::Phase::recovery, engine.now());
+          continue;
+        }
+        release_slot();
+        finish(Status(Errc::io_error, "read payload failed data-digest verify"));
+        co_return;
+      }
+    }
+    break;  // genuine, digest-clean response
   }
   // Completion path software.
   co_await sim::delay(engine, cfg_.costs.jittered(cfg_.costs.completion_ns, rng_));
   ph.mark(obs::Phase::completion, engine.now());
   release_slot();
-  if (response.status != 0) {
+  if (outcome.status != 0) {
     finish(Status(Errc::io_error,
-                  std::string("target returned: ") + nvme::status_name(response.status)));
+                  std::string("target returned: ") + nvme::status_name(outcome.status)));
   } else {
     finish(Status::ok());
   }
@@ -359,17 +352,19 @@ sim::Task Initiator::completion_loop(std::shared_ptr<bool> stop) {
       ResponseCapsule response;
       (void)dram.read(resp_base_ + buffer * sizeof(ResponseCapsule),
                       as_writable_bytes_of(response));
-      // Replenish the RECV ring with the buffer this message consumed.
-      (void)qp_->post_recv(kWrRecv | buffer, resp_base_ + buffer * sizeof(ResponseCapsule),
-                           sizeof(ResponseCapsule));
-      auto it = pending_.find(response.cid);
-      if (it != pending_.end()) {
-        auto promise = std::move(it->second.promise);
-        pending_.erase(it);
-        promise.set(response);
+      // Replenish the RECV ring of the channel this buffer belongs to.
+      const std::uint32_t buf_chan = buffer / cfg_.queue_depth;
+      (void)qps_[buf_chan]->post_recv(kWrRecv | buffer,
+                                      resp_base_ + buffer * sizeof(ResponseCapsule),
+                                      sizeof(ResponseCapsule));
+      // The cid is the engine-global slot; its channel is implied. An
+      // unknown cid is a late duplicate of a timed-out command, dropped
+      // like a real initiator would.
+      const std::uint32_t cid_chan = response.cid / cfg_.queue_depth;
+      if (cid_chan < cfg_.channels) {
+        (void)engine_io_->complete(cid_chan, response.cid, response.status,
+                                   response.data_digest);
       }
-      // else: the command timed out and its retry already completed — a
-      // late duplicate, dropped like a real initiator would.
     };
 
     // One interrupt wakes the handler, which then drains every completion
@@ -385,36 +380,24 @@ sim::Task Initiator::completion_loop(std::shared_ptr<bool> stop) {
 
 // --- fault recovery -------------------------------------------------------------------
 
-void Initiator::start_reconnect() {
-  if (reconnecting_ || *stop_) return;
-  reconnecting_ = true;
-  reconnected_->reset();
-  ++stats_.reconnects;
-  reconnect_task(stop_);
-}
-
-// Connection re-establishment: fail out every in-flight wait (their
-// io_tasks replay through the retry loop once the new queue pair exists)
-// and accept a fresh connection from the same target. The old RDMA queue
-// pair and its posted RECVs are abandoned — a bounded leak per reconnect,
-// like a real RC QP left in the error state until teardown.
-sim::Task Initiator::reconnect_task(std::shared_ptr<bool> stop) {
+// Connection re-establishment for one channel: fail out its in-flight waits
+// (their io_tasks replay through the engine's retry loop once the fresh
+// queue pair exists) and accept a new connection from the same target. The
+// old RDMA queue pair and its posted RECVs are abandoned — a bounded leak
+// per reconnect, like a real RC QP left in the error state until teardown.
+sim::Task Initiator::reconnect_task(std::uint32_t chan, std::shared_ptr<bool> stop) {
   sim::Engine& engine = cluster_.engine();
   const sim::Time begin = engine.now();
-  NVS_LOG(warn, "nvmeof") << "initiator on node " << node_ << " reconnecting to target";
+  NVS_LOG(warn, "nvmeof") << "initiator on node " << node_ << " reconnecting channel "
+                          << chan << " to target";
 
-  std::map<std::uint16_t, PendingRsp> doomed;
-  doomed.swap(pending_);
-  for (auto& [cid, cmd] : doomed) cmd.promise.set(timeout_sentinel(cid));
+  engine_io_->fail_pending(chan);
 
   auto qp = co_await target_->accept(*ctx_, *cq_);
   if (!*stop && qp) {
-    qp_ = *qp;
+    qps_[chan] = *qp;
     // Fresh RECV ring on the new queue pair (same response buffers).
-    for (std::uint32_t s = 0; s < cfg_.queue_depth; ++s) {
-      (void)qp_->post_recv(kWrRecv | s, resp_base_ + s * sizeof(ResponseCapsule),
-                           sizeof(ResponseCapsule));
-    }
+    post_recv_ring(chan);
     NVS_LOG(info, "nvmeof") << "initiator reconnected in " << (engine.now() - begin)
                             << " ns";
   } else if (!qp) {
@@ -428,8 +411,7 @@ sim::Task Initiator::reconnect_task(std::shared_ptr<bool> stop) {
                   nvmeof_trace_qid(static_cast<std::uint16_t>(node_)));
     tracer.end_trace(t, engine.now());
   }
-  reconnecting_ = false;
-  reconnected_->set();
+  engine_io_->finish_recovery(chan);
 }
 
 }  // namespace nvmeshare::nvmeof

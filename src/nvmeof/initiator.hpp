@@ -2,14 +2,20 @@
 // block device whose submit path builds a command capsule and SENDs it to
 // the target; data moves one-sided (target-initiated RDMA), and completion
 // capsules arrive via RECV with interrupt-driven handling.
+//
+// Submission, deadline, retry, and reconnect orchestration live in the
+// shared block::IoEngine; this file supplies the message-transport
+// personality: an issue stages a capsule, a ring posts the staged SENDs
+// (so doorbell coalescing maps to SEND batching), and a broken channel is
+// re-established by accepting a fresh RDMA queue pair from the target.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "block/block.hpp"
+#include "block/io_engine.hpp"
 #include "driver/cost_model.hpp"
 #include "nvmeof/capsule.hpp"
 #include "nvmeof/target.hpp"
@@ -18,10 +24,17 @@
 
 namespace nvmeshare::nvmeof {
 
-class Initiator final : public block::BlockDevice {
+class Initiator final : public block::BlockDevice, private block::IoTransport {
  public:
   struct Config {
-    std::uint32_t queue_depth = 32;
+    std::uint32_t queue_depth = 32;  ///< concurrent requests per channel
+    /// I/O channels: independent RDMA queue pairs to the target, sharing
+    /// one completion queue (kernel initiators open one QP per core).
+    std::uint32_t channels = 1;
+    block::IoEngine::Scheduler scheduler = block::IoEngine::Scheduler::round_robin;
+    /// Batch SENDs: capsules staged within one doorbell-latency window go
+    /// out in a single post burst (off = seed stream, one post per capsule).
+    bool coalesce_doorbells = false;
     driver::CostModel costs = driver::CostModel::nvmeof_initiator();
     // --- fault recovery (docs/faults.md); off by default ------------------
     /// Per-capsule response deadline. 0 disables the watchdog and with it
@@ -53,9 +66,14 @@ class Initiator final : public block::BlockDevice {
   [[nodiscard]] std::string_view name() const override { return "nvme-of"; }
   [[nodiscard]] std::uint32_t block_size() const override { return block_size_; }
   [[nodiscard]] std::uint64_t capacity_blocks() const override { return capacity_blocks_; }
-  [[nodiscard]] std::uint32_t max_queue_depth() const override { return cfg_.queue_depth; }
+  [[nodiscard]] std::uint32_t max_queue_depth() const override {
+    return cfg_.queue_depth * cfg_.channels;
+  }
   [[nodiscard]] std::uint64_t max_transfer_bytes() const override { return max_transfer_; }
   sim::Future<block::Completion> submit(const block::Request& request) override;
+
+  /// The shared submission core (per-channel inflight/doorbell metrics).
+  [[nodiscard]] const block::IoEngine& io_engine() const noexcept { return *engine_io_; }
 
   /// Per-initiator counters, also registered as `nvmeshare.nvmeof_initiator.*`.
   struct Stats {
@@ -72,15 +90,30 @@ class Initiator final : public block::BlockDevice {
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
  private:
+  /// What one issue() stages for the next SEND burst.
+  struct SendDesc {
+    std::uint64_t addr = 0;
+    std::uint32_t len = 0;
+    std::uint16_t cid = 0;  ///< engine-global slot, unique across channels
+  };
+
   Initiator(sisci::Cluster& cluster, rdma::Network& network, rdma::NodeId node, Config cfg);
 
   static sim::Task connect_task(std::unique_ptr<Initiator> self, Target* target,
                                 sim::Promise<Result<std::unique_ptr<Initiator>>> promise);
   sim::Task io_task(block::Request request, sim::Promise<block::Completion> promise);
   sim::Task completion_loop(std::shared_ptr<bool> stop);
-  /// Kick off a connection re-establishment if one is not already running.
-  void start_reconnect();
-  sim::Task reconnect_task(std::shared_ptr<bool> stop);
+  sim::Task reconnect_task(std::uint32_t chan, std::shared_ptr<bool> stop);
+  /// Post channel `chan`'s share of the RECV ring on its queue pair.
+  void post_recv_ring(std::uint32_t chan);
+
+  // --- block::IoTransport (the message-transport personality) --------------
+  Result<std::uint16_t> issue(std::uint32_t chan, void* cookie) override;
+  Status ring(std::uint32_t chan) override;
+  [[nodiscard]] bool ring_failure_fails_attempt() const override { return true; }
+  [[nodiscard]] bool retryable(std::uint16_t status) const override;
+  void start_recovery(std::uint32_t chan) override;
+  [[nodiscard]] std::uint16_t trace_qid(std::uint32_t chan) const override;
 
   sisci::Cluster& cluster_;
   rdma::Network& network_;
@@ -90,27 +123,17 @@ class Initiator final : public block::BlockDevice {
 
   std::unique_ptr<rdma::Context> ctx_;
   std::unique_ptr<rdma::CompletionQueue> cq_;
-  rdma::QueuePair* qp_ = nullptr;
-  std::uint64_t cmd_base_ = 0;   ///< queue_depth command capsule buffers
-  std::uint64_t resp_base_ = 0;  ///< queue_depth response capsule buffers
+  std::vector<rdma::QueuePair*> qps_;  ///< one per channel, shared CQ
+  std::uint64_t cmd_base_ = 0;   ///< total_depth command capsule buffers
+  std::uint64_t resp_base_ = 0;  ///< total_depth response capsule buffers
 
   std::uint64_t capacity_blocks_ = 0;
   std::uint32_t block_size_ = 0;
   std::uint32_t max_transfer_ = 0;
 
-  std::unique_ptr<sim::Semaphore> slots_;
-  std::vector<std::uint32_t> free_slots_;
-  /// One in-flight command. `seq` disambiguates slot reuse: the deadline
-  /// callback only fires if the slot still belongs to the same send.
-  struct PendingRsp {
-    sim::Promise<ResponseCapsule> promise;
-    std::uint64_t seq = 0;
-  };
-  std::map<std::uint16_t, PendingRsp> pending_;
-  std::uint64_t rsp_seq_ = 0;
+  std::unique_ptr<block::IoEngine> engine_io_;
+  std::vector<std::vector<SendDesc>> staged_;  ///< per channel, until ring()
   Target* target_ = nullptr;  ///< for reconnects (targets outlive initiators)
-  bool reconnecting_ = false;
-  std::unique_ptr<sim::Event> reconnected_;  ///< set whenever no reconnect runs
   std::shared_ptr<bool> stop_ = std::make_shared<bool>(false);
   Stats stats_;
 };

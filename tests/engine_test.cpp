@@ -1,0 +1,383 @@
+// Unit and integration tests for the shared multi-queue I/O engine
+// (block::IoEngine): attach-time config validation, queue-pair scheduling
+// policies, drain-to-survivors during channel recovery, doorbell
+// coalescing, per-channel metrics, and multi-channel operation through the
+// full distributed-driver and NVMe-oF stacks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "block/io_engine.hpp"
+#include "nvmeof/initiator.hpp"
+#include "nvmeof/target.hpp"
+#include "obs/metrics.hpp"
+#include "sim/engine.hpp"
+#include "test_util.hpp"
+
+namespace nvmeshare::block {
+namespace {
+
+using namespace testutil;
+
+// --- config validation (shared by all three backends) -----------------------
+
+TEST(EngineValidate, AcceptsSaneConfigs) {
+  IoEngine::Config cfg;
+  cfg.channels = 4;
+  cfg.queue_depth = 8;
+  cfg.queue_entries = 64;
+  EXPECT_TRUE(IoEngine::validate(cfg).is_ok());
+
+  cfg.queue_depth = 63;  // largest legal depth for a 64-entry ring
+  EXPECT_TRUE(IoEngine::validate(cfg).is_ok());
+
+  cfg.queue_entries = 0;  // message transports: no ring constraint
+  cfg.queue_depth = 1024;
+  EXPECT_TRUE(IoEngine::validate(cfg).is_ok());
+}
+
+TEST(EngineValidate, RejectsDepthNotBelowRingSize) {
+  // depth == entries makes SQ-full indistinguishable from SQ-empty on wrap.
+  IoEngine::Config cfg;
+  cfg.queue_entries = 64;
+  cfg.queue_depth = 64;
+  Status st = IoEngine::validate(cfg);
+  EXPECT_EQ(st.code(), Errc::invalid_argument);
+
+  cfg.queue_depth = 65;
+  EXPECT_EQ(IoEngine::validate(cfg).code(), Errc::invalid_argument);
+}
+
+TEST(EngineValidate, RejectsDegenerateShapes) {
+  IoEngine::Config cfg;
+  cfg.channels = 0;
+  EXPECT_EQ(IoEngine::validate(cfg).code(), Errc::invalid_argument);
+  cfg.channels = kMaxEngineChannels + 1;
+  EXPECT_EQ(IoEngine::validate(cfg).code(), Errc::invalid_argument);
+  cfg.channels = 1;
+  cfg.queue_depth = 0;
+  EXPECT_EQ(IoEngine::validate(cfg).code(), Errc::invalid_argument);
+}
+
+TEST(EngineValidate, ClientAttachRejectsDepthEqualToEntries) {
+  // The regression this guards: pre-engine code accepted depth == entries
+  // and wedged the ring at full load. Now it is a config error at attach.
+  Testbed tb(small_testbed(2));
+  auto manager = tb.wait(driver::Manager::start(tb.service(), 0, tb.device_id(), {}));
+  ASSERT_TRUE(manager.has_value());
+
+  driver::Client::Config cc;
+  cc.queue_entries = 64;
+  cc.queue_depth = 64;
+  auto client = tb.wait(driver::Client::attach(tb.service(), 1, tb.device_id(), cc));
+  ASSERT_FALSE(client.has_value());
+  EXPECT_EQ(client.status().code(), Errc::invalid_argument);
+}
+
+TEST(EngineValidate, LocalDriverRejectsDepthEqualToEntries) {
+  Testbed tb(small_testbed(2));
+  driver::LocalDriver::Config dc;
+  dc.queue_entries = 32;
+  dc.queue_depth = 32;
+  auto drv = tb.wait(
+      driver::LocalDriver::start(tb.cluster(), tb.nvme_endpoint(), nullptr, dc));
+  ASSERT_FALSE(drv.has_value());
+  EXPECT_EQ(drv.status().code(), Errc::invalid_argument);
+}
+
+TEST(EngineValidate, InitiatorRejectsChannelCountOutOfRange) {
+  Testbed tb(small_testbed(2));
+  auto target = tb.wait(nvmeof::Target::start(tb.cluster(), tb.nvme_endpoint(),
+                                              tb.network(), {}));
+  ASSERT_TRUE(target.has_value());
+
+  nvmeof::Initiator::Config ic;
+  ic.channels = kMaxEngineChannels + 1;
+  auto init = tb.wait(
+      nvmeof::Initiator::connect(tb.cluster(), tb.network(), **target, 1, ic));
+  ASSERT_FALSE(init.has_value());
+  EXPECT_EQ(init.status().code(), Errc::invalid_argument);
+}
+
+// --- engine unit tests over a fake transport --------------------------------
+
+/// Minimal transport: tokens count up per channel, rings are counted, and
+/// (when armed) completions land a fixed delay after the doorbell.
+class FakeTransport final : public IoTransport {
+ public:
+  FakeTransport(sim::Engine& engine, std::uint32_t channels)
+      : engine_(engine), issued_(channels), rings_(channels) {}
+
+  void attach(IoEngine* eng) { engine_io_ = eng; }
+  void set_auto_complete(bool on) { auto_complete_ = on; }
+
+  Result<std::uint16_t> issue(std::uint32_t chan, void* cookie) override {
+    (void)cookie;
+    const auto token = static_cast<std::uint16_t>(issued_[chan].size());
+    issued_[chan].push_back(token);
+    staged_.push_back({chan, token});
+    return token;
+  }
+
+  Status ring(std::uint32_t chan) override {
+    ++rings_[chan];
+    if (auto_complete_) {
+      for (const auto& [c, token] : staged_) {
+        if (c != chan) continue;
+        engine_.after(100, [this, c = c, token = token]() {
+          (void)engine_io_->complete(c, token, 0);
+        });
+      }
+    }
+    std::erase_if(staged_, [chan](const auto& s) { return s.first == chan; });
+    return Status::ok();
+  }
+
+  [[nodiscard]] bool retryable(std::uint16_t) const override { return false; }
+  void start_recovery(std::uint32_t chan) override { recoveries_.push_back(chan); }
+  [[nodiscard]] std::uint16_t trace_qid(std::uint32_t chan) const override {
+    return static_cast<std::uint16_t>(chan + 1);
+  }
+
+  std::uint64_t rings(std::uint32_t chan) const { return rings_[chan]; }
+  const std::vector<std::uint32_t>& recoveries() const { return recoveries_; }
+
+ private:
+  sim::Engine& engine_;
+  IoEngine* engine_io_ = nullptr;
+  bool auto_complete_ = false;
+  std::vector<std::vector<std::uint16_t>> issued_;
+  std::vector<std::uint64_t> rings_;
+  std::vector<std::pair<std::uint32_t, std::uint16_t>> staged_;
+  std::vector<std::uint32_t> recoveries_;
+};
+
+struct EngineHarness {
+  explicit EngineHarness(IoEngine::Config cfg)
+      : transport(engine, cfg.channels),
+        io(engine, transport, std::make_shared<bool>(false), std::move(cfg)) {
+    transport.attach(&io);
+  }
+  sim::Engine engine;
+  FakeTransport transport;
+  IoEngine io;
+};
+
+std::vector<IoEngine::Grant> acquire_n(EngineHarness& h, std::uint32_t n) {
+  std::vector<sim::Future<IoEngine::Grant>> futures;
+  for (std::uint32_t i = 0; i < n; ++i) futures.push_back(h.io.acquire());
+  h.engine.run();
+  std::vector<IoEngine::Grant> grants;
+  for (auto& f : futures) {
+    auto g = f.try_take();
+    EXPECT_TRUE(g.has_value());
+    if (g) grants.push_back(*g);
+  }
+  return grants;
+}
+
+TEST(EngineScheduler, RoundRobinSpreadsGrantsEvenly) {
+  IoEngine::Config cfg;
+  cfg.channels = 4;
+  cfg.queue_depth = 4;
+  EngineHarness h(cfg);
+
+  auto grants = acquire_n(h, 8);
+  ASSERT_EQ(grants.size(), 8u);
+  for (std::uint32_t c = 0; c < 4; ++c) EXPECT_EQ(h.io.inflight(c), 2u);
+  // Global slot ids are channel-disjoint: chan * depth + local.
+  for (const auto& g : grants) EXPECT_EQ(g.slot / cfg.queue_depth, g.chan);
+}
+
+TEST(EngineScheduler, LeastInflightPicksEmptiestChannel) {
+  IoEngine::Config cfg;
+  cfg.channels = 3;
+  cfg.queue_depth = 4;
+  cfg.scheduler = IoEngine::Scheduler::least_inflight;
+  EngineHarness h(cfg);
+
+  auto grants = acquire_n(h, 6);
+  ASSERT_EQ(grants.size(), 6u);
+  for (std::uint32_t c = 0; c < 3; ++c) EXPECT_EQ(h.io.inflight(c), 2u);
+
+  // Free both slots on channel 1: the next two grants must land there.
+  for (const auto& g : grants) {
+    if (g.chan == 1) h.io.release(g);
+  }
+  auto refill = acquire_n(h, 2);
+  ASSERT_EQ(refill.size(), 2u);
+  EXPECT_EQ(refill[0].chan, 1u);
+  EXPECT_EQ(refill[1].chan, 1u);
+}
+
+TEST(EngineRecovery, DrainsToSurvivorsWhileOneChannelRebuilds) {
+  IoEngine::Config cfg;
+  cfg.channels = 4;
+  cfg.queue_depth = 2;
+  cfg.cmd_timeout_ns = 1'000;
+  cfg.cmd_retry_limit = 1;
+  cfg.retry_backoff_ns = 100;
+  EngineHarness h(cfg);
+
+  // One command on channel 0 that never completes: the deadline watchdog
+  // fires, the retry budget burns down, and the engine asks the transport
+  // to rebuild the channel. The fake leaves it mid-recovery.
+  auto grants = acquire_n(h, 1);
+  ASSERT_EQ(grants.size(), 1u);
+  ASSERT_EQ(grants[0].chan, 0u);
+  auto doomed = h.io.run({grants[0]});
+  h.engine.run();
+  ASSERT_EQ(h.transport.recoveries().size(), 1u);
+  EXPECT_EQ(h.transport.recoveries()[0], 0u);
+  EXPECT_TRUE(h.io.recovering(0));
+  EXPECT_FALSE(doomed.ready()) << "command must wait for the rebuilt channel";
+
+  // While channel 0 rebuilds, every new grant lands on a survivor.
+  auto survivors = acquire_n(h, 6);
+  ASSERT_EQ(survivors.size(), 6u);
+  for (const auto& g : survivors) EXPECT_NE(g.chan, 0u);
+
+  // Recovery finishes; the parked command re-issues and (with completions
+  // now flowing) resolves.
+  h.transport.set_auto_complete(true);
+  h.io.finish_recovery(0);
+  h.engine.run();
+  EXPECT_FALSE(h.io.recovering(0));
+  auto outcome = doomed.try_take();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->ok());
+}
+
+TEST(EngineDoorbell, CoalescingRingsOncePerBurst) {
+  IoEngine::Config cfg;
+  cfg.channels = 1;
+  cfg.queue_depth = 8;
+  cfg.coalesce_doorbells = true;
+  EngineHarness h(cfg);
+  h.transport.set_auto_complete(true);
+
+  auto grants = acquire_n(h, 4);
+  ASSERT_EQ(grants.size(), 4u);
+  std::vector<sim::Future<CmdOutcome>> cmds;
+  for (const auto& g : grants) cmds.push_back(h.io.run({g}));
+  h.engine.run();
+  for (auto& c : cmds) {
+    auto out = c.try_take();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_TRUE(out->ok());
+  }
+  // Four submissions in one doorbell-latency window share a single ring.
+  EXPECT_EQ(h.transport.rings(0), 1u);
+  EXPECT_EQ(h.io.doorbell_writes(), 1u);
+  EXPECT_EQ(h.io.coalesced_cmds(), 4u);
+}
+
+TEST(EngineDoorbell, WithoutCoalescingEveryCommandRings) {
+  IoEngine::Config cfg;
+  cfg.channels = 1;
+  cfg.queue_depth = 8;
+  EngineHarness h(cfg);
+  h.transport.set_auto_complete(true);
+
+  auto grants = acquire_n(h, 4);
+  std::vector<sim::Future<CmdOutcome>> cmds;
+  for (const auto& g : grants) cmds.push_back(h.io.run({g}));
+  h.engine.run();
+  for (auto& c : cmds) {
+    auto out = c.try_take();
+    ASSERT_TRUE(out.has_value() && out->ok());
+  }
+  EXPECT_EQ(h.transport.rings(0), 4u);
+  EXPECT_EQ(h.io.doorbell_writes(), 4u);
+}
+
+// --- multi-channel operation through the real stacks ------------------------
+
+TEST(EngineStack, ClientMultiChannelRoundTrips) {
+  Testbed tb(small_testbed(2));
+  driver::Client::Config cc;
+  cc.channels = 4;
+  cc.queue_depth = 8;
+  auto stack = bring_up(tb, 0, 1, cc);
+  ASSERT_TRUE(stack.has_value()) << stack.status().to_string();
+
+  // Four distinct queue pairs were granted in one mailbox batch.
+  std::vector<std::uint16_t> qids;
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    qids.push_back(stack->client->qid(c));
+    EXPECT_NE(qids.back(), 0u);
+  }
+  std::sort(qids.begin(), qids.end());
+  EXPECT_EQ(std::unique(qids.begin(), qids.end()), qids.end());
+  EXPECT_EQ(stack->manager->active_queue_pairs(), 5u);  // 4 I/O + admin
+
+  for (int i = 0; i < 4; ++i) {
+    write_read_verify(tb, *stack->client, 1, 1000 + 64 * i, 4096,
+                      0x5EED + static_cast<std::uint64_t>(i));
+  }
+
+  // Per-channel engine metrics exist under the satellite naming scheme.
+  const std::string snapshot = obs::Registry::global().to_json();
+  for (int c = 0; c < 4; ++c) {
+    const std::string prefix = "nvmeshare.engine.client.qp" + std::to_string(c);
+    EXPECT_NE(snapshot.find(prefix + ".doorbell_writes"), std::string::npos) << prefix;
+    EXPECT_NE(snapshot.find(prefix + ".coalesced_cmds"), std::string::npos) << prefix;
+    EXPECT_NE(snapshot.find(prefix + ".inflight"), std::string::npos) << prefix;
+  }
+
+  Status st = tb.wait_status(stack->client->detach(), 30_s);
+  EXPECT_TRUE(st.is_ok()) << st.to_string();
+  EXPECT_EQ(stack->manager->active_queue_pairs(), 1u);  // batch delete worked
+}
+
+TEST(EngineStack, InitiatorMultiChannelRoundTrips) {
+  Testbed tb(small_testbed(2));
+  auto target = tb.wait(nvmeof::Target::start(tb.cluster(), tb.nvme_endpoint(),
+                                              tb.network(), {}));
+  ASSERT_TRUE(target.has_value());
+
+  nvmeof::Initiator::Config ic;
+  ic.channels = 4;
+  ic.queue_depth = 8;
+  ic.coalesce_doorbells = true;
+  auto init = tb.wait(
+      nvmeof::Initiator::connect(tb.cluster(), tb.network(), **target, 1, ic));
+  ASSERT_TRUE(init.has_value()) << init.status().to_string();
+
+  EXPECT_EQ((*init)->max_queue_depth(), 32u);
+  for (int i = 0; i < 4; ++i) {
+    write_read_verify(tb, **init, 1, 3000 + 64 * i, 4096,
+                      0xFAB0 + static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ((*target)->stats().errors, 0u);
+}
+
+TEST(EngineStack, ClientCoalescedDoorbellsUnderConcurrency) {
+  Testbed tb(small_testbed(2));
+  driver::Client::Config cc;
+  cc.channels = 2;
+  cc.queue_depth = 8;
+  cc.coalesce_doorbells = true;
+  auto stack = bring_up(tb, 0, 1, cc);
+  ASSERT_TRUE(stack.has_value()) << stack.status().to_string();
+
+  workload::JobSpec spec;
+  spec.pattern = workload::JobSpec::Pattern::randread;
+  spec.ops = 600;
+  spec.queue_depth = 16;
+  spec.seed = 42;
+  auto result = tb.wait(workload::run_job(tb.cluster(), *stack->client, 1, spec), 300_s);
+  ASSERT_TRUE(result.has_value()) << result.status().to_string();
+  EXPECT_EQ(result->errors, 0u);
+
+  const auto& io = stack->client->io_engine();
+  EXPECT_EQ(io.coalesced_cmds(), 600u);
+  EXPECT_LT(io.doorbell_writes(), 600u)
+      << "sustained QD16 load must ring less than once per command";
+}
+
+}  // namespace
+}  // namespace nvmeshare::block

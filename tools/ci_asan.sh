@@ -30,7 +30,10 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 export ASAN_OPTIONS=detect_leaks=0:strict_string_checks=1
 export UBSAN_OPTIONS=print_stacktrace=1
 
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+# tier1 = the fast unit/feature subset (the verify line), then everything
+# including the soak tier.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" -L tier1
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" -L soak
 
 # --- JSON smoke ---------------------------------------------------------------
 smoke() {
@@ -111,4 +114,27 @@ grep -q '"nvmeshare.integrity.pi_generated":[1-9]' "$CORRUPT_A"
 grep -q '"nvmeshare.integrity.pi_verified":[1-9]' "$CORRUPT_A"
 grep -q '"nvmeshare.integrity.blocks_scrubbed":[1-9]' "$CORRUPT_A"
 echo "corruption smoke ok: flips injected, PI pipeline engaged, run recovered"
+
+# --- multi-queue engine ---------------------------------------------------------
+# The channel-scaling bench under the sanitizer: its claim checks (IOPS
+# monotone in channels, coalesced doorbells ring < once per command) are
+# assertions, exit 1 on mismatch.
+"$BUILD_DIR/bench/fig11_scaling" > /dev/null
+echo "fig11_scaling ok: multi-queue claim checks passed"
+
+# Multi-QP fault soak: 4 channels + doorbell coalescing with the chaos plan
+# active, so per-channel recovery (mailbox batch re-create) and
+# drain-to-survivors scheduling run under ASan — twice, byte-identical.
+multiqp_smoke() {
+  "$BUILD_DIR/tools/nvsh_fio" --scenario ours-remote --rw randrw --qd 4 \
+    --channels 4 --ops 2000 --seed 7 --faults "$CHAOS_PLAN" --json "$1" > /dev/null
+}
+MULTIQP_A="$BUILD_DIR/multiqp_a.json"
+MULTIQP_B="$BUILD_DIR/multiqp_b.json"
+multiqp_smoke "$MULTIQP_A"
+multiqp_smoke "$MULTIQP_B"
+cmp "$MULTIQP_A" "$MULTIQP_B"
+grep -q '"channels":"4"' "$MULTIQP_A"
+grep -q '"nvmeshare.engine.client.qp3.doorbell_writes":[1-9]' "$MULTIQP_A"
+echo "multi-qp soak ok: 4-channel chaos run recovered, byte-identical reruns"
 echo "ci_asan: all green"

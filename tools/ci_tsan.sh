@@ -27,7 +27,7 @@ export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
 # Soak the suites that hammer the recovery and integrity machinery
 # (gtest case names are capitalized; ctest -R is case-sensitive).
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  -R 'Stress|Fault|Failover|Chaos|Checksums|ProtectionInfo|BlockStorePi|Pi|Determinism|Fuzz|Sweep'
+  -R 'Stress|Fault|Failover|Chaos|Checksums|ProtectionInfo|BlockStorePi|Pi|Determinism|Fuzz|Sweep|Engine'
 
 # Chaos + corruption soak: seeded faults, PI-formatted namespace, client
 # verify, and the background scrubber all active in one run. Exit 1 means
@@ -41,5 +41,14 @@ if [ "$rc" -gt 1 ]; then
   echo "corruption soak crashed (exit $rc)" >&2
   exit "$rc"
 fi
+
+# Multi-queue engine under TSan: the channel-scaling bench (claim checks
+# are assertions), then a 4-channel chaos soak so per-channel recovery and
+# drain-to-survivors scheduling run under the sanitizer.
+"$BUILD_DIR/bench/fig11_scaling" > /dev/null
+"$BUILD_DIR/tools/nvsh_fio" --scenario ours-remote --rw randrw --qd 4 \
+  --channels 4 --ops 2000 --seed 7 \
+  --faults "seed=11;drop_posted_write:src=0,dst=1,nth=40,count=2;ntb_link_down:host=1,at=2ms,for=300us;ctrl_error:nth=100" \
+  > /dev/null
 
 echo "ci_tsan: all green"

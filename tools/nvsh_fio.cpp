@@ -27,6 +27,7 @@ struct Options {
   std::string rw = "randread";
   std::uint32_t bs = 4096;
   std::uint32_t qd = 1;
+  std::uint32_t channels = 1;
   std::uint64_t ops = 10'000;
   std::uint64_t runtime_ms = 0;
   std::uint64_t region_blocks = 0;
@@ -47,7 +48,9 @@ struct Options {
       "                    (default: ours-remote)\n"
       "  --rw MODE         randread | randwrite | randrw | seqread | seqwrite | randtrim\n"
       "  --bs BYTES        request size (default 4096)\n"
-      "  --qd N            queue depth (default 1)\n"
+      "  --qd N            queue depth per channel (default 1)\n"
+      "  --channels N      I/O channels (queue pairs) per attachment, ours-* and\n"
+      "                    nvmeof scenarios (default 1; max 16)\n"
       "  --ops N           number of requests (default 10000; 0 with --runtime-ms)\n"
       "  --runtime-ms MS   run for simulated time instead of an op count\n"
       "  --region-blocks N working-set size in device blocks (default: 1 GiB worth;\n"
@@ -85,6 +88,8 @@ Options parse(int argc, char** argv) {
       opt.bs = static_cast<std::uint32_t>(std::strtoul(need_value(i), nullptr, 0));
     } else if (!std::strcmp(arg, "--qd")) {
       opt.qd = static_cast<std::uint32_t>(std::strtoul(need_value(i), nullptr, 0));
+    } else if (!std::strcmp(arg, "--channels")) {
+      opt.channels = static_cast<std::uint32_t>(std::strtoul(need_value(i), nullptr, 0));
     } else if (!std::strcmp(arg, "--ops")) {
       opt.ops = std::strtoull(need_value(i), nullptr, 0);
     } else if (!std::strcmp(arg, "--runtime-ms")) {
@@ -120,6 +125,7 @@ Scenario build_scenario(const Options& opt) {
   driver::Client::Config cc;
   cc.queue_depth = std::max(opt.qd, 1u);
   cc.queue_entries = static_cast<std::uint16_t>(std::max(64u, 2 * cc.queue_depth));
+  cc.channels = opt.channels;
   if (opt.sq_placement == "host") {
     cc.sq_placement = driver::Client::SqPlacement::host_side;
   } else if (opt.sq_placement != "device") {
@@ -135,6 +141,7 @@ Scenario build_scenario(const Options& opt) {
 
   driver::Manager::Config mc;
   nvmeof::Initiator::Config ic;
+  ic.channels = opt.channels;
   nvmeof::Target::Config tc;
   if (opt.integrity) {
     cc.pi_verify = true;
@@ -187,7 +194,8 @@ workload::JobSpec build_spec(const Options& opt) {
     std::exit(2);
   }
   spec.block_bytes = opt.bs;
-  spec.queue_depth = std::max(opt.qd, 1u);
+  // --qd is per channel; the job keeps every channel's slots busy.
+  spec.queue_depth = std::max(opt.qd, 1u) * std::max(opt.channels, 1u);
   spec.ops = opt.ops;
   spec.duration = static_cast<sim::Duration>(opt.runtime_ms) * 1'000'000;
   spec.region_blocks = opt.region_blocks;
@@ -256,6 +264,7 @@ int main(int argc, char** argv) {
                        {"rw", opt.rw},
                        {"bs", std::to_string(opt.bs)},
                        {"qd", std::to_string(opt.qd)},
+                       {"channels", std::to_string(opt.channels)},
                        {"ops", std::to_string(result.ops_completed)},
                        {"seed", std::to_string(opt.seed)},
                        {"verify", opt.verify ? "1" : "0"},
