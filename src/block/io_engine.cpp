@@ -25,8 +25,17 @@ Status IoEngine::validate(const Config& cfg) {
   return Status::ok();
 }
 
-sim::Duration IoEngine::backoff_ns(sim::Duration base, std::uint32_t attempt) {
-  return base << std::min<std::uint32_t>(attempt > 0 ? attempt - 1 : 0, 10);
+sim::Duration IoEngine::backoff_ns(sim::Duration base, std::uint32_t attempt,
+                                   sim::Duration max) {
+  if (base <= 0 || max <= 0) return 0;
+  if (base >= max) return max;
+  const std::uint32_t shift = std::min<std::uint32_t>(attempt > 0 ? attempt - 1 : 0, 10);
+  // Compare against the ceiling *before* shifting: `base << shift` wraps the
+  // 64-bit Duration once the product crosses 2^63, which a large configured
+  // base reaches by attempt 11 — the overflow turned a capped backoff into a
+  // zero (or negative) sleep, defeating the whole retry spacing.
+  if (base > (max >> shift)) return max;
+  return base << shift;
 }
 
 IoEngine::Channel::Channel(sim::Engine& engine, const std::string& prefix)
@@ -37,7 +46,20 @@ IoEngine::Channel::Channel(sim::Engine& engine, const std::string& prefix)
 
 IoEngine::IoEngine(sim::Engine& engine, IoTransport& transport, std::shared_ptr<bool> stop,
                    Config cfg)
-    : engine_(engine), transport_(transport), stop_(std::move(stop)), cfg_(std::move(cfg)) {
+    : engine_(engine),
+      transport_(transport),
+      stop_(std::move(stop)),
+      cfg_(std::move(cfg)),
+      qos_throttle_ns_("nvmeshare.engine." + cfg_.backend + ".qos.throttle_ns"),
+      qos_deferred_cmds_("nvmeshare.engine." + cfg_.backend + ".qos.deferred_cmds") {
+  // Buckets start full: a client gets its burst allowance up front, then
+  // settles to the steady-state rate.
+  qos_cmds_.rate = cfg_.qos_iops_limit;
+  qos_cmds_.capacity = static_cast<std::int64_t>(cfg_.qos_burst_cmds) * kTokenScale;
+  qos_cmds_.scaled = qos_cmds_.capacity;
+  qos_bytes_.rate = cfg_.qos_bytes_per_s;
+  qos_bytes_.capacity = static_cast<std::int64_t>(cfg_.qos_burst_bytes) * kTokenScale;
+  qos_bytes_.scaled = qos_bytes_.capacity;
   slots_ = std::make_unique<sim::Semaphore>(engine_, total_depth());
   channels_.reserve(cfg_.channels);
   for (std::uint32_t c = 0; c < cfg_.channels; ++c) {
@@ -162,6 +184,33 @@ std::uint64_t IoEngine::coalesced_cmds() const {
   return total;
 }
 
+// --- QoS pacing ---------------------------------------------------------------
+
+void IoEngine::TokenBucket::refill(sim::Time now) {
+  const sim::Duration elapsed = now - last;
+  last = now;
+  if (rate == 0 || elapsed <= 0) return;
+  const auto r = static_cast<std::int64_t>(rate);
+  // Past one full refill interval the bucket is simply full; this also
+  // keeps `elapsed * r` inside 64 bits for arbitrarily long idle gaps.
+  if (elapsed >= capacity / r) {
+    scaled = capacity;
+    return;
+  }
+  scaled = std::min(capacity, scaled + elapsed * r);
+}
+
+sim::Duration IoEngine::TokenBucket::charge(sim::Time now, std::uint64_t tokens) {
+  if (rate == 0) return 0;
+  refill(now);
+  scaled -= static_cast<std::int64_t>(tokens) * kTokenScale;
+  if (scaled >= 0) return 0;
+  // Sleep until the balance refills back to zero (ceil so we never wake a
+  // fraction of a token early).
+  const auto r = static_cast<std::int64_t>(rate);
+  return (-scaled + r - 1) / r;
+}
+
 // --- submission/completion/retry core ----------------------------------------
 
 sim::Future<CmdOutcome> IoEngine::run(RunArgs args) {
@@ -185,6 +234,23 @@ sim::Task IoEngine::run_task(RunArgs args, sim::Promise<CmdOutcome> promise) {
     promise.set(std::move(out));
   };
 
+  // QoS pacing: charge the token buckets once per command (retries ride the
+  // original charge) and sleep off any deficit before touching the ring.
+  // Disarmed buckets charge nothing, so unconfigured runs are untouched.
+  if (qos_enabled()) {
+    const sim::Duration stall = std::max(qos_cmds_.charge(engine_.now(), 1),
+                                         qos_bytes_.charge(engine_.now(), args.bytes));
+    if (stall > 0) {
+      ++qos_deferred_cmds_;
+      qos_throttle_ns_ += static_cast<std::uint64_t>(stall);
+      co_await sim::delay(engine_, stall);
+      if (*stop) {
+        fail(CmdOutcome::Kind::aborted);
+        co_return;
+      }
+    }
+  }
+
   std::uint32_t attempt = 0;
   bool recovered_once = false;
   for (;;) {
@@ -206,7 +272,7 @@ sim::Task IoEngine::run_task(RunArgs args, sim::Promise<CmdOutcome> promise) {
       }
       ++attempt;
       if (cfg_.counters.retries != nullptr) ++*cfg_.counters.retries;
-      co_await sim::delay(engine_, backoff_ns(cfg_.retry_backoff_ns, attempt));
+      co_await sim::delay(engine_, backoff_ns(cfg_.retry_backoff_ns, attempt, cfg_.retry_backoff_max_ns));
       mark(obs::Phase::recovery);
       continue;
     }
@@ -259,7 +325,7 @@ sim::Task IoEngine::run_task(RunArgs args, sim::Promise<CmdOutcome> promise) {
       }
       ++attempt;
       if (cfg_.counters.retries != nullptr) ++*cfg_.counters.retries;
-      co_await sim::delay(engine_, backoff_ns(cfg_.retry_backoff_ns, attempt));
+      co_await sim::delay(engine_, backoff_ns(cfg_.retry_backoff_ns, attempt, cfg_.retry_backoff_max_ns));
       mark(obs::Phase::recovery);
       continue;
     }
@@ -289,7 +355,7 @@ sim::Task IoEngine::run_task(RunArgs args, sim::Promise<CmdOutcome> promise) {
     ++attempt;
     if (attempt <= cfg_.cmd_retry_limit) {
       if (cfg_.counters.retries != nullptr) ++*cfg_.counters.retries;
-      co_await sim::delay(engine_, backoff_ns(cfg_.retry_backoff_ns, attempt));
+      co_await sim::delay(engine_, backoff_ns(cfg_.retry_backoff_ns, attempt, cfg_.retry_backoff_max_ns));
       mark(obs::Phase::recovery);
       continue;
     }

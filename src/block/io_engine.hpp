@@ -137,6 +137,16 @@ class IoEngine {
     sim::Duration cmd_timeout_ns = 0;
     std::uint32_t cmd_retry_limit = 3;
     sim::Duration retry_backoff_ns = 100'000;
+    /// Ceiling on a single backoff delay. A plain `base << attempts` wraps
+    /// the 64-bit Duration for large bases; every backoff clamps here.
+    sim::Duration retry_backoff_max_ns = 100'000'000;
+    // QoS pacing (token bucket over commands and payload bytes). Both rates
+    // zero (the default) leave the pacer disarmed, so unconfigured runs
+    // execute the exact seed instruction stream.
+    std::uint64_t qos_iops_limit = 0;   ///< commands per second; 0 = off
+    std::uint64_t qos_bytes_per_s = 0;  ///< payload bytes per second; 0 = off
+    std::uint32_t qos_burst_cmds = 32;  ///< command-bucket capacity
+    std::uint64_t qos_burst_bytes = 1u << 20;  ///< byte-bucket capacity
     TraceStyle trace_style = TraceStyle::none;
     EngineCounters counters;
   };
@@ -146,9 +156,12 @@ class IoEngine {
   /// indistinguishable from SQ-empty on wrap, wedging the ring.
   [[nodiscard]] static Status validate(const Config& cfg);
 
-  /// Exponential backoff before retry `attempt` (1-based), capped at
-  /// base << 10.
-  [[nodiscard]] static sim::Duration backoff_ns(sim::Duration base, std::uint32_t attempt);
+  /// Exponential backoff before retry `attempt` (1-based): `base`, doubling
+  /// per attempt, clamped to `max`. The clamp is compared before shifting —
+  /// `base << n` on a 64-bit Duration wraps (and can go negative, i.e. a
+  /// zero-length sleep) once the product crosses 2^63.
+  [[nodiscard]] static sim::Duration backoff_ns(sim::Duration base, std::uint32_t attempt,
+                                                sim::Duration max = 100'000'000);
 
   IoEngine(sim::Engine& engine, IoTransport& transport, std::shared_ptr<bool> stop,
            Config cfg);
@@ -178,6 +191,7 @@ class IoEngine {
     void* cookie = nullptr;           ///< passed through to IoTransport::issue
     obs::PhaseMarker* ph = nullptr;   ///< optional phase marks (sq_write, ...)
     std::uint64_t trace = 0;          ///< trace id for (qid, cid) binding
+    std::uint64_t bytes = 0;          ///< payload size, for byte-rate pacing
   };
 
   /// Run one command to a final outcome: issue, coalesced doorbell,
@@ -236,7 +250,40 @@ class IoEngine {
   [[nodiscard]] std::uint64_t doorbell_writes() const;
   [[nodiscard]] std::uint64_t coalesced_cmds() const;
 
+  // --- QoS pacing ---------------------------------------------------------
+
+  /// Whether either token bucket is armed (a nonzero rate was configured).
+  [[nodiscard]] bool qos_enabled() const noexcept {
+    return cfg_.qos_iops_limit != 0 || cfg_.qos_bytes_per_s != 0;
+  }
+  /// Nanoseconds submissions spent parked in the pacer, and commands that
+  /// were deferred at least once.
+  [[nodiscard]] std::uint64_t qos_throttle_ns() const noexcept {
+    return qos_throttle_ns_.value();
+  }
+  [[nodiscard]] std::uint64_t qos_deferred_cmds() const noexcept {
+    return qos_deferred_cmds_.value();
+  }
+
  private:
+  /// Fixed-point scale for token-bucket balances: one token is worth 1e9
+  /// scaled units, so a rate of R tokens/second earns exactly R scaled
+  /// units per simulated nanosecond — integer math, no drift.
+  static constexpr std::int64_t kTokenScale = 1'000'000'000;
+
+  /// SPDK-style token bucket. Charging first and sleeping off a negative
+  /// balance serialises concurrent submitters deterministically: each
+  /// charger sees the deficit left by the previous one and queues behind it.
+  struct TokenBucket {
+    std::uint64_t rate = 0;     ///< tokens per second; 0 = disarmed
+    std::int64_t scaled = 0;    ///< balance x kTokenScale (may go negative)
+    std::int64_t capacity = 0;  ///< burst ceiling x kTokenScale
+    sim::Time last = 0;         ///< last refill timestamp
+    void refill(sim::Time now);
+    /// Charge `tokens` and return how long the caller must stall (ns).
+    [[nodiscard]] sim::Duration charge(sim::Time now, std::uint64_t tokens);
+  };
+
   /// One coalesced doorbell burst: the first command to stage schedules the
   /// ring doorbell_ns later; everything staged meanwhile shares it.
   struct FlushBatch {
@@ -289,6 +336,11 @@ class IoEngine {
   };
   std::map<std::uint32_t, Pending> pending_;  ///< keyed (chan << 16) | token
   std::uint64_t cmd_seq_ = 0;
+
+  TokenBucket qos_cmds_;
+  TokenBucket qos_bytes_;
+  obs::Counter qos_throttle_ns_;
+  obs::Counter qos_deferred_cmds_;
 
   mem::PhysMem* pi_dram_ = nullptr;
   std::uint32_t pi_block_size_ = 0;

@@ -18,6 +18,7 @@ std::string_view errc_name(Errc e) noexcept {
     case Errc::unmapped_address: return "unmapped_address";
     case Errc::protocol_error: return "protocol_error";
     case Errc::internal: return "internal";
+    case Errc::unsupported: return "unsupported";
   }
   return "unknown";
 }

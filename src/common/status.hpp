@@ -35,6 +35,7 @@ enum class Errc : std::uint16_t {
   unmapped_address,   ///< PCIe transaction routed nowhere (UR completion)
   protocol_error,     ///< malformed mailbox message, bad capsule, ...
   internal,
+  unsupported,        ///< peer speaks an incompatible protocol version
 };
 
 /// Human-readable name of an error category.

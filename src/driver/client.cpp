@@ -174,6 +174,7 @@ sim::Task Client::init_task(std::unique_ptr<Client> self,
   ec.cmd_timeout_ns = c.cfg_.cmd_timeout_ns;
   ec.cmd_retry_limit = c.cfg_.cmd_retry_limit;
   ec.retry_backoff_ns = c.cfg_.retry_backoff_ns;
+  ec.retry_backoff_max_ns = c.cfg_.retry_backoff_max_ns;
   ec.trace_style = block::IoEngine::TraceStyle::nvme;
   ec.counters.timeouts = &c.stats_.cmd_timeouts;
   ec.counters.retries = &c.stats_.cmd_retries;
@@ -238,8 +239,16 @@ sim::Task Client::init_task(std::unique_ptr<Client> self,
     co_return;
   }
   c.header_ = load_pod<MetadataHeader>(*hdr);
-  if (c.header_.magic != kMetadataMagic || c.header_.version != kMetadataVersion) {
-    promise.set(Status(Errc::protocol_error, "bad metadata segment magic/version"));
+  if (c.header_.magic != kMetadataMagic) {
+    promise.set(Status(Errc::protocol_error, "bad metadata segment magic"));
+    co_return;
+  }
+  // Version negotiation: any mismatch (older manager, newer manager) is a
+  // clean `unsupported` — never an attempt to parse a foreign slot layout.
+  if (c.header_.version != kMetadataVersion) {
+    promise.set(Status(Errc::unsupported,
+                       "manager speaks metadata v" + std::to_string(c.header_.version) +
+                           ", client requires v" + std::to_string(kMetadataVersion)));
     co_return;
   }
   if (c.node_ >= c.header_.mailbox_slots) {
@@ -365,6 +374,9 @@ sim::Task Client::init_task(std::unique_ptr<Client> self,
   req.cq_device_addr = c.cq_win_.device_addr();
   req.sq_size = c.cfg_.queue_entries;
   req.cq_size = c.cfg_.queue_entries;
+  req.qos_class = static_cast<std::uint8_t>(c.cfg_.qos_class);
+  req.qos_iops = c.cfg_.qos_iops;
+  req.qos_bytes_per_s = c.cfg_.qos_bytes_per_s;
   if (c.cfg_.channels == 1) {
     req.op = static_cast<std::uint32_t>(MboxOp::create_qp);
   } else {
@@ -388,6 +400,11 @@ sim::Task Client::init_task(std::unique_ptr<Client> self,
   } else {
     for (std::uint32_t ch = 0; ch < c.cfg_.channels; ++ch) c.qids_[ch] = resp->qids[ch];
   }
+  // The granted budgets (possibly clamped below what we asked) arm the
+  // engine's token-bucket pacer; an uncapped grant leaves both rates zero
+  // and the pacer disarmed, preserving the seed instruction stream.
+  ec.qos_iops_limit = resp->qos_granted_iops;
+  ec.qos_bytes_per_s = resp->qos_granted_bytes_per_s;
 
   // 8. CPU view of the SQ (an NTB window when it lives device-side).
   auto sq_map = sisci::Map::create(cluster, c.node_, c.sq_seg_.descriptor());
@@ -530,6 +547,17 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
 
   if (Status st = block::validate_request(*this, request); !st) {
     finish(st);
+    co_return;
+  }
+  // Bounce mode: the slot is the hard ceiling for any data-moving request —
+  // an oversized payload would overrun the neighbouring partition and the
+  // prewritten PRP list would hand the controller another request's pages.
+  // The max_transfer clamp normally keeps such requests out; enforce the
+  // invariant directly so it fails fast here even if the clamp is bypassed.
+  if (cfg_.data_path == DataPath::bounce_buffer &&
+      (request.op == block::Op::read || request.op == block::Op::write) &&
+      static_cast<std::uint64_t>(request.nblocks) * header_.block_size > cfg_.slot_bytes) {
+    finish(Status(Errc::invalid_argument, "request exceeds bounce slot size"));
     co_return;
   }
   const block::IoEngine::Grant grant = co_await engine_io_->acquire();
@@ -707,6 +735,7 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
   run_args.cookie = &sqe;
   run_args.ph = &ph;
   run_args.trace = trace;
+  run_args.bytes = bytes;
   std::uint32_t verify_attempts = 0;
   Status status = Status::ok();
   for (;;) {
@@ -760,7 +789,8 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
         ++verify_attempts;
         ++stats_.cmd_retries;
         co_await sim::delay(
-            eng, block::IoEngine::backoff_ns(cfg_.retry_backoff_ns, verify_attempts));
+            eng, block::IoEngine::backoff_ns(cfg_.retry_backoff_ns, verify_attempts,
+                                             cfg_.retry_backoff_max_ns));
         ph.mark(obs::Phase::recovery, eng.now(), span_qid);
         continue;  // resubmit with a fresh retry budget
       }
@@ -865,6 +895,11 @@ sim::Task Client::recover_task(std::uint32_t chan, std::shared_ptr<bool> stop) {
   req.cq_device_addr = cq_win_.device_addr() + chan * cq_ring_bytes;
   req.sq_size = cfg_.queue_entries;
   req.cq_size = cfg_.queue_entries;
+  // Re-request the original QoS grant: the replacement pair must come back
+  // with the same class and budgets the client was admitted with.
+  req.qos_class = static_cast<std::uint8_t>(cfg_.qos_class);
+  req.qos_iops = cfg_.qos_iops;
+  req.qos_bytes_per_s = cfg_.qos_bytes_per_s;
   bool created = false;
   for (int attempt = 0; attempt < kRecoverRetryLimit; ++attempt) {
     auto resp = co_await mailbox_call(req);
@@ -875,7 +910,8 @@ sim::Task Client::recover_task(std::uint32_t chan, std::shared_ptr<bool> stop) {
       break;
     }
     co_await sim::delay(eng, block::IoEngine::backoff_ns(cfg_.retry_backoff_ns,
-                                                         static_cast<std::uint32_t>(attempt) + 1));
+                                                         static_cast<std::uint32_t>(attempt) + 1,
+                                                         cfg_.retry_backoff_max_ns));
     if (*stop || crashed_) break;
   }
   if (created) {

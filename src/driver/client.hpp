@@ -79,6 +79,9 @@ class Client final : public block::BlockDevice, private block::IoTransport {
     std::uint32_t cmd_retry_limit = 3;
     /// Backoff before the first retry; doubles per subsequent attempt.
     sim::Duration retry_backoff_ns = 100'000;
+    /// Ceiling on a single backoff delay (the doubling clamps here instead
+    /// of overflowing the 64-bit duration).
+    sim::Duration retry_backoff_max_ns = 100'000'000;
     /// Cadence of the liveness heartbeat posted into this client's mailbox
     /// slot (the manager's reaper watches it). 0 disables heartbeating.
     sim::Duration heartbeat_interval_ns = 0;
@@ -91,6 +94,16 @@ class Client final : public block::BlockDevice, private block::IoTransport {
     /// client is the sole writer of the LBAs it verifies (the paper's
     /// partitioned usage). Off by default.
     bool pi_verify = false;
+    // --- QoS (v4 mailbox grant; docs/MODEL.md §9) -------------------------
+    /// Priority class requested from the manager. Urgent encodes as 0 in
+    /// Create I/O SQ, so the default keeps the seed bytes; the class only
+    /// changes arbitration when the manager enabled WRR.
+    nvme::SqPriority qos_class = nvme::SqPriority::urgent;
+    /// Requested rate budgets (0 = ask for the class default from the
+    /// policy table). The *granted* values arm the I/O engine's
+    /// token-bucket pacer; an uncapped grant leaves the client unpaced.
+    std::uint32_t qos_iops = 0;
+    std::uint32_t qos_bytes_per_s = 0;
     mem::Iommu::Config iommu = {};
     /// Disambiguates this client's segment ids when one node attaches to
     /// several devices (one client per device needs its own namespace).

@@ -19,7 +19,12 @@ inline constexpr std::uint64_t kMetadataMagic = 0x31415445'4d53564eULL;  // "NVS
 // v3: batch queue-pair grants (create_qp_batch / delete_qp_batch) for
 // multi-channel clients: qp_count, per-channel base-address strides, and a
 // qid list, all carved from padding — single-QP ops are layout-unchanged.
-inline constexpr std::uint32_t kMetadataVersion = 3;
+// v4: QoS grants. create_qp[_batch] carries a requested priority class and
+// IOPS / bandwidth budget; the manager validates them against the policy
+// table published in the metadata segment (kQosPolicyOffset) and echoes the
+// granted values back. All fields are carved from pad2, so v1-v3 layouts
+// are unchanged — but the semantics of a grant differ, hence the bump.
+inline constexpr std::uint32_t kMetadataVersion = 4;
 
 /// Most queue pairs one batch request can grant or revoke (the qid list
 /// must fit the fixed 128-byte slot).
@@ -99,9 +104,42 @@ struct MboxSlot {
   std::uint32_t pad4 = 0;
   std::uint16_t qids[kMaxBatchQps] = {};  ///< out (create) / in (delete)
 
-  std::uint8_t pad2[24] = {};  // round the slot to a cache-line multiple
+  // QoS grant payload (create_qp / create_qp_batch), v4. The request names
+  // a priority class (nvme::SqPriority value) and rate budgets (0 = ask for
+  // the class default); the response echoes what the policy table actually
+  // granted — classes may be demoted and budgets clamped.
+  std::uint8_t qos_class = 0;          ///< in: requested SqPriority
+  std::uint8_t qos_granted_class = 0;  ///< out: class the manager granted
+  std::uint16_t pad5 = 0;
+  std::uint32_t qos_iops = 0;             ///< in: requested IOPS budget
+  std::uint32_t qos_bytes_per_s = 0;      ///< in: requested bytes/s budget
+  std::uint32_t qos_granted_iops = 0;     ///< out: granted IOPS (0 = unpaced)
+  std::uint32_t qos_granted_bytes_per_s = 0;  ///< out: granted bytes/s
+  std::uint32_t pad6 = 0;  // keeps the slot a cache-line multiple
 };
 static_assert(sizeof(MboxSlot) == 128);
+
+/// Cluster-wide QoS policy for one priority class, published by the manager
+/// so clients can see what a grant request will be judged against.
+struct QosPolicyEntry {
+  std::uint8_t allowed = 1;  ///< 0: requests for this class are rejected
+  std::uint8_t pad[3] = {};
+  std::uint32_t max_iops = 0;        ///< per-client IOPS cap; 0 = unlimited
+  std::uint32_t max_bytes_per_s = 0; ///< per-client bytes/s cap; 0 = unlimited
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(QosPolicyEntry) == 16);
+
+/// The policy table, one entry per SqPriority class (urgent..low), written
+/// at kQosPolicyOffset in the metadata segment (v4).
+struct QosPolicyTable {
+  QosPolicyEntry classes[4] = {};
+};
+static_assert(sizeof(QosPolicyTable) == 64);
+
+/// Byte offset of the QoS policy table: right after the fixed header,
+/// inside the 4096-byte reserved area that precedes the mailbox slots.
+inline constexpr std::uint64_t kQosPolicyOffset = 64;
 
 /// Byte offset of node `n`'s slot within the metadata segment.
 constexpr std::uint64_t mbox_slot_offset(const MetadataHeader& h, std::uint32_t node) {

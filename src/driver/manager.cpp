@@ -176,7 +176,8 @@ sim::Task Manager::init_task(std::unique_ptr<Manager> self,
   (void)write_reg32(nvme::reg::kAqa, aqa);
   (void)write_reg64(nvme::reg::kAsq, m.asq_win_.device_addr());
   (void)write_reg64(nvme::reg::kAcq, m.acq_win_.device_addr());
-  (void)write_reg32(nvme::reg::kCc, nvme::kCcEnable);
+  (void)write_reg32(nvme::reg::kCc,
+                    nvme::kCcEnable | (m.cfg_.enable_wrr ? nvme::kCcAmsWrrBits : 0));
   for (int i = 0;; ++i) {
     auto csts = co_await fabric.read(cpu, m.bar_.addr() + nvme::reg::kCsts, 4);
     if (!csts) {
@@ -239,6 +240,18 @@ sim::Task Manager::init_task(std::unique_ptr<Manager> self,
   const auto ncqa = static_cast<std::uint16_t>((feat->dw0 >> 16) + 1);
   const std::uint16_t granted = std::min(nsqa, ncqa);
 
+  // 9b. WRR mode: program the arbitration burst and class weights the
+  // controller will spend per turn (Set Features / Arbitration).
+  if (m.cfg_.enable_wrr) {
+    auto arb = co_await m.submit_admin(nvme::make_set_arbitration(
+        0, m.cfg_.arb_burst_log2, m.cfg_.wrr_low_weight, m.cfg_.wrr_medium_weight,
+        m.cfg_.wrr_high_weight));
+    if (!arb) {
+      promise.set(arb.status());
+      co_return;
+    }
+  }
+
   // 10. Done with privileged init: let clients share the device.
   if (Status st = m.ref_.downgrade_to_shared(); !st) {
     promise.set(st);
@@ -266,6 +279,9 @@ sim::Task Manager::init_task(std::unique_ptr<Manager> self,
   m.header_.mailbox_slots = nodes;
   m.header_.mailbox_offset = 4096;
   (void)m.metadata_seg_.write(0, as_bytes_of(m.header_));
+  // v4: publish the QoS policy table so clients can see what a grant
+  // request will be judged against.
+  (void)m.metadata_seg_.write(kQosPolicyOffset, as_bytes_of(m.cfg_.qos_policy));
 
   m.qid_used_.assign(granted + 1u, false);
   m.qid_used_[0] = true;  // admin
@@ -403,6 +419,10 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
         respond(Errc::invalid_argument, 0, 0);
         break;
       }
+      if (!grant_qos(slot)) {
+        respond(Errc::permission_denied, 0, 0);
+        break;
+      }
       auto cq = co_await submit_admin(
           nvme::make_create_io_cq(0, qid, slot.cq_size, slot.cq_device_addr,
                                   /*irq_enable=*/false, 0));
@@ -414,8 +434,8 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
         respond(cq ? Errc::io_error : cq.status().code(), 0, cq ? cq->status() : 0);
         break;
       }
-      auto sq = co_await submit_admin(
-          nvme::make_create_io_sq(0, qid, slot.sq_size, slot.sq_device_addr, qid));
+      auto sq = co_await submit_admin(nvme::make_create_io_sq(
+          0, qid, slot.sq_size, slot.sq_device_addr, qid, sq_priority(slot)));
       if (*stop) {
         done.set(false);
         co_return;
@@ -468,6 +488,11 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
         respond(Errc::invalid_argument, 0, 0);
         break;
       }
+      // One QoS grant covers the whole batch: every channel shares the class.
+      if (!grant_qos(slot)) {
+        respond(Errc::permission_denied, 0, 0);
+        break;
+      }
       std::uint16_t created = 0;
       Errc errc = Errc::ok;
       std::uint16_t bad_status = 0;
@@ -499,7 +524,7 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
           break;
         }
         auto sq = co_await submit_admin(
-            nvme::make_create_io_sq(0, qid, slot.sq_size, sq_base, qid));
+            nvme::make_create_io_sq(0, qid, slot.sq_size, sq_base, qid, sq_priority(slot)));
         if (*stop) {
           done.set(false);
           co_return;
@@ -579,6 +604,27 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
       break;
   }
   done.set(true);
+}
+
+bool Manager::grant_qos(MboxSlot& slot) const {
+  // Demote toward lower priority until an allowed class admits the client
+  // (urgent = 0 down to low = 3); a client never gets promoted above what
+  // it asked for.
+  int cls = slot.qos_class & 0x3;
+  while (cls <= 3 && cfg_.qos_policy.classes[cls].allowed == 0) ++cls;
+  if (cls > 3) return false;
+  const QosPolicyEntry& pol = cfg_.qos_policy.classes[cls];
+  slot.qos_granted_class = static_cast<std::uint8_t>(cls);
+  // Budget semantics: a zero request asks for the class default (the cap);
+  // a zero cap means the class is unpaced unless the client self-limits.
+  auto clamp = [](std::uint32_t requested, std::uint32_t cap) -> std::uint32_t {
+    if (cap == 0) return requested;
+    if (requested == 0) return cap;
+    return std::min(requested, cap);
+  };
+  slot.qos_granted_iops = clamp(slot.qos_iops, pol.max_iops);
+  slot.qos_granted_bytes_per_s = clamp(slot.qos_bytes_per_s, pol.max_bytes_per_s);
+  return true;
 }
 
 // --- fault recovery -------------------------------------------------------------------
@@ -673,7 +719,8 @@ sim::Task Manager::watchdog_task(std::shared_ptr<bool> stop) {
     (void)write_reg32(nvme::reg::kAqa, aqa);
     (void)write_reg64(nvme::reg::kAsq, asq_win_.device_addr());
     (void)write_reg64(nvme::reg::kAcq, acq_win_.device_addr());
-    (void)write_reg32(nvme::reg::kCc, nvme::kCcEnable);
+    (void)write_reg32(nvme::reg::kCc,
+                      nvme::kCcEnable | (cfg_.enable_wrr ? nvme::kCcAmsWrrBits : 0));
     bool ready = false;
     for (int i = 0; i < kRegPollLimit; ++i) {
       auto v = co_await fab.read(cpu, bar_.addr() + nvme::reg::kCsts, 4);
@@ -719,6 +766,14 @@ sim::Task Manager::watchdog_task(std::shared_ptr<bool> stop) {
     if (!feat || !(*feat).ok()) {
       NVS_LOG(error, "manager") << "set_num_queues after reset failed";
       continue;
+    }
+    // The reset also wiped the arbitration weights; re-program them before
+    // clients re-create their prioritized queues.
+    if (cfg_.enable_wrr) {
+      (void)co_await submit_admin(nvme::make_set_arbitration(
+          0, cfg_.arb_burst_log2, cfg_.wrr_low_weight, cfg_.wrr_medium_weight,
+          cfg_.wrr_high_weight));
+      if (*stop) co_return;
     }
     obs::Tracer& tracer = obs::Tracer::global();
     if (tracer.enabled()) {

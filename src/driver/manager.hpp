@@ -53,6 +53,21 @@ class Manager {
     sim::Duration scrub_interval_ns = 0;
     /// Blocks covered by one scrub command.
     std::uint16_t scrub_blocks_per_cmd = 256;
+    // --- QoS / noisy-neighbor protection (docs/MODEL.md §9) ----------------
+    /// Enable the controller with CC.AMS = weighted round robin and program
+    /// the arbitration weights below; each client's granted priority class
+    /// then rides in its Create I/O SQ commands. Off by default — the seed
+    /// enables plain round robin and stays byte-identical.
+    bool enable_wrr = false;
+    std::uint8_t arb_burst_log2 = 3;     ///< Arbitration AB (2^AB per turn)
+    std::uint8_t wrr_low_weight = 0;     ///< LPW, 0-based (weight = LPW + 1)
+    std::uint8_t wrr_medium_weight = 1;  ///< MPW
+    std::uint8_t wrr_high_weight = 3;    ///< HPW
+    /// Cluster-wide per-class grant policy, published in the metadata
+    /// segment (kQosPolicyOffset) and enforced on create_qp[_batch]: a
+    /// disallowed class demotes the request downward, budgets clamp to the
+    /// class caps. The default allows every class, uncapped.
+    QosPolicyTable qos_policy;
   };
 
   /// Bring the controller up and start serving; resolves when the metadata
@@ -121,6 +136,17 @@ class Manager {
   /// Background integrity scrubber: walk the namespace with vendor scrub
   /// commands, one range per tick.
   sim::Task scrub_task(std::shared_ptr<bool> stop);
+  /// v4 QoS admission: demote the requested class to the nearest allowed
+  /// lower-priority one and clamp the budgets to the class caps, writing
+  /// the granted values into the slot's echo fields. Returns false when no
+  /// class at or below the requested priority admits the client.
+  [[nodiscard]] bool grant_qos(MboxSlot& slot) const;
+  /// Priority class for a granted pair's Create I/O SQ: the granted class
+  /// under WRR, urgent (which encodes as 0 — the seed bytes) otherwise.
+  [[nodiscard]] nvme::SqPriority sq_priority(const MboxSlot& slot) const noexcept {
+    return cfg_.enable_wrr ? static_cast<nvme::SqPriority>(slot.qos_granted_class & 0x3)
+                           : nvme::SqPriority::urgent;
+  }
 
   [[nodiscard]] sim::Engine& engine();
   [[nodiscard]] pcie::Fabric& fabric();

@@ -49,8 +49,9 @@ Controller::Controller(sim::Engine& engine, Config cfg)
       rng_(cfg.seed) {
   cap_ = static_cast<std::uint64_t>(cfg_.max_queue_entries - 1)  // MQES (0-based)
          | (1ull << 16)                                          // CQR
-         | (10ull << 24)                                         // TO
-         | (1ull << 37);                                         // CSS: NVM command set
+         | (1ull << 17)                                          // AMS: WRR w/ urgent
+         | (10ull << 24)                                          // TO
+         | (1ull << 37);                                          // CSS: NVM command set
   sqs_.resize(cfg_.max_queue_pairs);
   cqs_.resize(cfg_.max_queue_pairs);
   for (std::uint16_t i = 0; i < cfg_.max_queue_pairs; ++i) {
@@ -222,6 +223,13 @@ void Controller::enable_controller() {
   cq.phase = true;
   cq.irq_enabled = false;
 
+  // Latch the arbitration mechanism for this enable cycle and restart the
+  // WRR state: per-class cursors back to queue 1, credits empty (the first
+  // weighted turn reloads them from the current weights).
+  ams_ = cc_ams(cc_);
+  wrr_next_.fill(1);
+  wrr_credits_.fill(0);
+
   const std::uint64_t gen = generation_;
   engine_.after(cfg_.service.enable_ns, [this, gen]() {
     if (gen != generation_ || (cc_ & kCcEnable) == 0) return;
@@ -303,21 +311,30 @@ sim::Task Controller::arbiter_task(std::uint64_t gen) {
     bool deferred = false;
     sim::Time next_retry = 0;
     const auto nio = static_cast<std::uint16_t>(cfg_.max_queue_pairs - 1);
-    for (std::uint16_t step = 0; step < nio && !fetched; ++step) {
-      const auto qid = static_cast<std::uint16_t>(1 + (rr_next_ - 1 + step) % nio);
-      SqState& sq = sqs_[qid];
-      if (!sq.valid || sq.head == sq.tail) continue;
-      if (sq.retry_not_before > engine_.now()) {
-        deferred = true;
-        if (next_retry == 0 || sq.retry_not_before < next_retry) {
-          next_retry = sq.retry_not_before;
-        }
-        continue;
+    if (ams_ == kCcAmsWrr) {
+      const std::uint16_t qid = wrr_pick(deferred, next_retry);
+      if (qid != 0) {
+        const int n = co_await fetch_turn(qid, arb_burst(), gen);
+        if (gen != generation_ || n == -2) co_return;
+        fetched = true;
       }
-      const int n = co_await fetch_turn(qid, arb_burst(), gen);
-      if (gen != generation_ || n == -2) co_return;
-      rr_next_ = static_cast<std::uint16_t>(1 + qid % nio);  // queue after this one
-      fetched = true;
+    } else {
+      for (std::uint16_t step = 0; step < nio && !fetched; ++step) {
+        const auto qid = static_cast<std::uint16_t>(1 + (rr_next_ - 1 + step) % nio);
+        SqState& sq = sqs_[qid];
+        if (!sq.valid || sq.head == sq.tail) continue;
+        if (sq.retry_not_before > engine_.now()) {
+          deferred = true;
+          if (next_retry == 0 || sq.retry_not_before < next_retry) {
+            next_retry = sq.retry_not_before;
+          }
+          continue;
+        }
+        const int n = co_await fetch_turn(qid, arb_burst(), gen);
+        if (gen != generation_ || n == -2) co_return;
+        rr_next_ = static_cast<std::uint16_t>(1 + qid % nio);  // queue after this one
+        fetched = true;
+      }
     }
     if (fetched) continue;
 
@@ -332,6 +349,58 @@ sim::Task Controller::arbiter_task(std::uint64_t gen) {
     }
     co_await work_->wait();
   }
+}
+
+std::uint16_t Controller::wrr_pick(bool& deferred, sim::Time& next_retry) {
+  const auto nio = static_cast<std::uint16_t>(cfg_.max_queue_pairs - 1);
+  auto ready = [&](std::uint16_t qid) -> bool {
+    SqState& sq = sqs_[qid];
+    if (!sq.valid || sq.head == sq.tail) return false;
+    if (sq.retry_not_before > engine_.now()) {
+      deferred = true;
+      if (next_retry == 0 || sq.retry_not_before < next_retry) {
+        next_retry = sq.retry_not_before;
+      }
+      return false;
+    }
+    return true;
+  };
+  // Round-robin inside one class, advancing that class's cursor only when a
+  // queue is actually chosen (a fruitless scan must not rotate fairness).
+  auto scan_class = [&](std::uint8_t cls) -> std::uint16_t {
+    for (std::uint16_t step = 0; step < nio; ++step) {
+      const auto qid = static_cast<std::uint16_t>(1 + (wrr_next_[cls] - 1 + step) % nio);
+      if (sqs_[qid].prio != cls || !ready(qid)) continue;
+      wrr_next_[cls] = static_cast<std::uint16_t>(1 + qid % nio);
+      return qid;
+    }
+    return 0;
+  };
+  // Urgent is strict priority: it pre-empts the weighted classes entirely.
+  if (const std::uint16_t qid = scan_class(static_cast<std::uint8_t>(SqPriority::urgent))) {
+    return qid;
+  }
+  // Weighted classes spend one credit per turn, high before medium before
+  // low. Weights are 0-based (weight = field + 1): a zero-programmed class
+  // still reloads to one credit per round, so nothing starves. Pass 0 may
+  // find every class with work out of credit — reload and scan once more.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint8_t i = 0; i < 3; ++i) {
+      const auto cls = static_cast<std::uint8_t>(i + 1);  // high, medium, low
+      if (wrr_credits_[i] == 0) continue;
+      if (const std::uint16_t qid = scan_class(cls)) {
+        --wrr_credits_[i];
+        return qid;
+      }
+    }
+    if (pass == 0) {
+      const std::uint8_t weights[3] = {hpw_, mpw_, lpw_};
+      for (std::uint8_t i = 0; i < 3; ++i) {
+        wrr_credits_[i] = static_cast<std::uint32_t>(weights[i]) + 1;
+      }
+    }
+  }
+  return 0;
 }
 
 sim::Future<int> Controller::fetch_turn(std::uint16_t qid, std::uint16_t limit,
@@ -623,6 +692,7 @@ Controller::AdminResult Controller::admin_create_sq(const SubmissionEntry& sqe,
   const auto qid = static_cast<std::uint16_t>(sqe.cdw10 & 0xFFFF);
   const auto qsize = static_cast<std::uint16_t>((sqe.cdw10 >> 16) + 1);
   const bool pc = (sqe.cdw11 & 1u) != 0;
+  const auto qprio = static_cast<std::uint8_t>((sqe.cdw11 >> 1) & 0x3);
   const auto cqid = static_cast<std::uint16_t>(sqe.cdw11 >> 16);
   if (qid == 0 || qid > granted_io_queues_) return {kScInvalidQueueId, 0};
   if (sqs_[qid].valid) return {kScInvalidQueueId, 0};
@@ -637,9 +707,11 @@ Controller::AdminResult Controller::admin_create_sq(const SubmissionEntry& sqe,
   sq.size = qsize;
   sq.head = sq.tail = 0;
   sq.cqid = cqid;
+  sq.prio = qprio;  // consulted only when CC.AMS latched WRR
   sq.retry_not_before = 0;
   (void)gen;  // the central arbiter picks the queue up at its first doorbell
-  NVS_LOG(debug, "nvme") << "created IO SQ " << qid << " size " << qsize << " -> CQ " << cqid;
+  NVS_LOG(debug, "nvme") << "created IO SQ " << qid << " size " << qsize << " -> CQ " << cqid
+                         << " prio " << static_cast<int>(qprio);
   return {};
 }
 
@@ -682,11 +754,17 @@ Controller::AdminResult Controller::admin_set_features(const SubmissionEntry& sq
     return {kScSuccess, dw0};
   }
   if (fid == FeatureId::arbitration) {
-    // Round-robin arbitration burst: 2^AB commands per I/O-queue turn
-    // (AB = 7 means no limit). This model ignores the priority-weight
-    // fields — every queue is the same priority class, as in the paper's
-    // symmetric multi-host sharing.
+    // Arbitration burst (2^AB commands per I/O-queue turn; AB = 7 means no
+    // limit) plus the WRR class weights. Weight fields are 0-based per spec
+    // (weight = field + 1), so even an all-zero CDW11 leaves every class one
+    // turn per round — no class can be programmed into starvation. Credits
+    // reset so new weights take effect on the next arbitration round; under
+    // plain round-robin the weights are latched but unused.
     arb_burst_log2_ = static_cast<std::uint8_t>(sqe.cdw11 & 0x7);
+    lpw_ = static_cast<std::uint8_t>((sqe.cdw11 >> 8) & 0xFF);
+    mpw_ = static_cast<std::uint8_t>((sqe.cdw11 >> 16) & 0xFF);
+    hpw_ = static_cast<std::uint8_t>((sqe.cdw11 >> 24) & 0xFF);
+    wrr_credits_.fill(0);
     return {kScSuccess, 0};
   }
   return {kScInvalidField, 0};
@@ -701,7 +779,11 @@ Controller::AdminResult Controller::admin_get_features(const SubmissionEntry& sq
     return {kScSuccess, dw0};
   }
   if (fid == FeatureId::arbitration) {
-    return {kScSuccess, arb_burst_log2_};
+    const std::uint32_t dw0 = static_cast<std::uint32_t>(arb_burst_log2_) |
+                              (static_cast<std::uint32_t>(lpw_) << 8) |
+                              (static_cast<std::uint32_t>(mpw_) << 16) |
+                              (static_cast<std::uint32_t>(hpw_) << 24);
+    return {kScSuccess, dw0};
   }
   return {kScInvalidField, 0};
 }

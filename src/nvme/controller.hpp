@@ -10,6 +10,7 @@
 // property the paper's driver exploits.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -122,6 +123,9 @@ class Controller final : public pcie::Endpoint {
     std::uint16_t head = 0;  // controller consume pointer
     std::uint16_t tail = 0;  // shadow from SQ tail doorbell
     std::uint16_t cqid = 0;
+    /// QPRIO from Create I/O SQ (SqPriority value); only consulted when the
+    /// controller was enabled with CC.AMS = WRR.
+    std::uint8_t prio = 0;
     /// Earliest time the arbiter may retry this queue after a transient
     /// fetch-DMA failure (per-queue isolation: other queues keep flowing).
     sim::Time retry_not_before = 0;
@@ -140,10 +144,17 @@ class Controller final : public pcie::Endpoint {
   void disable_controller(bool fatal);
 
   // Command pipeline. One central arbiter services every SQ doorbell: the
-  // admin queue drains with strict priority, then the I/O queues take
-  // round-robin turns of at most arbitration-burst commands each (NVMe
-  // round-robin arbitration; the burst is Set Features / Arbitration AB).
+  // admin queue drains with strict priority, then the I/O queues take turns
+  // of at most arbitration-burst commands each (the burst is Set Features /
+  // Arbitration AB). The turn order is the mechanism latched from CC.AMS at
+  // enable time: plain round robin, or weighted round robin with urgent
+  // class — urgent queues strictly first, then high/medium/low spending
+  // per-class credits reloaded from the arbitration weights.
   sim::Task arbiter_task(std::uint64_t gen);
+  /// WRR queue selection for one arbitration turn. Returns the chosen qid
+  /// (0 = nothing fetchable); queues mid-retry set `deferred`/`next_retry`
+  /// exactly like the round-robin scan.
+  [[nodiscard]] std::uint16_t wrr_pick(bool& deferred, sim::Time& next_retry);
   /// Fetch and dispatch up to `limit` commands from `qid` with one DMA
   /// read. Resolves with the count fetched, -1 after a transient DMA
   /// failure (the queue's retry_not_before was armed), -2 on a fatal one.
@@ -210,6 +221,14 @@ class Controller final : public pcie::Endpoint {
   std::unique_ptr<sim::Event> work_;  ///< any SQ doorbell; wakes the arbiter
   std::uint16_t rr_next_ = 1;         ///< next I/O queue to offer a turn
   std::uint8_t arb_burst_log2_ = 3;   ///< Arbitration feature AB field
+  /// Arbitration mechanism latched from CC.AMS when the controller was
+  /// enabled (writes to CC while enabled do not re-arbitrate).
+  std::uint32_t ams_ = kCcAmsRoundRobin;
+  std::uint8_t lpw_ = 0;  ///< low-priority weight, 0-based (weight = LPW+1)
+  std::uint8_t mpw_ = 0;  ///< medium-priority weight, 0-based
+  std::uint8_t hpw_ = 0;  ///< high-priority weight, 0-based
+  std::array<std::uint16_t, 4> wrr_next_{};    ///< per-class round-robin cursor
+  std::array<std::uint32_t, 3> wrr_credits_{};  ///< high/medium/low turns left
   std::uint64_t generation_ = 0;  ///< bumped on reset; stale work is dropped
   std::uint16_t granted_io_queues_ = 0;
   std::vector<std::uint16_t> pending_aer_cids_;

@@ -1,12 +1,15 @@
 #include "nvme/queue.hpp"
 
+#include "common/log.hpp"
+
 namespace nvmeshare::nvme {
 
 QueuePair::Stats::Stats()
     : sqes_pushed("nvmeshare.queue.sqes_pushed"),
       sq_doorbells("nvmeshare.queue.sq_doorbells"),
       cq_doorbells("nvmeshare.queue.cq_doorbells"),
-      cqes_consumed("nvmeshare.queue.cqes_consumed") {}
+      cqes_consumed("nvmeshare.queue.cqes_consumed"),
+      spurious_cqes("nvmeshare.queue.spurious_cqes") {}
 
 QueuePair::QueuePair(pcie::Fabric& fabric, Config cfg) : fabric_(fabric), cfg_(cfg) {
   cid_busy_.assign(cfg_.sq_size, false);
@@ -59,6 +62,13 @@ std::optional<CompletionEntry> QueuePair::poll() {
   if (e.cid < cid_busy_.size() && cid_busy_[e.cid]) {
     cid_busy_[e.cid] = false;
     --inflight_;
+  } else {
+    // A completion for a CID we never issued (or already retired): a
+    // duplicate, stale, or corrupted CQE. Consume it so the ring keeps
+    // moving, but leave a trace — silent drops here hide device bugs.
+    ++stats_.spurious_cqes;
+    NVS_LOG(warn, "queue") << "qid " << cfg_.qid << " spurious CQE: cid " << e.cid
+                           << " not in flight (status " << e.status() << ")";
   }
   ++stats_.cqes_consumed;
   return e;

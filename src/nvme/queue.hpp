@@ -69,6 +69,10 @@ class QueuePair {
     obs::Counter sq_doorbells;
     obs::Counter cq_doorbells;
     obs::Counter cqes_consumed;
+    /// CQEs whose CID was out of range or not in flight (duplicate or
+    /// corrupted completion) — consumed, counted, and logged, never
+    /// silently dropped.
+    obs::Counter spurious_cqes;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

@@ -25,6 +25,7 @@ const char* status_name(std::uint16_t status) {
     case kScInvalidQueueSize: return "invalid queue size";
     case kScInvalidInterruptVector: return "invalid interrupt vector";
     case kScInvalidQueueDeletion: return "invalid queue deletion";
+    case kScFeatureNotSaveable: return "feature identifier not saveable";
     default: return "unknown status";
   }
 }
@@ -131,13 +132,14 @@ SubmissionEntry make_create_io_cq(std::uint16_t cid, std::uint16_t qid, std::uin
 }
 
 SubmissionEntry make_create_io_sq(std::uint16_t cid, std::uint16_t qid, std::uint16_t qsize,
-                                  std::uint64_t base, std::uint16_t cqid) {
+                                  std::uint64_t base, std::uint16_t cqid, SqPriority prio) {
   SubmissionEntry e;
   e.opcode = static_cast<std::uint8_t>(AdminOpcode::create_io_sq);
   e.cid = cid;
   e.prp1 = base;
   e.cdw10 = static_cast<std::uint32_t>(qid) | (static_cast<std::uint32_t>(qsize - 1) << 16);
-  e.cdw11 = 1u /* PC */ | (static_cast<std::uint32_t>(cqid) << 16);
+  e.cdw11 = 1u /* PC */ | (static_cast<std::uint32_t>(prio) << 1) /* QPRIO */ |
+            (static_cast<std::uint32_t>(cqid) << 16);
   return e;
 }
 
@@ -164,6 +166,17 @@ SubmissionEntry make_set_num_queues(std::uint16_t cid, std::uint16_t nsq, std::u
   e.cdw10 = static_cast<std::uint32_t>(FeatureId::number_of_queues);
   // 0-based counts.
   e.cdw11 = static_cast<std::uint32_t>(nsq - 1) | (static_cast<std::uint32_t>(ncq - 1) << 16);
+  return e;
+}
+
+SubmissionEntry make_set_arbitration(std::uint16_t cid, std::uint8_t ab, std::uint8_t lpw,
+                                     std::uint8_t mpw, std::uint8_t hpw) {
+  SubmissionEntry e;
+  e.opcode = static_cast<std::uint8_t>(AdminOpcode::set_features);
+  e.cid = cid;
+  e.cdw10 = static_cast<std::uint32_t>(FeatureId::arbitration);
+  e.cdw11 = static_cast<std::uint32_t>(ab & 0x7) | (static_cast<std::uint32_t>(lpw) << 8) |
+            (static_cast<std::uint32_t>(mpw) << 16) | (static_cast<std::uint32_t>(hpw) << 24);
   return e;
 }
 

@@ -210,6 +210,21 @@ inline constexpr std::uint32_t kCcEnable = 1u << 0;
 constexpr std::uint32_t cc_iosqes(std::uint32_t cc) { return (cc >> 16) & 0xF; }
 constexpr std::uint32_t cc_iocqes(std::uint32_t cc) { return (cc >> 20) & 0xF; }
 constexpr std::uint32_t cc_shn(std::uint32_t cc) { return (cc >> 14) & 0x3; }
+/// CC.AMS (bits 13:11): arbitration mechanism selected at enable time.
+constexpr std::uint32_t cc_ams(std::uint32_t cc) { return (cc >> 11) & 0x7; }
+inline constexpr std::uint32_t kCcAmsRoundRobin = 0;
+inline constexpr std::uint32_t kCcAmsWrr = 1;  ///< weighted round robin w/ urgent
+/// CC value selecting WRR arbitration (OR with kCcEnable).
+inline constexpr std::uint32_t kCcAmsWrrBits = kCcAmsWrr << 11;
+
+/// I/O SQ priority classes (Create I/O SQ CDW11 QPRIO, bits 2:1). Only
+/// meaningful when the controller was enabled with CC.AMS = WRR.
+enum class SqPriority : std::uint8_t {
+  urgent = 0,  ///< strict priority above the weighted classes
+  high = 1,
+  medium = 2,
+  low = 3,
+};
 // CSTS fields.
 inline constexpr std::uint32_t kCstsReady = 1u << 0;
 inline constexpr std::uint32_t kCstsFatal = 1u << 1;
@@ -274,11 +289,18 @@ SubmissionEntry make_identify(std::uint16_t cid, IdentifyCns cns, std::uint32_t 
                               std::uint64_t prp1);
 SubmissionEntry make_create_io_cq(std::uint16_t cid, std::uint16_t qid, std::uint16_t qsize,
                                   std::uint64_t base, bool irq_enable, std::uint16_t irq_vector);
+/// `prio` goes into CDW11 QPRIO (ignored by the controller unless CC.AMS =
+/// WRR); the default encodes as 0 so round-robin callers stay byte-identical.
 SubmissionEntry make_create_io_sq(std::uint16_t cid, std::uint16_t qid, std::uint16_t qsize,
-                                  std::uint64_t base, std::uint16_t cqid);
+                                  std::uint64_t base, std::uint16_t cqid,
+                                  SqPriority prio = SqPriority::urgent);
 SubmissionEntry make_delete_io_sq(std::uint16_t cid, std::uint16_t qid);
 SubmissionEntry make_delete_io_cq(std::uint16_t cid, std::uint16_t qid);
 SubmissionEntry make_set_num_queues(std::uint16_t cid, std::uint16_t nsq, std::uint16_t ncq);
+/// Set Features 0x01 (Arbitration): AB = log2 burst (7 = unlimited),
+/// LPW/MPW/HPW = 0-based low/medium/high priority weights.
+SubmissionEntry make_set_arbitration(std::uint16_t cid, std::uint8_t ab, std::uint8_t lpw,
+                                     std::uint8_t mpw, std::uint8_t hpw);
 /// `prinfo` is OR'd into CDW12 (kPrinfoPract / kPrinfoPrchk*); 0 = no PI.
 SubmissionEntry make_io_rw(bool write, std::uint16_t cid, std::uint32_t nsid,
                            std::uint64_t slba, std::uint16_t nblocks, std::uint64_t prp1,

@@ -3,6 +3,8 @@
 // bounce-buffer behaviour, failure handling.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+
 #include "driver/irq.hpp"
 #include "test_util.hpp"
 
@@ -252,6 +254,13 @@ TEST(Client, RejectsBadConfig) {
   cc.slot_bytes = 1000;  // not page aligned
   c = tb.wait(Client::attach(tb.service(), 1, tb.device_id(), cc));
   EXPECT_FALSE(c.has_value());
+  EXPECT_EQ(c.error_code(), Errc::invalid_argument);
+
+  cc = Client::Config{};
+  cc.slot_bytes = 4 * KiB + 512;  // page multiple plus a sub-page remainder
+  c = tb.wait(Client::attach(tb.service(), 1, tb.device_id(), cc));
+  EXPECT_FALSE(c.has_value());
+  EXPECT_EQ(c.error_code(), Errc::invalid_argument);
 }
 
 TEST(Client, AttachWithoutManagerTimesOut) {
@@ -259,6 +268,111 @@ TEST(Client, AttachWithoutManagerTimesOut) {
   auto c = tb.wait(Client::attach(tb.service(), 1, tb.device_id(), {}), 60_s);
   EXPECT_FALSE(c.has_value());
   EXPECT_EQ(c.error_code(), Errc::unavailable);
+}
+
+/// Overwrite one 32-bit word of the published metadata header, simulating a
+/// manager that speaks a different protocol revision.
+void poke_metadata_u32(Testbed& tb, std::uint64_t offset, std::uint32_t value) {
+  auto loc = tb.service().device_metadata(tb.device_id());
+  ASSERT_TRUE(loc.has_value());
+  auto remote = tb.cluster().connect(loc->first, loc->second);
+  ASSERT_TRUE(remote.has_value());
+  auto map = sisci::Map::create(tb.cluster(), 1, *remote);
+  ASSERT_TRUE(map.has_value());
+  Bytes word(4);
+  store_pod(word, value);
+  ASSERT_TRUE(
+      tb.fabric().post_write(tb.fabric().cpu(1), map->addr() + offset, std::move(word))
+          .has_value());
+  tb.engine().run_for(10_us);
+}
+
+TEST(Client, VersionMismatchRefusedCleanly) {
+  // v3<->v4 (and any other disagreement) must come back as a clean
+  // `unsupported` error in both directions — never a misparsed slot.
+  Testbed tb(small_testbed(2));
+  auto mgr = tb.wait(Manager::start(tb.service(), 0, tb.device_id(), {}));
+  ASSERT_TRUE(mgr.has_value());
+  const std::uint64_t version_off = offsetof(MetadataHeader, version);
+
+  // Manager older than the client (a v3 manager, this v4 client).
+  poke_metadata_u32(tb, version_off, 3);
+  auto c = tb.wait(Client::attach(tb.service(), 1, tb.device_id(), {}));
+  ASSERT_FALSE(c.has_value());
+  EXPECT_EQ(c.error_code(), Errc::unsupported);
+
+  // Manager newer than the client (the other direction of the handshake).
+  poke_metadata_u32(tb, version_off, kMetadataVersion + 1);
+  c = tb.wait(Client::attach(tb.service(), 1, tb.device_id(), {}));
+  ASSERT_FALSE(c.has_value());
+  EXPECT_EQ(c.error_code(), Errc::unsupported);
+
+  // Restored version: the same client attaches fine — nothing was wedged.
+  poke_metadata_u32(tb, version_off, kMetadataVersion);
+  c = tb.wait(Client::attach(tb.service(), 1, tb.device_id(), {}));
+  EXPECT_TRUE(c.has_value()) << c.status().to_string();
+}
+
+TEST(Client, CorruptMagicIsProtocolError) {
+  Testbed tb(small_testbed(2));
+  auto mgr = tb.wait(Manager::start(tb.service(), 0, tb.device_id(), {}));
+  ASSERT_TRUE(mgr.has_value());
+  poke_metadata_u32(tb, 0, 0xdeadbeef);  // clobber the low magic word
+  auto c = tb.wait(Client::attach(tb.service(), 1, tb.device_id(), {}));
+  ASSERT_FALSE(c.has_value());
+  EXPECT_EQ(c.error_code(), Errc::protocol_error);
+}
+
+TEST(Manager, QosGrantDemotesToFirstAllowedClass) {
+  // Policy: urgent and high are operator-only, medium is capped. A client
+  // asking for high must come back demoted to medium with clamped budgets,
+  // which arms its token-bucket pacer.
+  Testbed tb(small_testbed(2));
+  Manager::Config mc;
+  mc.enable_wrr = true;
+  mc.qos_policy.classes[0].allowed = 0;
+  mc.qos_policy.classes[1].allowed = 0;
+  mc.qos_policy.classes[2].max_iops = 1000;
+  auto mgr = tb.wait(Manager::start(tb.service(), 0, tb.device_id(), mc));
+  ASSERT_TRUE(mgr.has_value());
+
+  Client::Config cc;
+  cc.qos_class = nvme::SqPriority::high;
+  cc.qos_iops = 5000;  // above the medium-class cap: must clamp to 1000
+  auto c = tb.wait(Client::attach(tb.service(), 1, tb.device_id(), cc));
+  ASSERT_TRUE(c.has_value()) << c.status().to_string();
+  EXPECT_TRUE((*c)->io_engine().qos_enabled())
+      << "a clamped IOPS budget must arm the client pacer";
+  write_read_verify(tb, **c, 1, 500, 4096, 0x9a9a);
+}
+
+TEST(Manager, QosGrantRejectedWhenNoClassAdmits) {
+  // Nothing at or below the requested priority admits the client: the
+  // grant is refused outright, and the refusal reaches attach() intact.
+  Testbed tb(small_testbed(2));
+  Manager::Config mc;
+  mc.enable_wrr = true;
+  mc.qos_policy.classes[3].allowed = 0;
+  auto mgr = tb.wait(Manager::start(tb.service(), 0, tb.device_id(), mc));
+  ASSERT_TRUE(mgr.has_value());
+
+  Client::Config cc;
+  cc.qos_class = nvme::SqPriority::low;
+  auto c = tb.wait(Client::attach(tb.service(), 1, tb.device_id(), cc));
+  ASSERT_FALSE(c.has_value());
+  EXPECT_EQ(c.error_code(), Errc::permission_denied);
+  EXPECT_EQ((*mgr)->active_queue_pairs(), 1u) << "no queue pair may leak from a refusal";
+}
+
+TEST(Manager, DefaultPolicyGrantsUncappedAndLeavesPacerDisarmed) {
+  // The all-defaults path: every class allowed, no caps, no budgets asked.
+  // The grant must leave the client's pacer disarmed — this is the
+  // byte-identical seed configuration.
+  Testbed tb(small_testbed(2));
+  auto stack = bring_up(tb, 0, 1);
+  ASSERT_TRUE(stack.has_value());
+  EXPECT_FALSE(stack->client->io_engine().qos_enabled());
+  EXPECT_EQ(stack->client->io_engine().qos_deferred_cmds(), 0u);
 }
 
 TEST(Client, RequestBiggerThanSlotRejected) {
@@ -272,6 +386,17 @@ TEST(Client, RequestBiggerThanSlotRejected) {
   auto completion = do_io(tb, *stack->client, {block::Op::write, 0, 32, buf});
   ASSERT_TRUE(completion.has_value());
   EXPECT_EQ(completion->status.code(), Errc::invalid_argument);
+
+  // Reads are bounced through the same slot and fail the same way; the
+  // rejection happens at submit, before any slot is occupied.
+  completion = do_io(tb, *stack->client, {block::Op::read, 0, 32, buf});
+  ASSERT_TRUE(completion.has_value());
+  EXPECT_EQ(completion->status.code(), Errc::invalid_argument);
+
+  // A request that exactly fills the slot still goes through.
+  completion = do_io(tb, *stack->client, {block::Op::write, 0, 16, buf});
+  ASSERT_TRUE(completion.has_value());
+  EXPECT_TRUE(completion->status.is_ok()) << completion->status.to_string();
 }
 
 TEST(Client, BounceCopiesAreCounted) {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -377,6 +378,80 @@ TEST(EngineStack, ClientCoalescedDoorbellsUnderConcurrency) {
   EXPECT_EQ(io.coalesced_cmds(), 600u);
   EXPECT_LT(io.doorbell_writes(), 600u)
       << "sustained QD16 load must ring less than once per command";
+}
+
+// --- retry backoff arithmetic -----------------------------------------------
+
+TEST(EngineBackoff, DoublesPerAttemptUpToTheClamp) {
+  EXPECT_EQ(IoEngine::backoff_ns(1000, 1), 1000);
+  EXPECT_EQ(IoEngine::backoff_ns(1000, 2), 2000);
+  EXPECT_EQ(IoEngine::backoff_ns(1000, 3), 4000);
+  EXPECT_EQ(IoEngine::backoff_ns(1000, 0), 1000);  // attempt 0 behaves like 1
+  // The shift saturates at 10 doublings even for absurd attempt counts.
+  EXPECT_EQ(IoEngine::backoff_ns(1000, 11), 1000 << 10);
+  EXPECT_EQ(IoEngine::backoff_ns(1000, 200), 1000 << 10);
+}
+
+TEST(EngineBackoff, ClampsToMaxInsteadOfOverflowing) {
+  // The regression this guards: base << 10 on a base near the int64 ceiling
+  // wrapped sim::Duration negative and sim::delay treated it as "no wait",
+  // turning backed-off retries into a hot spin.
+  const sim::Duration huge = std::numeric_limits<sim::Duration>::max() / 2;
+  EXPECT_EQ(IoEngine::backoff_ns(huge, 11, 100'000'000), 100'000'000);
+  EXPECT_EQ(IoEngine::backoff_ns(huge, 1, 100'000'000), 100'000'000);
+  // Clamp boundary: the doubling stops exactly where it would cross max.
+  EXPECT_EQ(IoEngine::backoff_ns(1000, 4, 5000), 5000);   // 8000 -> clamped
+  EXPECT_EQ(IoEngine::backoff_ns(1000, 3, 5000), 4000);   // still under
+  EXPECT_EQ(IoEngine::backoff_ns(1000, 1, 500), 500);     // base above max
+  EXPECT_EQ(IoEngine::backoff_ns(0, 5), 0);
+  EXPECT_EQ(IoEngine::backoff_ns(1000, 5, 0), 0);
+  EXPECT_GT(IoEngine::backoff_ns(huge, 11), 0)
+      << "default clamp must keep the result positive";
+}
+
+// --- QoS token-bucket pacer -------------------------------------------------
+
+TEST(EngineQos, PacerDefersCommandsBeyondTheBurst) {
+  IoEngine::Config cfg;
+  cfg.channels = 1;
+  cfg.queue_depth = 8;
+  cfg.qos_iops_limit = 1000;  // 1 cmd per ms once the burst is spent
+  cfg.qos_burst_cmds = 2;
+  EngineHarness h(cfg);
+  h.transport.set_auto_complete(true);
+
+  ASSERT_TRUE(h.io.qos_enabled());
+  auto grants = acquire_n(h, 6);
+  ASSERT_EQ(grants.size(), 6u);
+  std::vector<sim::Future<CmdOutcome>> outcomes;
+  for (const auto& g : grants) outcomes.push_back(h.io.run({g}));
+  h.engine.run();
+  for (auto& f : outcomes) {
+    auto o = f.try_take();
+    ASSERT_TRUE(o.has_value());
+    EXPECT_TRUE(o->ok());
+  }
+  // 2 commands ride the burst; the remaining 4 wait for refill tokens.
+  EXPECT_EQ(h.io.qos_deferred_cmds(), 4u);
+  EXPECT_GT(h.io.qos_throttle_ns(), 0u);
+  // 4 deferred commands at 1/ms: the last one cannot finish before 4 ms.
+  EXPECT_GE(h.engine.now(), 4'000'000);
+}
+
+TEST(EngineQos, DisarmedPacerLeavesTheStreamUntouched) {
+  IoEngine::Config cfg;
+  cfg.channels = 1;
+  cfg.queue_depth = 8;
+  EngineHarness h(cfg);
+  h.transport.set_auto_complete(true);
+
+  ASSERT_FALSE(h.io.qos_enabled());
+  auto grants = acquire_n(h, 4);
+  std::vector<sim::Future<CmdOutcome>> outcomes;
+  for (const auto& g : grants) outcomes.push_back(h.io.run({g}));
+  h.engine.run();
+  EXPECT_EQ(h.io.qos_deferred_cmds(), 0u);
+  EXPECT_EQ(h.io.qos_throttle_ns(), 0u);
 }
 
 }  // namespace

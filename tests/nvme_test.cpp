@@ -207,6 +207,31 @@ TEST_F(ControllerFixture, GetFeaturesReportsGrantedQueues) {
   EXPECT_EQ((cqe->dw0 & 0xFFFF) + 1, 31u);
 }
 
+TEST_F(ControllerFixture, ArbitrationFeatureRoundTrips) {
+  auto set = admin(make_set_arbitration(0, 4, 2, 5, 9));
+  ASSERT_TRUE(set.has_value());
+  EXPECT_TRUE(set->ok());
+
+  SubmissionEntry get;
+  get.opcode = static_cast<std::uint8_t>(AdminOpcode::get_features);
+  get.cdw10 = static_cast<std::uint32_t>(FeatureId::arbitration);
+  auto cqe = admin(get);
+  ASSERT_TRUE(cqe.has_value() && cqe->ok());
+  EXPECT_EQ(cqe->dw0, 4u | (2u << 8) | (5u << 16) | (9u << 24));
+}
+
+TEST_F(ControllerFixture, CreateSqCarriesPriorityClass) {
+  // QPRIO rides in CDW11 bits 2:1; any class must be accepted regardless of
+  // the arbitration mode the controller was enabled with.
+  auto cq_mem = tb.cluster().alloc_dram(0, 64 * 16, 4096);
+  auto sq_mem = tb.cluster().alloc_dram(0, 64 * 64, 4096);
+  ASSERT_TRUE(cq_mem && sq_mem);
+  ASSERT_TRUE(admin(make_create_io_cq(0, 1, 64, *cq_mem, false, 0))->ok());
+  auto cqe = admin(make_create_io_sq(0, 1, 64, *sq_mem, 1, SqPriority::low));
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_TRUE(cqe->ok());
+}
+
 TEST_F(ControllerFixture, AbortReportsNotAborted) {
   SubmissionEntry e;
   e.opcode = static_cast<std::uint8_t>(AdminOpcode::abort);
@@ -288,6 +313,68 @@ TEST_F(TinyQueueFixture, WraparoundAndPhaseFlipSurvive13Commands) { run_flushes(
 
 TEST_F(TinyQueueFixture, LongWraparound50Commands) { run_flushes(50); }
 
+TEST_F(ControllerFixture, SpuriousCqeIsCountedNotSilentlyDropped) {
+  // The regression this guards: poll() used to drop a completion whose CID
+  // was not in flight without a trace, hiding duplicate/stale CQEs from
+  // both operators and tests.
+  auto sq_mem = tb.cluster().alloc_dram(0, 4 * 64, 4096);
+  auto cq_mem = tb.cluster().alloc_dram(0, 4 * 16, 4096);
+  ASSERT_TRUE(sq_mem && cq_mem);
+  auto qid = tb.wait(ctrl->create_queue_pair(*sq_mem, 4, *cq_mem, 4, std::nullopt));
+  ASSERT_TRUE(qid.has_value()) << qid.status().to_string();
+
+  QueuePair::Config qc;
+  qc.qid = *qid;
+  qc.sq_size = 4;
+  qc.cq_size = 4;
+  qc.sq_write_addr = *sq_mem;
+  qc.cq_poll_addr = *cq_mem;
+  qc.sq_doorbell_addr = ctrl->sq_doorbell(*qid);
+  qc.cq_doorbell_addr = ctrl->cq_doorbell(*qid);
+  qc.cpu = tb.fabric().cpu(0);
+  QueuePair qp(tb.fabric(), qc);
+
+  // Two clean flushes: CIDs are issued and retired the normal way, and the
+  // real CQ tail advances to slot 2 alongside the consumer's head.
+  std::uint16_t last_cid = 0;
+  for (int i = 0; i < 2; ++i) {
+    auto cid = qp.push(make_flush(0, static_cast<std::uint16_t>(i + 1)));
+    ASSERT_TRUE(cid.has_value());
+    last_cid = *cid;
+    ASSERT_TRUE(qp.ring_sq_doorbell().is_ok());
+    const sim::Time deadline = tb.engine().now() + 1_s;
+    std::optional<CompletionEntry> cqe;
+    while (!cqe && tb.engine().now() < deadline) {
+      tb.engine().run_until(tb.engine().now() + 1_us);
+      cqe = qp.poll();
+    }
+    ASSERT_TRUE(cqe.has_value()) << "flush " << i << " never completed";
+    ASSERT_TRUE(qp.ring_cq_doorbell().is_ok());
+  }
+  EXPECT_EQ(qp.stats().spurious_cqes.value(), 0u);
+  EXPECT_EQ(qp.inflight(), 0u);
+
+  // Inject a duplicate of the last completion into the next CQ slot with
+  // the phase the consumer expects: a CQE for a CID that is not in flight.
+  CompletionEntry dup;
+  dup.sqid = *qid;
+  dup.cid = last_cid;
+  dup.set_phase(true);  // head has not wrapped yet
+  Bytes raw(sizeof(CompletionEntry));
+  store_pod(raw, dup);
+  ASSERT_TRUE(tb.fabric()
+                  .post_write(tb.fabric().cpu(0), *cq_mem + 2 * sizeof(CompletionEntry),
+                              std::move(raw))
+                  .has_value());
+  tb.engine().run_for(1_ms);
+
+  auto spurious = qp.poll();
+  ASSERT_TRUE(spurious.has_value()) << "the duplicate must be consumed, not wedged";
+  EXPECT_EQ(spurious->cid, last_cid);
+  EXPECT_EQ(qp.stats().spurious_cqes.value(), 1u);
+  EXPECT_EQ(qp.inflight(), 0u) << "a spurious CQE must not underflow inflight";
+}
+
 TEST_F(ControllerFixture, LbaArithmeticOverflowRejected) {
   // An slba near UINT64_MAX must fail with LBA Out of Range, not wrap
   // around into an apparently-valid range and touch the wrong blocks.
@@ -356,6 +443,7 @@ TEST_F(RegisterFixture, CapFieldsAndHalfWordReads) {
   const std::uint64_t cap = read_reg(reg::kCap, 8);
   EXPECT_EQ(cap & 0xFFFF, tb.config().nvme.max_queue_entries - 1u);  // MQES
   EXPECT_NE(cap & (1ull << 16), 0u);                                // CQR
+  EXPECT_NE(cap & (1ull << 17), 0u);                                // AMS: WRR w/ urgent
   EXPECT_NE(cap & (1ull << 37), 0u);                                // CSS: NVM
   // A 4-byte read of either half must return that half.
   EXPECT_EQ(read_reg(reg::kCap, 4), cap & 0xFFFFFFFFu);

@@ -146,6 +146,77 @@ TEST_P(DeterminismSweep, TwoIdenticalClustersAgreeExactly) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismSweep, ::testing::Values(11, 22, 33));
 
+// --- WRR arbitration sweep: no weight corner may starve a class -----------------
+
+struct WrrCase {
+  std::uint8_t lpw, mpw, hpw;           // 0-based weight fields (weight = field + 1)
+  nvme::SqPriority a, b;                 // the two clients' priority classes
+};
+
+class WrrWeightSweep : public ::testing::TestWithParam<WrrCase> {};
+
+TEST_P(WrrWeightSweep, BothClientsCompleteVerifiedIoUnderWrr) {
+  const WrrCase p = GetParam();
+  Testbed tb(small_testbed(3));
+  driver::Manager::Config mc;
+  mc.enable_wrr = true;
+  mc.wrr_low_weight = p.lpw;
+  mc.wrr_medium_weight = p.mpw;
+  mc.wrr_high_weight = p.hpw;
+  auto mgr = tb.wait(driver::Manager::start(tb.service(), 0, tb.device_id(), mc));
+  ASSERT_TRUE(mgr.has_value()) << mgr.status().to_string();
+
+  driver::Client::Config ca;
+  ca.qos_class = p.a;
+  auto client_a = tb.wait(driver::Client::attach(tb.service(), 1, tb.device_id(), ca));
+  ASSERT_TRUE(client_a.has_value()) << client_a.status().to_string();
+  driver::Client::Config cb;
+  cb.qos_class = p.b;
+  auto client_b = tb.wait(driver::Client::attach(tb.service(), 2, tb.device_id(), cb));
+  ASSERT_TRUE(client_b.has_value()) << client_b.status().to_string();
+
+  // Both clients hammer the device at once; every corner of the weight
+  // space must complete both verified jobs (a zero weight field still
+  // means weight 1, so even the lowest class keeps making progress).
+  auto make_spec = [](std::uint64_t seed, sisci::NodeId node) {
+    workload::JobSpec spec;
+    spec.name = "wrr-n" + std::to_string(node);
+    spec.pattern = workload::JobSpec::Pattern::randrw;
+    spec.ops = 120;
+    spec.queue_depth = 4;
+    spec.verify = true;
+    spec.seed = seed;
+    spec.region_offset_blocks = node * 4096;  // disjoint working sets
+    spec.region_blocks = 4096;
+    return spec;
+  };
+  auto fa = workload::run_job(tb.cluster(), **client_a, 1, make_spec(p.lpw * 100 + 1, 1));
+  auto fb = workload::run_job(tb.cluster(), **client_b, 2, make_spec(p.hpw * 100 + 2, 2));
+  auto ra = tb.wait(std::move(fa), 120_s);
+  auto rb = tb.wait(std::move(fb), 120_s);
+  ASSERT_TRUE(ra.has_value()) << ra.status().to_string();
+  ASSERT_TRUE(rb.has_value()) << rb.status().to_string();
+  for (const auto* r : {&*ra, &*rb}) {
+    EXPECT_EQ(r->ops_completed, 120u);
+    EXPECT_EQ(r->errors, 0u);
+    EXPECT_EQ(r->verify_failures, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Weights, WrrWeightSweep,
+    ::testing::Values(
+        // all-zero weight fields: every weighted class at weight 1
+        WrrCase{0, 0, 0, nvme::SqPriority::high, nvme::SqPriority::low},
+        // the default shape
+        WrrCase{0, 1, 3, nvme::SqPriority::high, nvme::SqPriority::low},
+        // maximal field values
+        WrrCase{255, 255, 255, nvme::SqPriority::low, nvme::SqPriority::low},
+        // all-urgent corner: strict priority, weighted classes idle
+        WrrCase{0, 1, 3, nvme::SqPriority::urgent, nvme::SqPriority::urgent},
+        // inverted weights: low outweighs high, both still finish
+        WrrCase{7, 1, 0, nvme::SqPriority::medium, nvme::SqPriority::high}));
+
 // --- protection information survives every data path ------------------------------
 
 // One verified random-rw job with the full PI pipeline on (PRACT writes,

@@ -137,4 +137,29 @@ cmp "$MULTIQP_A" "$MULTIQP_B"
 grep -q '"channels":"4"' "$MULTIQP_A"
 grep -q '"nvmeshare.engine.client.qp3.doorbell_writes":[1-9]' "$MULTIQP_A"
 echo "multi-qp soak ok: 4-channel chaos run recovered, byte-identical reruns"
+
+# --- QoS / noisy-neighbor protection ---------------------------------------------
+# The fairness bench under the sanitizer: its claim checks (flat RR lets a
+# bulk writer inflate a QD1 reader's p99 beyond 2x solo; WRR + pacing keeps
+# it within the bound) are assertions, exit 1 on mismatch.
+"$BUILD_DIR/bench/fig12_fairness" > /dev/null
+echo "fig12_fairness ok: WRR + QoS fairness claim checks passed"
+
+# WRR chaos soak: weighted arbitration + a granted IOPS budget (which arms
+# the client's token-bucket pacer) with the chaos plan active, so the
+# pacing x retry interaction (docs/faults.md) runs under ASan — twice,
+# byte-identical.
+wrr_smoke() {
+  "$BUILD_DIR/tools/nvsh_fio" --scenario ours-remote --rw randrw --qd 4 \
+    --ops 2000 --seed 7 --qos-class high --qos-iops 50000 \
+    --faults "$CHAOS_PLAN" --json "$1" > /dev/null
+}
+WRR_A="$BUILD_DIR/wrr_a.json"
+WRR_B="$BUILD_DIR/wrr_b.json"
+wrr_smoke "$WRR_A"
+wrr_smoke "$WRR_B"
+cmp "$WRR_A" "$WRR_B"
+grep -q '"qos_class":"high"' "$WRR_A"
+grep -q '"nvmeshare.engine.client.qos.deferred_cmds":[1-9]' "$WRR_A"
+echo "wrr soak ok: paced chaos run recovered, byte-identical reruns"
 echo "ci_asan: all green"

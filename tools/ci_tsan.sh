@@ -51,4 +51,13 @@ fi
   --faults "seed=11;drop_posted_write:src=0,dst=1,nth=40,count=2;ntb_link_down:host=1,at=2ms,for=300us;ctrl_error:nth=100" \
   > /dev/null
 
+# QoS under TSan: the fairness bench (claim checks are assertions), then a
+# WRR chaos soak with a granted IOPS budget so the token-bucket pacer and
+# the retry/recovery machinery interleave under the sanitizer.
+"$BUILD_DIR/bench/fig12_fairness" > /dev/null
+"$BUILD_DIR/tools/nvsh_fio" --scenario ours-remote --rw randrw --qd 4 \
+  --ops 2000 --seed 7 --qos-class high --qos-iops 50000 \
+  --faults "seed=11;drop_posted_write:src=0,dst=1,nth=40,count=2;ntb_link_down:host=1,at=2ms,for=300us;ctrl_error:nth=100" \
+  > /dev/null
+
 echo "ci_tsan: all green"

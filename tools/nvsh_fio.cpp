@@ -36,6 +36,8 @@ struct Options {
   std::string data_path = "bounce";
   bool verify = false;
   bool integrity = false;  ///< end-to-end PI / data-digest pipeline (MODEL.md §7)
+  std::string qos_class;   ///< urgent | high | medium | low; non-empty enables WRR
+  std::uint64_t qos_iops = 0;  ///< requested IOPS budget (0 = class default)
   std::string json_path;  ///< empty = no JSON document; "-" = stdout
   std::string faults;     ///< fault plan DSL (docs/faults.md); empty = no chaos
 };
@@ -62,6 +64,11 @@ struct Options {
       "  --integrity       end-to-end data integrity: PI-formatted namespace,\n"
       "                    client PRACT/PRCHK + shadow-tuple verify, manager\n"
       "                    background scrub, NVMe-oF data digests\n"
+      "  --qos-class C     urgent | high | medium | low: request this priority\n"
+      "                    class at attach and enable WRR arbitration on the\n"
+      "                    manager (ours-* scenarios; docs/MODEL.md §9)\n"
+      "  --qos-iops N      request an IOPS budget with the grant; the granted\n"
+      "                    (possibly clamped) value arms the client's pacer\n"
       "  --json PATH       write the bench document (boxplots + metrics snapshot)\n"
       "                    to PATH; \"-\" = stdout\n"
       "  --faults PLAN     deterministic fault-injection plan (docs/faults.md), e.g.\n"
@@ -107,6 +114,10 @@ Options parse(int argc, char** argv) {
       opt.verify = true;
     } else if (!std::strcmp(arg, "--integrity")) {
       opt.integrity = true;
+    } else if (!std::strcmp(arg, "--qos-class")) {
+      opt.qos_class = need_value(i);
+    } else if (!std::strcmp(arg, "--qos-iops")) {
+      opt.qos_iops = std::strtoull(need_value(i), nullptr, 0);
     } else if (!std::strcmp(arg, "--json")) {
       opt.json_path = need_value(i);
     } else if (!std::strcmp(arg, "--faults")) {
@@ -140,6 +151,22 @@ Scenario build_scenario(const Options& opt) {
   }
 
   driver::Manager::Config mc;
+  if (!opt.qos_class.empty() || opt.qos_iops != 0) {
+    if (opt.qos_class.empty() || opt.qos_class == "urgent") {
+      cc.qos_class = nvme::SqPriority::urgent;
+    } else if (opt.qos_class == "high") {
+      cc.qos_class = nvme::SqPriority::high;
+    } else if (opt.qos_class == "medium") {
+      cc.qos_class = nvme::SqPriority::medium;
+    } else if (opt.qos_class == "low") {
+      cc.qos_class = nvme::SqPriority::low;
+    } else {
+      std::fprintf(stderr, "bad --qos-class\n");
+      std::exit(2);
+    }
+    cc.qos_iops = static_cast<std::uint32_t>(opt.qos_iops);
+    mc.enable_wrr = true;
+  }
   nvmeof::Initiator::Config ic;
   ic.channels = opt.channels;
   nvmeof::Target::Config tc;
@@ -268,7 +295,9 @@ int main(int argc, char** argv) {
                        {"ops", std::to_string(result.ops_completed)},
                        {"seed", std::to_string(opt.seed)},
                        {"verify", opt.verify ? "1" : "0"},
-                       {"integrity", opt.integrity ? "1" : "0"}};
+                       {"integrity", opt.integrity ? "1" : "0"},
+                       {"qos_class", opt.qos_class},
+                       {"qos_iops", std::to_string(opt.qos_iops)}};
     if (chaos) config.emplace_back("faults", opt.faults);
     json_ok = write_bench_json(opt.json_path, bench_document("nvsh_fio", config, boxes));
   }
