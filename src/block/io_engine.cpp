@@ -211,6 +211,61 @@ sim::Duration IoEngine::TokenBucket::charge(sim::Time now, std::uint64_t tokens)
   return (-scaled + r - 1) / r;
 }
 
+// --- pending-command arena ----------------------------------------------------
+
+IoEngine::PendingCmd* IoEngine::alloc_cmd() {
+  PendingCmd* cmd;
+  if (cmd_free_ != nullptr) {
+    cmd = cmd_free_;
+    cmd_free_ = cmd->next_free;
+  } else {
+    if (cmd_chunk_used_ == kCmdChunk) {
+      cmd_chunks_.push_back(std::make_unique<PendingCmd[]>(kCmdChunk));
+      cmd_chunk_used_ = 0;
+    }
+    cmd = &cmd_chunks_.back()[cmd_chunk_used_++];
+  }
+  cmd->outcome = CmdOutcome{};
+  cmd->waiter = nullptr;
+  cmd->resolved = false;
+  cmd->next_free = nullptr;
+  return cmd;
+}
+
+void IoEngine::free_cmd(PendingCmd* cmd) noexcept {
+  cmd->next_free = cmd_free_;
+  cmd_free_ = cmd;
+}
+
+IoEngine::PendingCmd* IoEngine::lookup(std::uint32_t chan, std::uint16_t token) const {
+  const auto& table = channels_[chan]->pending;
+  return token < table.size() ? table[token] : nullptr;
+}
+
+void IoEngine::arm(std::uint32_t chan, std::uint16_t token, PendingCmd* cmd) {
+  auto& table = channels_[chan]->pending;
+  if (token >= table.size()) table.resize(token + 1, nullptr);
+  table[token] = cmd;
+  ++pending_count_;
+}
+
+void IoEngine::disarm(std::uint32_t chan, std::uint16_t token) noexcept {
+  channels_[chan]->pending[token] = nullptr;
+  --pending_count_;
+}
+
+void IoEngine::resolve(PendingCmd* cmd, CmdOutcome outcome) {
+  cmd->outcome = std::move(outcome);
+  cmd->resolved = true;
+  // Wake through the engine queue, never inline — the same deterministic
+  // deferred resume sim::Promise::set performed. No waiter means run_task
+  // has not reached its co_await yet; it will see `resolved` and continue
+  // without suspending.
+  if (cmd->waiter) {
+    engine_.at(engine_.now(), [h = cmd->waiter]() { h.resume(); });
+  }
+}
+
 // --- submission/completion/retry core ----------------------------------------
 
 sim::Future<CmdOutcome> IoEngine::run(RunArgs args) {
@@ -284,26 +339,24 @@ sim::Task IoEngine::run_task(RunArgs args, sim::Promise<CmdOutcome> promise) {
       tracer.bind(qid, *token, args.trace);
     }
     const std::uint64_t seq = ++cmd_seq_;
-    const std::uint32_t key = pending_key(chan, *token);
-    auto [it, inserted] = pending_.emplace(key, Pending{sim::Promise<CmdOutcome>(engine_), seq});
-    (void)inserted;
-    auto outcome_future = it->second.promise.future();
+    PendingCmd* cmd = alloc_cmd();
+    cmd->seq = seq;
+    arm(chan, *token, cmd);
     transport_.on_armed(chan);  // completions are coming: wake an idle poller
 
     if (cfg_.cmd_timeout_ns > 0) {
       // Deadline watchdog: resolves the wait with timed_out unless the real
       // completion (or a recovery sweep) got there first. `seq` guards
       // against the token having been reused by a later submission.
-      engine_.after(cfg_.cmd_timeout_ns, [this, stop, key, seq]() {
+      engine_.after(cfg_.cmd_timeout_ns, [this, stop, chan, token = *token, seq]() {
         if (*stop) return;
-        auto p = pending_.find(key);
-        if (p == pending_.end() || p->second.seq != seq) return;
-        auto doomed = std::move(p->second.promise);
-        pending_.erase(p);
+        PendingCmd* doomed = lookup(chan, token);
+        if (doomed == nullptr || doomed->seq != seq) return;
+        disarm(chan, token);
         if (cfg_.counters.timeouts != nullptr) ++*cfg_.counters.timeouts;
         CmdOutcome out;
         out.kind = CmdOutcome::Kind::timed_out;
-        doomed.set(std::move(out));
+        resolve(doomed, std::move(out));
       });
     }
 
@@ -312,10 +365,13 @@ sim::Task IoEngine::run_task(RunArgs args, sim::Promise<CmdOutcome> promise) {
     Status rung = co_await flush(chan);
     if (!rung && transport_.ring_failure_fails_attempt()) {
       // Message transports: the SEND is the submission, so a failed ring
-      // dooms the staged attempt. Unarm it (seq-guarded) and retry.
-      if (auto p = pending_.find(key); p != pending_.end() && p->second.seq == seq) {
-        pending_.erase(p);
+      // dooms the staged attempt. Unarm it (seq-guarded) and retry. Nobody
+      // awaits this command yet, so any resolution that raced in during the
+      // flush is dropped with the node.
+      if (PendingCmd* armed = lookup(chan, *token); armed == cmd && cmd->seq == seq) {
+        disarm(chan, *token);
       }
+      free_cmd(cmd);
       if (cfg_.trace_style != TraceStyle::none && args.trace != 0) {
         tracer.unbind(qid, *token);
       }
@@ -335,7 +391,8 @@ sim::Task IoEngine::run_task(RunArgs args, sim::Promise<CmdOutcome> promise) {
       mark(obs::Phase::capsule_send, *token);
     }
 
-    CmdOutcome outcome = co_await outcome_future;
+    CmdOutcome outcome = co_await OutcomeAwaiter{cmd};
+    free_cmd(cmd);
     outcome.token = *token;
     mark(obs::Phase::cq_wait, *token);
     if (cfg_.trace_style != TraceStyle::none && args.trace != 0) {
@@ -375,20 +432,19 @@ sim::Task IoEngine::run_task(RunArgs args, sim::Promise<CmdOutcome> promise) {
 
 bool IoEngine::complete(std::uint32_t chan, std::uint16_t token, std::uint16_t status,
                         std::uint64_t aux) {
-  auto it = pending_.find(pending_key(chan, token));
-  if (it == pending_.end()) {
+  PendingCmd* cmd = lookup(chan, token);
+  if (cmd == nullptr) {
     // Expected under fault injection: the command timed out and was
     // retried, and this is the original submission completing late.
     if (cfg_.counters.late_completions != nullptr) ++*cfg_.counters.late_completions;
     return false;
   }
-  auto pending = std::move(it->second.promise);
-  pending_.erase(it);
+  disarm(chan, token);
   CmdOutcome out;
   out.kind = CmdOutcome::Kind::completed;
   out.status = status;
   out.aux = aux;
-  pending.set(std::move(out));
+  resolve(cmd, std::move(out));
   return true;
 }
 
@@ -404,19 +460,21 @@ void IoEngine::request_recovery(std::uint32_t chan) {
 }
 
 void IoEngine::fail_pending(std::uint32_t chan) {
-  // Swap first: promise.set() schedules resumptions that may submit again
-  // and re-populate the table while we iterate.
-  std::map<std::uint32_t, Pending> doomed;
-  const std::uint32_t lo = pending_key(chan, 0);
-  const std::uint32_t hi = pending_key(chan + 1, 0);
-  for (auto it = pending_.lower_bound(lo); it != pending_.end() && it->first < hi;) {
-    doomed.emplace(it->first, std::move(it->second));
-    it = pending_.erase(it);
+  // Collect first: resolve() schedules resumptions that may submit again
+  // and re-populate the table while we iterate. Ascending token order
+  // preserves the wake order of the old sorted pending map.
+  auto& table = channels_[chan]->pending;
+  std::vector<PendingCmd*> doomed;
+  for (auto& slot : table) {
+    if (slot == nullptr) continue;
+    doomed.push_back(slot);
+    slot = nullptr;
+    --pending_count_;
   }
-  for (auto& [key, cmd] : doomed) {
+  for (PendingCmd* cmd : doomed) {
     CmdOutcome out;
     out.kind = CmdOutcome::Kind::timed_out;
-    cmd.promise.set(std::move(out));
+    resolve(cmd, std::move(out));
   }
 }
 

@@ -22,8 +22,8 @@
 // rebuilt (mailbox re-create vs. fabric reconnect).
 #pragma once
 
+#include <coroutine>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -209,7 +209,7 @@ class IoEngine {
                 std::uint64_t aux = 0);
 
   /// True when no command is in flight anywhere (pollers park on this).
-  [[nodiscard]] bool idle() const noexcept { return pending_.empty(); }
+  [[nodiscard]] bool idle() const noexcept { return pending_count_ == 0; }
 
   // --- channel recovery ---------------------------------------------------
 
@@ -292,6 +292,30 @@ class IoEngine {
     Status status = Status::ok();
     std::uint32_t staged = 0;
   };
+
+  /// One in-flight command attempt. Nodes come from a chunked free-list
+  /// arena and are indexed by completion token in a per-channel
+  /// direct-mapped table, so the submit/complete hot path performs no heap
+  /// allocation and no tree walk (the former std::map + per-attempt
+  /// sim::Promise both allocated). The one-shot channel the waiting
+  /// run_task() parks on is intrusive: complete()/the watchdog store the
+  /// outcome here and schedule the resume through the engine queue —
+  /// identical wake-up ordering to the Promise it replaces.
+  struct PendingCmd {
+    CmdOutcome outcome;
+    std::uint64_t seq = 0;  ///< guards the token against reuse by a retry
+    std::coroutine_handle<> waiter;
+    bool resolved = false;
+    PendingCmd* next_free = nullptr;
+  };
+  /// Awaitable for the command outcome (`co_await OutcomeAwaiter{...}`).
+  struct OutcomeAwaiter {
+    PendingCmd* cmd;
+    [[nodiscard]] bool await_ready() const noexcept { return cmd->resolved; }
+    void await_suspend(std::coroutine_handle<> h) noexcept { cmd->waiter = h; }
+    [[nodiscard]] CmdOutcome await_resume() noexcept { return std::move(cmd->outcome); }
+  };
+
   struct Channel {
     Channel(sim::Engine& engine, const std::string& prefix);
     std::vector<std::uint32_t> free_slots;  ///< local indices, LIFO
@@ -299,6 +323,10 @@ class IoEngine {
     bool recovering = false;
     sim::Event recovered;  ///< set whenever no recovery is running
     std::shared_ptr<FlushBatch> open_batch;
+    /// Direct map: completion token -> armed command. Grown on demand to
+    /// the largest token the transport hands out (NVMe cid < ring entries;
+    /// NVMe-oF cid < channels * queue_depth).
+    std::vector<PendingCmd*> pending;
     // Per-channel metrics (satellite: nvmeshare.engine.<backend>.qp<N>.*).
     obs::Gauge inflight_gauge;
     obs::Counter doorbell_writes;
@@ -317,9 +345,16 @@ class IoEngine {
   [[nodiscard]] std::uint32_t pick_channel();
   void request_recovery(std::uint32_t chan);
 
-  [[nodiscard]] static std::uint32_t pending_key(std::uint32_t chan, std::uint16_t token) {
-    return (chan << 16) | token;
-  }
+  // --- pending-command arena ----------------------------------------------
+  [[nodiscard]] PendingCmd* alloc_cmd();
+  void free_cmd(PendingCmd* cmd) noexcept;
+  /// The armed command for (chan, token), or nullptr.
+  [[nodiscard]] PendingCmd* lookup(std::uint32_t chan, std::uint16_t token) const;
+  void arm(std::uint32_t chan, std::uint16_t token, PendingCmd* cmd);
+  void disarm(std::uint32_t chan, std::uint16_t token) noexcept;
+  /// Store the outcome and wake the waiting run_task (via the engine queue,
+  /// preserving deterministic wake-up order). Call after disarm().
+  void resolve(PendingCmd* cmd, CmdOutcome outcome);
 
   sim::Engine& engine_;
   IoTransport& transport_;
@@ -330,11 +365,11 @@ class IoEngine {
   std::unique_ptr<sim::Semaphore> slots_;  ///< total free slots, all channels
   std::uint32_t rr_cursor_ = 0;
 
-  struct Pending {
-    sim::Promise<CmdOutcome> promise;
-    std::uint64_t seq = 0;
-  };
-  std::map<std::uint32_t, Pending> pending_;  ///< keyed (chan << 16) | token
+  static constexpr std::size_t kCmdChunk = 64;  ///< arena growth quantum
+  std::vector<std::unique_ptr<PendingCmd[]>> cmd_chunks_;
+  std::size_t cmd_chunk_used_ = kCmdChunk;  ///< forces the first allocation
+  PendingCmd* cmd_free_ = nullptr;
+  std::size_t pending_count_ = 0;  ///< armed commands, all channels
   std::uint64_t cmd_seq_ = 0;
 
   TokenBucket qos_cmds_;

@@ -1,6 +1,7 @@
 #include "driver/client.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
 
 #include "common/log.hpp"
@@ -821,15 +822,20 @@ sim::Task Client::poller(std::shared_ptr<bool> stop) {
       if (*stop) co_return;
       continue;
     }
+    std::array<nvme::CompletionEntry, 32> cqes;
     for (std::uint32_t chan = 0; chan < cfg_.channels; ++chan) {
       bool delivered = false;
-      while (auto cqe = qps_[chan]->poll()) {
-        delivered = true;
-        if (!engine_io_->complete(chan, cqe->cid, cqe->status())) {
-          // Expected under fault injection: the command timed out and was
-          // retried, and this is the original submission completing late.
-          NVS_LOG(warn, "client") << name_ << " completion for unknown cid " << cqe->cid;
+      for (;;) {
+        const std::size_t n = qps_[chan]->reap(cqes);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!engine_io_->complete(chan, cqes[i].cid, cqes[i].status())) {
+            // Expected under fault injection: the command timed out and was
+            // retried, and this is the original submission completing late.
+            NVS_LOG(warn, "client") << name_ << " completion for unknown cid " << cqes[i].cid;
+          }
         }
+        if (n > 0) delivered = true;
+        if (n < cqes.size()) break;
       }
       if (delivered) (void)qps_[chan]->ring_cq_doorbell();
     }

@@ -1,5 +1,7 @@
 #include "driver/local_driver.hpp"
 
+#include <array>
+
 #include "common/log.hpp"
 
 namespace nvmeshare::driver {
@@ -309,11 +311,16 @@ sim::Task LocalDriver::io_task(block::Request request,
 }
 
 void LocalDriver::drain_cq() {
+  std::array<nvme::CompletionEntry, 32> cqes;
   for (std::uint32_t chan = 0; chan < cfg_.channels; ++chan) {
     bool delivered = false;
-    while (auto cqe = qps_[chan]->poll()) {
-      delivered = true;
-      (void)engine_io_->complete(chan, cqe->cid, cqe->status());
+    for (;;) {
+      const std::size_t n = qps_[chan]->reap(cqes);
+      for (std::size_t i = 0; i < n; ++i) {
+        (void)engine_io_->complete(chan, cqes[i].cid, cqes[i].status());
+      }
+      if (n > 0) delivered = true;
+      if (n < cqes.size()) break;
     }
     if (delivered) (void)qps_[chan]->ring_cq_doorbell();
   }

@@ -9,6 +9,7 @@ QueuePair::Stats::Stats()
       sq_doorbells("nvmeshare.queue.sq_doorbells"),
       cq_doorbells("nvmeshare.queue.cq_doorbells"),
       cqes_consumed("nvmeshare.queue.cqes_consumed"),
+      reap_batches("nvmeshare.queue.reap_batches"),
       spurious_cqes("nvmeshare.queue.spurious_cqes") {}
 
 QueuePair::QueuePair(pcie::Fabric& fabric, Config cfg) : fabric_(fabric), cfg_(cfg) {
@@ -49,17 +50,18 @@ Status QueuePair::ring_sq_doorbell() {
   return arrival.status();
 }
 
-std::optional<CompletionEntry> QueuePair::poll() {
-  CompletionEntry e;
+bool QueuePair::take_at_head(CompletionEntry& e) {
   Status st = fabric_.peek(
       cfg_.cpu.host, cfg_.cq_poll_addr + static_cast<std::uint64_t>(cq_head_) * sizeof(e),
       as_writable_bytes_of(e));
-  if (!st) return std::nullopt;
-  if (e.phase() != expected_phase_) return std::nullopt;
+  // Single branch covers both "queue memory unreachable" and "stale phase
+  // tag"; `st` failing leaves `e` unread, and phase() of garbage is never
+  // consulted because && short-circuits on the status first.
+  if (!st || e.phase() != expected_phase_) return false;
 
   cq_head_ = static_cast<std::uint16_t>((cq_head_ + 1) % cfg_.cq_size);
   if (cq_head_ == 0) expected_phase_ = !expected_phase_;
-  if (e.cid < cid_busy_.size() && cid_busy_[e.cid]) {
+  if (e.cid < cid_busy_.size() && cid_busy_[e.cid]) [[likely]] {
     cid_busy_[e.cid] = false;
     --inflight_;
   } else {
@@ -71,7 +73,20 @@ std::optional<CompletionEntry> QueuePair::poll() {
                            << " not in flight (status " << e.status() << ")";
   }
   ++stats_.cqes_consumed;
+  return true;
+}
+
+std::optional<CompletionEntry> QueuePair::poll() {
+  CompletionEntry e;
+  if (!take_at_head(e)) return std::nullopt;
   return e;
+}
+
+std::size_t QueuePair::reap(std::span<CompletionEntry> out) {
+  std::size_t n = 0;
+  while (n < out.size() && take_at_head(out[n])) ++n;
+  if (n > 0) ++stats_.reap_batches;
+  return n;
 }
 
 Status QueuePair::ring_cq_doorbell() {

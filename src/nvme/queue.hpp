@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/status.hpp"
@@ -58,6 +59,13 @@ class QueuePair {
   /// caller models its polling cadence.
   std::optional<CompletionEntry> poll();
 
+  /// Batched reap: drain up to `out.size()` ready completions in one pass.
+  /// Returns the number of entries written (stops at the first slot whose
+  /// phase tag is stale). Rings no doorbell — callers batch that too. A
+  /// non-empty drain counts one `nvmeshare.queue.reap_batches`, so the mean
+  /// batch size is cqes_consumed / reap_batches.
+  std::size_t reap(std::span<CompletionEntry> out);
+
   /// Tell the controller how far the CQ has been consumed.
   Status ring_cq_doorbell();
 
@@ -69,6 +77,8 @@ class QueuePair {
     obs::Counter sq_doorbells;
     obs::Counter cq_doorbells;
     obs::Counter cqes_consumed;
+    /// Non-empty reap() drains (mean batch size = cqes_consumed / reap_batches).
+    obs::Counter reap_batches;
     /// CQEs whose CID was out of range or not in flight (duplicate or
     /// corrupted completion) — consumed, counted, and logged, never
     /// silently dropped.
@@ -77,6 +87,9 @@ class QueuePair {
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
  private:
+  /// Consume the CQ head slot into `e` if a fresh completion is present.
+  bool take_at_head(CompletionEntry& e);
+
   pcie::Fabric& fabric_;
   Config cfg_;
   std::uint16_t sq_tail_ = 0;

@@ -1,5 +1,7 @@
 #include "nvmeof/target.hpp"
 
+#include <array>
+
 #include "common/log.hpp"
 #include "integrity/integrity.hpp"
 #include "obs/trace.hpp"
@@ -203,15 +205,20 @@ sim::Task Target::connection_loop(Connection* conn, std::shared_ptr<bool> stop) 
       continue;
     }
     while (auto wc = conn->cq->poll()) route(*wc);
+    std::array<nvme::CompletionEntry, 32> cqes;
     bool got = false;
-    while (auto cqe = conn->nvme_qp->poll()) {
-      got = true;
-      auto it = conn->nvme_pending.find(cqe->cid);
-      if (it != conn->nvme_pending.end()) {
-        auto promise = std::move(it->second);
-        conn->nvme_pending.erase(it);
-        promise.set(*cqe);
+    for (;;) {
+      const std::size_t n = conn->nvme_qp->reap(cqes);
+      for (std::size_t i = 0; i < n; ++i) {
+        auto it = conn->nvme_pending.find(cqes[i].cid);
+        if (it != conn->nvme_pending.end()) {
+          auto promise = std::move(it->second);
+          conn->nvme_pending.erase(it);
+          promise.set(cqes[i]);
+        }
       }
+      if (n > 0) got = true;
+      if (n < cqes.size()) break;
     }
     if (got) (void)conn->nvme_qp->ring_cq_doorbell();
     co_await sim::delay(engine, std::max<sim::Duration>(cfg_.costs.poll_interval_ns, 100));

@@ -559,6 +559,11 @@ Status Fabric::poke(HostId host, std::uint64_t addr, ConstByteSpan data) {
 Status Fabric::peek(HostId host, std::uint64_t addr, ByteSpan out) {
   auto target = resolve(host, addr, out.size());
   if (!target) return target.status();
+  if (target->kind == Resolved::Kind::dram) {
+    // CQ pollers peek local DRAM every poll round; read straight into the
+    // caller's buffer instead of round-tripping through a temporary.
+    return hosts_[target->host]->dram->read(target->addr, out);
+  }
   Result<Bytes> data = apply_read(*target, out.size());
   if (!data) return data.status();
   std::copy(data->begin(), data->end(), out.begin());

@@ -6,11 +6,35 @@
 // produces the same interleaving. Single-threaded by construction — the
 // parallelism the paper exploits (multiple hosts driving independent queue
 // pairs) is modeled as concurrent *simulated* activities, not OS threads.
+//
+// The event core is built for wall-clock speed (docs/performance.md):
+//
+//  - a calendar queue (bucketed timer wheel) instead of a binary heap.
+//    Time is divided into 2^kSlotShift-ns buckets; a window of kSlots
+//    consecutive buckets is live at once, and anything scheduled past the
+//    window waits in an overflow list. Because every event in the window
+//    is strictly earlier than every overflow event, the overflow is only
+//    consulted when the wheel drains — schedule and dispatch are O(1) on
+//    the hot path (a bitmap scan finds the next non-empty bucket).
+//  - an intrusive node arena: event nodes come from a chunked free list
+//    and callables are constructed into fixed inline storage in the node,
+//    so the steady-state schedule/dispatch cycle performs no heap
+//    allocation (oversized callables fall back to one heap box).
+//
+// Determinism invariants, identical to the original heap-based core:
+// events fire in ascending (timestamp, insertion-seq) order; per-bucket
+// lists are kept (t, seq)-sorted, and the overflow refill re-sorts by
+// (t, seq) before reinserting, so FIFO among equal timestamps holds
+// everywhere.
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
@@ -19,8 +43,6 @@ namespace nvmeshare::sim {
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
-
   Engine();
   ~Engine();
   Engine(const Engine&) = delete;
@@ -29,11 +51,19 @@ class Engine {
   /// Current simulated time.
   [[nodiscard]] Time now() const noexcept { return now_; }
 
-  /// Schedule `fn` at absolute time `t` (>= now()).
-  void at(Time t, Callback fn);
+  /// Schedule `fn` (any void() callable) at absolute time `t` (>= now()).
+  template <typename F>
+  void at(Time t, F&& fn) {
+    EvNode* node = make_node(t);
+    bind_callable(node, std::forward<F>(fn));
+    enqueue(node);
+  }
 
   /// Schedule `fn` after `d` nanoseconds (d >= 0).
-  void after(Duration d, Callback fn) { at(now_ + d, std::move(fn)); }
+  template <typename F>
+  void after(Duration d, F&& fn) {
+    at(now_ + d, std::forward<F>(fn));
+  }
 
   /// Run until no events remain or stop() is called.
   void run();
@@ -50,22 +80,95 @@ class Engine {
   [[nodiscard]] bool stopped() const noexcept { return stopped_; }
 
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
-  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t pending_events() const noexcept { return live_nodes_; }
 
  private:
-  struct Ev {
-    Time t;
-    std::uint64_t seq;  // FIFO among equal timestamps
-    Callback fn;
+  // Wheel geometry: 2048 buckets of 128 ns cover a 262 us window — wide
+  // enough that doorbell stores, switch hops, media service, poll
+  // intervals, and retry backoffs all land in the wheel; only ms-scale
+  // watchdogs visit the overflow list.
+  static constexpr unsigned kSlotShift = 7;            ///< 128 ns per bucket
+  static constexpr std::size_t kSlots = 2048;          ///< live window, power of two
+  static constexpr std::uint64_t kSlotMask = kSlots - 1;
+  static constexpr std::size_t kBitmapWords = kSlots / 64;
+  /// Inline callable storage. Sized for the largest hot-path captures
+  /// (fabric delivery lambdas carrying a small vector plus a resolved
+  /// target); anything bigger takes the heap-box fallback.
+  static constexpr std::size_t kInlineBytes = 88;
+  static constexpr std::size_t kChunkNodes = 256;  ///< arena growth quantum
+
+  /// One scheduled event: intrusive list node + type-erased callable.
+  struct EvNode {
+    Time t = 0;
+    std::uint64_t seq = 0;  ///< FIFO among equal timestamps
+    EvNode* next = nullptr;
+    void (*run)(EvNode*) = nullptr;   ///< invoke, then destroy the callable
+    void (*drop)(EvNode*) = nullptr;  ///< destroy without invoking (teardown)
+    alignas(std::max_align_t) std::byte storage[kInlineBytes];
   };
-  struct EvCompare {
-    bool operator()(const Ev& a, const Ev& b) const noexcept {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
+  struct Bucket {
+    EvNode* head = nullptr;
+    EvNode* tail = nullptr;
   };
 
-  std::priority_queue<Ev, std::vector<Ev>, EvCompare> queue_;
+  template <typename F>
+  static void bind_callable(EvNode* node, F&& fn) {
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, Fn&>, "event callable must be void()");
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(node->storage)) Fn(std::forward<F>(fn));
+      node->run = [](EvNode* n) {
+        Fn* f = std::launder(reinterpret_cast<Fn*>(n->storage));
+        (*f)();
+        f->~Fn();
+      };
+      node->drop = [](EvNode* n) {
+        std::launder(reinterpret_cast<Fn*>(n->storage))->~Fn();
+      };
+    } else {
+      ::new (static_cast<void*>(node->storage)) Fn*(new Fn(std::forward<F>(fn)));
+      node->run = [](EvNode* n) {
+        Fn* f = *std::launder(reinterpret_cast<Fn**>(n->storage));
+        (*f)();
+        delete f;
+      };
+      node->drop = [](EvNode* n) {
+        delete *std::launder(reinterpret_cast<Fn**>(n->storage));
+      };
+    }
+  }
+
+  [[nodiscard]] static std::uint64_t slot_of(Time t) noexcept {
+    return static_cast<std::uint64_t>(t) >> kSlotShift;
+  }
+
+  [[nodiscard]] EvNode* make_node(Time t);
+  void enqueue(EvNode* node);
+  void insert_bucket(std::uint64_t abs_slot, EvNode* node);
+  /// Unlink and return the earliest event with t <= limit, or nullptr.
+  [[nodiscard]] EvNode* pop_next(Time limit);
+  /// Jump the window to the earliest overflow event and move everything
+  /// that now fits into the wheel (the wheel must be empty).
+  void refill(Time min_t);
+  [[nodiscard]] std::uint64_t scan_bitmap(std::uint64_t start_phys) const;
+  void recycle(EvNode* node) noexcept;
+  void drop_all() noexcept;
+
+  // --- calendar wheel -------------------------------------------------------
+  std::unique_ptr<Bucket[]> buckets_;        ///< kSlots, indexed abs_slot & kSlotMask
+  std::uint64_t bitmap_[kBitmapWords] = {};  ///< non-empty buckets (physical index)
+  std::vector<EvNode*> overflow_;            ///< events past the window, unordered
+  std::vector<EvNode*> refill_scratch_;
+  std::uint64_t window_slot_ = 0;  ///< abs slot of the window base
+  std::uint64_t cursor_slot_ = 0;  ///< abs slot the dispatch cursor reached
+  std::size_t wheel_count_ = 0;    ///< events currently in buckets
+
+  // --- node arena -----------------------------------------------------------
+  std::vector<std::unique_ptr<EvNode[]>> chunks_;
+  std::size_t chunk_used_ = kChunkNodes;  ///< forces the first chunk allocation
+  EvNode* free_list_ = nullptr;
+  std::size_t live_nodes_ = 0;  ///< scheduled and not yet fired
+
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;

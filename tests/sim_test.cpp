@@ -1,6 +1,9 @@
 // Unit tests for the discrete-event engine and coroutine primitives.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <queue>
+#include <random>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -338,6 +341,195 @@ TEST(Determinism, SameScheduleTwice) {
     return order;
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+// --- calendar-queue vs reference-heap property sweep --------------------------
+//
+// The calendar queue must fire events in exactly the order the old binary
+// heap did: ascending (timestamp, insertion-seq). Both sides replay the same
+// deterministic program — event ids are allocated in schedule order, and an
+// event's children (count + deltas) are a pure hash of (round, id) — so as
+// long as both fire ids in the same order, the two id streams stay in
+// lockstep. The delta mix deliberately covers same-bucket ties, exact bucket
+// boundaries, the window edge, and the overflow list.
+
+namespace wheelprop {
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+Duration delta_of(std::uint64_t round, std::uint64_t id, std::uint64_t k) {
+  const std::uint64_t h = mix(round * 1'000'003 + id * 131 + k);
+  switch (h % 8) {
+    case 0: return 0;
+    case 1: return static_cast<Duration>(mix(h) % 4);            // same bucket
+    case 2: return static_cast<Duration>(mix(h) % 200);          // near buckets
+    case 3: return static_cast<Duration>(mix(h) % 5000);
+    case 4: return static_cast<Duration>(mix(h) % 300'000);      // window edge
+    case 5: return static_cast<Duration>(mix(h) % 3'000'000);    // overflow
+    case 6: return 128 * static_cast<Duration>(mix(h) % 3000);   // bucket boundary
+    default: return static_cast<Duration>(mix(h) % 100'000'000);  // far future
+  }
+}
+
+std::uint64_t fanout_of(std::uint64_t round, std::uint64_t id) {
+  return mix(round * 7 + id * 31 + 5) % 3;  // 0..2 children per event
+}
+
+struct WheelSide {
+  Engine eng;
+  std::vector<std::uint64_t> fired;
+  std::uint64_t next_id = 0;
+  std::uint64_t round = 0;
+  std::uint64_t budget = 0;  // stop expanding once this many ids allocated
+
+  void schedule(Duration d) {
+    const std::uint64_t id = next_id++;
+    eng.after(d, [this, id]() { fire(id); });
+  }
+  void fire(std::uint64_t id) {
+    fired.push_back(id);
+    if (next_id >= budget) return;
+    const std::uint64_t n = fanout_of(round, id);
+    for (std::uint64_t k = 0; k < n; ++k) schedule(delta_of(round, id, k));
+  }
+};
+
+/// Reference implementation: the old heap core's exact semantics, including
+/// (t, seq) tie-break, the t < now clamp, and run_until's clock advance.
+struct HeapSide {
+  struct Ev {
+    Time t;
+    std::uint64_t seq;
+    std::uint64_t id;
+  };
+  struct Cmp {
+    bool operator()(const Ev& a, const Ev& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Ev, std::vector<Ev>, Cmp> q;
+  Time now = 0;
+  std::uint64_t seq = 0;
+  std::vector<std::uint64_t> fired;
+  std::uint64_t next_id = 0;
+  std::uint64_t round = 0;
+  std::uint64_t budget = 0;
+
+  void schedule(Duration d) {
+    const Time t = now + d;
+    q.push({t < now ? now : t, seq++, next_id++});
+  }
+  void fire(const Ev& e) {
+    now = e.t;
+    fired.push_back(e.id);
+    if (next_id >= budget) return;
+    const std::uint64_t n = fanout_of(round, e.id);
+    for (std::uint64_t k = 0; k < n; ++k) schedule(delta_of(round, e.id, k));
+  }
+  void run_until(Time t) {
+    while (!q.empty() && q.top().t <= t) {
+      Ev e = q.top();
+      q.pop();
+      fire(e);
+    }
+    if (now < t) now = t;
+  }
+  void run() {
+    while (!q.empty()) {
+      Ev e = q.top();
+      q.pop();
+      fire(e);
+    }
+  }
+};
+
+}  // namespace wheelprop
+
+TEST(CalendarQueueProperty, MatchesReferenceHeapOver1kSeededRounds) {
+  using namespace wheelprop;
+  for (std::uint64_t round = 0; round < 1000; ++round) {
+    WheelSide wheel;
+    HeapSide heap;
+    wheel.round = heap.round = round;
+    wheel.budget = heap.budget = 400;
+
+    for (int i = 0; i < 40; ++i) {
+      const Duration d = delta_of(round, 1'000'000 + i, 0);
+      wheel.schedule(d);
+      heap.schedule(d);
+    }
+
+    // Interleave run_until steps with roots scheduled from *outside* any
+    // callback — now() sits wherever the previous step left it, possibly
+    // mid-window after an early drain. This is the interleaving that
+    // exposes cursor-placement bugs a pure run() sweep cannot.
+    std::mt19937_64 driver(round ^ 0xabcdef);
+    for (int s = 0; s < 6; ++s) {
+      for (int j = 0; j < 3; ++j) {
+        const Duration d = delta_of(round, 2'000'000 + s * 10 + j, 0);
+        wheel.schedule(d);
+        heap.schedule(d);
+      }
+      const Duration step = static_cast<Duration>(driver() % 2'000'000);
+      wheel.eng.run_until(wheel.eng.now() + step);
+      heap.run_until(heap.now + step);
+      ASSERT_EQ(wheel.eng.pending_events(), heap.q.size())
+          << "round " << round << " step " << s;
+      ASSERT_EQ(wheel.eng.now(), heap.now) << "round " << round << " step " << s;
+    }
+    wheel.eng.run();
+    heap.run();
+    ASSERT_EQ(wheel.fired, heap.fired) << "firing order diverged in round " << round;
+  }
+}
+
+TEST(CalendarQueueProperty, StopAndRerunResumesInOrder) {
+  using namespace wheelprop;
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    e.after(100 * (i % 4), [&order, i]() { order.push_back(i); });
+  }
+  e.after(100, [&e]() { e.stop(); });
+  e.run();
+  EXPECT_TRUE(e.stopped());
+  EXPECT_LT(order.size(), 8u);
+  e.run();  // resume: remaining events fire in the same global order
+  ASSERT_EQ(order.size(), 8u);
+  EXPECT_EQ(order, (std::vector<int>{0, 4, 1, 5, 2, 6, 3, 7}));
+}
+
+// Regression: run_until that drains early must leave the dispatch cursor at
+// the last *popped* position, not parked on the next (future) bucket. If the
+// cursor moves on a peek, events scheduled afterwards — at t >= now() but
+// before that future bucket, e.g. exactly one 128 ns bucket ahead — land
+// "behind" the cursor, where the wrapped bitmap scan misorders or skips
+// them. Seen in the wild as a mailbox request vanishing between poll rounds.
+TEST(Engine, ScheduleAfterEarlyDrainAtBucketBoundaryKeepsOrder) {
+  Engine e;
+  std::vector<int> order;
+  // One far event parks in a future bucket; run_until(t) with t well before
+  // it drains nothing but advances now() to t.
+  e.after(10'000, [&order]() { order.push_back(99); });
+  EXPECT_EQ(e.run_until(1'000), 0u);
+  EXPECT_EQ(e.now(), 1'000);
+  // Schedule between now() and the far event, straddling bucket boundaries
+  // of the 128 ns wheel (1024 and 1152 are exact boundaries; 1100 is not).
+  e.after(24, [&order]() { order.push_back(0); });    // t=1024, boundary
+  e.after(100, [&order]() { order.push_back(1); });   // t=1100
+  e.after(152, [&order]() { order.push_back(2); });   // t=1152, boundary
+  e.after(0, [&order]() { order.push_back(3); });     // t=1000, same slot as now
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{3, 0, 1, 2, 99}));
+  EXPECT_EQ(e.now(), 10'000);
 }
 
 }  // namespace
