@@ -37,6 +37,7 @@ struct Scenario {
   std::unique_ptr<driver::LocalDriver> local;
   std::unique_ptr<nvmeof::Target> target;
   std::unique_ptr<nvmeof::Initiator> initiator;
+  std::vector<std::unique_ptr<driver::Manager>> standbys;
 };
 
 inline TestbedConfig default_bench_testbed(std::uint32_t hosts) {
@@ -129,6 +130,22 @@ inline Scenario make_ours_remote(driver::Client::Config client_cfg = {},
   s.device = s.client.get();
   s.workload_node = 1;
   return s;
+}
+
+/// Start `count` hot-standby managers on hosts 2..2+count-1 of an ours-remote
+/// scenario. The active manager must publish leases (mgr_cfg.lease_duration_ns
+/// > 0) and the testbed must have 2 + count hosts. Each standby gets distinct
+/// segment ids so its metadata segment can coexist with the active manager's.
+inline void add_standbys(Scenario& s, std::uint32_t count, driver::Manager::Config mgr_cfg) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    driver::Manager::Config sc = mgr_cfg;
+    sc.metadata_segment_id = 0x4d455442 + i;  // "METB", "METC", ...
+    sc.private_segment_base = 0x4e000000 + (static_cast<sisci::SegmentId>(i) << 8);
+    auto sb = s.testbed->wait(driver::Manager::start_standby(
+        s.testbed->service(), static_cast<sisci::NodeId>(2 + i), s.testbed->device_id(), sc));
+    if (!sb) die("standby manager bring-up", sb.status());
+    s.standbys.push_back(std::move(*sb));
+  }
 }
 
 /// Run one FIO-style job on a scenario and return the result. With

@@ -27,7 +27,9 @@ Client::Stats::Stats()
       cmd_retries("nvmeshare.client.cmd_retries"),
       qp_recoveries("nvmeshare.client.qp_recoveries"),
       late_completions("nvmeshare.client.late_completions"),
-      heartbeats("nvmeshare.client.heartbeats") {}
+      heartbeats("nvmeshare.client.heartbeats"),
+      mailbox_retries("nvmeshare.client.mailbox_retries"),
+      manager_failovers("nvmeshare.client.manager_failovers") {}
 
 namespace {
 obs::Kind trace_kind(block::Op op) {
@@ -257,6 +259,16 @@ sim::Task Client::init_task(std::unique_ptr<Client> self,
     co_return;
   }
   c.mbox_addr_ = c.meta_map_.addr() + mbox_slot_offset(c.header_, c.node_);
+  c.meta_loc_ = meta_loc;
+  if (c.cfg_.mailbox_retry_limit > 1) {
+    // HA-aware client: remember the serving manager's epoch so a response
+    // written by a fenced manager can be recognized as stale after a
+    // takeover. Gated on the retry knob — the extra timed read would
+    // otherwise perturb the fault-free seed instruction stream.
+    auto lease =
+        co_await fabric.read(cpu, c.meta_map_.addr() + kLeaseOffset, sizeof(ManagerLease));
+    if (lease) c.lease_epoch_ = load_pod<ManagerLease>(*lease).epoch;
+  }
 
   // 3. Queue memory. CQ is polled by this CPU -> local. SQ placement is the
   //    Figure 8 policy knob. One segment per purpose holds every channel's
@@ -461,53 +473,160 @@ sim::Future<Result<MboxSlot>> Client::mailbox_call(MboxSlot request) {
   return promise.future();
 }
 
+// One attempt posts the request, polls the state word until the manager
+// flips it to done, reads the full slot back and frees it. With the retry
+// knob off that is the whole story (the seed instruction stream); with it
+// on, a timed-out or transport-failed attempt backs off exponentially,
+// follows a possible manager takeover (the metadata registration moves to
+// the standby's fresh segment) and re-posts. Duplicate grants from a
+// re-post the old manager already served are safe: the manager reclaims a
+// same-client grant whose SQ address overlaps before creating the new one.
 sim::Task Client::mailbox_call_task(MboxSlot request, sim::Promise<Result<MboxSlot>> promise) {
   sim::Engine& eng = engine();
   pcie::Fabric& fab = fabric();
   const pcie::Initiator cpu = fab.cpu(node_);
   co_await mailbox_lock_->acquire();
 
-  request.state = static_cast<std::uint32_t>(MboxState::request);
-  request.client_node = node_;
-  Bytes buf(sizeof(MboxSlot));
-  store_pod(buf, request);
-  if (auto arr = fab.post_write(cpu, mbox_addr_, std::move(buf)); !arr) {
+  const std::uint32_t attempts = std::max<std::uint32_t>(cfg_.mailbox_retry_limit, 1);
+  Status last = Status(Errc::timed_out, "manager did not answer mailbox request");
+  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.mailbox_retries;
+      co_await sim::delay(eng, block::IoEngine::backoff_ns(cfg_.mailbox_retry_backoff_ns,
+                                                           attempt, cfg_.retry_backoff_max_ns));
+      if (*stop_ || crashed_) {
+        last = Status(Errc::aborted, "client stopped during mailbox retry");
+        break;
+      }
+      if (Status st = co_await refresh_manager(); !st) {
+        last = st;
+        continue;  // registration gone or unreadable; back off and look again
+      }
+    }
+    request.state = static_cast<std::uint32_t>(MboxState::request);
+    request.client_node = node_;
+    Bytes buf(sizeof(MboxSlot));
+    store_pod(buf, request);
+    if (auto arr = fab.post_write(cpu, mbox_addr_, std::move(buf)); !arr) {
+      last = arr.status();
+      if (attempts == 1) break;  // terminal on a single attempt (seed behavior)
+      continue;
+    }
+
+    const sim::Time deadline = eng.now() + cfg_.mailbox_timeout_ns;
+    bool done = false;
+    bool fatal = false;
+    for (;;) {
+      co_await sim::delay(eng, cfg_.mailbox_poll_ns);
+      // Poll the state word with a remote read through the NTB.
+      auto state = co_await fab.read(cpu, mbox_addr_, 4);
+      if (!state) {
+        last = state.status();
+        fatal = attempts == 1;  // a downed manager host is retryable with HA on
+        break;
+      }
+      if (load_pod<std::uint32_t>(*state) == static_cast<std::uint32_t>(MboxState::done)) {
+        done = true;
+        break;
+      }
+      if (eng.now() >= deadline) {
+        last = Status(Errc::timed_out, "manager did not answer mailbox request");
+        break;
+      }
+    }
+    if (fatal) break;
+    if (!done) continue;
+
+    auto full = co_await fab.read(cpu, mbox_addr_, sizeof(MboxSlot));
+    if (!full) {
+      last = full.status();
+      if (attempts == 1) break;
+      continue;
+    }
+    MboxSlot response = load_pod<MboxSlot>(*full);
+
+    // Hand the slot back.
+    Bytes free_word(4);
+    store_pod(free_word, static_cast<std::uint32_t>(MboxState::free));
+    (void)fab.post_write(cpu, mbox_addr_, std::move(free_word));
+
+    // Epoch check (HA only): a fenced manager that answered after losing its
+    // lease stamps the old epoch; drop the response and ask the new one.
+    if (cfg_.mailbox_retry_limit > 1 && lease_epoch_ != 0 && response.epoch != 0) {
+      if (response.epoch < lease_epoch_) {
+        last = Status(Errc::unavailable, "mailbox response from a fenced manager epoch");
+        continue;
+      }
+      lease_epoch_ = response.epoch;
+    }
     mailbox_lock_->release();
-    promise.set(arr.status());
+    promise.set(response);
     co_return;
   }
-
-  const sim::Time deadline = eng.now() + cfg_.mailbox_timeout_ns;
-  for (;;) {
-    co_await sim::delay(eng, cfg_.mailbox_poll_ns);
-    // Poll the state word with a remote read through the NTB.
-    auto state = co_await fab.read(cpu, mbox_addr_, 4);
-    if (!state) {
-      mailbox_lock_->release();
-      promise.set(state.status());
-      co_return;
-    }
-    if (load_pod<std::uint32_t>(*state) == static_cast<std::uint32_t>(MboxState::done)) break;
-    if (eng.now() >= deadline) {
-      mailbox_lock_->release();
-      promise.set(Status(Errc::timed_out, "manager did not answer mailbox request"));
-      co_return;
-    }
-  }
-  auto full = co_await fab.read(cpu, mbox_addr_, sizeof(MboxSlot));
-  if (!full) {
-    mailbox_lock_->release();
-    promise.set(full.status());
-    co_return;
-  }
-  MboxSlot response = load_pod<MboxSlot>(*full);
-
-  // Hand the slot back.
-  Bytes free_word(4);
-  store_pod(free_word, static_cast<std::uint32_t>(MboxState::free));
-  (void)fab.post_write(cpu, mbox_addr_, std::move(free_word));
   mailbox_lock_->release();
-  promise.set(response);
+  promise.set(last);
+}
+
+sim::Future<Status> Client::refresh_manager() {
+  sim::Promise<Status> promise(engine());
+  refresh_manager_task(promise);
+  return promise.future();
+}
+
+// Follow a manager takeover: SmartIO's metadata registration is the source
+// of truth for who serves the device. When it moved, connect and map the
+// successor's segment, validate its header, re-learn the lease epoch, and
+// recompute this node's mailbox slot address. Heartbeats and retried
+// mailbox calls then land in the new manager's segment; nothing about the
+// established queue pairs changes (the takeover adopted them).
+sim::Task Client::refresh_manager_task(sim::Promise<Status> promise) {
+  pcie::Fabric& fab = fabric();
+  sisci::Cluster& cluster = service_.cluster();
+  const pcie::Initiator cpu = fab.cpu(node_);
+
+  auto loc = service_.device_metadata(device_id_);
+  if (!loc) {
+    promise.set(Status(Errc::unavailable, "device has no manager metadata registered"));
+    co_return;
+  }
+  if (*loc == meta_loc_) {
+    promise.set(Status::ok());  // nothing moved; the current mapping stands
+    co_return;
+  }
+  auto remote = cluster.connect(loc->first, loc->second);
+  if (!remote) {
+    promise.set(remote.status());
+    co_return;
+  }
+  auto map = sisci::Map::create(cluster, node_, *remote);
+  if (!map) {
+    promise.set(map.status());
+    co_return;
+  }
+  auto hdr = co_await fab.read(cpu, map->addr(), sizeof(MetadataHeader));
+  if (!hdr) {
+    promise.set(hdr.status());
+    co_return;
+  }
+  const MetadataHeader header = load_pod<MetadataHeader>(*hdr);
+  if (header.magic != kMetadataMagic || header.version != kMetadataVersion) {
+    promise.set(Status(Errc::protocol_error, "successor metadata segment is malformed"));
+    co_return;
+  }
+  if (node_ >= header.mailbox_slots) {
+    promise.set(Status(Errc::out_of_range, "no mailbox slot for this node"));
+    co_return;
+  }
+  auto lease = co_await fab.read(cpu, map->addr() + kLeaseOffset, sizeof(ManagerLease));
+  if (lease) lease_epoch_ = load_pod<ManagerLease>(*lease).epoch;
+  meta_map_ = std::move(*map);
+  header_ = header;
+  meta_loc_ = *loc;
+  mbox_addr_ = meta_map_.addr() + mbox_slot_offset(header_, node_);
+  ++stats_.manager_failovers;
+  NVS_LOG(info, "client") << name_ << " followed manager failover to node " << loc->first
+                          << " (epoch " << lease_epoch_ << ")";
+  promise.set(Status::ok());
 }
 
 // --- data path -----------------------------------------------------------------------
@@ -951,6 +1070,17 @@ sim::Task Client::heartbeat_task(std::shared_ptr<bool> stop) {
   for (;;) {
     co_await sim::delay(eng, cfg_.heartbeat_interval_ns);
     if (*stop) co_return;
+    if (cfg_.mailbox_retry_limit > 1) {
+      // HA-aware survivor: if the metadata registration moved (takeover),
+      // re-home so beats land in the new manager's segment — its reaper
+      // watches the new slots, and a survivor that kept beating into the
+      // dead segment would look orphaned once the grace window closes.
+      auto loc = service_.device_metadata(device_id_);
+      if (loc && *loc != meta_loc_) {
+        (void)co_await refresh_manager();
+        if (*stop) co_return;
+      }
+    }
     Bytes beat(8);
     store_pod(beat, static_cast<std::uint64_t>(eng.now()));
     (void)fab.post_write(cpu, mbox_addr_ + offsetof(MboxSlot, heartbeat_ns), std::move(beat));

@@ -85,6 +85,17 @@ class Client final : public block::BlockDevice, private block::IoTransport {
     /// Cadence of the liveness heartbeat posted into this client's mailbox
     /// slot (the manager's reaper watches it). 0 disables heartbeating.
     sim::Duration heartbeat_interval_ns = 0;
+    /// Mailbox RPC attempts (attach, QP create/delete/recover). 0 or 1 =
+    /// single attempt, a timeout is terminal (seed behavior). More: each
+    /// timed-out attempt backs off exponentially, re-resolves the manager —
+    /// a takeover moves the metadata segment — and re-posts, so admin work
+    /// issued during a manager outage completes once a standby is active.
+    /// Responses are also epoch-checked against the last lease read
+    /// (docs/MODEL.md §10): a fenced manager cannot confirm a grant.
+    std::uint32_t mailbox_retry_limit = 0;
+    /// Backoff before the second mailbox attempt; doubles per attempt,
+    /// clamped by retry_backoff_max_ns.
+    sim::Duration mailbox_retry_backoff_ns = 200'000;
     /// End-to-end protection information (docs/MODEL.md §7). When set, the
     /// client generates a DIF tuple per block before the bounce copy of a
     /// write (and submits with PRACT so the controller seals its copy),
@@ -169,6 +180,8 @@ class Client final : public block::BlockDevice, private block::IoTransport {
     obs::Counter qp_recoveries;      ///< queue-pair re-create cycles
     obs::Counter late_completions;   ///< CQEs whose command already timed out
     obs::Counter heartbeats;         ///< liveness beats posted to the mailbox
+    obs::Counter mailbox_retries;    ///< mailbox attempts after a timeout
+    obs::Counter manager_failovers;  ///< re-resolves that found a new manager
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -185,6 +198,12 @@ class Client final : public block::BlockDevice, private block::IoTransport {
   sim::Task detach_task(sim::Promise<Status> promise);
   sim::Task recover_task(std::uint32_t chan, std::shared_ptr<bool> stop);
   sim::Task heartbeat_task(std::shared_ptr<bool> stop);
+  /// Re-look-up the manager's metadata registration and, if it moved (a
+  /// standby took over), re-connect, re-map, re-read the header/lease and
+  /// recompute this node's mailbox slot address. Returns ok when the
+  /// mailbox address is usable (moved or not).
+  sim::Future<Status> refresh_manager();
+  sim::Task refresh_manager_task(sim::Promise<Status> promise);
 
   // --- block::IoTransport (the NVMe queue-pair personality) ----------------
   Result<std::uint16_t> issue(std::uint32_t chan, void* cookie) override;
@@ -220,6 +239,10 @@ class Client final : public block::BlockDevice, private block::IoTransport {
   sisci::Map meta_map_;
   MetadataHeader header_;
   std::uint64_t mbox_addr_ = 0;  ///< this node's slot, client-visible address
+  /// Where the metadata registration pointed when we last resolved it; a
+  /// mismatch against SmartIO means a standby manager took over.
+  std::pair<smartio::NodeId, sisci::SegmentId> meta_loc_{};
+  std::uint64_t lease_epoch_ = 0;  ///< manager epoch from the last lease read
 
   sisci::Segment sq_seg_;
   sisci::Segment cq_seg_;

@@ -24,7 +24,14 @@ inline constexpr std::uint64_t kMetadataMagic = 0x31415445'4d53564eULL;  // "NVS
 // table published in the metadata segment (kQosPolicyOffset) and echoes the
 // granted values back. All fields are carved from pad2, so v1-v3 layouts
 // are unchanged — but the semantics of a grant differ, hence the bump.
-inline constexpr std::uint32_t kMetadataVersion = 4;
+// v5: manager high availability. The reserved header area gains a
+// ManagerLease (epoch + lease expiry, renewed by the active manager and
+// watched by hot standbys), an AdminRingJournal (where the admin rings live
+// and how far they have advanced, so a standby can adopt them without a
+// controller reset), and a per-qid owner table written ahead of every grant
+// (so a standby can reconstruct grant/QoS state and roll back half-done
+// creates). MboxSlot carves `epoch` from pad6 so responses are fenceable.
+inline constexpr std::uint32_t kMetadataVersion = 5;
 
 /// Most queue pairs one batch request can grant or revoke (the qid list
 /// must fit the fixed 128-byte slot).
@@ -115,7 +122,12 @@ struct MboxSlot {
   std::uint32_t qos_bytes_per_s = 0;      ///< in: requested bytes/s budget
   std::uint32_t qos_granted_iops = 0;     ///< out: granted IOPS (0 = unpaced)
   std::uint32_t qos_granted_bytes_per_s = 0;  ///< out: granted bytes/s
-  std::uint32_t pad6 = 0;  // keeps the slot a cache-line multiple
+
+  /// out (v5): epoch of the manager that served this response. A client with
+  /// retries enabled rejects responses from an epoch older than the lease it
+  /// last read — a fenced manager cannot confirm grants. Keeps the slot a
+  /// cache-line multiple (was pad6).
+  std::uint32_t epoch = 0;
 };
 static_assert(sizeof(MboxSlot) == 128);
 
@@ -140,6 +152,95 @@ static_assert(sizeof(QosPolicyTable) == 64);
 /// Byte offset of the QoS policy table: right after the fixed header,
 /// inside the 4096-byte reserved area that precedes the mailbox slots.
 inline constexpr std::uint64_t kQosPolicyOffset = 64;
+
+/// ManagerLease::state values.
+enum class LeaseState : std::uint32_t {
+  none = 0,      ///< manager does not publish leases (lease_duration_ns = 0)
+  active = 1,    ///< epoch holder is serving and renewing
+  claiming = 2,  ///< a standby has claimed the next epoch and is taking over
+};
+
+/// Manager liveness lease (v5), at kLeaseOffset. The active manager renews
+/// `expires_at_ns` every lease_duration/4; a standby that reads a lease past
+/// its expiry claims `epoch + 1` by writing this slot (node-staggered, so
+/// concurrent standbys resolve deterministically). epoch 0 means the device
+/// was brought up without HA — standbys refuse to watch it.
+struct ManagerLease {
+  std::uint64_t epoch = 0;
+  std::uint64_t expires_at_ns = 0;  ///< sim time the lease lapses
+  std::uint32_t manager_node = 0;   ///< current (or claiming) epoch holder
+  std::uint32_t state = 0;          ///< LeaseState
+};
+static_assert(sizeof(ManagerLease) == 24);
+
+inline constexpr std::uint64_t kLeaseOffset = 128;
+
+/// Where the admin rings live and how far they have advanced (v5), at
+/// kAdminJournalOffset. AQA/ASQ/ACQ are latched at CC.EN — rebuilding them
+/// would require a controller reset that kills every I/O queue — so a
+/// standby must *continue* the old rings. The active manager journals the
+/// ring cursors right after pushing an SQE (before the doorbell) and after
+/// consuming each completion; the journal is local memory, so the writes
+/// cost nothing on the admin path.
+struct AdminRingJournal {
+  std::uint32_t asq_node = 0;     ///< host whose DRAM holds the ASQ
+  std::uint32_t asq_segment = 0;  ///< sisci segment id of the ASQ
+  std::uint32_t acq_node = 0;
+  std::uint32_t acq_segment = 0;
+  std::uint16_t entries = 0;  ///< ring size (AQA programs both rings alike)
+  std::uint16_t sq_tail = 0;
+  std::uint16_t cq_head = 0;
+  std::uint16_t next_cid = 0;
+  std::uint32_t phase = 1;  ///< expected CQ phase tag (0/1)
+  std::uint32_t pad = 0;
+};
+static_assert(sizeof(AdminRingJournal) == 32);
+
+inline constexpr std::uint64_t kAdminJournalOffset = 160;
+
+/// QpOwnerEntry::state values. `pending` is a write-ahead intent: it is
+/// written before the admin create commands are issued and flipped to
+/// `active` only after both succeed, so a takeover can roll back grants the
+/// old manager died in the middle of.
+enum class QpOwnerState : std::uint32_t {
+  free = 0,
+  pending = 1,
+  active = 2,
+};
+
+/// One per-qid grant record (v5), at kOwnerTableOffset + qid * sizeof. The
+/// manager mirrors its private grant bookkeeping here on every transition;
+/// a standby reconstructs qid ownership, QoS grants, and reaper state by
+/// scanning this table — no new source of truth, just the existing one made
+/// crash-readable.
+struct QpOwnerEntry {
+  std::uint32_t state = 0;  ///< QpOwnerState
+  std::uint32_t owner_node = 0;
+  std::uint64_t sq_device_addr = 0;
+  std::uint64_t cq_device_addr = 0;
+  std::uint64_t created_at_ns = 0;  ///< grant time (reaper grace anchor)
+  std::uint16_t sq_size = 0;
+  std::uint16_t cq_size = 0;
+  std::uint8_t qos_class = 0;  ///< granted SqPriority
+  std::uint8_t pad0 = 0;
+  std::uint16_t pad1 = 0;
+  std::uint32_t granted_iops = 0;
+  std::uint32_t granted_bytes_per_s = 0;
+};
+static_assert(sizeof(QpOwnerEntry) == 48);
+
+/// Owner-table capacity: the controller ceiling on queue pairs (31 I/O
+/// queues + admin), rounded to a power of two.
+inline constexpr std::uint32_t kOwnerTableEntries = 32;
+
+inline constexpr std::uint64_t kOwnerTableOffset = 256;
+static_assert(kOwnerTableOffset + kOwnerTableEntries * sizeof(QpOwnerEntry) <= 4096,
+              "owner table must fit the reserved header area");
+
+/// Byte offset of qid `q`'s owner entry within the metadata segment.
+constexpr std::uint64_t owner_entry_offset(std::uint16_t q) {
+  return kOwnerTableOffset + static_cast<std::uint64_t>(q) * sizeof(QpOwnerEntry);
+}
 
 /// Byte offset of node `n`'s slot within the metadata segment.
 constexpr std::uint64_t mbox_slot_offset(const MetadataHeader& h, std::uint32_t node) {

@@ -1,6 +1,8 @@
 #include "driver/manager.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstring>
 
 #include "common/log.hpp"
 #include "fault/fault.hpp"
@@ -15,6 +17,26 @@ namespace {
 constexpr sim::Duration kRegPollNs = 1000;
 constexpr int kRegPollLimit = 1000;
 constexpr sim::Duration kAdminTimeoutNs = 50_ms;
+// Standby bring-up: how long to keep retrying the shared device acquisition
+// and the metadata lookup while the active manager is still initializing.
+constexpr sim::Duration kStandbyRetryNs = 50'000;
+constexpr int kStandbyRetryLimit = 200;
+
+QpOwnerEntry make_owner_entry(const MboxSlot& slot, std::uint64_t sq_base,
+                              std::uint64_t cq_base, QpOwnerState state, sim::Time now) {
+  QpOwnerEntry e;
+  e.state = static_cast<std::uint32_t>(state);
+  e.owner_node = slot.client_node;
+  e.sq_device_addr = sq_base;
+  e.cq_device_addr = cq_base;
+  e.created_at_ns = now;
+  e.sq_size = slot.sq_size;
+  e.cq_size = slot.cq_size;
+  e.qos_class = slot.qos_granted_class;
+  e.granted_iops = slot.qos_granted_iops;
+  e.granted_bytes_per_s = slot.qos_granted_bytes_per_s;
+  return e;
+}
 }  // namespace
 
 Manager::Stats::Stats()
@@ -25,7 +47,12 @@ Manager::Stats::Stats()
       qps_reaped("nvmeshare.manager.qps_reaped"),
       ctrl_resets("nvmeshare.manager.ctrl_resets"),
       scrub_sweeps("nvmeshare.manager.scrub_sweeps"),
-      scrub_mismatches("nvmeshare.manager.scrub_mismatches") {}
+      scrub_mismatches("nvmeshare.manager.scrub_mismatches"),
+      lease_renewals("nvmeshare.manager.lease_renewals"),
+      takeovers("nvmeshare.manager.takeovers"),
+      fencings("nvmeshare.manager.fencings"),
+      qps_adopted("nvmeshare.manager.qps_adopted"),
+      intent_rollbacks("nvmeshare.manager.intent_rollbacks") {}
 
 Manager::Manager(smartio::Service& service, smartio::NodeId node, smartio::DeviceId device,
                  Config cfg)
@@ -44,10 +71,20 @@ std::uint16_t Manager::active_queue_pairs() const {
 }
 
 void Manager::shutdown() {
+  if (standby_) {  // still watching: nothing published, just stop the watch
+    standby_ = false;
+    *stop_ = true;
+    return;
+  }
   if (!serving_) return;
   serving_ = false;
   *stop_ = true;
-  (void)service_.clear_device_metadata(device_id_);
+  // Only withdraw the registration while it still names this instance — a
+  // fenced or superseded manager must not clobber its successor's.
+  auto loc = service_.device_metadata(device_id_);
+  if (loc && loc->first == node_ && loc->second == cfg_.metadata_segment_id) {
+    (void)service_.clear_device_metadata(device_id_);
+  }
 }
 
 void Manager::crash() {
@@ -287,6 +324,22 @@ sim::Task Manager::init_task(std::unique_ptr<Manager> self,
   m.qid_used_[0] = true;  // admin
   m.qid_owner_.assign(granted + 1u, 0);
   m.qid_created_at_.assign(granted + 1u, 0);
+  m.qid_sq_addr_.assign(granted + 1u, 0);
+
+  // v5: persist where the admin rings live and their cursors so a standby
+  // can continue them without a controller reset (AQA/ASQ/ACQ are latched
+  // at enable — rebuilding them would kill every client's I/O queues).
+  m.journal_.asq_node = m.asq_seg_.node();
+  m.journal_.asq_segment = m.asq_seg_.id();
+  m.journal_.acq_node = m.acq_seg_.node();
+  m.journal_.acq_segment = m.acq_seg_.id();
+  m.journal_.entries = entries;
+  m.journal_ready_ = true;
+  m.journal_admin_ring();
+  if (m.cfg_.lease_duration_ns > 0) {
+    m.epoch_ = 1;
+    m.publish_lease();
+  }
 
   if (Status st = m.service_.set_device_metadata(m.device_id_, m.node_,
                                                  m.cfg_.metadata_segment_id);
@@ -297,6 +350,7 @@ sim::Task Manager::init_task(std::unique_ptr<Manager> self,
 
   m.serving_ = true;
   m.mailbox_server(m.stop_);
+  if (m.cfg_.lease_duration_ns > 0) m.lease_task(m.stop_);
   if (m.cfg_.client_heartbeat_timeout_ns > 0) m.reaper_task(m.stop_);
   if (m.cfg_.csts_poll_interval_ns > 0) m.watchdog_task(m.stop_);
   if (m.cfg_.scrub_interval_ns > 0) m.scrub_task(m.stop_);
@@ -326,6 +380,9 @@ sim::Task Manager::admin_task(SubmissionEntry entry,
     promise.set(cid.status());
     co_return;
   }
+  // Journal the SQ cursor before the doorbell: dying in between leaves a
+  // pushed-but-unfetched entry that the successor simply overwrites.
+  journal_admin_ring();
   co_await sim::delay(eng, cfg_.costs.doorbell_ns);
   (void)admin_qp_->ring_sq_doorbell();
 
@@ -333,6 +390,7 @@ sim::Task Manager::admin_task(SubmissionEntry entry,
   for (;;) {
     if (auto cqe = admin_qp_->poll()) {
       (void)admin_qp_->ring_cq_doorbell();
+      journal_admin_ring();
       admin_lock_->release();
       promise.set(*cqe);  // NVMe-level failures are reported via cqe->status()
       co_return;
@@ -392,6 +450,7 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
     slot.status = static_cast<std::uint32_t>(errc);
     slot.qid_out = qid;
     slot.nvme_status = nvme_status;
+    slot.epoch = static_cast<std::uint32_t>(epoch_);  // v5: fenceable response
     slot.state = static_cast<std::uint32_t>(MboxState::done);
     (void)metadata_seg_.write(mbox_slot_offset(header_, slot_index), as_bytes_of(slot));
     if (errc != Errc::ok) ++stats_.request_errors;
@@ -402,6 +461,27 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
       respond(Errc::ok, 0, 0);
       break;
     case MboxOp::create_qp: {
+      if (slot.sq_size < 2 || slot.cq_size < 2 || slot.sq_device_addr == 0 ||
+          slot.cq_device_addr == 0) {
+        respond(Errc::invalid_argument, 0, 0);
+        break;
+      }
+      if (!grant_qos(slot)) {
+        respond(Errc::permission_denied, 0, 0);
+        break;
+      }
+      // Idempotent re-serve: a previous manager may have created this
+      // client's queues and died before responding; the retry arrives with
+      // the same (deterministic) queue addresses, so reclaim the overlap
+      // before granting afresh.
+      if (has_stale_overlap(slot.client_node, slot.sq_device_addr, slot.sq_device_addr + 1)) {
+        co_await reclaim_stale_await(slot.client_node, slot.sq_device_addr,
+                                     slot.sq_device_addr + 1);
+        if (*stop) {
+          done.set(false);
+          co_return;
+        }
+      }
       // Pick a free queue id.
       std::uint16_t qid = 0;
       for (std::uint16_t q = 1; q < qid_used_.size(); ++q) {
@@ -414,15 +494,10 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
         respond(Errc::resource_exhausted, 0, 0);
         break;
       }
-      if (slot.sq_size < 2 || slot.cq_size < 2 || slot.sq_device_addr == 0 ||
-          slot.cq_device_addr == 0) {
-        respond(Errc::invalid_argument, 0, 0);
-        break;
-      }
-      if (!grant_qos(slot)) {
-        respond(Errc::permission_denied, 0, 0);
-        break;
-      }
+      // Write-ahead intent (v5): if we die between here and the active
+      // flip, a takeover rolls the half-made grant back.
+      write_owner_entry(qid, make_owner_entry(slot, slot.sq_device_addr, slot.cq_device_addr,
+                                              QpOwnerState::pending, engine().now()));
       auto cq = co_await submit_admin(
           nvme::make_create_io_cq(0, qid, slot.cq_size, slot.cq_device_addr,
                                   /*irq_enable=*/false, 0));
@@ -431,6 +506,7 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
         co_return;
       }
       if (!cq || !cq->ok()) {
+        clear_owner_entry(qid);
         respond(cq ? Errc::io_error : cq.status().code(), 0, cq ? cq->status() : 0);
         break;
       }
@@ -442,12 +518,16 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
       }
       if (!sq || !sq->ok()) {
         (void)co_await submit_admin(nvme::make_delete_io_cq(0, qid));
+        clear_owner_entry(qid);
         respond(sq ? Errc::io_error : sq.status().code(), 0, sq ? sq->status() : 0);
         break;
       }
       qid_used_[qid] = true;
       qid_owner_[qid] = slot.client_node;
       qid_created_at_[qid] = engine().now();
+      qid_sq_addr_[qid] = slot.sq_device_addr;
+      write_owner_entry(qid, make_owner_entry(slot, slot.sq_device_addr, slot.cq_device_addr,
+                                              QpOwnerState::active, qid_created_at_[qid]));
       ++stats_.qps_created;
       NVS_LOG(info, "manager") << "created QP " << qid << " for node " << slot.client_node;
       respond(Errc::ok, qid, 0);
@@ -473,6 +553,8 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
       qid_used_[qid] = false;
       qid_owner_[qid] = 0;
       qid_created_at_[qid] = 0;
+      qid_sq_addr_[qid] = 0;
+      clear_owner_entry(qid);
       ++stats_.qps_deleted;
       respond(Errc::ok, qid, 0);
       break;
@@ -493,6 +575,17 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
         respond(Errc::permission_denied, 0, 0);
         break;
       }
+      // Idempotent re-serve across the whole batch's SQ address range.
+      const std::uint64_t batch_hi =
+          slot.sq_device_addr +
+          (count > 1 ? static_cast<std::uint64_t>(count - 1) * slot.sq_stride : 0) + 1;
+      if (has_stale_overlap(slot.client_node, slot.sq_device_addr, batch_hi)) {
+        co_await reclaim_stale_await(slot.client_node, slot.sq_device_addr, batch_hi);
+        if (*stop) {
+          done.set(false);
+          co_return;
+        }
+      }
       std::uint16_t created = 0;
       Errc errc = Errc::ok;
       std::uint16_t bad_status = 0;
@@ -512,6 +605,8 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
             slot.cq_device_addr + static_cast<std::uint64_t>(created) * slot.cq_stride;
         const std::uint64_t sq_base =
             slot.sq_device_addr + static_cast<std::uint64_t>(created) * slot.sq_stride;
+        write_owner_entry(qid, make_owner_entry(slot, sq_base, cq_base, QpOwnerState::pending,
+                                                engine().now()));
         auto cq = co_await submit_admin(nvme::make_create_io_cq(0, qid, slot.cq_size, cq_base,
                                                                 /*irq_enable=*/false, 0));
         if (*stop) {
@@ -519,6 +614,7 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
           co_return;
         }
         if (!cq || !cq->ok()) {
+          clear_owner_entry(qid);
           errc = cq ? Errc::io_error : cq.status().code();
           bad_status = cq ? cq->status() : 0;
           break;
@@ -531,6 +627,7 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
         }
         if (!sq || !sq->ok()) {
           (void)co_await submit_admin(nvme::make_delete_io_cq(0, qid));
+          clear_owner_entry(qid);
           errc = sq ? Errc::io_error : sq.status().code();
           bad_status = sq ? sq->status() : 0;
           break;
@@ -538,6 +635,9 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
         qid_used_[qid] = true;
         qid_owner_[qid] = slot.client_node;
         qid_created_at_[qid] = engine().now();
+        qid_sq_addr_[qid] = sq_base;
+        write_owner_entry(qid, make_owner_entry(slot, sq_base, cq_base, QpOwnerState::active,
+                                                qid_created_at_[qid]));
         ++stats_.qps_created;
         slot.qids[created] = qid;
         ++created;
@@ -550,6 +650,8 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
           qid_used_[qid] = false;
           qid_owner_[qid] = 0;
           qid_created_at_[qid] = 0;
+          qid_sq_addr_[qid] = 0;
+          clear_owner_entry(qid);
           ++stats_.qps_deleted;
           slot.qids[c] = 0;
         }
@@ -594,6 +696,8 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
         qid_used_[qid] = false;
         qid_owner_[qid] = 0;
         qid_created_at_[qid] = 0;
+        qid_sq_addr_[qid] = 0;
+        clear_owner_entry(qid);
         ++stats_.qps_deleted;
       }
       respond(errc, 0, 0);
@@ -640,6 +744,9 @@ sim::Task Manager::reaper_task(std::shared_ptr<bool> stop) {
   for (;;) {
     co_await sim::delay(eng, cfg_.reaper_interval_ns);
     if (*stop) co_return;
+    // Post-takeover grace: survivors are still re-resolving the new mailbox
+    // location; judging their silence now would mis-reap live clients.
+    if (takeover_time_ != 0 && eng.now() < takeover_time_ + cfg_.takeover_grace_ns) continue;
     for (std::uint16_t qid = 1; qid < qid_used_.size(); ++qid) {
       if (!qid_used_[qid]) continue;
       const std::uint32_t owner = qid_owner_[qid];
@@ -660,6 +767,8 @@ sim::Task Manager::reaper_task(std::shared_ptr<bool> stop) {
         qid_used_[qid] = false;
         qid_owner_[qid] = 0;
         qid_created_at_[qid] = 0;
+        qid_sq_addr_[qid] = 0;
+        clear_owner_entry(qid);
         ++stats_.qps_reaped;
       }
     }
@@ -698,6 +807,43 @@ sim::Task Manager::watchdog_task(std::shared_ptr<bool> stop) {
     // Serialize against in-flight admin commands; their deadlines release
     // the lock even though the dead controller never answers them.
     co_await admin_lock_->acquire();
+
+    if (adopted_ring_) {
+      // A promoted standby still rides its predecessor's admin rings. The
+      // reset below re-latches AQA/ASQ/ACQ anyway, so this is the moment to
+      // switch to fresh local segments and own the rings from here on.
+      auto asq_seg = service_.create_segment_hinted(node_, cfg_.private_segment_base + 0,
+                                                    cfg_.admin_entries * 64ull, device_id_,
+                                                    smartio::AccessHint::sq());
+      auto acq_seg = service_.create_segment_hinted(node_, cfg_.private_segment_base + 1,
+                                                    cfg_.admin_entries * 16ull, device_id_,
+                                                    smartio::AccessHint::cq());
+      if (!asq_seg || !acq_seg) {
+        NVS_LOG(error, "manager") << "cannot re-home adopted admin rings; retrying on "
+                                     "next fatal";
+        admin_lock_->release();
+        continue;
+      }
+      auto asq_win = ref_.map_for_device(asq_seg->descriptor());
+      auto acq_win = ref_.map_for_device(acq_seg->descriptor());
+      auto asq_map = sisci::Map::create(service_.cluster(), node_, asq_seg->descriptor());
+      if (!asq_win || !acq_win || !asq_map) {
+        NVS_LOG(error, "manager") << "no NTB windows to re-home adopted admin rings";
+        admin_lock_->release();
+        continue;
+      }
+      asq_seg_ = std::move(*asq_seg);
+      acq_seg_ = std::move(*acq_seg);
+      asq_win_ = std::move(*asq_win);
+      acq_win_ = std::move(*acq_win);
+      asq_cpu_map_ = std::move(*asq_map);
+      journal_.asq_node = asq_seg_.node();
+      journal_.asq_segment = asq_seg_.id();
+      journal_.acq_node = acq_seg_.node();
+      journal_.acq_segment = acq_seg_.id();
+      journal_.entries = cfg_.admin_entries;
+      adopted_ring_ = false;
+    }
 
     // CC.EN=0 clears CFS and tears down every queue, then re-run the
     // enable sequence on zeroed admin queue memory.
@@ -742,6 +888,7 @@ sim::Task Manager::watchdog_task(std::shared_ptr<bool> stop) {
     qc.cq_doorbell_addr = bar_.addr() + nvme::cq_doorbell_offset(0);
     qc.cpu = cpu;
     admin_qp_ = std::make_unique<nvme::QueuePair>(fab, qc);
+    journal_admin_ring();
     admin_lock_->release();
 
     if (*stop) co_return;
@@ -758,6 +905,8 @@ sim::Task Manager::watchdog_task(std::shared_ptr<bool> stop) {
       qid_used_[q] = false;
       qid_owner_[q] = 0;
       qid_created_at_[q] = 0;
+      qid_sq_addr_[q] = 0;
+      clear_owner_entry(q);
     }
     // Re-negotiate the I/O queue count (required before queue creation).
     auto feat = co_await submit_admin(nvme::make_set_num_queues(
@@ -825,6 +974,517 @@ sim::Task Manager::scrub_task(std::shared_ptr<bool> stop) {
       ++stats_.scrub_sweeps;
     }
   }
+}
+
+// --- manager high availability (docs/MODEL.md §10) -----------------------------------
+
+void Manager::publish_lease() {
+  ManagerLease lease;
+  lease.epoch = epoch_;
+  lease.expires_at_ns = engine().now() + cfg_.lease_duration_ns;
+  lease.manager_node = node_;
+  lease.state = static_cast<std::uint32_t>(LeaseState::active);
+  (void)metadata_seg_.write(kLeaseOffset, as_bytes_of(lease));
+}
+
+// Lease renewal: local-memory writes on a slow clock — nothing here touches
+// the I/O hot path. The lease is read back before renewing: a foreign epoch
+// means a standby fenced us while we could not renew, and the only correct
+// move is to stop serving immediately.
+sim::Task Manager::lease_task(std::shared_ptr<bool> stop) {
+  sim::Engine& eng = engine();
+  const auto renew = std::max<sim::Duration>(cfg_.lease_duration_ns / 4, 1);
+  for (;;) {
+    co_await sim::delay(eng, renew);
+    if (*stop) co_return;
+    ManagerLease lease;
+    if (metadata_seg_.read(kLeaseOffset, as_writable_bytes_of(lease)) &&
+        lease.epoch != epoch_) {
+      fence(lease.epoch);
+      co_return;
+    }
+    publish_lease();
+    ++stats_.lease_renewals;
+  }
+}
+
+void Manager::fence(std::uint64_t foreign_epoch) {
+  NVS_LOG(warn, "manager") << "node " << node_ << " fenced: epoch " << foreign_epoch
+                           << " supersedes " << epoch_ << "; ceasing service";
+  ++stats_.fencings;
+  serving_ = false;
+  *stop_ = true;
+  // No clear_device_metadata: the successor already re-pointed the
+  // registration (shutdown()'s ownership guard keeps us off it later too).
+}
+
+void Manager::journal_admin_ring() {
+  if (!journal_ready_) return;  // early bring-up: metadata segment not yet created
+  const auto rs = admin_qp_->ring_state();
+  journal_.sq_tail = rs.sq_tail;
+  journal_.cq_head = rs.cq_head;
+  journal_.next_cid = rs.next_cid;
+  journal_.phase = rs.expected_phase ? 1u : 0u;
+  (void)metadata_seg_.write(kAdminJournalOffset, as_bytes_of(journal_));
+}
+
+void Manager::write_owner_entry(std::uint16_t qid, const QpOwnerEntry& e) {
+  if (!journal_ready_ || qid >= kOwnerTableEntries) return;
+  (void)metadata_seg_.write(owner_entry_offset(qid), as_bytes_of(e));
+}
+
+bool Manager::has_stale_overlap(std::uint32_t client_node, std::uint64_t lo,
+                                std::uint64_t hi) const {
+  for (std::uint16_t q = 1; q < qid_used_.size(); ++q) {
+    if (qid_used_[q] && qid_owner_[q] == client_node && qid_sq_addr_[q] >= lo &&
+        qid_sq_addr_[q] < hi) {
+      return true;
+    }
+  }
+  return false;
+}
+
+sim::Future<bool> Manager::reclaim_stale_await(std::uint32_t client_node, std::uint64_t lo,
+                                               std::uint64_t hi) {
+  sim::Promise<bool> done(engine());
+  reclaim_stale_task(client_node, lo, hi, done);
+  return done.future();
+}
+
+sim::Task Manager::reclaim_stale_task(std::uint32_t client_node, std::uint64_t lo,
+                                      std::uint64_t hi, sim::Promise<bool> done) {
+  for (std::uint16_t q = 1; q < qid_used_.size(); ++q) {
+    if (!qid_used_[q] || qid_owner_[q] != client_node) continue;
+    if (qid_sq_addr_[q] < lo || qid_sq_addr_[q] >= hi) continue;
+    NVS_LOG(warn, "manager") << "reclaiming stale QP " << q << " of node " << client_node
+                             << " (overlaps a re-served grant request)";
+    (void)co_await submit_admin(nvme::make_delete_io_sq(0, q));
+    (void)co_await submit_admin(nvme::make_delete_io_cq(0, q));
+    qid_used_[q] = false;
+    qid_owner_[q] = 0;
+    qid_created_at_[q] = 0;
+    qid_sq_addr_[q] = 0;
+    clear_owner_entry(q);
+    ++stats_.qps_deleted;
+  }
+  done.set(true);
+}
+
+sim::Future<Result<std::unique_ptr<Manager>>> Manager::start_standby(smartio::Service& service,
+                                                                     smartio::NodeId node,
+                                                                     smartio::DeviceId device,
+                                                                     Config cfg) {
+  sim::Promise<Result<std::unique_ptr<Manager>>> promise(service.cluster().engine());
+  auto self = std::unique_ptr<Manager>(new Manager(service, node, device, cfg));
+  self->standby_ = true;
+  standby_init_task(std::move(self), promise);
+  return promise.future();
+}
+
+sim::Task Manager::standby_init_task(std::unique_ptr<Manager> self,
+                                     sim::Promise<Result<std::unique_ptr<Manager>>> promise) {
+  Manager& m = *self;
+  sim::Engine& engine = m.engine();
+  pcie::Fabric& fabric = m.fabric();
+  sisci::Cluster& cluster = m.service_.cluster();
+  const pcie::Initiator cpu = fabric.cpu(m.node_);
+
+  if (m.cfg_.lease_duration_ns == 0) {
+    promise.set(Status(Errc::invalid_argument,
+                       "standby requires lease_duration_ns > 0 (it must publish its own "
+                       "lease after takeover)"));
+    co_return;
+  }
+
+  // Shared claim only: the standby never resets or reconfigures the device
+  // while someone else is the manager. Retries ride out the active
+  // manager's exclusive-init window.
+  for (int attempt = 0;; ++attempt) {
+    auto ref = m.service_.acquire(m.device_id_, smartio::AcquireMode::shared);
+    if (ref) {
+      m.ref_ = std::move(*ref);
+      break;
+    }
+    if (attempt >= kStandbyRetryLimit) {
+      promise.set(ref.status());
+      co_return;
+    }
+    co_await sim::delay(engine, kStandbyRetryNs);
+  }
+
+  auto bar = m.ref_.map_bar(m.node_, 0);
+  if (!bar) {
+    promise.set(bar.status());
+    co_return;
+  }
+  m.bar_ = std::move(*bar);
+
+  // Find and map the active manager's metadata segment.
+  std::pair<smartio::NodeId, sisci::SegmentId> loc;
+  for (int attempt = 0;; ++attempt) {
+    auto meta = m.service_.device_metadata(m.device_id_);
+    if (meta) {
+      loc = *meta;
+      break;
+    }
+    if (attempt >= kStandbyRetryLimit) {
+      promise.set(meta.status());
+      co_return;
+    }
+    co_await sim::delay(engine, kStandbyRetryNs);
+  }
+  auto remote = cluster.connect(loc.first, loc.second);
+  if (!remote) {
+    promise.set(remote.status());
+    co_return;
+  }
+  auto map = sisci::Map::create(cluster, m.node_, *remote);
+  if (!map) {
+    promise.set(map.status());
+    co_return;
+  }
+  m.watched_meta_map_ = std::move(*map);
+  m.watched_node_ = loc.first;
+  m.watched_seg_id_ = loc.second;
+
+  auto raw = co_await fabric.read(cpu, m.watched_meta_map_.addr(), sizeof(MetadataHeader));
+  if (!raw) {
+    promise.set(raw.status());
+    co_return;
+  }
+  m.header_ = load_pod<MetadataHeader>(*raw);
+  if (m.header_.magic != kMetadataMagic) {
+    promise.set(Status(Errc::protocol_error, "metadata segment has no valid header"));
+    co_return;
+  }
+  if (m.header_.version != kMetadataVersion) {
+    promise.set(Status(Errc::unsupported,
+                       "manager speaks metadata v" + std::to_string(m.header_.version) +
+                           ", standby requires v" + std::to_string(kMetadataVersion)));
+    co_return;
+  }
+  raw = co_await fabric.read(cpu, m.watched_meta_map_.addr() + kLeaseOffset,
+                             sizeof(ManagerLease));
+  if (!raw) {
+    promise.set(raw.status());
+    co_return;
+  }
+  if (load_pod<ManagerLease>(*raw).epoch == 0) {
+    promise.set(Status(Errc::unsupported,
+                       "active manager does not publish leases (lease_duration_ns = 0); "
+                       "nothing to stand by for"));
+    co_return;
+  }
+
+  if (fault::enabled()) {
+    Manager* rawp = self.get();
+    m.crash_token_ = fault::Injector::global().register_crash_handler(
+        m.node_, [rawp]() { rawp->crash(); });
+  }
+  m.standby_watch_task(m.stop_);
+  NVS_LOG(info, "manager") << "standby on node " << m.node_ << " watching device "
+                           << m.device_id_ << " (manager on node " << loc.first << ")";
+  promise.set(std::move(self));
+}
+
+// Hot-standby lease watch. All reads are remote (the watched segment lives
+// on the active manager's host) and timed through the fabric — a standby
+// costs a few reads per poll interval and nothing on any hot path.
+sim::Task Manager::standby_watch_task(std::shared_ptr<bool> stop) {
+  sim::Engine& eng = engine();
+  pcie::Fabric& fab = fabric();
+  const pcie::Initiator cpu = fab.cpu(node_);
+
+  for (;;) {
+    co_await sim::delay(eng, cfg_.standby_poll_ns);
+    if (*stop) co_return;
+
+    // Follow the registration: a completed takeover (possibly by a peer
+    // standby) moves the metadata segment.
+    auto loc = service_.device_metadata(device_id_);
+    if (loc && (loc->first != watched_node_ || loc->second != watched_seg_id_)) {
+      auto remote = service_.cluster().connect(loc->first, loc->second);
+      if (!remote) continue;
+      auto map = sisci::Map::create(service_.cluster(), node_, *remote);
+      if (!map) continue;
+      watched_meta_map_ = std::move(*map);
+      watched_node_ = loc->first;
+      watched_seg_id_ = loc->second;
+    }
+
+    auto raw =
+        co_await fab.read(cpu, watched_meta_map_.addr() + kLeaseOffset, sizeof(ManagerLease));
+    if (*stop) co_return;
+    if (!raw) continue;  // link down; retry next tick
+    const auto lease = load_pod<ManagerLease>(*raw);
+    if (lease.epoch == 0) continue;  // registration moved to a non-HA manager
+    if (eng.now() < lease.expires_at_ns) continue;
+
+    // Expired. Competing standbys resolve deterministically: wait our
+    // stagger slot, re-read, and only claim if nobody else did.
+    co_await sim::delay(eng, static_cast<sim::Duration>(node_) * cfg_.claim_stagger_ns);
+    if (*stop) co_return;
+    raw =
+        co_await fab.read(cpu, watched_meta_map_.addr() + kLeaseOffset, sizeof(ManagerLease));
+    if (*stop) co_return;
+    if (!raw) continue;
+    auto cur = load_pod<ManagerLease>(*raw);
+    if (cur.epoch != lease.epoch || eng.now() < cur.expires_at_ns) continue;
+
+    ManagerLease claim;
+    claim.epoch = cur.epoch + 1;
+    // Generous claim expiry: it must outlive the whole takeover sequence,
+    // or a peer standby would start a second takeover against the same old
+    // state mid-way through ours.
+    claim.expires_at_ns = eng.now() + 4 * cfg_.lease_duration_ns;
+    claim.manager_node = node_;
+    claim.state = static_cast<std::uint32_t>(LeaseState::claiming);
+    Bytes buf(sizeof(ManagerLease));
+    store_pod(buf, claim);
+    if (!fab.post_write(cpu, watched_meta_map_.addr() + kLeaseOffset, std::move(buf))) {
+      continue;
+    }
+    // Let the posted write land, then confirm the claim stuck.
+    co_await sim::delay(eng, cfg_.claim_stagger_ns);
+    if (*stop) co_return;
+    raw =
+        co_await fab.read(cpu, watched_meta_map_.addr() + kLeaseOffset, sizeof(ManagerLease));
+    if (*stop) co_return;
+    if (!raw) continue;
+    cur = load_pod<ManagerLease>(*raw);
+    if (cur.epoch != claim.epoch || cur.manager_node != node_) continue;  // lost the race
+
+    Status st = co_await takeover_await(claim);
+    if (*stop) co_return;
+    if (st) co_return;  // promoted: serving tasks run now, the watch ends
+    NVS_LOG(error, "manager") << "standby on node " << node_
+                              << " takeover failed: " << st.message() << "; resuming watch";
+  }
+}
+
+sim::Future<Status> Manager::takeover_await(ManagerLease claim) {
+  sim::Promise<Status> done(engine());
+  takeover_task(claim, done);
+  return done.future();
+}
+
+// Takeover: continue the old admin rings (AQA/ASQ/ACQ are latched — fresh
+// rings would need a controller reset that kills every survivor's I/O
+// queues), reconstruct grant state from the old owner table, roll back
+// half-done grants, publish a fresh metadata segment on this host, fence
+// the old epoch, and re-point the registration. Survivors never release
+// their device references; their admin calls retry into the new mailbox.
+sim::Task Manager::takeover_task(ManagerLease claim, sim::Promise<Status> done) {
+  sim::Engine& eng = engine();
+  pcie::Fabric& fab = fabric();
+  sisci::Cluster& cluster = service_.cluster();
+  const pcie::Initiator cpu = fab.cpu(node_);
+  const sim::Time begin = eng.now();
+  const std::uint64_t old_base = watched_meta_map_.addr();
+
+  // 1. Scan the old segment: header, admin-ring journal, owner table.
+  auto raw = co_await fab.read(cpu, old_base, sizeof(MetadataHeader));
+  if (!raw) {
+    done.set(raw.status());
+    co_return;
+  }
+  header_ = load_pod<MetadataHeader>(*raw);
+  if (header_.magic != kMetadataMagic || header_.version != kMetadataVersion) {
+    done.set(Status(Errc::protocol_error, "old metadata segment unreadable"));
+    co_return;
+  }
+  raw = co_await fab.read(cpu, old_base + kAdminJournalOffset, sizeof(AdminRingJournal));
+  if (!raw) {
+    done.set(raw.status());
+    co_return;
+  }
+  const auto journal = load_pod<AdminRingJournal>(*raw);
+  if (journal.entries == 0) {
+    done.set(Status(Errc::protocol_error, "old manager never journaled its admin rings"));
+    co_return;
+  }
+  std::vector<QpOwnerEntry> owners(kOwnerTableEntries);
+  raw = co_await fab.read(cpu, old_base + kOwnerTableOffset,
+                          kOwnerTableEntries * sizeof(QpOwnerEntry));
+  if (!raw) {
+    done.set(raw.status());
+    co_return;
+  }
+  std::memcpy(owners.data(), raw->data(), owners.size() * sizeof(QpOwnerEntry));
+
+  // 2. Adopt the admin rings: CPU views of the old ASQ/ACQ. Both survive in
+  // the dead manager's DRAM (its process died, its host memory did not).
+  auto asq_remote = cluster.connect(journal.asq_node, journal.asq_segment);
+  auto acq_remote = cluster.connect(journal.acq_node, journal.acq_segment);
+  if (!asq_remote || !acq_remote) {
+    done.set(Status(Errc::unavailable, "old admin ring segments unreachable"));
+    co_return;
+  }
+  auto asq_map = sisci::Map::create(cluster, node_, *asq_remote);
+  auto acq_map = sisci::Map::create(cluster, node_, *acq_remote);
+  if (!asq_map || !acq_map) {
+    done.set(Status(Errc::resource_exhausted, "no NTB windows for adopted admin rings"));
+    co_return;
+  }
+  adopt_asq_map_ = std::move(*asq_map);
+  adopt_acq_map_ = std::move(*acq_map);
+
+  nvme::QueuePair::Config qc;
+  qc.qid = 0;
+  qc.sq_size = journal.entries;
+  qc.cq_size = journal.entries;
+  qc.sq_write_addr = adopt_asq_map_.addr();
+  qc.cq_poll_addr = adopt_acq_map_.addr();  // Fabric::peek resolves the NTB map
+  qc.sq_doorbell_addr = bar_.addr() + nvme::sq_doorbell_offset(0);
+  qc.cq_doorbell_addr = bar_.addr() + nvme::cq_doorbell_offset(0);
+  qc.cpu = cpu;
+  admin_qp_ = std::make_unique<nvme::QueuePair>(fab, qc);
+  admin_qp_->restore({journal.sq_tail, journal.cq_head, journal.next_cid, journal.phase != 0});
+  admin_lock_ = std::make_unique<sim::Semaphore>(eng, 1);
+  adopted_ring_ = true;
+  journal_ = journal;  // ring locations survive the epoch change
+
+  // 3. Own scratch memory for admin data transfers (identify, scrub).
+  auto data_seg = service_.create_segment_hinted(node_, cfg_.private_segment_base + 2, 4096,
+                                                 device_id_, smartio::AccessHint::cq());
+  if (!data_seg) {
+    done.set(data_seg.status());
+    co_return;
+  }
+  admin_data_seg_ = std::move(*data_seg);
+  auto data_win = ref_.map_for_device(admin_data_seg_.descriptor());
+  if (!data_win) {
+    done.set(data_win.status());
+    co_return;
+  }
+  admin_data_win_ = std::move(*data_win);
+
+  // 4. Probe the adopted ring: one identify through the old ASQ/ACQ proves
+  // the journaled cursors line up with the controller's. A completion the
+  // dead manager pushed but never consumed drains through the (counted)
+  // spurious-CQE path first.
+  auto probe = co_await submit_admin(
+      nvme::make_identify(0, nvme::IdentifyCns::controller, 0, admin_data_win_.device_addr()));
+  if (*stop_) {
+    done.set(Status(Errc::aborted, "stopped during takeover"));
+    co_return;
+  }
+  if (!probe || !probe->ok()) {
+    done.set(probe ? Status(Errc::io_error, "adopted admin ring probe failed")
+                   : probe.status());
+    co_return;
+  }
+
+  // 5. Reconstruct grant state; roll back write-ahead intents the old
+  // manager died inside (their queues may or may not exist — delete both
+  // and ignore refusals).
+  const std::uint16_t granted = header_.granted_io_queues;
+  qid_used_.assign(granted + 1u, false);
+  qid_used_[0] = true;
+  qid_owner_.assign(granted + 1u, 0);
+  qid_created_at_.assign(granted + 1u, 0);
+  qid_sq_addr_.assign(granted + 1u, 0);
+  for (std::uint16_t q = 1; q <= granted && q < kOwnerTableEntries; ++q) {
+    const QpOwnerEntry& e = owners[q];
+    if (e.state == static_cast<std::uint32_t>(QpOwnerState::pending)) {
+      (void)co_await submit_admin(nvme::make_delete_io_sq(0, q));
+      (void)co_await submit_admin(nvme::make_delete_io_cq(0, q));
+      ++stats_.intent_rollbacks;
+      owners[q] = QpOwnerEntry{};
+      NVS_LOG(warn, "manager") << "rolled back half-created QP " << q << " of node "
+                               << e.owner_node;
+    } else if (e.state == static_cast<std::uint32_t>(QpOwnerState::active)) {
+      qid_used_[q] = true;
+      qid_owner_[q] = e.owner_node;
+      qid_created_at_[q] = eng.now();  // reaper grace anchor: takeover time
+      qid_sq_addr_[q] = e.sq_device_addr;
+      ++stats_.qps_adopted;
+    }
+  }
+  if (*stop_) {
+    done.set(Status(Errc::aborted, "stopped during takeover"));
+    co_return;
+  }
+
+  // 6. Fresh metadata segment on this host: header and owner table carried
+  // over, QoS policy from our own config, empty mailbox slots.
+  const std::uint32_t nodes = header_.mailbox_slots;
+  auto meta =
+      cluster.create_segment(node_, cfg_.metadata_segment_id, metadata_segment_size(nodes));
+  if (!meta) {
+    done.set(meta.status());
+    co_return;
+  }
+  metadata_seg_ = std::move(*meta);
+  header_.manager_node = node_;
+  (void)metadata_seg_.write(0, as_bytes_of(header_));
+  (void)metadata_seg_.write(kQosPolicyOffset, as_bytes_of(cfg_.qos_policy));
+  for (std::uint16_t q = 1; q < kOwnerTableEntries; ++q) {
+    if (owners[q].state != static_cast<std::uint32_t>(QpOwnerState::active)) continue;
+    QpOwnerEntry e = owners[q];
+    e.created_at_ns = eng.now();
+    (void)metadata_seg_.write(owner_entry_offset(q), as_bytes_of(e));
+  }
+  journal_ready_ = true;
+  journal_admin_ring();
+  // Carry the survivors' last heartbeats over so the reaper judges them
+  // against real history instead of zero.
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    const std::uint64_t beat_off = mbox_slot_offset(header_, n) + offsetof(MboxSlot, heartbeat_ns);
+    auto beat = co_await fab.read(cpu, old_base + beat_off, sizeof(std::uint64_t));
+    if (!beat) continue;
+    (void)metadata_seg_.write(beat_off, *beat);
+  }
+  if (*stop_) {
+    done.set(Status(Errc::aborted, "stopped during takeover"));
+    co_return;
+  }
+
+  epoch_ = claim.epoch;
+  publish_lease();  // into the NEW segment
+
+  // 7. Fence the old epoch in the OLD segment: a predecessor still breathing
+  // reads a foreign epoch at its next renewal and stops serving; peer
+  // standbys still watching the old location see the same.
+  ManagerLease fence_lease = claim;
+  fence_lease.state = static_cast<std::uint32_t>(LeaseState::active);
+  fence_lease.expires_at_ns = eng.now() + cfg_.lease_duration_ns;
+  Bytes fence_buf(sizeof(ManagerLease));
+  store_pod(fence_buf, fence_lease);
+  (void)fab.post_write(cpu, old_base + kLeaseOffset, std::move(fence_buf));
+
+  // 8. Re-point the registration — CAS against the owner we watched, so two
+  // standbys racing the same claim cannot both win it.
+  if (Status st = service_.reassign_device_metadata(device_id_, watched_node_, node_,
+                                                    cfg_.metadata_segment_id);
+      !st) {
+    done.set(st);
+    co_return;
+  }
+  watched_node_ = node_;
+  watched_seg_id_ = cfg_.metadata_segment_id;
+
+  // 9. Serve: same task set as a fresh manager, plus the takeover grace that
+  // keeps the reaper honest while survivors re-resolve.
+  standby_ = false;
+  serving_ = true;
+  takeover_time_ = eng.now();
+  mailbox_server(stop_);
+  lease_task(stop_);
+  if (cfg_.client_heartbeat_timeout_ns > 0) reaper_task(stop_);
+  if (cfg_.csts_poll_interval_ns > 0) watchdog_task(stop_);
+  if (cfg_.scrub_interval_ns > 0) scrub_task(stop_);
+  ++stats_.takeovers;
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    const std::uint64_t t = tracer.begin_trace(obs::Kind::other, begin);
+    tracer.record(t, obs::Track::controller, obs::Phase::recovery, begin, eng.now(), 0);
+    tracer.end_trace(t, eng.now());
+  }
+  NVS_LOG(info, "manager") << "node " << node_ << " took over device " << device_id_
+                           << " at epoch " << epoch_ << " in " << (eng.now() - begin)
+                           << " ns";
+  done.set(Status::ok());
 }
 
 }  // namespace nvmeshare::driver

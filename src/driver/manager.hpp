@@ -45,6 +45,24 @@ class Manager {
     /// Cadence of the CSTS watchdog that detects a fatal controller status
     /// and drives the reset + re-init path. 0 disables it.
     sim::Duration csts_poll_interval_ns = 0;
+    // --- manager high availability (docs/MODEL.md §10); off by default -----
+    /// Publish and renew a liveness lease of this duration in the metadata
+    /// segment (v5). 0 disables HA: the lease slot stays zeroed and no
+    /// standby will watch this manager. The active manager renews every
+    /// lease_duration_ns / 4 — a handful of local-memory writes per
+    /// millisecond, nothing on the I/O hot path.
+    sim::Duration lease_duration_ns = 0;
+    /// Standby: cadence of the remote lease reads while watching.
+    sim::Duration standby_poll_ns = 100'000;
+    /// Competing standbys resolve deterministically by staggering: the
+    /// standby on node n waits n * claim_stagger_ns after seeing an expired
+    /// lease before claiming, and another claim_stagger_ns after writing the
+    /// claim (posted) before concluding it won.
+    sim::Duration claim_stagger_ns = 50'000;
+    /// Post-takeover reaper grace: no queue pair is reaped until this long
+    /// after a takeover, giving surviving clients time to re-resolve the new
+    /// mailbox location and heartbeat into it.
+    sim::Duration takeover_grace_ns = 2'000'000;
     /// Cadence of the background scrubber (docs/MODEL.md §7): every tick it
     /// issues one vendor scrub command verifying the stored protection
     /// tuples of the next `scrub_blocks_per_cmd` blocks, wrapping at the
@@ -77,6 +95,19 @@ class Manager {
                                                              smartio::DeviceId device,
                                                              Config cfg);
 
+  /// Bring up a hot standby (docs/MODEL.md §10): acquires a shared device
+  /// reference, maps the active manager's metadata segment, and watches its
+  /// lease. On expiry it claims the next epoch and takes over — adopting the
+  /// old admin rings and grant state — without survivors releasing the
+  /// device. Resolves once the standby is watching; fails if the active
+  /// manager does not publish leases. The standby's `metadata_segment_id`
+  /// and `private_segment_base` must differ from the active manager's (both
+  /// sets of segments can be placed on the same host by hinted allocation).
+  static sim::Future<Result<std::unique_ptr<Manager>>> start_standby(smartio::Service& service,
+                                                                     smartio::NodeId node,
+                                                                     smartio::DeviceId device,
+                                                                     Config cfg);
+
   ~Manager();
   Manager(const Manager&) = delete;
   Manager& operator=(const Manager&) = delete;
@@ -96,6 +127,13 @@ class Manager {
   [[nodiscard]] const MetadataHeader& header() const noexcept { return header_; }
   [[nodiscard]] smartio::NodeId node() const noexcept { return node_; }
   [[nodiscard]] std::uint16_t active_queue_pairs() const;
+  /// True while this instance answers mailbox requests (an active manager,
+  /// or a standby whose takeover completed).
+  [[nodiscard]] bool is_active() const noexcept { return serving_; }
+  /// True while this instance watches another manager's lease.
+  [[nodiscard]] bool is_standby() const noexcept { return standby_; }
+  /// Epoch this instance serves (0 = HA disabled / still a standby).
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
 
   /// Per-manager counters, also registered as `nvmeshare.manager.*`.
   struct Stats {
@@ -108,6 +146,11 @@ class Manager {
     obs::Counter ctrl_resets;   ///< fatal-status recoveries by the CSTS watchdog
     obs::Counter scrub_sweeps;      ///< full-namespace scrub passes completed
     obs::Counter scrub_mismatches;  ///< mismatching blocks reported by scrub commands
+    obs::Counter lease_renewals;    ///< lease slots written by the active manager
+    obs::Counter takeovers;         ///< standby promotions completed
+    obs::Counter fencings;          ///< self-fences after observing a foreign epoch
+    obs::Counter qps_adopted;       ///< active grants inherited across a takeover
+    obs::Counter intent_rollbacks;  ///< half-created grants rolled back at takeover
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -136,6 +179,30 @@ class Manager {
   /// Background integrity scrubber: walk the namespace with vendor scrub
   /// commands, one range per tick.
   sim::Task scrub_task(std::shared_ptr<bool> stop);
+  // --- manager high availability (docs/MODEL.md §10) ----------------------
+  static sim::Task standby_init_task(std::unique_ptr<Manager> self,
+                                     sim::Promise<Result<std::unique_ptr<Manager>>> promise);
+  /// Standby main loop: watch the lease, claim on expiry, take over.
+  sim::Task standby_watch_task(std::shared_ptr<bool> stop);
+  sim::Future<Status> takeover_await(ManagerLease claim);
+  sim::Task takeover_task(ManagerLease claim, sim::Promise<Status> done);
+  /// Active-manager lease renewal; self-fences on a foreign epoch.
+  sim::Task lease_task(std::shared_ptr<bool> stop);
+  void publish_lease();
+  /// Stop serving: another manager holds a newer epoch.
+  void fence(std::uint64_t foreign_epoch);
+  /// Persist the admin ring cursors (v5 journal) — local memory, zero cost.
+  void journal_admin_ring();
+  void write_owner_entry(std::uint16_t qid, const QpOwnerEntry& e);
+  void clear_owner_entry(std::uint16_t qid) { write_owner_entry(qid, QpOwnerEntry{}); }
+  /// Does `client_node` own a grant whose SQ base falls in [lo, hi)?
+  [[nodiscard]] bool has_stale_overlap(std::uint32_t client_node, std::uint64_t lo,
+                                       std::uint64_t hi) const;
+  /// Delete such grants (idempotent re-serve after a manager died mid-grant).
+  sim::Future<bool> reclaim_stale_await(std::uint32_t client_node, std::uint64_t lo,
+                                        std::uint64_t hi);
+  sim::Task reclaim_stale_task(std::uint32_t client_node, std::uint64_t lo, std::uint64_t hi,
+                               sim::Promise<bool> done);
   /// v4 QoS admission: demote the requested class to the nearest allowed
   /// lower-priority one and clamp the budgets to the class caps, writing
   /// the granted values into the slot's echo fields. Returns false when no
@@ -175,6 +242,20 @@ class Manager {
   std::vector<std::uint32_t> qid_owner_;
   /// Creation time per qid: grace period before a client's first heartbeat.
   std::vector<sim::Time> qid_created_at_;
+  /// SQ base per qid, for stale-grant reclamation on re-served creates.
+  std::vector<std::uint64_t> qid_sq_addr_;
+  // --- HA state -----------------------------------------------------------
+  std::uint64_t epoch_ = 0;        ///< 0 until HA is enabled / takeover done
+  sim::Time takeover_time_ = 0;    ///< reaper grace anchor (0 = never)
+  bool standby_ = false;
+  bool adopted_ring_ = false;      ///< admin rings live in another host's DRAM
+  bool journal_ready_ = false;     ///< metadata segment exists; journal writes land
+  AdminRingJournal journal_;
+  smartio::NodeId watched_node_ = 0;        ///< registration owner being watched
+  sisci::SegmentId watched_seg_id_ = 0;
+  sisci::Map watched_meta_map_;    ///< CPU view of the watched (old) metadata
+  sisci::Map adopt_asq_map_;       ///< CPU views of adopted admin rings
+  sisci::Map adopt_acq_map_;
   std::shared_ptr<bool> stop_ = std::make_shared<bool>(false);
   bool serving_ = false;
   bool crashed_ = false;

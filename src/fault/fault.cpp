@@ -43,6 +43,8 @@ void Injector::configure(FaultPlan plan) {
   plan_ = std::move(plan);
   rng_ = Rng(plan_.seed);
   trigger_.assign(plan_.faults.size(), TriggerState{});
+  engine_ = nullptr;
+  arm_time_ = 0;
   detail::g_enabled = true;
 }
 
@@ -50,10 +52,14 @@ void Injector::disarm() {
   plan_ = {};
   trigger_.clear();
   crash_handlers_.clear();
+  engine_ = nullptr;
+  arm_time_ = 0;
   detail::g_enabled = false;
 }
 
 void Injector::arm(sim::Engine& engine, ArmHooks hooks) {
+  engine_ = &engine;
+  arm_time_ = engine.now();
   for (const FaultSpec& spec : plan_.faults) {
     switch (spec.kind) {
       case FaultKind::ntb_link_down: {
@@ -104,6 +110,15 @@ void Injector::unregister_crash_handler(std::uint64_t token) { crash_handlers_.e
 bool Injector::should_fire(std::size_t spec_index) {
   const FaultSpec& spec = plan_.faults[spec_index];
   TriggerState& state = trigger_[spec_index];
+  if (spec.window_end > 0) {
+    // Windowed spec: ops outside the window neither count nor fire, so
+    // `nth` is the nth *in-window* op. The window shares timed faults'
+    // origin (arm time); before arm() nothing is in any window.
+    if (engine_ == nullptr) return false;
+    const sim::Time now = engine_->now();
+    const sim::Duration rel = now >= arm_time_ ? now - arm_time_ : 0;
+    if (rel < spec.window_start || rel >= spec.window_end) return false;
+  }
   ++state.seen;
   if (spec.count != 0 && state.fired >= spec.count) return false;
   bool hit = false;
@@ -113,6 +128,9 @@ bool Injector::should_fire(std::size_t spec_index) {
     hit = state.seen >= spec.nth;
   } else if (spec.probability > 0) {
     hit = rng_.chance(spec.probability);
+  } else if (spec.window_end > 0) {
+    // Window-only spec: every in-window matching op is hit (a storm).
+    hit = true;
   }
   if (hit) ++state.fired;
   return hit;
@@ -247,10 +265,19 @@ Result<FaultKind> parse_kind(std::string_view text) {
   return Status(Errc::invalid_argument, "unknown fault kind '" + std::string(text) + "'");
 }
 
-Status apply_key(FaultSpec& spec, std::string_view key, std::string_view value) {
+Status apply_key(FaultSpec& spec, std::string_view key, std::string_view value,
+                 bool& count_seen) {
   auto number = [&]() { return parse_u64(value); };
   auto duration = [&]() { return parse_duration(value); };
-  if (key == "at") {
+  if (key == "from") {
+    auto v = duration();
+    if (!v) return v.status();
+    spec.window_start = *v;
+  } else if (key == "until") {
+    auto v = duration();
+    if (!v) return v.status();
+    spec.window_end = *v;
+  } else if (key == "at") {
     auto v = duration();
     if (!v) return v.status();
     spec.at = *v;
@@ -270,6 +297,7 @@ Status apply_key(FaultSpec& spec, std::string_view key, std::string_view value) 
     auto v = number();
     if (!v) return v.status();
     spec.count = *v;
+    count_seen = true;
   } else if (key == "prob") {
     spec.probability = std::strtod(std::string(value).c_str(), nullptr);
     if (spec.probability < 0 || spec.probability > 1) {
@@ -333,6 +361,7 @@ Result<FaultPlan> parse_plan(std::string_view text) {
     spec.kind = *kind;
     std::string_view kvs = colon == std::string_view::npos ? std::string_view{}
                                                            : item.substr(colon + 1);
+    bool count_seen = false;
     while (!kvs.empty()) {
       const std::size_t comma = kvs.find(',');
       std::string_view kv = kvs.substr(0, comma);
@@ -341,7 +370,17 @@ Result<FaultPlan> parse_plan(std::string_view text) {
       if (eq == std::string_view::npos) {
         return Status(Errc::invalid_argument, "expected key=value, got '" + std::string(kv) + "'");
       }
-      if (auto st = apply_key(spec, kv.substr(0, eq), kv.substr(eq + 1)); !st) return st;
+      if (auto st = apply_key(spec, kv.substr(0, eq), kv.substr(eq + 1), count_seen); !st) {
+        return st;
+      }
+    }
+    if (spec.window_end > 0 && spec.window_end <= spec.window_start) {
+      return Status(Errc::invalid_argument, "fault window is empty (until <= from)");
+    }
+    // A window-only trigger (no nth, no prob) is a storm: unless the plan
+    // capped it explicitly, it hits every in-window op, not just the first.
+    if (spec.window_end > 0 && spec.nth == 0 && spec.probability == 0 && !count_seen) {
+      spec.count = 0;
     }
     plan.faults.push_back(spec);
   }

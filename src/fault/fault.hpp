@@ -100,6 +100,13 @@ struct FaultSpec {
   std::uint64_t nth = 0;    ///< 1-based ordinal of first matching op to hit (0 = off)
   double probability = 0;   ///< independent per-op chance (used when nth == 0)
   std::uint64_t count = 1;  ///< number of times to fire (0 = unlimited)
+  /// Time window, relative to arm() time, that gates operation-count faults:
+  /// ops outside [window_start, window_end) neither count nor fire. With
+  /// window_end == 0 the window is open (every op is eligible, the seed
+  /// behavior). A windowed spec with neither nth nor prob fires on EVERY
+  /// in-window matching op — the "storm" trigger (docs/faults.md).
+  sim::Duration window_start = 0;
+  sim::Duration window_end = 0;
 
   // -- filters --
   std::uint32_t src_host = kAnyHost;  ///< initiating host / crash victim / link host
@@ -121,7 +128,7 @@ struct FaultPlan {
 /// Parse the `--faults` plan DSL (see docs/faults.md):
 ///   plan  := item (';' item)*
 ///   item  := 'seed=N' | kind[':' key=value (',' key=value)*]
-///   keys  := at for nth prob count src dst host class qid cid extra fatal
+///   keys  := at for from until nth prob count src dst host class qid cid extra fatal
 /// Durations accept ns/us/ms/s suffixes (bare numbers are nanoseconds).
 /// Example: "seed=7;drop_posted_write:src=1,class=bar,nth=3;ntb_link_down:host=1,at=2ms,for=500us"
 Result<FaultPlan> parse_plan(std::string_view text);
@@ -214,6 +221,11 @@ class Injector {
 
   FaultPlan plan_;
   Rng rng_;
+  /// Set by arm(): windowed specs compare the engine clock against the arm
+  /// time, the same origin timed faults use for `at`. Cleared on configure()
+  /// and disarm() so a stale engine pointer can never be consulted.
+  sim::Engine* engine_ = nullptr;
+  sim::Time arm_time_ = 0;
   /// Per-spec runtime state, parallel to plan_.faults.
   struct TriggerState {
     std::uint64_t seen = 0;

@@ -16,6 +16,15 @@ QueuePair::QueuePair(pcie::Fabric& fabric, Config cfg) : fabric_(fabric), cfg_(c
   cid_busy_.assign(cfg_.sq_size, false);
 }
 
+void QueuePair::restore(const RingState& s) {
+  sq_tail_ = static_cast<std::uint16_t>(s.sq_tail % cfg_.sq_size);
+  cq_head_ = static_cast<std::uint16_t>(s.cq_head % cfg_.cq_size);
+  next_cid_ = static_cast<std::uint16_t>(s.next_cid % cfg_.sq_size);
+  expected_phase_ = s.expected_phase;
+  inflight_ = 0;
+  cid_busy_.assign(cfg_.sq_size, false);
+}
+
 Result<std::uint16_t> QueuePair::push(SubmissionEntry entry) {
   if (sq_full()) return Status(Errc::resource_exhausted, "submission queue full");
 

@@ -69,6 +69,25 @@ class QueuePair {
   /// Tell the controller how far the CQ has been consumed.
   Status ring_cq_doorbell();
 
+  /// Externally persisted ring cursors — what a hot-standby manager needs to
+  /// continue an admin queue pair another host was operating (the ring
+  /// memory itself survives in that host's DRAM).
+  struct RingState {
+    std::uint16_t sq_tail = 0;
+    std::uint16_t cq_head = 0;
+    std::uint16_t next_cid = 0;
+    bool expected_phase = true;
+  };
+  [[nodiscard]] RingState ring_state() const noexcept {
+    return {sq_tail_, cq_head_, next_cid_, expected_phase_};
+  }
+
+  /// Adopt ring cursors persisted by this queue pair's previous operator.
+  /// Only the cursors move — the ring contents stay untouched. The previous
+  /// operator's in-flight CIDs are *not* restored: their completions, if
+  /// they ever arrive, surface through the counted spurious-CQE path.
+  void restore(const RingState& s);
+
   /// Per-queue-pair ring counters, also registered as `nvmeshare.queue.*`
   /// (aggregated across every driver's queue pairs).
   struct Stats {

@@ -228,6 +228,22 @@ Status Service::clear_device_metadata(DeviceId device) {
   return Status::ok();
 }
 
+Status Service::reassign_device_metadata(DeviceId device, NodeId expected_owner,
+                                         NodeId new_owner, sisci::SegmentId segment) {
+  auto it = metadata_.find(device);
+  if (it == metadata_.end()) {
+    return Status(Errc::not_found, "device has no manager metadata registered");
+  }
+  if (it->second.first != expected_owner) {
+    return Status(Errc::permission_denied,
+                  "metadata registration moved: owner is node " +
+                                  std::to_string(it->second.first) + ", expected " +
+                                  std::to_string(expected_owner));
+  }
+  it->second = {new_owner, segment};
+  return Status::ok();
+}
+
 Result<sisci::Segment> Service::create_segment_hinted(NodeId requester, sisci::SegmentId id,
                                                       std::uint64_t size, DeviceId device,
                                                       const AccessHint& hint) {

@@ -178,6 +178,13 @@ class Service {
       DeviceId device) const;
   Status clear_device_metadata(DeviceId device);
 
+  /// Compare-and-swap handoff of the metadata registration: succeeds only if
+  /// the current registration still names `expected_owner`. A standby manager
+  /// re-points clients with this after takeover — two standbys racing the
+  /// same claim cannot both win the registration.
+  Status reassign_device_metadata(DeviceId device, NodeId expected_owner, NodeId new_owner,
+                                  sisci::SegmentId segment);
+
  private:
   friend class DeviceRef;
   struct DeviceState {

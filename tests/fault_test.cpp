@@ -152,6 +152,77 @@ TEST(FaultPlan, RejectsUnknownKindsAndKeys) {
   EXPECT_FALSE(fault::parse_plan("drop_posted_write:class=tcp").has_value());
 }
 
+// --- time-window trigger (from= / until=) -----------------------------------------
+
+TEST(FaultPlan, ParsesWindowsAndRejectsEmptyOnes) {
+  auto plan = fault::parse_plan("drop_posted_write:from=1ms,until=2ms;"
+                                "delay_posted_write:extra=5us,nth=2,from=500us,until=3ms");
+  ASSERT_TRUE(plan.has_value()) << plan.status().to_string();
+  const auto& storm = plan->faults[0];
+  EXPECT_EQ(storm.window_start, 1'000'000);
+  EXPECT_EQ(storm.window_end, 2'000'000);
+  // A window-only trigger is a storm: count defaults to unlimited, so it
+  // hits every in-window op, not just the first.
+  EXPECT_EQ(storm.count, 0u);
+  // With nth present the usual once-by-default budget stays.
+  EXPECT_EQ(plan->faults[1].count, 1u);
+
+  EXPECT_FALSE(fault::parse_plan("drop_posted_write:from=2ms,until=2ms").has_value());
+  EXPECT_FALSE(fault::parse_plan("drop_posted_write:from=3ms,until=1ms").has_value());
+}
+
+TEST(FaultWindow, StormFiresOnEveryInWindowOpOnly) {
+  sim::Engine eng;
+  auto plan = fault::parse_plan("seed=3;drop_posted_write:from=1ms,until=2ms");
+  ASSERT_TRUE(plan.has_value());
+  auto& inj = fault::Injector::global();
+  inj.configure(std::move(*plan));
+  inj.arm(eng, {});
+
+  EXPECT_FALSE(inj.on_posted_write(0, 1, false, 64).drop) << "before the window";
+  eng.run_until(1'500'000);
+  EXPECT_TRUE(inj.on_posted_write(0, 1, false, 64).drop);
+  EXPECT_TRUE(inj.on_posted_write(0, 1, false, 64).drop) << "a storm hits every op";
+  eng.run_until(2'000'000);
+  EXPECT_FALSE(inj.on_posted_write(0, 1, false, 64).drop) << "the end bound is exclusive";
+  inj.disarm();
+}
+
+TEST(FaultWindow, NthCountsInWindowOpsOnly) {
+  sim::Engine eng;
+  auto plan =
+      fault::parse_plan("seed=3;delay_posted_write:extra=5us,nth=2,from=1ms,until=3ms");
+  ASSERT_TRUE(plan.has_value());
+  auto& inj = fault::Injector::global();
+  inj.configure(std::move(*plan));
+  inj.arm(eng, {});
+
+  // Out-of-window traffic must not advance the nth counter.
+  EXPECT_EQ(inj.on_posted_write(0, 1, false, 64).extra_ns, 0);
+  EXPECT_EQ(inj.on_posted_write(0, 1, false, 64).extra_ns, 0);
+  eng.run_until(1'200'000);
+  EXPECT_EQ(inj.on_posted_write(0, 1, false, 64).extra_ns, 0) << "1st in-window op";
+  EXPECT_EQ(inj.on_posted_write(0, 1, false, 64).extra_ns, 5'000) << "2nd fires";
+  EXPECT_EQ(inj.on_posted_write(0, 1, false, 64).extra_ns, 0) << "count=1 budget spent";
+  inj.disarm();
+}
+
+TEST(FaultWindow, WindowIsRelativeToArmTime) {
+  sim::Engine eng;
+  eng.run_until(10'000'000);  // the scenario was built late
+  auto plan = fault::parse_plan("seed=3;drop_posted_write:from=0,until=1ms");
+  ASSERT_TRUE(plan.has_value());
+  auto& inj = fault::Injector::global();
+  inj.configure(std::move(*plan));
+  EXPECT_FALSE(inj.on_posted_write(0, 1, false, 64).drop) << "not armed yet";
+  inj.arm(eng, {});
+  EXPECT_TRUE(inj.on_posted_write(0, 1, false, 64).drop)
+      << "window opens at arm time, same origin as `at=`";
+  eng.run_until(11'000'000);
+  EXPECT_FALSE(inj.on_posted_write(0, 1, false, 64).drop);
+  inj.disarm();
+}
+
 // --- drop_posted_write ------------------------------------------------------------
 
 TEST(FaultRecovery, LostDoorbellIsRetried) {

@@ -285,5 +285,129 @@ TEST(Stress, MultiQpChaosSameSeedRunsAreByteIdentical) {
   EXPECT_EQ(first, second);
 }
 
+// --- manager-crash takeover storm -------------------------------------------------
+
+/// A failure storm aimed at the control plane (docs/MODEL.md §10): the
+/// active manager is killed mid-run, its hot standby takes over, then THAT
+/// manager is killed too and the second standby in the chain takes over —
+/// all under verified multi-channel I/O from two clients, with a windowed
+/// posted-write delay storm running across both outages.
+constexpr std::string_view kTakeoverStormPlan =
+    "seed=23;"
+    "host_crash:host=0,at=2ms;"
+    "host_crash:host=3,at=8ms;"
+    "delay_posted_write:dst=1,extra=20us,prob=0.02,from=2ms,until=9ms";
+
+std::string chaos_run_takeover_storm() {
+  obs::Registry::global().reset_values();
+  auto plan = fault::parse_plan(kTakeoverStormPlan);
+  EXPECT_TRUE(plan.has_value()) << plan.status().to_string();
+  fault::Injector::global().configure(std::move(*plan));
+
+  std::string snapshot;
+  {
+    Testbed tb(small_testbed(5));
+    driver::Manager::Config mc;
+    mc.lease_duration_ns = 1_ms;
+    mc.client_heartbeat_timeout_ns = 4_ms;
+    auto manager = tb.wait(driver::Manager::start(tb.service(), 0, tb.device_id(), mc));
+    EXPECT_TRUE(manager.has_value()) << manager.status().to_string();
+    if (!manager) return {};
+
+    driver::Client::Config cc;
+    cc.channels = 2;
+    cc.queue_depth = 4;
+    cc.cmd_timeout_ns = 500'000;
+    cc.cmd_retry_limit = 6;
+    cc.retry_backoff_ns = 50'000;
+    cc.heartbeat_interval_ns = 300'000;
+    cc.mailbox_timeout_ns = 1_ms;
+    cc.mailbox_retry_limit = 12;
+    cc.mailbox_retry_backoff_ns = 100'000;
+    auto c1 = tb.wait(driver::Client::attach(tb.service(), 1, tb.device_id(), cc));
+    cc.channels = 1;
+    auto c2 = tb.wait(driver::Client::attach(tb.service(), 2, tb.device_id(), cc));
+    EXPECT_TRUE(c1.has_value() && c2.has_value());
+    if (!c1 || !c2) return {};
+
+    // Standby chain on hosts 3 and 4. Each standby needs its own metadata
+    // segment id and private segment base: hinted allocation may land both
+    // managers' segments in the same host, where ids must stay unique.
+    std::vector<std::unique_ptr<driver::Manager>> standbys;
+    for (std::uint32_t i = 0; i < 2; ++i) {
+      driver::Manager::Config sc = mc;
+      sc.metadata_segment_id = 0x4d455442 + i;
+      sc.private_segment_base = 0x4e000000 + (i << 8);
+      auto sb = tb.wait(
+          driver::Manager::start_standby(tb.service(), 3 + i, tb.device_id(), sc));
+      EXPECT_TRUE(sb.has_value()) << sb.status().to_string();
+      if (!sb) return {};
+      standbys.push_back(std::move(*sb));
+    }
+    fault::Injector::global().arm(tb.engine(), {});
+
+    std::vector<sim::Future<Result<workload::JobResult>>> jobs;
+    for (std::size_t i = 0; i < 2; ++i) {
+      workload::JobSpec spec;
+      spec.pattern = workload::JobSpec::Pattern::randrw;
+      spec.ops = 0;
+      spec.duration = 12_ms;  // spans both outages and both takeovers
+      spec.queue_depth = 4;
+      spec.verify = true;
+      spec.seed = 0x51 + i;
+      spec.region_blocks = 32 * 1024;
+      spec.region_offset_blocks = i * 64 * 1024;
+      driver::Client& cl = i == 0 ? **c1 : **c2;
+      jobs.push_back(
+          workload::run_job(tb.cluster(), cl, static_cast<sisci::NodeId>(i + 1), spec));
+    }
+    for (auto& job : jobs) {
+      auto result = tb.wait(std::move(job), 600_s);
+      EXPECT_TRUE(result.has_value()) << result.status().to_string();
+      if (result.has_value()) {
+        EXPECT_EQ(result->errors, 0u)
+            << "in-flight I/O must never error across manager takeovers";
+        EXPECT_EQ(result->verify_failures, 0u);
+      }
+    }
+    tb.engine().run_for(2_ms);  // let the second takeover's aftermath settle
+
+    // The chain promoted in order: host 3 served epoch 2, host 4 epoch 3.
+    EXPECT_FALSE((*manager)->is_active());
+    EXPECT_FALSE(standbys[0]->is_active());
+    EXPECT_TRUE(standbys[1]->is_active());
+    EXPECT_EQ(standbys[0]->stats().takeovers.value(), 1u);
+    EXPECT_EQ(standbys[1]->stats().takeovers.value(), 1u);
+    EXPECT_EQ(standbys[1]->epoch(), 3u);
+    // Both clients heartbeated into each successor in time: nobody reaped.
+    EXPECT_EQ(standbys[0]->stats().qps_reaped.value(), 0u);
+    EXPECT_EQ(standbys[1]->stats().qps_reaped.value(), 0u);
+    EXPECT_FALSE(tb.controller().is_fatal());
+
+    snapshot = obs::Registry::global().to_json();
+  }
+  fault::Injector::global().disarm();
+  return snapshot;
+}
+
+TEST(Stress, TakeoverStormSoakSurvives) {
+  const std::string snapshot = chaos_run_takeover_storm();
+  ASSERT_FALSE(snapshot.empty());
+  EXPECT_NE(snapshot.find("\"nvmeshare.fault.host_crashes\":2"), std::string::npos)
+      << snapshot;
+  EXPECT_NE(snapshot.find("\"nvmeshare.manager.takeovers\":2"), std::string::npos)
+      << snapshot;
+}
+
+TEST(Stress, TakeoverStormSameSeedRunsAreByteIdentical) {
+  // The determinism pin for the HA machinery: lease renewal, staggered
+  // claims, ring adoption, heartbeat re-homing and the windowed delay storm
+  // must all be a pure function of the plan + workload seeds.
+  const std::string first = chaos_run_takeover_storm();
+  const std::string second = chaos_run_takeover_storm();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
 }  // namespace
 }  // namespace nvmeshare

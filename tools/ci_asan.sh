@@ -163,6 +163,31 @@ grep -q '"qos_class":"high"' "$WRR_A"
 grep -q '"nvmeshare.engine.client.qos.deferred_cmds":[1-9]' "$WRR_A"
 echo "wrr soak ok: paced chaos run recovered, byte-identical reruns"
 
+# --- manager failover -----------------------------------------------------------
+# Hot-standby takeover under ASan (docs/MODEL.md §10): kill the active
+# manager mid-run while a verified multi-channel workload is in flight and a
+# posted-write delay storm jitters the client host. The standby must claim
+# the next epoch and take over with ZERO I/O errors (nvsh_fio exits 1 on
+# any error or verify failure — no tolerance here), and the takeover count
+# must land in the JSON config. Twice, byte-identical: takeover is part of
+# the deterministic instruction stream, not an escape from it.
+TAKEOVER_PLAN="seed=23;host_crash:host=0,at=3ms;delay_posted_write:dst=1,extra=20us,prob=0.02,from=2ms,until=9ms"
+takeover_smoke() {
+  "$BUILD_DIR/tools/nvsh_fio" --scenario ours-remote --rw randrw --qd 4 \
+    --channels 2 --runtime-ms 10 --seed 7 --region-blocks 4096 --verify \
+    --standbys 1 --faults "$TAKEOVER_PLAN" --json "$1" > /dev/null
+}
+TAKEOVER_A="$BUILD_DIR/takeover_a.json"
+TAKEOVER_B="$BUILD_DIR/takeover_b.json"
+takeover_smoke "$TAKEOVER_A"
+takeover_smoke "$TAKEOVER_B"
+cmp "$TAKEOVER_A" "$TAKEOVER_B"
+grep -q '"standbys":"1"' "$TAKEOVER_A"
+grep -q '"takeovers":"1"' "$TAKEOVER_A"
+grep -q '"nvmeshare.manager.takeovers":1' "$TAKEOVER_A"
+grep -q '"nvmeshare.fault.host_crashes":1' "$TAKEOVER_A"
+echo "takeover soak ok: standby took over mid-run, zero errors, byte-identical reruns"
+
 # --- event-core perf harness ----------------------------------------------------
 # nvsh_perf under the sanitizer: exercises the calendar queue (including the
 # overflow refill), the event-node arena, and the IoEngine pending-command

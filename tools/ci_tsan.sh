@@ -27,7 +27,7 @@ export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
 # Soak the suites that hammer the recovery and integrity machinery
 # (gtest case names are capitalized; ctest -R is case-sensitive).
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  -R 'Stress|Fault|Failover|Chaos|Checksums|ProtectionInfo|BlockStorePi|Pi|Determinism|Fuzz|Sweep|Engine'
+  -R 'Stress|Fault|Failover|Takeover|Chaos|Checksums|ProtectionInfo|BlockStorePi|Pi|Determinism|Fuzz|Sweep|Engine'
 
 # Chaos + corruption soak: seeded faults, PI-formatted namespace, client
 # verify, and the background scrubber all active in one run. Exit 1 means
@@ -59,5 +59,22 @@ fi
   --ops 2000 --seed 7 --qos-class high --qos-iops 50000 \
   --faults "seed=11;drop_posted_write:src=0,dst=1,nth=40,count=2;ntb_link_down:host=1,at=2ms,for=300us;ctrl_error:nth=100" \
   > /dev/null
+
+# Manager-crash takeover soak under TSan: the active manager is killed
+# mid-run with a hot standby watching its lease; the workload is verified
+# and nvsh_fio exits nonzero on any I/O error, so a takeover that drops
+# in-flight I/O fails the build. Same-seed double run, byte-identical.
+TAKEOVER_PLAN="seed=23;host_crash:host=0,at=3ms;delay_posted_write:dst=1,extra=20us,prob=0.02,from=2ms,until=9ms"
+takeover_soak() {
+  "$BUILD_DIR/tools/nvsh_fio" --scenario ours-remote --rw randrw --qd 4 \
+    --channels 2 --runtime-ms 10 --seed 7 --region-blocks 4096 --verify \
+    --standbys 1 --faults "$TAKEOVER_PLAN" --json "$1" > /dev/null
+}
+TAKEOVER_A="$BUILD_DIR/takeover_a.json"
+TAKEOVER_B="$BUILD_DIR/takeover_b.json"
+takeover_soak "$TAKEOVER_A"
+takeover_soak "$TAKEOVER_B"
+cmp "$TAKEOVER_A" "$TAKEOVER_B"
+grep -q '"takeovers":"1"' "$TAKEOVER_A"
 
 echo "ci_tsan: all green"

@@ -40,6 +40,7 @@ struct Options {
   std::uint64_t qos_iops = 0;  ///< requested IOPS budget (0 = class default)
   std::string json_path;  ///< empty = no JSON document; "-" = stdout
   std::string faults;     ///< fault plan DSL (docs/faults.md); empty = no chaos
+  std::uint32_t standbys = 0;  ///< hot-standby managers (ours-remote; MODEL.md §10)
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -74,7 +75,12 @@ struct Options {
       "  --faults PLAN     deterministic fault-injection plan (docs/faults.md), e.g.\n"
       "                    \"seed=7;ntb_link_down:host=1,at=1ms,for=300us\"; also\n"
       "                    enables the drivers' recovery machinery (timeouts,\n"
-      "                    retries, heartbeats, watchdogs)\n",
+      "                    retries, heartbeats, watchdogs)\n"
+      "  --standbys N      start N hot-standby managers on extra hosts watching the\n"
+      "                    active manager's lease (ours-remote only; enables epoch\n"
+      "                    leases and client admin-path retry, MODEL.md §10). Pair\n"
+      "                    with --faults \"host_crash:host=0,at=...\" to exercise\n"
+      "                    takeover; the takeover count lands in --json\n",
       argv0);
   std::exit(2);
 }
@@ -122,6 +128,8 @@ Options parse(int argc, char** argv) {
       opt.json_path = need_value(i);
     } else if (!std::strcmp(arg, "--faults")) {
       opt.faults = need_value(i);
+    } else if (!std::strcmp(arg, "--standbys")) {
+      opt.standbys = static_cast<std::uint32_t>(std::strtoul(need_value(i), nullptr, 0));
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg);
       usage(argv[0]);
@@ -188,13 +196,31 @@ Scenario build_scenario(const Options& opt) {
     ic.capsule_timeout_ns = 2'000'000;
     ic.capsule_retry_limit = 4;
   }
+  if (opt.standbys > 0) {
+    if (opt.scenario != "ours-remote") {
+      std::fprintf(stderr, "--standbys requires --scenario ours-remote\n");
+      std::exit(2);
+    }
+    // Hot-standby takeover (MODEL.md §10): the active manager publishes an
+    // epoch lease and clients ride a takeover out with mailbox retries.
+    mc.lease_duration_ns = 1'000'000;
+    mc.client_heartbeat_timeout_ns = 4'000'000;
+    cc.mailbox_timeout_ns = 1'000'000;
+    cc.mailbox_retry_limit = 12;
+    cc.mailbox_retry_backoff_ns = 100'000;
+    cc.heartbeat_interval_ns = 300'000;
+  }
 
   auto testbed = [&](std::uint32_t hosts) {
     workload::TestbedConfig cfg = default_bench_testbed(hosts);
     cfg.nvme.pi_enabled = opt.integrity;  // "format with metadata"
     return cfg;
   };
-  if (opt.scenario == "ours-remote") return make_ours_remote(cc, mc, testbed(2));
+  if (opt.scenario == "ours-remote") {
+    Scenario s = make_ours_remote(cc, mc, testbed(2 + opt.standbys));
+    if (opt.standbys > 0) add_standbys(s, opt.standbys, mc);
+    return s;
+  }
   if (opt.scenario == "ours-local") return make_ours_local(cc, mc, testbed(1));
   if (opt.scenario == "linux-local") return make_linux_local(testbed(1));
   if (opt.scenario == "nvmeof-remote") return make_nvmeof_remote(ic, testbed(2), tc);
@@ -262,6 +288,9 @@ int main(int argc, char** argv) {
   }
   const workload::JobResult result = run(scenario, build_spec(opt), /*tolerate_errors=*/chaos);
 
+  std::uint64_t takeovers = 0;
+  for (const auto& sb : scenario.standbys) takeovers += sb->stats().takeovers.value();
+
   const auto& lat = result.total_latency;
   const bool quiet = opt.json_path == "-";  // keep stdout parseable
   if (!quiet) {
@@ -276,6 +305,10 @@ int main(int argc, char** argv) {
     std::printf("  latency us: min=%.2f p50=%.2f p99=%.2f max=%.2f mean=%.2f\n",
                 ns_to_us(lat.min()), lat.percentile(50) / 1000.0, lat.percentile(99) / 1000.0,
                 ns_to_us(lat.max()), lat.mean() / 1000.0);
+    if (opt.standbys > 0) {
+      std::printf("  standbys=%u takeovers=%llu\n", opt.standbys,
+                  static_cast<unsigned long long>(takeovers));
+    }
   }
   bool json_ok = true;
   if (!opt.json_path.empty()) {
@@ -299,6 +332,10 @@ int main(int argc, char** argv) {
                        {"qos_class", opt.qos_class},
                        {"qos_iops", std::to_string(opt.qos_iops)}};
     if (chaos) config.emplace_back("faults", opt.faults);
+    if (opt.standbys > 0) {
+      config.emplace_back("standbys", std::to_string(opt.standbys));
+      config.emplace_back("takeovers", std::to_string(takeovers));
+    }
     json_ok = write_bench_json(opt.json_path, bench_document("nvsh_fio", config, boxes));
   }
   if (chaos) fault::Injector::global().disarm();
