@@ -40,9 +40,18 @@ struct Scenario {
   std::vector<std::unique_ptr<driver::Manager>> standbys;
 };
 
+/// Process-wide substrate selection for the scenario builders below. Set it
+/// once from `--substrate` before building scenarios; every
+/// default_bench_testbed() call then picks it up.
+inline fabric::SubstrateKind& bench_substrate() {
+  static fabric::SubstrateKind kind = fabric::SubstrateKind::ntb;
+  return kind;
+}
+
 inline TestbedConfig default_bench_testbed(std::uint32_t hosts) {
   TestbedConfig cfg;
   cfg.hosts = hosts;
+  cfg.substrate = bench_substrate();
   return cfg;
 }
 
@@ -276,6 +285,22 @@ inline const char* trace_flag(int argc, char** argv) {
     if (std::string(argv[i]) == "--trace") return argv[i + 1];
   }
   return nullptr;
+}
+
+/// Value of `--substrate {ntb,cxl}` from a raw argv (default ntb). Exits with
+/// a usage message on an unknown substrate name.
+inline fabric::SubstrateKind substrate_flag(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--substrate") {
+      auto kind = fabric::parse_substrate(argv[i + 1]);
+      if (!kind) {
+        std::fprintf(stderr, "unknown substrate '%s' (expected ntb or cxl)\n", argv[i + 1]);
+        std::exit(2);
+      }
+      return *kind;
+    }
+  }
+  return fabric::SubstrateKind::ntb;
 }
 
 }  // namespace nvmeshare::bench

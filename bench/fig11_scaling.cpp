@@ -95,7 +95,9 @@ void print_rows(const std::vector<Row>& rows) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench_substrate() = substrate_flag(argc, argv);
   print_header("multi-queue scaling: channels x fixed per-channel depth (4 KiB randread)");
+  std::printf("substrate: %s\n", std::string(fabric::substrate_name(bench_substrate())).c_str());
   std::printf("ops per point: %llu, per-channel depth: %u\n",
               static_cast<unsigned long long>(kOps), kPerChannelDepth);
 
@@ -137,7 +139,8 @@ int main(int argc, char** argv) {
   if (const char* path = json_flag(argc, argv)) {
     std::vector<BoxSummary> boxes;
     for (const auto& r : all) boxes.push_back(r.box);
-    BenchConfig config{{"block_bytes", "4096"},
+    BenchConfig config{{"substrate", std::string(fabric::substrate_name(bench_substrate()))},
+                       {"block_bytes", "4096"},
                        {"per_channel_depth", std::to_string(kPerChannelDepth)},
                        {"channels", "1,2,4"},
                        {"ops", std::to_string(kOps)}};

@@ -75,6 +75,7 @@ struct Options {
   std::uint32_t qd = 32;
   std::uint32_t channels = 4;
   std::uint64_t seed = 2024;
+  std::string substrate = "ntb";  ///< stack mode interconnect: ntb | cxl
   std::string json_path;
 };
 
@@ -88,6 +89,7 @@ struct Options {
                "  --qd N          queue depth per channel (default 32)\n"
                "  --channels N    channels / queue pairs (default 4; max 16)\n"
                "  --seed N        workload seed for stack mode (default 2024)\n"
+               "  --substrate S   stack mode interconnect: ntb | cxl (default ntb)\n"
                "  --json PATH     write the perf document (\"-\" = stdout)\n",
                argv0);
   std::exit(2);
@@ -115,6 +117,12 @@ Options parse(int argc, char** argv) {
       opt.channels = static_cast<std::uint32_t>(std::strtoul(need_value(i), nullptr, 0));
     } else if (!std::strcmp(arg, "--seed")) {
       opt.seed = std::strtoull(need_value(i), nullptr, 0);
+    } else if (!std::strcmp(arg, "--substrate")) {
+      opt.substrate = need_value(i);
+      if (!fabric::parse_substrate(opt.substrate)) {
+        std::fprintf(stderr, "unknown substrate: %s\n", opt.substrate.c_str());
+        usage(argv[0]);
+      }
     } else if (!std::strcmp(arg, "--json")) {
       opt.json_path = need_value(i);
     } else {
@@ -370,6 +378,8 @@ int main(int argc, char** argv) {
     usage(argv[0]);
   }
 
+  bench_substrate() = *fabric::parse_substrate(opt.substrate);
+
   const bool quiet = opt.json_path == "-";
   std::vector<ModeResult> results;
   if (all || opt.mode == "engine") results.push_back(run_engine_mode(opt.events));
@@ -393,6 +403,7 @@ int main(int argc, char** argv) {
           .set(r.cycles_per_item());
     }
     BenchConfig config{{"mode", opt.mode},
+                       {"substrate", opt.substrate},
                        {"events", std::to_string(opt.events)},
                        {"ops", std::to_string(opt.ops)},
                        {"stack_ops", std::to_string(opt.stack_ops)},

@@ -33,7 +33,7 @@ sim::Future<Result<std::unique_ptr<BareController>>> BareController::init(
 sim::Task BareController::init_task(std::unique_ptr<BareController> self,
                                     sim::Promise<Result<std::unique_ptr<BareController>>> promise) {
   BareController& m = *self;
-  pcie::Fabric& fabric = m.cluster_.fabric();
+  fabric::Substrate& fabric = m.cluster_.fabric();
   sim::Engine& engine = fabric.engine();
 
   m.host_ = fabric.endpoint_host(m.endpoint_);
@@ -271,7 +271,7 @@ sim::Task BareController::delete_qp_task(std::uint16_t qid,
 
 Status BareController::program_msix(std::uint16_t vector, std::uint64_t addr,
                                     std::uint32_t data) {
-  pcie::Fabric& fabric = cluster_.fabric();
+  fabric::Substrate& fabric = cluster_.fabric();
   Bytes entry(16);
   store_pod(entry, addr, 0);
   store_pod(entry, data, 8);

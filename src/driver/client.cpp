@@ -79,13 +79,18 @@ Client::~Client() {
 }
 
 sim::Engine& Client::engine() { return service_.cluster().engine(); }
-pcie::Fabric& Client::fabric() { return service_.cluster().fabric(); }
+fabric::Substrate& Client::fabric() { return service_.cluster().fabric(); }
 
-Status Client::copy_dram(std::uint64_t dst, std::uint64_t src, std::uint64_t len) {
-  mem::PhysMem& dram = fabric().host_dram(node_);
+Status Client::copy_to_bounce(std::uint64_t slot_off, std::uint64_t src, std::uint64_t len) {
   Bytes tmp(len);
-  NVS_RETURN_IF_ERROR(dram.read(src, tmp));
-  return dram.write(dst, tmp);
+  NVS_RETURN_IF_ERROR(fabric().host_dram(node_).read(src, tmp));
+  return bounce_seg_.write(slot_off, tmp);
+}
+
+Status Client::copy_from_bounce(std::uint64_t dst, std::uint64_t slot_off, std::uint64_t len) {
+  Bytes tmp(len);
+  NVS_RETURN_IF_ERROR(bounce_seg_.read(slot_off, tmp));
+  return fabric().host_dram(node_).write(dst, tmp);
 }
 
 // --- block::IoTransport -------------------------------------------------------------
@@ -139,7 +144,7 @@ std::unique_ptr<nvme::QueuePair> Client::make_queue_pair(std::uint32_t chan,
   qc.sq_size = cfg_.queue_entries;
   qc.cq_size = cfg_.queue_entries;
   qc.sq_write_addr = sq_cpu_map_.addr() + chan * sq_stride_bytes();
-  qc.cq_poll_addr = cq_seg_.phys_addr() + chan * cq_stride_bytes();
+  qc.cq_poll_addr = cq_cpu_map_.addr() + chan * cq_stride_bytes();
   qc.sq_doorbell_addr = bar_.addr() + nvme::sq_doorbell_offset(qid);
   qc.cq_doorbell_addr = bar_.addr() + nvme::cq_doorbell_offset(qid);
   qc.cpu = fabric().cpu(node_);
@@ -160,7 +165,7 @@ sim::Task Client::init_task(std::unique_ptr<Client> self,
                             sim::Promise<Result<std::unique_ptr<Client>>> promise) {
   Client& c = *self;
   sim::Engine& engine = c.engine();
-  pcie::Fabric& fabric = c.fabric();
+  fabric::Substrate& fabric = c.fabric();
   sisci::Cluster& cluster = c.service_.cluster();
   const pcie::Initiator cpu = fabric.cpu(c.node_);
 
@@ -285,8 +290,8 @@ sim::Task Client::init_task(std::unique_ptr<Client> self,
     co_return;
   }
   c.cq_seg_ = std::move(*cq_seg);
-  if (c.cq_seg_.node() != c.node_) {
-    promise.set(Status(Errc::internal, "CQ hint did not resolve to local memory"));
+  if (!fabric.cpu_pollable(c.node_, c.cq_seg_.node())) {
+    promise.set(Status(Errc::internal, "CQ hint did not resolve to CPU-pollable memory"));
     co_return;
   }
 
@@ -312,7 +317,11 @@ sim::Task Client::init_task(std::unique_ptr<Client> self,
   const std::uint64_t bounce_bytes =
       static_cast<std::uint64_t>(total_depth) * c.cfg_.slot_bytes;
   if (c.cfg_.data_path == DataPath::bounce_buffer) {
-    auto bounce = cluster.create_segment(c.node_, client_segment_id(c.cfg_.segment_namespace, c.node_, 2), bounce_bytes);
+    // Both the CPU and the device touch the bounce buffer on every request;
+    // the substrate places it (NTB: client-local DRAM, CXL: the pool).
+    auto bounce = c.service_.create_segment_hinted(
+        c.node_, client_segment_id(c.cfg_.segment_namespace, c.node_, 2), bounce_bytes,
+        c.device_id_, smartio::AccessHint::data());
     if (!bounce) {
       promise.set(bounce.status());
       co_return;
@@ -419,13 +428,21 @@ sim::Task Client::init_task(std::unique_ptr<Client> self,
   ec.qos_iops_limit = resp->qos_granted_iops;
   ec.qos_bytes_per_s = resp->qos_granted_bytes_per_s;
 
-  // 8. CPU view of the SQ (an NTB window when it lives device-side).
+  // 8. CPU views of the rings: the SQ map is an NTB window when the SQ
+  //    lives device-side; the CQ map is direct for local DRAM and an HDM
+  //    address for a pooled CQ.
   auto sq_map = sisci::Map::create(cluster, c.node_, c.sq_seg_.descriptor());
   if (!sq_map) {
     promise.set(sq_map.status());
     co_return;
   }
   c.sq_cpu_map_ = std::move(*sq_map);
+  auto cq_map = sisci::Map::create(cluster, c.node_, c.cq_seg_.descriptor());
+  if (!cq_map) {
+    promise.set(cq_map.status());
+    co_return;
+  }
+  c.cq_cpu_map_ = std::move(*cq_map);
 
   c.qps_.resize(c.cfg_.channels);
   for (std::uint32_t ch = 0; ch < c.cfg_.channels; ++ch) {
@@ -483,7 +500,7 @@ sim::Future<Result<MboxSlot>> Client::mailbox_call(MboxSlot request) {
 // same-client grant whose SQ address overlaps before creating the new one.
 sim::Task Client::mailbox_call_task(MboxSlot request, sim::Promise<Result<MboxSlot>> promise) {
   sim::Engine& eng = engine();
-  pcie::Fabric& fab = fabric();
+  fabric::Substrate& fab = fabric();
   const pcie::Initiator cpu = fab.cpu(node_);
   co_await mailbox_lock_->acquire();
 
@@ -580,7 +597,7 @@ sim::Future<Status> Client::refresh_manager() {
 // mailbox calls then land in the new manager's segment; nothing about the
 // established queue pairs changes (the takeover adopted them).
 sim::Task Client::refresh_manager_task(sim::Promise<Status> promise) {
-  pcie::Fabric& fab = fabric();
+  fabric::Substrate& fab = fabric();
   sisci::Cluster& cluster = service_.cluster();
   const pcie::Initiator cpu = fab.cpu(node_);
 
@@ -710,7 +727,7 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
 
   std::uint64_t prp1 = 0;
   std::uint64_t prp2 = 0;
-  sisci::NtbMapping dynamic_map;  // IOMMU mode: torn down after completion
+  fabric::Window dynamic_map;  // IOMMU mode: torn down after completion
   bool iommu_mapped = false;
   const std::uint64_t slot_base =
       static_cast<std::uint64_t>(slot) * cfg_.slot_bytes;  // offset within bounce segment
@@ -726,8 +743,7 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
     range.nlb = request.nblocks;
     range.slba = request.lba;
     if (cfg_.data_path == DataPath::bounce_buffer) {
-      (void)fabric().host_dram(node_).write(bounce_seg_.phys_addr() + slot_base,
-                                            as_bytes_of(range));
+      (void)bounce_seg_.write(slot_base, as_bytes_of(range));
       prp1 = bounce_win_.device_addr() + slot_base;
     } else {
       (void)prp_seg_.write(static_cast<std::uint64_t>(slot) * nvme::kPageSize,
@@ -735,18 +751,18 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
       prp1 = prp_win_.device_addr() + static_cast<std::uint64_t>(slot) * nvme::kPageSize;
     }
   } else if (cfg_.data_path == DataPath::bounce_buffer) {
-    const std::uint64_t slot_phys = bounce_seg_.phys_addr() + slot_base;
     const std::uint64_t slot_iova = bounce_win_.device_addr() + slot_base;
     if (is_write) {
       // The extra copy on the submission path (Section V).
-      if (Status st = copy_dram(slot_phys, request.buffer_addr, bytes); !st) {
+      if (Status st = copy_to_bounce(slot_base, request.buffer_addr, bytes); !st) {
         release_slot();
         finish(st);
         co_return;
       }
       ++stats_.bounce_copies;
       stats_.bounce_copy_bytes += bytes;
-      co_await sim::delay(eng, cfg_.costs.memcpy_ns(bytes));
+      co_await sim::delay(eng, cfg_.costs.memcpy_ns(bytes) +
+                                   fabric().copy_cost_ns(bounce_seg_.node(), bytes));
       ph.mark(obs::Phase::bounce_copy, eng.now(), span_qid);
     }
     prp1 = slot_iova;
@@ -774,14 +790,11 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
     std::uint64_t mapped_base = map_base;  // device == client host: direct
     auto dev = ref_.info();
     if (dev && dev->host != node_) {
-      auto ntb = fabric().host_ntb(dev->host);
-      if (!ntb) {
-        (void)iommu_.unmap(map_base);
-        release_slot();
-        finish(ntb.status());
-        co_return;
-      }
-      auto mapping = sisci::NtbMapping::program(fabric(), *ntb, node_, map_base, map_span);
+      // Viewed from the device's host: a device-side NTB window on the NTB
+      // substrate; unsupported on the CXL pool (private DRAM is unreachable
+      // — pooled bounce buffers are the supported data path there).
+      auto mapping = fabric().map_window(fabric::MapIntent::dma, dev->host, node_,
+                                         map_base, map_span);
       if (!mapping) {
         (void)iommu_.unmap(map_base);
         release_slot();
@@ -789,7 +802,7 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
         co_return;
       }
       dynamic_map = std::move(*mapping);
-      mapped_base = dynamic_map.local_addr();
+      mapped_base = dynamic_map.addr();
     }
     iommu_mapped = true;
     prp1 = mapped_base + (request.buffer_addr - map_base);
@@ -889,11 +902,11 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
                       std::string("NVMe status: ") + nvme::status_name(outcome.status));
     } else if (request.op == block::Op::read && cfg_.data_path == DataPath::bounce_buffer) {
       // The extra copy on the completion path (Section V).
-      const std::uint64_t slot_phys = bounce_seg_.phys_addr() + slot_base;
-      status = copy_dram(request.buffer_addr, slot_phys, bytes);
+      status = copy_from_bounce(request.buffer_addr, slot_base, bytes);
       ++stats_.bounce_copies;
       stats_.bounce_copy_bytes += bytes;
-      co_await sim::delay(eng, cfg_.costs.memcpy_ns(bytes));
+      co_await sim::delay(eng, cfg_.costs.memcpy_ns(bytes) +
+                                   fabric().copy_cost_ns(bounce_seg_.node(), bytes));
       ph.mark(obs::Phase::bounce_copy, eng.now(), span_qid, outcome.token);
     }
 
@@ -1065,7 +1078,7 @@ sim::Task Client::recover_task(std::uint32_t chan, std::shared_ptr<bool> stop) {
 // the manager's reaper tolerates staleness up to its timeout.
 sim::Task Client::heartbeat_task(std::shared_ptr<bool> stop) {
   sim::Engine& eng = engine();
-  pcie::Fabric& fab = fabric();
+  fabric::Substrate& fab = fabric();
   const pcie::Initiator cpu = fab.cpu(node_);
   for (;;) {
     co_await sim::delay(eng, cfg_.heartbeat_interval_ns);

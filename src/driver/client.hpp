@@ -214,10 +214,13 @@ class Client final : public block::BlockDevice, private block::IoTransport {
   void on_armed(std::uint32_t chan) override;
 
   [[nodiscard]] sim::Engine& engine();
-  [[nodiscard]] pcie::Fabric& fabric();
-  /// Zero-cost data copy between a DRAM buffer and a bounce slot (the time
-  /// is charged separately from the cost model).
-  Status copy_dram(std::uint64_t dst, std::uint64_t src, std::uint64_t len);
+  [[nodiscard]] fabric::Substrate& fabric();
+  /// Data copies between the user's DRAM buffer and a bounce slot. The copy
+  /// itself is applied instantly; the time is charged separately from the
+  /// cost model plus the substrate's staging cost (zero for local DRAM,
+  /// port/DSA latency for a pooled bounce segment).
+  Status copy_to_bounce(std::uint64_t slot_off, std::uint64_t src, std::uint64_t len);
+  Status copy_from_bounce(std::uint64_t dst, std::uint64_t slot_off, std::uint64_t len);
   /// Build channel `chan`'s queue-pair view over this client's ring slices.
   [[nodiscard]] std::unique_ptr<nvme::QueuePair> make_queue_pair(std::uint32_t chan,
                                                                  std::uint16_t qid);
@@ -253,6 +256,7 @@ class Client final : public block::BlockDevice, private block::IoTransport {
   smartio::DmaWindow bounce_win_;
   smartio::DmaWindow prp_win_;
   sisci::Map sq_cpu_map_;
+  sisci::Map cq_cpu_map_;  ///< CPU view of the CQ (direct unless pooled)
 
   /// One queue pair per channel; slot, pending, deadline, retry, and
   /// recovery bookkeeping all live in the shared engine.

@@ -1,6 +1,6 @@
 #include "driver/irq.hpp"
 
-#include "pcie/fabric.hpp"
+#include "fabric/substrate.hpp"
 
 namespace nvmeshare::driver {
 

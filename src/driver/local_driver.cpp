@@ -95,7 +95,7 @@ sim::Task LocalDriver::init_task(std::unique_ptr<LocalDriver> self, pcie::Endpoi
   }
   d.ctrl_ = std::move(*ctrl);
   const pcie::HostId host = d.ctrl_->host();
-  pcie::Fabric& fabric = d.cluster_.fabric();
+  fabric::Substrate& fabric = d.cluster_.fabric();
 
   // Per-channel ring stride. Single-channel keeps the seed-exact ring size;
   // multi-channel slices are page-rounded because NVMe queue base addresses

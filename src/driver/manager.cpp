@@ -64,7 +64,7 @@ Manager::~Manager() {
 }
 
 sim::Engine& Manager::engine() { return service_.cluster().engine(); }
-pcie::Fabric& Manager::fabric() { return service_.cluster().fabric(); }
+fabric::Substrate& Manager::fabric() { return service_.cluster().fabric(); }
 
 std::uint16_t Manager::active_queue_pairs() const {
   return static_cast<std::uint16_t>(std::count(qid_used_.begin(), qid_used_.end(), true));
@@ -111,7 +111,7 @@ sim::Future<Result<std::unique_ptr<Manager>>> Manager::start(smartio::Service& s
 sim::Task Manager::init_task(std::unique_ptr<Manager> self,
                              sim::Promise<Result<std::unique_ptr<Manager>>> promise) {
   Manager& m = *self;
-  pcie::Fabric& fabric = m.fabric();
+  fabric::Substrate& fabric = m.fabric();
   sim::Engine& engine = m.engine();
   sisci::Cluster& cluster = m.service_.cluster();
   const pcie::Initiator cpu = fabric.cpu(m.node_);
@@ -199,13 +199,16 @@ sim::Task Manager::init_task(std::unique_ptr<Manager> self,
   m.acq_win_ = std::move(*acq_win);
   m.admin_data_win_ = std::move(*data_win);
 
-  // 6. CPU view of the admin SQ (it may live device-side).
+  // 6. CPU views of the admin rings: the SQ may live device-side; the CQ
+  //    is direct for local DRAM, an HDM address when pooled.
   auto asq_map = sisci::Map::create(cluster, m.node_, m.asq_seg_.descriptor());
-  if (!asq_map) {
-    promise.set(asq_map.status());
+  auto acq_map = sisci::Map::create(cluster, m.node_, m.acq_seg_.descriptor());
+  if (!asq_map || !acq_map) {
+    promise.set((!asq_map ? asq_map.status() : acq_map.status()));
     co_return;
   }
   m.asq_cpu_map_ = std::move(*asq_map);
+  m.acq_cpu_map_ = std::move(*acq_map);
 
   // 7. Program admin queue registers and enable.
   const std::uint32_t aqa = static_cast<std::uint32_t>(entries - 1) |
@@ -239,7 +242,7 @@ sim::Task Manager::init_task(std::unique_ptr<Manager> self,
   qc.sq_size = entries;
   qc.cq_size = entries;
   qc.sq_write_addr = m.asq_cpu_map_.addr();
-  qc.cq_poll_addr = m.acq_seg_.phys_addr();  // hint guarantees it is local
+  qc.cq_poll_addr = m.acq_cpu_map_.addr();  // hint guarantees it is pollable
   qc.sq_doorbell_addr = m.bar_.addr() + nvme::sq_doorbell_offset(0);
   qc.cq_doorbell_addr = m.bar_.addr() + nvme::cq_doorbell_offset(0);
   qc.cpu = cpu;
@@ -297,8 +300,12 @@ sim::Task Manager::init_task(std::unique_ptr<Manager> self,
 
   // 11. Publish the metadata segment.
   const auto nodes = static_cast<std::uint32_t>(fabric.host_count());
-  auto meta = cluster.create_segment(m.node_, m.cfg_.metadata_segment_id,
-                                     metadata_segment_size(nodes));
+  // Every client CPU reads this segment; the substrate places it where that
+  // works (NTB: manager-local DRAM mapped via LUTs, CXL: the shared pool).
+  auto meta = cluster.create_segment_placed(m.node_, m.node_, /*cpu_access=*/true,
+                                            /*device_access=*/false,
+                                            m.cfg_.metadata_segment_id,
+                                            metadata_segment_size(nodes));
   if (!meta) {
     promise.set(meta.status());
     co_return;
@@ -341,7 +348,7 @@ sim::Task Manager::init_task(std::unique_ptr<Manager> self,
     m.publish_lease();
   }
 
-  if (Status st = m.service_.set_device_metadata(m.device_id_, m.node_,
+  if (Status st = m.service_.set_device_metadata(m.device_id_, m.metadata_seg_.node(),
                                                  m.cfg_.metadata_segment_id);
       !st) {
     promise.set(st);
@@ -781,7 +788,7 @@ sim::Task Manager::reaper_task(std::shared_ptr<bool> stop) {
 // pairs through the mailbox once their own deadlines notice the loss.
 sim::Task Manager::watchdog_task(std::shared_ptr<bool> stop) {
   sim::Engine& eng = engine();
-  pcie::Fabric& fab = fabric();
+  fabric::Substrate& fab = fabric();
   const pcie::Initiator cpu = fab.cpu(node_);
   auto write_reg32 = [&](std::uint64_t off, std::uint32_t v) {
     Bytes b(4);
@@ -827,8 +834,9 @@ sim::Task Manager::watchdog_task(std::shared_ptr<bool> stop) {
       auto asq_win = ref_.map_for_device(asq_seg->descriptor());
       auto acq_win = ref_.map_for_device(acq_seg->descriptor());
       auto asq_map = sisci::Map::create(service_.cluster(), node_, asq_seg->descriptor());
-      if (!asq_win || !acq_win || !asq_map) {
-        NVS_LOG(error, "manager") << "no NTB windows to re-home adopted admin rings";
+      auto acq_map = sisci::Map::create(service_.cluster(), node_, acq_seg->descriptor());
+      if (!asq_win || !acq_win || !asq_map || !acq_map) {
+        NVS_LOG(error, "manager") << "no fabric windows to re-home adopted admin rings";
         admin_lock_->release();
         continue;
       }
@@ -837,6 +845,7 @@ sim::Task Manager::watchdog_task(std::shared_ptr<bool> stop) {
       asq_win_ = std::move(*asq_win);
       acq_win_ = std::move(*acq_win);
       asq_cpu_map_ = std::move(*asq_map);
+      acq_cpu_map_ = std::move(*acq_map);
       journal_.asq_node = asq_seg_.node();
       journal_.asq_segment = asq_seg_.id();
       journal_.acq_node = acq_seg_.node();
@@ -883,7 +892,7 @@ sim::Task Manager::watchdog_task(std::shared_ptr<bool> stop) {
     qc.sq_size = entries;
     qc.cq_size = entries;
     qc.sq_write_addr = asq_cpu_map_.addr();
-    qc.cq_poll_addr = acq_seg_.phys_addr();
+    qc.cq_poll_addr = acq_cpu_map_.addr();
     qc.sq_doorbell_addr = bar_.addr() + nvme::sq_doorbell_offset(0);
     qc.cq_doorbell_addr = bar_.addr() + nvme::cq_doorbell_offset(0);
     qc.cpu = cpu;
@@ -1085,7 +1094,7 @@ sim::Task Manager::standby_init_task(std::unique_ptr<Manager> self,
                                      sim::Promise<Result<std::unique_ptr<Manager>>> promise) {
   Manager& m = *self;
   sim::Engine& engine = m.engine();
-  pcie::Fabric& fabric = m.fabric();
+  fabric::Substrate& fabric = m.fabric();
   sisci::Cluster& cluster = m.service_.cluster();
   const pcie::Initiator cpu = fabric.cpu(m.node_);
 
@@ -1192,7 +1201,7 @@ sim::Task Manager::standby_init_task(std::unique_ptr<Manager> self,
 // costs a few reads per poll interval and nothing on any hot path.
 sim::Task Manager::standby_watch_task(std::shared_ptr<bool> stop) {
   sim::Engine& eng = engine();
-  pcie::Fabric& fab = fabric();
+  fabric::Substrate& fab = fabric();
   const pcie::Initiator cpu = fab.cpu(node_);
 
   for (;;) {
@@ -1276,7 +1285,7 @@ sim::Future<Status> Manager::takeover_await(ManagerLease claim) {
 // their device references; their admin calls retry into the new mailbox.
 sim::Task Manager::takeover_task(ManagerLease claim, sim::Promise<Status> done) {
   sim::Engine& eng = engine();
-  pcie::Fabric& fab = fabric();
+  fabric::Substrate& fab = fabric();
   sisci::Cluster& cluster = service_.cluster();
   const pcie::Initiator cpu = fab.cpu(node_);
   const sim::Time begin = eng.now();
@@ -1409,8 +1418,9 @@ sim::Task Manager::takeover_task(ManagerLease claim, sim::Promise<Status> done) 
   // 6. Fresh metadata segment on this host: header and owner table carried
   // over, QoS policy from our own config, empty mailbox slots.
   const std::uint32_t nodes = header_.mailbox_slots;
-  auto meta =
-      cluster.create_segment(node_, cfg_.metadata_segment_id, metadata_segment_size(nodes));
+  auto meta = cluster.create_segment_placed(node_, node_, /*cpu_access=*/true,
+                                            /*device_access=*/false, cfg_.metadata_segment_id,
+                                            metadata_segment_size(nodes));
   if (!meta) {
     done.set(meta.status());
     co_return;
@@ -1455,7 +1465,8 @@ sim::Task Manager::takeover_task(ManagerLease claim, sim::Promise<Status> done) 
 
   // 8. Re-point the registration — CAS against the owner we watched, so two
   // standbys racing the same claim cannot both win it.
-  if (Status st = service_.reassign_device_metadata(device_id_, watched_node_, node_,
+  if (Status st = service_.reassign_device_metadata(device_id_, watched_node_,
+                                                    metadata_seg_.node(),
                                                     cfg_.metadata_segment_id);
       !st) {
     done.set(st);

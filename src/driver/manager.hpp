@@ -216,7 +216,7 @@ class Manager {
   }
 
   [[nodiscard]] sim::Engine& engine();
-  [[nodiscard]] pcie::Fabric& fabric();
+  [[nodiscard]] fabric::Substrate& fabric();
 
   smartio::Service& service_;
   smartio::NodeId node_;
@@ -234,6 +234,7 @@ class Manager {
   smartio::DmaWindow acq_win_;
   smartio::DmaWindow admin_data_win_;
   sisci::Map asq_cpu_map_;  ///< CPU view of the (possibly device-side) admin SQ
+  sisci::Map acq_cpu_map_;  ///< CPU view of the admin CQ (direct unless pooled)
   std::unique_ptr<nvme::QueuePair> admin_qp_;
   std::unique_ptr<sim::Semaphore> admin_lock_;
 

@@ -1,0 +1,53 @@
+// Base class for device functions attached to a substrate.
+//
+// An endpoint exposes one or more BARs (register regions). Register accesses
+// arrive from the substrate *at the transaction's arrival time*, so side
+// effects such as doorbell writes are naturally delayed by path traversal.
+// Endpoints initiate DMA through the Substrate reference they receive when
+// attached — the same device model runs unchanged over NTB and CXL.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "fabric/types.hpp"
+
+namespace nvmeshare::fabric {
+
+class Substrate;
+
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual int bar_count() const = 0;
+  /// Size in bytes of BAR `bar` (power of two, >= 4 KiB).
+  [[nodiscard]] virtual std::uint64_t bar_size(int bar) const = 0;
+
+  /// Read `len` bytes at `offset` within BAR `bar`.
+  virtual Result<Bytes> bar_read(int bar, std::uint64_t offset, std::size_t len) = 0;
+  /// Write into BAR `bar`; side effects (doorbells) happen here.
+  virtual Status bar_write(int bar, std::uint64_t offset, ConstByteSpan data) = 0;
+
+  /// Substrate wiring, set by the substrate's attach call.
+  void on_attached(Substrate& fabric, Initiator self, EndpointId id) noexcept {
+    fabric_ = &fabric;
+    self_ = self;
+    id_ = id;
+  }
+
+  [[nodiscard]] Substrate* fabric() const noexcept { return fabric_; }
+  /// This device's identity as a DMA initiator.
+  [[nodiscard]] Initiator dma_initiator() const noexcept { return self_; }
+  [[nodiscard]] EndpointId endpoint_id() const noexcept { return id_; }
+
+ private:
+  Substrate* fabric_ = nullptr;
+  Initiator self_{};
+  EndpointId id_ = 0;
+};
+
+}  // namespace nvmeshare::fabric

@@ -1,0 +1,61 @@
+// Identifiers and small shared types of the interconnect substrate layer.
+//
+// A *substrate* is whatever moves bytes between hosts and devices: the
+// PCIe/NTB cluster fabric of the paper, or the CXL pooled-memory model.
+// These types are substrate-neutral; `pcie::` and `cxl::` alias them so
+// consumers written against one substrate compile against any.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace nvmeshare::fabric {
+
+/// One independent computer system (its own address space + DRAM). Some
+/// substrates expose additional *spaces* past the hosts (e.g. the CXL
+/// pool); APIs that take a segment owner accept those too.
+using HostId = std::uint32_t;
+/// A forwarding element inside a substrate (root complex, switch chip,
+/// NTB adapter...). Substrates without an internal graph may reuse the
+/// host id here.
+using ChipId = std::uint32_t;
+/// An attached device function.
+using EndpointId = std::uint32_t;
+
+inline constexpr HostId kNoHost = std::numeric_limits<HostId>::max();
+inline constexpr ChipId kNoChip = std::numeric_limits<ChipId>::max();
+
+/// Where memory transactions from some agent enter the substrate. CPUs
+/// enter at their host's root port; devices enter at their attachment
+/// point.
+struct Initiator {
+  HostId host = kNoHost;
+  ChipId chip = kNoChip;
+};
+
+/// Scatter-gather element: a device-visible address plus a length.
+struct SgEntry {
+  std::uint64_t addr = 0;
+  std::uint32_t len = 0;
+};
+
+/// The interconnect technologies a testbed can be built on.
+enum class SubstrateKind : std::uint8_t {
+  ntb,  ///< PCIe cluster fabric with NTB LUT windows (the paper's hardware)
+  cxl,  ///< CXL 3.x pooled-memory substrate (shared pool, no NTB hops)
+};
+
+[[nodiscard]] constexpr std::string_view substrate_name(SubstrateKind k) noexcept {
+  return k == SubstrateKind::ntb ? "ntb" : "cxl";
+}
+
+[[nodiscard]] inline Result<SubstrateKind> parse_substrate(std::string_view s) {
+  if (s == "ntb") return SubstrateKind::ntb;
+  if (s == "cxl") return SubstrateKind::cxl;
+  return Status(Errc::invalid_argument, "unknown substrate (expected ntb|cxl)");
+}
+
+}  // namespace nvmeshare::fabric

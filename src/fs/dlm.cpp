@@ -56,7 +56,7 @@ Result<BakeryLock> BakeryLock::join(sisci::Cluster& cluster, sisci::NodeId node,
 }
 
 Status BakeryLock::write_my_slot(const Slot& slot) {
-  pcie::Fabric& fabric = cluster_->fabric();
+  fabric::Substrate& fabric = cluster_->fabric();
   Bytes buf(sizeof(Slot));
   store_pod(buf, slot);
   return fabric
@@ -65,7 +65,7 @@ Status BakeryLock::write_my_slot(const Slot& slot) {
 }
 
 sim::Future<Result<Bytes>> BakeryLock::read_slot(std::uint32_t index) {
-  pcie::Fabric& fabric = cluster_->fabric();
+  fabric::Substrate& fabric = cluster_->fabric();
   return fabric.read(fabric.cpu(node_), map_.addr() + index * sizeof(Slot), sizeof(Slot));
 }
 

@@ -4,7 +4,7 @@
 #include <cstring>
 
 #include "common/log.hpp"
-#include "pcie/fabric.hpp"
+#include "fabric/substrate.hpp"
 
 namespace nvmeshare::fs {
 

@@ -506,11 +506,9 @@ sim::Task Controller::complete(std::uint16_t sqid, std::uint16_t sq_head_after,
 
   Result<sim::Time> arrival = Status(Errc::internal, "unattempted");
   for (;;) {
-    Bytes buf(sizeof(CompletionEntry));
-    store_pod(buf, e);
     arrival = fabric()->post_write(
         dma_initiator(), cq.base + static_cast<std::uint64_t>(slot) * sizeof(CompletionEntry),
-        std::move(buf), not_before);
+        as_bytes_of(e), not_before);
     if (arrival) break;
     // Per-queue isolation, mirroring the SQ-fetch path: retry transient
     // unreachability (link down) until the CQ heals or is deleted; permanent
@@ -530,11 +528,9 @@ sim::Task Controller::complete(std::uint16_t sqid, std::uint16_t sq_head_after,
   if (sqid != 0) trace_io_span(sqid, cid, obs::Phase::cq_write, engine_.now(), *arrival);
   if (cq.irq_enabled && cq.irq_vector < msix_.size() && !msix_[cq.irq_vector].masked &&
       msix_[cq.irq_vector].addr != 0) {
-    Bytes msg(4);
-    store_pod(msg, msix_[cq.irq_vector].data);
     // The interrupt message is a posted write ordered behind the CQE.
-    (void)fabric()->post_write(dma_initiator(), msix_[cq.irq_vector].addr, std::move(msg),
-                               *arrival);
+    (void)fabric()->post_write(dma_initiator(), msix_[cq.irq_vector].addr,
+                               as_bytes_of(msix_[cq.irq_vector].data), *arrival);
   }
 }
 
@@ -609,7 +605,7 @@ sim::Task Controller::run_admin(SubmissionEntry sqe, std::uint16_t sq_head_after
         complete(0, sq_head_after, sqe.cid, kScInvalidField, 0, gen, 0);
         co_return;
       }
-      auto arrival = fabric()->write_sg(dma_initiator(), *sg, std::move(payload));
+      auto arrival = fabric()->write_sg(dma_initiator(), *sg, payload);
       if (!arrival) {
         complete(0, sq_head_after, sqe.cid, kScDataTransferError, 0, gen, 0);
         co_return;
@@ -982,7 +978,7 @@ sim::Task Controller::run_io(std::uint16_t qid, SubmissionEntry sqe,
       complete(qid, sq_head_after, sqe.cid, kScInvalidField, 0, gen, 0);
       co_return;
     }
-    auto arrival = fabric()->write_sg(dma_initiator(), *sg, std::move(data));
+    auto arrival = fabric()->write_sg(dma_initiator(), *sg, data);
     if (!arrival) {
       complete(qid, sq_head_after, sqe.cid, kScDataTransferError, 0, gen, 0);
       co_return;
@@ -1046,18 +1042,18 @@ sim::Task Controller::run_io(std::uint16_t qid, SubmissionEntry sqe,
 
 // --- PRP walking -----------------------------------------------------------------------------
 
-sim::Future<Result<std::vector<pcie::SgEntry>>> Controller::walk_prps(std::uint64_t prp1,
+sim::Future<Result<std::vector<fabric::SgEntry>>> Controller::walk_prps(std::uint64_t prp1,
                                                                       std::uint64_t prp2,
                                                                       std::uint64_t total) {
-  sim::Promise<Result<std::vector<pcie::SgEntry>>> promise(engine_);
+  sim::Promise<Result<std::vector<fabric::SgEntry>>> promise(engine_);
   walk_prps_task(promise, prp1, prp2, total);
   return promise.future();
 }
 
-sim::Task Controller::walk_prps_task(sim::Promise<Result<std::vector<pcie::SgEntry>>> promise,
+sim::Task Controller::walk_prps_task(sim::Promise<Result<std::vector<fabric::SgEntry>>> promise,
                                      std::uint64_t prp1, std::uint64_t prp2,
                                      std::uint64_t total) {
-  std::vector<pcie::SgEntry> sg;
+  std::vector<fabric::SgEntry> sg;
   if (total == 0) {
     promise.set(std::move(sg));
     co_return;

@@ -21,13 +21,13 @@
 #include "nvme/block_store.hpp"
 #include "nvme/spec.hpp"
 #include "obs/metrics.hpp"
-#include "pcie/endpoint.hpp"
-#include "pcie/fabric.hpp"
+#include "fabric/endpoint.hpp"
+#include "fabric/substrate.hpp"
 #include "sim/task.hpp"
 
 namespace nvmeshare::nvme {
 
-class Controller final : public pcie::Endpoint {
+class Controller final : public fabric::Endpoint {
  public:
   /// Media / processing latency profile. Defaults approximate an Intel
   /// Optane P4800X: low, very consistent 4 KiB latency (the paper picked
@@ -192,10 +192,10 @@ class Controller final : public pcie::Endpoint {
 
   /// Decode the PRP chain of a command into a scatter list of `total` bytes.
   /// May cost simulated time (PRP-list fetch is a DMA read).
-  sim::Future<Result<std::vector<pcie::SgEntry>>> walk_prps(std::uint64_t prp1,
+  sim::Future<Result<std::vector<fabric::SgEntry>>> walk_prps(std::uint64_t prp1,
                                                             std::uint64_t prp2,
                                                             std::uint64_t total);
-  sim::Task walk_prps_task(sim::Promise<Result<std::vector<pcie::SgEntry>>> promise,
+  sim::Task walk_prps_task(sim::Promise<Result<std::vector<fabric::SgEntry>>> promise,
                            std::uint64_t prp1, std::uint64_t prp2, std::uint64_t total);
 
   [[nodiscard]] sim::Duration media_latency(IoOpcode op, std::uint32_t nblocks);

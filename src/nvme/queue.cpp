@@ -12,7 +12,7 @@ QueuePair::Stats::Stats()
       reap_batches("nvmeshare.queue.reap_batches"),
       spurious_cqes("nvmeshare.queue.spurious_cqes") {}
 
-QueuePair::QueuePair(pcie::Fabric& fabric, Config cfg) : fabric_(fabric), cfg_(cfg) {
+QueuePair::QueuePair(fabric::Substrate& fabric, Config cfg) : fabric_(fabric), cfg_(cfg) {
   cid_busy_.assign(cfg_.sq_size, false);
 }
 
@@ -36,11 +36,9 @@ Result<std::uint16_t> QueuePair::push(SubmissionEntry entry) {
   cid_busy_[cid] = true;
   entry.cid = cid;
 
-  Bytes buf(sizeof(SubmissionEntry));
-  store_pod(buf, entry);
   auto arrival = fabric_.post_write(
       cfg_.cpu, cfg_.sq_write_addr + static_cast<std::uint64_t>(sq_tail_) * sizeof(entry),
-      std::move(buf));
+      as_bytes_of(entry));
   if (!arrival) {
     cid_busy_[cid] = false;
     return arrival.status();
@@ -52,15 +50,14 @@ Result<std::uint16_t> QueuePair::push(SubmissionEntry entry) {
 }
 
 Status QueuePair::ring_sq_doorbell() {
-  Bytes buf(4);
-  store_pod(buf, static_cast<std::uint32_t>(sq_tail_));
-  auto arrival = fabric_.post_write(cfg_.cpu, cfg_.sq_doorbell_addr, std::move(buf));
+  const auto tail = static_cast<std::uint32_t>(sq_tail_);
+  auto arrival = fabric_.post_write(cfg_.cpu, cfg_.sq_doorbell_addr, as_bytes_of(tail));
   if (arrival) ++stats_.sq_doorbells;
   return arrival.status();
 }
 
 bool QueuePair::take_at_head(CompletionEntry& e) {
-  Status st = fabric_.peek(
+  Status st = fabric_.poll_read(
       cfg_.cpu.host, cfg_.cq_poll_addr + static_cast<std::uint64_t>(cq_head_) * sizeof(e),
       as_writable_bytes_of(e));
   // Single branch covers both "queue memory unreachable" and "stale phase
@@ -99,9 +96,8 @@ std::size_t QueuePair::reap(std::span<CompletionEntry> out) {
 }
 
 Status QueuePair::ring_cq_doorbell() {
-  Bytes buf(4);
-  store_pod(buf, static_cast<std::uint32_t>(cq_head_));
-  auto arrival = fabric_.post_write(cfg_.cpu, cfg_.cq_doorbell_addr, std::move(buf));
+  const auto head = static_cast<std::uint32_t>(cq_head_);
+  auto arrival = fabric_.post_write(cfg_.cpu, cfg_.cq_doorbell_addr, as_bytes_of(head));
   if (arrival) ++stats_.cq_doorbells;
   return arrival.status();
 }

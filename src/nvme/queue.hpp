@@ -4,7 +4,8 @@
 //
 // Shared by every driver in the tree: the distributed driver's manager and
 // clients, the local baseline driver, and the NVMe-oF target. The queue
-// memory may be local DRAM or an NTB window — the ring logic is identical,
+// memory may be local DRAM, an NTB window, or CXL pooled memory — the ring
+// logic is identical,
 // which is precisely the paper's observation that "any address a controller
 // can use DMA to is a valid queue memory location".
 #pragma once
@@ -17,7 +18,7 @@
 #include "common/status.hpp"
 #include "nvme/spec.hpp"
 #include "obs/metrics.hpp"
-#include "pcie/fabric.hpp"
+#include "fabric/substrate.hpp"
 
 namespace nvmeshare::nvme {
 
@@ -30,14 +31,15 @@ class QueuePair {
     /// Address (in the operating host's space) where SQEs are written.
     std::uint64_t sq_write_addr = 0;
     /// Address (in the operating host's space) where CQEs are polled; must
-    /// be CPU-readable without stalling, i.e. local DRAM.
+    /// be CPU-pollable without stalling (local DRAM, pooled memory, or an
+    /// established CPU window).
     std::uint64_t cq_poll_addr = 0;
     std::uint64_t sq_doorbell_addr = 0;
     std::uint64_t cq_doorbell_addr = 0;
-    pcie::Initiator cpu;  ///< the host operating this queue pair
+    fabric::Initiator cpu;  ///< the host operating this queue pair
   };
 
-  QueuePair(pcie::Fabric& fabric, Config cfg);
+  QueuePair(fabric::Substrate& fabric, Config cfg);
 
   [[nodiscard]] std::uint16_t qid() const noexcept { return cfg_.qid; }
   /// Commands currently submitted but not yet completed.
@@ -109,7 +111,7 @@ class QueuePair {
   /// Consume the CQ head slot into `e` if a fresh completion is present.
   bool take_at_head(CompletionEntry& e);
 
-  pcie::Fabric& fabric_;
+  fabric::Substrate& fabric_;
   Config cfg_;
   std::uint16_t sq_tail_ = 0;
   std::uint16_t cq_head_ = 0;

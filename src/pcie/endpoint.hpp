@@ -1,53 +1,13 @@
-// Base class for PCIe device functions attached to the fabric.
-//
-// An endpoint exposes one or more BARs (register regions). Register accesses
-// arrive from the fabric *at the transaction's arrival time*, so side
-// effects such as doorbell writes are naturally delayed by path traversal.
-// Endpoints initiate DMA through the Fabric reference they receive when
-// attached.
+// PCIe device functions are substrate-neutral endpoints: the same device
+// model (BAR registers + DMA through the attached substrate) runs over the
+// NTB fabric and the CXL pool alike. See fabric/endpoint.hpp.
 #pragma once
 
-#include <cstdint>
-#include <string_view>
-
-#include "common/bytes.hpp"
-#include "common/status.hpp"
+#include "fabric/endpoint.hpp"
 #include "pcie/types.hpp"
 
 namespace nvmeshare::pcie {
 
-class Fabric;
-
-class Endpoint {
- public:
-  virtual ~Endpoint() = default;
-
-  [[nodiscard]] virtual std::string_view name() const = 0;
-  [[nodiscard]] virtual int bar_count() const = 0;
-  /// Size in bytes of BAR `bar` (power of two, >= 4 KiB).
-  [[nodiscard]] virtual std::uint64_t bar_size(int bar) const = 0;
-
-  /// Read `len` bytes at `offset` within BAR `bar`.
-  virtual Result<Bytes> bar_read(int bar, std::uint64_t offset, std::size_t len) = 0;
-  /// Write into BAR `bar`; side effects (doorbells) happen here.
-  virtual Status bar_write(int bar, std::uint64_t offset, ConstByteSpan data) = 0;
-
-  /// Fabric wiring, set by Fabric::attach_endpoint.
-  void on_attached(Fabric& fabric, Initiator self, EndpointId id) noexcept {
-    fabric_ = &fabric;
-    self_ = self;
-    id_ = id;
-  }
-
-  [[nodiscard]] Fabric* fabric() const noexcept { return fabric_; }
-  /// This device's identity as a DMA initiator.
-  [[nodiscard]] Initiator dma_initiator() const noexcept { return self_; }
-  [[nodiscard]] EndpointId endpoint_id() const noexcept { return id_; }
-
- private:
-  Fabric* fabric_ = nullptr;
-  Initiator self_{};
-  EndpointId id_ = 0;
-};
+using Endpoint = fabric::Endpoint;
 
 }  // namespace nvmeshare::pcie

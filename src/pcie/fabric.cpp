@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "common/log.hpp"
+#include "common/units.hpp"
 #include "fault/fault.hpp"
 
 namespace nvmeshare::pcie {
@@ -18,15 +20,8 @@ std::uint64_t pow2_ceil(std::uint64_t v) {
 }
 }  // namespace
 
-Fabric::Stats::Stats()
-    : posted_writes("nvmeshare.fabric.posted_writes"),
-      reads("nvmeshare.fabric.reads"),
-      bytes_written("nvmeshare.fabric.bytes_written"),
-      bytes_read("nvmeshare.fabric.bytes_read"),
-      unsupported_requests("nvmeshare.fabric.unsupported_requests"),
-      ntb_translations("nvmeshare.fabric.ntb_translations") {}
-
-Fabric::Fabric(sim::Engine& engine, LatencyModel model) : engine_(engine), model_(model) {}
+Fabric::Fabric(sim::Engine& engine, LatencyModel model)
+    : fabric::Substrate(engine), model_(model) {}
 
 HostId Fabric::add_host(std::string name, std::uint64_t dram_size) {
   auto host = std::make_unique<HostState>();
@@ -195,6 +190,52 @@ Status Fabric::set_ntb_link(HostId host, bool up) {
   return Status::ok();
 }
 
+// --- windows -----------------------------------------------------------------
+
+Result<fabric::Window> Fabric::map_window(fabric::MapIntent intent, HostId viewer,
+                                          HostId owner, std::uint64_t addr,
+                                          std::uint64_t size) {
+  (void)intent;  // CPU maps and DMA windows both consume LUT runs on NTB
+  if (viewer >= hosts_.size() || owner >= hosts_.size()) {
+    return Status(Errc::invalid_argument, "bad host id");
+  }
+  if (size == 0) return Status(Errc::invalid_argument, "cannot map empty range");
+  if (owner == viewer) return make_window(0, addr, size);
+
+  auto ntb = host_ntb(viewer);
+  if (!ntb) return ntb.status();
+  const std::uint64_t window = ntb_window_size(*ntb);
+  const auto count = static_cast<std::uint32_t>(div_ceil(size, window));
+  auto first = ntb_alloc_run(*ntb, count);
+  if (!first) return first.status();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (Status st = ntb_program(*ntb, *first + i, owner,
+                                addr + static_cast<std::uint64_t>(i) * window);
+        !st) {
+      // Roll back the entries programmed so far.
+      for (std::uint32_t j = 0; j < i; ++j) (void)ntb_clear(*ntb, *first + j);
+      return st;
+    }
+  }
+  auto local = ntb_window_address(*ntb, *first);
+  if (!local) {
+    for (std::uint32_t j = 0; j < count; ++j) (void)ntb_clear(*ntb, *first + j);
+    return local.status();
+  }
+  const std::uint64_t token = next_window_token_++;
+  windows_.emplace(token, MapRec{*ntb, *first, count});
+  return make_window(token, *local, size);
+}
+
+void Fabric::unmap_window(std::uint64_t token) {
+  auto it = windows_.find(token);
+  if (it == windows_.end()) return;
+  for (std::uint32_t i = 0; i < it->second.count; ++i) {
+    (void)ntb_clear(it->second.ntb, it->second.first + i);
+  }
+  windows_.erase(it);
+}
+
 // --- resolution ----------------------------------------------------------------
 
 const Fabric::Region* Fabric::find_region(HostId host, std::uint64_t addr,
@@ -283,31 +324,50 @@ Status Fabric::apply_write(const Resolved& target, ConstByteSpan data) {
   return endpoints_[target.ep].ep->bar_write(target.bar, target.bar_offset, data);
 }
 
-Result<Bytes> Fabric::apply_read(const Resolved& target, std::size_t len) {
+Status Fabric::apply_read_into(const Resolved& target, ByteSpan out) {
   if (target.kind == Resolved::Kind::dram) {
-    Bytes out(len);
-    if (Status st = hosts_[target.host]->dram->read(target.addr, out); !st) return st;
-    return out;
+    return hosts_[target.host]->dram->read(target.addr, out);
   }
-  return endpoints_[target.ep].ep->bar_read(target.bar, target.bar_offset, len);
+  Result<Bytes> data = endpoints_[target.ep].ep->bar_read(target.bar, target.bar_offset,
+                                                          out.size());
+  if (!data) return data.status();
+  std::copy(data->begin(), data->end(), out.begin());
+  return Status::ok();
+}
+
+// --- payload pool ------------------------------------------------------------------
+
+Bytes Fabric::take_payload(std::size_t n) {
+  if (payload_pool_.empty()) return Bytes(n);
+  Bytes b = std::move(payload_pool_.back());
+  payload_pool_.pop_back();
+  b.resize(n);
+  return b;
+}
+
+void Fabric::recycle_payload(Bytes&& b) {
+  // Bound both the number of pooled buffers and the capacity each can pin,
+  // so a burst of large DMAs doesn't park megabytes forever.
+  constexpr std::size_t kMaxPooled = 64;
+  constexpr std::size_t kMaxPooledCapacity = 256 * 1024;
+  if (payload_pool_.size() < kMaxPooled && b.capacity() <= kMaxPooledCapacity) {
+    payload_pool_.push_back(std::move(b));
+  }
 }
 
 // --- transactions -------------------------------------------------------------------
 
 sim::Time Fabric::posted_arrival(const Initiator& who, ChipId target_chip,
-                                 sim::Duration latency, std::uint64_t bytes,
+                                 sim::Duration latency, sim::Duration gap,
                                  sim::Time not_before) {
   sim::Time& floor = posted_floor_[{who.chip, target_chip}];
-  const sim::Duration gap =
-      model_.serialization_ns(bytes) +
-      static_cast<sim::Duration>(model_.tlp_count(bytes)) * model_.tlp_overhead_ns;
   const sim::Time arrival = std::max({engine_.now() + latency, floor + gap, not_before});
   floor = arrival;
   return arrival;
 }
 
-Result<sim::Time> Fabric::post_write(const Initiator& who, std::uint64_t addr, Bytes data,
-                                     sim::Time not_before) {
+Result<sim::Time> Fabric::post_write(const Initiator& who, std::uint64_t addr,
+                                     ConstByteSpan data, sim::Time not_before) {
   auto target = resolve(who.host, addr, data.size());
   if (!target) {
     ++stats_.unsupported_requests;
@@ -336,27 +396,37 @@ Result<sim::Time> Fabric::post_write(const Initiator& who, std::uint64_t addr, B
   stats_.bytes_written += data.size();
   stats_.ntb_translations += static_cast<std::uint64_t>(target->ntb_crossings);
 
-  const sim::Duration lat =
-      model_.posted_write_ns(pc->cost_ns, target->ntb_crossings, data.size()) + fault_extra;
-  const sim::Time arrival =
-      posted_arrival(who, target->target_chip, lat, data.size(), not_before);
+  // Wire occupancy (serialization + TLP overhead) is both part of the
+  // delivery latency and the pipelining gap — compute it once.
+  const sim::Duration ser = model_.serialization_ns(data.size());
+  const sim::Duration tlp =
+      static_cast<sim::Duration>(model_.tlp_count(data.size())) * model_.tlp_overhead_ns;
+  const sim::Duration lat = model_.one_way_ns(pc->cost_ns, target->ntb_crossings) + tlp +
+                            ser + model_.completer_access_ns + fault_extra;
+  const sim::Time arrival = posted_arrival(who, target->target_chip, lat, ser + tlp,
+                                           not_before);
   if (fault_drop) return arrival;
-  // Wire timing above used the full payload; damage only what lands.
+  // Wire timing above used the full payload; damage only what lands. The
+  // in-flight copy comes from the payload pool — the hot path allocates
+  // nothing once the pool is warm.
+  Bytes payload = take_payload(data.size());
+  if (!data.empty()) std::memcpy(payload.data(), data.data(), data.size());
   if (corrupt.flip) {
-    data[corrupt.flip_bit / 8] ^= std::byte{1} << (corrupt.flip_bit % 8);
+    payload[corrupt.flip_bit / 8] ^= std::byte{1} << (corrupt.flip_bit % 8);
   }
-  if (corrupt.torn) data.resize(corrupt.torn_bytes);
-  engine_.at(arrival, [this, t = *target, d = std::move(data)]() {
+  if (corrupt.torn) payload.resize(corrupt.torn_bytes);
+  engine_.at(arrival, [this, t = *target, d = std::move(payload)]() mutable {
     if (Status st = apply_write(t, d); !st) {
       NVS_LOG(warn, "pcie") << "posted write dropped at target: " << st.to_string();
       ++stats_.unsupported_requests;
     }
+    recycle_payload(std::move(d));
   });
   return arrival;
 }
 
 Result<sim::Time> Fabric::write_sg(const Initiator& who, const std::vector<SgEntry>& sg,
-                                   Bytes data, sim::Time not_before) {
+                                   ConstByteSpan data, sim::Time not_before) {
   std::uint64_t total = 0;
   sim::Duration worst_path = 0;
   int worst_crossings = 0;
@@ -396,8 +466,11 @@ Result<sim::Time> Fabric::write_sg(const Initiator& who, const std::vector<SgEnt
   ++stats_.posted_writes;
   stats_.bytes_written += total;
 
-  const sim::Duration lat =
-      model_.posted_write_ns(worst_path, worst_crossings, total) + fault_extra;
+  const sim::Duration ser = model_.serialization_ns(total);
+  const sim::Duration tlp =
+      static_cast<sim::Duration>(model_.tlp_count(total)) * model_.tlp_overhead_ns;
+  const sim::Duration lat = model_.one_way_ns(worst_path, worst_crossings) + tlp + ser +
+                            model_.completer_access_ns + fault_extra;
   // Order against the FIFO of every chunk's completer — advance each
   // distinct completer chip's floor exactly once, so the aggregate
   // serialization gap is charged a single time for the whole scatter
@@ -410,28 +483,33 @@ Result<sim::Time> Fabric::write_sg(const Initiator& who, const std::vector<SgEnt
   }
   sim::Time arrival = not_before;
   for (ChipId chip : chips) {
-    arrival = std::max(arrival, posted_arrival(who, chip, lat, total, not_before));
+    arrival = std::max(arrival, posted_arrival(who, chip, lat, ser + tlp, not_before));
   }
   for (ChipId chip : chips) {
     posted_floor_[{who.chip, chip}] = arrival;
   }
   if (fault_drop) return arrival;
+  Bytes payload = take_payload(data.size());
+  if (!data.empty()) std::memcpy(payload.data(), data.data(), data.size());
   if (corrupt.flip) {
-    data[corrupt.flip_bit / 8] ^= std::byte{1} << (corrupt.flip_bit % 8);
+    payload[corrupt.flip_bit / 8] ^= std::byte{1} << (corrupt.flip_bit % 8);
   }
   // A torn scatter write delivers only the leading `torn_bytes` of the DMA.
   const std::uint64_t deliver = corrupt.torn ? corrupt.torn_bytes : total;
-  engine_.at(arrival, [this, targets = std::move(targets), sg, d = std::move(data), deliver]() {
-    std::size_t off = 0;
-    for (std::size_t i = 0; i < targets.size() && off < deliver; ++i) {
-      const std::size_t chunk = std::min<std::size_t>(sg[i].len, deliver - off);
-      if (Status st = apply_write(targets[i], ConstByteSpan(d).subspan(off, chunk)); !st) {
-        NVS_LOG(warn, "pcie") << "scatter write chunk dropped: " << st.to_string();
-        ++stats_.unsupported_requests;
-      }
-      off += sg[i].len;
-    }
-  });
+  engine_.at(arrival,
+             [this, targets = std::move(targets), sg, d = std::move(payload), deliver]() mutable {
+               std::size_t off = 0;
+               for (std::size_t i = 0; i < targets.size() && off < deliver; ++i) {
+                 const std::size_t chunk = std::min<std::size_t>(sg[i].len, deliver - off);
+                 if (Status st = apply_write(targets[i], ConstByteSpan(d).subspan(off, chunk));
+                     !st) {
+                   NVS_LOG(warn, "pcie") << "scatter write chunk dropped: " << st.to_string();
+                   ++stats_.unsupported_requests;
+                 }
+                 off += sg[i].len;
+               }
+               recycle_payload(std::move(d));
+             });
   return arrival;
 }
 
@@ -464,17 +542,24 @@ sim::Future<Result<Bytes>> Fabric::read(const Initiator& who, std::uint64_t addr
   engine_.after(one_way + model_.completer_access_ns,
                 [this, t = *target, len, promise, src = who.host,
                  remaining = total - one_way - model_.completer_access_ns]() mutable {
-                  Result<Bytes> data = apply_read(t, len);
+                  // One buffer, filled in place — the DRAM fast path copies
+                  // straight from PhysMem into it.
+                  Bytes data(len);
+                  Status st = apply_read_into(t, data);
                   // Fault injection: a stale read completes successfully but
                   // carries old (zero-filled) data instead of memory contents.
-                  if (data && fault::enabled() &&
+                  if (st && fault::enabled() &&
                       fault::Injector::global().on_dma_read(
                           src, t.host, t.kind == Resolved::Kind::bar)) {
-                    data->assign(data->size(), std::byte{0});
+                    data.assign(data.size(), std::byte{0});
                   }
                   engine_.after(remaining > 0 ? remaining : 0,
-                                [promise, d = std::move(data)]() mutable {
-                                  promise.set(std::move(d));
+                                [promise, st, d = std::move(data)]() mutable {
+                                  if (!st) {
+                                    promise.set(st);
+                                  } else {
+                                    promise.set(std::move(d));
+                                  }
                                 });
                 });
   return future;
@@ -519,16 +604,19 @@ sim::Future<Result<Bytes>> Fabric::read_sg(const Initiator& who,
       one_way + model_.completer_access_ns,
       [this, targets = std::move(targets), sg, promise, src = who.host,
        remaining = total_lat - one_way - model_.completer_access_ns, total]() mutable {
-        Bytes out;
-        out.reserve(total);
+        // Gather into one pre-sized buffer: every DRAM chunk lands directly
+        // in its final position instead of round-tripping through a
+        // per-chunk temporary.
+        Bytes out(total);
         Status failure = Status::ok();
+        std::size_t off = 0;
         for (std::size_t i = 0; i < targets.size(); ++i) {
-          Result<Bytes> chunk = apply_read(targets[i], sg[i].len);
-          if (!chunk) {
-            failure = chunk.status();
+          if (Status st = apply_read_into(targets[i], ByteSpan(out).subspan(off, sg[i].len));
+              !st) {
+            failure = st;
             break;
           }
-          out.insert(out.end(), chunk->begin(), chunk->end());
+          off += sg[i].len;
         }
         // Fault injection (one decision per gather, matching write_sg): a
         // stale gather read completes with zero-filled data.
@@ -550,24 +638,31 @@ sim::Future<Result<Bytes>> Fabric::read_sg(const Initiator& who,
   return future;
 }
 
-Status Fabric::poke(HostId host, std::uint64_t addr, ConstByteSpan data) {
+Status Fabric::do_poke(HostId host, std::uint64_t addr, ConstByteSpan data) {
   auto target = resolve(host, addr, data.size());
   if (!target) return target.status();
   return apply_write(*target, data);
 }
 
-Status Fabric::peek(HostId host, std::uint64_t addr, ByteSpan out) {
-  auto target = resolve(host, addr, out.size());
+Status Fabric::poll_read(HostId viewer, std::uint64_t addr, ByteSpan out) {
+  auto target = resolve(viewer, addr, out.size());
   if (!target) return target.status();
   if (target->kind == Resolved::Kind::dram) {
-    // CQ pollers peek local DRAM every poll round; read straight into the
+    // CQ pollers hit this every poll round; read straight into the
     // caller's buffer instead of round-tripping through a temporary.
     return hosts_[target->host]->dram->read(target->addr, out);
   }
-  Result<Bytes> data = apply_read(*target, out.size());
-  if (!data) return data.status();
-  std::copy(data->begin(), data->end(), out.begin());
-  return Status::ok();
+  return apply_read_into(*target, out);
+}
+
+Status Fabric::do_peek(HostId host, std::uint64_t addr, ByteSpan out) {
+  return poll_read(host, addr, out);
+}
+
+bool Fabric::backdoor_crosses_host(HostId viewer, std::uint64_t addr,
+                                   std::uint64_t len) const {
+  auto target = resolve(viewer, addr, len);
+  return target.has_value() && target->host != viewer;
 }
 
 }  // namespace nvmeshare::pcie

@@ -1,6 +1,8 @@
 // The PCIe cluster fabric: per-host address spaces, BAR enumeration, NTB
 // look-up-table windows, and timed memory transactions that actually move
-// bytes.
+// bytes. This is the NTB substrate behind the neutral fabric::Substrate
+// interface (see fabric/substrate.hpp); consumers above sisci should code
+// against the interface, not this class.
 //
 // Timing semantics (matching PCIe ordering rules):
 //  * post_write() is a posted transaction: it returns the *arrival* time
@@ -9,7 +11,8 @@
 //  * read()/read_sg() are non-posted: the returned future resolves after a
 //    full round trip (request + completion TLPs).
 //  * peek()/poke() are zero-latency backdoors for setup and assertions;
-//    production-path code must not use them across the fabric.
+//    production-path code must not use them across the fabric — enforced
+//    in debug builds once seal_backdoors() is called.
 #pragma once
 
 #include <cstdint>
@@ -20,9 +23,9 @@
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
+#include "fabric/substrate.hpp"
 #include "mem/allocator.hpp"
 #include "mem/phys_mem.hpp"
-#include "obs/metrics.hpp"
 #include "pcie/endpoint.hpp"
 #include "pcie/latency.hpp"
 #include "pcie/topology.hpp"
@@ -31,22 +34,18 @@
 
 namespace nvmeshare::pcie {
 
-/// Scatter-gather element: a device-visible address plus a length.
-struct SgEntry {
-  std::uint64_t addr = 0;
-  std::uint32_t len = 0;
-};
+using SgEntry = fabric::SgEntry;
 
-class Fabric {
+class Fabric final : public fabric::Substrate {
  public:
-  /// Base of the MMIO window (BARs, NTB apertures) in every host's space;
-  /// DRAM occupies [0, dram_size) below it.
-  static constexpr std::uint64_t kMmioBase = 0x40'0000'0000ULL;  // 256 GiB
-  static constexpr std::uint64_t kMmioSize = 0x40'0000'0000ULL;
+  using fabric::Substrate::kMmioBase;
+  using fabric::Substrate::kMmioSize;
 
   Fabric(sim::Engine& engine, LatencyModel model = {});
 
-  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] fabric::SubstrateKind kind() const noexcept override {
+    return fabric::SubstrateKind::ntb;
+  }
   [[nodiscard]] const LatencyModel& latency_model() const noexcept { return model_; }
   [[nodiscard]] Topology& topology() noexcept { return topo_; }
 
@@ -55,13 +54,17 @@ class Fabric {
   /// Add a host with `dram_size` bytes of RAM; creates its root complex.
   HostId add_host(std::string name, std::uint64_t dram_size);
 
-  [[nodiscard]] std::size_t host_count() const noexcept { return hosts_.size(); }
-  [[nodiscard]] const std::string& host_name(HostId h) const { return hosts_.at(h)->name; }
+  [[nodiscard]] std::size_t host_count() const noexcept override { return hosts_.size(); }
+  [[nodiscard]] const std::string& host_name(HostId h) const override {
+    return hosts_.at(h)->name;
+  }
   [[nodiscard]] ChipId host_rc(HostId h) const { return hosts_.at(h)->rc; }
-  [[nodiscard]] mem::PhysMem& host_dram(HostId h) { return *hosts_.at(h)->dram; }
+  [[nodiscard]] mem::PhysMem& host_dram(HostId h) override { return *hosts_.at(h)->dram; }
 
   /// The CPU of host `h` as a transaction initiator.
-  [[nodiscard]] Initiator cpu(HostId h) const { return Initiator{h, hosts_.at(h)->rc}; }
+  [[nodiscard]] Initiator cpu(HostId h) const override {
+    return Initiator{h, hosts_.at(h)->rc};
+  }
 
   /// Add a transparent switch chip below `host` (latency from the model).
   ChipId add_switch_chip(std::string name, HostId host);
@@ -72,11 +75,16 @@ class Fabric {
 
   /// Attach a device function below `chip` on `host`; assigns BAR addresses.
   Result<EndpointId> attach_endpoint(Endpoint& ep, HostId host, ChipId chip);
+  /// Substrate-neutral attach: below the host's root complex.
+  Result<EndpointId> attach(Endpoint& ep, HostId host) override {
+    if (host >= hosts_.size()) return Status(Errc::invalid_argument, "bad host id");
+    return attach_endpoint(ep, host, hosts_[host]->rc);
+  }
 
-  [[nodiscard]] Result<std::uint64_t> bar_address(EndpointId ep, int bar) const;
-  [[nodiscard]] Endpoint* endpoint(EndpointId ep) const;
+  [[nodiscard]] Result<std::uint64_t> bar_address(EndpointId ep, int bar) const override;
+  [[nodiscard]] Endpoint* endpoint(EndpointId ep) const override;
   /// Host the endpoint is physically installed in.
-  [[nodiscard]] HostId endpoint_host(EndpointId ep) const;
+  [[nodiscard]] HostId endpoint_host(EndpointId ep) const override;
   [[nodiscard]] ChipId endpoint_chip(EndpointId ep) const;
 
   // --- NTB ------------------------------------------------------------------
@@ -113,6 +121,26 @@ class Fabric {
   /// every fabric link incident to its NTB chip. While down, transactions
   /// needing the adapter fail with `unavailable`; peek/poke still work.
   Status set_ntb_link(HostId host, bool up);
+  Status set_host_link(HostId host, bool up) override { return set_ntb_link(host, up); }
+
+  // --- windows and placement ------------------------------------------------
+
+  /// CPU maps and device DMA windows both ride NTB LUT runs; a window to
+  /// the viewer's own space is direct (no LUT entries held).
+  Result<fabric::Window> map_window(fabric::MapIntent intent, HostId viewer, HostId owner,
+                                    std::uint64_t addr, std::uint64_t size) override;
+
+  /// NTB placement: keep segments next to whoever reads them (the reader
+  /// would otherwise pay non-posted round trips through the LUT).
+  [[nodiscard]] HostId place_segment(HostId requester, HostId device_host, bool cpu_access,
+                                     bool device_access) const override {
+    if (device_access && !cpu_access) return device_host;
+    return requester;
+  }
+
+  [[nodiscard]] bool cpu_pollable(HostId viewer, HostId owner) const override {
+    return viewer == owner;
+  }
 
   // --- address resolution ------------------------------------------------------
 
@@ -134,42 +162,31 @@ class Fabric {
 
   // --- transactions ------------------------------------------------------------
 
-  /// Posted memory write. Returns the arrival (apply) time; the payload
-  /// becomes visible at the target exactly then. `not_before` lets a caller
-  /// serialize after an earlier posted write on the same path (PCIe posted
-  /// ordering), e.g. an NVMe completion entry after its data.
-  Result<sim::Time> post_write(const Initiator& who, std::uint64_t addr, Bytes data,
-                               sim::Time not_before = 0);
+  Result<sim::Time> post_write(const Initiator& who, std::uint64_t addr, ConstByteSpan data,
+                               sim::Time not_before = 0) override;
 
-  /// Posted scatter write of one buffer across multiple target ranges
-  /// (device DMA of a data block through PRP pages). One aggregate
-  /// serialization cost; returns arrival time of the *last* byte.
   Result<sim::Time> write_sg(const Initiator& who, const std::vector<SgEntry>& sg,
-                             Bytes data, sim::Time not_before = 0);
+                             ConstByteSpan data, sim::Time not_before = 0) override;
 
-  /// Non-posted read; future resolves after the full round trip.
-  sim::Future<Result<Bytes>> read(const Initiator& who, std::uint64_t addr, std::size_t len);
+  sim::Future<Result<Bytes>> read(const Initiator& who, std::uint64_t addr,
+                                  std::size_t len) override;
 
-  /// Non-posted gather read across multiple ranges (device DMA fetch).
-  sim::Future<Result<Bytes>> read_sg(const Initiator& who, const std::vector<SgEntry>& sg);
+  sim::Future<Result<Bytes>> read_sg(const Initiator& who,
+                                     const std::vector<SgEntry>& sg) override;
 
-  /// Zero-latency backdoor access (setup / assertions only).
-  Status poke(HostId host, std::uint64_t addr, ConstByteSpan data);
-  Status peek(HostId host, std::uint64_t addr, ByteSpan out);
+  /// Zero-cost CQ poll; resolves NTB windows (a taken-over manager polls
+  /// the adopted CQ through its map), charging nothing — the paper's CPUs
+  /// poll rings they can load from.
+  Status poll_read(HostId viewer, std::uint64_t addr, ByteSpan out) override;
 
-  // --- stats ------------------------------------------------------------------
+  using Stats = fabric::Stats;
 
-  /// Fabric-wide counters, also registered as `nvmeshare.fabric.*`.
-  struct Stats {
-    Stats();
-    obs::Counter posted_writes;
-    obs::Counter reads;
-    obs::Counter bytes_written;
-    obs::Counter bytes_read;
-    obs::Counter unsupported_requests;  ///< accesses that resolved nowhere
-    obs::Counter ntb_translations;
-  };
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+ protected:
+  Status do_poke(HostId host, std::uint64_t addr, ConstByteSpan data) override;
+  Status do_peek(HostId host, std::uint64_t addr, ByteSpan out) override;
+  [[nodiscard]] bool backdoor_crosses_host(HostId viewer, std::uint64_t addr,
+                                           std::uint64_t len) const override;
+  void unmap_window(std::uint64_t token) override;
 
  private:
   struct Region {
@@ -209,6 +226,13 @@ class Fabric {
     std::vector<std::uint64_t> bar_bases;
   };
 
+  /// A LUT run held by a fabric::Window.
+  struct MapRec {
+    NtbId ntb = 0;
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+  };
+
   [[nodiscard]] const Region* find_region(HostId host, std::uint64_t addr,
                                           std::uint64_t len) const;
   Result<Resolved> resolve_impl(HostId host, std::uint64_t addr, std::uint64_t len,
@@ -217,22 +241,32 @@ class Fabric {
   [[nodiscard]] Result<Topology::PathCost> path_to(const Initiator& who,
                                                    const Resolved& target) const;
   Status apply_write(const Resolved& target, ConstByteSpan data);
-  Result<Bytes> apply_read(const Resolved& target, std::size_t len);
+  /// Read straight into the caller's span — no temporary for DRAM targets.
+  Status apply_read_into(const Resolved& target, ByteSpan out);
 
   /// PCIe ordering: posted writes from one initiator to one completer may
   /// not pass each other, but they pipeline — a later write lands one
   /// serialization gap after its predecessor, not one full path latency.
+  /// `gap` is the wire occupancy (serialization + TLP overhead), computed
+  /// once by the caller and shared with the latency calculation.
   sim::Time posted_arrival(const Initiator& who, ChipId target_chip, sim::Duration latency,
-                           std::uint64_t bytes, sim::Time not_before);
+                           sim::Duration gap, sim::Time not_before);
 
-  sim::Engine& engine_;
+  /// Recycled payload buffers for in-flight posted writes: the hot path
+  /// copies the caller's span into a pooled buffer instead of allocating a
+  /// fresh Bytes per doorbell/CQE (ROADMAP item 1 headroom).
+  Bytes take_payload(std::size_t n);
+  void recycle_payload(Bytes&& b);
+
   LatencyModel model_;
   Topology topo_;
   std::vector<std::unique_ptr<HostState>> hosts_;
   std::vector<NtbState> ntbs_;
   std::vector<EndpointState> endpoints_;
   std::map<std::pair<ChipId, ChipId>, sim::Time> posted_floor_;
-  Stats stats_;
+  std::vector<Bytes> payload_pool_;
+  std::map<std::uint64_t, MapRec> windows_;
+  std::uint64_t next_window_token_ = 1;
 };
 
 }  // namespace nvmeshare::pcie

@@ -1,30 +1,24 @@
-// Identifiers and small shared types of the PCIe cluster model.
+// Identifiers and small shared types of the PCIe cluster model. The core
+// ids are the substrate-neutral ones from `fabric/`; PCIe adds the chip
+// taxonomy and NTB adapter ids that only exist on this substrate.
 #pragma once
 
 #include <cstdint>
-#include <limits>
+
+#include "fabric/types.hpp"
 
 namespace nvmeshare::pcie {
 
-/// One independent computer system (its own PCIe address space + DRAM).
-using HostId = std::uint32_t;
-/// A forwarding element in the fabric graph (root complex, switch chip,
-/// NTB adapter chip, cluster switch chip).
-using ChipId = std::uint32_t;
-/// An attached device function.
-using EndpointId = std::uint32_t;
+using HostId = fabric::HostId;
+using ChipId = fabric::ChipId;
+using EndpointId = fabric::EndpointId;
+using Initiator = fabric::Initiator;
+
 /// An NTB adapter (one per host in a Dolphin-style cluster).
 using NtbId = std::uint32_t;
 
-inline constexpr HostId kNoHost = std::numeric_limits<HostId>::max();
-inline constexpr ChipId kNoChip = std::numeric_limits<ChipId>::max();
-
-/// Where memory transactions from some agent enter the fabric. CPUs enter
-/// at their host's root complex; devices enter at their attachment chip.
-struct Initiator {
-  HostId host = kNoHost;
-  ChipId chip = kNoChip;
-};
+inline constexpr HostId kNoHost = fabric::kNoHost;
+inline constexpr ChipId kNoChip = fabric::kNoChip;
 
 /// Classified role of a chip, used for latency defaults and diagnostics.
 enum class ChipKind : std::uint8_t {

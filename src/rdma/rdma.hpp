@@ -21,12 +21,12 @@
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
-#include "pcie/fabric.hpp"
+#include "fabric/substrate.hpp"
 #include "sim/task.hpp"
 
 namespace nvmeshare::rdma {
 
-using NodeId = pcie::HostId;
+using NodeId = fabric::HostId;
 
 struct NetworkConfig {
   sim::Duration nic_tx_ns = 1000;      ///< send-side WQE fetch, processing, PCIe DMA
@@ -129,10 +129,10 @@ class QueuePair {
 
 class Network {
  public:
-  Network(pcie::Fabric& fabric, NetworkConfig cfg) : fabric_(fabric), cfg_(cfg) {}
+  Network(fabric::Substrate& fabric, NetworkConfig cfg) : fabric_(fabric), cfg_(cfg) {}
 
   [[nodiscard]] sim::Engine& engine() noexcept { return fabric_.engine(); }
-  [[nodiscard]] pcie::Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] fabric::Substrate& fabric() noexcept { return fabric_; }
   [[nodiscard]] const NetworkConfig& config() const noexcept { return cfg_; }
 
   /// One-way latency of a message carrying `bytes` of payload.
@@ -157,7 +157,7 @@ class Network {
 
  private:
   friend class QueuePair;
-  pcie::Fabric& fabric_;
+  fabric::Substrate& fabric_;
   NetworkConfig cfg_;
   std::vector<std::unique_ptr<QueuePair>> qps_;
   Stats stats_;

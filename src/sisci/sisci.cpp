@@ -113,25 +113,19 @@ RemoteSegment Segment::descriptor() const noexcept {
 Result<Map> Map::create(Cluster& cluster, NodeId local_node, const RemoteSegment& remote) {
   Map out;
   out.size_ = remote.size;
-  if (remote.owner == local_node) {
-    out.direct_ = true;
-    out.direct_addr_ = remote.phys_addr;
-    return out;
-  }
-  auto ntb = cluster.fabric().host_ntb(local_node);
-  if (!ntb) return ntb.status();
-  auto mapping =
-      NtbMapping::program(cluster.fabric(), *ntb, remote.owner, remote.phys_addr, remote.size);
-  if (!mapping) return mapping.status();
-  out.mapping_ = std::move(*mapping);
+  auto window = cluster.fabric().map_window(fabric::MapIntent::cpu, local_node, remote.owner,
+                                            remote.phys_addr, remote.size);
+  if (!window) return window.status();
+  out.window_ = std::move(*window);
+  out.valid_ = true;
   return out;
 }
 
 // --- Cluster -----------------------------------------------------------------------
 
-Cluster::Cluster(pcie::Fabric& fabric, std::uint64_t reserved_low) : fabric_(fabric) {
-  dram_.reserve(fabric.host_count());
-  for (pcie::HostId h = 0; h < fabric.host_count(); ++h) {
+Cluster::Cluster(fabric::Substrate& fabric, std::uint64_t reserved_low) : fabric_(fabric) {
+  dram_.reserve(fabric.space_count());
+  for (fabric::HostId h = 0; h < fabric.space_count(); ++h) {
     const std::uint64_t size = fabric.host_dram(h).size();
     dram_.push_back(std::make_unique<mem::RangeAllocator>(
         reserved_low, size > reserved_low ? size - reserved_low : 0));
@@ -157,6 +151,13 @@ Result<Segment> Cluster::create_segment(NodeId node, SegmentId id, std::uint64_t
   exports_.emplace(key, RemoteSegment{node, id, *addr, size});
   NVS_LOG(debug, "sisci") << "exported segment (" << node << "," << id << ") size " << size;
   return seg;
+}
+
+Result<Segment> Cluster::create_segment_placed(NodeId requester, NodeId device_host,
+                                               bool cpu_access, bool device_access,
+                                               SegmentId id, std::uint64_t size) {
+  const NodeId node = fabric_.place_segment(requester, device_host, cpu_access, device_access);
+  return create_segment(node, id, size);
 }
 
 Result<RemoteSegment> Cluster::connect(NodeId owner, SegmentId id) const {

@@ -1,17 +1,18 @@
-// SISCI-style shared-memory API over the PCIe/NTB fabric.
+// SISCI-style shared-memory API over the cluster interconnect.
 //
 // Mirrors the concepts of Dolphin's Software Infrastructure Shared-Memory
 // Cluster Interconnect API as the paper uses them, with RAII instead of C
 // handles:
-//  * Segment       — a linear, physically contiguous region of one host's
-//                    DRAM, exported under a (node, segment id) name.
+//  * Segment       — a linear, physically contiguous region of one memory
+//                    space (a host's DRAM, or the CXL pool), exported under
+//                    a (node, segment id) name.
 //  * RemoteSegment — a connection to an exported segment by name.
 //  * NtbMapping    — RAII ownership of one or more consecutive NTB LUT
-//                    entries translating a local aperture range to a remote
-//                    physical range; the building block for both CPU-side
-//                    "BAR windows" and device-side "DMA windows".
-//  * Map           — a CPU mapping of a remote segment through the local
-//                    host's NTB.
+//                    entries; an NTB-substrate detail kept for tests and
+//                    benchmarks that exercise the LUT directly. Substrate-
+//                    neutral code uses fabric::Window via Map instead.
+//  * Map           — a CPU mapping of a remote segment through whatever the
+//                    substrate provides (NTB LUT window, CXL HDM range).
 //
 // Control-plane calls (create/connect/map) model configuration-time work
 // and cost no simulated time; only data-path transactions through the
@@ -24,12 +25,13 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "fabric/substrate.hpp"
 #include "mem/allocator.hpp"
 #include "pcie/fabric.hpp"
 
 namespace nvmeshare::sisci {
 
-using NodeId = pcie::HostId;
+using NodeId = fabric::HostId;
 using SegmentId = std::uint32_t;
 
 class Cluster;
@@ -112,41 +114,46 @@ struct RemoteSegment {
   std::uint64_t size = 0;
 };
 
-/// CPU mapping of a remote segment through the local node's NTB: after
-/// mapping, loads/stores from `local_node` to addr() reach the segment.
+/// CPU mapping of a remote segment: after mapping, loads/stores from
+/// `local_node` to addr() reach the segment. Backed by whatever window
+/// primitive the substrate provides (NTB LUT run, direct HDM addressing).
 class Map {
  public:
   Map() = default;
 
   static Result<Map> create(Cluster& cluster, NodeId local_node, const RemoteSegment& remote);
 
-  [[nodiscard]] bool valid() const noexcept { return direct_ || mapping_.valid(); }
+  [[nodiscard]] bool valid() const noexcept { return valid_; }
   /// Address to use from the mapping node's CPU.
-  [[nodiscard]] std::uint64_t addr() const noexcept {
-    return direct_ ? direct_addr_ : mapping_.local_addr();
-  }
+  [[nodiscard]] std::uint64_t addr() const noexcept { return window_.addr(); }
   [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
 
  private:
-  NtbMapping mapping_;          // used when the segment is remote
-  bool direct_ = false;         // segment local to the mapping node: no NTB needed
-  std::uint64_t direct_addr_ = 0;
+  fabric::Window window_;
+  bool valid_ = false;
   std::uint64_t size_ = 0;
 };
 
-/// The cluster-wide SISCI state: per-host segment allocators and the export
-/// name table.
+/// The cluster-wide SISCI state: per-space segment allocators and the export
+/// name table. Spaces are the substrate's segment-owning memories: every
+/// host's DRAM, plus the pool on pooled-memory substrates.
 class Cluster {
  public:
-  /// `reserved_low` bytes of each host's DRAM are left to other users
+  /// `reserved_low` bytes of each space are left to other users
   /// (request buffers, queue test fixtures, ...).
-  explicit Cluster(pcie::Fabric& fabric, std::uint64_t reserved_low = 16 * MiB);
+  explicit Cluster(fabric::Substrate& fabric, std::uint64_t reserved_low = 16 * MiB);
 
-  [[nodiscard]] pcie::Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] fabric::Substrate& fabric() noexcept { return fabric_; }
   [[nodiscard]] sim::Engine& engine() noexcept { return fabric_.engine(); }
 
-  /// Allocate and export a segment of `size` bytes in `node`'s DRAM.
+  /// Allocate and export a segment of `size` bytes in space `node`.
   Result<Segment> create_segment(NodeId node, SegmentId id, std::uint64_t size);
+
+  /// Allocate and export a segment, letting the substrate's placement
+  /// policy pick the backing space from the expected access pattern
+  /// (NTB: reader-local DRAM; CXL: the shared pool).
+  Result<Segment> create_segment_placed(NodeId requester, NodeId device_host, bool cpu_access,
+                                        bool device_access, SegmentId id, std::uint64_t size);
 
   /// Connect to a segment exported as (owner, id).
   Result<RemoteSegment> connect(NodeId owner, SegmentId id) const;
@@ -162,7 +169,7 @@ class Cluster {
   friend class Segment;
   void unexport(NodeId node, SegmentId id, std::uint64_t phys);
 
-  pcie::Fabric& fabric_;
+  fabric::Substrate& fabric_;
   std::vector<std::unique_ptr<mem::RangeAllocator>> dram_;
   std::map<std::pair<NodeId, SegmentId>, RemoteSegment> exports_;
 };

@@ -37,23 +37,17 @@ Result<BarWindow> DeviceRef::map_bar(NodeId node, int bar) const {
   if (!valid()) return Status(Errc::unavailable, "device reference released");
   auto dev = service_->device(id_);
   if (!dev) return dev.status();
-  pcie::Fabric& fabric = service_->cluster().fabric();
+  fabric::Substrate& fabric = service_->cluster().fabric();
   auto bar_base = fabric.bar_address(dev->endpoint, bar);
   if (!bar_base) return bar_base.status();
   const std::uint64_t size = fabric.endpoint(dev->endpoint)->bar_size(bar);
 
   BarWindow out;
   out.size_ = size;
-  if (dev->host == node) {
-    out.direct_ = true;
-    out.direct_addr_ = *bar_base;
-    return out;
-  }
-  auto ntb = fabric.host_ntb(node);
-  if (!ntb) return ntb.status();
-  auto mapping = sisci::NtbMapping::program(fabric, *ntb, dev->host, *bar_base, size);
-  if (!mapping) return mapping.status();
-  out.mapping_ = std::move(*mapping);
+  auto window = fabric.map_window(fabric::MapIntent::cpu, node, dev->host, *bar_base, size);
+  if (!window) return window.status();
+  out.window_ = std::move(*window);
+  out.valid_ = true;
   return out;
 }
 
@@ -61,24 +55,18 @@ Result<DmaWindow> DeviceRef::map_for_device(const sisci::RemoteSegment& segment)
   if (!valid()) return Status(Errc::unavailable, "device reference released");
   auto dev = service_->device(id_);
   if (!dev) return dev.status();
-  pcie::Fabric& fabric = service_->cluster().fabric();
+  fabric::Substrate& fabric = service_->cluster().fabric();
 
   DmaWindow out;
   out.size_ = segment.size;
-  if (segment.owner == dev->host) {
-    // Segment is local to the device: DMA uses the physical address as-is.
-    out.direct_ = true;
-    out.direct_addr_ = segment.phys_addr;
-    return out;
-  }
-  // Segment is remote to the device: program the device-side NTB so the
-  // device's DMA engine can reach it.
-  auto ntb = fabric.host_ntb(dev->host);
-  if (!ntb) return ntb.status();
-  auto mapping =
-      sisci::NtbMapping::program(fabric, *ntb, segment.owner, segment.phys_addr, segment.size);
-  if (!mapping) return mapping.status();
-  out.mapping_ = std::move(*mapping);
+  // Viewed from the device's host: segments local to the device are direct,
+  // remote ones go through whatever DMA window the substrate provides
+  // (device-side NTB LUT run; direct HDM addressing on CXL).
+  auto window = fabric.map_window(fabric::MapIntent::dma, dev->host, segment.owner,
+                                  segment.phys_addr, segment.size);
+  if (!window) return window.status();
+  out.window_ = std::move(*window);
+  out.valid_ = true;
   return out;
 }
 
@@ -94,9 +82,9 @@ Status DeviceRef::downgrade_to_shared() {
 
 // --- Service --------------------------------------------------------------------
 
-Result<DeviceId> Service::register_device(pcie::EndpointId endpoint) {
-  pcie::Fabric& fabric = cluster_.fabric();
-  pcie::Endpoint* ep = fabric.endpoint(endpoint);
+Result<DeviceId> Service::register_device(fabric::EndpointId endpoint) {
+  fabric::Substrate& fabric = cluster_.fabric();
+  fabric::Endpoint* ep = fabric.endpoint(endpoint);
   if (ep == nullptr) return Status(Errc::not_found, "no such endpoint");
 
   DeviceState st;
@@ -198,14 +186,12 @@ Result<NodeId> Service::resolve_hint(NodeId requester, DeviceId device,
                                      const AccessHint& hint) const {
   auto dev = this->device(device);
   if (!dev) return dev.status();
-  // Device-read-dominated segments (e.g. submission queues) belong in the
-  // device's host so command fetches never cross the NTB; CPU-read
-  // segments (e.g. completion queues polled by the driver) stay local to
-  // the requester so polling never stalls on remote reads.
-  if (hint.device_reads && !hint.cpu_reads) return dev->host;
-  if (hint.cpu_reads && !hint.device_reads) return requester;
-  // Mixed access: keep it near the CPU that touches it on every request.
-  return requester;
+  // Placement is a substrate policy: the NTB fabric keeps segments next to
+  // whoever reads them (device-read-dominated segments go device-side,
+  // CPU-polled ones stay requester-local); the CXL pool substrate puts all
+  // shared segments in the pool.
+  return cluster_.fabric().place_segment(requester, dev->host, hint.cpu_reads,
+                                         hint.device_reads);
 }
 
 Status Service::set_device_metadata(DeviceId device, NodeId owner,

@@ -53,28 +53,25 @@ struct DeviceInfo {
   DeviceId id = 0;
   std::string name;
   NodeId host = 0;  ///< node the device is physically installed in
-  pcie::EndpointId endpoint = 0;
+  fabric::EndpointId endpoint = 0;
 };
 
 class Service;
 
 /// CPU mapping of a device BAR ("BAR window"): direct for the device's own
-/// host, an NTB mapping for remote nodes.
+/// host (or over CXL.io peer MMIO), an NTB window for remote NTB nodes.
 class BarWindow {
  public:
   BarWindow() = default;
-  [[nodiscard]] bool valid() const noexcept { return direct_ || mapping_.valid(); }
+  [[nodiscard]] bool valid() const noexcept { return valid_; }
   /// Address of the BAR in the mapping node's address space.
-  [[nodiscard]] std::uint64_t addr() const noexcept {
-    return direct_ ? direct_addr_ : mapping_.local_addr();
-  }
+  [[nodiscard]] std::uint64_t addr() const noexcept { return window_.addr(); }
   [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
 
  private:
   friend class DeviceRef;
-  sisci::NtbMapping mapping_;
-  bool direct_ = false;
-  std::uint64_t direct_addr_ = 0;
+  fabric::Window window_;
+  bool valid_ = false;
   std::uint64_t size_ = 0;
 };
 
@@ -83,18 +80,15 @@ class BarWindow {
 class DmaWindow {
  public:
   DmaWindow() = default;
-  [[nodiscard]] bool valid() const noexcept { return direct_ || mapping_.valid(); }
+  [[nodiscard]] bool valid() const noexcept { return valid_; }
   /// Address the *device* must use to reach the segment.
-  [[nodiscard]] std::uint64_t device_addr() const noexcept {
-    return direct_ ? direct_addr_ : mapping_.local_addr();
-  }
+  [[nodiscard]] std::uint64_t device_addr() const noexcept { return window_.addr(); }
   [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
 
  private:
   friend class DeviceRef;
-  sisci::NtbMapping mapping_;
-  bool direct_ = false;
-  std::uint64_t direct_addr_ = 0;
+  fabric::Window window_;
+  bool valid_ = false;
   std::uint64_t size_ = 0;
 };
 
@@ -144,7 +138,7 @@ class Service {
 
   /// Register a device that is attached to the fabric; assigns a
   /// cluster-wide DeviceId and exports its BARs.
-  Result<DeviceId> register_device(pcie::EndpointId endpoint);
+  Result<DeviceId> register_device(fabric::EndpointId endpoint);
 
   /// Withdraw a device from the registry (hot-remove). Fails while anyone
   /// holds a reference; also clears its metadata registration.

@@ -10,8 +10,11 @@
 #include <memory>
 #include <vector>
 
+#include "cxl/pool.hpp"
 #include "driver/irq.hpp"
+#include "fabric/types.hpp"
 #include "nvme/controller.hpp"
+#include "pcie/fabric.hpp"
 #include "rdma/rdma.hpp"
 #include "sisci/sisci.hpp"
 #include "smartio/smartio.hpp"
@@ -19,6 +22,9 @@
 namespace nvmeshare::workload {
 
 struct TestbedConfig {
+  /// Which interconnect backs the cluster: the paper's PCIe/NTB fabric
+  /// (default) or the CXL pooled-memory substrate.
+  fabric::SubstrateKind substrate = fabric::SubstrateKind::ntb;
   std::uint32_t hosts = 2;
   std::uint64_t dram_per_host = 8 * GiB;
   std::uint32_t ntb_windows = 2048;
@@ -31,6 +37,7 @@ struct TestbedConfig {
   std::uint32_t nvme_devices = 1;
   nvme::Controller::Config nvme = {};
   pcie::LatencyModel pcie = {};
+  cxl::PoolConfig cxl = {};
   rdma::NetworkConfig rdma = {};
 };
 
@@ -40,7 +47,11 @@ class Testbed {
   Testbed() : Testbed(TestbedConfig{}) {}
 
   [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
-  [[nodiscard]] pcie::Fabric& fabric() noexcept { return *fabric_; }
+  /// The substrate-neutral interconnect every consumer should code against.
+  [[nodiscard]] fabric::Substrate& substrate() noexcept { return *substrate_; }
+  /// The concrete NTB fabric — only for NTB-specific tests/benches (LUT
+  /// programming, topology sweeps). Asserts on a CXL testbed.
+  [[nodiscard]] pcie::Fabric& fabric() noexcept { return *ntb_; }
   [[nodiscard]] sisci::Cluster& cluster() noexcept { return *cluster_; }
   [[nodiscard]] smartio::Service& service() noexcept { return *service_; }
   [[nodiscard]] rdma::Network& network() noexcept { return *network_; }
@@ -104,7 +115,8 @@ class Testbed {
  private:
   TestbedConfig cfg_;
   sim::Engine engine_;
-  std::unique_ptr<pcie::Fabric> fabric_;
+  std::unique_ptr<fabric::Substrate> substrate_;
+  pcie::Fabric* ntb_ = nullptr;  ///< downcast view, null on CXL testbeds
   std::vector<std::unique_ptr<nvme::Controller>> controllers_;
   std::vector<std::unique_ptr<driver::IrqController>> irqs_;
   std::unique_ptr<sisci::Cluster> cluster_;

@@ -1,0 +1,120 @@
+// Golden pin for the NTB substrate: the fabric-abstraction refactor must not
+// change a single transaction on the PCIe/NTB path. The constants below were
+// captured from the pre-refactor seed (PR 8 tree) running this exact
+// scenario; the refactored NTB substrate has to reproduce them bit-for-bit —
+// final simulated clock, every fabric counter, and the job's latency sums.
+//
+// If this test fails after an intentional change to the NTB latency model or
+// driver instruction stream, re-capture by running with
+// NVS_PIN_CAPTURE=1 and paste the printed block.
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "test_util.hpp"
+
+namespace nvmeshare {
+namespace {
+
+using namespace testutil;
+
+struct PinObservation {
+  sim::Time end_time = 0;
+  std::uint64_t posted_writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t ntb_translations = 0;
+  std::uint64_t read_ops = 0;
+  std::uint64_t write_ops = 0;
+  sim::Duration read_elapsed = 0;
+  sim::Duration write_elapsed = 0;
+};
+
+/// The pinned scenario: 2 hosts, manager on the device host, client remote,
+/// 64 random reads then 64 random writes (4 KiB, QD1), fixed seeds.
+PinObservation run_pinned_scenario() {
+  PinObservation obs;
+  Testbed tb(small_testbed(2));
+  auto stack = bring_up(tb, 0, 1);
+  EXPECT_TRUE(stack.has_value()) << stack.status().to_string();
+  if (!stack) return obs;
+
+  workload::JobSpec spec;
+  spec.block_bytes = 4096;
+  spec.queue_depth = 1;
+  spec.ops = 64;
+  spec.seed = 2024;
+
+  spec.pattern = workload::JobSpec::Pattern::randread;
+  auto rd = workload::run_job_blocking(tb.cluster(), *stack->client, 1, spec);
+  EXPECT_TRUE(rd.has_value()) << rd.status().to_string();
+  if (rd) {
+    EXPECT_EQ(rd->errors, 0u);
+    obs.read_ops = rd->ops_completed;
+    obs.read_elapsed = rd->elapsed;
+  }
+
+  spec.pattern = workload::JobSpec::Pattern::randwrite;
+  auto wr = workload::run_job_blocking(tb.cluster(), *stack->client, 1, spec);
+  EXPECT_TRUE(wr.has_value()) << wr.status().to_string();
+  if (wr) {
+    EXPECT_EQ(wr->errors, 0u);
+    obs.write_ops = wr->ops_completed;
+    obs.write_elapsed = wr->elapsed;
+  }
+
+  obs.end_time = tb.engine().now();
+  obs.posted_writes = tb.fabric().stats().posted_writes.value();
+  obs.reads = tb.fabric().stats().reads.value();
+  obs.bytes_written = tb.fabric().stats().bytes_written.value();
+  obs.bytes_read = tb.fabric().stats().bytes_read.value();
+  obs.ntb_translations = tb.fabric().stats().ntb_translations.value();
+  return obs;
+}
+
+TEST(FabricPin, NtbPathMatchesPreRefactorSeed) {
+  const PinObservation obs = run_pinned_scenario();
+
+  if (std::getenv("NVS_PIN_CAPTURE") != nullptr) {
+    std::printf("  constexpr sim::Time kEndTime = %" PRIu64 ";\n"
+                "  constexpr std::uint64_t kPostedWrites = %" PRIu64 ";\n"
+                "  constexpr std::uint64_t kReads = %" PRIu64 ";\n"
+                "  constexpr std::uint64_t kBytesWritten = %" PRIu64 ";\n"
+                "  constexpr std::uint64_t kBytesRead = %" PRIu64 ";\n"
+                "  constexpr std::uint64_t kNtbTranslations = %" PRIu64 ";\n"
+                "  constexpr sim::Duration kReadElapsed = %" PRIu64 ";\n"
+                "  constexpr sim::Duration kWriteElapsed = %" PRIu64 ";\n",
+                obs.end_time, obs.posted_writes, obs.reads, obs.bytes_written,
+                obs.bytes_read, obs.ntb_translations,
+                static_cast<std::uint64_t>(obs.read_elapsed),
+                static_cast<std::uint64_t>(obs.write_elapsed));
+    return;
+  }
+
+  // Captured from the pre-refactor seed build (see file comment).
+  constexpr sim::Time kEndTime = 22000000;
+  constexpr std::uint64_t kPostedWrites = 605;
+  constexpr std::uint64_t kReads = 221;
+  constexpr std::uint64_t kBytesWritten = 282200;
+  constexpr std::uint64_t kBytesRead = 270928;
+  constexpr std::uint64_t kNtbTranslations = 647;
+  constexpr sim::Duration kReadElapsed = 972660;
+  constexpr sim::Duration kWriteElapsed = 1094608;
+
+  EXPECT_EQ(obs.end_time, kEndTime);
+  EXPECT_EQ(obs.posted_writes, kPostedWrites);
+  EXPECT_EQ(obs.reads, kReads);
+  EXPECT_EQ(obs.bytes_written, kBytesWritten);
+  EXPECT_EQ(obs.bytes_read, kBytesRead);
+  EXPECT_EQ(obs.ntb_translations, kNtbTranslations);
+  EXPECT_EQ(obs.read_ops, 64u);
+  EXPECT_EQ(obs.write_ops, 64u);
+  EXPECT_EQ(obs.read_elapsed, kReadElapsed);
+  EXPECT_EQ(obs.write_elapsed, kWriteElapsed);
+}
+
+}  // namespace
+}  // namespace nvmeshare

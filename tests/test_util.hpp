@@ -64,14 +64,14 @@ inline std::uint64_t alloc_pattern_buffer(Testbed& tb, sisci::NodeId node, std::
   auto addr = tb.cluster().alloc_dram(node, align_up(bytes, 4096), 4096);
   EXPECT_TRUE(addr.has_value());
   Bytes data = make_pattern(bytes, seed);
-  EXPECT_TRUE(tb.fabric().host_dram(node).write(*addr, data).is_ok());
+  EXPECT_TRUE(tb.substrate().host_dram(node).write(*addr, data).is_ok());
   return *addr;
 }
 
 inline bool buffer_matches(Testbed& tb, sisci::NodeId node, std::uint64_t addr,
                            std::size_t bytes, std::uint64_t seed) {
   Bytes data(bytes);
-  if (!tb.fabric().host_dram(node).read(addr, data)) return false;
+  if (!tb.substrate().host_dram(node).read(addr, data)) return false;
   return check_pattern(data, seed);
 }
 

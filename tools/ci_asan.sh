@@ -65,6 +65,24 @@ fi
 cmp "$JSON_A" "$JSON_B"
 echo "determinism ok: identical seeds produced byte-identical documents"
 
+# --- CXL substrate smoke ------------------------------------------------------
+# The same stack over the CXL pooled-memory substrate: bring-up, a verified
+# random mixed workload, and the determinism property must all hold with
+# queues/mailbox/bounce living in the shared pool instead of behind NTB
+# windows. A link-flap chaos pass drives the CXL port-down path through the
+# substrate-neutral fault hook.
+cxl_smoke() {
+  "$BUILD_DIR/tools/nvsh_fio" --scenario ours-remote --substrate cxl     --rw randrw --ops 2000 --seed 7 --region-blocks 4096 --verify     --json "$1" > /dev/null
+}
+CXL_A="$BUILD_DIR/cxl_a.json"
+CXL_B="$BUILD_DIR/cxl_b.json"
+cxl_smoke "$CXL_A"
+cxl_smoke "$CXL_B"
+cmp "$CXL_A" "$CXL_B"
+grep -q '"substrate":"cxl"' "$CXL_A"
+"$BUILD_DIR/tools/nvsh_fio" --scenario ours-remote --substrate cxl   --rw randrw --ops 2000 --seed 7   --faults "seed=11;ntb_link_down:host=1,at=2ms,for=300us" > /dev/null
+echo "cxl smoke ok: pooled-memory substrate verified, byte-identical reruns"
+
 # --- chaos determinism --------------------------------------------------------
 # Same property with the fault injector active: a seeded plan plus the
 # recovery paths it exercises (timeouts, retries, a link flap, controller

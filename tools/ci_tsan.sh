@@ -60,6 +60,14 @@ fi
   --faults "seed=11;drop_posted_write:src=0,dst=1,nth=40,count=2;ntb_link_down:host=1,at=2ms,for=300us;ctrl_error:nth=100" \
   > /dev/null
 
+# CXL substrate smoke under TSan: verified workload over the pooled-memory
+# substrate, then a CXL port link-flap recovery pass.
+"$BUILD_DIR/tools/nvsh_fio" --scenario ours-remote --substrate cxl \
+  --rw randrw --ops 2000 --seed 7 --region-blocks 4096 --verify > /dev/null
+"$BUILD_DIR/tools/nvsh_fio" --scenario ours-remote --substrate cxl \
+  --rw randrw --ops 2000 --seed 7 \
+  --faults "seed=11;ntb_link_down:host=1,at=2ms,for=300us" > /dev/null
+
 # Manager-crash takeover soak under TSan: the active manager is killed
 # mid-run with a hot standby watching its lease; the workload is verified
 # and nvsh_fio exits nonzero on any I/O error, so a takeover that drops

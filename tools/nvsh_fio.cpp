@@ -24,6 +24,7 @@ using namespace nvmeshare::bench;
 
 struct Options {
   std::string scenario = "ours-remote";
+  std::string substrate = "ntb";
   std::string rw = "randread";
   std::uint32_t bs = 4096;
   std::uint32_t qd = 1;
@@ -49,6 +50,9 @@ struct Options {
       "usage: %s [options]\n"
       "  --scenario S      ours-remote | ours-local | linux-local | nvmeof-remote\n"
       "                    (default: ours-remote)\n"
+      "  --substrate S     ntb | cxl: interconnect behind the scenario — the paper's\n"
+      "                    PCIe/NTB fabric or the CXL pooled-memory substrate\n"
+      "                    (default: ntb)\n"
       "  --rw MODE         randread | randwrite | randrw | seqread | seqwrite | randtrim\n"
       "  --bs BYTES        request size (default 4096)\n"
       "  --qd N            queue depth per channel (default 1)\n"
@@ -95,6 +99,12 @@ Options parse(int argc, char** argv) {
     const char* arg = argv[i];
     if (!std::strcmp(arg, "--scenario")) {
       opt.scenario = need_value(i);
+    } else if (!std::strcmp(arg, "--substrate")) {
+      opt.substrate = need_value(i);
+      if (!fabric::parse_substrate(opt.substrate)) {
+        std::fprintf(stderr, "unknown substrate: %s\n", opt.substrate.c_str());
+        usage(argv[0]);
+      }
     } else if (!std::strcmp(arg, "--rw")) {
       opt.rw = need_value(i);
     } else if (!std::strcmp(arg, "--bs")) {
@@ -262,6 +272,7 @@ workload::JobSpec build_spec(const Options& opt) {
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   if (opt.ops == 0 && opt.runtime_ms == 0) usage(argv[0]);
+  bench_substrate() = *fabric::parse_substrate(opt.substrate);
 
   const bool chaos = !opt.faults.empty();
   if (chaos) {
@@ -279,11 +290,11 @@ int main(int argc, char** argv) {
   if (chaos) {
     // arm() after bring-up: timed faults (`at=`) are relative to this point,
     // so the chaos schedule never races controller initialization.
-    pcie::Fabric& fab = scenario.testbed->fabric();
+    fabric::Substrate& fab = scenario.testbed->substrate();
     fault::Injector::global().arm(
         scenario.testbed->engine(),
         {.set_ntb_link = [&fab](std::uint32_t host, bool up) {
-          (void)fab.set_ntb_link(host, up);
+          (void)fab.set_host_link(host, up);
         }});
   }
   const workload::JobResult result = run(scenario, build_spec(opt), /*tolerate_errors=*/chaos);
@@ -321,6 +332,7 @@ int main(int argc, char** argv) {
     }
     boxes.push_back(BoxSummary::from(opt.scenario + "/total", result.total_latency));
     BenchConfig config{{"scenario", opt.scenario},
+                       {"substrate", opt.substrate},
                        {"rw", opt.rw},
                        {"bs", std::to_string(opt.bs)},
                        {"qd", std::to_string(opt.qd)},
