@@ -214,14 +214,14 @@ ModeResult run_engine_mode(std::uint64_t total_events) {
 // acquire/run/release loop. Measures IoEngine + sim::Engine, nothing else.
 class NullTransport final : public block::IoTransport {
  public:
-  NullTransport(sim::Engine& engine, std::uint32_t channels)
-      : engine_(engine), staged_(channels) {}
+  NullTransport(sim::Engine& engine, std::uint32_t channels, std::uint16_t token_space)
+      : engine_(engine), token_space_(token_space), staged_(channels) {}
   void attach(block::IoEngine* io) { io_ = io; }
 
   Result<std::uint16_t> issue(std::uint32_t chan, void* cookie) override {
     (void)cookie;
     const auto token = next_token_[chan]++;
-    if (next_token_[chan] == kTokenSpace) next_token_[chan] = 0;
+    if (next_token_[chan] == token_space_) next_token_[chan] = 0;
     staged_[chan].push_back(token);
     return token;
   }
@@ -241,8 +241,8 @@ class NullTransport final : public block::IoTransport {
   }
 
  private:
-  static constexpr std::uint16_t kTokenSpace = 4096;
   sim::Engine& engine_;
+  std::uint16_t token_space_;  ///< cycle within the engine's pending-table cap
   block::IoEngine* io_ = nullptr;
   std::vector<std::vector<std::uint16_t>> staged_;
   std::uint16_t next_token_[block::kMaxEngineChannels] = {};
@@ -252,7 +252,11 @@ ModeResult run_io_mode(std::uint64_t ops, std::uint32_t qd, std::uint32_t channe
   ModeResult r;
   r.mode = "io";
   sim::Engine engine;
-  NullTransport transport(engine, channels);
+  // Token space == the engine's pending-table cap (max(queue_entries,
+  // qd*channels)): completions are strict FIFO here, so cycling within the
+  // cap never collides with an armed token, and never exceeds the cap the
+  // engine now refuses to arm beyond.
+  NullTransport transport(engine, channels, static_cast<std::uint16_t>(qd * channels));
   block::IoEngine::Config cfg;
   cfg.backend = "perf";
   cfg.channels = channels;

@@ -191,13 +191,18 @@ void IoEngine::TokenBucket::refill(sim::Time now) {
   last = now;
   if (rate == 0 || elapsed <= 0) return;
   const auto r = static_cast<std::int64_t>(rate);
-  // Past one full refill interval the bucket is simply full; this also
-  // keeps `elapsed * r` inside 64 bits for arbitrarily long idle gaps.
-  if (elapsed >= capacity / r) {
+  // Time to climb from the current balance (which may be a deficit) back to
+  // a full bucket, rounded *up*: the old `capacity / r` floor both credited
+  // a fraction of a token early and forgave any outstanding deficit, so a
+  // sustained stream could admit slightly more than rate * t + burst.
+  // Clamping `elapsed` here also keeps `elapsed * r` inside 64 bits for
+  // arbitrarily long idle gaps.
+  const std::int64_t deficit = capacity - scaled;
+  if (elapsed >= (deficit + r - 1) / r) {
     scaled = capacity;
     return;
   }
-  scaled = std::min(capacity, scaled + elapsed * r);
+  scaled += elapsed * r;
 }
 
 sim::Duration IoEngine::TokenBucket::charge(sim::Time now, std::uint64_t tokens) {
@@ -242,15 +247,31 @@ IoEngine::PendingCmd* IoEngine::lookup(std::uint32_t chan, std::uint16_t token) 
   return token < table.size() ? table[token] : nullptr;
 }
 
-void IoEngine::arm(std::uint32_t chan, std::uint16_t token, PendingCmd* cmd) {
+bool IoEngine::arm(std::uint32_t chan, std::uint16_t token, PendingCmd* cmd) {
+  // Token-table growth is capped at the largest token a well-behaved
+  // transport can hand out (NVMe cid < ring entries, message cid < total
+  // depth). A token past the cap is a transport bug: refuse to arm instead
+  // of letting one corrupt cid grow the table without bound.
+  if (token >= token_cap()) {
+    NVS_LOG(error, "engine") << cfg_.backend << " chan " << chan
+                             << " completion token " << token << " beyond cap "
+                             << token_cap() << "; refusing to arm";
+    return false;
+  }
   auto& table = channels_[chan]->pending;
   if (token >= table.size()) table.resize(token + 1, nullptr);
   table[token] = cmd;
   ++pending_count_;
+  return true;
 }
 
 void IoEngine::disarm(std::uint32_t chan, std::uint16_t token) noexcept {
-  channels_[chan]->pending[token] = nullptr;
+  // Mirror lookup()'s bounds check: a transport-issued token beyond the
+  // armed range must be a no-op, not an out-of-bounds store (and a slot
+  // that is already empty must not underflow pending_count_).
+  auto& table = channels_[chan]->pending;
+  if (token >= table.size() || table[token] == nullptr) return;
+  table[token] = nullptr;
   --pending_count_;
 }
 
@@ -322,6 +343,19 @@ sim::Task IoEngine::run_task(RunArgs args, sim::Promise<CmdOutcome> promise) {
       // Issue fails when the queue memory is unreachable (NTB link down) or
       // the ring is full of timed-out entries; both deserve a bounded retry.
       if (cfg_.cmd_timeout_ns == 0 || attempt >= cfg_.cmd_retry_limit) {
+        // Budget spent with issue itself refusing: grant the same one-shot
+        // channel rebuild as the timeout path below. This matters for
+        // narrow tenant CID windows — a lost CQE leaves its CID busy until
+        // a rebuild, and once a window is fully clogged with leaked CIDs no
+        // command can issue, so nothing would ever reach the timeout path
+        // to request the rebuild (a permanent wedge, not a transient).
+        if (cfg_.cmd_timeout_ns > 0 && !recovered_once) {
+          recovered_once = true;
+          attempt = 0;
+          request_recovery(chan);
+          mark(obs::Phase::recovery);
+          continue;
+        }
         fail(CmdOutcome::Kind::transport_error, token.status());
         co_return;
       }
@@ -341,7 +375,15 @@ sim::Task IoEngine::run_task(RunArgs args, sim::Promise<CmdOutcome> promise) {
     const std::uint64_t seq = ++cmd_seq_;
     PendingCmd* cmd = alloc_cmd();
     cmd->seq = seq;
-    arm(chan, *token, cmd);
+    if (!arm(chan, *token, cmd)) {
+      free_cmd(cmd);
+      if (cfg_.trace_style != TraceStyle::none && args.trace != 0) {
+        tracer.unbind(qid, *token);
+      }
+      fail(CmdOutcome::Kind::transport_error,
+           Status(Errc::internal, "completion token beyond pending-table cap"));
+      co_return;
+    }
     transport_.on_armed(chan);  // completions are coming: wake an idle poller
 
     if (cfg_.cmd_timeout_ns > 0) {

@@ -22,6 +22,7 @@
 // rebuilt (mailbox re-create vs. fabric reconnect).
 #pragma once
 
+#include <algorithm>
 #include <coroutine>
 #include <cstdint>
 #include <memory>
@@ -350,7 +351,14 @@ class IoEngine {
   void free_cmd(PendingCmd* cmd) noexcept;
   /// The armed command for (chan, token), or nullptr.
   [[nodiscard]] PendingCmd* lookup(std::uint32_t chan, std::uint16_t token) const;
-  void arm(std::uint32_t chan, std::uint16_t token, PendingCmd* cmd);
+  /// One past the largest completion token a well-behaved transport can
+  /// hand out; bounds the per-channel pending-table growth.
+  [[nodiscard]] std::uint32_t token_cap() const noexcept {
+    return std::max<std::uint32_t>(cfg_.queue_entries, total_depth());
+  }
+  /// Arm (chan, token) -> cmd. Returns false (without arming) for a token
+  /// beyond token_cap() — the caller fails the attempt as a transport error.
+  [[nodiscard]] bool arm(std::uint32_t chan, std::uint16_t token, PendingCmd* cmd);
   void disarm(std::uint32_t chan, std::uint16_t token) noexcept;
   /// Store the outcome and wake the waiting run_task (via the engine queue,
   /// preserving deterministic wake-up order). Call after disarm().

@@ -45,6 +45,15 @@ obs::Kind trace_kind(block::Op op) {
 }  // namespace
 
 namespace {
+/// What io_task hands the engine as its opaque submission cookie: the SQE
+/// plus the CID window it must allocate from. An empty range (hi == 0)
+/// selects the default full-range scan, which is byte-identical to the
+/// pre-share submission path.
+struct IssueCtx {
+  SubmissionEntry sqe;
+  nvme::CidRange range;
+};
+
 constexpr sim::Duration kAcquireRetryNs = 50'000;
 constexpr int kAcquireRetryLimit = 200;
 
@@ -100,7 +109,9 @@ Status Client::copy_from_bounce(std::uint64_t dst, std::uint64_t slot_off, std::
 // broken channel is rebuilt through the manager mailbox.
 
 Result<std::uint16_t> Client::issue(std::uint32_t chan, void* cookie) {
-  return qps_[chan]->push(*static_cast<const SubmissionEntry*>(cookie));
+  const auto* ctx = static_cast<const IssueCtx*>(cookie);
+  if (ctx->range.hi == 0) return qps_[chan]->push(ctx->sqe);
+  return qps_[chan]->push(ctx->sqe, ctx->range);
 }
 
 Status Client::ring(std::uint32_t chan) {
@@ -650,11 +661,12 @@ sim::Task Client::refresh_manager_task(sim::Promise<Status> promise) {
 
 sim::Future<block::Completion> Client::submit(const block::Request& request) {
   sim::Promise<block::Completion> promise(engine());
-  io_task(request, promise);
+  io_task(request, promise, own_range_);
   return promise.future();
 }
 
-sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion> promise) {
+sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion> promise,
+                          nvme::CidRange range) {
   auto stop = stop_;
   sim::Engine& eng = engine();
   const sim::Time start = eng.now();
@@ -863,9 +875,10 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
   // outcome (per-attempt deadline watchdog, bounded exponential-backoff
   // retries, one queue-pair recovery cycle before giving up), ringing this
   // channel's doorbell once per submission burst when coalescing is on.
+  IssueCtx issue_ctx{sqe, range};
   block::IoEngine::RunArgs run_args;
   run_args.grant = grant;
-  run_args.cookie = &sqe;
+  run_args.cookie = &issue_ctx;
   run_args.ph = &ph;
   run_args.trace = trace;
   run_args.bytes = bytes;
@@ -941,6 +954,123 @@ sim::Task Client::io_task(block::Request request, sim::Promise<block::Completion
   finish(std::move(status));
 }
 
+// --- tenant shares (docs/MODEL.md §12) ------------------------------------------------
+
+mux::QpMultiplexer& Client::ensure_mux() {
+  if (!mux_) {
+    mux::QpMultiplexer::Config mc;
+    mc.block_size = header_.block_size;
+    // Dispatch runs the tenant's request down the normal engine path with
+    // CID allocation pinned to the share window, so bounce slots, PRP
+    // lists, retries and recovery all behave exactly as for own traffic.
+    mux_ = std::make_unique<mux::QpMultiplexer>(
+        engine(),
+        [this](const block::Request& r, const nvme::CidRange& range) {
+          sim::Promise<block::Completion> p(engine());
+          io_task(r, p, range);
+          return p.future();
+        },
+        stop_, mc);
+  }
+  return *mux_;
+}
+
+sim::Future<Result<mux::ShareGrant>> Client::create_share(const ShareRequest& request) {
+  sim::Promise<Result<mux::ShareGrant>> promise(engine());
+  create_share_task(request, promise);
+  return promise.future();
+}
+
+sim::Future<Status> Client::delete_share(std::uint32_t tenant) {
+  sim::Promise<Status> promise(engine());
+  delete_share_task(tenant, promise);
+  return promise.future();
+}
+
+sim::Task Client::create_share_task(ShareRequest request,
+                                    sim::Promise<Result<mux::ShareGrant>> promise) {
+  if (!attached_) {
+    promise.set(Status(Errc::unavailable, "not attached"));
+    co_return;
+  }
+  if (cfg_.channels != 1) {
+    promise.set(Status(Errc::unsupported, "tenant shares need a single-channel client"));
+    co_return;
+  }
+  // Tenants live above the client's own window: [queue_depth, queue_entries).
+  // depth < entries is an engine attach-time invariant, so the space is
+  // never empty; with the defaults (32/64) a host has 32 tenant CIDs.
+  const auto floor = static_cast<std::uint16_t>(cfg_.queue_depth);
+  MboxSlot req;
+  req.op = static_cast<std::uint32_t>(MboxOp::create_share);
+  req.qid_in = qids_[0];
+  req.share_tenant = request.tenant;
+  req.share_cid_count = request.cid_count;
+  req.share_cid_floor = floor;
+  req.share_weight = request.weight == 0 ? std::uint16_t{1} : request.weight;
+  req.qos_class = static_cast<std::uint8_t>(request.qos_class);
+  req.qos_iops = request.qos_iops;
+  req.qos_bytes_per_s = request.qos_bytes_per_s;
+  auto resp = co_await mailbox_call(req);
+  if (!resp) {
+    promise.set(resp.status());
+    co_return;
+  }
+  if (resp->status != static_cast<std::uint32_t>(Errc::ok)) {
+    promise.set(Status(static_cast<Errc>(resp->status), "manager rejected create_share"));
+    co_return;
+  }
+  mux::ShareGrant grant;
+  grant.tenant = request.tenant;
+  grant.qid = qids_[0];
+  grant.range = nvme::CidRange{resp->share_cid_lo, resp->share_cid_hi};
+  grant.weight = req.share_weight;
+  grant.qos_iops = resp->qos_granted_iops;
+  grant.qos_bytes_per_s = resp->qos_granted_bytes_per_s;
+  mux::QpMultiplexer& m = ensure_mux();
+  if (m.grant(request.tenant) != nullptr) {
+    // The manager treats a repeat create_share as a re-grant; swap the
+    // local attachment too (refused while the tenant has work in flight).
+    if (Status st = m.detach_tenant(request.tenant); !st) {
+      promise.set(st);
+      co_return;
+    }
+  }
+  if (Status st = m.attach_tenant(grant); !st) {
+    promise.set(st);
+    co_return;
+  }
+  // From here on the client's own submissions stay below the share floor,
+  // so they can never collide with a tenant's window.
+  own_range_ = nvme::CidRange{0, floor};
+  promise.set(grant);
+}
+
+sim::Task Client::delete_share_task(std::uint32_t tenant, sim::Promise<Status> promise) {
+  if (mux_ == nullptr || mux_->grant(tenant) == nullptr) {
+    promise.set(Status(Errc::not_found, "no share for this tenant"));
+    co_return;
+  }
+  if (Status st = mux_->detach_tenant(tenant); !st) {
+    promise.set(st);  // busy: staged or in-flight commands
+    co_return;
+  }
+  MboxSlot req;
+  req.op = static_cast<std::uint32_t>(MboxOp::delete_share);
+  req.qid_in = qids_[0];
+  req.share_tenant = tenant;
+  auto resp = co_await mailbox_call(req);
+  if (!resp) {
+    promise.set(resp.status());
+    co_return;
+  }
+  if (resp->status != static_cast<std::uint32_t>(Errc::ok)) {
+    promise.set(Status(static_cast<Errc>(resp->status), "manager rejected delete_share"));
+    co_return;
+  }
+  promise.set(Status::ok());
+}
+
 sim::Task Client::poller(std::shared_ptr<bool> stop) {
   sim::Engine& eng = engine();
   for (;;) {
@@ -985,6 +1115,7 @@ void Client::crash() {
   attached_ = false;
   *stop_ = true;
   if (poller_kick_) poller_kick_->set();
+  if (mux_) mux_->kick();  // parked tenant scheduler drains its rings as aborted
   // Resolve every in-flight wait so callers observe the death (as an
   // `aborted` completion) instead of hanging the simulation. Nothing is
   // released: the queue pairs, NTB windows and segments stay allocated until
@@ -1126,6 +1257,7 @@ sim::Task Client::detach_task(sim::Promise<Status> promise) {
   }
   auto resp = co_await mailbox_call(req);
   *stop_ = true;  // stop poller after the RPC (it uses the fabric, not the QP)
+  if (mux_) mux_->kick();  // parked tenant scheduler drains its rings as aborted
   if (!resp) {
     promise.set(resp.status());
     co_return;

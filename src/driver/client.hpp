@@ -32,6 +32,7 @@
 #include "driver/cost_model.hpp"
 #include "driver/mailbox.hpp"
 #include "mem/iommu.hpp"
+#include "mux/mux.hpp"
 #include "nvme/queue.hpp"
 #include "obs/metrics.hpp"
 #include "smartio/smartio.hpp"
@@ -154,6 +155,35 @@ class Client final : public block::BlockDevice, private block::IoTransport {
   /// the queue pair stays allocated until the manager's reaper collects it.
   void crash();
 
+  // --- tenant shares (docs/MODEL.md §12) ---------------------------------------
+  /// What a tenant asks of this client's queue pair: a CID window, a DRR
+  /// weight and QoS budgets (judged by the manager's policy table exactly
+  /// like a queue-pair grant).
+  struct ShareRequest {
+    std::uint32_t tenant = 0;
+    std::uint16_t cid_count = 8;  ///< CID window = in-flight cap for the tenant
+    std::uint16_t weight = 1;     ///< DRR quantum multiplier
+    nvme::SqPriority qos_class = nvme::SqPriority::urgent;
+    std::uint32_t qos_iops = 0;
+    std::uint32_t qos_bytes_per_s = 0;
+  };
+
+  /// Ask the manager for a tenant share of this client's queue pair
+  /// (mailbox v6 create_share), then attach it to the local multiplexer.
+  /// The client's own traffic moves below the share floor — CIDs
+  /// [0, queue_depth) — the first time a share is granted; tenants get
+  /// disjoint windows in [queue_depth, queue_entries). Single-channel
+  /// clients only: a share pins CIDs of one specific queue pair.
+  sim::Future<Result<mux::ShareGrant>> create_share(const ShareRequest& request);
+
+  /// Detach an idle tenant locally and release its CID window at the
+  /// manager (mailbox v6 delete_share).
+  sim::Future<Status> delete_share(std::uint32_t tenant);
+
+  /// The tenant multiplexer, created lazily by the first share grant
+  /// (nullptr until then).
+  [[nodiscard]] mux::QpMultiplexer* multiplexer() noexcept { return mux_.get(); }
+
   /// Queue id of channel `chan` (channel 0 by default).
   [[nodiscard]] std::uint16_t qid(std::uint32_t chan = 0) const noexcept {
     return chan < qids_.size() ? qids_[chan] : 0;
@@ -193,7 +223,15 @@ class Client final : public block::BlockDevice, private block::IoTransport {
   /// Post a mailbox request and await the manager's response.
   sim::Future<Result<MboxSlot>> mailbox_call(MboxSlot request);
   sim::Task mailbox_call_task(MboxSlot request, sim::Promise<Result<MboxSlot>> promise);
-  sim::Task io_task(block::Request request, sim::Promise<block::Completion> promise);
+  /// `range` pins CID allocation to a tenant's share window; hi == 0 means
+  /// the default full-range scan (the seed instruction stream).
+  sim::Task io_task(block::Request request, sim::Promise<block::Completion> promise,
+                    nvme::CidRange range);
+  sim::Task create_share_task(ShareRequest request,
+                              sim::Promise<Result<mux::ShareGrant>> promise);
+  sim::Task delete_share_task(std::uint32_t tenant, sim::Promise<Status> promise);
+  /// Build the multiplexer on first use, wired to dispatch through io_task.
+  mux::QpMultiplexer& ensure_mux();
   sim::Task poller(std::shared_ptr<bool> stop);
   sim::Task detach_task(sim::Promise<Status> promise);
   sim::Task recover_task(std::uint32_t chan, std::shared_ptr<bool> stop);
@@ -267,6 +305,10 @@ class Client final : public block::BlockDevice, private block::IoTransport {
 
   std::unique_ptr<sim::Event> poller_kick_;  ///< wakes the idle poller on submit
   std::unique_ptr<sim::Semaphore> mailbox_lock_;
+  /// Tenant multiplexing state. `own_range_` confines the client's own
+  /// traffic once shares exist (empty = full range, the seed path).
+  std::unique_ptr<mux::QpMultiplexer> mux_;
+  nvme::CidRange own_range_{};
   mem::Iommu iommu_;
   std::shared_ptr<bool> stop_ = std::make_shared<bool>(false);
   bool attached_ = false;

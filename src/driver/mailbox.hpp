@@ -31,7 +31,13 @@ inline constexpr std::uint64_t kMetadataMagic = 0x31415445'4d53564eULL;  // "NVS
 // controller reset), and a per-qid owner table written ahead of every grant
 // (so a standby can reconstruct grant/QoS state and roll back half-done
 // creates). MboxSlot carves `epoch` from pad6 so responses are fenceable.
-inline constexpr std::uint32_t kMetadataVersion = 5;
+// v6: tenant shares. create_share / delete_share let a client subdivide a
+// queue pair it owns into per-tenant CID sub-ranges the manager allocates
+// (first-fit above the owner's reserved floor) and tracks, with per-share
+// QoS judged by the same policy table as whole-pair grants. The share
+// fields are carved from pad0/pad1/pad3/pad4/pad5, so v1-v5 layouts are
+// unchanged.
+inline constexpr std::uint32_t kMetadataVersion = 6;
 
 /// Most queue pairs one batch request can grant or revoke (the qid list
 /// must fit the fixed 128-byte slot).
@@ -73,6 +79,14 @@ enum class MboxOp : std::uint32_t {
   /// Revoke the qp_count queue pairs listed in qids[] (best effort: every
   /// owned qid is attempted, the first failure is reported).
   delete_qp_batch = 5,
+  /// Grant a tenant share of qid_in (v6): a disjoint CID sub-range of
+  /// share_cid_count identifiers placed first-fit in
+  /// [share_cid_floor, sq_size), plus a QoS grant judged like create_qp's.
+  /// The range comes back in share_cid_lo/hi. Idempotent per tenant: a
+  /// re-request for an already-shared tenant releases the old range first.
+  create_share = 6,
+  /// Release tenant share_tenant's share of qid_in (v6).
+  delete_share = 7,
 };
 
 /// One mailbox slot (one per cluster node, indexed by the client's NodeId,
@@ -81,7 +95,9 @@ struct MboxSlot {
   std::uint32_t state = 0;  ///< MboxState
   std::uint32_t op = 0;     ///< MboxOp
   std::uint32_t client_node = 0;
-  std::uint32_t pad0 = 0;
+  /// in (v6): tenant id the share belongs to (create_share / delete_share).
+  /// Was pad0.
+  std::uint32_t share_tenant = 0;
 
   // create_qp request payload: device-visible queue memory addresses (the
   // client resolves these through SmartIO DMA windows before asking).
@@ -89,9 +105,11 @@ struct MboxSlot {
   std::uint64_t cq_device_addr = 0;
   std::uint16_t sq_size = 0;
   std::uint16_t cq_size = 0;
-  // delete_qp request payload.
+  // delete_qp request payload (create_share / delete_share also name their
+  // queue pair here).
   std::uint16_t qid_in = 0;
-  std::uint16_t pad1 = 0;
+  /// in (v6): CIDs requested for the share (create_share). Was pad1.
+  std::uint16_t share_cid_count = 0;
 
   // Response payload.
   std::uint32_t status = 0;  ///< 0 = ok, else an Errc value
@@ -105,10 +123,14 @@ struct MboxSlot {
 
   // Batch payload (create_qp_batch / delete_qp_batch), v3.
   std::uint16_t qp_count = 0;   ///< in: channels requested (1..kMaxBatchQps)
-  std::uint16_t pad3 = 0;
+  /// in (v6): lowest CID a share may occupy — the owner keeps [0, floor)
+  /// for its own traffic (create_share). Was pad3.
+  std::uint16_t share_cid_floor = 0;
   std::uint32_t sq_stride = 0;  ///< in: bytes between consecutive SQ bases
   std::uint32_t cq_stride = 0;  ///< in: bytes between consecutive CQ bases
-  std::uint32_t pad4 = 0;
+  /// out (v6): granted CID sub-range [lo, hi) (create_share). Was pad4.
+  std::uint16_t share_cid_lo = 0;
+  std::uint16_t share_cid_hi = 0;
   std::uint16_t qids[kMaxBatchQps] = {};  ///< out (create) / in (delete)
 
   // QoS grant payload (create_qp / create_qp_batch), v4. The request names
@@ -117,7 +139,9 @@ struct MboxSlot {
   // granted — classes may be demoted and budgets clamped.
   std::uint8_t qos_class = 0;          ///< in: requested SqPriority
   std::uint8_t qos_granted_class = 0;  ///< out: class the manager granted
-  std::uint16_t pad5 = 0;
+  /// in (v6): DRR weight the tenant's share carries (create_share; 0 is
+  /// treated as 1). Was pad5.
+  std::uint16_t share_weight = 0;
   std::uint32_t qos_iops = 0;             ///< in: requested IOPS budget
   std::uint32_t qos_bytes_per_s = 0;      ///< in: requested bytes/s budget
   std::uint32_t qos_granted_iops = 0;     ///< out: granted IOPS (0 = unpaced)

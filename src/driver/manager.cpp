@@ -52,7 +52,9 @@ Manager::Stats::Stats()
       takeovers("nvmeshare.manager.takeovers"),
       fencings("nvmeshare.manager.fencings"),
       qps_adopted("nvmeshare.manager.qps_adopted"),
-      intent_rollbacks("nvmeshare.manager.intent_rollbacks") {}
+      intent_rollbacks("nvmeshare.manager.intent_rollbacks"),
+      shares_granted("nvmeshare.manager.shares_granted"),
+      shares_released("nvmeshare.manager.shares_released") {}
 
 Manager::Manager(smartio::Service& service, smartio::NodeId node, smartio::DeviceId device,
                  Config cfg)
@@ -332,6 +334,8 @@ sim::Task Manager::init_task(std::unique_ptr<Manager> self,
   m.qid_owner_.assign(granted + 1u, 0);
   m.qid_created_at_.assign(granted + 1u, 0);
   m.qid_sq_addr_.assign(granted + 1u, 0);
+  m.qid_shares_.assign(granted + 1u, {});
+  m.qid_sq_size_.assign(granted + 1u, 0);
 
   // v5: persist where the admin rings live and their cursors so a standby
   // can continue them without a controller reset (AQA/ASQ/ACQ are latched
@@ -533,6 +537,7 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
       qid_owner_[qid] = slot.client_node;
       qid_created_at_[qid] = engine().now();
       qid_sq_addr_[qid] = slot.sq_device_addr;
+      qid_sq_size_[qid] = slot.sq_size;
       write_owner_entry(qid, make_owner_entry(slot, slot.sq_device_addr, slot.cq_device_addr,
                                               QpOwnerState::active, qid_created_at_[qid]));
       ++stats_.qps_created;
@@ -561,6 +566,7 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
       qid_owner_[qid] = 0;
       qid_created_at_[qid] = 0;
       qid_sq_addr_[qid] = 0;
+      release_shares(qid);
       clear_owner_entry(qid);
       ++stats_.qps_deleted;
       respond(Errc::ok, qid, 0);
@@ -643,6 +649,7 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
         qid_owner_[qid] = slot.client_node;
         qid_created_at_[qid] = engine().now();
         qid_sq_addr_[qid] = sq_base;
+        qid_sq_size_[qid] = slot.sq_size;
         write_owner_entry(qid, make_owner_entry(slot, sq_base, cq_base, QpOwnerState::active,
                                                 qid_created_at_[qid]));
         ++stats_.qps_created;
@@ -658,6 +665,7 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
           qid_owner_[qid] = 0;
           qid_created_at_[qid] = 0;
           qid_sq_addr_[qid] = 0;
+          release_shares(qid);
           clear_owner_entry(qid);
           ++stats_.qps_deleted;
           slot.qids[c] = 0;
@@ -704,10 +712,100 @@ sim::Task Manager::handle_slot_task(std::uint32_t slot_index, MboxSlot slot,
         qid_owner_[qid] = 0;
         qid_created_at_[qid] = 0;
         qid_sq_addr_[qid] = 0;
+        release_shares(qid);
         clear_owner_entry(qid);
         ++stats_.qps_deleted;
       }
       respond(errc, 0, 0);
+      break;
+    }
+    case MboxOp::create_share: {
+      // v6: subdivide an owned pair's CID space for a tenant. No admin
+      // command is involved — the controller never sees shares; they are
+      // pure manager bookkeeping the owning client enforces at push time.
+      const std::uint16_t qid = slot.qid_in;
+      if (qid == 0 || qid >= qid_used_.size() || !qid_used_[qid] ||
+          qid_owner_[qid] != slot.client_node) {
+        respond(Errc::permission_denied, 0, 0);
+        break;
+      }
+      const std::uint16_t sq_size = qid_sq_size_[qid];
+      if (slot.share_cid_count == 0 || slot.share_cid_floor >= sq_size) {
+        respond(Errc::invalid_argument, 0, 0);
+        break;
+      }
+      // Per-share QoS rides the same policy table as whole-pair grants.
+      if (!grant_qos(slot)) {
+        respond(Errc::permission_denied, 0, 0);
+        break;
+      }
+      auto& shares = qid_shares_[qid];
+      // Idempotent per tenant: a re-request (say, after the client lost a
+      // response) releases the tenant's old range before placing afresh.
+      for (auto it = shares.begin(); it != shares.end(); ++it) {
+        if (it->tenant == slot.share_tenant) {
+          shares.erase(it);
+          ++stats_.shares_released;
+          break;
+        }
+      }
+      // First-fit gap scan above the owner's reserved floor. `shares` is
+      // sorted by lo, so walking it advances the cursor past every taken
+      // range.
+      const std::uint32_t count = slot.share_cid_count;
+      std::uint32_t lo = slot.share_cid_floor;
+      bool placed = false;
+      for (const ShareEntry& s : shares) {
+        if (s.hi <= lo) continue;
+        if (lo + count <= s.lo) {
+          placed = true;
+          break;
+        }
+        lo = s.hi;
+      }
+      if (!placed && lo + count > sq_size) {
+        respond(Errc::resource_exhausted, 0, 0);
+        break;
+      }
+      ShareEntry entry{slot.share_tenant, static_cast<std::uint16_t>(lo),
+                       static_cast<std::uint16_t>(lo + count)};
+      shares.insert(std::upper_bound(shares.begin(), shares.end(), entry,
+                                     [](const ShareEntry& a, const ShareEntry& b) {
+                                       return a.lo < b.lo;
+                                     }),
+                    entry);
+      ++stats_.shares_granted;
+      slot.share_cid_lo = entry.lo;
+      slot.share_cid_hi = entry.hi;
+      NVS_LOG(info, "manager") << "granted tenant " << slot.share_tenant << " CIDs ["
+                               << entry.lo << ", " << entry.hi << ") of QP " << qid;
+      respond(Errc::ok, qid, 0);
+      break;
+    }
+    case MboxOp::delete_share: {
+      const std::uint16_t qid = slot.qid_in;
+      if (qid == 0 || qid >= qid_used_.size() || !qid_used_[qid] ||
+          qid_owner_[qid] != slot.client_node) {
+        respond(Errc::permission_denied, 0, 0);
+        break;
+      }
+      auto& shares = qid_shares_[qid];
+      bool found = false;
+      for (auto it = shares.begin(); it != shares.end(); ++it) {
+        if (it->tenant == slot.share_tenant) {
+          slot.share_cid_lo = it->lo;
+          slot.share_cid_hi = it->hi;
+          shares.erase(it);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        respond(Errc::not_found, 0, 0);
+        break;
+      }
+      ++stats_.shares_released;
+      respond(Errc::ok, qid, 0);
       break;
     }
     default:
@@ -736,6 +834,13 @@ bool Manager::grant_qos(MboxSlot& slot) const {
   slot.qos_granted_iops = clamp(slot.qos_iops, pol.max_iops);
   slot.qos_granted_bytes_per_s = clamp(slot.qos_bytes_per_s, pol.max_bytes_per_s);
   return true;
+}
+
+void Manager::release_shares(std::uint16_t qid) {
+  if (qid >= qid_shares_.size()) return;
+  stats_.shares_released += qid_shares_[qid].size();
+  qid_shares_[qid].clear();
+  qid_sq_size_[qid] = 0;
 }
 
 // --- fault recovery -------------------------------------------------------------------
@@ -775,6 +880,7 @@ sim::Task Manager::reaper_task(std::shared_ptr<bool> stop) {
         qid_owner_[qid] = 0;
         qid_created_at_[qid] = 0;
         qid_sq_addr_[qid] = 0;
+        release_shares(qid);
         clear_owner_entry(qid);
         ++stats_.qps_reaped;
       }
@@ -915,6 +1021,7 @@ sim::Task Manager::watchdog_task(std::shared_ptr<bool> stop) {
       qid_owner_[q] = 0;
       qid_created_at_[q] = 0;
       qid_sq_addr_[q] = 0;
+      release_shares(q);
       clear_owner_entry(q);
     }
     // Re-negotiate the I/O queue count (required before queue creation).
@@ -1073,6 +1180,7 @@ sim::Task Manager::reclaim_stale_task(std::uint32_t client_node, std::uint64_t l
     qid_owner_[q] = 0;
     qid_created_at_[q] = 0;
     qid_sq_addr_[q] = 0;
+    release_shares(q);
     clear_owner_entry(q);
     ++stats_.qps_deleted;
   }
@@ -1393,6 +1501,10 @@ sim::Task Manager::takeover_task(ManagerLease claim, sim::Promise<Status> done) 
   qid_owner_.assign(granted + 1u, 0);
   qid_created_at_.assign(granted + 1u, 0);
   qid_sq_addr_.assign(granted + 1u, 0);
+  // Tenant shares are manager-local and do not survive the takeover;
+  // clients re-request them (like they re-heartbeat) — MODEL.md §12.
+  qid_shares_.assign(granted + 1u, {});
+  qid_sq_size_.assign(granted + 1u, 0);
   for (std::uint16_t q = 1; q <= granted && q < kOwnerTableEntries; ++q) {
     const QpOwnerEntry& e = owners[q];
     if (e.state == static_cast<std::uint32_t>(QpOwnerState::pending)) {
@@ -1407,6 +1519,7 @@ sim::Task Manager::takeover_task(ManagerLease claim, sim::Promise<Status> done) 
       qid_owner_[q] = e.owner_node;
       qid_created_at_[q] = eng.now();  // reaper grace anchor: takeover time
       qid_sq_addr_[q] = e.sq_device_addr;
+      qid_sq_size_[q] = e.sq_size;
       ++stats_.qps_adopted;
     }
   }

@@ -151,6 +151,8 @@ class Manager {
     obs::Counter fencings;          ///< self-fences after observing a foreign epoch
     obs::Counter qps_adopted;       ///< active grants inherited across a takeover
     obs::Counter intent_rollbacks;  ///< half-created grants rolled back at takeover
+    obs::Counter shares_granted;    ///< tenant CID sub-ranges granted (v6)
+    obs::Counter shares_released;   ///< tenant CID sub-ranges released (v6)
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -195,6 +197,9 @@ class Manager {
   void journal_admin_ring();
   void write_owner_entry(std::uint16_t qid, const QpOwnerEntry& e);
   void clear_owner_entry(std::uint16_t qid) { write_owner_entry(qid, QpOwnerEntry{}); }
+  /// Drop every tenant share of `qid` (the pair is going away), counting
+  /// each as released.
+  void release_shares(std::uint16_t qid);
   /// Does `client_node` own a grant whose SQ base falls in [lo, hi)?
   [[nodiscard]] bool has_stale_overlap(std::uint32_t client_node, std::uint64_t lo,
                                        std::uint64_t hi) const;
@@ -245,6 +250,18 @@ class Manager {
   std::vector<sim::Time> qid_created_at_;
   /// SQ base per qid, for stale-grant reclamation on re-served creates.
   std::vector<std::uint64_t> qid_sq_addr_;
+  /// One tenant share of a queue pair: a disjoint CID sub-range (v6).
+  struct ShareEntry {
+    std::uint32_t tenant = 0;
+    std::uint16_t lo = 0;
+    std::uint16_t hi = 0;  ///< exclusive
+  };
+  /// Tenant shares per qid, sorted by lo for first-fit gap scans. Manager-
+  /// local bookkeeping: shares do not survive an HA takeover (clients
+  /// re-request them, like they re-heartbeat) — see MODEL.md §12.
+  std::vector<std::vector<ShareEntry>> qid_shares_;
+  /// SQ size per qid (the CID space a share scan allocates from).
+  std::vector<std::uint16_t> qid_sq_size_;
   // --- HA state -----------------------------------------------------------
   std::uint64_t epoch_ = 0;        ///< 0 until HA is enabled / takeover done
   sim::Time takeover_time_ = 0;    ///< reaper grace anchor (0 = never)

@@ -1,5 +1,7 @@
 #include "nvme/queue.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace nvmeshare::nvme {
@@ -10,7 +12,8 @@ QueuePair::Stats::Stats()
       cq_doorbells("nvmeshare.queue.cq_doorbells"),
       cqes_consumed("nvmeshare.queue.cqes_consumed"),
       reap_batches("nvmeshare.queue.reap_batches"),
-      spurious_cqes("nvmeshare.queue.spurious_cqes") {}
+      spurious_cqes("nvmeshare.queue.spurious_cqes"),
+      cid_exhausted("nvmeshare.queue.cid_exhausted") {}
 
 QueuePair::QueuePair(fabric::Substrate& fabric, Config cfg) : fabric_(fabric), cfg_(cfg) {
   cid_busy_.assign(cfg_.sq_size, false);
@@ -28,11 +31,47 @@ void QueuePair::restore(const RingState& s) {
 Result<std::uint16_t> QueuePair::push(SubmissionEntry entry) {
   if (sq_full()) return Status(Errc::resource_exhausted, "submission queue full");
 
-  // Allocate a CID (bounded scan: at most sq_size slots, and we know one is
-  // free because the queue is not full).
+  // Allocate a CID. The scan gives up after one full lap instead of
+  // spinning: with every CID busy (or a desynced busy map) the old
+  // unbounded loop livelocked the submitting task forever; returning
+  // resource_exhausted lets IoEngine backpressure and retry after
+  // completions drain.
   std::uint16_t cid = next_cid_;
-  while (cid_busy_[cid]) cid = static_cast<std::uint16_t>((cid + 1) % cfg_.sq_size);
+  std::uint16_t scanned = 0;
+  while (cid_busy_[cid]) {
+    cid = static_cast<std::uint16_t>((cid + 1) % cfg_.sq_size);
+    if (++scanned == cfg_.sq_size) {
+      ++stats_.cid_exhausted;
+      return Status(Errc::resource_exhausted, "no free CID");
+    }
+  }
   next_cid_ = static_cast<std::uint16_t>((cid + 1) % cfg_.sq_size);
+  return place(entry, cid);
+}
+
+Result<std::uint16_t> QueuePair::push(SubmissionEntry entry, const CidRange& range) {
+  if (range.lo >= range.hi || range.hi > cfg_.sq_size)
+    return Status(Errc::invalid_argument, "cid range outside submission queue");
+  if (sq_full()) return Status(Errc::resource_exhausted, "submission queue full");
+
+  // First-free scan within the tenant's slice. A sub-range routinely
+  // exhausts while the queue is not full, so this is the multiplexer's
+  // steady-state backpressure signal, not an error path.
+  for (std::uint16_t cid = range.lo; cid < range.hi; ++cid) {
+    if (!cid_busy_[cid]) return place(entry, cid);
+  }
+  ++stats_.cid_exhausted;
+  return Status(Errc::resource_exhausted, "cid range exhausted");
+}
+
+std::uint16_t QueuePair::free_in_range(const CidRange& range) const noexcept {
+  const std::uint16_t hi = std::min(range.hi, cfg_.sq_size);
+  std::uint16_t n = 0;
+  for (std::uint16_t cid = range.lo; cid < hi; ++cid) n += cid_busy_[cid] ? 0 : 1;
+  return n;
+}
+
+Result<std::uint16_t> QueuePair::place(SubmissionEntry entry, std::uint16_t cid) {
   cid_busy_[cid] = true;
   entry.cid = cid;
 

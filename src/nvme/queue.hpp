@@ -22,6 +22,24 @@
 
 namespace nvmeshare::nvme {
 
+/// A contiguous `[lo, hi)` slice of a queue pair's CID space. Tenant shares
+/// (src/mux) each hold a disjoint range so completions can be routed back to
+/// their owner by CID alone, with no per-command tagging on the wire.
+struct CidRange {
+  std::uint16_t lo = 0;
+  std::uint16_t hi = 0;  ///< exclusive
+  [[nodiscard]] std::uint16_t count() const noexcept {
+    return static_cast<std::uint16_t>(hi - lo);
+  }
+  [[nodiscard]] bool contains(std::uint16_t cid) const noexcept {
+    return cid >= lo && cid < hi;
+  }
+  [[nodiscard]] bool overlaps(const CidRange& o) const noexcept {
+    return lo < o.hi && o.lo < hi;
+  }
+  friend bool operator==(const CidRange&, const CidRange&) = default;
+};
+
 class QueuePair {
  public:
   struct Config {
@@ -51,7 +69,22 @@ class QueuePair {
   /// Write one SQE at the current tail (posted store through the fabric),
   /// assigning a free CID which is also returned. Does not ring the
   /// doorbell, so several entries can be batched per doorbell write.
+  ///
+  /// Backpressure contract: when every CID is busy (queue full, or a full
+  /// lap of the scan finds no free slot) this returns
+  /// `Errc::resource_exhausted` instead of spinning — callers retry after
+  /// completions drain. The scan is bounded by construction.
   Result<std::uint16_t> push(SubmissionEntry entry);
+
+  /// Ranged variant for multiplexed tenants: allocate the CID only from
+  /// `range` (`[lo, hi)` must lie inside the SQ). A tenant's sub-range can
+  /// be exhausted while the queue itself is not full, so the
+  /// `resource_exhausted` backpressure path is the common case here, not a
+  /// corner case.
+  Result<std::uint16_t> push(SubmissionEntry entry, const CidRange& range);
+
+  /// Free CIDs remaining in `range` (range is clamped to the SQ).
+  [[nodiscard]] std::uint16_t free_in_range(const CidRange& range) const noexcept;
 
   /// Ring the SQ tail doorbell with the current tail value.
   Status ring_sq_doorbell();
@@ -104,12 +137,20 @@ class QueuePair {
     /// corrupted completion) — consumed, counted, and logged, never
     /// silently dropped.
     obs::Counter spurious_cqes;
+    /// push() attempts rejected because no free CID existed in the
+    /// requested range — the backpressure signal that replaced the old
+    /// allocator's unbounded scan.
+    obs::Counter cid_exhausted;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
  private:
   /// Consume the CQ head slot into `e` if a fresh completion is present.
   bool take_at_head(CompletionEntry& e);
+
+  /// Write `entry` (CID already chosen and marked busy by the caller) at
+  /// the current tail.
+  Result<std::uint16_t> place(SubmissionEntry entry, std::uint16_t cid);
 
   fabric::Substrate& fabric_;
   Config cfg_;

@@ -438,6 +438,143 @@ TEST(EngineQos, PacerDefersCommandsBeyondTheBurst) {
   EXPECT_GE(h.engine.now(), 4'000'000);
 }
 
+TEST(EngineQos, PacerAdmitsExactlyRateTimesHorizonPlusBurst) {
+  // The regression this guards: the refill path floor-divided the full-
+  // bucket horizon, crediting a fraction of a token early on every wake-up.
+  // Over a long run those fractions compounded into extra admitted
+  // commands. At 1000 IOPS with a burst of 2, 502 commands must take at
+  // least (502 - 2) / 1000 s of simulated time — not one token less.
+  class CyclingTransport final : public IoTransport {
+   public:
+    CyclingTransport(sim::Engine& engine, std::uint16_t depth)
+        : engine_(engine), depth_(depth) {}
+    void attach(IoEngine* io) { io_ = io; }
+    Result<std::uint16_t> issue(std::uint32_t, void*) override {
+      const auto token = next_;
+      next_ = static_cast<std::uint16_t>((next_ + 1) % depth_);
+      staged_.push_back(token);
+      return token;
+    }
+    Status ring(std::uint32_t chan) override {
+      for (const auto token : staged_) {
+        engine_.after(100, [this, chan, token]() { (void)io_->complete(chan, token, 0); });
+      }
+      staged_.clear();
+      return Status::ok();
+    }
+    [[nodiscard]] bool retryable(std::uint16_t) const override { return false; }
+    void start_recovery(std::uint32_t) override {}
+    [[nodiscard]] std::uint16_t trace_qid(std::uint32_t chan) const override {
+      return static_cast<std::uint16_t>(chan);
+    }
+
+   private:
+    sim::Engine& engine_;
+    IoEngine* io_ = nullptr;
+    std::uint16_t depth_;
+    std::uint16_t next_ = 0;
+    std::vector<std::uint16_t> staged_;
+  };
+
+  IoEngine::Config cfg;
+  cfg.channels = 1;
+  cfg.queue_depth = 8;
+  cfg.qos_iops_limit = 1000;
+  cfg.qos_burst_cmds = 2;
+  sim::Engine engine;
+  CyclingTransport transport(engine, 8);
+  IoEngine io(engine, transport, std::make_shared<bool>(false), cfg);
+  transport.attach(&io);
+
+  constexpr std::uint32_t kOps = 502;
+  for (std::uint32_t i = 0; i < kOps; ++i) {
+    auto grant_f = io.acquire();
+    engine.run();
+    auto grant = grant_f.try_take();
+    ASSERT_TRUE(grant.has_value()) << "op " << i;
+    auto outcome_f = io.run({*grant});
+    engine.run();
+    auto o = outcome_f.try_take();
+    ASSERT_TRUE(o.has_value()) << "op " << i;
+    EXPECT_TRUE(o->ok());
+    io.release(*grant);
+  }
+  EXPECT_EQ(io.qos_deferred_cmds(), kOps - cfg.qos_burst_cmds);
+  // Lower bound: no early admission anywhere in the 500-token horizon.
+  EXPECT_GE(engine.now(), 500'000'000);
+  // Upper bound: ceil rounding costs less than one token per command.
+  EXPECT_LT(engine.now(), 501'000'000);
+}
+
+// --- completion-token hygiene -------------------------------------------------
+
+/// Transport that hands out an out-of-cap completion token: models the
+/// "corrupt cid" transport bug the pending-table cap exists to contain.
+class RogueTokenTransport final : public IoTransport {
+ public:
+  explicit RogueTokenTransport(std::uint16_t token) : token_(token) {}
+  Result<std::uint16_t> issue(std::uint32_t, void*) override { return token_; }
+  Status ring(std::uint32_t) override { return Status::ok(); }
+  [[nodiscard]] bool retryable(std::uint16_t) const override { return false; }
+  void start_recovery(std::uint32_t) override {}
+  [[nodiscard]] std::uint16_t trace_qid(std::uint32_t chan) const override {
+    return static_cast<std::uint16_t>(chan);
+  }
+
+ private:
+  std::uint16_t token_;
+};
+
+TEST(EngineTokens, OutOfCapTokenFailsTheCommandInsteadOfGrowingTheTable) {
+  // cap = max(queue_entries, total depth) = 8; token 0xFFF0 is a transport
+  // bug. The old code resized the pending table to fit it (64 KiB of
+  // pointers per corrupt cid); now the command fails as a transport error.
+  IoEngine::Config cfg;
+  cfg.channels = 1;
+  cfg.queue_depth = 8;
+  sim::Engine engine;
+  RogueTokenTransport transport(0xFFF0);
+  IoEngine io(engine, transport, std::make_shared<bool>(false), cfg);
+
+  auto grant_f = io.acquire();
+  engine.run();
+  auto grant = grant_f.try_take();
+  ASSERT_TRUE(grant.has_value());
+  auto outcome_f = io.run({*grant});
+  engine.run();
+  auto outcome = outcome_f.try_take();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->ok());
+  EXPECT_EQ(outcome->kind, CmdOutcome::Kind::transport_error);
+  EXPECT_EQ(outcome->transport.code(), Errc::internal);
+}
+
+TEST(EngineTokens, StrayCompletionTokenIsANoOp) {
+  // disarm()/complete() on a token the engine never armed (beyond the
+  // table, or an already-empty slot) must neither crash nor underflow the
+  // pending count; real traffic keeps flowing afterwards.
+  IoEngine::Config cfg;
+  cfg.channels = 1;
+  cfg.queue_depth = 4;
+  EngineHarness h(cfg);
+  h.transport.set_auto_complete(true);
+
+  (void)h.io.complete(0, 999, 0);  // beyond any table this config can grow
+  (void)h.io.complete(0, 0, 0);    // in range, but nothing armed
+  h.engine.run();
+
+  auto grants = acquire_n(h, 2);
+  ASSERT_EQ(grants.size(), 2u);
+  std::vector<sim::Future<CmdOutcome>> cmds;
+  for (const auto& g : grants) cmds.push_back(h.io.run({g}));
+  h.engine.run();
+  for (auto& c : cmds) {
+    auto out = c.try_take();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_TRUE(out->ok());
+  }
+}
+
 TEST(EngineQos, DisarmedPacerLeavesTheStreamUntouched) {
   IoEngine::Config cfg;
   cfg.channels = 1;

@@ -375,6 +375,132 @@ TEST_F(ControllerFixture, SpuriousCqeIsCountedNotSilentlyDropped) {
   EXPECT_EQ(qp.inflight(), 0u) << "a spurious CQE must not underflow inflight";
 }
 
+// --- CID allocation backpressure (the regression behind src/mux) -------------------
+//
+// The old allocator scanned `cid_busy_` in an unbounded loop; with every CID
+// busy (a full queue, or a tenant's exhausted sub-range) the submitting task
+// spun forever. These tests pin the contract that replaced it: a bounded
+// scan that reports `resource_exhausted` and counts the rejection.
+
+struct CidFixture : ControllerFixture {
+  void build(std::uint16_t entries) {
+    auto sq_mem = tb.cluster().alloc_dram(0, entries * 64ull, 4096);
+    auto cq_mem = tb.cluster().alloc_dram(0, entries * 16ull, 4096);
+    ASSERT_TRUE(sq_mem && cq_mem);
+    auto qid = tb.wait(ctrl->create_queue_pair(*sq_mem, entries, *cq_mem, entries,
+                                               std::nullopt));
+    ASSERT_TRUE(qid.has_value()) << qid.status().to_string();
+    QueuePair::Config qc;
+    qc.qid = *qid;
+    qc.sq_size = entries;
+    qc.cq_size = entries;
+    qc.sq_write_addr = *sq_mem;
+    qc.cq_poll_addr = *cq_mem;
+    qc.sq_doorbell_addr = ctrl->sq_doorbell(*qid);
+    qc.cq_doorbell_addr = ctrl->cq_doorbell(*qid);
+    qc.cpu = tb.fabric().cpu(0);
+    qp = std::make_unique<QueuePair>(tb.fabric(), qc);
+  }
+
+  /// Drain every outstanding completion (rings both doorbells).
+  void drain() {
+    ASSERT_TRUE(qp->ring_sq_doorbell().is_ok());
+    const sim::Time deadline = tb.engine().now() + 1_s;
+    while (qp->inflight() > 0 && tb.engine().now() < deadline) {
+      tb.engine().run_until(tb.engine().now() + 1_us);
+      while (qp->poll()) {
+      }
+    }
+    ASSERT_EQ(qp->inflight(), 0u);
+    ASSERT_TRUE(qp->ring_cq_doorbell().is_ok());
+  }
+
+  std::unique_ptr<QueuePair> qp;
+};
+
+TEST_F(CidFixture, QueueFullPushReturnsBackpressureNotLivelock) {
+  build(8);
+  for (int i = 0; i < 7; ++i) {  // sq_full at sq_size - 1 in flight
+    ASSERT_TRUE(qp->push(make_flush(0, 1)).has_value()) << "push " << i;
+  }
+  auto overflow = qp->push(make_flush(0, 1));
+  ASSERT_FALSE(overflow.has_value());
+  EXPECT_EQ(overflow.status().code(), Errc::resource_exhausted);
+  drain();
+  EXPECT_TRUE(qp->push(make_flush(0, 1)).has_value()) << "queue must accept work again";
+  drain();
+}
+
+TEST_F(CidFixture, TenantRangeExhaustsWhileQueueHasRoom) {
+  build(16);
+  const CidRange range{2, 4};
+  auto a = qp->push(make_flush(0, 1), range);
+  auto b = qp->push(make_flush(0, 1), range);
+  ASSERT_TRUE(a && b);
+  EXPECT_TRUE(range.contains(*a));
+  EXPECT_TRUE(range.contains(*b));
+  EXPECT_EQ(qp->free_in_range(range), 0u);
+  ASSERT_FALSE(qp->sq_full()) << "the queue itself still has room";
+
+  // The tenant's window is gone: bounded rejection, counted.
+  auto exhausted = qp->push(make_flush(0, 1), range);
+  ASSERT_FALSE(exhausted.has_value());
+  EXPECT_EQ(exhausted.status().code(), Errc::resource_exhausted);
+  EXPECT_EQ(qp->stats().cid_exhausted.value(), 1u);
+
+  // Other CID space is unaffected: a disjoint tenant and the default
+  // full-range path both still allocate.
+  EXPECT_TRUE(qp->push(make_flush(0, 1), CidRange{4, 6}).has_value());
+  EXPECT_TRUE(qp->push(make_flush(0, 1)).has_value());
+  drain();
+  EXPECT_EQ(qp->free_in_range(range), 2u);
+  EXPECT_TRUE(qp->push(make_flush(0, 1), range).has_value());
+  drain();
+}
+
+TEST_F(CidFixture, RangedPushRejectsMalformedRanges) {
+  build(8);
+  EXPECT_EQ(qp->push(make_flush(0, 1), CidRange{4, 4}).status().code(),
+            Errc::invalid_argument);
+  EXPECT_EQ(qp->push(make_flush(0, 1), CidRange{6, 3}).status().code(),
+            Errc::invalid_argument);
+  EXPECT_EQ(qp->push(make_flush(0, 1), CidRange{0, 9}).status().code(),
+            Errc::invalid_argument);
+  EXPECT_EQ(qp->stats().sqes_pushed.value(), 0u);
+}
+
+TEST_F(CidFixture, RestoreDropsOldEpochCompletionsViaSpuriousPath) {
+  // A takeover adopts the ring cursors but not the previous operator's
+  // in-flight CIDs; their late completions must be consumed as counted
+  // spurious CQEs and must not corrupt the new operator's busy map.
+  build(16);
+  const CidRange tenant{2, 4};
+  ASSERT_TRUE(qp->push(make_flush(0, 1), tenant).has_value());
+  ASSERT_TRUE(qp->push(make_flush(0, 1), tenant).has_value());
+  ASSERT_TRUE(qp->ring_sq_doorbell().is_ok());
+  EXPECT_EQ(qp->inflight(), 2u);
+
+  // The new epoch begins before the old completions are consumed.
+  qp->restore(qp->ring_state());
+  EXPECT_EQ(qp->inflight(), 0u);
+  EXPECT_EQ(qp->free_in_range(tenant), tenant.count());
+
+  // Let the controller post the old-epoch CQEs, then consume them.
+  tb.engine().run_for(1_ms);
+  int seen = 0;
+  while (qp->poll()) ++seen;
+  EXPECT_EQ(seen, 2);
+  EXPECT_EQ(qp->stats().spurious_cqes.value(), 2u);
+  EXPECT_EQ(qp->inflight(), 0u) << "spurious CQEs must not underflow inflight";
+  ASSERT_TRUE(qp->ring_cq_doorbell().is_ok());
+
+  // The tenant window is fully usable in the new epoch.
+  ASSERT_TRUE(qp->push(make_flush(0, 1), tenant).has_value());
+  ASSERT_TRUE(qp->push(make_flush(0, 1), tenant).has_value());
+  drain();
+  EXPECT_EQ(qp->stats().spurious_cqes.value(), 2u) << "new-epoch CQEs route normally";
+}
+
 TEST_F(ControllerFixture, LbaArithmeticOverflowRejected) {
   // An slba near UINT64_MAX must fail with LBA Out of Range, not wrap
   // around into an apparently-valid range and touch the wrong blocks.

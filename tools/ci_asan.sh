@@ -181,6 +181,29 @@ grep -q '"qos_class":"high"' "$WRR_A"
 grep -q '"nvmeshare.engine.client.qos.deferred_cmds":[1-9]' "$WRR_A"
 echo "wrr soak ok: paced chaos run recovered, byte-identical reruns"
 
+# --- tenant multiplexing + namespace sharding ------------------------------------
+# The tenant bench under the sanitizer: its claim checks (155 tenants over
+# 31 shared queue pairs x 4 sharded controllers, aggregate IOPS scaling,
+# per-tenant p99 isolation, the noisy tenant pinned at its QoS grant, mux
+# counter balance) are assertions, exit 1 on mismatch. Twice with --json,
+# byte-identical: DRR rounds, QoS stalls, and CID-window backpressure for
+# hundreds of tenant coroutines are part of the deterministic instruction
+# stream. (The multi-tenant chaos soak runs in the ctest soak tier above:
+# Stress.TenantMuxChaos*.)
+tenants_smoke() {
+  "$BUILD_DIR/bench/fig13_tenants" --json "$1" > /dev/null
+}
+TENANTS_A="$BUILD_DIR/tenants_a.json"
+TENANTS_B="$BUILD_DIR/tenants_b.json"
+tenants_smoke "$TENANTS_A"
+tenants_smoke "$TENANTS_B"
+cmp "$TENANTS_A" "$TENANTS_B"
+grep -q '"tenants":"155"' "$TENANTS_A"
+grep -q '"nvmeshare.mux.completed_cmds":[1-9]' "$TENANTS_A"
+grep -q '"nvmeshare.mux.shard_sub_requests":[1-9]' "$TENANTS_A"
+grep -q '"nvmeshare.manager.shares_granted":[1-9]' "$TENANTS_A"
+echo "fig13_tenants ok: tenant multiplexing claim checks passed, byte-identical reruns"
+
 # --- manager failover -----------------------------------------------------------
 # Hot-standby takeover under ASan (docs/MODEL.md §10): kill the active
 # manager mid-run while a verified multi-channel workload is in flight and a

@@ -27,7 +27,7 @@ export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
 # Soak the suites that hammer the recovery and integrity machinery
 # (gtest case names are capitalized; ctest -R is case-sensitive).
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  -R 'Stress|Fault|Failover|Takeover|Chaos|Checksums|ProtectionInfo|BlockStorePi|Pi|Determinism|Fuzz|Sweep|Engine'
+  -R 'Stress|Fault|Failover|Takeover|Chaos|Checksums|ProtectionInfo|BlockStorePi|Pi|Determinism|Fuzz|Sweep|Engine|Mux|Sharding'
 
 # Chaos + corruption soak: seeded faults, PI-formatted namespace, client
 # verify, and the background scrubber all active in one run. Exit 1 means
@@ -59,6 +59,12 @@ fi
   --ops 2000 --seed 7 --qos-class high --qos-iops 50000 \
   --faults "seed=11;drop_posted_write:src=0,dst=1,nth=40,count=2;ntb_link_down:host=1,at=2ms,for=300us;ctrl_error:nth=100" \
   > /dev/null
+
+# Tenant multiplexing under TSan: the tenant bench (claim checks are
+# assertions) drives 155 tenants' DRR + QoS coroutines over shared queue
+# pairs and 4 sharded controllers; the multi-tenant chaos soak
+# (Stress.TenantMuxChaos*) already ran in the ctest pass above.
+"$BUILD_DIR/bench/fig13_tenants" > /dev/null
 
 # CXL substrate smoke under TSan: verified workload over the pooled-memory
 # substrate, then a CXL port link-flap recovery pass.
